@@ -1,0 +1,68 @@
+//! Benchmarks of the real shared-memory collectives: deterministic tree
+//! all-reduce vs ring all-reduce across replica counts and payload sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ets_collective::{create_ring, CommHandle};
+use std::thread;
+
+fn run_tree(replicas: usize, elems: usize, rounds: usize) {
+    let handles = CommHandle::create(replicas);
+    let joins: Vec<_> = handles
+        .into_iter()
+        .map(|h| {
+            thread::spawn(move || {
+                let mut buf = vec![h.rank() as f32; elems];
+                for _ in 0..rounds {
+                    h.all_reduce_sum(&mut buf);
+                }
+                buf[0]
+            })
+        })
+        .collect();
+    for j in joins {
+        let _ = j.join().unwrap();
+    }
+}
+
+fn run_ring(replicas: usize, elems: usize, rounds: usize) {
+    let members = create_ring(replicas);
+    let joins: Vec<_> = members
+        .into_iter()
+        .map(|m| {
+            thread::spawn(move || {
+                let mut buf = vec![m.rank() as f32; elems];
+                for _ in 0..rounds {
+                    m.all_reduce_sum(&mut buf);
+                }
+                buf[0]
+            })
+        })
+        .collect();
+    for j in joins {
+        let _ = j.join().unwrap();
+    }
+}
+
+fn bench_all_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_reduce");
+    group.sample_size(10);
+    for &replicas in &[2usize, 4, 8] {
+        for &elems in &[1_024usize, 65_536] {
+            group.throughput(Throughput::Bytes((elems * 4 * replicas) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("tree_r{replicas}"), elems),
+                &elems,
+                |b, &elems| b.iter(|| run_tree(replicas, elems, 4)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("ring_r{replicas}"), elems),
+                &elems,
+                |b, &elems| b.iter(|| run_ring(replicas, elems, 4)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_reduce);
+criterion_main!(benches);

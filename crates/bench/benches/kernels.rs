@@ -1,0 +1,85 @@
+//! Micro-benchmarks of the compute kernels that dominate training:
+//! GEMM (f32 and bf16-mixed), im2col convolution (dense and depthwise),
+//! and the batch-norm reductions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ets_tensor::bf16::gemm_bf16_slice;
+use ets_tensor::ops::conv::{conv2d_backward, conv2d_forward, depthwise_forward};
+use ets_tensor::ops::gemm_blocked::gemm_blocked;
+use ets_tensor::ops::matmul::gemm_slice;
+use ets_tensor::ops::reduce::{channel_mean, channel_sum_sq};
+use ets_tensor::{Rng, Tensor};
+
+fn rand_vec(rng: &mut Rng, n: usize) -> Vec<f32> {
+    let mut v = vec![0.0; n];
+    rng.fill_uniform(&mut v, -1.0, 1.0);
+    v
+}
+
+fn rand_tensor(rng: &mut Rng, dims: &[usize]) -> Tensor {
+    let mut t = Tensor::zeros(dims);
+    rng.fill_uniform(t.data_mut(), -1.0, 1.0);
+    t
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    let mut rng = Rng::new(1);
+    for &n in &[64usize, 128, 256] {
+        let a = rand_vec(&mut rng, n * n);
+        let b = rand_vec(&mut rng, n * n);
+        let mut out = vec![0.0; n * n];
+        group.throughput(Throughput::Elements((n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("f32", n), &n, |bench, &n| {
+            bench.iter(|| gemm_slice(n, n, n, &a, &b, &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("bf16_mixed", n), &n, |bench, &n| {
+            bench.iter(|| gemm_bf16_slice(n, n, n, &a, &b, &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, &n| {
+            bench.iter(|| gemm_blocked(n, n, n, &a, &b, &mut out));
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d");
+    let mut rng = Rng::new(2);
+    // A stem-like conv and an MBConv-projection-like 1×1.
+    let x = rand_tensor(&mut rng, &[4, 16, 32, 32]);
+    let w3 = rand_tensor(&mut rng, &[32, 16, 3, 3]);
+    let w1 = rand_tensor(&mut rng, &[64, 16, 1, 1]);
+    group.bench_function("3x3_s1_16to32_b4_32px", |b| {
+        b.iter(|| conv2d_forward(&x, &w3, 1, 1));
+    });
+    group.bench_function("1x1_16to64_b4_32px", |b| {
+        b.iter(|| conv2d_forward(&x, &w1, 1, 0));
+    });
+    let y = conv2d_forward(&x, &w3, 1, 1);
+    group.bench_function("backward_3x3", |b| {
+        b.iter(|| conv2d_backward(&x, &w3, &y, 1, 1));
+    });
+    let dw = rand_tensor(&mut rng, &[16, 1, 5, 5]);
+    group.bench_function("depthwise_5x5", |b| {
+        b.iter(|| depthwise_forward(&x, &dw, 1, 2));
+    });
+    group.finish();
+}
+
+fn bench_bn_reductions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bn_reduce");
+    let mut rng = Rng::new(3);
+    let x = rand_tensor(&mut rng, &[32, 64, 16, 16]);
+    group.throughput(Throughput::Elements(x.numel() as u64));
+    group.bench_function("channel_mean", |b| b.iter(|| channel_mean(&x)));
+    group.bench_function("channel_sum_sq", |b| b.iter(|| channel_sum_sq(&x)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gemm, bench_conv, bench_bn_reductions
+}
+criterion_main!(benches);

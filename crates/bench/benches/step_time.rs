@@ -1,0 +1,57 @@
+//! End-to-end step benchmarks: (a) the pod simulator pricing every Table-1
+//! row (should be microseconds — it's analytic), and (b) a *real*
+//! distributed training step of the tiny EfficientNet through the full
+//! engine (forward, loss, backward, all-reduce, LARS step) at several
+//! replica counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ets_efficientnet::Variant;
+use ets_tpu_sim::{step_time, StepConfig};
+use ets_train::{train, Experiment, OptimizerChoice};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.bench_function("table1_all_rows", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for v in [Variant::B2, Variant::B5] {
+                for cores in [128usize, 256, 512, 1024] {
+                    total += step_time(&StepConfig::new(v, cores, cores * 32)).total();
+                }
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
+fn bench_real_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("real_train");
+    group.sample_size(10);
+    for &replicas in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("one_epoch", replicas),
+            &replicas,
+            |b, &replicas| {
+                b.iter(|| {
+                    let mut exp = Experiment::proxy_default();
+                    exp.replicas = replicas;
+                    exp.per_replica_batch = 32 / replicas;
+                    exp.epochs = 1;
+                    exp.train_samples = 128;
+                    exp.eval_samples = 32;
+                    exp.optimizer = OptimizerChoice::Lars { trust_coeff: 0.1 };
+                    train(&exp).steps
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_simulator, bench_real_training
+}
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Ablation harness for the recipe's individual ingredients:
+//!
+//! - `eval-loop`   — §3.3: separate evaluator vs distributed eval (model).
+//! - `bn-group`    — §3.4: BN group size sweep (real training) + 1-D vs 2-D
+//!   tiling locality.
+//! - `precision`   — §3.5: f32 vs bf16 convolutions (real training).
+//! - `lr-schedule` — §3.2: exponential vs polynomial decay under LARS
+//!   (real training).
+//! - `sm3`         — §5: the SM3 extension vs LARS at large proxy batch.
+//! - `all`         — everything.
+//!
+//! ```sh
+//! cargo run --release -p ets-bench --bin ablations -- <which>
+//! ```
+
+use ets_efficientnet::Variant;
+use ets_nn::Precision;
+use ets_collective::{GroupSpec, SliceShape};
+use ets_tpu_sim::{simulate_eval_loop, step_time, EvalMode, StepConfig};
+use ets_train::{train, DecayChoice, Experiment, OptimizerChoice};
+
+fn base_exp() -> Experiment {
+    let mut exp = Experiment::proxy_default();
+    exp.replicas = 4;
+    exp.per_replica_batch = 8;
+    exp.epochs = 12;
+    exp.train_samples = 768;
+    exp.eval_samples = 192;
+    exp
+}
+
+fn ablate_eval_loop() {
+    println!("== Ablation A (§3.3): evaluation loop architecture ==\n");
+    let st = step_time(&StepConfig::new(Variant::B2, 1024, 32768));
+    let epoch_secs = st.total() * (1_281_167f64 / 32768.0).ceil();
+    println!("B2 @ 1024 cores: epoch = {epoch_secs:.1}s of training\n");
+    println!("{:<34} {:>12} {:>12}", "eval architecture", "to peak", "vs train");
+    for (name, mode) in [
+        ("separate v3-8 evaluator (TPUEstimator)", EvalMode::SeparateEvaluator { eval_cores: 8 }),
+        ("separate v3-32 evaluator", EvalMode::SeparateEvaluator { eval_cores: 32 }),
+        ("distributed train+eval loop (paper)", EvalMode::Distributed),
+    ] {
+        let out = simulate_eval_loop(Variant::B2, 1024, epoch_secs, 350, 340, mode);
+        println!(
+            "{:<34} {:>9.1} min {:>11.2}×",
+            name,
+            out.time_to_peak_observed / 60.0,
+            out.time_to_peak_observed / out.train_time_to_peak,
+        );
+    }
+    println!();
+}
+
+fn ablate_bn_group() {
+    println!("== Ablation B (§3.4): batch-norm group size (real training) ==\n");
+    println!("{:>8} {:>9} {:>11}", "group", "bn batch", "peak top-1");
+    for &group in &[1usize, 2, 4] {
+        let mut exp = base_exp();
+        exp.per_replica_batch = 4;
+        exp.bn_group = if group == 1 { GroupSpec::Local } else { GroupSpec::Contiguous(group) };
+        let r = train(&exp);
+        println!(
+            "{:>8} {:>9} {:>10.1}%",
+            group,
+            group * exp.per_replica_batch,
+            100.0 * r.peak_top1
+        );
+    }
+    let slice = SliceShape::for_cores(1024);
+    println!("\n1-D vs 2-D grouping locality at 1024 cores (32 replicas/group):");
+    println!(
+        "  contiguous 32 → diameter {} hops;  4×4 tile → {} hops",
+        GroupSpec::Contiguous(32).max_group_diameter(slice),
+        GroupSpec::Tiled2d { rows: 4, cols: 4 }.max_group_diameter(slice),
+    );
+    println!();
+}
+
+fn ablate_precision() {
+    println!("== Ablation C (§3.5): conv precision (real training) ==\n");
+    println!("{:<10} {:>11} {:>11}", "precision", "peak top-1", "final loss");
+    for (name, p) in [("f32", Precision::F32), ("bf16", Precision::MixedBf16)] {
+        let mut exp = base_exp();
+        exp.precision = p;
+        let r = train(&exp);
+        println!("{:<10} {:>10.1}% {:>11.3}", name, 100.0 * r.peak_top1, r.final_loss());
+    }
+    println!();
+}
+
+fn ablate_lr_schedule() {
+    println!("== Ablation D (§3.2): decay schedule under LARS (real training) ==\n");
+    println!("{:<14} {:>11}", "decay", "peak top-1");
+    for (name, decay) in [
+        ("exponential", DecayChoice::Exponential { rate: 0.97, epochs: 2.4 }),
+        ("polynomial", DecayChoice::Polynomial { power: 2.0 }),
+        ("cosine", DecayChoice::Cosine),
+    ] {
+        let mut exp = base_exp();
+        exp.optimizer = OptimizerChoice::Lars { trust_coeff: 0.1 };
+        exp.lr_per_256 = 2.0;
+        exp.warmup_epochs = 3;
+        exp.decay = decay;
+        let r = train(&exp);
+        println!("{:<14} {:>10.1}%", name, 100.0 * r.peak_top1);
+    }
+    println!("\nThe paper found polynomial decay best for LARS (§3.2).\n");
+}
+
+fn ablate_sm3() {
+    println!("== Extension (§5): SM3 at large proxy batch ==\n");
+    println!("{:<10} {:>11}", "optimizer", "peak top-1");
+    for (name, opt, lr, decay) in [
+        (
+            "LARS",
+            OptimizerChoice::Lars { trust_coeff: 0.05 },
+            1.0f32,
+            DecayChoice::Polynomial { power: 2.0 },
+        ),
+        (
+            "SM3",
+            OptimizerChoice::Sm3 { momentum: 0.9 },
+            0.5,
+            DecayChoice::Polynomial { power: 2.0 },
+        ),
+        (
+            "LAMB",
+            OptimizerChoice::Lamb,
+            0.02,
+            DecayChoice::Polynomial { power: 2.0 },
+        ),
+    ] {
+        let mut exp = base_exp();
+        exp.per_replica_batch = 32; // global 128: the large-batch regime
+        exp.train_samples = 1024;
+        exp.optimizer = opt;
+        exp.lr_per_256 = lr;
+        exp.warmup_epochs = 3;
+        exp.decay = decay;
+        exp.epochs = 16;
+        let r = train(&exp);
+        println!("{:<10} {:>10.1}%", name, 100.0 * r.peak_top1);
+    }
+    println!();
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match which.as_str() {
+        "eval-loop" => ablate_eval_loop(),
+        "bn-group" => ablate_bn_group(),
+        "precision" => ablate_precision(),
+        "lr-schedule" => ablate_lr_schedule(),
+        "sm3" => ablate_sm3(),
+        "all" => {
+            ablate_eval_loop();
+            ablate_bn_group();
+            ablate_precision();
+            ablate_lr_schedule();
+            ablate_sm3();
+        }
+        other => {
+            eprintln!("unknown ablation '{other}'; use eval-loop | bn-group | precision | lr-schedule | sm3 | all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Regenerates **Figure 1**: training time to peak accuracy for
+//! EfficientNet-B2 and B5 across TPU-v3 slice sizes (128→1024 cores),
+//! including the batch-65536 headline run.
+//!
+//! ```sh
+//! cargo run -p ets-bench --bin figure1 [-- --json]
+//! ```
+
+use ets_efficientnet::Variant;
+use ets_tpu_sim::{time_to_accuracy, OptimizerKind, RunConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    model: String,
+    cores: usize,
+    global_batch: usize,
+    optimizer: String,
+    minutes_to_peak: f64,
+    peak_top1: f64,
+}
+
+fn series(v: Variant) -> Vec<Point> {
+    let mut pts = Vec::new();
+    for &cores in &[128usize, 256, 512, 1024] {
+        let gbs = cores * 32;
+        // The paper's Figure 1 runs use the best recipe per scale: RMSProp
+        // where it still holds (≤16384), LARS beyond.
+        let opt = if gbs > 16384 {
+            OptimizerKind::Lars
+        } else {
+            OptimizerKind::RmsProp
+        };
+        let out = time_to_accuracy(&RunConfig::paper(v, cores, gbs, opt));
+        pts.push(Point {
+            model: v.name().to_string(),
+            cores,
+            global_batch: gbs,
+            optimizer: format!("{opt:?}"),
+            minutes_to_peak: out.minutes_to_peak(),
+            peak_top1: out.peak_top1,
+        });
+    }
+    if v == Variant::B5 {
+        let out = time_to_accuracy(&RunConfig::paper(v, 1024, 65536, OptimizerKind::Lars));
+        pts.push(Point {
+            model: v.name().to_string(),
+            cores: 1024,
+            global_batch: 65536,
+            optimizer: "Lars".into(),
+            minutes_to_peak: out.minutes_to_peak(),
+            peak_top1: out.peak_top1,
+        });
+    }
+    pts
+}
+
+fn bar(minutes: f64, scale: f64) -> String {
+    "█".repeat(((minutes / scale).ceil() as usize).max(1))
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let all: Vec<Point> = [Variant::B2, Variant::B5].iter().flat_map(|&v| series(v)).collect();
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&all).unwrap());
+        return;
+    }
+
+    println!("Figure 1: training time to peak accuracy vs TPU slice size\n");
+    for p in &all {
+        println!(
+            "{:<16} {:>5} cores, batch {:>6} [{:<7}]  {:>7.1} min  {:.1}%  {}",
+            p.model,
+            p.cores,
+            p.global_batch,
+            p.optimizer,
+            p.minutes_to_peak,
+            100.0 * p.peak_top1,
+            bar(p.minutes_to_peak, 4.0),
+        );
+    }
+    println!("\nPaper anchors: B2 @ 1024 cores ≈ 18 min to 79.7%;");
+    println!("B5 @ 1024 cores / batch 65536 ≈ 64 min to 83.0%.");
+}

@@ -1,0 +1,127 @@
+//! Pod-run planner: given a model and a wall-clock budget, search the
+//! calibrated simulator for the cheapest configuration that meets it —
+//! the question a user of this system actually has ("what do I need to
+//! train B5 to 83% in under 90 minutes?").
+//!
+//! ```sh
+//! cargo run -p ets-bench --bin planner -- B5 90      # variant, minutes
+//! ```
+
+use ets_efficientnet::Variant;
+use ets_efficientnet::{max_per_core_batch, model_stats, ModelConfig};
+use ets_tpu_sim::{
+    infeed_analysis, time_to_accuracy, OptimizerKind, RunConfig, StepConfig, TPU_V3_CORE,
+};
+
+fn parse_variant(s: &str) -> Variant {
+    match s.to_ascii_uppercase().as_str() {
+        "B0" => Variant::B0,
+        "B1" => Variant::B1,
+        "B2" => Variant::B2,
+        "B3" => Variant::B3,
+        "B4" => Variant::B4,
+        "B5" => Variant::B5,
+        "B6" => Variant::B6,
+        "B7" => Variant::B7,
+        other => {
+            eprintln!("unknown variant '{other}' (use B0..B7)");
+            std::process::exit(2);
+        }
+    }
+}
+
+struct Candidate {
+    cores: usize,
+    global_batch: usize,
+    optimizer: OptimizerKind,
+    minutes: f64,
+    top1: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let variant = parse_variant(args.get(1).map(String::as_str).unwrap_or("B5"));
+    let budget_min: f64 = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(90.0);
+
+    let cfg = ModelConfig::variant(variant);
+    let stats = model_stats(&cfg);
+    let hbm = TPU_V3_CORE.hbm_capacity;
+    let max_batch = max_per_core_batch(&cfg, stats.params, hbm, 2.0);
+    println!(
+        "Planning {}: {:.1}M params, {:.2} GMACs/img, HBM cap → ≤{} img/core\n",
+        variant.name(),
+        stats.params as f64 / 1e6,
+        stats.macs as f64 / 1e9,
+        max_batch
+    );
+
+    let mut candidates: Vec<Candidate> = Vec::new();
+    for &cores in &[128usize, 256, 512, 1024, 2048] {
+        for &per_core in &[8usize, 16, 32, 64] {
+            if per_core > max_batch {
+                continue;
+            }
+            let gbs = cores * per_core;
+            // Recipe selection per the paper: RMSProp holds to 16384.
+            let opt = if gbs > 16384 {
+                OptimizerKind::Lars
+            } else {
+                OptimizerKind::RmsProp
+            };
+            let out = time_to_accuracy(&RunConfig::paper(variant, cores, gbs, opt));
+            candidates.push(Candidate {
+                cores,
+                global_batch: gbs,
+                optimizer: opt,
+                minutes: out.minutes_to_peak(),
+                top1: out.peak_top1,
+            });
+        }
+    }
+
+    // Feasible = meets the budget; rank by fewest cores, then accuracy.
+    let mut feasible: Vec<&Candidate> = candidates
+        .iter()
+        .filter(|c| c.minutes <= budget_min)
+        .collect();
+    feasible.sort_by(|a, b| {
+        a.cores
+            .cmp(&b.cores)
+            .then(b.top1.partial_cmp(&a.top1).unwrap())
+    });
+
+    println!("Configurations meeting {budget_min:.0} min (cheapest first):");
+    println!("  cores  batch   optimizer  minutes  top-1   infeed need (img/s/host)");
+    for c in feasible.iter().take(8) {
+        let inf = infeed_analysis(
+            &StepConfig::new(variant, c.cores, c.global_batch),
+            f64::INFINITY,
+        );
+        println!(
+            "  {:>5}  {:>6}  {:<9}  {:>6.1}  {:>5.1}%  {:>10.0}",
+            c.cores,
+            c.global_batch,
+            format!("{:?}", c.optimizer),
+            c.minutes,
+            100.0 * c.top1,
+            inf.required_per_host,
+        );
+    }
+    if feasible.is_empty() {
+        println!("  none — the budget is below this model's floor at 2048 cores:");
+        let best = candidates
+            .iter()
+            .min_by(|a, b| a.minutes.partial_cmp(&b.minutes).unwrap())
+            .unwrap();
+        println!(
+            "  fastest possible: {} cores, batch {} → {:.1} min at {:.1}%",
+            best.cores,
+            best.global_batch,
+            best.minutes,
+            100.0 * best.top1
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Scaling-efficiency analysis (§4's "throughput scales up linearly"):
+//! parallel efficiency, step-time decomposition, end-to-end speedups, and
+//! an Amdahl serial-fraction fit for B2 and B5.
+//!
+//! ```sh
+//! cargo run -p ets-bench --bin scaling [-- --json]
+//! ```
+
+use ets_efficientnet::Variant;
+use ets_tpu_sim::{amdahl_serial_fraction, scaling_sweep};
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let slices = [128usize, 256, 512, 1024];
+    if json {
+        let mut all = serde_json::Map::new();
+        for v in [Variant::B2, Variant::B5] {
+            let pts = scaling_sweep(v, &slices);
+            all.insert(
+                v.name().to_string(),
+                serde_json::to_value(&pts).unwrap(),
+            );
+        }
+        println!("{}", serde_json::to_string_pretty(&all).unwrap());
+        return;
+    }
+    println!("Scaling analysis (per-core batch 32)\n");
+    for v in [Variant::B2, Variant::B5] {
+        let pts = scaling_sweep(v, &slices);
+        println!("{}", v.name());
+        println!("  cores  batch   par.eff  compute%  AR%    e2e speedup");
+        for p in &pts {
+            println!(
+                "  {:>5}  {:>6}  {:>6.3}   {:>6.1}   {:>5.2}  {:>10.2}×",
+                p.cores,
+                p.global_batch,
+                p.parallel_efficiency,
+                100.0 * p.compute_share,
+                100.0 * p.all_reduce_share,
+                p.end_to_end_speedup,
+            );
+        }
+        println!(
+            "  Amdahl serial fraction (fit): {:.4}\n",
+            amdahl_serial_fraction(&pts)
+        );
+    }
+}

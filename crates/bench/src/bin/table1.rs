@@ -1,0 +1,117 @@
+//! Regenerates **Table 1**: throughput (images/ms) and percent of step
+//! time spent in all-reduce, for EfficientNet-B2 and B5 at 128→1024 cores.
+//!
+//! ```sh
+//! cargo run -p ets-bench --bin table1 [-- --json]
+//! ```
+
+use ets_efficientnet::Variant;
+use ets_tpu_sim::{step_time, StepConfig};
+use ets_train::{train, Experiment};
+use serde::Serialize;
+
+/// Paper-reported values for side-by-side comparison.
+const PAPER: [(Variant, usize, usize, f64, f64); 8] = [
+    (Variant::B2, 128, 4096, 57.57, 2.1),
+    (Variant::B2, 256, 8192, 113.73, 2.6),
+    (Variant::B2, 512, 16384, 227.13, 2.5),
+    (Variant::B2, 1024, 32768, 451.35, 2.81),
+    (Variant::B5, 128, 4096, 9.76, 0.89),
+    (Variant::B5, 256, 8192, 19.48, 1.24),
+    (Variant::B5, 512, 16384, 38.55, 1.24),
+    (Variant::B5, 1024, 32768, 77.44, 1.03),
+];
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    cores: usize,
+    global_batch: usize,
+    throughput_img_per_ms: f64,
+    allreduce_pct: f64,
+    paper_throughput: f64,
+    paper_allreduce_pct: f64,
+}
+
+/// The real-engine counterpart: measure throughput and all-reduce share on
+/// the threaded trainer as replica count scales (per-replica batch fixed),
+/// mirroring Table 1's protocol at laptop scale.
+fn real_engine_table() {
+    println!("Table 1 (real engine counterpart): threaded replicas, per-replica batch 8\n");
+    println!(
+        "{:>8} {:>7} {:>12} {:>12} {:>8}",
+        "replicas", "batch", "img/s", "step ms", "AR %"
+    );
+    for &replicas in &[1usize, 2, 4, 8] {
+        let mut exp = Experiment::proxy_default();
+        exp.replicas = replicas;
+        exp.per_replica_batch = 8;
+        exp.epochs = 2;
+        exp.train_samples = 512;
+        exp.eval_samples = 32;
+        exp.eval_every = 2;
+        let report = train(&exp);
+        let p = report.phases;
+        let imgs = (report.steps as usize * exp.global_batch()) as f64;
+        println!(
+            "{:>8} {:>7} {:>12.0} {:>12.2} {:>8.2}",
+            replicas,
+            exp.global_batch(),
+            imgs / p.total(),
+            1e3 * p.step_seconds(),
+            100.0 * p.all_reduce_share(),
+        );
+    }
+    println!("\nCaveats vs the paper's hardware: replicas share one CPU's cores,");
+    println!("so per-replica compute slows as replicas grow — look at the");
+    println!("all-reduce share staying small, not at absolute scaling.");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--real") {
+        real_engine_table();
+        return;
+    }
+    let json = std::env::args().any(|a| a == "--json");
+    let rows: Vec<Row> = PAPER
+        .iter()
+        .map(|&(v, cores, gbs, p_thr, p_ar)| {
+            let st = step_time(&StepConfig::new(v, cores, gbs));
+            Row {
+                model: v.name().to_string(),
+                cores,
+                global_batch: gbs,
+                throughput_img_per_ms: st.throughput_img_per_ms(gbs),
+                allreduce_pct: 100.0 * st.all_reduce_share(),
+                paper_throughput: p_thr,
+                paper_allreduce_pct: p_ar,
+            }
+        })
+        .collect();
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        return;
+    }
+
+    println!("Table 1: communication costs and throughput as global batch scales");
+    println!("(simulated | paper)\n");
+    println!(
+        "{:<16} {:>6} {:>7}   {:>9} | {:>9}   {:>6} | {:>6}",
+        "Model", "cores", "batch", "img/ms", "paper", "AR %", "paper"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:>6} {:>7}   {:>9.2} | {:>9.2}   {:>6.2} | {:>6.2}",
+            r.model,
+            r.cores,
+            r.global_batch,
+            r.throughput_img_per_ms,
+            r.paper_throughput,
+            r.allreduce_pct,
+            r.paper_allreduce_pct,
+        );
+    }
+    println!("\nShape checks: throughput doubles with cores; all-reduce stays a");
+    println!("small, roughly-constant share; B5's share sits well below B2's.");
+}

@@ -1,0 +1,6 @@
+//! Shared scaffolding for the table/figure harness binaries.
+//!
+//! Each binary regenerates one artifact of the paper (see DESIGN.md's
+//! experiment index); they share only trivial formatting, which lives
+//! inline, so this crate root exists for the `[[bin]]`/`[[bench]]`
+//! targets.

@@ -1,0 +1,313 @@
+//! Shared-memory collectives for in-process replicas.
+//!
+//! The distributed trainer runs each replica on its own thread; these
+//! communicators give them MPI-style collectives with **deterministic
+//! reduction order** — contributions are always combined in ascending rank
+//! order, so floating-point sums are bitwise reproducible regardless of
+//! thread scheduling.
+//!
+//! The core primitive is `exchange`: every member deposits its
+//! contribution, the last arrival publishes the full set, and everyone
+//! reads it. All-reduce, all-gather, and broadcast derive from it. A
+//! generation counter lets the same communicator be reused for thousands
+//! of rounds (one per conv layer per step) without re-allocation races.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+struct CommState {
+    /// Contributions for the current round, indexed by member position.
+    slots: Vec<Option<Vec<f32>>>,
+    arrived: usize,
+    /// Published result of the completed round.
+    published: Option<Arc<Vec<Vec<f32>>>>,
+    readers_left: usize,
+    generation: u64,
+}
+
+struct CommInner {
+    size: usize,
+    state: Mutex<CommState>,
+    cv: Condvar,
+}
+
+/// One participant's handle to a communicator of `size` members.
+///
+/// Handles are cheap to clone-construct at creation time (one per member);
+/// each is `Send` and used by exactly one thread.
+pub struct CommHandle {
+    rank: usize,
+    inner: Arc<CommInner>,
+}
+
+impl CommHandle {
+    /// Creates a communicator with `size` members, returning one handle per
+    /// member (index = member rank within this communicator).
+    pub fn create(size: usize) -> Vec<CommHandle> {
+        assert!(size >= 1, "communicator needs at least one member");
+        let inner = Arc::new(CommInner {
+            size,
+            state: Mutex::new(CommState {
+                slots: (0..size).map(|_| None).collect(),
+                arrived: 0,
+                published: None,
+                readers_left: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        });
+        (0..size)
+            .map(|rank| CommHandle {
+                rank,
+                inner: Arc::clone(&inner),
+            })
+            .collect()
+    }
+
+    /// This member's rank within the communicator.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.inner.size
+    }
+
+    /// Deposits `contribution` and returns every member's contribution
+    /// (indexed by rank) once all have arrived.
+    pub fn exchange(&self, contribution: Vec<f32>) -> Arc<Vec<Vec<f32>>> {
+        let inner = &*self.inner;
+        if inner.size == 1 {
+            return Arc::new(vec![contribution]);
+        }
+        let mut st = inner.state.lock();
+        // Wait for the previous round to fully drain before starting a new
+        // one (a fast member could lap slow readers otherwise).
+        while st.readers_left > 0 {
+            inner.cv.wait(&mut st);
+        }
+        let my_gen = st.generation;
+        debug_assert!(st.slots[self.rank].is_none(), "double deposit by rank {}", self.rank);
+        st.slots[self.rank] = Some(contribution);
+        st.arrived += 1;
+        if st.arrived == inner.size {
+            // Last arrival publishes, in rank order by construction.
+            let all: Vec<Vec<f32>> = st.slots.iter_mut().map(|s| s.take().unwrap()).collect();
+            st.published = Some(Arc::new(all));
+            st.arrived = 0;
+            st.readers_left = inner.size;
+            st.generation += 1;
+            inner.cv.notify_all();
+        } else {
+            while st.generation == my_gen {
+                inner.cv.wait(&mut st);
+            }
+        }
+        let out = Arc::clone(st.published.as_ref().expect("published result"));
+        st.readers_left -= 1;
+        if st.readers_left == 0 {
+            st.published = None;
+            inner.cv.notify_all();
+        }
+        out
+    }
+
+    /// In-place sum all-reduce with ascending-rank reduction order.
+    pub fn all_reduce_sum(&self, buf: &mut [f32]) {
+        if self.inner.size == 1 {
+            return;
+        }
+        let all = self.exchange(buf.to_vec());
+        buf.iter_mut().for_each(|v| *v = 0.0);
+        for contrib in all.iter() {
+            debug_assert_eq!(contrib.len(), buf.len(), "mismatched all-reduce lengths");
+            for (acc, &x) in buf.iter_mut().zip(contrib) {
+                *acc += x;
+            }
+        }
+    }
+
+    /// In-place mean all-reduce.
+    pub fn all_reduce_mean(&self, buf: &mut [f32]) {
+        self.all_reduce_sum(buf);
+        let inv = 1.0 / self.inner.size as f32;
+        buf.iter_mut().for_each(|v| *v *= inv);
+    }
+
+    /// Gathers every member's `local` slice, concatenated in rank order.
+    pub fn all_gather(&self, local: &[f32]) -> Vec<f32> {
+        let all = self.exchange(local.to_vec());
+        let mut out = Vec::with_capacity(local.len() * self.inner.size);
+        for contrib in all.iter() {
+            out.extend_from_slice(contrib);
+        }
+        out
+    }
+
+    /// Broadcast from `root`: on return every member's `buf` holds root's.
+    pub fn broadcast(&self, buf: &mut [f32], root: usize) {
+        assert!(root < self.inner.size, "broadcast root out of range");
+        if self.inner.size == 1 {
+            return;
+        }
+        // Non-roots contribute empty vectors to keep the exchange cheap.
+        let contribution = if self.rank == root { buf.to_vec() } else { Vec::new() };
+        let all = self.exchange(contribution);
+        if self.rank != root {
+            buf.copy_from_slice(&all[root]);
+        }
+    }
+
+    /// Barrier: returns once every member has arrived.
+    pub fn barrier(&self) {
+        let _ = self.exchange(Vec::new());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn run_replicas<F, R>(n: usize, f: F) -> Vec<R>
+    where
+        F: Fn(CommHandle) -> R + Send + Sync + Clone + 'static,
+        R: Send + 'static,
+    {
+        let handles = CommHandle::create(n);
+        let joins: Vec<_> = handles
+            .into_iter()
+            .map(|h| {
+                let f = f.clone();
+                thread::spawn(move || f(h))
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn all_reduce_sums_across_ranks() {
+        let results = run_replicas(4, |h| {
+            let mut buf = vec![h.rank() as f32, 1.0];
+            h.all_reduce_sum(&mut buf);
+            buf
+        });
+        for r in results {
+            assert_eq!(r, vec![0.0 + 1.0 + 2.0 + 3.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn all_reduce_mean_averages() {
+        let results = run_replicas(4, |h| {
+            let mut buf = vec![(h.rank() * 2) as f32];
+            h.all_reduce_mean(&mut buf);
+            buf[0]
+        });
+        for r in results {
+            assert!((r - 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn repeated_rounds_do_not_cross_talk() {
+        let results = run_replicas(3, |h| {
+            let mut out = Vec::new();
+            for round in 0..50 {
+                let mut buf = vec![(h.rank() + round) as f32];
+                h.all_reduce_sum(&mut buf);
+                out.push(buf[0]);
+            }
+            out
+        });
+        for r in &results {
+            for (round, &v) in r.iter().enumerate() {
+                let expected = (0 + round) + (1 + round) + (2 + round);
+                assert_eq!(v, expected as f32, "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_concatenates_in_rank_order() {
+        let results = run_replicas(3, |h| {
+            h.all_gather(&[h.rank() as f32 * 10.0, h.rank() as f32 * 10.0 + 1.0])
+        });
+        for r in results {
+            assert_eq!(r, vec![0.0, 1.0, 10.0, 11.0, 20.0, 21.0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_copies_root() {
+        let results = run_replicas(4, |h| {
+            let mut buf = if h.rank() == 2 {
+                vec![7.0, 8.0]
+            } else {
+                vec![0.0, 0.0]
+            };
+            h.broadcast(&mut buf, 2);
+            buf
+        });
+        for r in results {
+            assert_eq!(r, vec![7.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn singleton_communicator_is_identity() {
+        let mut hs = CommHandle::create(1);
+        let h = hs.pop().unwrap();
+        let mut buf = vec![3.0];
+        h.all_reduce_sum(&mut buf);
+        assert_eq!(buf, vec![3.0]);
+        h.barrier();
+    }
+
+    #[test]
+    fn deterministic_sum_order() {
+        // With adversarial magnitudes, the deterministic ascending-rank
+        // order must give the same result across many runs even though
+        // thread arrival order varies.
+        let golden = run_replicas(4, |h| {
+            let vals = [1e8f32, 1.0, -1e8, 0.5];
+            let mut buf = vec![vals[h.rank()]];
+            h.all_reduce_sum(&mut buf);
+            buf[0]
+        })[0];
+        for _ in 0..20 {
+            let r = run_replicas(4, |h| {
+                let vals = [1e8f32, 1.0, -1e8, 0.5];
+                let mut buf = vec![vals[h.rank()]];
+                h.all_reduce_sum(&mut buf);
+                buf[0]
+            });
+            for v in r {
+                assert_eq!(v.to_bits(), golden.to_bits(), "bitwise reproducible");
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles = CommHandle::create(4);
+        let joins: Vec<_> = handles
+            .into_iter()
+            .map(|h| {
+                let c = Arc::clone(&counter);
+                thread::spawn(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    h.barrier();
+                    // After the barrier, all increments must be visible.
+                    assert_eq!(c.load(Ordering::SeqCst), 4);
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # ets-collective
+//!
+//! Communication substrate for the EfficientNet-at-scale reproduction:
+//!
+//! - [`topology`] — TPU-v3 pod slices as 2-D chip tori (§2).
+//! - [`group`] — BN replica grouping: contiguous and 2-D tiled (§3.4).
+//! - [`comm`] — real shared-memory collectives for in-process replica
+//!   threads, with deterministic ascending-rank reduction order.
+//! - [`ring`] — a real ring all-reduce over point-to-point channels,
+//!   validating the algorithm the cost model prices.
+//! - [`cost`] — α–β cost models for ring and 2-D torus all-reduce, used by
+//!   the pod simulator for Table 1's all-reduce percentages.
+
+pub mod comm;
+pub mod cost;
+pub mod group;
+pub mod hierarchical;
+pub mod ring;
+pub mod topology;
+
+pub use comm::CommHandle;
+pub use cost::{
+    bn_sync_time, gradient_bytes, ring_all_reduce_time, torus_all_reduce_time, LinkSpec,
+    TPU_V3_LINK,
+};
+pub use group::{bn_batch_size, GroupSpec};
+pub use hierarchical::{create_grid, GridMember};
+pub use ring::{create_ring, RingMember};
+pub use topology::{SliceShape, CORES_PER_CHIP};

@@ -1,0 +1,236 @@
+//! Ring all-reduce: the bandwidth-optimal algorithm TPU pods (and NCCL)
+//! use, implemented for real over point-to-point channels.
+//!
+//! Each of `p` members holds a buffer of `n` elements split into `p`
+//! chunks. Phase 1 (reduce-scatter): in step `s`, member `r` sends chunk
+//! `(r − s) mod p` to its right neighbor and accumulates the chunk arriving
+//! from the left; after `p−1` steps each member owns one fully-reduced
+//! chunk. Phase 2 (all-gather): the owned chunks circulate for another
+//! `p−1` steps. Total bytes moved per member: `2·(p−1)/p · n` — the factor
+//! the cost model in [`crate::cost`] uses.
+//!
+//! The deterministic-order caveat: ring reduction order differs per chunk,
+//! so results can differ from the tree all-reduce in the last ulp. The
+//! trainer uses the tree ([`crate::comm`]) for bitwise determinism; this
+//! implementation exists to validate the algorithm and its cost model.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+/// One member's endpoints in the ring.
+pub struct RingMember {
+    rank: usize,
+    size: usize,
+    to_right: Sender<Vec<f32>>,
+    from_left: Receiver<Vec<f32>>,
+}
+
+/// Creates a ring of `p` members.
+pub fn create_ring(p: usize) -> Vec<RingMember> {
+    assert!(p >= 1);
+    let mut senders = Vec::with_capacity(p);
+    let mut receivers = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = bounded::<Vec<f32>>(2);
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    // Member r sends to (r+1) % p, so its sender is channel (r+1) % p and
+    // its receiver is channel r (fed by member r−1).
+    let mut members: Vec<RingMember> = Vec::with_capacity(p);
+    let mut receivers: Vec<Option<Receiver<Vec<f32>>>> =
+        receivers.into_iter().map(Some).collect();
+    for r in 0..p {
+        members.push(RingMember {
+            rank: r,
+            size: p,
+            to_right: senders[(r + 1) % p].clone(),
+            from_left: receivers[r].take().unwrap(),
+        });
+    }
+    members
+}
+
+impl RingMember {
+    /// This member's ring position.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Ring size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Chunk boundaries: chunk `c` covers `bounds(c).0 .. bounds(c).1`.
+    fn bounds(&self, chunk: usize, n: usize) -> (usize, usize) {
+        let p = self.size;
+        let base = n / p;
+        let rem = n % p;
+        // First `rem` chunks get one extra element.
+        let start = chunk * base + chunk.min(rem);
+        let len = base + usize::from(chunk < rem);
+        (start, start + len)
+    }
+
+    /// Bytes a member sends during a full all-reduce of `n` f32 elements
+    /// (both phases) — used to validate the analytic model.
+    pub fn bytes_sent(&self, n: usize) -> usize {
+        if self.size == 1 {
+            return 0;
+        }
+        // 2·(p−1) steps, each sending ~n/p elements of 4 bytes.
+        let p = self.size;
+        let mut total = 0;
+        for s in 0..p - 1 {
+            let chunk = (self.rank + p - s) % p;
+            let (a, b) = self.bounds(chunk, n);
+            total += (b - a) * 4;
+        }
+        for s in 0..p - 1 {
+            let chunk = (self.rank + 1 + p - s) % p;
+            let (a, b) = self.bounds(chunk, n);
+            total += (b - a) * 4;
+        }
+        total
+    }
+
+    /// Runs the ring all-reduce (sum) in place. All `p` members must call
+    /// this concurrently with equal-length buffers.
+    pub fn all_reduce_sum(&self, buf: &mut [f32]) {
+        let p = self.size;
+        if p == 1 {
+            return;
+        }
+        let n = buf.len();
+        // Phase 1: reduce-scatter.
+        for s in 0..p - 1 {
+            let send_chunk = (self.rank + p - s) % p;
+            let (sa, sb) = self.bounds(send_chunk, n);
+            self.to_right
+                .send(buf[sa..sb].to_vec())
+                .expect("ring peer hung up");
+            let incoming = self.from_left.recv().expect("ring peer hung up");
+            let recv_chunk = (self.rank + p - s - 1) % p;
+            let (ra, rb) = self.bounds(recv_chunk, n);
+            debug_assert_eq!(incoming.len(), rb - ra);
+            for (dst, &src) in buf[ra..rb].iter_mut().zip(&incoming) {
+                *dst += src;
+            }
+        }
+        // Phase 2: all-gather of the reduced chunks.
+        for s in 0..p - 1 {
+            let send_chunk = (self.rank + 1 + p - s) % p;
+            let (sa, sb) = self.bounds(send_chunk, n);
+            self.to_right
+                .send(buf[sa..sb].to_vec())
+                .expect("ring peer hung up");
+            let incoming = self.from_left.recv().expect("ring peer hung up");
+            let recv_chunk = (self.rank + p - s) % p;
+            let (ra, rb) = self.bounds(recv_chunk, n);
+            buf[ra..rb].copy_from_slice(&incoming);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn run_ring(p: usize, n: usize, seed_fn: impl Fn(usize) -> Vec<f32> + Send + Sync + Clone + 'static) -> Vec<Vec<f32>> {
+        let members = create_ring(p);
+        let joins: Vec<_> = members
+            .into_iter()
+            .map(|m| {
+                let sf = seed_fn.clone();
+                thread::spawn(move || {
+                    let mut buf = sf(m.rank());
+                    assert_eq!(buf.len(), n);
+                    m.all_reduce_sum(&mut buf);
+                    buf
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn sums_match_expected() {
+        for &p in &[2usize, 3, 4, 7, 8] {
+            let n = 23;
+            let results = run_ring(p, n, move |rank| {
+                (0..n).map(|i| (rank * 100 + i) as f32).collect()
+            });
+            let expected: Vec<f32> = (0..n)
+                .map(|i| (0..p).map(|r| (r * 100 + i) as f32).sum())
+                .collect();
+            for r in &results {
+                for (a, b) in r.iter().zip(&expected) {
+                    assert!((a - b).abs() < 1e-3, "p={p}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_smaller_than_ring_still_works() {
+        // n < p exercises zero-length chunks.
+        let results = run_ring(8, 3, |rank| vec![rank as f32; 3]);
+        let expected = (0..8).sum::<usize>() as f32;
+        for r in results {
+            assert_eq!(r, vec![expected; 3]);
+        }
+    }
+
+    #[test]
+    fn bytes_sent_matches_two_p_minus_one_over_p() {
+        let members = create_ring(8);
+        let n = 1024usize;
+        let b = members[0].bytes_sent(n);
+        let ideal = (2.0 * 7.0 / 8.0 * n as f64 * 4.0) as usize;
+        assert!(
+            (b as i64 - ideal as i64).unsigned_abs() as usize <= 64,
+            "bytes {b} vs ideal {ideal}"
+        );
+    }
+
+    #[test]
+    fn singleton_ring_is_identity() {
+        let mut members = create_ring(1);
+        let m = members.pop().unwrap();
+        let mut buf = vec![1.0, 2.0];
+        m.all_reduce_sum(&mut buf);
+        assert_eq!(buf, vec![1.0, 2.0]);
+        assert_eq!(m.bytes_sent(100), 0);
+    }
+
+    #[test]
+    fn agrees_with_tree_all_reduce() {
+        use crate::comm::CommHandle;
+        let p = 4;
+        let n = 17;
+        let ring_results = run_ring(p, n, move |rank| {
+            (0..n).map(|i| ((rank + 1) * (i + 1)) as f32 * 0.1).collect()
+        });
+        let handles = CommHandle::create(p);
+        let tree_results: Vec<Vec<f32>> = handles
+            .into_iter()
+            .map(|h| {
+                thread::spawn(move || {
+                    let mut buf: Vec<f32> =
+                        (0..n).map(|i| ((h.rank() + 1) * (i + 1)) as f32 * 0.1).collect();
+                    h.all_reduce_sum(&mut buf);
+                    buf
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|j| j.join().unwrap())
+            .collect();
+        for (r, t) in ring_results.iter().zip(&tree_results) {
+            for (a, b) in r.iter().zip(t) {
+                assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! TPU-v3 pod topology: chips on a 2-D torus, two cores per chip.
+//!
+//! A full TPU-v3 pod is a 32×32 torus of chips (1024 chips, 2048 cores);
+//! slices are rectangular sub-tori. The paper trains on slices of 128 to
+//! 1024 cores. Replica ids map to cores in row-major chip order, core 0
+//! then core 1 within a chip.
+
+use serde::{Deserialize, Serialize};
+
+/// Cores per TPU-v3 chip.
+pub const CORES_PER_CHIP: usize = 2;
+
+/// A rectangular slice of the pod's chip torus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SliceShape {
+    /// Chip-grid rows.
+    pub rows: usize,
+    /// Chip-grid columns.
+    pub cols: usize,
+}
+
+impl SliceShape {
+    /// The standard slice geometry for a given core count, matching how
+    /// Cloud TPU carves v3 pods (always near-square, cols ≥ rows):
+    /// 128 cores → 8×8 chips, 256 → 8×16, 512 → 16×16, 1024 → 16×32,
+    /// 2048 → 32×32.
+    pub fn for_cores(cores: usize) -> SliceShape {
+        assert!(
+            cores >= CORES_PER_CHIP && cores % CORES_PER_CHIP == 0,
+            "core count must be a positive multiple of {CORES_PER_CHIP}"
+        );
+        let chips = cores / CORES_PER_CHIP;
+        // Near-square factorization with power-of-two sides where possible.
+        let mut rows = (chips as f64).sqrt() as usize;
+        while rows > 1 && chips % rows != 0 {
+            rows -= 1;
+        }
+        SliceShape {
+            rows,
+            cols: chips / rows,
+        }
+    }
+
+    /// Total chips in the slice.
+    pub fn chips(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Total cores in the slice.
+    pub fn cores(&self) -> usize {
+        self.chips() * CORES_PER_CHIP
+    }
+
+    /// Chip coordinate of a chip index (row-major).
+    pub fn coord(&self, chip: usize) -> (usize, usize) {
+        assert!(chip < self.chips(), "chip {chip} out of range");
+        (chip / self.cols, chip % self.cols)
+    }
+
+    /// Chip index of a coordinate.
+    pub fn chip_at(&self, r: usize, c: usize) -> usize {
+        assert!(r < self.rows && c < self.cols);
+        r * self.cols + c
+    }
+
+    /// The chip hosting a replica (core).
+    pub fn chip_of_replica(&self, replica: usize) -> usize {
+        assert!(replica < self.cores(), "replica {replica} out of range");
+        replica / CORES_PER_CHIP
+    }
+
+    /// Torus neighbors of a chip (up, down, left, right with wrap-around).
+    pub fn neighbors(&self, chip: usize) -> [usize; 4] {
+        let (r, c) = self.coord(chip);
+        [
+            self.chip_at((r + self.rows - 1) % self.rows, c),
+            self.chip_at((r + 1) % self.rows, c),
+            self.chip_at(r, (c + self.cols - 1) % self.cols),
+            self.chip_at(r, (c + 1) % self.cols),
+        ]
+    }
+
+    /// Minimum hop count between two chips on the torus.
+    pub fn hop_distance(&self, a: usize, b: usize) -> usize {
+        let (ar, ac) = self.coord(a);
+        let (br, bc) = self.coord(b);
+        let dr = ar.abs_diff(br);
+        let dc = ac.abs_diff(bc);
+        dr.min(self.rows - dr) + dc.min(self.cols - dc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_slices() {
+        assert_eq!(SliceShape::for_cores(128), SliceShape { rows: 8, cols: 8 });
+        assert_eq!(SliceShape::for_cores(256), SliceShape { rows: 8, cols: 16 });
+        assert_eq!(SliceShape::for_cores(512), SliceShape { rows: 16, cols: 16 });
+        assert_eq!(SliceShape::for_cores(1024), SliceShape { rows: 16, cols: 32 });
+        assert_eq!(SliceShape::for_cores(2048), SliceShape { rows: 32, cols: 32 });
+    }
+
+    #[test]
+    fn cores_round_trip() {
+        for &c in &[128usize, 256, 512, 1024, 2048] {
+            assert_eq!(SliceShape::for_cores(c).cores(), c);
+        }
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let s = SliceShape { rows: 4, cols: 8 };
+        for chip in 0..s.chips() {
+            let (r, c) = s.coord(chip);
+            assert_eq!(s.chip_at(r, c), chip);
+        }
+    }
+
+    #[test]
+    fn torus_wraps() {
+        let s = SliceShape { rows: 4, cols: 4 };
+        let n = s.neighbors(0); // corner chip
+        assert!(n.contains(&s.chip_at(3, 0)), "vertical wrap");
+        assert!(n.contains(&s.chip_at(0, 3)), "horizontal wrap");
+        assert!(n.contains(&s.chip_at(1, 0)));
+        assert!(n.contains(&s.chip_at(0, 1)));
+    }
+
+    #[test]
+    fn hop_distance_uses_wraparound() {
+        let s = SliceShape { rows: 8, cols: 8 };
+        assert_eq!(s.hop_distance(s.chip_at(0, 0), s.chip_at(0, 7)), 1);
+        assert_eq!(s.hop_distance(s.chip_at(0, 0), s.chip_at(4, 4)), 8);
+        assert_eq!(s.hop_distance(s.chip_at(2, 2), s.chip_at(2, 2)), 0);
+    }
+
+    #[test]
+    fn replica_to_chip() {
+        let s = SliceShape::for_cores(128);
+        assert_eq!(s.chip_of_replica(0), 0);
+        assert_eq!(s.chip_of_replica(1), 0);
+        assert_eq!(s.chip_of_replica(2), 1);
+        assert_eq!(s.chip_of_replica(127), 63);
+    }
+}

@@ -1,0 +1,84 @@
+//! Wiring `ets-collective` communicators into `ets-nn`'s batch norm: the
+//! distributed batch normalization of §3.4, executed for real.
+//!
+//! Each replica gets a [`GroupStatSync`] bound to its BN group's
+//! communicator; every `BatchNorm2d` in the replica's model reduces its
+//! (sum, sum-sq) pair — and in backward its (Σg, Σg·x̂) pair — across the
+//! group. Because all replicas run the same model layer-for-layer (SPMD),
+//! the group members' reduce calls pair up deterministically.
+
+use ets_collective::CommHandle;
+use ets_nn::StatSync;
+
+/// Cross-replica BN statistics reducer for one replica.
+pub struct GroupStatSync {
+    handle: CommHandle,
+}
+
+impl GroupStatSync {
+    /// Wraps this replica's handle to its BN-group communicator.
+    pub fn new(handle: CommHandle) -> Self {
+        GroupStatSync { handle }
+    }
+}
+
+impl StatSync for GroupStatSync {
+    fn reduce_pair(&self, a: &mut [f32], b: &mut [f32], local_count: f32) -> f32 {
+        if self.handle.size() == 1 {
+            return local_count;
+        }
+        // One fused all-reduce for both vectors halves the rendezvous count.
+        let mut buf = Vec::with_capacity(a.len() + b.len());
+        buf.extend_from_slice(a);
+        buf.extend_from_slice(b);
+        self.handle.all_reduce_sum(&mut buf);
+        a.copy_from_slice(&buf[..a.len()]);
+        b.copy_from_slice(&buf[a.len()..]);
+        local_count * self.handle.size() as f32
+    }
+
+    fn group_size(&self) -> usize {
+        self.handle.size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn reduces_across_group() {
+        let handles = CommHandle::create(4);
+        let joins: Vec<_> = handles
+            .into_iter()
+            .map(|h| {
+                thread::spawn(move || {
+                    let rank = h.rank() as f32;
+                    let sync = GroupStatSync::new(h);
+                    let mut a = vec![rank, 1.0];
+                    let mut b = vec![rank * rank];
+                    let count = sync.reduce_pair(&mut a, &mut b, 10.0);
+                    (a, b, count)
+                })
+            })
+            .collect();
+        for j in joins {
+            let (a, b, count) = j.join().unwrap();
+            assert_eq!(a, vec![6.0, 4.0]);
+            assert_eq!(b, vec![14.0]);
+            assert_eq!(count, 40.0);
+        }
+    }
+
+    #[test]
+    fn singleton_group_is_local() {
+        let mut hs = CommHandle::create(1);
+        let sync = GroupStatSync::new(hs.pop().unwrap());
+        let mut a = vec![5.0];
+        let mut b = vec![7.0];
+        assert_eq!(sync.reduce_pair(&mut a, &mut b, 3.0), 3.0);
+        assert_eq!(a, vec![5.0]);
+        assert_eq!(sync.group_size(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Experiment configuration: everything that defines a training run, in
+//! one serializable struct, so harnesses and tests share a vocabulary.
+
+use ets_collective::GroupSpec;
+use ets_efficientnet::ModelConfig;
+use ets_nn::Precision;
+use serde::{Deserialize, Serialize};
+
+/// Which optimizer drives the run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerChoice {
+    /// Plain momentum SGD (ablation baseline).
+    Sgd { momentum: f32, weight_decay: f32 },
+    /// TF RMSProp — the paper's small-batch baseline.
+    RmsProp,
+    /// LARS — the paper's large-batch optimizer (§3.1).
+    Lars { trust_coeff: f32 },
+    /// SM3 — the §5 future-work extension.
+    Sm3 { momentum: f32 },
+    /// LAMB — comparison optimizer.
+    Lamb,
+    /// AdamW — the standard adaptive baseline.
+    Adam,
+}
+
+/// Which decay schedule shapes the learning rate after warmup (§3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DecayChoice {
+    Constant,
+    /// `rate` every `epochs` epochs (staircase), from step 0.
+    Exponential { rate: f32, epochs: f32 },
+    /// Power-`power` polynomial to ~0 over the post-warmup budget.
+    Polynomial { power: f32 },
+    Cosine,
+}
+
+/// A complete training-run description.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Experiment {
+    /// Base RNG seed; everything derives from it.
+    pub seed: u64,
+    /// Replica (simulated core) count.
+    pub replicas: usize,
+    /// Samples per replica per micro-batch.
+    pub per_replica_batch: usize,
+    /// Micro-batches accumulated per optimizer step (1 = none). The
+    /// effective global batch is `replicas × per_replica_batch × this`,
+    /// letting proxy runs reach paper-scale batch ratios with few threads.
+    pub grad_accum_steps: usize,
+    /// Model architecture.
+    pub model: ModelConfig,
+    /// Conv numeric policy (§3.5).
+    pub precision: Precision,
+    /// Optimizer (§3.1).
+    pub optimizer: OptimizerChoice,
+    /// Peak LR per 256 samples (linear-scaling rule, §3.2).
+    pub lr_per_256: f32,
+    /// Warmup epochs (§3.2).
+    pub warmup_epochs: u64,
+    /// Decay schedule (§3.2).
+    pub decay: DecayChoice,
+    /// Batch-norm replica grouping (§3.4).
+    pub bn_group: GroupSpec,
+    /// Training epochs.
+    pub epochs: u64,
+    /// Evaluate every this many epochs (distributed eval, §3.3).
+    pub eval_every: u64,
+    /// Initialization sync: `false` (default) gives every replica the same
+    /// seed stream (bitwise-identical init for free); `true` initializes
+    /// each replica independently and then broadcasts replica 0's weights
+    /// — the way real multi-host jobs synchronize.
+    pub broadcast_init: bool,
+    /// Global-norm gradient clipping applied after the all-reduce
+    /// (None disables). Large-batch warmup sometimes needs it.
+    pub clip_grad_norm: Option<f32>,
+    /// Label smoothing for the cross-entropy loss.
+    pub label_smoothing: f32,
+    /// Weight-EMA decay; `None` disables EMA evaluation.
+    pub ema_decay: Option<f32>,
+    // Dataset shape.
+    pub train_samples: usize,
+    pub eval_samples: usize,
+    pub num_classes: usize,
+    pub resolution: usize,
+    /// SynthNet difficulty knob.
+    pub data_noise: f32,
+}
+
+impl Experiment {
+    /// A fast proxy-task default: tiny EfficientNet on SynthNet, 4
+    /// replicas — the base configuration the quality experiments perturb.
+    pub fn proxy_default() -> Self {
+        Experiment {
+            seed: 42,
+            replicas: 4,
+            per_replica_batch: 8,
+            grad_accum_steps: 1,
+            model: ModelConfig::tiny(16, 8),
+            precision: Precision::F32,
+            optimizer: OptimizerChoice::RmsProp,
+            lr_per_256: 0.05,
+            warmup_epochs: 2,
+            decay: DecayChoice::Exponential { rate: 0.97, epochs: 2.4 },
+            bn_group: GroupSpec::Local,
+            epochs: 12,
+            eval_every: 1,
+            broadcast_init: false,
+            clip_grad_norm: None,
+            label_smoothing: 0.1,
+            ema_decay: None,
+            train_samples: 512,
+            eval_samples: 128,
+            num_classes: 8,
+            resolution: 16,
+            data_noise: 0.35,
+        }
+    }
+
+    /// Effective global batch size (including gradient accumulation).
+    pub fn global_batch(&self) -> usize {
+        self.replicas * self.per_replica_batch * self.grad_accum_steps
+    }
+
+    /// Steps per epoch (drop-remainder).
+    pub fn steps_per_epoch(&self) -> usize {
+        self.train_samples / self.global_batch()
+    }
+
+    /// Peak LR after the linear-scaling rule.
+    pub fn peak_lr(&self) -> f32 {
+        ets_optim::linear_scaled_lr(self.lr_per_256, self.global_batch())
+    }
+
+    /// Validates internal consistency, panicking with a clear message.
+    pub fn validate(&self) {
+        assert!(self.replicas >= 1, "need at least one replica");
+        assert!(self.per_replica_batch >= 1, "empty per-replica batch");
+        assert!(self.grad_accum_steps >= 1, "accumulation needs ≥ 1 micro-batch");
+        assert!(
+            self.steps_per_epoch() >= 1,
+            "global batch {} exceeds dataset {}",
+            self.global_batch(),
+            self.train_samples
+        );
+        assert_eq!(
+            self.model.num_classes, self.num_classes,
+            "model/dataset class count mismatch"
+        );
+        assert_eq!(
+            self.model.resolution, self.resolution,
+            "model/dataset resolution mismatch"
+        );
+        assert!(self.epochs >= 1 && self.eval_every >= 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let e = Experiment::proxy_default();
+        e.validate();
+        assert_eq!(e.global_batch(), 32);
+        assert_eq!(e.steps_per_epoch(), 16);
+    }
+
+    #[test]
+    fn peak_lr_linear_scaling() {
+        let mut e = Experiment::proxy_default();
+        e.lr_per_256 = 0.016;
+        assert!((e.peak_lr() - 0.016 * 32.0 / 256.0).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn class_mismatch_rejected() {
+        let mut e = Experiment::proxy_default();
+        e.num_classes = 5;
+        e.validate();
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let e = Experiment::proxy_default();
+        let s = serde_json::to_string(&e).unwrap();
+        let back: Experiment = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.global_batch(), e.global_batch());
+        assert_eq!(back.optimizer, e.optimizer);
+    }
+}

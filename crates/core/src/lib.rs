@@ -1,0 +1,28 @@
+//! # ets-train
+//!
+//! The paper's recipe, end to end: a distributed data-parallel trainer
+//! running one thread per simulated TPU core, with deterministic tree
+//! all-reduce for gradients, group-wise distributed batch normalization
+//! (§3.4), distributed evaluation (§3.3), LARS/RMSProp large-batch
+//! optimizers with linear scaling + warmup + polynomial/exponential decay
+//! (§3.1/§3.2), and optional bfloat16 convolutions (§3.5).
+//!
+//! Entry point: [`train`] on an [`Experiment`].
+
+pub mod bn_sync;
+pub mod checkpoint;
+pub mod experiment;
+pub mod paper_recipe;
+pub mod report;
+pub mod sweep;
+pub mod timeline;
+pub mod trainer;
+
+pub use bn_sync::GroupStatSync;
+pub use checkpoint::{restore as restore_checkpoint, save as save_checkpoint, Checkpoint};
+pub use experiment::{DecayChoice, Experiment, OptimizerChoice};
+pub use paper_recipe::{proxy_of, PROXY_LARS_LR, PROXY_LARS_TRUST, PROXY_RMSPROP_LR};
+pub use report::{checksum_f32, EpochRecord, TrainReport};
+pub use sweep::{batch_sweep, run_sweep, SweepCell, SweepResult};
+pub use timeline::{PhaseBreakdown, Stopwatch};
+pub use trainer::train;

@@ -1,0 +1,104 @@
+//! Training-run results: per-epoch records and summary statistics.
+
+use crate::timeline::PhaseBreakdown;
+use serde::{Deserialize, Serialize};
+
+/// One epoch's record, as seen by replica 0 (identical on all replicas for
+/// the synchronized quantities).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EpochRecord {
+    pub epoch: u64,
+    /// Mean training loss over the epoch's steps.
+    pub train_loss: f32,
+    /// Learning rate at the last step of the epoch.
+    pub lr: f32,
+    /// Distributed-eval top-1 accuracy (None between eval epochs).
+    pub eval_top1: Option<f64>,
+    /// Distributed-eval top-5 accuracy.
+    pub eval_top5: Option<f64>,
+}
+
+/// Outcome of a full training run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainReport {
+    pub history: Vec<EpochRecord>,
+    /// Best eval top-1 over the run ("peak top-1" in the paper's terms).
+    pub peak_top1: f64,
+    /// Epoch at which the peak occurred.
+    pub peak_epoch: u64,
+    /// Total optimizer steps executed.
+    pub steps: u64,
+    /// Wall-clock seconds of the run (host time; informational only).
+    pub wall_seconds: f64,
+    /// A checksum over the final weights of replica 0 — identical across
+    /// replicas and across runs of the same config (determinism probe).
+    pub weight_checksum: u64,
+    /// Replica 0's measured per-phase time breakdown.
+    pub phases: PhaseBreakdown,
+}
+
+impl TrainReport {
+    /// Final epoch's training loss.
+    pub fn final_loss(&self) -> f32 {
+        self.history.last().map(|r| r.train_loss).unwrap_or(f32::NAN)
+    }
+
+    /// First epoch whose eval top-1 reached `threshold`, if any.
+    pub fn epochs_to_accuracy(&self, threshold: f64) -> Option<u64> {
+        self.history
+            .iter()
+            .find(|r| r.eval_top1.map(|a| a >= threshold).unwrap_or(false))
+            .map(|r| r.epoch)
+    }
+
+    /// Serializes to pretty JSON for the experiment harnesses.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+/// FNV-1a over a float slice's bit patterns — the weight checksum.
+pub fn checksum_f32(values: impl Iterator<Item = f32>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_sensitive_to_any_bit() {
+        let a = checksum_f32([1.0f32, 2.0, 3.0].into_iter());
+        let b = checksum_f32([1.0f32, 2.0, 3.0000002].into_iter());
+        assert_ne!(a, b);
+        let c = checksum_f32([1.0f32, 2.0, 3.0].into_iter());
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn epochs_to_accuracy_finds_first() {
+        let report = TrainReport {
+            history: vec![
+                EpochRecord { epoch: 1, train_loss: 2.0, lr: 0.1, eval_top1: Some(0.3), eval_top5: Some(0.6) },
+                EpochRecord { epoch: 2, train_loss: 1.0, lr: 0.1, eval_top1: Some(0.8), eval_top5: Some(0.95) },
+                EpochRecord { epoch: 3, train_loss: 0.5, lr: 0.1, eval_top1: Some(0.9), eval_top5: Some(0.99) },
+            ],
+            peak_top1: 0.9,
+            peak_epoch: 3,
+            steps: 48,
+            wall_seconds: 1.0,
+            weight_checksum: 0,
+            phases: PhaseBreakdown::default(),
+        };
+        assert_eq!(report.epochs_to_accuracy(0.75), Some(2));
+        assert_eq!(report.epochs_to_accuracy(0.95), None);
+        assert_eq!(report.final_loss(), 0.5);
+    }
+}

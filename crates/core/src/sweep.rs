@@ -1,0 +1,113 @@
+//! Experiment sweeps: run a grid of configurations and collect results in
+//! a machine-readable form. The table/figure harnesses and ablations build
+//! on this so every experiment is reproducible from one entry point.
+
+use crate::experiment::Experiment;
+use crate::report::TrainReport;
+use crate::trainer::train;
+use serde::{Deserialize, Serialize};
+
+/// One (label, experiment) cell of a sweep.
+pub struct SweepCell {
+    pub label: String,
+    pub experiment: Experiment,
+}
+
+/// Result of one cell.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepResult {
+    pub label: String,
+    pub global_batch: usize,
+    pub peak_top1: f64,
+    pub peak_epoch: u64,
+    pub final_loss: f32,
+    pub steps: u64,
+    pub wall_seconds: f64,
+}
+
+/// Runs every cell sequentially (each cell is internally parallel across
+/// its replicas), returning results in input order.
+pub fn run_sweep(cells: Vec<SweepCell>) -> Vec<SweepResult> {
+    cells
+        .into_iter()
+        .map(|cell| {
+            let report: TrainReport = train(&cell.experiment);
+            SweepResult {
+                label: cell.label,
+                global_batch: cell.experiment.global_batch(),
+                peak_top1: report.peak_top1,
+                peak_epoch: report.peak_epoch,
+                final_loss: report.final_loss(),
+                steps: report.steps,
+                wall_seconds: report.wall_seconds,
+            }
+        })
+        .collect()
+}
+
+/// Builds a batch-size sweep over a base experiment: the global batch
+/// doubles across `batches` while the per-replica count adjusts (replica
+/// count fixed), matching how the paper scales (§3.1).
+pub fn batch_sweep(base: &Experiment, label: &str, batches: &[usize]) -> Vec<SweepCell> {
+    batches
+        .iter()
+        .map(|&b| {
+            assert!(
+                b % base.replicas == 0,
+                "batch {b} must divide over {} replicas",
+                base.replicas
+            );
+            let mut e = base.clone();
+            e.per_replica_batch = b / base.replicas;
+            SweepCell {
+                label: format!("{label}@{b}"),
+                experiment: e,
+            }
+        })
+        .collect()
+}
+
+/// Serializes results as pretty JSON.
+pub fn to_json(results: &[SweepResult]) -> String {
+    serde_json::to_string_pretty(results).expect("sweep results serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_sweep_builds_cells() {
+        let mut base = Experiment::proxy_default();
+        base.replicas = 4;
+        let cells = batch_sweep(&base, "rms", &[16, 32, 64]);
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells[0].experiment.per_replica_batch, 4);
+        assert_eq!(cells[2].experiment.global_batch(), 64);
+        assert_eq!(cells[1].label, "rms@32");
+    }
+
+    #[test]
+    #[should_panic]
+    fn indivisible_batch_rejected() {
+        let base = Experiment::proxy_default(); // 4 replicas
+        let _ = batch_sweep(&base, "x", &[10]);
+    }
+
+    #[test]
+    fn run_sweep_collects_in_order() {
+        let mut base = Experiment::proxy_default();
+        base.replicas = 1;
+        base.epochs = 1;
+        base.train_samples = 64;
+        base.eval_samples = 16;
+        let cells = batch_sweep(&base, "t", &[8, 16]);
+        let results = run_sweep(cells);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].label, "t@8");
+        assert_eq!(results[1].global_batch, 16);
+        assert!(results.iter().all(|r| r.final_loss.is_finite()));
+        let json = to_json(&results);
+        assert!(json.contains("\"label\": \"t@8\""));
+    }
+}

@@ -1,0 +1,119 @@
+//! Per-phase timing of the real training engine.
+//!
+//! The simulator predicts where pod time goes (Table 1); this module
+//! *measures* where the threaded engine's time goes — data loading,
+//! forward, backward, gradient all-reduce, optimizer — so the real and
+//! simulated breakdowns can be compared like-for-like (`table1 --real`).
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Accumulated seconds per training phase.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    pub data: f64,
+    pub forward: f64,
+    pub backward: f64,
+    pub all_reduce: f64,
+    pub optimizer: f64,
+    /// Steps accumulated into the other fields.
+    pub steps: u64,
+}
+
+impl PhaseBreakdown {
+    /// Total accounted seconds.
+    pub fn total(&self) -> f64 {
+        self.data + self.forward + self.backward + self.all_reduce + self.optimizer
+    }
+
+    /// Fraction of accounted time spent in the gradient all-reduce —
+    /// the real-engine analogue of Table 1's last column.
+    pub fn all_reduce_share(&self) -> f64 {
+        let t = self.total();
+        if t > 0.0 {
+            self.all_reduce / t
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean seconds per step.
+    pub fn step_seconds(&self) -> f64 {
+        if self.steps > 0 {
+            self.total() / self.steps as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Merges another breakdown (e.g. across epochs).
+    pub fn merge(&mut self, other: &PhaseBreakdown) {
+        self.data += other.data;
+        self.forward += other.forward;
+        self.backward += other.backward;
+        self.all_reduce += other.all_reduce;
+        self.optimizer += other.optimizer;
+        self.steps += other.steps;
+    }
+}
+
+/// A phase stopwatch: `lap()` returns seconds since the previous lap.
+pub struct Stopwatch {
+    last: Instant,
+}
+
+impl Stopwatch {
+    pub fn start() -> Self {
+        Stopwatch {
+            last: Instant::now(),
+        }
+    }
+
+    /// Seconds since the last lap (or start), resetting the marker.
+    pub fn lap(&mut self) -> f64 {
+        let now = Instant::now();
+        let dt = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        dt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accounting() {
+        let mut b = PhaseBreakdown {
+            data: 1.0,
+            forward: 4.0,
+            backward: 8.0,
+            all_reduce: 2.0,
+            optimizer: 1.0,
+            steps: 4,
+        };
+        assert_eq!(b.total(), 16.0);
+        assert!((b.all_reduce_share() - 0.125).abs() < 1e-12);
+        assert_eq!(b.step_seconds(), 4.0);
+        b.merge(&b.clone());
+        assert_eq!(b.steps, 8);
+        assert_eq!(b.total(), 32.0);
+    }
+
+    #[test]
+    fn empty_breakdown_is_safe() {
+        let b = PhaseBreakdown::default();
+        assert_eq!(b.all_reduce_share(), 0.0);
+        assert_eq!(b.step_seconds(), 0.0);
+    }
+
+    #[test]
+    fn stopwatch_laps_are_positive_and_reset() {
+        let mut sw = Stopwatch::start();
+        let a = sw.lap();
+        let b = sw.lap();
+        assert!(a >= 0.0 && b >= 0.0);
+        // Consecutive immediate laps are tiny.
+        assert!(b < 1.0);
+    }
+}

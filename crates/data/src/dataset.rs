@@ -1,0 +1,90 @@
+//! Dataset abstraction and ImageNet cardinality metadata.
+
+use ets_tensor::Tensor;
+
+/// ImageNet-1k metadata: the epoch/step arithmetic in the paper (350
+/// epochs, steps = epochs·N/batch) uses these cardinalities, so the
+/// simulator does too.
+pub mod imagenet {
+    /// Training images.
+    pub const TRAIN_IMAGES: u64 = 1_281_167;
+    /// Validation images.
+    pub const VAL_IMAGES: u64 = 50_000;
+    /// Classes.
+    pub const NUM_CLASSES: usize = 1000;
+}
+
+/// A deterministic, indexable image-classification dataset.
+///
+/// `sample(i)` must be a pure function of `(dataset config, i)` — that is
+/// what makes exact sharding and bitwise-reproducible distributed runs
+/// possible without materializing anything.
+pub trait Dataset: Send + Sync {
+    /// Number of samples.
+    fn len(&self) -> usize;
+
+    /// True when empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of classes.
+    fn num_classes(&self) -> usize;
+
+    /// Image side length (images are square, `3×res×res`).
+    fn resolution(&self) -> usize;
+
+    /// Writes sample `i`'s CHW pixels into `out` and returns its label.
+    fn sample_into(&self, i: usize, out: &mut [f32]) -> usize;
+}
+
+/// Materializes a batch of samples as an `NCHW` tensor plus labels.
+pub fn materialize_batch<D: Dataset + ?Sized>(ds: &D, indices: &[usize]) -> (Tensor, Vec<usize>) {
+    let r = ds.resolution();
+    let img_len = 3 * r * r;
+    let mut batch = Tensor::zeros([indices.len(), 3, r, r]);
+    let mut labels = Vec::with_capacity(indices.len());
+    for (slot, &i) in indices.iter().enumerate() {
+        let label = ds.sample_into(i, &mut batch.data_mut()[slot * img_len..(slot + 1) * img_len]);
+        labels.push(label);
+    }
+    (batch, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake;
+    impl Dataset for Fake {
+        fn len(&self) -> usize {
+            10
+        }
+        fn num_classes(&self) -> usize {
+            2
+        }
+        fn resolution(&self) -> usize {
+            2
+        }
+        fn sample_into(&self, i: usize, out: &mut [f32]) -> usize {
+            out.iter_mut().for_each(|v| *v = i as f32);
+            i % 2
+        }
+    }
+
+    #[test]
+    fn batch_materialization() {
+        let (batch, labels) = materialize_batch(&Fake, &[3, 5]);
+        assert_eq!(batch.shape().dims(), &[2, 3, 2, 2]);
+        assert_eq!(labels, vec![1, 1]);
+        assert!(batch.data()[..12].iter().all(|&v| v == 3.0));
+        assert!(batch.data()[12..].iter().all(|&v| v == 5.0));
+    }
+
+    #[test]
+    fn imagenet_constants() {
+        assert_eq!(imagenet::TRAIN_IMAGES, 1_281_167);
+        assert_eq!(imagenet::VAL_IMAGES, 50_000);
+        assert_eq!(imagenet::NUM_CLASSES, 1000);
+    }
+}

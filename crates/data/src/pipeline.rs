@@ -1,0 +1,197 @@
+//! Input pipeline: augmentation and batching.
+//!
+//! Mirrors the EfficientNet input pipeline at miniature scale: random
+//! horizontal flip and random padded crop at train time, nothing at eval
+//! time, then per-channel standardization. Augmentations are driven by an
+//! explicit RNG so replicas reproduce exactly.
+
+use crate::dataset::{materialize_batch, Dataset};
+use ets_tensor::{Rng, Tensor};
+
+/// Augmentation configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AugmentConfig {
+    /// Probability of a horizontal flip.
+    pub flip_prob: f32,
+    /// Zero-padding for random crops (0 disables cropping).
+    pub crop_pad: usize,
+    /// Standardize each channel to zero mean / unit variance per image.
+    pub standardize: bool,
+}
+
+impl AugmentConfig {
+    /// Training defaults: flip + 2-pixel padded crop + standardize.
+    pub fn train() -> Self {
+        AugmentConfig {
+            flip_prob: 0.5,
+            crop_pad: 2,
+            standardize: true,
+        }
+    }
+
+    /// Evaluation: deterministic, standardize only.
+    pub fn eval() -> Self {
+        AugmentConfig {
+            flip_prob: 0.0,
+            crop_pad: 0,
+            standardize: true,
+        }
+    }
+}
+
+/// Flips an image (CHW slice) horizontally in place.
+fn hflip(img: &mut [f32], res: usize) {
+    for ch in 0..3 {
+        for y in 0..res {
+            let row = &mut img[(ch * res + y) * res..(ch * res + y + 1) * res];
+            row.reverse();
+        }
+    }
+}
+
+/// Random padded crop: shifts the image by up to ±pad in each axis,
+/// zero-filling exposed borders.
+fn shift_crop(img: &[f32], out: &mut [f32], res: usize, dx: isize, dy: isize) {
+    out.iter_mut().for_each(|v| *v = 0.0);
+    for ch in 0..3 {
+        for y in 0..res {
+            let sy = y as isize + dy;
+            if sy < 0 || sy >= res as isize {
+                continue;
+            }
+            for x in 0..res {
+                let sx = x as isize + dx;
+                if sx < 0 || sx >= res as isize {
+                    continue;
+                }
+                out[(ch * res + y) * res + x] = img[(ch * res + sy as usize) * res + sx as usize];
+            }
+        }
+    }
+}
+
+/// Standardizes each channel of each image to zero mean, unit variance.
+fn standardize(batch: &mut Tensor) {
+    let (n, c, h, w) = (
+        batch.shape().n(),
+        batch.shape().c(),
+        batch.shape().h(),
+        batch.shape().w(),
+    );
+    let plane = h * w;
+    for i in 0..n * c {
+        let chunk = &mut batch.data_mut()[i * plane..(i + 1) * plane];
+        let mean: f64 = chunk.iter().map(|&v| v as f64).sum::<f64>() / plane as f64;
+        let var: f64 = chunk
+            .iter()
+            .map(|&v| (v as f64 - mean) * (v as f64 - mean))
+            .sum::<f64>()
+            / plane as f64;
+        let inv = 1.0 / (var.sqrt() + 1e-6);
+        for v in chunk.iter_mut() {
+            *v = ((*v as f64 - mean) * inv) as f32;
+        }
+    }
+}
+
+/// Loads `indices` from `ds`, applies `aug`, and returns `(NCHW, labels)`.
+pub fn load_batch<D: Dataset + ?Sized>(
+    ds: &D,
+    indices: &[usize],
+    aug: AugmentConfig,
+    rng: &mut Rng,
+) -> (Tensor, Vec<usize>) {
+    let (mut batch, labels) = materialize_batch(ds, indices);
+    let res = ds.resolution();
+    let img_len = 3 * res * res;
+    let mut scratch = vec![0.0f32; img_len];
+    for i in 0..indices.len() {
+        let img = &mut batch.data_mut()[i * img_len..(i + 1) * img_len];
+        if aug.flip_prob > 0.0 && rng.coin(aug.flip_prob) {
+            hflip(img, res);
+        }
+        if aug.crop_pad > 0 {
+            let p = aug.crop_pad as isize;
+            let dx = rng.below((2 * aug.crop_pad + 1) as usize) as isize - p;
+            let dy = rng.below((2 * aug.crop_pad + 1) as usize) as isize - p;
+            if dx != 0 || dy != 0 {
+                scratch.copy_from_slice(img);
+                shift_crop(&scratch, img, res, dx, dy);
+            }
+        }
+    }
+    if aug.standardize {
+        standardize(&mut batch);
+    }
+    (batch, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthNet;
+
+    #[test]
+    fn eval_pipeline_is_deterministic() {
+        let ds = SynthNet::new(1, 4, 64, 8, 0.2);
+        let mut r1 = Rng::new(5);
+        let mut r2 = Rng::new(99); // rng irrelevant for eval aug
+        let (a, la) = load_batch(&ds, &[0, 1], AugmentConfig::eval(), &mut r1);
+        let (b, lb) = load_batch(&ds, &[0, 1], AugmentConfig::eval(), &mut r2);
+        assert_eq!(la, lb);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+    }
+
+    #[test]
+    fn standardization_normalizes_each_channel() {
+        let ds = SynthNet::new(1, 4, 64, 8, 0.2);
+        let mut rng = Rng::new(0);
+        let (batch, _) = load_batch(&ds, &[3], AugmentConfig::eval(), &mut rng);
+        let plane = 64;
+        for ch in 0..3 {
+            let chunk = &batch.data()[ch * plane..(ch + 1) * plane];
+            let mean: f32 = chunk.iter().sum::<f32>() / plane as f32;
+            let var: f32 =
+                chunk.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / plane as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        let mut img: Vec<f32> = (0..3 * 16).map(|i| i as f32).collect();
+        let orig = img.clone();
+        hflip(&mut img, 4);
+        assert_ne!(img, orig);
+        hflip(&mut img, 4);
+        assert_eq!(img, orig);
+    }
+
+    #[test]
+    fn shift_crop_moves_content() {
+        let res = 4;
+        let mut img = vec![0.0f32; 3 * 16];
+        img[0] = 1.0; // channel 0, pixel (0,0)
+        let mut out = vec![0.0f32; 3 * 16];
+        // dx=1, dy=0 reads source (y, x+1): content shifts left... verify
+        // the value lands where source index matches.
+        shift_crop(&img, &mut out, res, -1, 0); // out(y,x) = img(y, x−1)
+        assert_eq!(out[1], 1.0);
+        assert_eq!(out[0], 0.0);
+    }
+
+    #[test]
+    fn train_aug_varies_with_rng() {
+        let ds = SynthNet::new(1, 4, 64, 8, 0.2);
+        let mut r1 = Rng::new(5);
+        let mut r2 = Rng::new(6);
+        let (a, _) = load_batch(&ds, &[0; 16], AugmentConfig::train(), &mut r1);
+        let (b, _) = load_batch(&ds, &[0; 16], AugmentConfig::train(), &mut r2);
+        assert!(a.max_abs_diff(&b) > 0.0, "different rng, different batch");
+        // Same seed reproduces exactly.
+        let mut r3 = Rng::new(5);
+        let (c, _) = load_batch(&ds, &[0; 16], AugmentConfig::train(), &mut r3);
+        assert_eq!(a.max_abs_diff(&c), 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Background batch prefetching.
+//!
+//! TPU training keeps the accelerator fed by preparing the next batches on
+//! the host while the current step computes. This mirrors that structure:
+//! a worker thread materializes and augments batches ahead of the consumer
+//! through a bounded crossbeam channel (the bound is the "prefetch depth";
+//! backpressure stops the worker from racing arbitrarily far ahead).
+//!
+//! Determinism is preserved: the worker owns the augmentation RNG and
+//! produces batches in plan order, so the consumed stream is identical to
+//! the non-prefetched one.
+
+use crate::dataset::Dataset;
+use crate::pipeline::{load_batch, AugmentConfig};
+use crossbeam::channel::{bounded, Receiver};
+use ets_tensor::{Rng, Tensor};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A prefetched (input, labels) pair.
+pub type Batch = (Tensor, Vec<usize>);
+
+/// Handle to a background prefetch worker.
+pub struct Prefetcher {
+    rx: Receiver<Batch>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Prefetcher {
+    /// Spawns a worker that loads `index_batches` in order with `aug`
+    /// applied, keeping up to `depth` batches queued.
+    pub fn spawn<D>(
+        dataset: Arc<D>,
+        index_batches: Vec<Vec<usize>>,
+        aug: AugmentConfig,
+        rng: Rng,
+        depth: usize,
+    ) -> Self
+    where
+        D: Dataset + 'static,
+    {
+        assert!(depth >= 1, "prefetch depth must be positive");
+        let (tx, rx) = bounded::<Batch>(depth);
+        let worker = std::thread::spawn(move || {
+            let mut rng = rng;
+            for indices in index_batches {
+                let batch = load_batch(dataset.as_ref(), &indices, aug, &mut rng);
+                // Consumer hung up: stop quietly.
+                if tx.send(batch).is_err() {
+                    return;
+                }
+            }
+        });
+        Prefetcher {
+            rx,
+            worker: Some(worker),
+        }
+    }
+
+    /// Receives the next batch; `None` when the plan is exhausted.
+    pub fn next(&mut self) -> Option<Batch> {
+        self.rx.recv().ok()
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        // Unblock the worker by dropping the receiver first, then join.
+        let (_tx, rx) = bounded::<Batch>(1);
+        self.rx = rx;
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Iterator for Prefetcher {
+    type Item = Batch;
+    fn next(&mut self) -> Option<Batch> {
+        Prefetcher::next(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthNet;
+
+    fn plan(n_batches: usize, batch: usize) -> Vec<Vec<usize>> {
+        (0..n_batches)
+            .map(|b| (0..batch).map(|i| b * batch + i).collect())
+            .collect()
+    }
+
+    #[test]
+    fn produces_all_batches_in_order() {
+        let ds = Arc::new(SynthNet::new(1, 4, 64, 8, 0.3));
+        let mut pf = Prefetcher::spawn(
+            Arc::clone(&ds),
+            plan(8, 8),
+            AugmentConfig::eval(),
+            Rng::new(0),
+            2,
+        );
+        let mut count = 0;
+        let mut expected_label = 0usize;
+        while let Some((x, labels)) = pf.next() {
+            assert_eq!(x.shape().dims(), &[8, 3, 8, 8]);
+            assert_eq!(labels[0], expected_label % 4);
+            expected_label += 8;
+            count += 1;
+        }
+        assert_eq!(count, 8);
+    }
+
+    #[test]
+    fn stream_matches_synchronous_loading() {
+        let ds = Arc::new(SynthNet::new(2, 4, 64, 8, 0.3));
+        let batches = plan(4, 4);
+        let mut pf = Prefetcher::spawn(
+            Arc::clone(&ds),
+            batches.clone(),
+            AugmentConfig::train(),
+            Rng::new(7),
+            3,
+        );
+        let mut sync_rng = Rng::new(7);
+        for indices in &batches {
+            let (want_x, want_l) =
+                load_batch(ds.as_ref(), indices, AugmentConfig::train(), &mut sync_rng);
+            let (got_x, got_l) = pf.next().expect("batch available");
+            assert_eq!(got_l, want_l);
+            assert_eq!(got_x.max_abs_diff(&want_x), 0.0, "prefetch must not change the stream");
+        }
+        assert!(pf.next().is_none());
+    }
+
+    #[test]
+    fn early_drop_does_not_hang() {
+        let ds = Arc::new(SynthNet::new(3, 4, 512, 8, 0.3));
+        let mut pf = Prefetcher::spawn(
+            ds,
+            plan(64, 8),
+            AugmentConfig::eval(),
+            Rng::new(0),
+            1,
+        );
+        let _ = pf.next();
+        drop(pf); // must not deadlock on the blocked worker
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let ds = Arc::new(SynthNet::new(4, 4, 32, 8, 0.3));
+        let pf = Prefetcher::spawn(ds, plan(4, 8), AugmentConfig::eval(), Rng::new(0), 2);
+        assert_eq!(pf.count(), 4);
+    }
+}

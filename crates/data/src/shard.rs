@@ -1,0 +1,121 @@
+//! Deterministic epoch shuffling and per-replica sharding.
+//!
+//! All replicas derive the *same* epoch permutation from `(seed, epoch)`
+//! and then take strided slices of it, so the global batch is an exact
+//! partition of the shuffled dataset — no duplication, no gaps, no
+//! coordination.
+
+use ets_tensor::Rng;
+
+/// The index plan for one epoch.
+pub struct EpochPlan {
+    perm: Vec<usize>,
+}
+
+impl EpochPlan {
+    /// Builds the shared shuffle for `(seed, epoch)` over `len` samples.
+    pub fn new(seed: u64, epoch: u64, len: usize) -> Self {
+        let mut rng = Rng::new(seed).split(0x_EF0C_0000 ^ epoch);
+        EpochPlan {
+            perm: rng.permutation(len),
+        }
+    }
+
+    /// Identity plan (no shuffling) — used by evaluation.
+    pub fn sequential(len: usize) -> Self {
+        EpochPlan {
+            perm: (0..len).collect(),
+        }
+    }
+
+    /// Dataset size.
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// The indices replica `r` of `n` processes for global step `step`,
+    /// given `per_replica_batch`. The global batch for a step is the
+    /// contiguous permutation window
+    /// `step·B_global .. (step+1)·B_global`, split contiguously among
+    /// replicas; the last window of an epoch may be short (and is dropped
+    /// when fewer than one sample per replica remains, matching
+    /// drop-remainder semantics on TPUs).
+    pub fn replica_batch(
+        &self,
+        step: usize,
+        replica: usize,
+        num_replicas: usize,
+        per_replica_batch: usize,
+    ) -> Vec<usize> {
+        assert!(replica < num_replicas);
+        let global = per_replica_batch * num_replicas;
+        let start = step * global + replica * per_replica_batch;
+        let end = (start + per_replica_batch).min(self.perm.len());
+        if start >= self.perm.len() {
+            return Vec::new();
+        }
+        self.perm[start..end].to_vec()
+    }
+
+    /// Steps per epoch with drop-remainder semantics.
+    pub fn steps(&self, num_replicas: usize, per_replica_batch: usize) -> usize {
+        self.perm.len() / (num_replicas * per_replica_batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn same_epoch_same_plan() {
+        let a = EpochPlan::new(7, 3, 100);
+        let b = EpochPlan::new(7, 3, 100);
+        assert_eq!(a.perm, b.perm);
+    }
+
+    #[test]
+    fn different_epochs_differ() {
+        let a = EpochPlan::new(7, 0, 100);
+        let b = EpochPlan::new(7, 1, 100);
+        assert_ne!(a.perm, b.perm);
+    }
+
+    #[test]
+    fn replica_batches_partition_the_global_batch() {
+        let plan = EpochPlan::new(1, 0, 64);
+        let mut seen = HashSet::new();
+        for step in 0..plan.steps(4, 4) {
+            for r in 0..4 {
+                for idx in plan.replica_batch(step, r, 4, 4) {
+                    assert!(seen.insert(idx), "index {idx} duplicated");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 64, "all samples covered once");
+    }
+
+    #[test]
+    fn drop_remainder() {
+        let plan = EpochPlan::new(1, 0, 70);
+        // 70 / (4·4) = 4 full steps; 6 leftovers dropped.
+        assert_eq!(plan.steps(4, 4), 4);
+    }
+
+    #[test]
+    fn sequential_is_identity() {
+        let plan = EpochPlan::sequential(10);
+        assert_eq!(plan.replica_batch(0, 0, 2, 3), vec![0, 1, 2]);
+        assert_eq!(plan.replica_batch(0, 1, 2, 3), vec![3, 4, 5]);
+        assert_eq!(plan.replica_batch(1, 0, 2, 3), vec![6, 7, 8]);
+        // Tail clamps instead of panicking.
+        assert_eq!(plan.replica_batch(1, 1, 2, 3), vec![9]);
+        assert_eq!(plan.replica_batch(2, 0, 2, 3), Vec::<usize>::new());
+    }
+}

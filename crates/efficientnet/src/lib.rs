@@ -1,0 +1,22 @@
+//! # ets-efficientnet
+//!
+//! The EfficientNet model family (Tan & Le 2019), implemented with explicit
+//! backprop on `ets-nn`: MBConv blocks with squeeze-and-excite and
+//! stochastic depth, compound-scaled configurations B0–B7, and analytic
+//! parameter/FLOP accounting used by the TPU pod simulator.
+//!
+//! For actual CPU training, [`config::ModelConfig::tiny`] gives a reduced
+//! configuration with the identical architecture; the full B0–B7 configs
+//! drive the performance model at their native resolutions.
+
+pub mod blocks;
+pub mod config;
+pub mod flops;
+pub mod memory;
+pub mod model;
+
+pub use blocks::MbConvBlock;
+pub use config::{round_filters, round_repeats, BlockArgs, ModelConfig, Variant, B0_BLOCKS};
+pub use flops::{model_stats, ModelStats};
+pub use memory::{max_per_core_batch, memory_stats, MemoryStats};
+pub use model::EfficientNet;

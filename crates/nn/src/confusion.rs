@@ -1,0 +1,170 @@
+//! Confusion matrix and per-class metrics for evaluation reporting.
+//!
+//! Like [`crate::metrics::EvalCounts`], the matrix is built from exact
+//! counts so distributed shards merge losslessly.
+
+use ets_tensor::Tensor;
+
+/// A `C×C` confusion matrix: `m[true][predicted]` counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix over `classes` classes.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes >= 2);
+        ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Class count.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Count at `(true, predicted)`.
+    pub fn at(&self, truth: usize, predicted: usize) -> u64 {
+        self.counts[truth * self.classes + predicted]
+    }
+
+    /// Records a batch of score rows against labels (argmax prediction).
+    pub fn observe(&mut self, scores: &Tensor, labels: &[usize]) {
+        let c = scores.shape().dim(1);
+        assert_eq!(c, self.classes, "score width mismatch");
+        for (row, &label) in scores.data().chunks(c).zip(labels) {
+            let mut best = 0usize;
+            let mut bv = f32::NEG_INFINITY;
+            for (j, &v) in row.iter().enumerate() {
+                if v > bv {
+                    bv = v;
+                    best = j;
+                }
+            }
+            self.counts[label * c + best] += 1;
+        }
+    }
+
+    /// Merges another replica's matrix (exact).
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.classes, other.classes);
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: u64 = (0..self.classes).map(|i| self.at(i, i)).sum();
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            correct as f64 / t as f64
+        }
+    }
+
+    /// Per-class recall (diagonal over row sums); NaN-free (0 when empty).
+    pub fn recall(&self, class: usize) -> f64 {
+        let row: u64 = (0..self.classes).map(|j| self.at(class, j)).sum();
+        if row == 0 {
+            0.0
+        } else {
+            self.at(class, class) as f64 / row as f64
+        }
+    }
+
+    /// Per-class precision (diagonal over column sums).
+    pub fn precision(&self, class: usize) -> f64 {
+        let col: u64 = (0..self.classes).map(|i| self.at(i, class)).sum();
+        if col == 0 {
+            0.0
+        } else {
+            self.at(class, class) as f64 / col as f64
+        }
+    }
+
+    /// The most-confused off-diagonal pair `(true, predicted, count)`.
+    pub fn worst_confusion(&self) -> Option<(usize, usize, u64)> {
+        let mut best: Option<(usize, usize, u64)> = None;
+        for t in 0..self.classes {
+            for p in 0..self.classes {
+                if t != p {
+                    let n = self.at(t, p);
+                    if n > 0 && best.map(|(_, _, b)| n > b).unwrap_or(true) {
+                        best = Some((t, p, n));
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores(rows: &[&[f32]]) -> Tensor {
+        let c = rows[0].len();
+        let data: Vec<f32> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        Tensor::from_vec([rows.len(), c], data)
+    }
+
+    #[test]
+    fn counts_and_accuracy() {
+        let mut m = ConfusionMatrix::new(3);
+        m.observe(
+            &scores(&[&[0.9, 0.1, 0.0], &[0.1, 0.8, 0.1], &[0.7, 0.2, 0.1]]),
+            &[0, 1, 2],
+        );
+        assert_eq!(m.at(0, 0), 1);
+        assert_eq!(m.at(1, 1), 1);
+        assert_eq!(m.at(2, 0), 1, "third sample mispredicted as class 0");
+        assert!((m.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.worst_confusion(), Some((2, 0, 1)));
+    }
+
+    #[test]
+    fn precision_recall() {
+        let mut m = ConfusionMatrix::new(2);
+        // 3 true class-0 (2 right), 1 true class-1 (predicted 0).
+        m.observe(
+            &scores(&[&[1.0, 0.0], &[1.0, 0.0], &[0.0, 1.0], &[1.0, 0.0]]),
+            &[0, 0, 0, 1],
+        );
+        assert!((m.recall(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.precision(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.recall(1), 0.0);
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let mut a = ConfusionMatrix::new(2);
+        a.observe(&scores(&[&[1.0, 0.0]]), &[0]);
+        let mut b = ConfusionMatrix::new(2);
+        b.observe(&scores(&[&[0.0, 1.0]]), &[0]);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.at(0, 1), 1);
+        assert!((a.accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_is_safe() {
+        let m = ConfusionMatrix::new(4);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.recall(1), 0.0);
+        assert_eq!(m.precision(2), 0.0);
+        assert_eq!(m.worst_confusion(), None);
+    }
+}

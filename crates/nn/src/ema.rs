@@ -1,0 +1,142 @@
+//! Exponential moving average of model weights.
+//!
+//! The EfficientNet reference evaluates an EMA of the training weights
+//! (decay 0.9999); peak top-1 numbers in the paper are EMA accuracies. The
+//! averager is keyed positionally to the model's `visit_params` order, with
+//! name checks to catch wiring mistakes.
+
+use crate::layer::Layer;
+use ets_tensor::Tensor;
+
+/// Weight averager with TF-style decay warmup.
+pub struct Ema {
+    decay: f32,
+    shadow: Vec<(String, Tensor)>,
+    updates: u64,
+}
+
+impl Ema {
+    /// Captures the initial shadow copy from `model`.
+    pub fn new(model: &mut dyn Layer, decay: f32) -> Self {
+        assert!((0.0..1.0).contains(&decay), "decay must be in [0,1)");
+        let mut shadow = Vec::new();
+        model.visit_params(&mut |p| shadow.push((p.name.clone(), p.value.clone())));
+        Ema {
+            decay,
+            shadow,
+            updates: 0,
+        }
+    }
+
+    /// Effective decay after `updates` steps: `min(decay, (1+t)/(10+t))`,
+    /// TF's warmup that keeps early averages from being dominated by the
+    /// random init.
+    pub fn effective_decay(&self) -> f32 {
+        let t = self.updates as f32;
+        self.decay.min((1.0 + t) / (10.0 + t))
+    }
+
+    /// Folds the current weights into the shadow copy.
+    pub fn update(&mut self, model: &mut dyn Layer) {
+        let d = self.effective_decay();
+        let mut i = 0;
+        model.visit_params(&mut |p| {
+            let (name, shadow) = &mut self.shadow[i];
+            debug_assert_eq!(name, &p.name, "EMA param order changed");
+            // shadow = d·shadow + (1−d)·value
+            shadow.scale(d);
+            shadow.axpy(1.0 - d, &p.value);
+            i += 1;
+        });
+        assert_eq!(i, self.shadow.len(), "model params changed under EMA");
+        self.updates += 1;
+    }
+
+    /// Swaps the shadow weights into the model, returning the originals so
+    /// the caller can restore them after evaluation.
+    pub fn swap_in(&self, model: &mut dyn Layer) -> Vec<Tensor> {
+        let mut saved = Vec::with_capacity(self.shadow.len());
+        let mut i = 0;
+        model.visit_params(&mut |p| {
+            saved.push(p.value.clone());
+            p.value = self.shadow[i].1.clone();
+            i += 1;
+        });
+        saved
+    }
+
+    /// Restores weights captured by [`Ema::swap_in`].
+    pub fn restore(&self, model: &mut dyn Layer, saved: Vec<Tensor>) {
+        let mut it = saved.into_iter();
+        model.visit_params(&mut |p| {
+            p.value = it.next().expect("saved weights exhausted");
+        });
+    }
+
+    /// Number of updates applied.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Mode, Sequential};
+    use crate::linear::Linear;
+    use ets_tensor::Rng;
+
+    fn tiny_model() -> Sequential {
+        let mut rng = Rng::new(1);
+        Sequential::new("m").push(Linear::new("fc", 2, 2, true, &mut rng))
+    }
+
+    #[test]
+    fn warmup_decay_grows() {
+        let mut m = tiny_model();
+        let ema = Ema::new(&mut m, 0.9999);
+        assert!((ema.effective_decay() - 0.1).abs() < 1e-6); // (1+0)/(10+0)
+    }
+
+    #[test]
+    fn converges_to_constant_weights() {
+        let mut m = tiny_model();
+        let mut ema = Ema::new(&mut m, 0.5);
+        // Hold weights constant; shadow must converge to them.
+        for _ in 0..50 {
+            ema.update(&mut m);
+        }
+        let mut max_diff = 0.0f32;
+        let mut i = 0;
+        m.visit_params(&mut |p| {
+            max_diff = max_diff.max(p.value.max_abs_diff(&ema.shadow[i].1));
+            i += 1;
+        });
+        assert!(max_diff < 1e-5, "shadow should converge, diff {max_diff}");
+    }
+
+    #[test]
+    fn swap_and_restore_round_trip() {
+        let mut m = tiny_model();
+        let mut ema = Ema::new(&mut m, 0.5);
+        // Perturb weights so shadow differs.
+        m.visit_params(&mut |p| {
+            p.value.map_inplace(|v| v + 1.0);
+        });
+        ema.update(&mut m);
+        let before = crate::layer::snapshot_params(&mut m);
+        let saved = ema.swap_in(&mut m);
+        let during = crate::layer::snapshot_params(&mut m);
+        // Shadow differs from live weights.
+        assert!(before
+            .iter()
+            .zip(&during)
+            .any(|(a, b)| a.max_abs_diff(b) > 1e-6));
+        ema.restore(&mut m, saved);
+        let after = crate::layer::snapshot_params(&mut m);
+        for (a, b) in before.iter().zip(&after) {
+            assert_eq!(a.max_abs_diff(b), 0.0);
+        }
+        let _ = Mode::Train;
+    }
+}

@@ -1,0 +1,39 @@
+//! # ets-nn
+//!
+//! Neural-network layers with explicit manual backpropagation, built on
+//! `ets-tensor`. Provides everything EfficientNet needs: dense/depthwise
+//! convolutions with optional bfloat16 mixed precision (§3.5 of the paper),
+//! batch normalization with pluggable cross-replica statistics (§3.4),
+//! squeeze-and-excite, swish, stochastic depth, label-smoothed softmax
+//! cross-entropy, top-k metrics, and weight EMA.
+//!
+//! The layer contract is documented on [`layer::Layer`]: `forward` caches,
+//! `backward` consumes the cache and *accumulates* parameter gradients.
+
+pub mod activations;
+pub mod batchnorm;
+pub mod confusion;
+pub mod conv;
+pub mod dropout;
+pub mod ema;
+pub mod layer;
+pub mod linear;
+pub mod loss;
+pub mod metrics;
+pub mod param;
+pub mod pool;
+pub mod se;
+
+pub use activations::{Relu, Sigmoid, Swish};
+pub use batchnorm::{BatchNorm2d, LocalStats, StatSync};
+pub use confusion::ConfusionMatrix;
+pub use conv::{Conv2d, DepthwiseConv2d, Precision};
+pub use dropout::{DropPath, Dropout};
+pub use ema::Ema;
+pub use layer::{param_count, snapshot_params, zero_grads, Layer, Mode, Sequential};
+pub use linear::Linear;
+pub use loss::{cross_entropy, softmax, LossOutput};
+pub use metrics::{top1_accuracy, top_k_correct, EvalCounts};
+pub use param::{Param, ParamKind};
+pub use pool::GlobalAvgPool;
+pub use se::SqueezeExcite;

@@ -1,0 +1,159 @@
+//! Softmax cross-entropy with label smoothing.
+//!
+//! EfficientNet trains with label smoothing 0.1; the loss returns both the
+//! scalar (mean over the batch) and the gradient w.r.t. the logits, since
+//! softmax+CE fuse into the famously simple `softmax(z) − target`.
+
+use ets_tensor::Tensor;
+
+/// Numerically-stable row softmax of an `N×C` logits tensor.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().rank(), 2, "softmax expects N×C");
+    let c = logits.shape().dim(1);
+    let mut out = logits.clone();
+    for row in out.data_mut().chunks_mut(c) {
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - m).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        row.iter_mut().for_each(|v| *v *= inv);
+    }
+    out
+}
+
+/// Result of a cross-entropy evaluation.
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Gradient w.r.t. the logits (already divided by batch size).
+    pub dlogits: Tensor,
+    /// Softmax probabilities (reused by metrics).
+    pub probs: Tensor,
+}
+
+/// Mean softmax cross-entropy with label smoothing `eps`.
+///
+/// Targets: `t = (1−eps)·onehot(label) + eps/C`. Gradient per row:
+/// `(softmax(z) − t) / N`.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize], eps: f32) -> LossOutput {
+    let n = logits.shape().dim(0);
+    let c = logits.shape().dim(1);
+    assert_eq!(labels.len(), n, "label count mismatch");
+    assert!((0.0..1.0).contains(&eps), "smoothing must be in [0,1)");
+    let probs = softmax(logits);
+    let mut dlogits = probs.clone();
+    let off = eps / c as f32;
+    let on = 1.0 - eps + off;
+    let mut total = 0.0f64;
+    let inv_n = 1.0 / n as f32;
+    for (i, row) in dlogits.data_mut().chunks_mut(c).enumerate() {
+        let label = labels[i];
+        assert!(label < c, "label {label} out of range for {c} classes");
+        // loss = −Σ t_j · log p_j ; accumulate then form gradient in place.
+        let mut row_loss = 0.0f64;
+        for (j, v) in row.iter_mut().enumerate() {
+            let p = *v;
+            let t = if j == label { on } else { off };
+            row_loss -= t as f64 * (p.max(1e-12) as f64).ln();
+            *v = (p - t) * inv_n;
+        }
+        total += row_loss;
+    }
+    LossOutput {
+        loss: (total / n as f64) as f32,
+        dlogits,
+        probs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ets_tensor::Rng;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = Rng::new(1);
+        let mut logits = Tensor::zeros([4, 10]);
+        rng.fill_uniform(logits.data_mut(), -5.0, 5.0);
+        let p = softmax(&logits);
+        for row in p.data().chunks(10) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Tensor::from_vec([1, 3], vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec([1, 3], vec![1001.0, 1002.0, 1003.0]);
+        let pa = softmax(&a);
+        let pb = softmax(&b);
+        assert!(pa.max_abs_diff(&pb) < 1e-6);
+        assert!(!pb.has_non_finite());
+    }
+
+    #[test]
+    fn perfect_prediction_low_loss() {
+        let logits = Tensor::from_vec([1, 3], vec![20.0, 0.0, 0.0]);
+        let out = cross_entropy(&logits, &[0], 0.0);
+        assert!(out.loss < 1e-3, "loss {}", out.loss);
+    }
+
+    #[test]
+    fn uniform_prediction_loss_is_log_c() {
+        let logits = Tensor::zeros([2, 10]);
+        let out = cross_entropy(&logits, &[3, 7], 0.0);
+        assert!((out.loss - (10.0f32).ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = Rng::new(2);
+        let mut logits = Tensor::zeros([3, 5]);
+        rng.fill_uniform(logits.data_mut(), -2.0, 2.0);
+        let labels = [1usize, 4, 0];
+        let eps = 0.1;
+        let out = cross_entropy(&logits, &labels, eps);
+        let h = 1e-3f32;
+        for i in 0..logits.numel() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += h;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= h;
+            let up = cross_entropy(&lp, &labels, eps).loss;
+            let down = cross_entropy(&lm, &labels, eps).loss;
+            let num = (up - down) / (2.0 * h);
+            let ana = out.dlogits.data()[i];
+            assert!(
+                (num - ana).abs() < 1e-3 * (1.0 + num.abs()),
+                "idx {i}: {num} vs {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn smoothing_raises_floor() {
+        // With smoothing, even a perfect prediction keeps positive loss.
+        let logits = Tensor::from_vec([1, 4], vec![30.0, 0.0, 0.0, 0.0]);
+        let sharp = cross_entropy(&logits, &[0], 0.0).loss;
+        let smooth = cross_entropy(&logits, &[0], 0.1).loss;
+        assert!(smooth > sharp + 0.1);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let mut rng = Rng::new(3);
+        let mut logits = Tensor::zeros([2, 6]);
+        rng.fill_uniform(logits.data_mut(), -1.0, 1.0);
+        let out = cross_entropy(&logits, &[2, 5], 0.1);
+        for row in out.dlogits.data().chunks(6) {
+            let s: f32 = row.iter().sum();
+            assert!(s.abs() < 1e-6, "softmax−target rows sum to 0, got {s}");
+        }
+    }
+}

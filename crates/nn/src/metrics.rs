@@ -1,0 +1,114 @@
+//! Classification metrics: top-k accuracy and streaming accumulators.
+
+use ets_tensor::Tensor;
+
+/// Counts predictions where the true label is among the `k` highest scores.
+pub fn top_k_correct(scores: &Tensor, labels: &[usize], k: usize) -> usize {
+    assert_eq!(scores.shape().rank(), 2, "scores must be N×C");
+    let c = scores.shape().dim(1);
+    assert!(k >= 1 && k <= c, "k out of range");
+    scores
+        .data()
+        .chunks(c)
+        .zip(labels)
+        .filter(|(row, &label)| {
+            let target = row[label];
+            // Count entries strictly greater than the target score; the
+            // label is in the top-k iff fewer than k are strictly greater
+            // (ties resolve in the label's favour, matching TF's in_top_k).
+            row.iter().filter(|&&v| v > target).count() < k
+        })
+        .count()
+}
+
+/// Top-1 accuracy in `[0,1]`.
+pub fn top1_accuracy(scores: &Tensor, labels: &[usize]) -> f32 {
+    top_k_correct(scores, labels, 1) as f32 / labels.len() as f32
+}
+
+/// Streaming accuracy accumulator for distributed evaluation: each replica
+/// accumulates local counts, which are then summed across replicas (counts
+/// are exactly mergeable, unlike averaged accuracies).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EvalCounts {
+    pub correct_top1: u64,
+    pub correct_top5: u64,
+    pub total: u64,
+}
+
+impl EvalCounts {
+    /// Accumulates one batch of scores.
+    pub fn observe(&mut self, scores: &Tensor, labels: &[usize]) {
+        self.correct_top1 += top_k_correct(scores, labels, 1) as u64;
+        let c = scores.shape().dim(1);
+        self.correct_top5 += top_k_correct(scores, labels, 5.min(c)) as u64;
+        self.total += labels.len() as u64;
+    }
+
+    /// Merges another replica's counts.
+    pub fn merge(&mut self, other: &EvalCounts) {
+        self.correct_top1 += other.correct_top1;
+        self.correct_top5 += other.correct_top5;
+        self.total += other.total;
+    }
+
+    /// Top-1 accuracy, 0 when empty.
+    pub fn top1(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct_top1 as f64 / self.total as f64
+        }
+    }
+
+    /// Top-5 accuracy, 0 when empty.
+    pub fn top5(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct_top5 as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top1_counts() {
+        let s = Tensor::from_vec([2, 3], vec![0.1, 0.7, 0.2, 0.9, 0.05, 0.05]);
+        assert_eq!(top_k_correct(&s, &[1, 0], 1), 2);
+        assert_eq!(top_k_correct(&s, &[0, 0], 1), 1);
+        assert!((top1_accuracy(&s, &[1, 1]) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn top_k_widens() {
+        let s = Tensor::from_vec([1, 4], vec![0.4, 0.3, 0.2, 0.1]);
+        assert_eq!(top_k_correct(&s, &[2], 1), 0);
+        assert_eq!(top_k_correct(&s, &[2], 2), 0);
+        assert_eq!(top_k_correct(&s, &[2], 3), 1);
+    }
+
+    #[test]
+    fn ties_favour_label() {
+        let s = Tensor::from_vec([1, 3], vec![0.5, 0.5, 0.0]);
+        assert_eq!(top_k_correct(&s, &[1], 1), 1);
+    }
+
+    #[test]
+    fn counts_merge_exactly() {
+        let s1 = Tensor::from_vec([1, 6], vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let s2 = Tensor::from_vec([1, 6], vec![0.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+        let mut a = EvalCounts::default();
+        a.observe(&s1, &[0]);
+        let mut b = EvalCounts::default();
+        b.observe(&s2, &[0]);
+        a.merge(&b);
+        assert_eq!(a.total, 2);
+        assert_eq!(a.correct_top1, 1);
+        assert_eq!(a.correct_top5, 2); // label 0 is within top-5 of s2
+        assert!((a.top1() - 0.5).abs() < 1e-9);
+    }
+}

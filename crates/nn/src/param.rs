@@ -1,0 +1,112 @@
+//! Trainable parameters.
+//!
+//! Each parameter carries its gradient buffer and a [`ParamKind`] tag. The
+//! kind matters for large-batch training: LARS (§3.1) skips trust-ratio
+//! adaptation and weight decay for batch-norm scales/shifts and biases,
+//! exactly as in You et al. — the tag is how optimizers implement that rule
+//! without string-matching names.
+
+use ets_tensor::Tensor;
+
+/// What role a parameter plays, which controls weight decay and LARS
+/// adaptation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ParamKind {
+    /// Conv/dense kernels: decayed, LARS-adapted.
+    Weight,
+    /// Dense bias: no decay, no LARS adaptation.
+    Bias,
+    /// Batch-norm scale (γ): no decay, no LARS adaptation.
+    BnGamma,
+    /// Batch-norm shift (β): no decay, no LARS adaptation.
+    BnBeta,
+}
+
+impl ParamKind {
+    /// Whether LARS should apply its layer-wise trust ratio (and weight
+    /// decay) to this parameter.
+    #[inline]
+    pub fn lars_adapted(self) -> bool {
+        matches!(self, ParamKind::Weight)
+    }
+
+    /// Whether L2 weight decay applies.
+    #[inline]
+    pub fn decayed(self) -> bool {
+        matches!(self, ParamKind::Weight)
+    }
+}
+
+/// A named, trainable tensor with an accumulated gradient.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Stable identifier, e.g. `"stem.conv.w"`. Used for EMA bookkeeping
+    /// and debugging; optimizer state is keyed positionally.
+    pub name: String,
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by the backward pass; zeroed by
+    /// [`Param::zero_grad`] at the start of each step.
+    pub grad: Tensor,
+    /// Role tag.
+    pub kind: ParamKind,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient of matching shape.
+    pub fn new(name: impl Into<String>, value: Tensor, kind: ParamKind) -> Self {
+        let grad = Tensor::zeros(value.shape().dims());
+        Param {
+            name: name.into(),
+            value,
+            grad,
+            kind,
+        }
+    }
+
+    /// Clears the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Number of scalar elements.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+}
+
+/// Convenience: total parameter count over a set.
+pub fn total_params<'a>(params: impl IntoIterator<Item = &'a Param>) -> usize {
+    params.into_iter().map(|p| p.numel()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_control_adaptation() {
+        assert!(ParamKind::Weight.lars_adapted());
+        assert!(ParamKind::Weight.decayed());
+        for k in [ParamKind::Bias, ParamKind::BnGamma, ParamKind::BnBeta] {
+            assert!(!k.lars_adapted());
+            assert!(!k.decayed());
+        }
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new("w", Tensor::ones([3]), ParamKind::Weight);
+        p.grad.fill(5.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.numel(), 3);
+    }
+
+    #[test]
+    fn total_counts() {
+        let a = Param::new("a", Tensor::zeros([2, 3]), ParamKind::Weight);
+        let b = Param::new("b", Tensor::zeros([4]), ParamKind::Bias);
+        assert_eq!(total_params([&a, &b]), 10);
+    }
+}

@@ -1,0 +1,38 @@
+//! # ets-optim
+//!
+//! Optimizers and learning-rate schedules for large-batch training:
+//!
+//! - [`RmsProp`] — TF-semantics RMSProp, the original EfficientNet
+//!   optimizer and the paper's small-batch baseline (Table 2).
+//! - [`Lars`] — layer-wise adaptive rate scaling, the paper's large-batch
+//!   optimizer (§3.1), with BN/bias exclusion.
+//! - [`Sm3`] — the memory-efficient optimizer the paper's §5 proposes to
+//!   study next (implemented as our extension experiment).
+//! - [`Lamb`] — LARS's Adam-based successor, for comparison.
+//! - [`schedule`] — linear scaling per 256 samples, warmup, exponential /
+//!   polynomial / cosine decay (§3.2), including the exact Table-2
+//!   configurations as presets.
+
+pub mod adam;
+pub mod grad;
+pub mod lamb;
+pub mod lars;
+pub mod optimizer;
+pub mod rmsprop;
+pub mod schedule;
+pub mod sgd;
+pub mod sm3;
+
+pub use adam::Adam;
+pub use grad::{clip_global_norm, global_grad_norm, scale_grads};
+pub use lamb::Lamb;
+pub use lars::Lars;
+pub use optimizer::Optimizer;
+pub use rmsprop::RmsProp;
+pub use schedule::{
+    Shifted,
+    lars_paper_schedule, linear_scaled_lr, rmsprop_paper_schedule, steps_per_epoch, BoxedSchedule,
+    Constant, CosineDecay, ExponentialDecay, LrSchedule, PolynomialDecay, Warmup,
+};
+pub use sgd::Sgd;
+pub use sm3::Sm3;

@@ -1,0 +1,58 @@
+//! Optimizer abstraction.
+//!
+//! Optimizers walk a model's parameters (via `Layer::visit_params`, which
+//! guarantees a stable order) and keep their per-parameter state in
+//! positionally-keyed vectors, initialized lazily on the first step. All
+//! replicas of a data-parallel job run the *same* optimizer step on the
+//! *same* all-reduced gradients, so their states stay bitwise identical —
+//! the invariant the integration tests assert.
+
+use ets_nn::Layer;
+
+/// A gradient-based optimizer.
+pub trait Optimizer: Send {
+    /// Applies one update with the given learning rate. Gradients must
+    /// already be populated (and averaged across replicas, if distributed).
+    fn step(&mut self, model: &mut dyn Layer, lr: f32);
+
+    /// Diagnostic name ("rmsprop", "lars", ...).
+    fn name(&self) -> &'static str;
+}
+
+/// Per-parameter state holder, lazily sized on first use.
+pub(crate) struct StateVec<T> {
+    slots: Vec<T>,
+}
+
+impl<T> StateVec<T> {
+    pub fn new() -> Self {
+        StateVec { slots: Vec::new() }
+    }
+
+    /// Gets slot `i`, creating it (and all before it) with `make` on first
+    /// touch.
+    pub fn get_or_init(&mut self, i: usize, make: impl Fn() -> T) -> &mut T {
+        while self.slots.len() <= i {
+            self.slots.push(make());
+        }
+        &mut self.slots[i]
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_vec_grows_on_demand() {
+        let mut sv: StateVec<Vec<f32>> = StateVec::new();
+        sv.get_or_init(2, || vec![0.0; 3])[0] = 1.0;
+        assert_eq!(sv.len(), 3);
+        assert_eq!(sv.get_or_init(2, Vec::new)[0], 1.0);
+    }
+}

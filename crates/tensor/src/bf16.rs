@@ -1,0 +1,189 @@
+//! Software bfloat16 (§3.5 of the paper).
+//!
+//! TPUs train EfficientNet with convolutions computed in bfloat16 (truncated
+//! IEEE-754 single precision: 1 sign, 8 exponent, 7 mantissa bits) while all
+//! other math stays in fp32. This module reproduces those numerics in
+//! software: round-to-nearest-even conversion, and a "mixed precision" path
+//! that quantizes GEMM/conv operands through bf16 while accumulating in f32
+//! — matching the MXU's bf16-multiply/f32-accumulate contract.
+
+use crate::ops::matmul::gemm_slice;
+use crate::tensor::Tensor;
+
+/// A bfloat16 value stored as its raw 16-bit pattern.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Bf16(pub u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3F80);
+
+    /// Converts from `f32` with round-to-nearest-even on the dropped 16
+    /// mantissa bits (the hardware rounding mode).
+    #[inline]
+    pub fn from_f32(x: f32) -> Self {
+        let bits = x.to_bits();
+        if x.is_nan() {
+            // Preserve NaN; force a mantissa bit so truncation can't create Inf.
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        // Round to nearest even: add 0x7FFF + LSB of the kept part.
+        let lsb = (bits >> 16) & 1;
+        let rounded = bits.wrapping_add(0x7FFF + lsb);
+        Bf16((rounded >> 16) as u16)
+    }
+
+    /// Converts back to `f32` (exact: bf16 values are a subset of f32).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// True if the value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7F80) == 0x7F80 && (self.0 & 0x007F) != 0
+    }
+
+    /// True if the value is ±∞.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7F80
+    }
+}
+
+/// Rounds an `f32` through bf16 and back (the "storage in bf16" effect).
+#[inline]
+pub fn round_f32(x: f32) -> f32 {
+    Bf16::from_f32(x).to_f32()
+}
+
+/// Quantizes a slice in place through bf16.
+pub fn quantize_slice(xs: &mut [f32]) {
+    xs.iter_mut().for_each(|v| *v = round_f32(*v));
+}
+
+/// Returns a copy of the tensor with every element rounded through bf16.
+pub fn quantize_tensor(t: &Tensor) -> Tensor {
+    t.map(round_f32)
+}
+
+/// Largest relative rounding error bf16 can introduce (half ULP at 7
+/// mantissa bits ≈ 2^-8).
+pub const MAX_REL_ERR: f32 = 1.0 / 256.0;
+
+/// Mixed-precision GEMM: operands are rounded through bf16, products are
+/// accumulated in f32. This mirrors a TPU MXU pass and is what the
+/// precision-ablation benchmark compares against the pure-f32 kernel.
+pub fn gemm_bf16_slice(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    // Quantize once up front (cheap, linear) rather than per-product.
+    let aq: Vec<f32> = a.iter().map(|&v| round_f32(v)).collect();
+    let bq: Vec<f32> = b.iter().map(|&v| round_f32(v)).collect();
+    gemm_slice(m, k, n, &aq, &bq, c);
+}
+
+/// Mixed-precision matmul at the tensor level.
+pub fn matmul_bf16(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
+    assert_eq!(k, k2, "matmul_bf16 inner dims");
+    let mut c = Tensor::zeros([m, n]);
+    gemm_bf16_slice(m, k, n, a.data(), b.data(), c.data_mut());
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn exact_values_round_trip() {
+        for &v in &[0.0f32, 1.0, -1.0, 0.5, 2.0, -0.25, 1024.0] {
+            assert_eq!(round_f32(v), v, "{v} should be exactly representable");
+        }
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1.0 + 2^-8 is exactly halfway between bf16(1.0) and the next
+        // representable value 1.0078125; RNE keeps the even mantissa (1.0).
+        let halfway = 1.0 + 1.0 / 256.0;
+        assert_eq!(round_f32(halfway), 1.0);
+        // Slightly above halfway rounds up.
+        assert_eq!(round_f32(halfway + 1e-4), 1.0078125);
+        // 1.0 + 3·2^-8 is halfway between 1.0078125 (odd) and 1.015625
+        // (even): RNE picks the even one.
+        assert_eq!(round_f32(1.0 + 3.0 / 256.0), 1.015625);
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        let mut rng = Rng::new(1);
+        for _ in 0..10_000 {
+            let x = rng.uniform_in(-1e4, 1e4);
+            if x == 0.0 {
+                continue;
+            }
+            let r = round_f32(x);
+            assert!(
+                ((r - x) / x).abs() <= MAX_REL_ERR,
+                "x={x} r={r} rel={}",
+                ((r - x) / x).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn specials_preserved() {
+        assert!(Bf16::from_f32(f32::NAN).is_nan());
+        assert!(Bf16::from_f32(f32::INFINITY).is_infinite());
+        assert_eq!(round_f32(f32::INFINITY), f32::INFINITY);
+        assert_eq!(round_f32(f32::NEG_INFINITY), f32::NEG_INFINITY);
+        assert_eq!(round_f32(-0.0).to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn overflow_rounds_to_infinity() {
+        // Max finite bf16 is 3.3895314e38; anything that rounds past it
+        // becomes infinity, matching hardware saturate-to-inf semantics of RNE.
+        let max_bf16 = f32::from_bits(0x7F7F_0000);
+        assert_eq!(round_f32(max_bf16), max_bf16);
+        assert_eq!(round_f32(f32::MAX), f32::INFINITY);
+    }
+
+    #[test]
+    fn mixed_gemm_close_to_f32() {
+        let mut rng = Rng::new(2);
+        let (m, k, n) = (16, 32, 16);
+        let mut a = vec![0.0; m * k];
+        let mut b = vec![0.0; k * n];
+        rng.fill_uniform(&mut a, -1.0, 1.0);
+        rng.fill_uniform(&mut b, -1.0, 1.0);
+        let mut c32 = vec![0.0; m * n];
+        let mut c16 = vec![0.0; m * n];
+        gemm_slice(m, k, n, &a, &b, &mut c32);
+        gemm_bf16_slice(m, k, n, &a, &b, &mut c16);
+        // Error should be small (operand quantization only; f32 accumulate)
+        // but generally nonzero.
+        let max_err = c32
+            .iter()
+            .zip(&c16)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err < 0.15, "max_err {max_err}");
+        assert!(max_err > 0.0, "bf16 path should differ from f32");
+    }
+
+    #[test]
+    fn quantize_tensor_idempotent() {
+        let mut rng = Rng::new(3);
+        let mut t = Tensor::zeros([64]);
+        rng.fill_normal(t.data_mut(), 0.0, 1.0);
+        let q1 = quantize_tensor(&t);
+        let q2 = quantize_tensor(&q1);
+        assert!(q1.max_abs_diff(&q2) == 0.0, "second rounding must be exact");
+    }
+}

@@ -1,0 +1,89 @@
+//! Weight initializers matching the TensorFlow EfficientNet reference.
+//!
+//! - Convolutions: truncated-normal "fan-out" scaling
+//!   (`stddev = sqrt(2 / fan_out)`), per the original EfficientNet code.
+//! - Dense layers: uniform in `±sqrt(1/fan_in)` ("VarianceScaling(1/3)"-like
+//!   head init used by the reference implementation).
+
+use crate::rng::Rng;
+use crate::tensor::Tensor;
+
+/// Truncated standard normal: resample anything beyond ±2σ.
+fn truncated_normal(rng: &mut Rng, std: f32) -> f32 {
+    loop {
+        let x = rng.normal();
+        if x.abs() <= 2.0 {
+            return x * std;
+        }
+    }
+}
+
+/// Conv kernel init: truncated normal with `stddev = sqrt(2 / fan_out)`
+/// where `fan_out = c_out * kh * kw` (the EfficientNet convention).
+pub fn conv_kernel(rng: &mut Rng, c_out: usize, c_in: usize, kh: usize, kw: usize) -> Tensor {
+    let fan_out = (c_out * kh * kw) as f32;
+    let std = (2.0 / fan_out).sqrt();
+    let mut t = Tensor::zeros([c_out, c_in, kh, kw]);
+    for v in t.data_mut() {
+        *v = truncated_normal(rng, std);
+    }
+    t
+}
+
+/// Depthwise kernel init: fan_out counts the single output channel per
+/// group, i.e. `fan_out = kh * kw` — matching TF's depthwise initializer.
+pub fn depthwise_kernel(rng: &mut Rng, c: usize, kh: usize, kw: usize) -> Tensor {
+    let fan_out = (kh * kw) as f32;
+    let std = (2.0 / fan_out).sqrt();
+    let mut t = Tensor::zeros([c, 1, kh, kw]);
+    for v in t.data_mut() {
+        *v = truncated_normal(rng, std);
+    }
+    t
+}
+
+/// Dense weight init: uniform `±sqrt(1/fan_in)`, stored `[out, in]`.
+pub fn dense_weight(rng: &mut Rng, out_dim: usize, in_dim: usize) -> Tensor {
+    let bound = (1.0 / in_dim as f32).sqrt();
+    let mut t = Tensor::zeros([out_dim, in_dim]);
+    rng.fill_uniform(t.data_mut(), -bound, bound);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_init_statistics() {
+        let mut rng = Rng::new(1);
+        let t = conv_kernel(&mut rng, 64, 32, 3, 3);
+        let expected_std = (2.0f32 / (64.0 * 9.0)).sqrt();
+        let mean = t.mean();
+        let var = t.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
+            / t.numel() as f32;
+        assert!(mean.abs() < expected_std * 0.1, "mean {mean}");
+        // Truncation at 2σ shrinks variance to ~0.774σ²; allow a wide band.
+        assert!(var > 0.5 * expected_std * expected_std);
+        assert!(var < 1.1 * expected_std * expected_std);
+        // Truncation: nothing beyond 2σ.
+        assert!(t.max() <= 2.0 * expected_std + 1e-6);
+        assert!(t.min() >= -2.0 * expected_std - 1e-6);
+    }
+
+    #[test]
+    fn dense_init_bounds() {
+        let mut rng = Rng::new(2);
+        let t = dense_weight(&mut rng, 10, 100);
+        let bound = 0.1f32;
+        assert!(t.max() < bound && t.min() > -bound);
+        assert_eq!(t.shape().dims(), &[10, 100]);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let a = conv_kernel(&mut Rng::new(5), 8, 4, 3, 3);
+        let b = conv_kernel(&mut Rng::new(5), 8, 4, 3, 3);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+    }
+}

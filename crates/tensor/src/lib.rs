@@ -1,0 +1,26 @@
+//! # ets-tensor
+//!
+//! Dense-tensor substrate for the EfficientNet-at-scale reproduction:
+//! contiguous row-major `f32` tensors, rayon-parallel GEMM and im2col
+//! convolution kernels, channel reductions for batch normalization, a
+//! deterministic splittable PRNG, reference weight initializers, and a
+//! software bfloat16 implementation for the paper's mixed-precision policy
+//! (§3.5).
+//!
+//! Design notes:
+//! - Everything is `f32` with `f64` accumulation in reductions; there are no
+//!   views or lazy ops — kernels read and write flat slices.
+//! - Parallelism is data-parallel over independent output blocks (rows of a
+//!   GEMM, images of a batch, channel planes), so kernels need no locks.
+//! - All randomness flows through [`rng::Rng`], seeded explicitly.
+
+pub mod bf16;
+pub mod init;
+pub mod ops;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+
+pub use rng::Rng;
+pub use shape::{conv_out_dim, same_pad, Shape};
+pub use tensor::Tensor;

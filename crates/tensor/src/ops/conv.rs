@@ -1,0 +1,593 @@
+//! 2-D convolution kernels: im2col + GEMM for dense convs, direct loops for
+//! depthwise convs.
+//!
+//! Layouts (all contiguous row-major):
+//! - input  `x`: `NCHW`
+//! - weight `w`: `[C_out, C_in, KH, KW]` (depthwise: `[C, 1, KH, KW]`)
+//! - output `y`: `[N, C_out, H_out, W_out]`
+//!
+//! The im2col patch matrix for one image is `K×P` with `K = C_in·KH·KW` and
+//! `P = H_out·W_out`, so the forward pass is a single `C_out×K · K×P` GEMM
+//! per image. Batch images run in parallel on rayon workers, each with its
+//! own scratch patch buffer (no allocation inside the per-image loop beyond
+//! the one scratch vec, which the thread reuses across calls via
+//! `for_each_init`).
+
+use crate::ops::matmul::{gemm_at_b_slice, gemm_slice};
+use crate::shape::{conv_out_dim, Shape};
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Geometry of a conv2d call, shared by forward and backward.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Conv2dGeom {
+    pub n: usize,
+    pub c_in: usize,
+    pub h: usize,
+    pub w: usize,
+    pub c_out: usize,
+    pub kh: usize,
+    pub kw: usize,
+    pub stride: usize,
+    pub pad: usize,
+    pub h_out: usize,
+    pub w_out: usize,
+}
+
+impl Conv2dGeom {
+    /// Derives the geometry from input/weight shapes plus stride/padding.
+    pub fn infer(x: &Shape, w: &Shape, stride: usize, pad: usize) -> Self {
+        assert_eq!(x.rank(), 4, "conv input must be NCHW, got {x}");
+        assert_eq!(w.rank(), 4, "conv weight must be [Cout,Cin,KH,KW], got {w}");
+        let (n, c_in, h, wid) = (x.n(), x.c(), x.h(), x.w());
+        let (c_out, wc_in, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
+        assert_eq!(
+            c_in, wc_in,
+            "conv channel mismatch: input C={c_in}, weight expects {wc_in}"
+        );
+        let h_out = conv_out_dim(h, kh, stride, pad);
+        let w_out = conv_out_dim(wid, kw, stride, pad);
+        Conv2dGeom {
+            n,
+            c_in,
+            h,
+            w: wid,
+            c_out,
+            kh,
+            kw,
+            stride,
+            pad,
+            h_out,
+            w_out,
+        }
+    }
+
+    /// Patch-matrix row count `K = C_in·KH·KW`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.c_in * self.kh * self.kw
+    }
+
+    /// Patch-matrix column count `P = H_out·W_out`.
+    #[inline]
+    pub fn p(&self) -> usize {
+        self.h_out * self.w_out
+    }
+
+    /// Output shape.
+    pub fn out_shape(&self) -> Shape {
+        Shape::new(&[self.n, self.c_out, self.h_out, self.w_out])
+    }
+
+    /// Multiply–add count for a full forward pass over the batch.
+    pub fn forward_macs(&self) -> u64 {
+        (self.n * self.c_out * self.h_out * self.w_out) as u64 * self.k() as u64
+    }
+}
+
+/// Expands one image (`CHW` slice) into the `K×P` patch matrix.
+pub fn im2col(g: &Conv2dGeom, img: &[f32], patches: &mut [f32]) {
+    debug_assert_eq!(img.len(), g.c_in * g.h * g.w);
+    debug_assert_eq!(patches.len(), g.k() * g.p());
+    let p = g.p();
+    for c in 0..g.c_in {
+        let chan = &img[c * g.h * g.w..(c + 1) * g.h * g.w];
+        for ki in 0..g.kh {
+            for kj in 0..g.kw {
+                let row = (c * g.kh + ki) * g.kw + kj;
+                let dst = &mut patches[row * p..(row + 1) * p];
+                let mut col = 0;
+                for oh in 0..g.h_out {
+                    let ih = (oh * g.stride + ki) as isize - g.pad as isize;
+                    if ih < 0 || ih >= g.h as isize {
+                        dst[col..col + g.w_out].iter_mut().for_each(|v| *v = 0.0);
+                        col += g.w_out;
+                        continue;
+                    }
+                    let src_row = &chan[ih as usize * g.w..(ih as usize + 1) * g.w];
+                    for ow in 0..g.w_out {
+                        let iw = (ow * g.stride + kj) as isize - g.pad as isize;
+                        dst[col] = if iw < 0 || iw >= g.w as isize {
+                            0.0
+                        } else {
+                            src_row[iw as usize]
+                        };
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatter-adds a `K×P` patch-gradient matrix back into one image gradient
+/// (`CHW` slice). Inverse of [`im2col`] under summation.
+pub fn col2im(g: &Conv2dGeom, patches: &[f32], dimg: &mut [f32]) {
+    debug_assert_eq!(dimg.len(), g.c_in * g.h * g.w);
+    debug_assert_eq!(patches.len(), g.k() * g.p());
+    let p = g.p();
+    for c in 0..g.c_in {
+        let chan = &mut dimg[c * g.h * g.w..(c + 1) * g.h * g.w];
+        for ki in 0..g.kh {
+            for kj in 0..g.kw {
+                let row = (c * g.kh + ki) * g.kw + kj;
+                let src = &patches[row * p..(row + 1) * p];
+                let mut col = 0;
+                for oh in 0..g.h_out {
+                    let ih = (oh * g.stride + ki) as isize - g.pad as isize;
+                    if ih < 0 || ih >= g.h as isize {
+                        col += g.w_out;
+                        continue;
+                    }
+                    let dst_row = &mut chan[ih as usize * g.w..(ih as usize + 1) * g.w];
+                    for ow in 0..g.w_out {
+                        let iw = (ow * g.stride + kj) as isize - g.pad as isize;
+                        if iw >= 0 && iw < g.w as isize {
+                            dst_row[iw as usize] += src[col];
+                        }
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Dense conv2d forward: `y = conv(x, w)`, no bias (EfficientNet convs are
+/// bias-free; batch norm provides the shift).
+pub fn conv2d_forward(x: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Tensor {
+    let g = Conv2dGeom::infer(x.shape(), w.shape(), stride, pad);
+    let mut y = Tensor::zeros(g.out_shape());
+    let img_len = g.c_in * g.h * g.w;
+    let out_len = g.c_out * g.p();
+    let xs = x.data();
+    let ws = w.data();
+    y.data_mut()
+        .par_chunks_mut(out_len)
+        .enumerate()
+        .for_each_init(
+            || vec![0.0f32; g.k() * g.p()],
+            |patches, (i, yout)| {
+                im2col(&g, &xs[i * img_len..(i + 1) * img_len], patches);
+                gemm_slice(g.c_out, g.k(), g.p(), ws, patches, yout);
+            },
+        );
+    y
+}
+
+/// Gradients of dense conv2d.
+///
+/// Returns `(dx, dw)` given upstream gradient `dy`. `dw` is freshly
+/// allocated (callers accumulate into their parameter grads with `axpy`).
+pub fn conv2d_backward(
+    x: &Tensor,
+    w: &Tensor,
+    dy: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> (Tensor, Tensor) {
+    let g = Conv2dGeom::infer(x.shape(), w.shape(), stride, pad);
+    assert!(
+        dy.shape().same_as(&g.out_shape()),
+        "dy shape {} != expected {}",
+        dy.shape(),
+        g.out_shape()
+    );
+    let img_len = g.c_in * g.h * g.w;
+    let out_len = g.c_out * g.p();
+    let xs = x.data();
+    let ws = w.data();
+    let dys = dy.data();
+    let wlen = w.numel();
+
+    let mut dx = Tensor::zeros(x.shape().clone());
+
+    // Parallel over batch: each worker owns disjoint dx image slices and a
+    // private dw accumulator; private dws are tree-reduced at the end.
+    let dw_partials: Vec<Vec<f32>> = dx
+        .data_mut()
+        .par_chunks_mut(img_len)
+        .enumerate()
+        .fold(
+            || (vec![0.0f32; wlen], vec![0.0f32; g.k() * g.p()]),
+            |(mut dw_local, mut scratch), (i, dximg)| {
+                let dyi = &dys[i * out_len..(i + 1) * out_len];
+                // dW += dY_i · patches_iᵀ  (dY_i: Cout×P, patches: K×P)
+                im2col(&g, &xs[i * img_len..(i + 1) * img_len], &mut scratch);
+                acc_a_bt(g.c_out, g.p(), g.k(), dyi, &scratch, &mut dw_local);
+                // dPatches = Wᵀ · dY_i   (W stored Cout×K)
+                gemm_at_b_slice(g.k(), g.c_out, g.p(), ws, dyi, &mut scratch);
+                dximg.iter_mut().for_each(|v| *v = 0.0);
+                col2im(&g, &scratch, dximg);
+                (dw_local, scratch)
+            },
+        )
+        .map(|(dw_local, _)| dw_local)
+        .collect();
+
+    let mut dw = Tensor::zeros(w.shape().clone());
+    for part in &dw_partials {
+        for (d, &p) in dw.data_mut().iter_mut().zip(part) {
+            *d += p;
+        }
+    }
+    (dx, dw)
+}
+
+/// `c += a(m×k) · bᵀ` with `b` stored `n×k` — local accumulating helper for
+/// the weight-gradient product.
+fn acc_a_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *cv += acc;
+        }
+    }
+}
+
+/// Depthwise conv2d forward (`groups == channels`, multiplier 1).
+///
+/// Weight shape `[C, 1, KH, KW]`. Direct loops — the arithmetic intensity is
+/// too low for im2col+GEMM to pay off.
+pub fn depthwise_forward(x: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Tensor {
+    let (n, c, h, wid) = (x.shape().n(), x.shape().c(), x.shape().h(), x.shape().w());
+    assert_eq!(w.shape().dim(0), c, "depthwise weight C mismatch");
+    assert_eq!(w.shape().dim(1), 1, "depthwise weight multiplier must be 1");
+    let (kh, kw) = (w.shape().dim(2), w.shape().dim(3));
+    let h_out = conv_out_dim(h, kh, stride, pad);
+    let w_out = conv_out_dim(wid, kw, stride, pad);
+    let mut y = Tensor::zeros([n, c, h_out, w_out]);
+    let xs = x.data();
+    let ws = w.data();
+    let in_plane = h * wid;
+    let out_plane = h_out * w_out;
+    y.data_mut()
+        .par_chunks_mut(out_plane)
+        .enumerate()
+        .for_each(|(plane_idx, yout)| {
+            let img = plane_idx / c;
+            let ch = plane_idx % c;
+            let xin = &xs[(img * c + ch) * in_plane..(img * c + ch + 1) * in_plane];
+            let ker = &ws[ch * kh * kw..(ch + 1) * kh * kw];
+            for oh in 0..h_out {
+                for ow in 0..w_out {
+                    let mut acc = 0.0f32;
+                    for ki in 0..kh {
+                        let ih = (oh * stride + ki) as isize - pad as isize;
+                        if ih < 0 || ih >= h as isize {
+                            continue;
+                        }
+                        for kj in 0..kw {
+                            let iw = (ow * stride + kj) as isize - pad as isize;
+                            if iw < 0 || iw >= wid as isize {
+                                continue;
+                            }
+                            acc += ker[ki * kw + kj] * xin[ih as usize * wid + iw as usize];
+                        }
+                    }
+                    yout[oh * w_out + ow] = acc;
+                }
+            }
+        });
+    y
+}
+
+/// Gradients of depthwise conv2d. Returns `(dx, dw)`.
+pub fn depthwise_backward(
+    x: &Tensor,
+    w: &Tensor,
+    dy: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> (Tensor, Tensor) {
+    let (n, c, h, wid) = (x.shape().n(), x.shape().c(), x.shape().h(), x.shape().w());
+    let (kh, kw) = (w.shape().dim(2), w.shape().dim(3));
+    let h_out = dy.shape().h();
+    let w_out = dy.shape().w();
+    assert_eq!(dy.shape().n(), n);
+    assert_eq!(dy.shape().c(), c);
+    let in_plane = h * wid;
+    let out_plane = h_out * w_out;
+    let xs = x.data();
+    let ws = w.data();
+    let dys = dy.data();
+
+    let mut dx = Tensor::zeros(x.shape().clone());
+    // Parallel over (image, channel) planes; dw reduced from per-worker
+    // partials since multiple images share a channel's kernel.
+    let dw_partials: Vec<Vec<f32>> = dx
+        .data_mut()
+        .par_chunks_mut(in_plane)
+        .enumerate()
+        .fold(
+            || vec![0.0f32; c * kh * kw],
+            |mut dw_local, (plane_idx, dximg)| {
+                let ch = plane_idx % c;
+                let xin = &xs[plane_idx * in_plane..(plane_idx + 1) * in_plane];
+                let dyp = &dys[plane_idx * out_plane..(plane_idx + 1) * out_plane];
+                let ker = &ws[ch * kh * kw..(ch + 1) * kh * kw];
+                let dker = &mut dw_local[ch * kh * kw..(ch + 1) * kh * kw];
+                for oh in 0..h_out {
+                    for ow in 0..w_out {
+                        let g = dyp[oh * w_out + ow];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        for ki in 0..kh {
+                            let ih = (oh * stride + ki) as isize - pad as isize;
+                            if ih < 0 || ih >= h as isize {
+                                continue;
+                            }
+                            for kj in 0..kw {
+                                let iw = (ow * stride + kj) as isize - pad as isize;
+                                if iw < 0 || iw >= wid as isize {
+                                    continue;
+                                }
+                                let xi = ih as usize * wid + iw as usize;
+                                dker[ki * kw + kj] += g * xin[xi];
+                                dximg[xi] += g * ker[ki * kw + kj];
+                            }
+                        }
+                    }
+                }
+                dw_local
+            },
+        )
+        .collect();
+
+    let mut dw = Tensor::zeros(w.shape().clone());
+    for part in &dw_partials {
+        for (d, &p) in dw.data_mut().iter_mut().zip(part) {
+            *d += p;
+        }
+    }
+    (dx, dw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn rand_tensor(rng: &mut Rng, shape: &[usize]) -> Tensor {
+        let mut t = Tensor::zeros(shape);
+        rng.fill_uniform(t.data_mut(), -1.0, 1.0);
+        t
+    }
+
+    /// Naive direct convolution reference.
+    fn conv_ref(x: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Tensor {
+        let g = Conv2dGeom::infer(x.shape(), w.shape(), stride, pad);
+        let mut y = Tensor::zeros(g.out_shape());
+        for n in 0..g.n {
+            for co in 0..g.c_out {
+                for oh in 0..g.h_out {
+                    for ow in 0..g.w_out {
+                        let mut acc = 0.0;
+                        for ci in 0..g.c_in {
+                            for ki in 0..g.kh {
+                                for kj in 0..g.kw {
+                                    let ih = (oh * stride + ki) as isize - pad as isize;
+                                    let iw = (ow * stride + kj) as isize - pad as isize;
+                                    if ih < 0 || iw < 0 || ih >= g.h as isize || iw >= g.w as isize
+                                    {
+                                        continue;
+                                    }
+                                    acc += x.at(&[n, ci, ih as usize, iw as usize])
+                                        * w.at(&[co, ci, ki, kj]);
+                                }
+                            }
+                        }
+                        *y.at_mut(&[n, co, oh, ow]) = acc;
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn forward_matches_reference() {
+        let mut rng = Rng::new(1);
+        for &(n, ci, h, w, co, k, s, p) in &[
+            (1, 1, 5, 5, 1, 3, 1, 1),
+            (2, 3, 8, 8, 4, 3, 1, 1),
+            (2, 3, 9, 7, 5, 3, 2, 1),
+            (1, 4, 6, 6, 2, 1, 1, 0),
+            (2, 2, 11, 11, 3, 5, 2, 2),
+        ] {
+            let x = rand_tensor(&mut rng, &[n, ci, h, w]);
+            let wt = rand_tensor(&mut rng, &[co, ci, k, k]);
+            let y = conv2d_forward(&x, &wt, s, p);
+            let yr = conv_ref(&x, &wt, s, p);
+            assert!(
+                y.max_abs_diff(&yr) < 1e-4,
+                "cfg ({n},{ci},{h},{w},{co},{k},{s},{p})"
+            );
+        }
+    }
+
+    /// Finite-difference check of conv2d gradients.
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut rng = Rng::new(2);
+        let x = rand_tensor(&mut rng, &[2, 2, 5, 5]);
+        let wt = rand_tensor(&mut rng, &[3, 2, 3, 3]);
+        let (s, p) = (2, 1);
+        // Loss = sum(conv(x, w) * g) for a fixed random g.
+        let y0 = conv2d_forward(&x, &wt, s, p);
+        let gout = rand_tensor(&mut rng, y0.shape().dims());
+        let (dx, dw) = conv2d_backward(&x, &wt, &gout, s, p);
+
+        let loss = |x: &Tensor, w: &Tensor| -> f64 {
+            let y = conv2d_forward(x, w, s, p);
+            y.data()
+                .iter()
+                .zip(gout.data())
+                .map(|(&a, &b)| (a as f64) * (b as f64))
+                .sum()
+        };
+        let eps = 1e-3f32;
+        // Spot-check a sample of coordinates in x and w.
+        for &i in &[0usize, 7, 23, 49, x.numel() - 1] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = ((loss(&xp, &wt) - loss(&xm, &wt)) / (2.0 * eps as f64)) as f32;
+            let ana = dx.data()[i];
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + num.abs()),
+                "dx[{i}]: numeric {num} vs analytic {ana}"
+            );
+        }
+        for &i in &[0usize, 5, 17, wt.numel() - 1] {
+            let mut wp = wt.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = wt.clone();
+            wm.data_mut()[i] -= eps;
+            let num = ((loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps as f64)) as f32;
+            let ana = dw.data()[i];
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + num.abs()),
+                "dw[{i}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn depthwise_matches_grouped_reference() {
+        let mut rng = Rng::new(3);
+        let (n, c, h, w, k, s, p) = (2, 4, 7, 7, 3, 1, 1);
+        let x = rand_tensor(&mut rng, &[n, c, h, w]);
+        let wt = rand_tensor(&mut rng, &[c, 1, k, k]);
+        let y = depthwise_forward(&x, &wt, s, p);
+        // Reference: per-channel dense conv with a 1-channel kernel.
+        for ch in 0..c {
+            let mut xc = Tensor::zeros([n, 1, h, w]);
+            let mut wc = Tensor::zeros([1, 1, k, k]);
+            for i in 0..n {
+                for a in 0..h {
+                    for b in 0..w {
+                        *xc.at_mut(&[i, 0, a, b]) = x.at(&[i, ch, a, b]);
+                    }
+                }
+            }
+            for a in 0..k {
+                for b in 0..k {
+                    *wc.at_mut(&[0, 0, a, b]) = wt.at(&[ch, 0, a, b]);
+                }
+            }
+            let yc = conv2d_forward(&xc, &wc, s, p);
+            for i in 0..n {
+                for a in 0..y.shape().h() {
+                    for b in 0..y.shape().w() {
+                        let d = (y.at(&[i, ch, a, b]) - yc.at(&[i, 0, a, b])).abs();
+                        assert!(d < 1e-5, "channel {ch} mismatch {d}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depthwise_backward_finite_difference() {
+        let mut rng = Rng::new(4);
+        let x = rand_tensor(&mut rng, &[1, 3, 6, 6]);
+        let wt = rand_tensor(&mut rng, &[3, 1, 3, 3]);
+        let (s, p) = (2, 1);
+        let y0 = depthwise_forward(&x, &wt, s, p);
+        let gout = rand_tensor(&mut rng, y0.shape().dims());
+        let (dx, dw) = depthwise_backward(&x, &wt, &gout, s, p);
+        let loss = |x: &Tensor, w: &Tensor| -> f64 {
+            depthwise_forward(x, w, s, p)
+                .data()
+                .iter()
+                .zip(gout.data())
+                .map(|(&a, &b)| (a as f64) * (b as f64))
+                .sum()
+        };
+        let eps = 1e-3f32;
+        for &i in &[0usize, 31, 71, x.numel() - 1] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = ((loss(&xp, &wt) - loss(&xm, &wt)) / (2.0 * eps as f64)) as f32;
+            assert!((num - dx.data()[i]).abs() < 2e-2 * (1.0 + num.abs()));
+        }
+        for &i in &[0usize, 13, wt.numel() - 1] {
+            let mut wp = wt.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = wt.clone();
+            wm.data_mut()[i] -= eps;
+            let num = ((loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps as f64)) as f32;
+            assert!((num - dw.data()[i]).abs() < 2e-2 * (1.0 + num.abs()));
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint() {
+        // <im2col(x), p> == <x, col2im(p)> — the defining adjoint property.
+        let mut rng = Rng::new(5);
+        let x = rand_tensor(&mut rng, &[1, 2, 5, 5]);
+        let wshape = Shape::new(&[1, 2, 3, 3]);
+        let g = Conv2dGeom::infer(x.shape(), &wshape, 2, 1);
+        let mut patches = vec![0.0; g.k() * g.p()];
+        im2col(&g, x.data(), &mut patches);
+        let mut p = vec![0.0; g.k() * g.p()];
+        let mut rr = Rng::new(6);
+        rr.fill_uniform(&mut p, -1.0, 1.0);
+        let lhs: f64 = patches
+            .iter()
+            .zip(&p)
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        let mut back = vec![0.0; x.numel()];
+        col2im(&g, &p, &mut back);
+        let rhs: f64 = x
+            .data()
+            .iter()
+            .zip(&back)
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn macs_counting() {
+        let x = Shape::new(&[1, 3, 8, 8]);
+        let w = Shape::new(&[16, 3, 3, 3]);
+        let g = Conv2dGeom::infer(&x, &w, 1, 1);
+        assert_eq!(g.forward_macs(), (16 * 8 * 8) as u64 * (3 * 3 * 3) as u64);
+    }
+}

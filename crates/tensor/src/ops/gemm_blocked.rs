@@ -1,0 +1,187 @@
+//! Cache-blocked, panel-packed GEMM.
+//!
+//! The naive ikj kernel in [`crate::ops::matmul`] streams `B` from memory
+//! on every row of `A`; once `B` no longer fits in L2 that becomes the
+//! bottleneck. This variant applies the standard GotoBLAS decomposition:
+//!
+//! ```text
+//! for jc in 0..n step NC          (B panel → L3)
+//!   for pc in 0..k step KC        (pack B[pc..pc+KC, jc..jc+NC] once)
+//!     for ic in 0..m step MC      (pack A[ic..ic+MC, pc..pc+KC])
+//!       macro-kernel: MC×NC += MC×KC · KC×NC  (register-tiled 4×4)
+//! ```
+//!
+//! Packing copies each panel into contiguous, tile-major scratch so the
+//! micro-kernel reads both operands at stride 1. Parallelism: the `ic`
+//! loop is split across rayon workers (disjoint `C` row-blocks, shared
+//! read-only packed `B`).
+//!
+//! The unit tests pin it against the reference kernel; `benches/kernels.rs`
+//! compares throughput.
+
+use rayon::prelude::*;
+
+/// Row-block size (A panel height).
+pub const MC: usize = 64;
+/// Depth-block size (shared panel depth).
+pub const KC: usize = 128;
+/// Column-block size (B panel width).
+pub const NC: usize = 256;
+/// Micro-tile dimensions.
+const MR: usize = 4;
+const NR: usize = 4;
+
+/// `c = a(m×k) · b(k×n)` with cache blocking and panel packing.
+pub fn gemm_blocked(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A dims");
+    assert_eq!(b.len(), k * n, "B dims");
+    assert_eq!(c.len(), m * n, "C dims");
+    c.iter_mut().for_each(|v| *v = 0.0);
+
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            // Pack B panel: tile-major, NR columns per tile, padded to NR.
+            let b_tiles = nc.div_ceil(NR);
+            let mut bp = vec![0.0f32; b_tiles * kc * NR];
+            for jt in 0..b_tiles {
+                let j0 = jc + jt * NR;
+                let jn = NR.min(n.saturating_sub(j0)).min(nc - jt * NR);
+                for p in 0..kc {
+                    let src = (pc + p) * n + j0;
+                    let dst = (jt * kc + p) * NR;
+                    bp[dst..dst + jn].copy_from_slice(&b[src..src + jn]);
+                }
+            }
+
+            // Row blocks in parallel; each packs its own A panel.
+            c.par_chunks_mut(MC * n)
+                .enumerate()
+                .for_each(|(block, c_block)| {
+                    let ic = block * MC;
+                    if ic >= m {
+                        return;
+                    }
+                    let mc = MC.min(m - ic);
+                    // Pack A panel: tile-major, MR rows per tile, padded.
+                    let a_tiles = mc.div_ceil(MR);
+                    let mut ap = vec![0.0f32; a_tiles * kc * MR];
+                    for it in 0..a_tiles {
+                        let i0 = ic + it * MR;
+                        let im = MR.min(m - i0).min(mc - it * MR);
+                        for p in 0..kc {
+                            for ii in 0..im {
+                                ap[(it * kc + p) * MR + ii] = a[(i0 + ii) * k + pc + p];
+                            }
+                        }
+                    }
+                    // Macro-kernel over micro-tiles.
+                    for it in 0..a_tiles {
+                        let i0 = it * MR; // row offset within the block
+                        let im = MR.min(mc - i0);
+                        for jt in 0..b_tiles {
+                            let j0 = jc + jt * NR;
+                            let jn = NR.min(nc - jt * NR);
+                            let mut acc = [[0.0f32; NR]; MR];
+                            let apanel = &ap[it * kc * MR..(it + 1) * kc * MR];
+                            let bpanel = &bp[jt * kc * NR..(jt + 1) * kc * NR];
+                            for p in 0..kc {
+                                let arow = &apanel[p * MR..(p + 1) * MR];
+                                let brow = &bpanel[p * NR..(p + 1) * NR];
+                                for (ii, accrow) in acc.iter_mut().enumerate() {
+                                    let av = arow[ii];
+                                    for (jj, slot) in accrow.iter_mut().enumerate() {
+                                        *slot += av * brow[jj];
+                                    }
+                                }
+                            }
+                            for ii in 0..im {
+                                let crow = &mut c_block[(i0 + ii) * n + j0..];
+                                for jj in 0..jn {
+                                    crow[jj] += acc[ii][jj];
+                                }
+                            }
+                        }
+                    }
+                });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::matmul::gemm_slice;
+    use crate::rng::Rng;
+
+    fn rand_vec(rng: &mut Rng, n: usize) -> Vec<f32> {
+        let mut v = vec![0.0; n];
+        rng.fill_uniform(&mut v, -1.0, 1.0);
+        v
+    }
+
+    fn check(m: usize, k: usize, n: usize, seed: u64) {
+        let mut rng = Rng::new(seed);
+        let a = rand_vec(&mut rng, m * k);
+        let b = rand_vec(&mut rng, k * n);
+        let mut want = vec![0.0; m * n];
+        gemm_slice(m, k, n, &a, &b, &mut want);
+        let mut got = vec![0.0; m * n];
+        gemm_blocked(m, k, n, &a, &b, &mut got);
+        let max_err = got
+            .iter()
+            .zip(&want)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err < 1e-3 * k as f32 / 16.0 + 1e-4, "({m},{k},{n}): {max_err}");
+    }
+
+    #[test]
+    fn matches_reference_small() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 4, 4),
+            (5, 9, 3),
+            (17, 13, 11),
+        ] {
+            check(m, k, n, 1);
+        }
+    }
+
+    #[test]
+    fn matches_reference_at_block_boundaries() {
+        for &(m, k, n) in &[
+            (MC, KC, NC),
+            (MC - 1, KC + 1, NC - 1),
+            (MC + 1, KC - 1, NC + 1),
+            (2 * MC + 3, KC, NR),
+            (MR, 2 * KC + 5, NC + NR + 1),
+        ] {
+            check(m, k, n, 2);
+        }
+    }
+
+    #[test]
+    fn matches_reference_large() {
+        check(200, 300, 150, 3);
+        check(256, 256, 256, 4);
+    }
+
+    #[test]
+    fn identity_product() {
+        let n = 96;
+        let mut eye = vec![0.0f32; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let mut rng = Rng::new(5);
+        let a = rand_vec(&mut rng, n * n);
+        let mut c = vec![0.0f32; n * n];
+        gemm_blocked(n, n, n, &a, &eye, &mut c);
+        for (x, y) in c.iter().zip(&a) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+}

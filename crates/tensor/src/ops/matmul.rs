@@ -1,0 +1,345 @@
+//! Parallel blocked GEMM kernels.
+//!
+//! These are the workhorses behind the im2col convolution and the linear
+//! layers. Three orientations are provided because the backward passes of
+//! conv/linear need `AᵀB` and `ABᵀ` and materializing transposes would blow
+//! the memory budget of the hot loop:
+//!
+//! - [`gemm_slice`]      — `C = A(m×k) · B(k×n)`
+//! - [`gemm_at_b_slice`] — `C = Aᵀ·B` with `A` stored `k×m`
+//! - [`gemm_a_bt_slice`] — `C = A·Bᵀ` with `B` stored `n×k`
+//!
+//! Parallelism: rows of `C` are chunked across rayon workers; each worker
+//! writes a disjoint `C` slice so no synchronization is needed. The inner
+//! kernel is a cache-friendly ikj loop with f32 accumulation (matching the
+//! systolic-array semantics modeled in the pod simulator: bf16 or f32
+//! multiplies, f32 accumulate).
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Minimum per-worker row count before we bother parallelizing. Tiny GEMMs
+/// are faster single-threaded than paying rayon's dispatch cost.
+const PAR_ROW_THRESHOLD: usize = 8;
+/// Minimum FLOP count before parallelizing.
+const PAR_FLOP_THRESHOLD: usize = 64 * 1024;
+
+/// `c = a · b` on raw row-major slices. `a` is `m×k`, `b` is `k×n`, `c` is
+/// `m×n` and is fully overwritten.
+pub fn gemm_slice(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A dims");
+    assert_eq!(b.len(), k * n, "B dims");
+    assert_eq!(c.len(), m * n, "C dims");
+    let work = m * n * k;
+    if m >= PAR_ROW_THRESHOLD && work >= PAR_FLOP_THRESHOLD {
+        c.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, crow)| gemm_row(k, n, &a[i * k..(i + 1) * k], b, crow));
+    } else {
+        for i in 0..m {
+            gemm_row(k, n, &a[i * k..(i + 1) * k], b, &mut c[i * n..(i + 1) * n]);
+        }
+    }
+}
+
+/// One output row: `crow = arow · B`, ikj order so `B` is streamed row-wise.
+#[inline]
+fn gemm_row(k: usize, n: usize, arow: &[f32], b: &[f32], crow: &mut [f32]) {
+    crow.iter_mut().for_each(|v| *v = 0.0);
+    for (p, &apv) in arow.iter().enumerate().take(k) {
+        if apv == 0.0 {
+            continue;
+        }
+        let brow = &b[p * n..(p + 1) * n];
+        for (cv, &bv) in crow.iter_mut().zip(brow) {
+            *cv += apv * bv;
+        }
+    }
+}
+
+/// `c += a · b` on raw slices (accumulating variant for gradient sums).
+pub fn gemm_slice_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A dims");
+    assert_eq!(b.len(), k * n, "B dims");
+    assert_eq!(c.len(), m * n, "C dims");
+    let work = m * n * k;
+    let body = |i: usize, crow: &mut [f32]| {
+        let arow = &a[i * k..(i + 1) * k];
+        for (p, &apv) in arow.iter().enumerate() {
+            if apv == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += apv * bv;
+            }
+        }
+    };
+    if m >= PAR_ROW_THRESHOLD && work >= PAR_FLOP_THRESHOLD {
+        c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| body(i, crow));
+    } else {
+        for i in 0..m {
+            body(i, &mut c[i * n..(i + 1) * n]);
+        }
+    }
+}
+
+/// `c = aᵀ · b` where `a` is stored `k×m` (so `aᵀ` is `m×k`) and `b` is
+/// `k×n`; `c` is `m×n`, fully overwritten.
+///
+/// Used by conv/linear weight gradients: `dW = dOutᵀ · X` style products.
+pub fn gemm_at_b_slice(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "A dims (stored k×m)");
+    assert_eq!(b.len(), k * n, "B dims");
+    assert_eq!(c.len(), m * n, "C dims");
+    let work = m * n * k;
+    let body = |i: usize, crow: &mut [f32]| {
+        crow.iter_mut().for_each(|v| *v = 0.0);
+        // Column i of the stored a (stride m) forms row i of aᵀ.
+        for p in 0..k {
+            let apv = a[p * m + i];
+            if apv == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += apv * bv;
+            }
+        }
+    };
+    if m >= PAR_ROW_THRESHOLD && work >= PAR_FLOP_THRESHOLD {
+        c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| body(i, crow));
+    } else {
+        for i in 0..m {
+            body(i, &mut c[i * n..(i + 1) * n]);
+        }
+    }
+}
+
+/// `c += aᵀ · b` (accumulating variant of [`gemm_at_b_slice`]).
+pub fn gemm_at_b_slice_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "A dims (stored k×m)");
+    assert_eq!(b.len(), k * n, "B dims");
+    assert_eq!(c.len(), m * n, "C dims");
+    let work = m * n * k;
+    let body = |i: usize, crow: &mut [f32]| {
+        for p in 0..k {
+            let apv = a[p * m + i];
+            if apv == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += apv * bv;
+            }
+        }
+    };
+    if m >= PAR_ROW_THRESHOLD && work >= PAR_FLOP_THRESHOLD {
+        c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| body(i, crow));
+    } else {
+        for i in 0..m {
+            body(i, &mut c[i * n..(i + 1) * n]);
+        }
+    }
+}
+
+/// `c = a · bᵀ` where `a` is `m×k` and `b` is stored `n×k` (so `bᵀ` is
+/// `k×n`); `c` is `m×n`, fully overwritten.
+///
+/// Used by input gradients: `dX = dOut · W` with `W` stored out×in.
+pub fn gemm_a_bt_slice(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A dims");
+    assert_eq!(b.len(), n * k, "B dims (stored n×k)");
+    assert_eq!(c.len(), m * n, "C dims");
+    let work = m * n * k;
+    let body = |i: usize, crow: &mut [f32]| {
+        let arow = &a[i * k..(i + 1) * k];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *cv = acc;
+        }
+    };
+    if m >= PAR_ROW_THRESHOLD && work >= PAR_FLOP_THRESHOLD {
+        c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| body(i, crow));
+    } else {
+        for i in 0..m {
+            body(i, &mut c[i * n..(i + 1) * n]);
+        }
+    }
+}
+
+/// Tensor-level `A(m×k) · B(k×n)`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = mat_dims(a, "A");
+    let (k2, n) = mat_dims(b, "B");
+    assert_eq!(k, k2, "matmul inner dims: A is {m}x{k}, B is {k2}x{n}");
+    let mut c = Tensor::zeros([m, n]);
+    gemm_slice(m, k, n, a.data(), b.data(), c.data_mut());
+    c
+}
+
+/// Tensor-level `Aᵀ · B` where `a` is stored `k×m`.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = mat_dims(a, "A");
+    let (k2, n) = mat_dims(b, "B");
+    assert_eq!(k, k2, "matmul_at_b inner dims");
+    let mut c = Tensor::zeros([m, n]);
+    gemm_at_b_slice(m, k, n, a.data(), b.data(), c.data_mut());
+    c
+}
+
+/// Tensor-level `A · Bᵀ` where `b` is stored `n×k`.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = mat_dims(a, "A");
+    let (n, k2) = mat_dims(b, "B");
+    assert_eq!(k, k2, "matmul_a_bt inner dims");
+    let mut c = Tensor::zeros([m, n]);
+    gemm_a_bt_slice(m, k, n, a.data(), b.data(), c.data_mut());
+    c
+}
+
+fn mat_dims(t: &Tensor, name: &str) -> (usize, usize) {
+    assert_eq!(t.shape().rank(), 2, "{name} must be a matrix, got {}", t.shape());
+    (t.shape().dim(0), t.shape().dim(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    /// Naive reference for validation.
+    fn reference(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn rand_vec(rng: &mut Rng, n: usize) -> Vec<f32> {
+        let mut v = vec![0.0; n];
+        rng.fill_uniform(&mut v, -1.0, 1.0);
+        v
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec([3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matches_reference_various_sizes() {
+        let mut rng = Rng::new(1);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (16, 16, 16), (33, 17, 29), (64, 128, 32)] {
+            let a = rand_vec(&mut rng, m * k);
+            let b = rand_vec(&mut rng, k * n);
+            let mut c = vec![0.0; m * n];
+            gemm_slice(m, k, n, &a, &b, &mut c);
+            let r = reference(m, k, n, &a, &b);
+            for (x, y) in c.iter().zip(&r) {
+                assert!((x - y).abs() < 1e-4, "mismatch {x} vs {y} at ({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_variants_match() {
+        let mut rng = Rng::new(2);
+        let (m, k, n) = (13, 21, 9);
+        let a = rand_vec(&mut rng, m * k); // m×k
+        let b = rand_vec(&mut rng, k * n); // k×n
+        let r = reference(m, k, n, &a, &b);
+
+        // Store A as k×m and use gemm_at_b.
+        let mut a_t = vec![0.0; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                a_t[p * m + i] = a[i * k + p];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        gemm_at_b_slice(m, k, n, &a_t, &b, &mut c);
+        for (x, y) in c.iter().zip(&r) {
+            assert!((x - y).abs() < 1e-4);
+        }
+
+        // Store B as n×k and use gemm_a_bt.
+        let mut b_t = vec![0.0; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                b_t[j * k + p] = b[p * n + j];
+            }
+        }
+        let mut c2 = vec![0.0; m * n];
+        gemm_a_bt_slice(m, k, n, &a, &b_t, &mut c2);
+        for (x, y) in c2.iter().zip(&r) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn accumulating_variants_add() {
+        let mut rng = Rng::new(3);
+        let (m, k, n) = (6, 4, 5);
+        let a = rand_vec(&mut rng, m * k);
+        let b = rand_vec(&mut rng, k * n);
+        let mut c = vec![1.0; m * n];
+        gemm_slice_acc(m, k, n, &a, &b, &mut c);
+        let r = reference(m, k, n, &a, &b);
+        for (x, y) in c.iter().zip(&r) {
+            assert!((x - (y + 1.0)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn parallel_path_consistent_with_serial() {
+        // Big enough to trip the parallel threshold; verify against reference.
+        let mut rng = Rng::new(4);
+        let (m, k, n) = (128, 64, 96);
+        let a = rand_vec(&mut rng, m * k);
+        let b = rand_vec(&mut rng, k * n);
+        let mut c = vec![0.0; m * n];
+        gemm_slice(m, k, n, &a, &b, &mut c);
+        let r = reference(m, k, n, &a, &b);
+        let max_err = c
+            .iter()
+            .zip(&r)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err < 1e-3, "max_err {max_err}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn inner_dim_mismatch_panics() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Rng::new(5);
+        let a = Tensor::from_vec([4, 4], rand_vec(&mut rng, 16));
+        let mut eye = Tensor::zeros([4, 4]);
+        for i in 0..4 {
+            *eye.at_mut(&[i, i]) = 1.0;
+        }
+        let c = matmul(&a, &eye);
+        assert!(a.max_abs_diff(&c) < 1e-6);
+    }
+}

@@ -1,0 +1,7 @@
+//! Compute kernels over dense tensors.
+
+pub mod conv;
+pub mod gemm_blocked;
+pub mod matmul;
+pub mod pool;
+pub mod reduce;

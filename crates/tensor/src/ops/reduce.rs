@@ -1,0 +1,167 @@
+//! Channel-axis reductions and broadcasts for `NCHW` tensors.
+//!
+//! Batch normalization needs per-channel statistics over the `(N, H, W)`
+//! axes and per-channel affine broadcasts back over the same axes; these
+//! kernels keep those operations allocation-light and parallel.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Per-channel sum over `(N, H, W)`: `NCHW -> C`.
+pub fn channel_sum(x: &Tensor) -> Vec<f32> {
+    let (n, c, h, w) = (x.shape().n(), x.shape().c(), x.shape().h(), x.shape().w());
+    let plane = h * w;
+    let xs = x.data();
+    (0..c)
+        .into_par_iter()
+        .map(|ch| {
+            let mut acc = 0.0f64;
+            for img in 0..n {
+                let base = (img * c + ch) * plane;
+                for &v in &xs[base..base + plane] {
+                    acc += v as f64;
+                }
+            }
+            acc as f32
+        })
+        .collect()
+}
+
+/// Per-channel mean over `(N, H, W)`.
+pub fn channel_mean(x: &Tensor) -> Vec<f32> {
+    let count = (x.shape().n() * x.shape().h() * x.shape().w()) as f32;
+    channel_sum(x).into_iter().map(|s| s / count).collect()
+}
+
+/// Per-channel sum of squares over `(N, H, W)`.
+pub fn channel_sum_sq(x: &Tensor) -> Vec<f32> {
+    let (n, c, h, w) = (x.shape().n(), x.shape().c(), x.shape().h(), x.shape().w());
+    let plane = h * w;
+    let xs = x.data();
+    (0..c)
+        .into_par_iter()
+        .map(|ch| {
+            let mut acc = 0.0f64;
+            for img in 0..n {
+                let base = (img * c + ch) * plane;
+                for &v in &xs[base..base + plane] {
+                    acc += (v as f64) * (v as f64);
+                }
+            }
+            acc as f32
+        })
+        .collect()
+}
+
+/// Applies `y = (x - mean[c]) * scale[c] + shift[c]` per channel.
+pub fn channel_affine(x: &Tensor, mean: &[f32], scale: &[f32], shift: &[f32]) -> Tensor {
+    let (n, c, h, w) = (x.shape().n(), x.shape().c(), x.shape().h(), x.shape().w());
+    assert_eq!(mean.len(), c);
+    assert_eq!(scale.len(), c);
+    assert_eq!(shift.len(), c);
+    let plane = h * w;
+    let mut y = x.clone();
+    y.data_mut()
+        .par_chunks_mut(plane)
+        .enumerate()
+        .for_each(|(i, dst)| {
+            let ch = i % c;
+            let (m, s, b) = (mean[ch], scale[ch], shift[ch]);
+            dst.iter_mut().for_each(|v| *v = (*v - m) * s + b);
+        });
+    let _ = n;
+    y
+}
+
+/// Per-channel weighted sum of `g` over `(N,H,W)`: returns
+/// `(sum_g[c], sum_g_times_xhat[c])` in one pass — exactly the two
+/// reductions the batch-norm backward pass needs.
+pub fn bn_backward_sums(g: &Tensor, xhat: &Tensor) -> (Vec<f32>, Vec<f32>) {
+    assert!(g.shape().same_as(xhat.shape()), "bn_backward_sums shape mismatch");
+    let (n, c, h, w) = (g.shape().n(), g.shape().c(), g.shape().h(), g.shape().w());
+    let plane = h * w;
+    let gs = g.data();
+    let xs = xhat.data();
+    let pairs: Vec<(f32, f32)> = (0..c)
+        .into_par_iter()
+        .map(|ch| {
+            let mut s = 0.0f64;
+            let mut sx = 0.0f64;
+            for img in 0..n {
+                let base = (img * c + ch) * plane;
+                for k in 0..plane {
+                    let gv = gs[base + k] as f64;
+                    s += gv;
+                    sx += gv * xs[base + k] as f64;
+                }
+            }
+            (s as f32, sx as f32)
+        })
+        .collect();
+    pairs.into_iter().unzip()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn sums_and_means() {
+        let mut x = Tensor::zeros([2, 2, 1, 2]);
+        // channel 0: [0,1, 4,5], channel 1: [2,3, 6,7]
+        for (i, v) in x.data_mut().iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        assert_eq!(channel_sum(&x), vec![10.0, 18.0]);
+        assert_eq!(channel_mean(&x), vec![2.5, 4.5]);
+        assert_eq!(channel_sum_sq(&x), vec![42.0, 98.0]);
+    }
+
+    #[test]
+    fn affine_normalizes() {
+        let mut rng = Rng::new(1);
+        let mut x = Tensor::zeros([4, 3, 5, 5]);
+        rng.fill_normal(x.data_mut(), 2.0, 3.0);
+        let mean = channel_mean(&x);
+        let count = (4 * 5 * 5) as f32;
+        let var: Vec<f32> = channel_sum_sq(&x)
+            .iter()
+            .zip(&mean)
+            .map(|(&ss, &m)| ss / count - m * m)
+            .collect();
+        let scale: Vec<f32> = var.iter().map(|v| 1.0 / (v + 1e-5).sqrt()).collect();
+        let y = channel_affine(&x, &mean, &scale, &[0.0; 3]);
+        let ym = channel_mean(&y);
+        let yss = channel_sum_sq(&y);
+        for ch in 0..3 {
+            assert!(ym[ch].abs() < 1e-4, "mean {}", ym[ch]);
+            let v = yss[ch] / count - ym[ch] * ym[ch];
+            assert!((v - 1.0).abs() < 1e-3, "var {v}");
+        }
+    }
+
+    #[test]
+    fn backward_sums_match_naive() {
+        let mut rng = Rng::new(2);
+        let mut g = Tensor::zeros([2, 2, 3, 3]);
+        let mut xh = Tensor::zeros([2, 2, 3, 3]);
+        rng.fill_uniform(g.data_mut(), -1.0, 1.0);
+        rng.fill_uniform(xh.data_mut(), -1.0, 1.0);
+        let (s, sx) = bn_backward_sums(&g, &xh);
+        for ch in 0..2 {
+            let mut es = 0.0f32;
+            let mut esx = 0.0f32;
+            for n in 0..2 {
+                for i in 0..3 {
+                    for j in 0..3 {
+                        es += g.at(&[n, ch, i, j]);
+                        esx += g.at(&[n, ch, i, j]) * xh.at(&[n, ch, i, j]);
+                    }
+                }
+            }
+            assert!((s[ch] - es).abs() < 1e-4);
+            assert!((sx[ch] - esx).abs() < 1e-4);
+        }
+    }
+}

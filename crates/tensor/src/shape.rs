@@ -1,0 +1,221 @@
+//! Shapes and row-major stride arithmetic for dense tensors.
+//!
+//! All tensors in this workspace are contiguous row-major (C order). For
+//! image tensors the convention is `NCHW`: `[batch, channels, height, width]`.
+
+use std::fmt;
+
+/// The dimensions of a dense row-major tensor.
+///
+/// A `Shape` is a thin wrapper over a `Vec<usize>` with helpers for strides,
+/// flat indexing, and the `NCHW` accessors used by the convolution kernels.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a dimension list.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Number of dimensions (rank) of the shape.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Dimension extents as a slice.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Size of dimension `i`. Panics if `i` is out of range.
+    #[inline]
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Total number of elements (product of all dims; 1 for a scalar shape).
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides, in elements.
+    ///
+    /// `strides()[i]` is the flat-index step when dimension `i` advances by
+    /// one. The last dimension always has stride 1 for a contiguous tensor.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut s = vec![1usize; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * self.0[i + 1];
+        }
+        s
+    }
+
+    /// Flat row-major offset of a multi-index. Panics if the index is out of
+    /// bounds in debug builds.
+    #[inline]
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.rank());
+        let mut off = 0;
+        let mut stride = 1;
+        for i in (0..self.rank()).rev() {
+            debug_assert!(idx[i] < self.0[i], "index {idx:?} out of bounds for {self}");
+            off += idx[i] * stride;
+            stride *= self.0[i];
+        }
+        off
+    }
+
+    /// Batch dimension of an `NCHW` tensor.
+    #[inline]
+    pub fn n(&self) -> usize {
+        assert_eq!(self.rank(), 4, "n() requires an NCHW shape, got {self}");
+        self.0[0]
+    }
+
+    /// Channel dimension of an `NCHW` tensor.
+    #[inline]
+    pub fn c(&self) -> usize {
+        assert_eq!(self.rank(), 4, "c() requires an NCHW shape, got {self}");
+        self.0[1]
+    }
+
+    /// Height of an `NCHW` tensor.
+    #[inline]
+    pub fn h(&self) -> usize {
+        assert_eq!(self.rank(), 4, "h() requires an NCHW shape, got {self}");
+        self.0[2]
+    }
+
+    /// Width of an `NCHW` tensor.
+    #[inline]
+    pub fn w(&self) -> usize {
+        assert_eq!(self.rank(), 4, "w() requires an NCHW shape, got {self}");
+        self.0[3]
+    }
+
+    /// Returns true when two shapes have identical dims.
+    #[inline]
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(d: &[usize]) -> Self {
+        Shape::new(d)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(d: [usize; N]) -> Self {
+        Shape(d.to_vec())
+    }
+}
+
+/// Output spatial extent of a convolution/pooling window along one axis.
+///
+/// `input` is the input extent, `kernel` the window size, `stride` the step,
+/// and `pad` the symmetric zero padding applied to both sides.
+#[inline]
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    let padded = input + 2 * pad;
+    assert!(
+        padded + 1 > kernel,
+        "kernel {kernel} larger than padded input {padded}"
+    );
+    (padded - kernel) / stride + 1
+}
+
+/// "SAME" padding for odd kernels: output extent equals `ceil(input/stride)`.
+///
+/// This mirrors the TensorFlow `padding='same'` rule used throughout
+/// EfficientNet for stride-1 and stride-2 convolutions with odd kernels.
+#[inline]
+pub fn same_pad(kernel: usize) -> usize {
+    assert!(kernel % 2 == 1, "same_pad expects an odd kernel, got {kernel}");
+    (kernel - 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4, 5]);
+        assert_eq!(s.strides(), vec![60, 20, 5, 1]);
+        assert_eq!(s.numel(), 120);
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        let st = s.strides();
+        for a in 0..2 {
+            for b in 0..3 {
+                for c in 0..4 {
+                    assert_eq!(s.offset(&[a, b, c]), a * st[0] + b * st[1] + c * st[2]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nchw_accessors() {
+        let s = Shape::new(&[8, 3, 32, 64]);
+        assert_eq!((s.n(), s.c(), s.h(), s.w()), (8, 3, 32, 64));
+    }
+
+    #[test]
+    fn scalar_shape_numel_is_one() {
+        assert_eq!(Shape::new(&[]).numel(), 1);
+    }
+
+    #[test]
+    fn conv_out_dims() {
+        // 3x3 stride 1 same pad keeps extent.
+        assert_eq!(conv_out_dim(32, 3, 1, same_pad(3)), 32);
+        // 3x3 stride 2 same pad halves (ceil).
+        assert_eq!(conv_out_dim(32, 3, 2, same_pad(3)), 16);
+        assert_eq!(conv_out_dim(33, 3, 2, same_pad(3)), 17);
+        // 5x5 stride 1.
+        assert_eq!(conv_out_dim(17, 5, 1, same_pad(5)), 17);
+        // valid (pad 0).
+        assert_eq!(conv_out_dim(10, 3, 1, 0), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn kernel_larger_than_input_panics() {
+        conv_out_dim(2, 5, 1, 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Shape::new(&[2, 3])), "[2x3]");
+    }
+}

@@ -1,0 +1,115 @@
+//! Calibration of the performance model against the paper's published
+//! operating points.
+//!
+//! The simulator has two free parameters; both are pinned to Table 1's
+//! 128-core rows and everything else is *predicted*:
+//!
+//! 1. **MXU efficiency** per model — achieved FLOP/s over peak. EfficientNet
+//!    is MXU-unfriendly (depthwise convolutions, squeeze-excite, small
+//!    channel counts at high resolution), so utilization is far below
+//!    peak; B5's larger dense convolutions utilize the MXUs better than
+//!    B2's. We invert the step-time model at the B2/B5 @ 128-core anchors
+//!    and interpolate other variants on log-MACs.
+//!
+//! 2. **Achieved interconnect bandwidth** — pinned so B2 @ 128 cores spends
+//!    2.1% of its step in all-reduce (Table 1 row 1).
+
+use crate::chip::{CoreSpec, TPU_V3_CORE};
+use ets_collective::{LinkSpec, SliceShape};
+use ets_efficientnet::{model_stats, ModelConfig, Variant};
+
+/// Table 1 anchor: (variant, cores, global batch, images/ms).
+pub const THROUGHPUT_ANCHORS: [(Variant, usize, usize, f64); 2] = [
+    (Variant::B2, 128, 4096, 57.57),
+    (Variant::B5, 128, 4096, 9.76),
+];
+
+/// Table 1 anchor for the communication model: B2 @ 128 cores spends 2.1%
+/// of step time in all-reduce.
+pub const ALLREDUCE_SHARE_ANCHOR: f64 = 0.021;
+
+/// MXU efficiency implied by an anchor row: solve
+/// `per_core_batch · flops_train / (eff · peak) = per_core_batch / rate`.
+fn efficiency_from_anchor(variant: Variant, throughput_img_per_ms: f64, cores: usize) -> f64 {
+    let stats = model_stats(&ModelConfig::variant(variant));
+    let per_core_rate = throughput_img_per_ms * 1000.0 / cores as f64; // img/s/core
+    let required_flops = stats.flops_train() * per_core_rate; // FLOP/s achieved
+    required_flops / TPU_V3_CORE.peak_flops
+}
+
+/// Achieved MXU efficiency for any variant: exact at the anchors, linear
+/// interpolation/extrapolation in log-MACs between them (bigger models run
+/// denser convolutions and utilize the MXUs better), clamped to a sane
+/// band.
+pub fn mxu_efficiency(variant: Variant) -> f64 {
+    let e_b2 = efficiency_from_anchor(Variant::B2, THROUGHPUT_ANCHORS[0].3, 128);
+    let e_b5 = efficiency_from_anchor(Variant::B5, THROUGHPUT_ANCHORS[1].3, 128);
+    let m_b2 = model_stats(&ModelConfig::variant(Variant::B2)).macs as f64;
+    let m_b5 = model_stats(&ModelConfig::variant(Variant::B5)).macs as f64;
+    let m = model_stats(&ModelConfig::variant(variant)).macs as f64;
+    let t = (m.ln() - m_b2.ln()) / (m_b5.ln() - m_b2.ln());
+    (e_b2 + t * (e_b5 - e_b2)).clamp(0.02, 0.25)
+}
+
+/// The achieved ICI link performance, calibrated so the B2@128 all-reduce
+/// share hits [`ALLREDUCE_SHARE_ANCHOR`]. Computed once against the step
+/// model's compute time.
+pub fn calibrated_link() -> LinkSpec {
+    // Compute time of the B2 @ 128 anchor row.
+    let stats = model_stats(&ModelConfig::variant(Variant::B2));
+    let eff = mxu_efficiency(Variant::B2);
+    let per_core = 4096 / 128;
+    let compute = per_core as f64 * stats.flops_train() / (eff * TPU_V3_CORE.peak_flops);
+    // Target all-reduce time: share/(1−share) of compute.
+    let target = compute * ALLREDUCE_SHARE_ANCHOR / (1.0 - ALLREDUCE_SHARE_ANCHOR);
+    // Invert the torus model (latency term is negligible at these sizes):
+    // t = eff_bytes / (bw·duplex) with eff_bytes from the two row phases +
+    // column phase on an 8×8 chip grid.
+    let slice = SliceShape::for_cores(128);
+    let (r, c) = (slice.rows as f64, slice.cols as f64);
+    let bytes = stats.gradient_bytes();
+    let eff_bytes = 2.0 * ((c - 1.0) / c) * bytes + 2.0 * ((r - 1.0) / r) * (bytes / c);
+    let total_bw = eff_bytes / target;
+    LinkSpec {
+        bandwidth: total_bw / 2.0,
+        latency: 1.0e-6,
+        duplex: 2.0,
+    }
+}
+
+/// Convenience: the core spec used throughout the simulator.
+pub fn core_spec() -> CoreSpec {
+    TPU_V3_CORE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiencies_in_plausible_band() {
+        let e2 = mxu_efficiency(Variant::B2);
+        let e5 = mxu_efficiency(Variant::B5);
+        assert!(e2 > 0.02 && e2 < 0.10, "B2 eff {e2}");
+        assert!(e5 > 0.04 && e5 < 0.15, "B5 eff {e5}");
+        assert!(e5 > e2, "bigger convs utilize MXUs better");
+    }
+
+    #[test]
+    fn interpolation_is_monotone_b2_to_b5() {
+        let e2 = mxu_efficiency(Variant::B2);
+        let e3 = mxu_efficiency(Variant::B3);
+        let e4 = mxu_efficiency(Variant::B4);
+        let e5 = mxu_efficiency(Variant::B5);
+        assert!(e2 < e3 && e3 < e4 && e4 < e5);
+    }
+
+    #[test]
+    fn calibrated_link_below_nominal() {
+        // Achieved collective bandwidth must come out below the 70 GB/s/dir
+        // hardware peak — a sanity check that the calibration is physical.
+        let link = calibrated_link();
+        assert!(link.bandwidth < 70.0e9, "achieved {}", link.bandwidth);
+        assert!(link.bandwidth > 5.0e9, "achieved {}", link.bandwidth);
+    }
+}

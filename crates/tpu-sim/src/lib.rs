@@ -1,0 +1,44 @@
+//! # ets-tpu-sim
+//!
+//! A calibrated performance simulator of TPU-v3 pod training, standing in
+//! for the hardware the paper used (see DESIGN.md's substitution table):
+//!
+//! - [`chip`] / [`xla`] — hardware constants and XLA's pad-to-8 batch rule.
+//! - [`calibration`] — the two free parameters (MXU efficiency, achieved
+//!   interconnect bandwidth), pinned to Table 1's 128-core rows.
+//! - [`step`] — the step-time model: compute roofline + 2-D torus
+//!   all-reduce + BN-group sync. Regenerates **Table 1**.
+//! - [`convergence`] — peak-accuracy model calibrated to **Table 2**, plus
+//!   learning-curve shapes.
+//! - [`event`] / [`eval_loop`] — a discrete-event simulation of the
+//!   TPUEstimator separate-evaluator pipeline vs the distributed
+//!   train-and-eval loop (§3.3).
+//! - [`e2e`] — the composite time-to-accuracy model. Regenerates
+//!   **Figure 1**.
+
+pub mod calibration;
+pub mod chip;
+pub mod convergence;
+pub mod e2e;
+pub mod eval_loop;
+pub mod event;
+pub mod netsim;
+pub mod scaling;
+pub mod step;
+pub mod whatif;
+pub mod xla;
+
+pub use calibration::{calibrated_link, mxu_efficiency};
+pub use chip::{CoreSpec, TPU_V3_CORE};
+pub use convergence::{
+    accuracy_at_epoch, peak_epoch_fraction, predict_peak_accuracy, OptimizerKind, Table2Row,
+    TABLE2,
+};
+pub use e2e::{time_to_accuracy, RunConfig, RunOutcome};
+pub use eval_loop::{eval_pass_seconds, simulate as simulate_eval_loop, EvalLoopOutcome, EvalMode};
+pub use event::EventSim;
+pub use netsim::{simulate_ring_all_reduce, simulate_torus_all_reduce, LinkConditions};
+pub use scaling::{amdahl_serial_fraction, scaling_sweep, ScalingPoint};
+pub use step::{batch_eff_factor, step_time, total_bn_channels, StepConfig, StepTime};
+pub use whatif::{degraded_link_impact, infeed_analysis, DegradedLinkReport, InfeedReport, CORES_PER_HOST};
+pub use xla::{batch_efficiency, min_efficient_global_batch, padded_per_core_batch, per_core_batch};

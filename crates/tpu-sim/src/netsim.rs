@@ -1,0 +1,203 @@
+//! Message-level network simulation of the torus all-reduce.
+//!
+//! The analytic α–β model in `ets-collective::cost` is fast but coarse;
+//! this module simulates the same 2-D algorithm *message by message* on
+//! the chip torus with per-link serialization and per-hop latency, using
+//! the discrete-event engine. It serves two purposes:
+//!
+//! 1. **Validation** — the analytic model must agree with the event-driven
+//!    simulation within a small tolerance (a unit test enforces it), which
+//!    keeps Table 1's all-reduce column honest.
+//! 2. **What-if studies** — link degradation (a slow link on the ring) and
+//!    payload skew, which the closed-form model cannot express.
+//!
+//! The simulated algorithm matches `ets-collective::ring`: each phase of a
+//! ring all-reduce is `p−1` steps; in each step every member sends one
+//! chunk to its right neighbor over its private link. A step completes
+//! when the *slowest* link finishes (bulk-synchronous, as the XLA
+//! collectives are), so heterogeneous links stretch every step.
+
+use crate::event::EventSim;
+use ets_collective::{LinkSpec, SliceShape};
+use serde::{Deserialize, Serialize};
+
+/// Per-link condition multipliers (1.0 = nominal bandwidth).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LinkConditions {
+    /// Bandwidth multiplier per member's outgoing link (len = ring size).
+    pub bandwidth_scale: Vec<f64>,
+}
+
+impl LinkConditions {
+    /// All links nominal.
+    pub fn nominal(p: usize) -> Self {
+        LinkConditions {
+            bandwidth_scale: vec![1.0; p],
+        }
+    }
+
+    /// One degraded link at `index` running at `scale` of nominal.
+    pub fn with_slow_link(p: usize, index: usize, scale: f64) -> Self {
+        let mut c = Self::nominal(p);
+        c.bandwidth_scale[index % p] = scale;
+        c
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// All sends of step `step` have completed.
+    StepDone { step: usize },
+}
+
+/// Simulates one ring phase (`p−1` bulk-synchronous steps) over `p`
+/// members moving `chunk_bytes` per step per member; returns seconds.
+pub fn simulate_ring_phase(
+    p: usize,
+    chunk_bytes: f64,
+    link: LinkSpec,
+    conditions: &LinkConditions,
+) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    assert_eq!(conditions.bandwidth_scale.len(), p, "one scale per link");
+    let mut sim: EventSim<Ev> = EventSim::new();
+    let steps = p - 1;
+    let mut step = 0usize;
+    // Kick off step 0.
+    let step_secs = |sim_step: usize, cond: &LinkConditions| -> f64 {
+        let _ = sim_step;
+        // Slowest link gates the bulk-synchronous step.
+        let worst_scale = cond
+            .bandwidth_scale
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        link.latency + chunk_bytes / (link.bandwidth * link.duplex * worst_scale)
+    };
+    sim.schedule_in(step_secs(0, conditions), Ev::StepDone { step: 0 });
+    while let Some(Ev::StepDone { step: s }) = sim.next() {
+        step = s;
+        if s + 1 < steps {
+            sim.schedule_in(step_secs(s + 1, conditions), Ev::StepDone { step: s + 1 });
+        }
+    }
+    debug_assert_eq!(step, steps - 1);
+    sim.now()
+}
+
+/// Event-driven time for a full ring all-reduce of `bytes` over `p`
+/// members (reduce-scatter + all-gather; `2(p−1)` steps of `bytes/p`).
+pub fn simulate_ring_all_reduce(
+    p: usize,
+    bytes: f64,
+    link: LinkSpec,
+    conditions: &LinkConditions,
+) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let chunk = bytes / p as f64;
+    2.0 * simulate_ring_phase(p, chunk, link, conditions)
+}
+
+/// Event-driven time for the 2-D torus all-reduce on `slice` (row
+/// reduce-scatter, column all-reduce on `1/cols` of the payload, row
+/// all-gather), with nominal links.
+pub fn simulate_torus_all_reduce(bytes: f64, slice: SliceShape, link: LinkSpec) -> f64 {
+    if slice.chips() <= 1 {
+        return 0.0;
+    }
+    let cols = slice.cols;
+    let rows = slice.rows;
+    let row_chunk = bytes / cols as f64;
+    // Row reduce-scatter: cols−1 steps of bytes/cols.
+    let rs = simulate_ring_phase(cols, row_chunk, link, &LinkConditions::nominal(cols));
+    // Column all-reduce of bytes/cols: 2(rows−1) steps of bytes/(cols·rows).
+    let col = if rows > 1 {
+        simulate_ring_all_reduce(rows, row_chunk, link, &LinkConditions::nominal(rows))
+    } else {
+        0.0
+    };
+    // Row all-gather mirrors the reduce-scatter.
+    let ag = rs;
+    rs + col + ag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ets_collective::{ring_all_reduce_time, torus_all_reduce_time, TPU_V3_LINK};
+
+    #[test]
+    fn ring_matches_analytic_model() {
+        for &p in &[2usize, 4, 8, 32] {
+            for &bytes in &[1e5f64, 1e7, 1e9] {
+                let sim = simulate_ring_all_reduce(p, bytes, TPU_V3_LINK, &LinkConditions::nominal(p));
+                let analytic = ring_all_reduce_time(bytes, p, TPU_V3_LINK);
+                let rel = (sim - analytic).abs() / analytic;
+                assert!(
+                    rel < 0.01,
+                    "p={p} bytes={bytes:.0}: sim {sim:.6} vs analytic {analytic:.6}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn torus_matches_analytic_model() {
+        for &cores in &[128usize, 512, 1024, 2048] {
+            let slice = SliceShape::for_cores(cores);
+            for &bytes in &[36.4e6f64, 122e6] {
+                let sim = simulate_torus_all_reduce(bytes, slice, TPU_V3_LINK);
+                let analytic = torus_all_reduce_time(bytes, slice, TPU_V3_LINK);
+                let rel = (sim - analytic).abs() / analytic;
+                assert!(
+                    rel < 0.02,
+                    "{cores} cores, {bytes:.1e} B: sim {sim:.6} vs analytic {analytic:.6} ({rel:.3})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_slow_link_gates_the_whole_ring() {
+        let p = 8;
+        let bytes = 1e8;
+        let nominal = simulate_ring_all_reduce(p, bytes, TPU_V3_LINK, &LinkConditions::nominal(p));
+        let degraded = simulate_ring_all_reduce(
+            p,
+            bytes,
+            TPU_V3_LINK,
+            &LinkConditions::with_slow_link(p, 3, 0.5),
+        );
+        // Bulk-synchronous ring: halving ONE link halves effective
+        // bandwidth of EVERY step.
+        assert!(
+            (degraded / nominal - 2.0).abs() < 0.05,
+            "ratio {}",
+            degraded / nominal
+        );
+    }
+
+    #[test]
+    fn singleton_and_empty_cases() {
+        assert_eq!(
+            simulate_ring_all_reduce(1, 1e9, TPU_V3_LINK, &LinkConditions::nominal(1)),
+            0.0
+        );
+        let s = SliceShape { rows: 1, cols: 1 };
+        assert_eq!(simulate_torus_all_reduce(1e9, s, TPU_V3_LINK), 0.0);
+    }
+
+    #[test]
+    fn latency_dominates_tiny_payloads() {
+        let p = 16;
+        let t_small = simulate_ring_all_reduce(p, 64.0, TPU_V3_LINK, &LinkConditions::nominal(p));
+        // 2(p−1) steps of ~latency each.
+        let floor = 2.0 * (p as f64 - 1.0) * TPU_V3_LINK.latency;
+        assert!(t_small >= floor);
+        assert!(t_small < 2.0 * floor);
+    }
+}

@@ -1,0 +1,76 @@
+//! XLA layout effects: batch padding to multiples of 8 (§2 of the paper).
+//!
+//! XLA pads each tensor's batch dimension to a multiple of eight on TPU.
+//! When the per-core batch drops below 8 the cores compute on padding —
+//! this is exactly why the paper says a full 2048-core pod *requires* a
+//! global batch of at least 16384.
+
+/// XLA batch-dimension padding granularity.
+pub const BATCH_PAD: usize = 8;
+
+/// The batch each core actually computes after padding.
+pub fn padded_per_core_batch(per_core: usize) -> usize {
+    assert!(per_core > 0, "per-core batch must be positive");
+    per_core.div_ceil(BATCH_PAD) * BATCH_PAD
+}
+
+/// Fraction of compute doing useful work (un-padded samples).
+pub fn batch_efficiency(per_core: usize) -> f64 {
+    per_core as f64 / padded_per_core_batch(per_core) as f64
+}
+
+/// Per-core batch for a global batch spread over `cores` replicas
+/// (truncating division — callers validate divisibility).
+pub fn per_core_batch(global_batch: usize, cores: usize) -> usize {
+    assert!(
+        global_batch % cores == 0,
+        "global batch {global_batch} must divide evenly over {cores} cores"
+    );
+    global_batch / cores
+}
+
+/// The paper's §2 argument: minimum global batch to keep a slice fully
+/// efficient (8 real samples per core).
+pub fn min_efficient_global_batch(cores: usize) -> usize {
+    cores * BATCH_PAD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding_rounds_up_to_eight() {
+        assert_eq!(padded_per_core_batch(1), 8);
+        assert_eq!(padded_per_core_batch(8), 8);
+        assert_eq!(padded_per_core_batch(9), 16);
+        assert_eq!(padded_per_core_batch(32), 32);
+    }
+
+    #[test]
+    fn efficiency_penalizes_small_batches() {
+        assert_eq!(batch_efficiency(8), 1.0);
+        assert_eq!(batch_efficiency(4), 0.5);
+        assert_eq!(batch_efficiency(1), 0.125);
+        assert_eq!(batch_efficiency(32), 1.0);
+    }
+
+    #[test]
+    fn full_pod_needs_16384() {
+        // The paper: "training on an entire TPU-v3 pod which has 2048
+        // cores requires at least a global batch size of 16384."
+        assert_eq!(min_efficient_global_batch(2048), 16384);
+    }
+
+    #[test]
+    fn per_core_split() {
+        assert_eq!(per_core_batch(32768, 1024), 32);
+        assert_eq!(per_core_batch(65536, 1024), 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn uneven_split_rejected() {
+        per_core_batch(1000, 128);
+    }
+}

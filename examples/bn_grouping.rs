@@ -1,0 +1,76 @@
+//! Distributed batch normalization (§3.4) on the real threaded engine:
+//! sweep the BN group size and compare 1-D contiguous grouping with 2-D
+//! torus tiling.
+//!
+//! Small per-replica batches give noisy BN statistics; grouping replicas
+//! recovers quality at a communication cost that the cost model prices.
+//!
+//! ```sh
+//! cargo run --release --example bn_grouping
+//! ```
+
+use efficientnet_at_scale::collective::{
+    bn_sync_time, GroupSpec, SliceShape, TPU_V3_LINK,
+};
+use efficientnet_at_scale::train::{train, Experiment};
+
+fn main() {
+    println!("=== Distributed batch-norm grouping (§3.4) ===\n");
+
+    // Real training: 8 replicas, tiny per-replica batch (2), growing BN
+    // group size. BN batch = group × 2.
+    println!("--- Proxy training: 8 replicas × per-replica batch 2 ---");
+    println!("bn group  bn batch  peak top-1  final loss");
+    for &group in &[1usize, 2, 4, 8] {
+        let mut exp = Experiment::proxy_default();
+        exp.replicas = 8;
+        exp.per_replica_batch = 2;
+        exp.epochs = 10;
+        exp.train_samples = 512;
+        exp.eval_samples = 128;
+        exp.bn_group = if group == 1 {
+            GroupSpec::Local
+        } else {
+            GroupSpec::Contiguous(group)
+        };
+        let report = train(&exp);
+        println!(
+            "{:>8}  {:>8}  {:>9.1}%  {:>9.3}",
+            group,
+            group * exp.per_replica_batch,
+            100.0 * report.peak_top1,
+            report.final_loss(),
+        );
+    }
+
+    // Communication locality: contiguous strips vs 2-D tiles on a
+    // 1024-core slice, as §3.4's tiling method targets.
+    println!("\n--- Group locality on a 1024-core slice (16×32 chips) ---");
+    let slice = SliceShape::for_cores(1024);
+    println!("scheme              group size  max torus diameter (hops)");
+    for (name, spec) in [
+        ("contiguous 16", GroupSpec::Contiguous(16)),
+        ("contiguous 32", GroupSpec::Contiguous(32)),
+        ("contiguous 64", GroupSpec::Contiguous(64)),
+        ("2-D tile 4×4 (32)", GroupSpec::Tiled2d { rows: 4, cols: 4 }),
+        ("2-D tile 4×8 (64)", GroupSpec::Tiled2d { rows: 4, cols: 8 }),
+    ] {
+        spec.validate(slice);
+        println!(
+            "{:<18}  {:>10}  {:>12}",
+            name,
+            spec.group_size(slice),
+            spec.max_group_diameter(slice),
+        );
+    }
+
+    println!("\n--- Modeled BN sync cost per step (B2's ~14k BN channels) ---");
+    println!("group size  sync time");
+    for &group in &[1usize, 4, 16, 64] {
+        println!(
+            "{:>10}  {:>7.1} µs",
+            group,
+            1e6 * bn_sync_time(14_000, group, TPU_V3_LINK),
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Mixed-precision training with software bfloat16 (§3.5): train the same
+//! proxy model with f32 and bf16 convolutions and compare quality; then
+//! show the numeric behaviour of the bf16 kernels directly.
+//!
+//! ```sh
+//! cargo run --release --example mixed_precision
+//! ```
+
+use efficientnet_at_scale::nn::Precision;
+use efficientnet_at_scale::tensor::bf16::{matmul_bf16, round_f32, MAX_REL_ERR};
+use efficientnet_at_scale::tensor::ops::matmul::matmul;
+use efficientnet_at_scale::tensor::{Rng, Tensor};
+use efficientnet_at_scale::train::{train, Experiment};
+
+fn main() {
+    println!("=== Mixed precision: bf16 convolutions (§3.5) ===\n");
+
+    println!("--- bf16 numerics ---");
+    for v in [1.0f32, 3.14159, 0.001234, 1234.5] {
+        let r = round_f32(v);
+        println!(
+            "f32 {v:>10.6} → bf16 {r:>10.6}   (rel err {:.2e}, bound {:.2e})",
+            ((r - v) / v).abs(),
+            MAX_REL_ERR
+        );
+    }
+
+    let mut rng = Rng::new(1);
+    let mut a = Tensor::zeros([64, 64]);
+    let mut b = Tensor::zeros([64, 64]);
+    rng.fill_uniform(a.data_mut(), -1.0, 1.0);
+    rng.fill_uniform(b.data_mut(), -1.0, 1.0);
+    let exact = matmul(&a, &b);
+    let mixed = matmul_bf16(&a, &b);
+    println!(
+        "\n64×64 GEMM, bf16 operands / f32 accumulate: max |Δ| = {:.2e} (output scale ~{:.1})",
+        exact.max_abs_diff(&mixed),
+        exact.l2_norm() / 64.0
+    );
+
+    println!("\n--- Proxy training: f32 vs bf16 convs (same seed, same data) ---");
+    println!("precision   peak top-1  final loss");
+    for (name, precision) in [("f32", Precision::F32), ("bf16", Precision::MixedBf16)] {
+        let mut exp = Experiment::proxy_default();
+        exp.replicas = 2;
+        exp.per_replica_batch = 16;
+        exp.epochs = 10;
+        exp.precision = precision;
+        let report = train(&exp);
+        println!(
+            "{:<10}  {:>9.1}%  {:>9.3}",
+            name,
+            100.0 * report.peak_top1,
+            report.final_loss()
+        );
+    }
+    println!("\nExpected: bf16 tracks f32 closely — the paper found no quality");
+    println!("loss from bf16 convolutions, with substantially better MXU");
+    println!("throughput on hardware.");
+}

@@ -1,0 +1,79 @@
+//! Simulate EfficientNet training on TPU-v3 pod slices: step-time
+//! breakdowns, throughput scaling, and the headline time-to-accuracy runs
+//! (Figure 1 / Table 1 territory, interactively).
+//!
+//! ```sh
+//! cargo run --release --example pod_simulation
+//! ```
+
+use efficientnet_at_scale::efficientnet::Variant;
+use efficientnet_at_scale::tpu_sim::{
+    step_time, time_to_accuracy, EvalMode, OptimizerKind, RunConfig, StepConfig,
+};
+
+fn main() {
+    println!("=== TPU-v3 pod simulation ===\n");
+
+    println!("--- Step-time breakdown (per-core batch 32) ---");
+    println!("model  cores  batch   compute   all-reduce  bn-sync   step     img/ms   AR%");
+    for v in [Variant::B2, Variant::B5] {
+        for &cores in &[128usize, 256, 512, 1024] {
+            let gbs = cores * 32;
+            let st = step_time(&StepConfig::new(v, cores, gbs));
+            println!(
+                "{:<5}  {:>5}  {:>6}  {:>7.1}ms  {:>8.2}ms  {:>6.2}ms  {:>6.1}ms  {:>6.1}  {:>4.2}",
+                format!("{v:?}"),
+                cores,
+                gbs,
+                st.compute * 1e3,
+                st.all_reduce * 1e3,
+                st.bn_sync * 1e3,
+                st.total() * 1e3,
+                st.throughput_img_per_ms(gbs),
+                100.0 * st.all_reduce_share(),
+            );
+        }
+    }
+
+    println!("\n--- Time to peak accuracy (350 epochs, distributed eval) ---");
+    println!("model  cores  batch   optimizer  peak top-1  minutes");
+    let runs = [
+        (Variant::B2, 128, 4096, OptimizerKind::RmsProp),
+        (Variant::B2, 1024, 32768, OptimizerKind::Lars),
+        (Variant::B5, 128, 4096, OptimizerKind::RmsProp),
+        (Variant::B5, 1024, 32768, OptimizerKind::Lars),
+        (Variant::B5, 1024, 65536, OptimizerKind::Lars),
+    ];
+    for (v, cores, gbs, opt) in runs {
+        let out = time_to_accuracy(&RunConfig::paper(v, cores, gbs, opt));
+        println!(
+            "{:<5}  {:>5}  {:>6}  {:<9}  {:>9.1}%  {:>7.1}",
+            format!("{v:?}"),
+            cores,
+            gbs,
+            format!("{opt:?}"),
+            100.0 * out.peak_top1,
+            out.minutes_to_peak(),
+        );
+    }
+
+    println!("\n--- What if we kept TPUEstimator's separate evaluator? (§3.3) ---");
+    let mut cfg = RunConfig::paper(Variant::B2, 1024, 32768, OptimizerKind::Lars);
+    let dist = time_to_accuracy(&cfg);
+    cfg.eval_mode = EvalMode::SeparateEvaluator { eval_cores: 8 };
+    let sep = time_to_accuracy(&cfg);
+    println!(
+        "B2 @ 1024 cores: distributed eval {:.1} min  vs  separate v3-8 evaluator {:.1} min ({:.1}× slower end-to-end)",
+        dist.minutes_to_peak(),
+        sep.minutes_to_peak(),
+        sep.seconds_to_peak / dist.seconds_to_peak,
+    );
+
+    println!("\nThe headline run — EfficientNet-B5, 1024 cores, batch 65536 —");
+    let out = time_to_accuracy(&RunConfig::paper(Variant::B5, 1024, 65536, OptimizerKind::Lars));
+    println!(
+        "reaches {:.1}% top-1 in {:.0} minutes (paper: 83.0% in 64 minutes).",
+        100.0 * out.peak_top1,
+        out.minutes_to_peak()
+    );
+}

@@ -1,0 +1,134 @@
+//! Cross-crate integration tests of the distributed training engine: the
+//! invariants that make N threaded replicas equivalent to one big machine.
+
+use efficientnet_at_scale::collective::GroupSpec;
+use efficientnet_at_scale::nn::Precision;
+use efficientnet_at_scale::train::{train, DecayChoice, Experiment, OptimizerChoice};
+
+fn quick() -> Experiment {
+    let mut e = Experiment::proxy_default();
+    e.epochs = 4;
+    e.train_samples = 256;
+    e.eval_samples = 64;
+    e
+}
+
+#[test]
+fn two_and_four_replicas_both_converge() {
+    // RMSProp's loss spikes transiently while the warmup ramps the LR, so
+    // give the run enough epochs to come back down the other side.
+    for replicas in [2usize, 4] {
+        let mut e = quick();
+        e.replicas = replicas;
+        e.per_replica_batch = 32 / replicas;
+        e.epochs = 8;
+        let r = train(&e);
+        assert!(
+            r.final_loss() < r.history[0].train_loss,
+            "replicas={replicas}: loss path {:?}",
+            r.history.iter().map(|h| h.train_loss).collect::<Vec<_>>()
+        );
+        assert!(r.peak_top1 > 1.0 / e.num_classes as f64, "beats chance");
+    }
+}
+
+#[test]
+fn full_recipe_runs_together() {
+    // Every §3 ingredient on at once: LARS + warmup + polynomial decay +
+    // distributed BN + distributed eval + bf16 convs + EMA.
+    let mut e = quick();
+    e.replicas = 4;
+    e.per_replica_batch = 8;
+    e.optimizer = OptimizerChoice::Lars { trust_coeff: 0.1 };
+    e.lr_per_256 = 2.0;
+    e.warmup_epochs = 1;
+    e.decay = DecayChoice::Polynomial { power: 2.0 };
+    e.bn_group = GroupSpec::Contiguous(2);
+    e.precision = Precision::MixedBf16;
+    e.ema_decay = Some(0.9);
+    e.epochs = 6;
+    let r = train(&e);
+    assert!(r.final_loss().is_finite());
+    assert!(r.peak_top1 > 1.0 / e.num_classes as f64);
+    assert_eq!(r.history.len(), 6);
+}
+
+#[test]
+fn determinism_with_full_recipe() {
+    let mut e = quick();
+    e.replicas = 2;
+    e.optimizer = OptimizerChoice::Lars { trust_coeff: 0.1 };
+    e.bn_group = GroupSpec::Contiguous(2);
+    e.ema_decay = Some(0.95);
+    let a = train(&e);
+    let b = train(&e);
+    assert_eq!(a.weight_checksum, b.weight_checksum);
+    for (x, y) in a.history.iter().zip(&b.history) {
+        assert_eq!(x.train_loss, y.train_loss);
+        assert_eq!(x.eval_top1, y.eval_top1);
+    }
+}
+
+#[test]
+fn bn_group_size_changes_training_dynamics() {
+    // Grouped BN normalizes over more samples, so the trajectories must
+    // actually differ from local BN (the wiring is live, not a no-op).
+    let mut local = quick();
+    local.replicas = 4;
+    local.per_replica_batch = 4;
+    let mut grouped = local.clone();
+    grouped.bn_group = GroupSpec::Contiguous(4);
+    let rl = train(&local);
+    let rg = train(&grouped);
+    assert_ne!(
+        rl.weight_checksum, rg.weight_checksum,
+        "BN grouping must alter the run"
+    );
+}
+
+#[test]
+fn every_optimizer_finishes_one_epoch() {
+    for opt in [
+        OptimizerChoice::Sgd { momentum: 0.9, weight_decay: 1e-5 },
+        OptimizerChoice::RmsProp,
+        OptimizerChoice::Lars { trust_coeff: 0.1 },
+        OptimizerChoice::Sm3 { momentum: 0.9 },
+        OptimizerChoice::Lamb,
+    ] {
+        let mut e = quick();
+        e.replicas = 2;
+        e.epochs = 1;
+        e.optimizer = opt;
+        // Adaptive optimizers need tamer LRs than RMSProp's default here.
+        e.lr_per_256 = 0.05;
+        let r = train(&e);
+        assert!(
+            r.final_loss().is_finite(),
+            "{opt:?} produced non-finite loss"
+        );
+    }
+}
+
+#[test]
+fn eval_every_controls_eval_cadence() {
+    let mut e = quick();
+    e.epochs = 4;
+    e.eval_every = 2;
+    let r = train(&e);
+    let evals: Vec<bool> = r.history.iter().map(|h| h.eval_top1.is_some()).collect();
+    assert_eq!(evals, vec![false, true, false, true]);
+}
+
+#[test]
+fn warmup_is_visible_in_lr_history() {
+    let mut e = quick();
+    e.warmup_epochs = 2;
+    e.epochs = 4;
+    e.decay = DecayChoice::Constant;
+    let r = train(&e);
+    // LR recorded at the last step of each epoch: rising during warmup,
+    // flat at peak after.
+    assert!(r.history[0].lr < r.history[1].lr);
+    assert!((r.history[2].lr - e.peak_lr()).abs() < 1e-6);
+    assert!((r.history[3].lr - e.peak_lr()).abs() < 1e-6);
+}

@@ -1,38 +1,27 @@
-//! Benchmarks of the real shared-memory collectives: deterministic tree
-//! all-reduce vs ring all-reduce across replica counts and payload sizes.
+//! Benchmarks of the real shared-memory collectives through the
+//! [`Collective`] trait: tree vs ring vs auto across replica counts and
+//! payload sizes, up to gradient-scale payloads (4 Mi floats = 16 MiB,
+//! about the flattened gradient of an EfficientNet-B2).
+//!
+//! The small sizes are latency-bound (the tree should win), the large
+//! sizes bandwidth-bound (the ring should win); `auto` should track the
+//! better of the two on both ends — the same crossover the α–β cost
+//! model predicts for the pod interconnect.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ets_collective::{create_ring, CommHandle};
+use ets_collective::{create_collective, Backend};
 use std::thread;
 
-fn run_tree(replicas: usize, elems: usize, rounds: usize) {
-    let handles = CommHandle::create(replicas);
-    let joins: Vec<_> = handles
+/// One full world: every replica runs `rounds` all-reduces of `elems`.
+fn run_backend(backend: Backend, replicas: usize, elems: usize, rounds: usize) {
+    let world = create_collective(backend, replicas);
+    let joins: Vec<_> = world
         .into_iter()
-        .map(|h| {
+        .map(|c| {
             thread::spawn(move || {
-                let mut buf = vec![h.rank() as f32; elems];
+                let mut buf = vec![c.rank() as f32; elems];
                 for _ in 0..rounds {
-                    h.all_reduce_sum(&mut buf);
-                }
-                buf[0]
-            })
-        })
-        .collect();
-    for j in joins {
-        let _ = j.join().unwrap();
-    }
-}
-
-fn run_ring(replicas: usize, elems: usize, rounds: usize) {
-    let members = create_ring(replicas);
-    let joins: Vec<_> = members
-        .into_iter()
-        .map(|m| {
-            thread::spawn(move || {
-                let mut buf = vec![m.rank() as f32; elems];
-                for _ in 0..rounds {
-                    m.all_reduce_sum(&mut buf);
+                    c.all_reduce_sum(&mut buf);
                 }
                 buf[0]
             })
@@ -46,23 +35,45 @@ fn run_ring(replicas: usize, elems: usize, rounds: usize) {
 fn bench_all_reduce(c: &mut Criterion) {
     let mut group = c.benchmark_group("all_reduce");
     group.sample_size(10);
+    // 64 Ki floats exercises the latency/bandwidth boundary; 4 Mi floats
+    // (16 MiB) is a full gradient payload — the acceptance size.
     for &replicas in &[2usize, 4, 8] {
-        for &elems in &[1_024usize, 65_536] {
+        for &elems in &[1_024usize, 65_536, 4_194_304] {
+            // Skip the cross-product's most expensive corner at high
+            // replica counts to keep wall time sane; 4 replicas at 4 Mi
+            // still covers every backend at full payload.
+            if elems == 4_194_304 && replicas == 8 {
+                continue;
+            }
             group.throughput(Throughput::Bytes((elems * 4 * replicas) as u64));
-            group.bench_with_input(
-                BenchmarkId::new(format!("tree_r{replicas}"), elems),
-                &elems,
-                |b, &elems| b.iter(|| run_tree(replicas, elems, 4)),
-            );
-            group.bench_with_input(
-                BenchmarkId::new(format!("ring_r{replicas}"), elems),
-                &elems,
-                |b, &elems| b.iter(|| run_ring(replicas, elems, 4)),
-            );
+            for backend in Backend::ALL {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{backend}_r{replicas}"), elems),
+                    &elems,
+                    |b, &elems| b.iter(|| run_backend(backend, replicas, elems, 2)),
+                );
+            }
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_all_reduce);
+/// Steady-state round cost with a persistent world — what the trainer
+/// sees step after step (no per-round world construction, zero-alloc
+/// scratch reuse).
+fn bench_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_reduce_steady");
+    group.sample_size(10);
+    let replicas = 4usize;
+    let elems = 4_194_304usize;
+    for backend in [Backend::Tree, Backend::Ring] {
+        group.throughput(Throughput::Bytes((elems * 4 * replicas) as u64));
+        group.bench_function(BenchmarkId::new(format!("{backend}"), elems), |b| {
+            b.iter(|| run_backend(backend, replicas, elems, 4));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_reduce, bench_steady_state);
 criterion_main!(benches);

@@ -13,9 +13,9 @@
 //! cargo run --release -p ets-bench --bin ablations -- <which>
 //! ```
 
+use ets_collective::{GroupSpec, SliceShape};
 use ets_efficientnet::Variant;
 use ets_nn::Precision;
-use ets_collective::{GroupSpec, SliceShape};
 use ets_tpu_sim::{simulate_eval_loop, step_time, EvalMode, StepConfig};
 use ets_train::{train, DecayChoice, Experiment, OptimizerChoice};
 
@@ -34,10 +34,19 @@ fn ablate_eval_loop() {
     let st = step_time(&StepConfig::new(Variant::B2, 1024, 32768));
     let epoch_secs = st.total() * (1_281_167f64 / 32768.0).ceil();
     println!("B2 @ 1024 cores: epoch = {epoch_secs:.1}s of training\n");
-    println!("{:<34} {:>12} {:>12}", "eval architecture", "to peak", "vs train");
+    println!(
+        "{:<34} {:>12} {:>12}",
+        "eval architecture", "to peak", "vs train"
+    );
     for (name, mode) in [
-        ("separate v3-8 evaluator (TPUEstimator)", EvalMode::SeparateEvaluator { eval_cores: 8 }),
-        ("separate v3-32 evaluator", EvalMode::SeparateEvaluator { eval_cores: 32 }),
+        (
+            "separate v3-8 evaluator (TPUEstimator)",
+            EvalMode::SeparateEvaluator { eval_cores: 8 },
+        ),
+        (
+            "separate v3-32 evaluator",
+            EvalMode::SeparateEvaluator { eval_cores: 32 },
+        ),
         ("distributed train+eval loop (paper)", EvalMode::Distributed),
     ] {
         let out = simulate_eval_loop(Variant::B2, 1024, epoch_secs, 350, 340, mode);
@@ -57,7 +66,11 @@ fn ablate_bn_group() {
     for &group in &[1usize, 2, 4] {
         let mut exp = base_exp();
         exp.per_replica_batch = 4;
-        exp.bn_group = if group == 1 { GroupSpec::Local } else { GroupSpec::Contiguous(group) };
+        exp.bn_group = if group == 1 {
+            GroupSpec::Local
+        } else {
+            GroupSpec::Contiguous(group)
+        };
         let r = train(&exp);
         println!(
             "{:>8} {:>9} {:>10.1}%",
@@ -78,12 +91,20 @@ fn ablate_bn_group() {
 
 fn ablate_precision() {
     println!("== Ablation C (§3.5): conv precision (real training) ==\n");
-    println!("{:<10} {:>11} {:>11}", "precision", "peak top-1", "final loss");
+    println!(
+        "{:<10} {:>11} {:>11}",
+        "precision", "peak top-1", "final loss"
+    );
     for (name, p) in [("f32", Precision::F32), ("bf16", Precision::MixedBf16)] {
         let mut exp = base_exp();
         exp.precision = p;
         let r = train(&exp);
-        println!("{:<10} {:>10.1}% {:>11.3}", name, 100.0 * r.peak_top1, r.final_loss());
+        println!(
+            "{:<10} {:>10.1}% {:>11.3}",
+            name,
+            100.0 * r.peak_top1,
+            r.final_loss()
+        );
     }
     println!();
 }
@@ -92,7 +113,13 @@ fn ablate_lr_schedule() {
     println!("== Ablation D (§3.2): decay schedule under LARS (real training) ==\n");
     println!("{:<14} {:>11}", "decay", "peak top-1");
     for (name, decay) in [
-        ("exponential", DecayChoice::Exponential { rate: 0.97, epochs: 2.4 }),
+        (
+            "exponential",
+            DecayChoice::Exponential {
+                rate: 0.97,
+                epochs: 2.4,
+            },
+        ),
         ("polynomial", DecayChoice::Polynomial { power: 2.0 }),
         ("cosine", DecayChoice::Cosine),
     ] {

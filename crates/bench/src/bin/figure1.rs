@@ -61,7 +61,10 @@ fn bar(minutes: f64, scale: f64) -> String {
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
-    let all: Vec<Point> = [Variant::B2, Variant::B5].iter().flat_map(|&v| series(v)).collect();
+    let all: Vec<Point> = [Variant::B2, Variant::B5]
+        .iter()
+        .flat_map(|&v| series(v))
+        .collect();
 
     if json {
         println!("{}", serde_json::to_string_pretty(&all).unwrap());

@@ -41,10 +41,7 @@ struct Candidate {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let variant = parse_variant(args.get(1).map(String::as_str).unwrap_or("B5"));
-    let budget_min: f64 = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(90.0);
+    let budget_min: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(90.0);
 
     let cfg = ModelConfig::variant(variant);
     let stats = model_stats(&cfg);

@@ -16,10 +16,7 @@ fn main() {
         let mut all = serde_json::Map::new();
         for v in [Variant::B2, Variant::B5] {
             let pts = scaling_sweep(v, &slices);
-            all.insert(
-                v.name().to_string(),
-                serde_json::to_value(&pts).unwrap(),
-            );
+            all.insert(v.name().to_string(), serde_json::to_value(&pts).unwrap());
         }
         println!("{}", serde_json::to_string_pretty(&all).unwrap());
         return;

@@ -77,7 +77,10 @@ fn proxy() -> Vec<ProxyRow> {
             optimizer: "RmsProp".into(),
             peak_top1: proxy_run(
                 OptimizerChoice::RmsProp,
-                DecayChoice::Exponential { rate: 0.97, epochs: 2.4 },
+                DecayChoice::Exponential {
+                    rate: 0.97,
+                    epochs: 2.4,
+                },
                 0.05,
                 batch,
             ),
@@ -144,7 +147,10 @@ fn main() {
         }
         println!("Table 2 (proxy counterpart): real distributed training on the");
         println!("proxy task, fixed epoch budget, LR linearly scaled\n");
-        println!("{:>12}  {:<8}  {:>10}", "global batch", "optimizer", "peak top-1");
+        println!(
+            "{:>12}  {:<8}  {:>10}",
+            "global batch", "optimizer", "peak top-1"
+        );
         for r in &rows {
             println!(
                 "{:>12}  {:<8}  {:>9.1}%",

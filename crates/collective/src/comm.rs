@@ -6,23 +6,76 @@
 //! order, so floating-point sums are bitwise reproducible regardless of
 //! thread scheduling.
 //!
-//! The core primitive is `exchange`: every member deposits its
-//! contribution, the last arrival publishes the full set, and everyone
-//! reads it. All-reduce, all-gather, and broadcast derive from it. A
-//! generation counter lets the same communicator be reused for thousands
-//! of rounds (one per conv layer per step) without re-allocation races.
+//! Two mechanisms coexist:
+//!
+//! - [`CommHandle::exchange`] — the legacy publish-all primitive: every
+//!   member deposits its contribution (an owned `Vec`), the last arrival
+//!   publishes the full set, and everyone reads it. Kept for tests and
+//!   benchmarks that want the raw contribution set.
+//! - The collective operations (`all_reduce_sum`, `all_gather_into`,
+//!   `broadcast`, `barrier`) — these run on a **persistent round scratch**:
+//!   per-rank slot buffers and a shared result buffer owned by the
+//!   communicator are reused round after round, so the steady state
+//!   performs **no heap allocation** (a BN layer syncs once per conv layer
+//!   per step — thousands of rounds per step). Capacity growth is counted
+//!   in [`CommHandle::scratch_reallocs`], which a test pins to zero after
+//!   warmup.
+//!
+//! A generation counter lets the same communicator be reused for thousands
+//! of rounds without re-allocation races.
 
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 
+/// Persistent zero-alloc round state for the collective operations.
+struct RoundScratch {
+    /// Per-rank contribution buffers, reused every round.
+    slots: Vec<Vec<f32>>,
+    /// Double-deposit guards, reset when a round publishes.
+    deposited: Vec<bool>,
+    /// Reduced / gathered / broadcast payload of the completed round.
+    result: Vec<f32>,
+    arrived: usize,
+    readers_left: usize,
+    generation: u64,
+    /// Number of scratch-buffer capacity growths since creation. Constant
+    /// once buffer sizes stabilize — the zero-alloc steady-state counter.
+    reallocs: u64,
+}
+
+impl RoundScratch {
+    fn new(size: usize) -> Self {
+        RoundScratch {
+            slots: (0..size).map(|_| Vec::new()).collect(),
+            deposited: vec![false; size],
+            result: Vec::new(),
+            arrived: 0,
+            readers_left: 0,
+            generation: 0,
+            reallocs: 0,
+        }
+    }
+}
+
+/// Copies `src` into the persistent buffer `dst`, reporting whether the
+/// buffer had to grow (an allocation — only expected during warmup).
+fn fill_scratch(dst: &mut Vec<f32>, src: &[f32]) -> bool {
+    let grew = dst.capacity() < src.len();
+    dst.clear();
+    dst.extend_from_slice(src);
+    grew
+}
+
 struct CommState {
-    /// Contributions for the current round, indexed by member position.
+    /// Contributions for the current legacy-exchange round.
     slots: Vec<Option<Vec<f32>>>,
     arrived: usize,
-    /// Published result of the completed round.
+    /// Published result of the completed exchange round.
     published: Option<Arc<Vec<Vec<f32>>>>,
     readers_left: usize,
     generation: u64,
+    /// Zero-alloc state for the collective operations.
+    round: RoundScratch,
 }
 
 struct CommInner {
@@ -53,6 +106,7 @@ impl CommHandle {
                 published: None,
                 readers_left: 0,
                 generation: 0,
+                round: RoundScratch::new(size),
             }),
             cv: Condvar::new(),
         });
@@ -74,8 +128,20 @@ impl CommHandle {
         self.inner.size
     }
 
+    /// Scratch-buffer growth events since creation (shared across ranks).
+    /// Flat after warmup ⇒ the reduce path is allocation-free.
+    pub fn scratch_reallocs(&self) -> u64 {
+        self.inner.state.lock().round.reallocs
+    }
+
     /// Deposits `contribution` and returns every member's contribution
     /// (indexed by rank) once all have arrived.
+    ///
+    /// This is the legacy publish-all primitive: it clones nothing but
+    /// moves the caller's `Vec` and allocates the published set each round.
+    /// The collective operations below use the zero-alloc round path
+    /// instead; prefer them (or the [`crate::Collective`] trait) in new
+    /// code.
     pub fn exchange(&self, contribution: Vec<f32>) -> Arc<Vec<Vec<f32>>> {
         let inner = &*self.inner;
         if inner.size == 1 {
@@ -88,7 +154,13 @@ impl CommHandle {
             inner.cv.wait(&mut st);
         }
         let my_gen = st.generation;
-        debug_assert!(st.slots[self.rank].is_none(), "double deposit by rank {}", self.rank);
+        // A double deposit would silently corrupt the round; fail fast in
+        // release builds too (promoted from a debug_assert).
+        assert!(
+            st.slots[self.rank].is_none(),
+            "double deposit by rank {} (one handle per thread, one deposit per round)",
+            self.rank
+        );
         st.slots[self.rank] = Some(contribution);
         st.arrived += 1;
         if st.arrived == inner.size {
@@ -113,19 +185,91 @@ impl CommHandle {
         out
     }
 
+    /// One zero-alloc rendezvous round over the persistent scratch.
+    ///
+    /// `deposit` runs under the lock as this rank arrives; `publish` runs
+    /// exactly once (on the last arrival) after all deposits; `read` runs
+    /// under the lock after publication.
+    fn round<C: ?Sized, R>(
+        &self,
+        ctx: &mut C,
+        deposit: impl FnOnce(&mut C, &mut RoundScratch, usize),
+        publish: impl FnOnce(&mut RoundScratch, usize),
+        read: impl FnOnce(&mut C, &RoundScratch, usize) -> R,
+    ) -> R {
+        let inner = &*self.inner;
+        let mut st = inner.state.lock();
+        while st.round.readers_left > 0 {
+            inner.cv.wait(&mut st);
+        }
+        let my_gen = st.round.generation;
+        assert!(
+            !st.round.deposited[self.rank],
+            "double deposit by rank {} (one handle per thread, one deposit per round)",
+            self.rank
+        );
+        st.round.deposited[self.rank] = true;
+        deposit(ctx, &mut st.round, self.rank);
+        st.round.arrived += 1;
+        if st.round.arrived == inner.size {
+            publish(&mut st.round, inner.size);
+            st.round.arrived = 0;
+            st.round.deposited.iter_mut().for_each(|d| *d = false);
+            st.round.readers_left = inner.size;
+            st.round.generation += 1;
+            inner.cv.notify_all();
+        } else {
+            while st.round.generation == my_gen {
+                inner.cv.wait(&mut st);
+            }
+        }
+        let out = read(ctx, &st.round, self.rank);
+        st.round.readers_left -= 1;
+        if st.round.readers_left == 0 {
+            inner.cv.notify_all();
+        }
+        out
+    }
+
     /// In-place sum all-reduce with ascending-rank reduction order.
+    ///
+    /// Steady-state allocation-free: contributions are copied into
+    /// persistent per-rank scratch, the last arrival reduces them (rank 0
+    /// first, then 1, 2, …) into a persistent result buffer, and every
+    /// member copies the result back out.
     pub fn all_reduce_sum(&self, buf: &mut [f32]) {
         if self.inner.size == 1 {
             return;
         }
-        let all = self.exchange(buf.to_vec());
-        buf.iter_mut().for_each(|v| *v = 0.0);
-        for contrib in all.iter() {
-            debug_assert_eq!(contrib.len(), buf.len(), "mismatched all-reduce lengths");
-            for (acc, &x) in buf.iter_mut().zip(contrib) {
-                *acc += x;
-            }
-        }
+        let n = buf.len();
+        self.round(
+            buf,
+            |buf, round, rank| {
+                if fill_scratch(&mut round.slots[rank], buf) {
+                    round.reallocs += 1;
+                }
+            },
+            |round, size| {
+                let RoundScratch {
+                    slots,
+                    result,
+                    reallocs,
+                    ..
+                } = round;
+                if result.capacity() < n {
+                    *reallocs += 1;
+                }
+                result.clear();
+                result.extend_from_slice(&slots[0]);
+                for slot in slots.iter().take(size).skip(1) {
+                    assert_eq!(slot.len(), n, "mismatched all-reduce lengths");
+                    for (acc, &x) in result.iter_mut().zip(slot.iter()) {
+                        *acc += x;
+                    }
+                }
+            },
+            |buf, round, _| buf.copy_from_slice(&round.result),
+        );
     }
 
     /// In-place mean all-reduce.
@@ -135,13 +279,50 @@ impl CommHandle {
         buf.iter_mut().for_each(|v| *v *= inv);
     }
 
-    /// Gathers every member's `local` slice, concatenated in rank order.
-    pub fn all_gather(&self, local: &[f32]) -> Vec<f32> {
-        let all = self.exchange(local.to_vec());
-        let mut out = Vec::with_capacity(local.len() * self.inner.size);
-        for contrib in all.iter() {
-            out.extend_from_slice(contrib);
+    /// Gathers every member's `local` slice into `out`, concatenated in
+    /// rank order. `out` is cleared and refilled; with a reused `out` the
+    /// steady state allocates nothing.
+    pub fn all_gather_into(&self, local: &[f32], out: &mut Vec<f32>) {
+        if self.inner.size == 1 {
+            out.clear();
+            out.extend_from_slice(local);
+            return;
         }
+        self.round(
+            out,
+            |_out, round, rank| {
+                if fill_scratch(&mut round.slots[rank], local) {
+                    round.reallocs += 1;
+                }
+            },
+            |round, size| {
+                let RoundScratch {
+                    slots,
+                    result,
+                    reallocs,
+                    ..
+                } = round;
+                let total: usize = slots.iter().take(size).map(|s| s.len()).sum();
+                if result.capacity() < total {
+                    *reallocs += 1;
+                }
+                result.clear();
+                for slot in slots.iter().take(size) {
+                    result.extend_from_slice(slot);
+                }
+            },
+            |out, round, _| {
+                out.clear();
+                out.extend_from_slice(&round.result);
+            },
+        );
+    }
+
+    /// Gathers every member's `local` slice, concatenated in rank order.
+    /// Convenience wrapper over [`Self::all_gather_into`].
+    pub fn all_gather(&self, local: &[f32]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(local.len() * self.inner.size);
+        self.all_gather_into(local, &mut out);
         out
     }
 
@@ -151,17 +332,35 @@ impl CommHandle {
         if self.inner.size == 1 {
             return;
         }
-        // Non-roots contribute empty vectors to keep the exchange cheap.
-        let contribution = if self.rank == root { buf.to_vec() } else { Vec::new() };
-        let all = self.exchange(contribution);
-        if self.rank != root {
-            buf.copy_from_slice(&all[root]);
-        }
+        self.round(
+            buf,
+            |buf, round, rank| {
+                // Only the root deposits payload — straight into the result
+                // buffer (previous round fully drained, so this is safe).
+                if rank == root {
+                    let RoundScratch {
+                        result, reallocs, ..
+                    } = round;
+                    if fill_scratch(result, buf) {
+                        *reallocs += 1;
+                    }
+                }
+            },
+            |_round, _| {},
+            |buf, round, rank| {
+                if rank != root {
+                    buf.copy_from_slice(&round.result);
+                }
+            },
+        );
     }
 
     /// Barrier: returns once every member has arrived.
     pub fn barrier(&self) {
-        let _ = self.exchange(Vec::new());
+        if self.inner.size == 1 {
+            return;
+        }
+        self.round(&mut (), |_, _, _| {}, |_, _| {}, |_, _, _| {});
     }
 }
 
@@ -223,7 +422,7 @@ mod tests {
         });
         for r in &results {
             for (round, &v) in r.iter().enumerate() {
-                let expected = (0 + round) + (1 + round) + (2 + round);
+                let expected: usize = (0..3).map(|rank| rank + round).sum();
                 assert_eq!(v, expected as f32, "round {round}");
             }
         }
@@ -309,5 +508,67 @@ mod tests {
         for j in joins {
             j.join().unwrap();
         }
+    }
+
+    #[test]
+    fn steady_state_rounds_do_not_reallocate() {
+        // Warm up with the largest payload, then hammer the reduce path:
+        // the realloc counter must not move once capacities stabilize.
+        let handles = CommHandle::create(4);
+        let probe = CommHandle {
+            rank: handles[0].rank,
+            inner: Arc::clone(&handles[0].inner),
+        };
+        let joins: Vec<_> = handles
+            .into_iter()
+            .map(|h| {
+                thread::spawn(move || {
+                    let mut big = vec![h.rank() as f32; 4096];
+                    let small = vec![1.0f32; 32];
+                    let mut gathered = Vec::new();
+                    // Warmup: grows scratch to the working-set maximum.
+                    h.all_reduce_sum(&mut big);
+                    h.all_gather_into(&small, &mut gathered);
+                    h.broadcast(&mut big, 0);
+                    h.barrier();
+                    (0, 0)
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        let after_warmup = probe.scratch_reallocs();
+
+        let handles2: Vec<CommHandle> = (0..4)
+            .map(|rank| CommHandle {
+                rank,
+                inner: Arc::clone(&probe.inner),
+            })
+            .collect();
+        let joins: Vec<_> = handles2
+            .into_iter()
+            .map(|h| {
+                thread::spawn(move || {
+                    let mut big = vec![h.rank() as f32; 4096];
+                    let small = vec![1.0f32; 32];
+                    let mut gathered = Vec::with_capacity(4 * 32);
+                    for _ in 0..100 {
+                        h.all_reduce_sum(&mut big);
+                        h.all_gather_into(&small, &mut gathered);
+                        h.broadcast(&mut big, 0);
+                        h.barrier();
+                    }
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(
+            probe.scratch_reallocs(),
+            after_warmup,
+            "steady-state rounds must not grow communicator scratch"
+        );
     }
 }

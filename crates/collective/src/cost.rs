@@ -45,6 +45,39 @@ pub fn ring_all_reduce_time(bytes: f64, p: usize, link: LinkSpec) -> f64 {
     steps * link.latency + transfer
 }
 
+/// Time for a binomial-tree all-reduce (reduce tree + broadcast tree) of
+/// `bytes` over `p` members: `2·⌈log₂ p⌉` steps, each moving the full
+/// payload. Latency-friendly (log p hops vs the ring's 2(p−1)) but
+/// bandwidth-hungry (full payload per step vs the ring's `(p−1)/p · n/p`
+/// chunks) — this is the model for the publish-all tree communicator in
+/// [`crate::comm`].
+pub fn tree_all_reduce_time(bytes: f64, p: usize, link: LinkSpec) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let steps = 2.0 * (p as f64).log2().ceil();
+    steps * (link.latency + bytes / (link.bandwidth * link.duplex))
+}
+
+/// Payload size (bytes) at which the ring all-reduce becomes cheaper than
+/// the tree for `p` members — the `Auto` backend's switch point.
+///
+/// Closed form from equating the two α–β models with `L = ⌈log₂ p⌉`:
+/// `b* = α·B·(2(p−1) − 2L) / (2L − 2(p−1)/p)`. Below `b*` the tree's
+/// `2L` latency hops win; above it the ring's `2(p−1)/p` bandwidth factor
+/// wins. Depends only on `(p, link)`, so every rank computes the same
+/// crossover and the group never splits across transports.
+pub fn tree_ring_crossover_bytes(p: usize, link: LinkSpec) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let pf = p as f64;
+    let l = pf.log2().ceil();
+    let latency_gap = 2.0 * (pf - 1.0) - 2.0 * l;
+    let bandwidth_gap = 2.0 * l - 2.0 * (pf - 1.0) / pf;
+    link.latency * link.bandwidth * link.duplex * latency_gap / bandwidth_gap
+}
+
 /// Time for the 2-phase 2-D torus all-reduce of `bytes` on `slice`.
 ///
 /// Phase A: reduce-scatter along each row ring (`cols` members, full
@@ -111,8 +144,38 @@ mod tests {
     #[test]
     fn singleton_is_free() {
         assert_eq!(ring_all_reduce_time(1e9, 1, TPU_V3_LINK), 0.0);
+        assert_eq!(tree_all_reduce_time(1e9, 1, TPU_V3_LINK), 0.0);
         let s = SliceShape { rows: 1, cols: 1 };
         assert_eq!(torus_all_reduce_time(1e9, s, TPU_V3_LINK), 0.0);
+    }
+
+    #[test]
+    fn crossover_separates_tree_and_ring_regimes() {
+        for &p in &[4usize, 8, 16, 64] {
+            let b = tree_ring_crossover_bytes(p, TPU_V3_LINK);
+            assert!(b > 0.0, "p={p}: crossover {b}");
+            let below = b * 0.5;
+            let above = b * 2.0;
+            assert!(
+                tree_all_reduce_time(below, p, TPU_V3_LINK)
+                    <= ring_all_reduce_time(below, p, TPU_V3_LINK),
+                "p={p}: tree should win below the crossover"
+            );
+            assert!(
+                ring_all_reduce_time(above, p, TPU_V3_LINK)
+                    <= tree_all_reduce_time(above, p, TPU_V3_LINK),
+                "p={p}: ring should win above the crossover"
+            );
+        }
+    }
+
+    #[test]
+    fn crossover_grows_with_world_size() {
+        // More members ⇒ more ring latency hops ⇒ the tree stays
+        // competitive up to larger payloads.
+        let small = tree_ring_crossover_bytes(8, TPU_V3_LINK);
+        let large = tree_ring_crossover_bytes(64, TPU_V3_LINK);
+        assert!(large > small, "{small} vs {large}");
     }
 
     #[test]

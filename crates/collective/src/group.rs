@@ -54,7 +54,7 @@ impl GroupSpec {
             }
             GroupSpec::Tiled2d { rows, cols } => {
                 assert!(
-                    slice.rows % rows == 0 && slice.cols % cols == 0,
+                    slice.rows.is_multiple_of(*rows) && slice.cols.is_multiple_of(*cols),
                     "tile {rows}x{cols} must tile the {}x{} chip grid",
                     slice.rows,
                     slice.cols

@@ -103,8 +103,7 @@ mod tests {
             .enumerate()
             .map(|(id, m)| {
                 thread::spawn(move || {
-                    let mut buf: Vec<f32> =
-                        (0..n).map(|i| ((id + 1) * (i + 1)) as f32).collect();
+                    let mut buf: Vec<f32> = (0..n).map(|i| ((id + 1) * (i + 1)) as f32).collect();
                     m.all_reduce_sum(&mut buf);
                     buf
                 })
@@ -137,7 +136,9 @@ mod tests {
     fn payload_smaller_than_cols() {
         // n < cols exercises empty shards.
         let results = run_grid(2, 4, 2);
-        let expected: Vec<f32> = (0..2).map(|i| (1..=8).map(|id| (id * (i + 1)) as f32).sum()).collect();
+        let expected: Vec<f32> = (0..2)
+            .map(|i| (1..=8).map(|id| (id * (i + 1)) as f32).sum())
+            .collect();
         for r in results {
             assert_eq!(r, expected);
         }
@@ -169,8 +170,7 @@ mod tests {
             .enumerate()
             .map(|(id, h)| {
                 thread::spawn(move || {
-                    let mut buf: Vec<f32> =
-                        (0..n).map(|i| ((id + 1) * (i + 1)) as f32).collect();
+                    let mut buf: Vec<f32> = (0..n).map(|i| ((id + 1) * (i + 1)) as f32).collect();
                     h.all_reduce_sum(&mut buf);
                     buf
                 })

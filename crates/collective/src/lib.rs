@@ -4,13 +4,17 @@
 //!
 //! - [`topology`] — TPU-v3 pod slices as 2-D chip tori (§2).
 //! - [`group`] — BN replica grouping: contiguous and 2-D tiled (§3.4).
+//! - [`backend`] — the [`Collective`] trait every consumer programs
+//!   against, with tree / ring / auto backends selected per experiment.
 //! - [`comm`] — real shared-memory collectives for in-process replica
-//!   threads, with deterministic ascending-rank reduction order.
+//!   threads, with deterministic ascending-rank reduction order (the
+//!   tree backend's engine).
 //! - [`ring`] — a real ring all-reduce over point-to-point channels,
 //!   validating the algorithm the cost model prices.
-//! - [`cost`] — α–β cost models for ring and 2-D torus all-reduce, used by
-//!   the pod simulator for Table 1's all-reduce percentages.
+//! - [`cost`] — α–β cost models for tree, ring, and 2-D torus
+//!   all-reduce; the tree/ring crossover drives the auto backend.
 
+pub mod backend;
 pub mod comm;
 pub mod cost;
 pub mod group;
@@ -18,10 +22,14 @@ pub mod hierarchical;
 pub mod ring;
 pub mod topology;
 
+pub use backend::{
+    create_collective, create_ring_collectives, AutoCollective, Backend, Collective,
+    CollectiveStats, RingCollective, TreeCollective,
+};
 pub use comm::CommHandle;
 pub use cost::{
-    bn_sync_time, gradient_bytes, ring_all_reduce_time, torus_all_reduce_time, LinkSpec,
-    TPU_V3_LINK,
+    bn_sync_time, gradient_bytes, ring_all_reduce_time, torus_all_reduce_time,
+    tree_all_reduce_time, tree_ring_crossover_bytes, LinkSpec, TPU_V3_LINK,
 };
 pub use group::{bn_batch_size, GroupSpec};
 pub use hierarchical::{create_grid, GridMember};

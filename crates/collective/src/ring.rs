@@ -37,8 +37,7 @@ pub fn create_ring(p: usize) -> Vec<RingMember> {
     // Member r sends to (r+1) % p, so its sender is channel (r+1) % p and
     // its receiver is channel r (fed by member r−1).
     let mut members: Vec<RingMember> = Vec::with_capacity(p);
-    let mut receivers: Vec<Option<Receiver<Vec<f32>>>> =
-        receivers.into_iter().map(Some).collect();
+    let mut receivers: Vec<Option<Receiver<Vec<f32>>>> = receivers.into_iter().map(Some).collect();
     for r in 0..p {
         members.push(RingMember {
             rank: r,
@@ -137,7 +136,11 @@ mod tests {
     use super::*;
     use std::thread;
 
-    fn run_ring(p: usize, n: usize, seed_fn: impl Fn(usize) -> Vec<f32> + Send + Sync + Clone + 'static) -> Vec<Vec<f32>> {
+    fn run_ring(
+        p: usize,
+        n: usize,
+        seed_fn: impl Fn(usize) -> Vec<f32> + Send + Sync + Clone + 'static,
+    ) -> Vec<Vec<f32>> {
         let members = create_ring(p);
         let joins: Vec<_> = members
             .into_iter()
@@ -210,15 +213,18 @@ mod tests {
         let p = 4;
         let n = 17;
         let ring_results = run_ring(p, n, move |rank| {
-            (0..n).map(|i| ((rank + 1) * (i + 1)) as f32 * 0.1).collect()
+            (0..n)
+                .map(|i| ((rank + 1) * (i + 1)) as f32 * 0.1)
+                .collect()
         });
         let handles = CommHandle::create(p);
         let tree_results: Vec<Vec<f32>> = handles
             .into_iter()
             .map(|h| {
                 thread::spawn(move || {
-                    let mut buf: Vec<f32> =
-                        (0..n).map(|i| ((h.rank() + 1) * (i + 1)) as f32 * 0.1).collect();
+                    let mut buf: Vec<f32> = (0..n)
+                        .map(|i| ((h.rank() + 1) * (i + 1)) as f32 * 0.1)
+                        .collect();
                     h.all_reduce_sum(&mut buf);
                     buf
                 })

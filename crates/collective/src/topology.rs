@@ -26,13 +26,13 @@ impl SliceShape {
     /// 2048 → 32×32.
     pub fn for_cores(cores: usize) -> SliceShape {
         assert!(
-            cores >= CORES_PER_CHIP && cores % CORES_PER_CHIP == 0,
+            cores >= CORES_PER_CHIP && cores.is_multiple_of(CORES_PER_CHIP),
             "core count must be a positive multiple of {CORES_PER_CHIP}"
         );
         let chips = cores / CORES_PER_CHIP;
         // Near-square factorization with power-of-two sides where possible.
         let mut rows = (chips as f64).sqrt() as usize;
-        while rows > 1 && chips % rows != 0 {
+        while rows > 1 && !chips.is_multiple_of(rows) {
             rows -= 1;
         }
         SliceShape {
@@ -98,9 +98,18 @@ mod tests {
     fn standard_slices() {
         assert_eq!(SliceShape::for_cores(128), SliceShape { rows: 8, cols: 8 });
         assert_eq!(SliceShape::for_cores(256), SliceShape { rows: 8, cols: 16 });
-        assert_eq!(SliceShape::for_cores(512), SliceShape { rows: 16, cols: 16 });
-        assert_eq!(SliceShape::for_cores(1024), SliceShape { rows: 16, cols: 32 });
-        assert_eq!(SliceShape::for_cores(2048), SliceShape { rows: 32, cols: 32 });
+        assert_eq!(
+            SliceShape::for_cores(512),
+            SliceShape { rows: 16, cols: 16 }
+        );
+        assert_eq!(
+            SliceShape::for_cores(1024),
+            SliceShape { rows: 16, cols: 32 }
+        );
+        assert_eq!(
+            SliceShape::for_cores(2048),
+            SliceShape { rows: 32, cols: 32 }
+        );
     }
 
     #[test]

@@ -6,7 +6,10 @@ use ets_collective::{create_grid, create_ring, CommHandle, GroupSpec, SliceShape
 use proptest::prelude::*;
 use std::thread;
 
-fn tree_reduce(p: usize, seed_fn: impl Fn(usize) -> Vec<f32> + Send + Sync + Clone + 'static) -> Vec<Vec<f32>> {
+fn tree_reduce(
+    p: usize,
+    seed_fn: impl Fn(usize) -> Vec<f32> + Send + Sync + Clone + 'static,
+) -> Vec<Vec<f32>> {
     let handles = CommHandle::create(p);
     handles
         .into_iter()
@@ -47,7 +50,7 @@ fn thousand_rounds_no_cross_talk() {
         .collect();
     for r in &results {
         for (round, &v) in r.iter().enumerate() {
-            let expected: f32 = (0..4).map(|rank| (rank * 7 + round as usize) as f32).sum();
+            let expected: f32 = (0..4).map(|rank| (rank * 7 + round) as f32).sum();
             assert_eq!(v, expected, "round {round}");
         }
     }
@@ -88,13 +91,13 @@ fn disjoint_subgroups_run_concurrently() {
     let outs: Vec<Vec<(f32, f32)>> = joins.into_iter().map(|j| j.join().unwrap()).collect();
     for step in 0..50 {
         // group 0 = ranks {0,1}, group 1 = ranks {2,3}.
-        let bn0 = (0 + step) as f32 + (1 + step) as f32;
+        let bn0 = step as f32 + (1 + step) as f32;
         let bn1 = (2 + step) as f32 + (3 + step) as f32;
         let world_sum = 2.0 * bn0 + 2.0 * bn1;
         assert_eq!(outs[0][step].0, bn0);
         assert_eq!(outs[3][step].0, bn1);
-        for r in 0..4 {
-            assert_eq!(outs[r][step].1, world_sum, "rank {r} step {step}");
+        for (r, out) in outs.iter().enumerate() {
+            assert_eq!(out[step].1, world_sum, "rank {r} step {step}");
         }
     }
 }

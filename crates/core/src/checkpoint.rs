@@ -6,6 +6,7 @@
 //! (bit-exact via `u32` bit patterns — checkpoint/restore round-trips are
 //! bitwise, so a resumed run stays on the original's trajectory).
 
+use ets_collective::Collective;
 use ets_efficientnet::EfficientNet;
 use ets_nn::Layer;
 use serde::{Deserialize, Serialize};
@@ -112,6 +113,41 @@ pub fn restore(model: &mut EfficientNet, ckpt: &Checkpoint) {
     assert_eq!(j, ckpt.bn_running.len(), "checkpoint has extra BN records");
 }
 
+/// Broadcasts `root`'s full model state — parameters *and* BN running
+/// statistics — to every member of `comm`, bit-exactly (f32 payloads are
+/// copied, never re-reduced). This is the in-memory analogue of shipping
+/// a checkpoint between hosts: multi-host jobs synchronize initialization
+/// (and resumed state) by electing a root and broadcasting its snapshot.
+///
+/// SPMD: every member of the group must call this with a structurally
+/// identical model.
+pub fn broadcast(model: &mut EfficientNet, comm: &dyn Collective, root: usize) {
+    if comm.size() == 1 {
+        return;
+    }
+    let mut flat: Vec<f32> = Vec::new();
+    model.visit_params(&mut |p| flat.extend_from_slice(p.value.data()));
+    model.visit_bns(&mut |bn| {
+        flat.extend_from_slice(&bn.running_mean);
+        flat.extend_from_slice(&bn.running_var);
+    });
+    comm.broadcast(&mut flat, root);
+    let mut off = 0usize;
+    model.visit_params(&mut |p| {
+        let n = p.value.numel();
+        p.value.data_mut().copy_from_slice(&flat[off..off + n]);
+        off += n;
+    });
+    model.visit_bns(&mut |bn| {
+        let c = bn.running_mean.len();
+        bn.running_mean.copy_from_slice(&flat[off..off + c]);
+        off += c;
+        bn.running_var.copy_from_slice(&flat[off..off + c]);
+        off += c;
+    });
+    assert_eq!(off, flat.len(), "model structure mismatch after broadcast");
+}
+
 /// Serializes to JSON.
 pub fn to_json(ckpt: &Checkpoint) -> String {
     serde_json::to_string(ckpt).expect("checkpoint serializes")
@@ -182,6 +218,41 @@ mod tests {
         let mut ckpt = save(&mut m, 0);
         ckpt.version = 999;
         restore(&mut m, &ckpt);
+    }
+
+    #[test]
+    fn broadcast_equalizes_params_and_running_stats() {
+        use ets_collective::{create_collective, Backend};
+        for backend in [Backend::Tree, Backend::Ring] {
+            let world = create_collective(backend, 3);
+            let checksums: Vec<(u64, Vec<f32>)> = world
+                .into_iter()
+                .map(|c| {
+                    std::thread::spawn(move || {
+                        // Independent inits, perturbed running stats.
+                        let mut m = model(10 + c.rank() as u64);
+                        let mut rng = Rng::new(20 + c.rank() as u64);
+                        let mut x = Tensor::zeros([2, 3, 16, 16]);
+                        rng.fill_normal(x.data_mut(), 0.0, 1.0);
+                        let _ = m.forward(&x, Mode::Train, &mut rng);
+                        broadcast(&mut m, c.as_ref(), 1);
+                        let mut stats = Vec::new();
+                        m.visit_bns(&mut |bn| {
+                            stats.extend_from_slice(&bn.running_mean);
+                            stats.extend_from_slice(&bn.running_var);
+                        });
+                        (weights_checksum(&mut m), stats)
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|j| j.join().unwrap())
+                .collect();
+            for (sum, stats) in &checksums[1..] {
+                assert_eq!(*sum, checksums[0].0, "{backend}: weights diverged");
+                assert_eq!(stats, &checksums[0].1, "{backend}: BN stats diverged");
+            }
+        }
     }
 
     #[test]

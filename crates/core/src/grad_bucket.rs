@@ -1,0 +1,250 @@
+//! Bucketized gradient all-reduce over a persistent flat buffer.
+//!
+//! The seed trainer flattened every gradient into a fresh `Vec` each step
+//! and reduced it in one collective call. This module replaces that with
+//! a DDP-style bucket layer:
+//!
+//! - **Registered once**: parameter sizes are recorded at construction
+//!   and asserted against on every step — a silent shape change would
+//!   corrupt the flat layout.
+//! - **Persistent flat buffer**: gradients (plus the loss scalar, as the
+//!   final element) are packed into one reusable buffer; the steady state
+//!   allocates nothing.
+//! - **Size-bounded buckets**: the flat range is split into contiguous
+//!   buckets of at most `max_bucket_elems` elements, each reduced with
+//!   its own collective call and timed individually
+//!   ([`AllReduceProfile`]), so per-size behavior is observable.
+//!
+//! Determinism note: the tree backend reduces element-wise in ascending
+//! rank order, so bucketizing cannot change its results — the bucketized
+//! trainer stays bitwise on the seed trajectory. The ring backend chunks
+//! by buffer length, so bucket layout is part of its (fixed, reproducible)
+//! reduction order.
+
+use crate::timeline::{AllReduceProfile, Stopwatch};
+use ets_collective::Collective;
+use ets_nn::Layer;
+
+/// Default bucket bound: 1 Mi elements = 4 MiB of f32 gradients. Proxy
+/// models fit in one bucket; paper-scale models split into several.
+pub const DEFAULT_BUCKET_ELEMS: usize = 1 << 20;
+
+/// Persistent state for the bucketized gradient exchange.
+pub struct GradBucket {
+    /// Per-parameter element counts, in `visit_params` order.
+    param_sizes: Vec<usize>,
+    /// Flat gradient buffer: all params then the loss scalar.
+    flat: Vec<f32>,
+    /// Contiguous `[start, end)` element ranges covering `flat`.
+    buckets: Vec<(usize, usize)>,
+    /// Accumulated per-bucket timing.
+    profile: AllReduceProfile,
+}
+
+impl GradBucket {
+    /// Registers `model`'s parameters with the default bucket bound.
+    pub fn new(model: &mut dyn Layer) -> Self {
+        Self::with_bucket_elems(model, DEFAULT_BUCKET_ELEMS)
+    }
+
+    /// Registers `model`'s parameters, bounding buckets to
+    /// `max_bucket_elems` elements each.
+    pub fn with_bucket_elems(model: &mut dyn Layer, max_bucket_elems: usize) -> Self {
+        assert!(max_bucket_elems >= 1, "buckets need at least one element");
+        let mut param_sizes = Vec::new();
+        model.visit_params(&mut |p| param_sizes.push(p.grad.numel()));
+        let total: usize = param_sizes.iter().sum::<usize>() + 1; // + loss scalar
+        let mut buckets = Vec::new();
+        let mut start = 0usize;
+        while start < total {
+            let end = (start + max_bucket_elems).min(total);
+            buckets.push((start, end));
+            start = end;
+        }
+        let bucket_elems: Vec<usize> = buckets.iter().map(|&(a, b)| b - a).collect();
+        GradBucket {
+            param_sizes,
+            flat: vec![0.0; total],
+            buckets,
+            profile: AllReduceProfile::new(bucket_elems),
+        }
+    }
+
+    /// Total flattened elements (params + loss scalar).
+    pub fn flat_len(&self) -> usize {
+        self.flat.len()
+    }
+
+    /// Number of buckets covering the flat buffer.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Accumulated per-bucket timing.
+    pub fn profile(&self) -> &AllReduceProfile {
+        &self.profile
+    }
+
+    /// Sums gradients (and `local_loss`) across the group bucket by
+    /// bucket, averages, writes the averaged gradients back into the
+    /// model, and returns the mean loss.
+    ///
+    /// `model` must be the instance registered at construction (same
+    /// parameters in the same order) — asserted per parameter.
+    pub fn all_reduce(
+        &mut self,
+        model: &mut dyn Layer,
+        comm: &dyn Collective,
+        local_loss: f32,
+    ) -> f32 {
+        // Pack into the persistent flat buffer.
+        let mut off = 0usize;
+        let mut idx = 0usize;
+        let sizes = &self.param_sizes;
+        let flat = &mut self.flat;
+        model.visit_params(&mut |p| {
+            let n = p.grad.numel();
+            assert_eq!(
+                sizes.get(idx).copied(),
+                Some(n),
+                "parameter {idx} changed size since GradBucket registration"
+            );
+            flat[off..off + n].copy_from_slice(p.grad.data());
+            off += n;
+            idx += 1;
+        });
+        assert_eq!(
+            idx,
+            sizes.len(),
+            "parameter count changed since GradBucket registration"
+        );
+        flat[off] = local_loss;
+
+        // Reduce bucket by bucket, timing each.
+        for (i, &(a, b)) in self.buckets.iter().enumerate() {
+            let mut sw = Stopwatch::start();
+            comm.all_reduce_sum(&mut self.flat[a..b]);
+            self.profile.bucket_seconds[i] += sw.lap();
+        }
+        self.profile.rounds += 1;
+
+        // Average and scatter back.
+        let inv = 1.0 / comm.size() as f32;
+        let mut off = 0usize;
+        let flat = &self.flat;
+        model.visit_params(&mut |p| {
+            let n = p.grad.numel();
+            for (g, &s) in p.grad.data_mut().iter_mut().zip(&flat[off..off + n]) {
+                *g = s * inv;
+            }
+            off += n;
+        });
+        self.flat[off] * inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ets_collective::{create_collective, Backend};
+    use ets_efficientnet::EfficientNet;
+    use ets_efficientnet::ModelConfig;
+    use ets_nn::Precision;
+    use ets_tensor::Rng;
+    use std::thread;
+
+    fn tiny_model(seed: u64) -> EfficientNet {
+        let mut rng = Rng::new(seed);
+        EfficientNet::new(ModelConfig::tiny(16, 4), Precision::F32, &mut rng)
+    }
+
+    fn fill_grads(model: &mut EfficientNet, rank: usize) {
+        let mut k = 0usize;
+        model.visit_params(&mut |p| {
+            for g in p.grad.data_mut().iter_mut() {
+                *g = ((k % 13) as f32 - 6.0) * 0.25 + rank as f32;
+                k += 1;
+            }
+        });
+    }
+
+    fn grads_of(model: &mut EfficientNet) -> Vec<f32> {
+        let mut out = Vec::new();
+        model.visit_params(&mut |p| out.extend_from_slice(p.grad.data()));
+        out
+    }
+
+    #[test]
+    fn bucket_layout_covers_flat_exactly() {
+        let mut m = tiny_model(0);
+        let gb = GradBucket::with_bucket_elems(&mut m, 100);
+        assert!(gb.num_buckets() > 1, "tiny model should still split at 100");
+        let covered: usize = gb.profile().bucket_elems.iter().sum();
+        assert_eq!(covered, gb.flat_len());
+        assert!(gb.profile().bucket_elems.iter().all(|&n| n <= 100));
+    }
+
+    #[test]
+    fn bucketized_reduce_matches_whole_buffer_reduce_bitwise() {
+        // Tree reduction is element-wise, so bucket boundaries must not
+        // change a single bit of the averaged gradients.
+        for bucket_elems in [100usize, 1 << 20] {
+            let world = create_collective(Backend::Tree, 2);
+            let joins: Vec<_> = world
+                .into_iter()
+                .map(|c| {
+                    thread::spawn(move || {
+                        let mut m = tiny_model(1);
+                        fill_grads(&mut m, c.rank());
+                        let mut gb = GradBucket::with_bucket_elems(&mut m, bucket_elems);
+                        let loss = gb.all_reduce(&mut m, c.as_ref(), (c.rank() + 1) as f32);
+                        (grads_of(&mut m), loss)
+                    })
+                })
+                .collect();
+            let results: Vec<_> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+            assert_eq!(results[0], results[1], "ranks must agree bitwise");
+            let (grads, loss) = &results[0];
+            assert!((loss - 1.5).abs() < 1e-6, "mean of 1.0 and 2.0");
+            // Manual expectation: mean of the two rank patterns.
+            let mut expect = tiny_model(1);
+            fill_grads(&mut expect, 0);
+            let a = grads_of(&mut expect);
+            fill_grads(&mut expect, 1);
+            let b = grads_of(&mut expect);
+            for (g, (x, y)) in grads.iter().zip(a.iter().zip(&b)) {
+                assert_eq!(*g, (x + y) * 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn profile_accumulates_per_round() {
+        let mut world = create_collective(Backend::Tree, 1);
+        let c = world.pop().unwrap();
+        let mut m = tiny_model(2);
+        let mut gb = GradBucket::with_bucket_elems(&mut m, 50);
+        for _ in 0..3 {
+            fill_grads(&mut m, 0);
+            let _ = gb.all_reduce(&mut m, c.as_ref(), 1.0);
+        }
+        let prof = gb.profile();
+        assert_eq!(prof.rounds, 3);
+        assert_eq!(prof.bucket_seconds.len(), prof.bucket_elems.len());
+        assert!(prof.total_seconds() >= 0.0);
+        assert!(prof.mean_bucket_seconds(0) >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "changed size since GradBucket registration")]
+    fn size_change_is_rejected() {
+        let mut a = tiny_model(3);
+        let mut gb = GradBucket::new(&mut a);
+        // A structurally different model must be rejected.
+        let mut rng = Rng::new(4);
+        let mut b = EfficientNet::new(ModelConfig::tiny(16, 8), Precision::F32, &mut rng);
+        let mut world = create_collective(Backend::Tree, 1);
+        let c = world.pop().unwrap();
+        let _ = gb.all_reduce(&mut b, c.as_ref(), 0.0);
+    }
+}

@@ -12,6 +12,7 @@
 pub mod bn_sync;
 pub mod checkpoint;
 pub mod experiment;
+pub mod grad_bucket;
 pub mod paper_recipe;
 pub mod report;
 pub mod sweep;
@@ -19,10 +20,14 @@ pub mod timeline;
 pub mod trainer;
 
 pub use bn_sync::GroupStatSync;
-pub use checkpoint::{restore as restore_checkpoint, save as save_checkpoint, Checkpoint};
+pub use checkpoint::{
+    broadcast as broadcast_checkpoint, restore as restore_checkpoint, save as save_checkpoint,
+    Checkpoint,
+};
 pub use experiment::{DecayChoice, Experiment, OptimizerChoice};
+pub use grad_bucket::{GradBucket, DEFAULT_BUCKET_ELEMS};
 pub use paper_recipe::{proxy_of, PROXY_LARS_LR, PROXY_LARS_TRUST, PROXY_RMSPROP_LR};
 pub use report::{checksum_f32, EpochRecord, TrainReport};
 pub use sweep::{batch_sweep, run_sweep, SweepCell, SweepResult};
-pub use timeline::{PhaseBreakdown, Stopwatch};
+pub use timeline::{AllReduceProfile, PhaseBreakdown, Stopwatch};
 pub use trainer::train;

@@ -42,11 +42,16 @@ pub fn proxy_of(row: &Table2Row, base: &Experiment) -> Experiment {
     match row.optimizer {
         OptimizerKind::RmsProp => {
             e.optimizer = OptimizerChoice::RmsProp;
-            e.decay = DecayChoice::Exponential { rate: 0.97, epochs: 2.4 };
+            e.decay = DecayChoice::Exponential {
+                rate: 0.97,
+                epochs: 2.4,
+            };
             e.lr_per_256 = PROXY_RMSPROP_LR;
         }
         OptimizerKind::Lars => {
-            e.optimizer = OptimizerChoice::Lars { trust_coeff: PROXY_LARS_TRUST };
+            e.optimizer = OptimizerChoice::Lars {
+                trust_coeff: PROXY_LARS_TRUST,
+            };
             e.decay = DecayChoice::Polynomial { power: 2.0 };
             e.lr_per_256 = PROXY_LARS_LR;
         }
@@ -112,6 +117,10 @@ mod tests {
         let b = base();
         // B5@65536 is 5.1% of ImageNet → ~105 of 2048 → 26/replica.
         let e = proxy_of(&TABLE2[10], &b);
-        assert!(e.global_batch() >= 96 && e.global_batch() <= 116, "{}", e.global_batch());
+        assert!(
+            e.global_batch() >= 96 && e.global_batch() <= 116,
+            "{}",
+            e.global_batch()
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! Training-run results: per-epoch records and summary statistics.
 
-use crate::timeline::PhaseBreakdown;
+use crate::timeline::{AllReduceProfile, PhaseBreakdown};
 use serde::{Deserialize, Serialize};
 
 /// One epoch's record, as seen by replica 0 (identical on all replicas for
@@ -35,12 +35,19 @@ pub struct TrainReport {
     pub weight_checksum: u64,
     /// Replica 0's measured per-phase time breakdown.
     pub phases: PhaseBreakdown,
+    /// Replica 0's per-bucket gradient all-reduce timing. Old serialized
+    /// reports without the field deserialize to an empty profile.
+    #[serde(default)]
+    pub all_reduce_buckets: AllReduceProfile,
 }
 
 impl TrainReport {
     /// Final epoch's training loss.
     pub fn final_loss(&self) -> f32 {
-        self.history.last().map(|r| r.train_loss).unwrap_or(f32::NAN)
+        self.history
+            .last()
+            .map(|r| r.train_loss)
+            .unwrap_or(f32::NAN)
     }
 
     /// First epoch whose eval top-1 reached `threshold`, if any.
@@ -86,9 +93,27 @@ mod tests {
     fn epochs_to_accuracy_finds_first() {
         let report = TrainReport {
             history: vec![
-                EpochRecord { epoch: 1, train_loss: 2.0, lr: 0.1, eval_top1: Some(0.3), eval_top5: Some(0.6) },
-                EpochRecord { epoch: 2, train_loss: 1.0, lr: 0.1, eval_top1: Some(0.8), eval_top5: Some(0.95) },
-                EpochRecord { epoch: 3, train_loss: 0.5, lr: 0.1, eval_top1: Some(0.9), eval_top5: Some(0.99) },
+                EpochRecord {
+                    epoch: 1,
+                    train_loss: 2.0,
+                    lr: 0.1,
+                    eval_top1: Some(0.3),
+                    eval_top5: Some(0.6),
+                },
+                EpochRecord {
+                    epoch: 2,
+                    train_loss: 1.0,
+                    lr: 0.1,
+                    eval_top1: Some(0.8),
+                    eval_top5: Some(0.95),
+                },
+                EpochRecord {
+                    epoch: 3,
+                    train_loss: 0.5,
+                    lr: 0.1,
+                    eval_top1: Some(0.9),
+                    eval_top5: Some(0.99),
+                },
             ],
             peak_top1: 0.9,
             peak_epoch: 3,
@@ -96,6 +121,7 @@ mod tests {
             wall_seconds: 1.0,
             weight_checksum: 0,
             phases: PhaseBreakdown::default(),
+            all_reduce_buckets: AllReduceProfile::default(),
         };
         assert_eq!(report.epochs_to_accuracy(0.75), Some(2));
         assert_eq!(report.epochs_to_accuracy(0.95), None);

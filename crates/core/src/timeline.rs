@@ -57,6 +57,55 @@ impl PhaseBreakdown {
     }
 }
 
+/// Per-bucket timing of the bucketized gradient all-reduce.
+///
+/// The trainer splits the flat gradient buffer into size-bounded buckets
+/// (see `crate::grad_bucket`) and reduces them one at a time; this records
+/// how long each bucket's collective took, accumulated over all steps, so
+/// stragglers and size effects show up in the report instead of vanishing
+/// into the aggregate `all_reduce` phase.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct AllReduceProfile {
+    /// Elements per bucket (fixed at registration; last bucket may be
+    /// smaller).
+    pub bucket_elems: Vec<usize>,
+    /// Accumulated seconds per bucket across all all-reduce rounds.
+    pub bucket_seconds: Vec<f64>,
+    /// Completed all-reduce rounds (each round touches every bucket).
+    pub rounds: u64,
+}
+
+impl AllReduceProfile {
+    /// Creates a profile for the given bucket layout.
+    pub fn new(bucket_elems: Vec<usize>) -> Self {
+        let n = bucket_elems.len();
+        AllReduceProfile {
+            bucket_elems,
+            bucket_seconds: vec![0.0; n],
+            rounds: 0,
+        }
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.bucket_elems.len()
+    }
+
+    /// Total seconds across all buckets.
+    pub fn total_seconds(&self) -> f64 {
+        self.bucket_seconds.iter().sum()
+    }
+
+    /// Mean seconds per round for bucket `i`.
+    pub fn mean_bucket_seconds(&self, i: usize) -> f64 {
+        if self.rounds > 0 {
+            self.bucket_seconds[i] / self.rounds as f64
+        } else {
+            0.0
+        }
+    }
+}
+
 /// A phase stopwatch: `lap()` returns seconds since the previous lap.
 pub struct Stopwatch {
     last: Instant,

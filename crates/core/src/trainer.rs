@@ -4,9 +4,12 @@
 //! Faithfully reproduced mechanics:
 //! - **Data parallelism**: every replica holds a full model copy and a
 //!   disjoint shard of each global batch; gradients are summed with a
-//!   deterministic tree all-reduce and averaged, so all replicas take
-//!   bitwise-identical optimizer steps (asserted via a final weight
-//!   checksum across replicas).
+//!   deterministic collective (tree, ring, or auto — see
+//!   [`ets_collective::Backend`], selected per experiment) and averaged,
+//!   so all replicas take bitwise-identical optimizer steps (asserted via
+//!   a final weight checksum across replicas). Gradients move through a
+//!   bucketized persistent flat buffer ([`crate::grad_bucket`]) with
+//!   per-bucket timing.
 //! - **Distributed batch norm** (§3.4): BN statistics reduce over replica
 //!   groups wired from `GroupSpec`.
 //! - **Distributed evaluation** (§3.3): the validation set is sharded over
@@ -16,10 +19,11 @@
 //! - **Mixed precision** (§3.5): optional bf16 conv path.
 
 use crate::bn_sync::GroupStatSync;
-use crate::timeline::{PhaseBreakdown, Stopwatch};
 use crate::experiment::{DecayChoice, Experiment, OptimizerChoice};
+use crate::grad_bucket::GradBucket;
 use crate::report::{checksum_f32, EpochRecord, TrainReport};
-use ets_collective::{CommHandle, SliceShape};
+use crate::timeline::{AllReduceProfile, PhaseBreakdown, Stopwatch};
+use ets_collective::{create_collective, Collective, SliceShape};
 use ets_data::{load_batch, AugmentConfig, Dataset, EpochPlan, SynthNet};
 use ets_efficientnet::EfficientNet;
 use ets_nn::{cross_entropy, zero_grads, Ema, EvalCounts, Layer, Mode};
@@ -89,33 +93,14 @@ fn build_schedule(exp: &Experiment) -> Box<dyn LrSchedule> {
     }
 }
 
-/// Flattened gradient exchange: sums gradients (and the loss scalar, as the
-/// last element) across replicas, then averages.
-fn all_reduce_grads(model: &mut dyn Layer, handle: &CommHandle, local_loss: f32) -> f32 {
-    let mut buf: Vec<f32> = Vec::new();
-    model.visit_params(&mut |p| buf.extend_from_slice(p.grad.data()));
-    buf.push(local_loss);
-    handle.all_reduce_sum(&mut buf);
-    let inv = 1.0 / handle.size() as f32;
-    let mut off = 0usize;
-    model.visit_params(&mut |p| {
-        let n = p.grad.numel();
-        for (g, &s) in p.grad.data_mut().iter_mut().zip(&buf[off..off + n]) {
-            *g = s * inv;
-        }
-        off += n;
-    });
-    buf[off] * inv
-}
-
 /// Merges eval counts across replicas (counts fit exactly in f32).
-fn all_reduce_counts(counts: EvalCounts, handle: &CommHandle) -> EvalCounts {
-    let mut buf = vec![
+fn all_reduce_counts(counts: EvalCounts, comm: &dyn Collective) -> EvalCounts {
+    let mut buf = [
         counts.correct_top1 as f32,
         counts.correct_top5 as f32,
         counts.total as f32,
     ];
-    handle.all_reduce_sum(&mut buf);
+    comm.all_reduce_sum(&mut buf);
     EvalCounts {
         correct_top1: buf[0] as u64,
         correct_top5: buf[1] as u64,
@@ -130,7 +115,7 @@ fn distributed_eval(
     replica: usize,
     replicas: usize,
     batch: usize,
-    handle: &CommHandle,
+    comm: &dyn Collective,
 ) -> EvalCounts {
     let mut local = EvalCounts::default();
     let my_indices: Vec<usize> = (replica..eval_set.len()).step_by(replicas).collect();
@@ -140,7 +125,7 @@ fn distributed_eval(
         let scores = model.forward(&x, Mode::Eval, &mut rng);
         local.observe(&scores, &labels);
     }
-    all_reduce_counts(local, handle)
+    all_reduce_counts(local, comm)
 }
 
 /// Per-replica worker result.
@@ -148,6 +133,7 @@ struct ReplicaResult {
     checksum: u64,
     history: Option<Vec<EpochRecord>>,
     phases: PhaseBreakdown,
+    buckets: AllReduceProfile,
 }
 
 /// Runs the experiment; returns replica 0's report after asserting all
@@ -167,18 +153,20 @@ pub fn train(exp: &Experiment) -> TrainReport {
     let train_set = Arc::new(train_set);
     let eval_set = Arc::new(eval_set);
 
-    // World communicator for gradients/eval, per-group communicators for BN.
-    let world = CommHandle::create(replicas);
-    let mut bn_handles: Vec<Option<CommHandle>> = (0..replicas).map(|_| None).collect();
+    // World collective for gradients/eval/init, per-group collectives for
+    // BN — all on the experiment's chosen backend.
+    let backend = exp.collective_backend;
+    let world = create_collective(backend, replicas);
+    let mut bn_comms: Vec<Option<Box<dyn Collective>>> = (0..replicas).map(|_| None).collect();
     if replicas > 1 && !matches!(exp.bn_group, ets_collective::GroupSpec::Local) {
         // Non-local grouping needs the torus geometry (even replica count).
         let slice = SliceShape::for_cores(replicas);
         exp.bn_group.validate(slice);
         for g in 0..exp.bn_group.num_groups(slice) {
             let members = exp.bn_group.members(g, slice);
-            let handles = CommHandle::create(members.len());
-            for (h, &m) in handles.into_iter().zip(&members) {
-                bn_handles[m] = Some(h);
+            let comms = create_collective(backend, members.len());
+            for (c, &m) in comms.into_iter().zip(&members) {
+                bn_comms[m] = Some(c);
             }
         }
     }
@@ -186,18 +174,20 @@ pub fn train(exp: &Experiment) -> TrainReport {
     let results: Vec<ReplicaResult> = std::thread::scope(|scope| {
         let joins: Vec<_> = world
             .into_iter()
-            .zip(bn_handles)
+            .zip(bn_comms)
             .enumerate()
-            .map(|(r, (world_handle, bn_handle))| {
+            .map(|(r, (world_comm, bn_comm))| {
                 let train_set = Arc::clone(&train_set);
                 let eval_set = Arc::clone(&eval_set);
                 let exp = exp.clone();
-                scope.spawn(move || {
-                    run_replica(&exp, r, world_handle, bn_handle, &train_set, &eval_set)
-                })
+                scope
+                    .spawn(move || run_replica(&exp, r, world_comm, bn_comm, &train_set, &eval_set))
             })
             .collect();
-        joins.into_iter().map(|j| j.join().expect("replica panicked")).collect()
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("replica panicked"))
+            .collect()
     });
 
     let checksum0 = results[0].checksum;
@@ -208,15 +198,23 @@ pub fn train(exp: &Experiment) -> TrainReport {
         );
     }
     let phases = results[0].phases;
-    let history = results
-        .into_iter()
-        .find_map(|r| r.history)
-        .expect("replica 0 reports history");
+    let mut buckets = AllReduceProfile::default();
+    let mut history = None;
+    for r in results {
+        if r.history.is_some() {
+            buckets = r.buckets;
+            history = r.history;
+        }
+    }
+    let history = history.expect("replica 0 reports history");
 
     let (peak_top1, peak_epoch) = history
         .iter()
         .filter_map(|rec| rec.eval_top1.map(|a| (a, rec.epoch)))
-        .fold((0.0, 0), |best, (a, e)| if a > best.0 { (a, e) } else { best });
+        .fold(
+            (0.0, 0),
+            |best, (a, e)| if a > best.0 { (a, e) } else { best },
+        );
 
     TrainReport {
         steps: exp.epochs * exp.steps_per_epoch() as u64,
@@ -226,37 +224,37 @@ pub fn train(exp: &Experiment) -> TrainReport {
         wall_seconds: start.elapsed().as_secs_f64(),
         weight_checksum: checksum0,
         phases,
+        all_reduce_buckets: buckets,
     }
 }
 
 fn run_replica(
     exp: &Experiment,
     replica: usize,
-    world: CommHandle,
-    bn_handle: Option<CommHandle>,
+    world: Box<dyn Collective>,
+    bn_comm: Option<Box<dyn Collective>>,
     train_set: &SynthNet,
     eval_set: &SynthNet,
 ) -> ReplicaResult {
     // Two init-sync modes: shared seed stream (default), or independent
-    // init + a broadcast of replica 0's weights (the multi-host pattern).
-    let init_stream = if exp.broadcast_init { 100 + replica as u64 } else { 1 };
+    // init + a broadcast of replica 0's state (the multi-host pattern),
+    // routed through the checkpoint layer so params *and* BN running
+    // statistics synchronize bit-exactly.
+    let init_stream = if exp.broadcast_init {
+        100 + replica as u64
+    } else {
+        1
+    };
     let mut init_rng = Rng::new(exp.seed).split(init_stream);
     let mut model = EfficientNet::new(exp.model.clone(), exp.precision, &mut init_rng);
     if exp.broadcast_init && exp.replicas > 1 {
-        let mut flat: Vec<f32> = Vec::new();
-        model.visit_params(&mut |p| flat.extend_from_slice(p.value.data()));
-        world.broadcast(&mut flat, 0);
-        let mut off = 0usize;
-        model.visit_params(&mut |p| {
-            let n = p.value.numel();
-            p.value.data_mut().copy_from_slice(&flat[off..off + n]);
-            off += n;
-        });
+        crate::checkpoint::broadcast(&mut model, world.as_ref(), 0);
     }
     model.visit_bns(&mut |bn| bn.set_momentum(PROXY_BN_MOMENTUM));
-    if let Some(h) = bn_handle {
-        model.set_bn_sync(Arc::new(GroupStatSync::new(h)));
+    if let Some(c) = bn_comm {
+        model.set_bn_sync(Arc::new(GroupStatSync::new(c)));
     }
+    let mut grad_bucket = GradBucket::new(&mut model);
     let mut optimizer = build_optimizer(exp.optimizer);
     let schedule = build_schedule(exp);
     let mut ema = exp.ema_decay.map(|d| Ema::new(&mut model, d));
@@ -302,7 +300,7 @@ fn run_replica(
                 model.visit_params(&mut |p| p.grad.scale(inv));
                 micro_loss *= inv;
             }
-            let mean_loss = all_reduce_grads(&mut model, &world, micro_loss);
+            let mean_loss = grad_bucket.all_reduce(&mut model, world.as_ref(), micro_loss);
             phases.all_reduce += sw.lap();
             if let Some(max_norm) = exp.clip_grad_norm {
                 ets_optim::clip_global_norm(&mut model, max_norm);
@@ -327,7 +325,7 @@ fn run_replica(
                 replica,
                 exp.replicas,
                 exp.per_replica_batch,
-                &world,
+                world.as_ref(),
             );
             if let (Some(e), Some(s)) = (ema.as_ref(), saved) {
                 e.restore(&mut model, s);
@@ -352,6 +350,7 @@ fn run_replica(
         checksum: checksum_f32(weights.into_iter()),
         history: (replica == 0).then_some(history),
         phases,
+        buckets: grad_bucket.profile().clone(),
     }
 }
 
@@ -384,10 +383,7 @@ mod tests {
         let report = train(&e);
         let first = report.history[0].train_loss;
         let last = report.final_loss();
-        assert!(
-            last < first,
-            "loss should fall: {first} → {last}"
-        );
+        assert!(last < first, "loss should fall: {first} → {last}");
     }
 
     #[test]

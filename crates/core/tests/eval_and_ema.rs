@@ -71,7 +71,10 @@ fn ema_changes_eval_but_not_training_weights() {
         .zip(&re.history)
         .filter_map(|(a, b)| Some((a.eval_top1?, b.eval_top1?)))
         .any(|(a, b)| a != b);
-    assert!(diff, "EMA evaluation should differ from raw-weight evaluation");
+    assert!(
+        diff,
+        "EMA evaluation should differ from raw-weight evaluation"
+    );
 }
 
 #[test]

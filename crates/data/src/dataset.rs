@@ -45,7 +45,10 @@ pub fn materialize_batch<D: Dataset + ?Sized>(ds: &D, indices: &[usize]) -> (Ten
     let mut batch = Tensor::zeros([indices.len(), 3, r, r]);
     let mut labels = Vec::with_capacity(indices.len());
     for (slot, &i) in indices.iter().enumerate() {
-        let label = ds.sample_into(i, &mut batch.data_mut()[slot * img_len..(slot + 1) * img_len]);
+        let label = ds.sample_into(
+            i,
+            &mut batch.data_mut()[slot * img_len..(slot + 1) * img_len],
+        );
         labels.push(label);
     }
     (batch, labels)

@@ -112,8 +112,8 @@ pub fn load_batch<D: Dataset + ?Sized>(
         }
         if aug.crop_pad > 0 {
             let p = aug.crop_pad as isize;
-            let dx = rng.below((2 * aug.crop_pad + 1) as usize) as isize - p;
-            let dy = rng.below((2 * aug.crop_pad + 1) as usize) as isize - p;
+            let dx = rng.below(2 * aug.crop_pad + 1) as isize - p;
+            let dy = rng.below(2 * aug.crop_pad + 1) as isize - p;
             if dx != 0 || dy != 0 {
                 scratch.copy_from_slice(img);
                 shift_crop(&scratch, img, res, dx, dy);

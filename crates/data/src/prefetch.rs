@@ -58,6 +58,7 @@ impl Prefetcher {
     }
 
     /// Receives the next batch; `None` when the plan is exhausted.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<Batch> {
         self.rx.recv().ok()
     }
@@ -130,7 +131,11 @@ mod tests {
                 load_batch(ds.as_ref(), indices, AugmentConfig::train(), &mut sync_rng);
             let (got_x, got_l) = pf.next().expect("batch available");
             assert_eq!(got_l, want_l);
-            assert_eq!(got_x.max_abs_diff(&want_x), 0.0, "prefetch must not change the stream");
+            assert_eq!(
+                got_x.max_abs_diff(&want_x),
+                0.0,
+                "prefetch must not change the stream"
+            );
         }
         assert!(pf.next().is_none());
     }
@@ -138,13 +143,7 @@ mod tests {
     #[test]
     fn early_drop_does_not_hang() {
         let ds = Arc::new(SynthNet::new(3, 4, 512, 8, 0.3));
-        let mut pf = Prefetcher::spawn(
-            ds,
-            plan(64, 8),
-            AugmentConfig::eval(),
-            Rng::new(0),
-            1,
-        );
+        let mut pf = Prefetcher::spawn(ds, plan(64, 8), AugmentConfig::eval(), Rng::new(0), 1);
         let _ = pf.next();
         drop(pf); // must not deadlock on the blocked worker
     }

@@ -143,8 +143,7 @@ impl Dataset for SynthNet {
                 let fy = (y as f32 + 0.5) * inv;
                 for x in 0..res {
                     let fx = (x as f32 + 0.5) * inv;
-                    let mut v =
-                        amp * (std::f32::consts::TAU * (kx * fx + ky * fy) + phase).sin();
+                    let mut v = amp * (std::f32::consts::TAU * (kx * fx + ky * fy) + phase).sin();
                     for &(cx, cy, rad, r, g, b) in &blobs {
                         let d2 = (fx - cx) * (fx - cx) + (fy - cy) * (fy - cy);
                         let w = (-d2 / (2.0 * rad * rad)).exp();

@@ -8,8 +8,8 @@
 //! block's *input* filters, matching the reference implementation.
 
 use ets_nn::{
-    BatchNorm2d, Conv2d, DepthwiseConv2d, DropPath, Layer, Mode, Param, Precision,
-    SqueezeExcite, StatSync, Swish,
+    BatchNorm2d, Conv2d, DepthwiseConv2d, DropPath, Layer, Mode, Param, Precision, SqueezeExcite,
+    StatSync, Swish,
 };
 use ets_tensor::{same_pad, Rng, Tensor};
 use std::sync::Arc;
@@ -48,7 +48,16 @@ impl MbConvBlock {
         let expanded = in_filters * expand_ratio;
         let expand = (expand_ratio != 1).then(|| {
             (
-                Conv2d::new(format!("{label}.expand"), in_filters, expanded, 1, 1, 0, precision, rng),
+                Conv2d::new(
+                    format!("{label}.expand"),
+                    in_filters,
+                    expanded,
+                    1,
+                    1,
+                    0,
+                    precision,
+                    rng,
+                ),
                 BatchNorm2d::new(format!("{label}.expand_bn"), expanded),
                 Swish::new(),
             )
@@ -176,7 +185,16 @@ mod tests {
     fn block(in_f: usize, out_f: usize, stride: usize, expand: usize) -> MbConvBlock {
         let mut rng = Rng::new(7);
         MbConvBlock::new(
-            "b", in_f, out_f, 3, stride, expand, 0.25, 0.0, Precision::F32, &mut rng,
+            "b",
+            in_f,
+            out_f,
+            3,
+            stride,
+            expand,
+            0.25,
+            0.0,
+            Precision::F32,
+            &mut rng,
         )
     }
 

@@ -22,13 +22,69 @@ pub struct BlockArgs {
 
 /// The EfficientNet-B0 backbone stages.
 pub const B0_BLOCKS: [BlockArgs; 7] = [
-    BlockArgs { kernel: 3, repeats: 1, in_filters: 32, out_filters: 16, expand_ratio: 1, stride: 1, se_ratio: 0.25 },
-    BlockArgs { kernel: 3, repeats: 2, in_filters: 16, out_filters: 24, expand_ratio: 6, stride: 2, se_ratio: 0.25 },
-    BlockArgs { kernel: 5, repeats: 2, in_filters: 24, out_filters: 40, expand_ratio: 6, stride: 2, se_ratio: 0.25 },
-    BlockArgs { kernel: 3, repeats: 3, in_filters: 40, out_filters: 80, expand_ratio: 6, stride: 2, se_ratio: 0.25 },
-    BlockArgs { kernel: 5, repeats: 3, in_filters: 80, out_filters: 112, expand_ratio: 6, stride: 1, se_ratio: 0.25 },
-    BlockArgs { kernel: 5, repeats: 4, in_filters: 112, out_filters: 192, expand_ratio: 6, stride: 2, se_ratio: 0.25 },
-    BlockArgs { kernel: 3, repeats: 1, in_filters: 192, out_filters: 320, expand_ratio: 6, stride: 1, se_ratio: 0.25 },
+    BlockArgs {
+        kernel: 3,
+        repeats: 1,
+        in_filters: 32,
+        out_filters: 16,
+        expand_ratio: 1,
+        stride: 1,
+        se_ratio: 0.25,
+    },
+    BlockArgs {
+        kernel: 3,
+        repeats: 2,
+        in_filters: 16,
+        out_filters: 24,
+        expand_ratio: 6,
+        stride: 2,
+        se_ratio: 0.25,
+    },
+    BlockArgs {
+        kernel: 5,
+        repeats: 2,
+        in_filters: 24,
+        out_filters: 40,
+        expand_ratio: 6,
+        stride: 2,
+        se_ratio: 0.25,
+    },
+    BlockArgs {
+        kernel: 3,
+        repeats: 3,
+        in_filters: 40,
+        out_filters: 80,
+        expand_ratio: 6,
+        stride: 2,
+        se_ratio: 0.25,
+    },
+    BlockArgs {
+        kernel: 5,
+        repeats: 3,
+        in_filters: 80,
+        out_filters: 112,
+        expand_ratio: 6,
+        stride: 1,
+        se_ratio: 0.25,
+    },
+    BlockArgs {
+        kernel: 5,
+        repeats: 4,
+        in_filters: 112,
+        out_filters: 192,
+        expand_ratio: 6,
+        stride: 2,
+        se_ratio: 0.25,
+    },
+    BlockArgs {
+        kernel: 3,
+        repeats: 1,
+        in_filters: 192,
+        out_filters: 320,
+        expand_ratio: 6,
+        stride: 1,
+        se_ratio: 0.25,
+    },
 ];
 
 /// Stem filters before width scaling.
@@ -147,7 +203,10 @@ impl ModelConfig {
 
     /// Total MBConv block count after depth scaling.
     pub fn total_blocks(&self) -> usize {
-        self.blocks.iter().map(|b| self.round_repeats(b.repeats)).sum()
+        self.blocks
+            .iter()
+            .map(|b| self.round_repeats(b.repeats))
+            .sum()
     }
 }
 
@@ -157,8 +216,8 @@ pub fn round_filters(filters: usize, width_mult: f32) -> usize {
         return filters;
     }
     let scaled = filters as f32 * width_mult;
-    let mut new = ((scaled + DEPTH_DIVISOR as f32 / 2.0) / DEPTH_DIVISOR as f32) as usize
-        * DEPTH_DIVISOR;
+    let mut new =
+        ((scaled + DEPTH_DIVISOR as f32 / 2.0) / DEPTH_DIVISOR as f32) as usize * DEPTH_DIVISOR;
     new = new.max(DEPTH_DIVISOR);
     if (new as f32) < 0.9 * scaled {
         new += DEPTH_DIVISOR;

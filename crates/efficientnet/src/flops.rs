@@ -49,10 +49,11 @@ pub fn model_stats(cfg: &ModelConfig) -> ModelStats {
     let mut macs = 0u64;
     let mut r = cfg.resolution;
 
-    let conv = |params: &mut u64, macs: &mut u64, cin: usize, cout: usize, k: usize, out_hw: usize| {
-        *params += (cout * cin * k * k) as u64;
-        *macs += (cout * out_hw * out_hw) as u64 * (cin * k * k) as u64;
-    };
+    let conv =
+        |params: &mut u64, macs: &mut u64, cin: usize, cout: usize, k: usize, out_hw: usize| {
+            *params += (cout * cin * k * k) as u64;
+            *macs += (cout * out_hw * out_hw) as u64 * (cin * k * k) as u64;
+        };
     let bn = |params: &mut u64, c: usize| *params += 2 * c as u64;
 
     // Stem: 3×3 stride-2 conv to stem_filters + BN.
@@ -67,7 +68,11 @@ pub fn model_stats(cfg: &ModelConfig) -> ModelStats {
         let out_f = cfg.round_filters(args.out_filters);
         let repeats = cfg.round_repeats(args.repeats);
         for rep in 0..repeats {
-            let (in_f, stride) = if rep == 0 { (in_f0, args.stride) } else { (out_f, 1) };
+            let (in_f, stride) = if rep == 0 {
+                (in_f0, args.stride)
+            } else {
+                (out_f, 1)
+            };
             let expanded = in_f * args.expand_ratio;
             // Expansion 1×1 (skipped when ratio is 1) at input resolution.
             if args.expand_ratio != 1 {
@@ -177,7 +182,10 @@ mod tests {
 
     #[test]
     fn derived_quantities() {
-        let s = ModelStats { params: 10, macs: 100 };
+        let s = ModelStats {
+            params: 10,
+            macs: 100,
+        };
         assert_eq!(s.flops_forward(), 200.0);
         assert_eq!(s.flops_train(), 600.0);
         assert_eq!(s.gradient_bytes(), 40.0);

@@ -56,7 +56,11 @@ pub fn memory_stats(cfg: &ModelConfig) -> MemoryStats {
         let in_f0 = cfg.round_filters(args.in_filters);
         let out_f = cfg.round_filters(args.out_filters);
         for rep in 0..cfg.round_repeats(args.repeats) {
-            let (in_f, stride) = if rep == 0 { (in_f0, args.stride) } else { (out_f, 1) };
+            let (in_f, stride) = if rep == 0 {
+                (in_f0, args.stride)
+            } else {
+                (out_f, 1)
+            };
             let expanded = in_f * args.expand_ratio;
             let r_out = same_out(r, stride);
             // Expansion stage caches at input resolution.
@@ -113,7 +117,7 @@ mod tests {
         let cfg = ModelConfig::variant(Variant::B5);
         let m = memory_stats(&cfg);
         let bytes_per_img = m.activation_bytes(2.0); // bf16 activations
-        // B5 at 456² runs hundreds of MB of activations per image.
+                                                     // B5 at 456² runs hundreds of MB of activations per image.
         assert!(
             bytes_per_img > 100e6 && bytes_per_img < 2e9,
             "B5 activations {bytes_per_img:.2e} B/img"

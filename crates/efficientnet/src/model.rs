@@ -3,8 +3,8 @@
 use crate::blocks::MbConvBlock;
 use crate::config::ModelConfig;
 use ets_nn::{
-    BatchNorm2d, Conv2d, Dropout, GlobalAvgPool, Layer, Linear, Mode, Param, Precision,
-    StatSync, Swish,
+    BatchNorm2d, Conv2d, Dropout, GlobalAvgPool, Layer, Linear, Mode, Param, Precision, StatSync,
+    Swish,
 };
 use ets_tensor::{same_pad, Rng, Tensor};
 use std::sync::Arc;
@@ -40,7 +40,11 @@ impl EfficientNet {
             for rep in 0..repeats {
                 // Stochastic depth grows linearly with depth.
                 let dc = config.drop_connect * block_idx as f32 / total_blocks as f32;
-                let (bin, stride) = if rep == 0 { (in_f, args.stride) } else { (out_f, 1) };
+                let (bin, stride) = if rep == 0 {
+                    (in_f, args.stride)
+                } else {
+                    (out_f, 1)
+                };
                 blocks.push(MbConvBlock::new(
                     format!("blocks.{stage}.{rep}"),
                     bin,

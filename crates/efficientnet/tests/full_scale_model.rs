@@ -48,7 +48,10 @@ fn b0_reduced_resolution_backward() {
             with_grad += 1;
         }
     });
-    assert!(with_grad as f64 > 0.95 * total as f64, "{with_grad}/{total}");
+    assert!(
+        with_grad as f64 > 0.95 * total as f64,
+        "{with_grad}/{total}"
+    );
 }
 
 #[test]

@@ -77,15 +77,19 @@ impl BatchNorm2d {
     }
 
     /// Creates a batch-norm layer with an injected statistics reducer.
-    pub fn with_sync(
-        label: impl Into<String>,
-        channels: usize,
-        sync: Arc<dyn StatSync>,
-    ) -> Self {
+    pub fn with_sync(label: impl Into<String>, channels: usize, sync: Arc<dyn StatSync>) -> Self {
         let label = label.into();
         BatchNorm2d {
-            gamma: Param::new(format!("{label}.gamma"), Tensor::ones([channels]), ParamKind::BnGamma),
-            beta: Param::new(format!("{label}.beta"), Tensor::zeros([channels]), ParamKind::BnBeta),
+            gamma: Param::new(
+                format!("{label}.gamma"),
+                Tensor::ones([channels]),
+                ParamKind::BnGamma,
+            ),
+            beta: Param::new(
+                format!("{label}.beta"),
+                Tensor::zeros([channels]),
+                ParamKind::BnBeta,
+            ),
             running_mean: vec![0.0; channels],
             running_var: vec![1.0; channels],
             momentum: BN_MOMENTUM,
@@ -172,7 +176,10 @@ impl Layer for BatchNorm2d {
             xhat,
             inv_std,
             count,
-        } = self.cache.take().expect("BatchNorm2d: forward before backward");
+        } = self
+            .cache
+            .take()
+            .expect("BatchNorm2d: forward before backward");
         let c = self.channels;
         let (mut sum_g, mut sum_g_xhat) = bn_backward_sums(grad, &xhat);
         // dγ/dβ use the *local* contributions only — the gradient all-reduce
@@ -184,7 +191,9 @@ impl Layer for BatchNorm2d {
         // dx needs the group-wide means of g and g·x̂ (the BN group's
         // normalization set), so reduce the same pair across the group.
         let local_count = count / self.sync.group_size() as f32;
-        let total = self.sync.reduce_pair(&mut sum_g, &mut sum_g_xhat, local_count);
+        let total = self
+            .sync
+            .reduce_pair(&mut sum_g, &mut sum_g_xhat, local_count);
         debug_assert!((total - count).abs() < 1.0, "count drift");
         let gamma = self.gamma.value.data();
         let mut dx = grad.clone();
@@ -233,14 +242,14 @@ mod tests {
         let x = rand_x(1, &[8, 4, 6, 6]);
         let y = bn.forward(&x, Mode::Train, &mut rng);
         let m = channel_mean(&y);
-        for ch in 0..4 {
-            assert!(m[ch].abs() < 1e-4, "channel {ch} mean {}", m[ch]);
+        for (ch, mean) in m.iter().enumerate() {
+            assert!(mean.abs() < 1e-4, "channel {ch} mean {mean}");
         }
         // Variance ≈ 1 (eps slightly shrinks it).
         let ss = ets_tensor::ops::reduce::channel_sum_sq(&y);
         let count = (8 * 6 * 6) as f32;
-        for ch in 0..4 {
-            let v = ss[ch] / count;
+        for (ch, sum_sq) in ss.iter().enumerate() {
+            let v = sum_sq / count;
             assert!((v - 1.0).abs() < 0.05, "channel {ch} var {v}");
         }
     }

@@ -47,6 +47,7 @@ pub struct Conv2d {
 impl Conv2d {
     /// Builds a conv layer with EfficientNet's fan-out truncated-normal
     /// initialization.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         label: impl Into<String>,
         c_in: usize,
@@ -85,7 +86,10 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let xq = self.cache_x.take().expect("Conv2d: forward before backward");
+        let xq = self
+            .cache_x
+            .take()
+            .expect("Conv2d: forward before backward");
         let wq = self.precision.prep(&self.weight.value);
         let (dx, dw) = conv2d_backward(&xq, &wq, grad, self.stride, self.pad);
         self.weight.grad.add_assign(&dw);

@@ -65,7 +65,10 @@ pub struct DropPath {
 
 impl DropPath {
     pub fn new(rate: f32) -> Self {
-        assert!((0.0..1.0).contains(&rate), "drop path rate must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "drop path rate must be in [0,1)"
+        );
         DropPath {
             rate,
             cache_mask: None,
@@ -146,7 +149,10 @@ mod tests {
         assert!((mean - 1.0).abs() < 0.03, "mean {mean}");
         // Survivors are scaled by 1/keep.
         let keep = 1.0 / 0.7;
-        assert!(y.data().iter().all(|&v| v == 0.0 || (v - keep).abs() < 1e-6));
+        assert!(y
+            .data()
+            .iter()
+            .all(|&v| v == 0.0 || (v - keep).abs() < 1e-6));
     }
 
     #[test]

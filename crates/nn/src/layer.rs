@@ -154,12 +154,7 @@ mod tests {
         }
         fn backward(&mut self, grad: &Tensor) -> Tensor {
             let x = self.cache.take().expect("forward before backward");
-            let dk: f32 = x
-                .data()
-                .iter()
-                .zip(grad.data())
-                .map(|(&a, &b)| a * b)
-                .sum();
+            let dk: f32 = x.data().iter().zip(grad.data()).map(|(&a, &b)| a * b).sum();
             self.k.grad.data_mut()[0] += dk;
             let k = self.k.value.data()[0];
             grad.map(|v| v * k)

@@ -32,7 +32,11 @@ impl Linear {
         let label = label.into();
         let w = init::dense_weight(rng, out_dim, in_dim);
         let bias = with_bias.then(|| {
-            Param::new(format!("{label}.b"), Tensor::zeros([out_dim]), ParamKind::Bias)
+            Param::new(
+                format!("{label}.b"),
+                Tensor::zeros([out_dim]),
+                ParamKind::Bias,
+            )
         });
         Linear {
             weight: Param::new(format!("{label}.w"), w, ParamKind::Weight),
@@ -57,7 +61,12 @@ impl Linear {
 
 impl Layer for Linear {
     fn forward(&mut self, x: &Tensor, _m: Mode, _r: &mut Rng) -> Tensor {
-        assert_eq!(x.shape().rank(), 2, "Linear expects N×in, got {}", x.shape());
+        assert_eq!(
+            x.shape().rank(),
+            2,
+            "Linear expects N×in, got {}",
+            x.shape()
+        );
         let n = x.shape().dim(0);
         assert_eq!(x.shape().dim(1), self.in_dim, "Linear in_dim mismatch");
         let mut y = Tensor::zeros([n, self.out_dim]);
@@ -83,7 +92,10 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let x = self.cache_x.take().expect("Linear: forward before backward");
+        let x = self
+            .cache_x
+            .take()
+            .expect("Linear: forward before backward");
         let n = x.shape().dim(0);
         assert_eq!(grad.shape().dims(), &[n, self.out_dim], "Linear grad shape");
         // dW (out×in) += gradᵀ (out×N) · x (N×in)

@@ -49,8 +49,12 @@ impl SqueezeExcite {
 impl Layer for SqueezeExcite {
     fn forward(&mut self, x: &Tensor, mode: Mode, rng: &mut Rng) -> Tensor {
         let pooled = global_avg_pool(x); // N×C
-        let hidden = self.act.forward(&self.reduce.forward(&pooled, mode, rng), mode, rng);
-        let s = self.gate.forward(&self.expand.forward(&hidden, mode, rng), mode, rng); // N×C
+        let hidden = self
+            .act
+            .forward(&self.reduce.forward(&pooled, mode, rng), mode, rng);
+        let s = self
+            .gate
+            .forward(&self.expand.forward(&hidden, mode, rng), mode, rng); // N×C
         let y = scale_channels(x, &s);
         self.cache = Some(SeCache {
             x: x.clone(),

@@ -73,7 +73,10 @@ mod tests {
 
         let mut m2 = model_with_grads(0.3, 0.4);
         clip_global_norm(&mut m2, 1.0);
-        assert!((m2.0.grad.data()[0] - 0.3).abs() < 1e-7, "under-norm untouched");
+        assert!(
+            (m2.0.grad.data()[0] - 0.3).abs() < 1e-7,
+            "under-norm untouched"
+        );
     }
 
     #[test]

@@ -70,14 +70,18 @@ impl Optimizer for Lamb {
             // Adam direction + decoupled decay.
             let decay = if p.kind.decayed() { wd } else { 0.0 };
             let mut u = vec![0.0f32; n];
-            for j in 0..n {
+            for (j, uj) in u.iter_mut().enumerate() {
                 let mh = m_now.data()[j] / bc1;
                 let vh = vstate.data()[j] / bc2;
-                u[j] = mh / (vh.sqrt() + eps) + decay * p.value.data()[j];
+                *uj = mh / (vh.sqrt() + eps) + decay * p.value.data()[j];
             }
             let ratio = if p.kind.lars_adapted() {
                 let wn = p.value.l2_norm();
-                let un = u.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32;
+                let un = u
+                    .iter()
+                    .map(|&x| (x as f64) * (x as f64))
+                    .sum::<f64>()
+                    .sqrt() as f32;
                 if wn > 0.0 && un > 0.0 {
                     wn / un
                 } else {

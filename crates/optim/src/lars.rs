@@ -157,7 +157,10 @@ mod tests {
         };
         let run = |gscale: f32| {
             let mut layer = mk();
-            layer.0[0].grad.data_mut().copy_from_slice(&[gscale, 2.0 * gscale]);
+            layer.0[0]
+                .grad
+                .data_mut()
+                .copy_from_slice(&[gscale, 2.0 * gscale]);
             let mut opt = Lars::new(0.0, 0.0, 0.001);
             opt.step(&mut layer, 1.0);
             layer.0[0].value.data().to_vec()
@@ -173,7 +176,11 @@ mod tests {
     fn bn_params_not_adapted() {
         let mut layer = Params(vec![
             Param::new("w", Tensor::from_vec([1], vec![100.0]), ParamKind::Weight),
-            Param::new("gamma", Tensor::from_vec([1], vec![100.0]), ParamKind::BnGamma),
+            Param::new(
+                "gamma",
+                Tensor::from_vec([1], vec![100.0]),
+                ParamKind::BnGamma,
+            ),
         ]);
         layer.0[0].grad.data_mut()[0] = 1.0;
         layer.0[1].grad.data_mut()[0] = 1.0;

@@ -30,9 +30,8 @@ pub use lars::Lars;
 pub use optimizer::Optimizer;
 pub use rmsprop::RmsProp;
 pub use schedule::{
-    Shifted,
     lars_paper_schedule, linear_scaled_lr, rmsprop_paper_schedule, steps_per_epoch, BoxedSchedule,
-    Constant, CosineDecay, ExponentialDecay, LrSchedule, PolynomialDecay, Warmup,
+    Constant, CosineDecay, ExponentialDecay, LrSchedule, PolynomialDecay, Shifted, Warmup,
 };
 pub use sgd::Sgd;
 pub use sm3::Sm3;

@@ -153,10 +153,7 @@ pub fn steps_per_epoch(dataset_size: u64, global_batch: u64) -> u64 {
 
 /// Builds the paper's RMSProp baseline schedule: LR 0.016/256 linear-scaled,
 /// 5-epoch warmup, exponential 0.97 decay every 2.4 epochs.
-pub fn rmsprop_paper_schedule(
-    global_batch: usize,
-    dataset_size: u64,
-) -> Warmup<ExponentialDecay> {
+pub fn rmsprop_paper_schedule(global_batch: usize, dataset_size: u64) -> Warmup<ExponentialDecay> {
     let spe = steps_per_epoch(dataset_size, global_batch as u64);
     Warmup::new(
         5 * spe,

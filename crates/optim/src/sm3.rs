@@ -25,7 +25,11 @@ struct Sm3State {
 impl Sm3State {
     fn new(dims: &[usize]) -> Self {
         // Scalars get a single 1-length axis so the cover is well-defined.
-        let dims: Vec<usize> = if dims.is_empty() { vec![1] } else { dims.to_vec() };
+        let dims: Vec<usize> = if dims.is_empty() {
+            vec![1]
+        } else {
+            dims.to_vec()
+        };
         let mut strides = vec![1usize; dims.len()];
         for i in (0..dims.len().saturating_sub(1)).rev() {
             strides[i] = strides[i + 1] * dims[i + 1];
@@ -78,18 +82,18 @@ impl Optimizer for Sm3 {
             for j in 0..n {
                 // Decompose flat index → per-axis indices.
                 let mut rem = j;
-                for a in 0..rank {
-                    idx[a] = rem / st.strides[a];
-                    rem %= st.strides[a];
+                for (slot, &stride) in idx.iter_mut().zip(&st.strides) {
+                    *slot = rem / stride;
+                    rem %= stride;
                 }
                 let g = grads[j] + decay * vals[j];
                 let mut nu = f32::INFINITY;
-                for a in 0..rank {
-                    nu = nu.min(st.axes[a][idx[a]]);
+                for (axis, &i) in st.axes.iter().zip(&idx) {
+                    nu = nu.min(axis[i]);
                 }
                 nu += g * g;
-                for a in 0..rank {
-                    let slot = &mut st.axes[a][idx[a]];
+                for (axis, &i) in st.axes.iter_mut().zip(&idx) {
+                    let slot = &mut axis[i];
                     *slot = slot.max(nu);
                 }
                 let upd = lr * g / (nu.sqrt() + eps);
@@ -149,11 +153,7 @@ mod tests {
         // For a matrix with a single hot row, SM3's ν must upper-bound the
         // true per-coordinate accumulator (axes take maxima), so steps are
         // no larger than AdaGrad's.
-        let mut layer = OneParam(Param::new(
-            "w",
-            Tensor::zeros([2, 2]),
-            ParamKind::Bias,
-        ));
+        let mut layer = OneParam(Param::new("w", Tensor::zeros([2, 2]), ParamKind::Bias));
         let mut opt = Sm3::new(0.0, 0.0);
         // Gradient concentrated on coordinate (0,0).
         for _ in 0..10 {

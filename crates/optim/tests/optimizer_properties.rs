@@ -26,7 +26,13 @@ impl Layer for VecParam {
 }
 
 /// Minimizes ½ Σ cᵢ·wᵢ² from a random start; returns the final |w|∞.
-fn minimize(opt: &mut dyn Optimizer, curvature: &[f32], start: &[f32], lr: f32, steps: usize) -> f32 {
+fn minimize(
+    opt: &mut dyn Optimizer,
+    curvature: &[f32],
+    start: &[f32],
+    lr: f32,
+    steps: usize,
+) -> f32 {
     let mut layer = VecParam(Param::new(
         "w",
         Tensor::from_vec([start.len()], start.to_vec()),
@@ -46,7 +52,12 @@ fn minimize(opt: &mut dyn Optimizer, curvature: &[f32], start: &[f32], lr: f32, 
         }
         opt.step(&mut layer, lr);
     }
-    layer.0.value.data().iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    layer
+        .0
+        .value
+        .data()
+        .iter()
+        .fold(0.0f32, |m, v| m.max(v.abs()))
 }
 
 proptest! {

@@ -60,7 +60,11 @@ mod tests {
         let t = conv_kernel(&mut rng, 64, 32, 3, 3);
         let expected_std = (2.0f32 / (64.0 * 9.0)).sqrt();
         let mean = t.mean();
-        let var = t.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
+        let var = t
+            .data()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
             / t.numel() as f32;
         assert!(mean.abs() < expected_std * 0.1, "mean {mean}");
         // Truncation at 2σ shrinks variance to ~0.774σ²; allow a wide band.

@@ -134,18 +134,15 @@ mod tests {
             .zip(&want)
             .map(|(x, y)| (x - y).abs())
             .fold(0.0f32, f32::max);
-        assert!(max_err < 1e-3 * k as f32 / 16.0 + 1e-4, "({m},{k},{n}): {max_err}");
+        assert!(
+            max_err < 1e-3 * k as f32 / 16.0 + 1e-4,
+            "({m},{k},{n}): {max_err}"
+        );
     }
 
     #[test]
     fn matches_reference_small() {
-        for &(m, k, n) in &[
-            (1, 1, 1),
-            (3, 5, 7),
-            (4, 4, 4),
-            (5, 9, 3),
-            (17, 13, 11),
-        ] {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (4, 4, 4), (5, 9, 3), (17, 13, 11)] {
             check(m, k, n, 1);
         }
     }

@@ -76,7 +76,9 @@ pub fn gemm_slice_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mu
         }
     };
     if m >= PAR_ROW_THRESHOLD && work >= PAR_FLOP_THRESHOLD {
-        c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| body(i, crow));
+        c.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, crow)| body(i, crow));
     } else {
         for i in 0..m {
             body(i, &mut c[i * n..(i + 1) * n]);
@@ -108,7 +110,9 @@ pub fn gemm_at_b_slice(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &m
         }
     };
     if m >= PAR_ROW_THRESHOLD && work >= PAR_FLOP_THRESHOLD {
-        c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| body(i, crow));
+        c.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, crow)| body(i, crow));
     } else {
         for i in 0..m {
             body(i, &mut c[i * n..(i + 1) * n]);
@@ -135,7 +139,9 @@ pub fn gemm_at_b_slice_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c
         }
     };
     if m >= PAR_ROW_THRESHOLD && work >= PAR_FLOP_THRESHOLD {
-        c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| body(i, crow));
+        c.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, crow)| body(i, crow));
     } else {
         for i in 0..m {
             body(i, &mut c[i * n..(i + 1) * n]);
@@ -164,7 +170,9 @@ pub fn gemm_a_bt_slice(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &m
         }
     };
     if m >= PAR_ROW_THRESHOLD && work >= PAR_FLOP_THRESHOLD {
-        c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| body(i, crow));
+        c.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, crow)| body(i, crow));
     } else {
         for i in 0..m {
             body(i, &mut c[i * n..(i + 1) * n]);
@@ -203,7 +211,12 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 fn mat_dims(t: &Tensor, name: &str) -> (usize, usize) {
-    assert_eq!(t.shape().rank(), 2, "{name} must be a matrix, got {}", t.shape());
+    assert_eq!(
+        t.shape().rank(),
+        2,
+        "{name} must be a matrix, got {}",
+        t.shape()
+    );
     (t.shape().dim(0), t.shape().dim(1))
 }
 
@@ -244,7 +257,13 @@ mod tests {
     #[test]
     fn matches_reference_various_sizes() {
         let mut rng = Rng::new(1);
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (16, 16, 16), (33, 17, 29), (64, 128, 32)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (16, 16, 16),
+            (33, 17, 29),
+            (64, 128, 32),
+        ] {
             let a = rand_vec(&mut rng, m * k);
             let b = rand_vec(&mut rng, k * n);
             let mut c = vec![0.0; m * n];

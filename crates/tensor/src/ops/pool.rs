@@ -10,11 +10,14 @@ pub fn global_avg_pool(x: &Tensor) -> Tensor {
     let plane = h * w;
     let mut y = Tensor::zeros([n, c]);
     let xs = x.data();
-    y.data_mut().par_iter_mut().enumerate().for_each(|(i, out)| {
-        let src = &xs[i * plane..(i + 1) * plane];
-        let sum: f64 = src.iter().map(|&v| v as f64).sum();
-        *out = (sum / plane as f64) as f32;
-    });
+    y.data_mut()
+        .par_iter_mut()
+        .enumerate()
+        .for_each(|(i, out)| {
+            let src = &xs[i * plane..(i + 1) * plane];
+            let sum: f64 = src.iter().map(|&v| v as f64).sum();
+            *out = (sum / plane as f64) as f32;
+        });
     y
 }
 
@@ -65,12 +68,15 @@ pub fn channel_dot(a: &Tensor, b: &Tensor) -> Tensor {
     let mut y = Tensor::zeros([n, c]);
     let as_ = a.data();
     let bs = b.data();
-    y.data_mut().par_iter_mut().enumerate().for_each(|(i, out)| {
-        let ap = &as_[i * plane..(i + 1) * plane];
-        let bp = &bs[i * plane..(i + 1) * plane];
-        let sum: f64 = ap.iter().zip(bp).map(|(&x, &y)| x as f64 * y as f64).sum();
-        *out = sum as f32;
-    });
+    y.data_mut()
+        .par_iter_mut()
+        .enumerate()
+        .for_each(|(i, out)| {
+            let ap = &as_[i * plane..(i + 1) * plane];
+            let bp = &bs[i * plane..(i + 1) * plane];
+            let sum: f64 = ap.iter().zip(bp).map(|(&x, &y)| x as f64 * y as f64).sum();
+            *out = sum as f32;
+        });
     y
 }
 

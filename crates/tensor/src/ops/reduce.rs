@@ -77,7 +77,10 @@ pub fn channel_affine(x: &Tensor, mean: &[f32], scale: &[f32], shift: &[f32]) ->
 /// `(sum_g[c], sum_g_times_xhat[c])` in one pass — exactly the two
 /// reductions the batch-norm backward pass needs.
 pub fn bn_backward_sums(g: &Tensor, xhat: &Tensor) -> (Vec<f32>, Vec<f32>) {
-    assert!(g.shape().same_as(xhat.shape()), "bn_backward_sums shape mismatch");
+    assert!(
+        g.shape().same_as(xhat.shape()),
+        "bn_backward_sums shape mismatch"
+    );
     let (n, c, h, w) = (g.shape().n(), g.shape().c(), g.shape().h(), g.shape().w());
     let plane = h * w;
     let gs = g.data();

@@ -156,7 +156,10 @@ pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> u
 /// EfficientNet for stride-1 and stride-2 convolutions with odd kernels.
 #[inline]
 pub fn same_pad(kernel: usize) -> usize {
-    assert!(kernel % 2 == 1, "same_pad expects an odd kernel, got {kernel}");
+    assert!(
+        kernel % 2 == 1,
+        "same_pad expects an odd kernel, got {kernel}"
+    );
     (kernel - 1) / 2
 }
 

@@ -167,7 +167,10 @@ impl Tensor {
 
     /// `self += other` elementwise.
     pub fn add_assign(&mut self, other: &Tensor) {
-        assert!(self.shape.same_as(&other.shape), "add_assign shape mismatch");
+        assert!(
+            self.shape.same_as(&other.shape),
+            "add_assign shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
@@ -175,7 +178,10 @@ impl Tensor {
 
     /// `self -= other` elementwise.
     pub fn sub_assign(&mut self, other: &Tensor) {
-        assert!(self.shape.same_as(&other.shape), "sub_assign shape mismatch");
+        assert!(
+            self.shape.same_as(&other.shape),
+            "sub_assign shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a -= b;
         }
@@ -219,10 +225,7 @@ impl Tensor {
 
     /// Maximum element. Panics on empty tensors.
     pub fn max(&self) -> f32 {
-        self.data
-            .iter()
-            .copied()
-            .fold(f32::NEG_INFINITY, f32::max)
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element. Panics on empty tensors.
@@ -250,7 +253,10 @@ impl Tensor {
 
     /// Maximum absolute difference to another tensor of the same shape.
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
-        assert!(self.shape.same_as(&other.shape), "max_abs_diff shape mismatch");
+        assert!(
+            self.shape.same_as(&other.shape),
+            "max_abs_diff shape mismatch"
+        );
         self.data
             .iter()
             .zip(&other.data)

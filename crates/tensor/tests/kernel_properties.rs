@@ -4,9 +4,7 @@
 //! transposed-kernel equivalences the backward passes rely on.
 
 use ets_tensor::ops::conv::{conv2d_forward, Conv2dGeom};
-use ets_tensor::ops::matmul::{
-    gemm_a_bt_slice, gemm_at_b_slice, gemm_slice, matmul,
-};
+use ets_tensor::ops::matmul::{gemm_a_bt_slice, gemm_at_b_slice, gemm_slice, matmul};
 use ets_tensor::ops::pool::{global_avg_pool, global_avg_pool_backward};
 use ets_tensor::{Rng, Shape, Tensor};
 use proptest::prelude::*;

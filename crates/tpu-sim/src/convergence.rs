@@ -37,17 +37,105 @@ pub struct Table2Row {
 
 /// Every row of the paper's Table 2.
 pub const TABLE2: [Table2Row; 11] = [
-    Table2Row { variant: Variant::B2, cores: 128,  global_batch: 4096,  optimizer: OptimizerKind::RmsProp, lr_per_256: 0.016, warmup_epochs: 5,  peak_top1: 0.801 },
-    Table2Row { variant: Variant::B2, cores: 256,  global_batch: 8192,  optimizer: OptimizerKind::RmsProp, lr_per_256: 0.016, warmup_epochs: 5,  peak_top1: 0.800 },
-    Table2Row { variant: Variant::B2, cores: 512,  global_batch: 16384, optimizer: OptimizerKind::RmsProp, lr_per_256: 0.016, warmup_epochs: 5,  peak_top1: 0.799 },
-    Table2Row { variant: Variant::B2, cores: 512,  global_batch: 16384, optimizer: OptimizerKind::Lars,    lr_per_256: 0.236, warmup_epochs: 50, peak_top1: 0.795 },
-    Table2Row { variant: Variant::B2, cores: 1024, global_batch: 32768, optimizer: OptimizerKind::Lars,    lr_per_256: 0.118, warmup_epochs: 50, peak_top1: 0.797 },
-    Table2Row { variant: Variant::B5, cores: 128,  global_batch: 4096,  optimizer: OptimizerKind::RmsProp, lr_per_256: 0.016, warmup_epochs: 5,  peak_top1: 0.835 },
-    Table2Row { variant: Variant::B5, cores: 256,  global_batch: 8192,  optimizer: OptimizerKind::RmsProp, lr_per_256: 0.016, warmup_epochs: 5,  peak_top1: 0.834 },
-    Table2Row { variant: Variant::B5, cores: 512,  global_batch: 16384, optimizer: OptimizerKind::RmsProp, lr_per_256: 0.016, warmup_epochs: 5,  peak_top1: 0.834 },
-    Table2Row { variant: Variant::B5, cores: 512,  global_batch: 16384, optimizer: OptimizerKind::Lars,    lr_per_256: 0.236, warmup_epochs: 50, peak_top1: 0.833 },
-    Table2Row { variant: Variant::B5, cores: 1024, global_batch: 32768, optimizer: OptimizerKind::Lars,    lr_per_256: 0.118, warmup_epochs: 50, peak_top1: 0.832 },
-    Table2Row { variant: Variant::B5, cores: 1024, global_batch: 65536, optimizer: OptimizerKind::Lars,    lr_per_256: 0.081, warmup_epochs: 43, peak_top1: 0.830 },
+    Table2Row {
+        variant: Variant::B2,
+        cores: 128,
+        global_batch: 4096,
+        optimizer: OptimizerKind::RmsProp,
+        lr_per_256: 0.016,
+        warmup_epochs: 5,
+        peak_top1: 0.801,
+    },
+    Table2Row {
+        variant: Variant::B2,
+        cores: 256,
+        global_batch: 8192,
+        optimizer: OptimizerKind::RmsProp,
+        lr_per_256: 0.016,
+        warmup_epochs: 5,
+        peak_top1: 0.800,
+    },
+    Table2Row {
+        variant: Variant::B2,
+        cores: 512,
+        global_batch: 16384,
+        optimizer: OptimizerKind::RmsProp,
+        lr_per_256: 0.016,
+        warmup_epochs: 5,
+        peak_top1: 0.799,
+    },
+    Table2Row {
+        variant: Variant::B2,
+        cores: 512,
+        global_batch: 16384,
+        optimizer: OptimizerKind::Lars,
+        lr_per_256: 0.236,
+        warmup_epochs: 50,
+        peak_top1: 0.795,
+    },
+    Table2Row {
+        variant: Variant::B2,
+        cores: 1024,
+        global_batch: 32768,
+        optimizer: OptimizerKind::Lars,
+        lr_per_256: 0.118,
+        warmup_epochs: 50,
+        peak_top1: 0.797,
+    },
+    Table2Row {
+        variant: Variant::B5,
+        cores: 128,
+        global_batch: 4096,
+        optimizer: OptimizerKind::RmsProp,
+        lr_per_256: 0.016,
+        warmup_epochs: 5,
+        peak_top1: 0.835,
+    },
+    Table2Row {
+        variant: Variant::B5,
+        cores: 256,
+        global_batch: 8192,
+        optimizer: OptimizerKind::RmsProp,
+        lr_per_256: 0.016,
+        warmup_epochs: 5,
+        peak_top1: 0.834,
+    },
+    Table2Row {
+        variant: Variant::B5,
+        cores: 512,
+        global_batch: 16384,
+        optimizer: OptimizerKind::RmsProp,
+        lr_per_256: 0.016,
+        warmup_epochs: 5,
+        peak_top1: 0.834,
+    },
+    Table2Row {
+        variant: Variant::B5,
+        cores: 512,
+        global_batch: 16384,
+        optimizer: OptimizerKind::Lars,
+        lr_per_256: 0.236,
+        warmup_epochs: 50,
+        peak_top1: 0.833,
+    },
+    Table2Row {
+        variant: Variant::B5,
+        cores: 1024,
+        global_batch: 32768,
+        optimizer: OptimizerKind::Lars,
+        lr_per_256: 0.118,
+        warmup_epochs: 50,
+        peak_top1: 0.832,
+    },
+    Table2Row {
+        variant: Variant::B5,
+        cores: 1024,
+        global_batch: 65536,
+        optimizer: OptimizerKind::Lars,
+        lr_per_256: 0.081,
+        warmup_epochs: 43,
+        peak_top1: 0.830,
+    },
 ];
 
 /// Published single-accelerator baselines (Tan & Le), used to shift the
@@ -105,7 +193,10 @@ pub fn predict_peak_accuracy(
     };
     let shift = baseline_top1(variant) - baseline_top1(curve_variant);
     let pts = anchors(curve_variant, optimizer);
-    assert!(!pts.is_empty(), "no anchors for {curve_variant:?}/{optimizer:?}");
+    assert!(
+        !pts.is_empty(),
+        "no anchors for {curve_variant:?}/{optimizer:?}"
+    );
     let x = (global_batch as f64).log2();
     let first = pts[0];
     let last = *pts.last().unwrap();
@@ -170,10 +261,7 @@ mod tests {
     fn exact_on_table2_rows() {
         for row in &TABLE2 {
             let p = predict_peak_accuracy(row.variant, row.optimizer, row.global_batch);
-            assert!(
-                (p - row.peak_top1).abs() < 1e-9,
-                "{row:?}: predicted {p}"
-            );
+            assert!((p - row.peak_top1).abs() < 1e-9, "{row:?}: predicted {p}");
         }
     }
 
@@ -187,7 +275,10 @@ mod tests {
         );
         let rms_64k = predict_peak_accuracy(Variant::B5, OptimizerKind::RmsProp, 65536);
         let lars_64k = predict_peak_accuracy(Variant::B5, OptimizerKind::Lars, 65536);
-        assert!(lars_64k - rms_64k > 0.02, "gap at 65k: {lars_64k} vs {rms_64k}");
+        assert!(
+            lars_64k - rms_64k > 0.02,
+            "gap at 65k: {lars_64k} vs {rms_64k}"
+        );
         // And the headline number: B5 LARS at 65536 stays at 83%.
         assert!((lars_64k - 0.830).abs() < 1e-9);
     }
@@ -228,7 +319,10 @@ mod tests {
     fn table2_has_eleven_rows_matching_paper() {
         assert_eq!(TABLE2.len(), 11);
         assert_eq!(
-            TABLE2.iter().filter(|r| r.optimizer == OptimizerKind::Lars).count(),
+            TABLE2
+                .iter()
+                .filter(|r| r.optimizer == OptimizerKind::Lars)
+                .count(),
             5
         );
     }

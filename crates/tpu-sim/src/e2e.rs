@@ -27,7 +27,12 @@ pub struct RunConfig {
 
 impl RunConfig {
     /// The paper's setup: 350 epochs, distributed eval.
-    pub fn paper(variant: Variant, cores: usize, global_batch: usize, optimizer: OptimizerKind) -> Self {
+    pub fn paper(
+        variant: Variant,
+        cores: usize,
+        global_batch: usize,
+        optimizer: OptimizerKind,
+    ) -> Self {
         RunConfig {
             variant,
             cores,
@@ -133,12 +138,8 @@ mod tests {
         for v in [Variant::B2, Variant::B5] {
             let mut prev = f64::INFINITY;
             for &cores in &[128usize, 256, 512, 1024] {
-                let out = time_to_accuracy(&RunConfig::paper(
-                    v,
-                    cores,
-                    cores * 32,
-                    OptimizerKind::Lars,
-                ));
+                let out =
+                    time_to_accuracy(&RunConfig::paper(v, cores, cores * 32, OptimizerKind::Lars));
                 assert!(
                     out.seconds_to_peak < prev,
                     "{v:?}@{cores} not faster than previous"

@@ -89,6 +89,7 @@ impl<E> EventSim<E> {
     }
 
     /// Pops the earliest event, advancing the clock. `None` when drained.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<E> {
         let ev = self.heap.pop()?;
         self.now = ev.time;

@@ -31,8 +31,7 @@ pub mod xla;
 pub use calibration::{calibrated_link, mxu_efficiency};
 pub use chip::{CoreSpec, TPU_V3_CORE};
 pub use convergence::{
-    accuracy_at_epoch, peak_epoch_fraction, predict_peak_accuracy, OptimizerKind, Table2Row,
-    TABLE2,
+    accuracy_at_epoch, peak_epoch_fraction, predict_peak_accuracy, OptimizerKind, Table2Row, TABLE2,
 };
 pub use e2e::{time_to_accuracy, RunConfig, RunOutcome};
 pub use eval_loop::{eval_pass_seconds, simulate as simulate_eval_loop, EvalLoopOutcome, EvalMode};
@@ -40,5 +39,9 @@ pub use event::EventSim;
 pub use netsim::{simulate_ring_all_reduce, simulate_torus_all_reduce, LinkConditions};
 pub use scaling::{amdahl_serial_fraction, scaling_sweep, ScalingPoint};
 pub use step::{batch_eff_factor, step_time, total_bn_channels, StepConfig, StepTime};
-pub use whatif::{degraded_link_impact, infeed_analysis, DegradedLinkReport, InfeedReport, CORES_PER_HOST};
-pub use xla::{batch_efficiency, min_efficient_global_batch, padded_per_core_batch, per_core_batch};
+pub use whatif::{
+    degraded_link_impact, infeed_analysis, DegradedLinkReport, InfeedReport, CORES_PER_HOST,
+};
+pub use xla::{
+    batch_efficiency, min_efficient_global_batch, padded_per_core_batch, per_core_batch,
+};

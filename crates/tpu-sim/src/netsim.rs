@@ -134,7 +134,8 @@ mod tests {
     fn ring_matches_analytic_model() {
         for &p in &[2usize, 4, 8, 32] {
             for &bytes in &[1e5f64, 1e7, 1e9] {
-                let sim = simulate_ring_all_reduce(p, bytes, TPU_V3_LINK, &LinkConditions::nominal(p));
+                let sim =
+                    simulate_ring_all_reduce(p, bytes, TPU_V3_LINK, &LinkConditions::nominal(p));
                 let analytic = ring_all_reduce_time(bytes, p, TPU_V3_LINK);
                 let rel = (sim - analytic).abs() / analytic;
                 assert!(

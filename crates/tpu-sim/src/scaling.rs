@@ -35,7 +35,7 @@ pub fn scaling_sweep(variant: Variant, slices: &[usize]) -> Vec<ScalingPoint> {
     let base_cores = slices[0];
     let base_step = step_time(&StepConfig::new(variant, base_cores, base_cores * 32));
     let base_throughput_per_core =
-        base_step.throughput_img_per_ms((base_cores * 32) as usize) / base_cores as f64;
+        base_step.throughput_img_per_ms(base_cores * 32) / base_cores as f64;
     let base_run = time_to_accuracy(&RunConfig::paper(
         variant,
         base_cores,

@@ -132,10 +132,16 @@ mod tests {
     #[test]
     fn anchors_reproduce_exactly() {
         let (thr, share) = table1_row(Variant::B2, 128, 4096);
-        assert!((thr - 57.57).abs() / 57.57 < 0.05, "B2@128 throughput {thr}");
+        assert!(
+            (thr - 57.57).abs() / 57.57 < 0.05,
+            "B2@128 throughput {thr}"
+        );
         assert!((share - 2.1).abs() < 0.5, "B2@128 AR share {share}");
         let (thr5, _) = table1_row(Variant::B5, 128, 4096);
-        assert!((thr5 - 9.76).abs() / 9.76 < 0.05, "B5@128 throughput {thr5}");
+        assert!(
+            (thr5 - 9.76).abs() / 9.76 < 0.05,
+            "B5@128 throughput {thr5}"
+        );
     }
 
     #[test]
@@ -147,7 +153,11 @@ mod tests {
             let (t256, _) = table1_row(v, 256, 8192);
             let (t512, _) = table1_row(v, 512, 16384);
             let (t1024, _) = table1_row(v, 1024, 32768);
-            assert!((t256 / t128 - 2.0).abs() < 0.1, "{v:?} 256/128 {}", t256 / t128);
+            assert!(
+                (t256 / t128 - 2.0).abs() < 0.1,
+                "{v:?} 256/128 {}",
+                t256 / t128
+            );
             assert!((t512 / t128 - 4.0).abs() < 0.2, "{v:?}");
             assert!((t1024 / t128 - 8.0).abs() < 0.4, "{v:?}");
         }
@@ -181,7 +191,10 @@ mod tests {
         let b = step_time(&StepConfig::new(Variant::B5, 1024, 65536));
         let expect = 2.0 / 2.0f64.powf(BATCH_EFF_EXPONENT);
         assert!((b.compute / a.compute - expect).abs() < 0.01);
-        assert!((b.all_reduce - a.all_reduce).abs() < 1e-9, "AR independent of batch");
+        assert!(
+            (b.all_reduce - a.all_reduce).abs() < 1e-9,
+            "AR independent of batch"
+        );
     }
 
     #[test]

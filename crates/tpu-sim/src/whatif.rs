@@ -38,8 +38,12 @@ pub fn degraded_link_impact(cfg: &StepConfig, link_scale: f64) -> DegradedLinkRe
     // ratio: one slow link stretches every step of the ring it sits on.
     let p = slice.cols.max(2);
     let nominal = simulate_ring_all_reduce(p, bytes, link, &LinkConditions::nominal(p));
-    let degraded =
-        simulate_ring_all_reduce(p, bytes, link, &LinkConditions::with_slow_link(p, 0, link_scale));
+    let degraded = simulate_ring_all_reduce(
+        p,
+        bytes,
+        link,
+        &LinkConditions::with_slow_link(p, 0, link_scale),
+    );
     let scale = degraded / nominal;
     let new_ar = st.all_reduce * scale;
     let degraded_step = st.compute + st.bn_sync + new_ar;
@@ -127,8 +131,7 @@ mod tests {
     fn big_models_need_less_infeed() {
         // B5 computes ~10× longer per image: hosts get 10× the time.
         let b2 = infeed_analysis(&b2_1024(), 1e9).required_per_host;
-        let b5 = infeed_analysis(&StepConfig::new(Variant::B5, 1024, 32768), 1e9)
-            .required_per_host;
+        let b5 = infeed_analysis(&StepConfig::new(Variant::B5, 1024, 32768), 1e9).required_per_host;
         assert!(b2 / b5 > 4.0, "B2 {b2} vs B5 {b5}");
     }
 }

@@ -23,7 +23,7 @@ pub fn batch_efficiency(per_core: usize) -> f64 {
 /// (truncating division — callers validate divisibility).
 pub fn per_core_batch(global_batch: usize, cores: usize) -> usize {
     assert!(
-        global_batch % cores == 0,
+        global_batch.is_multiple_of(cores),
         "global batch {global_batch} must divide evenly over {cores} cores"
     );
     global_batch / cores

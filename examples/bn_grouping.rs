@@ -9,9 +9,7 @@
 //! cargo run --release --example bn_grouping
 //! ```
 
-use efficientnet_at_scale::collective::{
-    bn_sync_time, GroupSpec, SliceShape, TPU_V3_LINK,
-};
+use efficientnet_at_scale::collective::{bn_sync_time, GroupSpec, SliceShape, TPU_V3_LINK};
 use efficientnet_at_scale::train::{train, Experiment};
 
 fn main() {

@@ -41,7 +41,8 @@ fn main() {
     );
 
     // Revive into a fresh differently-seeded model.
-    let mut revived = EfficientNet::new(ModelConfig::tiny(16, 4), Precision::F32, &mut Rng::new(99));
+    let mut revived =
+        EfficientNet::new(ModelConfig::tiny(16, 4), Precision::F32, &mut Rng::new(99));
     restore_checkpoint(&mut revived, &checkpoint::from_json(&json).unwrap());
 
     // Identical eval outputs.

@@ -13,7 +13,12 @@
 
 use efficientnet_at_scale::train::{train, DecayChoice, Experiment, OptimizerChoice};
 
-fn run(optimizer: OptimizerChoice, decay: DecayChoice, lr_per_256: f32, global_batch: usize) -> f64 {
+fn run(
+    optimizer: OptimizerChoice,
+    decay: DecayChoice,
+    lr_per_256: f32,
+    global_batch: usize,
+) -> f64 {
     let mut exp = Experiment::proxy_default();
     exp.replicas = 4;
     exp.per_replica_batch = global_batch / exp.replicas;
@@ -35,7 +40,10 @@ fn main() {
     for &batch in &[32usize, 64, 128, 256] {
         let rms = run(
             OptimizerChoice::RmsProp,
-            DecayChoice::Exponential { rate: 0.97, epochs: 2.4 },
+            DecayChoice::Exponential {
+                rate: 0.97,
+                epochs: 2.4,
+            },
             0.05,
             batch,
         );

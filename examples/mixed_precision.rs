@@ -16,7 +16,7 @@ fn main() {
     println!("=== Mixed precision: bf16 convolutions (§3.5) ===\n");
 
     println!("--- bf16 numerics ---");
-    for v in [1.0f32, 3.14159, 0.001234, 1234.5] {
+    for v in [1.0f32, std::f32::consts::PI, 0.001234, 1234.5] {
         let r = round_f32(v);
         println!(
             "f32 {v:>10.6} → bf16 {r:>10.6}   (rel err {:.2e}, bound {:.2e})",

@@ -70,7 +70,12 @@ fn main() {
     );
 
     println!("\nThe headline run — EfficientNet-B5, 1024 cores, batch 65536 —");
-    let out = time_to_accuracy(&RunConfig::paper(Variant::B5, 1024, 65536, OptimizerKind::Lars));
+    let out = time_to_accuracy(&RunConfig::paper(
+        Variant::B5,
+        1024,
+        65536,
+        OptimizerKind::Lars,
+    ));
     println!(
         "reaches {:.1}% top-1 in {:.0} minutes (paper: 83.0% in 64 minutes).",
         100.0 * out.peak_top1,

@@ -34,7 +34,12 @@ fn main() {
         (Variant::B5, 128),
     ] {
         let r = infeed_analysis(&StepConfig::new(v, cores, cores * 32), f64::INFINITY);
-        println!("{:<5}  {:>5}  {:>19.0}", format!("{v:?}"), cores, r.required_per_host);
+        println!(
+            "{:<5}  {:>5}  {:>19.0}",
+            format!("{v:?}"),
+            cores,
+            r.required_per_host
+        );
     }
 
     println!("\n--- When hosts are the bottleneck (B2 @ 1024) ---");

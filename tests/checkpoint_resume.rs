@@ -4,9 +4,7 @@
 
 use efficientnet_at_scale::data::{load_batch, AugmentConfig, SynthNet};
 use efficientnet_at_scale::efficientnet::{EfficientNet, ModelConfig};
-use efficientnet_at_scale::nn::{
-    cross_entropy, top1_accuracy, zero_grads, Layer, Mode, Precision,
-};
+use efficientnet_at_scale::nn::{cross_entropy, top1_accuracy, zero_grads, Layer, Mode, Precision};
 use efficientnet_at_scale::optim::{Optimizer, Sgd};
 use efficientnet_at_scale::tensor::Rng;
 use efficientnet_at_scale::train::{restore_checkpoint, save_checkpoint};
@@ -44,11 +42,18 @@ fn train_checkpoint_restore_resume() {
     let mut revived = make_model(2);
     let mut r2 = Rng::new(9);
     let before = revived.forward(&x, Mode::Eval, &mut r2);
-    assert!(before.max_abs_diff(&probs_orig) > 1e-3, "distinct before restore");
+    assert!(
+        before.max_abs_diff(&probs_orig) > 1e-3,
+        "distinct before restore"
+    );
     restore_checkpoint(&mut revived, &ckpt);
     let mut r3 = Rng::new(9);
     let after = revived.forward(&x, Mode::Eval, &mut r3);
-    assert_eq!(after.max_abs_diff(&probs_orig), 0.0, "bitwise identical after restore");
+    assert_eq!(
+        after.max_abs_diff(&probs_orig),
+        0.0,
+        "bitwise identical after restore"
+    );
 
     // Resuming training from the restored model tracks the original: one
     // more identical step on each must produce identical weights.

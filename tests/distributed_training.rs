@@ -89,7 +89,10 @@ fn bn_group_size_changes_training_dynamics() {
 #[test]
 fn every_optimizer_finishes_one_epoch() {
     for opt in [
-        OptimizerChoice::Sgd { momentum: 0.9, weight_decay: 1e-5 },
+        OptimizerChoice::Sgd {
+            momentum: 0.9,
+            weight_decay: 1e-5,
+        },
         OptimizerChoice::RmsProp,
         OptimizerChoice::Lars { trust_coeff: 0.1 },
         OptimizerChoice::Sm3 { momentum: 0.9 },

@@ -1,12 +1,10 @@
 //! Cross-crate integration: memory limits, infeed, degraded links, and the
 //! planner-style configuration search over the calibrated simulator.
 
-use efficientnet_at_scale::efficientnet::{
-    max_per_core_batch, model_stats, ModelConfig, Variant,
-};
+use efficientnet_at_scale::efficientnet::{max_per_core_batch, model_stats, ModelConfig, Variant};
 use efficientnet_at_scale::tpu_sim::{
-    degraded_link_impact, infeed_analysis, time_to_accuracy, OptimizerKind, RunConfig,
-    StepConfig, TPU_V3_CORE,
+    degraded_link_impact, infeed_analysis, time_to_accuracy, OptimizerKind, RunConfig, StepConfig,
+    TPU_V3_CORE,
 };
 
 #[test]
@@ -57,7 +55,10 @@ fn the_headline_run_is_the_cheapest_way_to_one_hour_class_training() {
     let (cores, gbs, mins) = best.expect("some feasible configuration");
     assert_eq!(cores, 1024);
     assert_eq!(gbs, 65536);
-    assert!(mins < 90.0, "headline run should be ~1 hour, got {mins:.0} min");
+    assert!(
+        mins < 90.0,
+        "headline run should be ~1 hour, got {mins:.0} min"
+    );
 }
 
 #[test]

@@ -6,9 +6,7 @@
 use efficientnet_at_scale::collective::{GroupSpec, SliceShape};
 use efficientnet_at_scale::data::{Dataset, EpochPlan, SynthNet};
 use efficientnet_at_scale::nn::{cross_entropy, softmax};
-use efficientnet_at_scale::optim::{
-    linear_scaled_lr, LrSchedule, PolynomialDecay, Warmup,
-};
+use efficientnet_at_scale::optim::{linear_scaled_lr, LrSchedule, PolynomialDecay, Warmup};
 use efficientnet_at_scale::tensor::bf16::{round_f32, MAX_REL_ERR};
 use efficientnet_at_scale::tensor::ops::matmul::gemm_slice;
 use efficientnet_at_scale::tensor::{Shape, Tensor};

@@ -123,6 +123,9 @@ fn speedup_from_128_to_1024_cores_is_large() {
         let slow = time_to_accuracy(&RunConfig::paper(v, 128, 4096, OptimizerKind::RmsProp));
         let fast = time_to_accuracy(&RunConfig::paper(v, 1024, 32768, OptimizerKind::Lars));
         assert!(slow.seconds_to_peak / fast.seconds_to_peak > 5.0);
-        assert!(fast.peak_top1 > acc_gate, "{v:?} keeps accuracy while scaling");
+        assert!(
+            fast.peak_top1 > acc_gate,
+            "{v:?} keeps accuracy while scaling"
+        );
     }
 }

@@ -33,6 +33,7 @@
 
 use crate::comm::CommHandle;
 use crate::cost::{tree_ring_crossover_bytes, TPU_V3_LINK};
+use crate::fault::CollectiveError;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -186,6 +187,47 @@ pub trait Collective: Send + Sync {
 
     /// Returns once every member has arrived.
     fn barrier(&self);
+
+    /// Fallible all-reduce: validates the payload and returns a typed
+    /// error instead of panicking on degenerate input. Decorators (e.g.
+    /// [`crate::fault::FaultyCollective`]) override this to inject
+    /// transient failures **before** the payload touches the transport,
+    /// so a failed attempt never partially mutates `buf` and every rank
+    /// observes the same outcome (the SPMD contract holds).
+    fn try_all_reduce_sum(&self, buf: &mut [f32]) -> Result<(), CollectiveError> {
+        if buf.is_empty() {
+            return Err(CollectiveError::EmptyPayload {
+                op: "all_reduce_sum",
+            });
+        }
+        self.all_reduce_sum(buf);
+        Ok(())
+    }
+
+    /// Fallible broadcast: typed errors for out-of-range roots and empty
+    /// payloads instead of panics.
+    fn try_broadcast(&self, buf: &mut [f32], root: usize) -> Result<(), CollectiveError> {
+        if root >= self.size() {
+            return Err(CollectiveError::InvalidRoot {
+                root,
+                size: self.size(),
+            });
+        }
+        if buf.is_empty() {
+            return Err(CollectiveError::EmptyPayload { op: "broadcast" });
+        }
+        self.broadcast(buf, root);
+        Ok(())
+    }
+
+    /// Fallible all-gather: typed error on an empty local block.
+    fn try_all_gather(&self, local: &[f32], out: &mut Vec<f32>) -> Result<(), CollectiveError> {
+        if local.is_empty() {
+            return Err(CollectiveError::EmptyPayload { op: "all_gather" });
+        }
+        self.all_gather(local, out);
+        Ok(())
+    }
 
     /// This member's byte/call counters.
     fn stats(&self) -> CollectiveStats;

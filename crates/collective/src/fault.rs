@@ -1,0 +1,840 @@
+//! Deterministic fault injection for the collective layer.
+//!
+//! The paper's one-hour number assumes a healthy 1024-core pod. At that
+//! scale the *normal* operating condition includes degraded ICI links,
+//! straggler replicas, and preempted workers, so the training stack must
+//! degrade gracefully and recover exactly. This module provides the
+//! shared vocabulary for injecting such faults **deterministically**:
+//!
+//! - [`FaultPlan`] — a seeded, serializable schedule of fault events with
+//!   absolute sim-time triggers. The same plan always produces the same
+//!   perturbation, so chaos runs are reproducible bit for bit.
+//! - [`FaultSchedule`] — the plan compiled against a step clock: per-step
+//!   slowdown multipliers, per-step transient-failure counts, and the
+//!   sorted list of preemption steps. Every rank compiles the identical
+//!   schedule, which keeps fault injection SPMD-consistent (a rank that
+//!   fails alone would deadlock its peers inside a collective).
+//! - [`CollectiveError`] — typed errors for the fallible collective API
+//!   ([`Collective::try_all_reduce_sum`] and friends) instead of panics.
+//! - [`FaultyCollective`] — a decorator that wraps *any* backend and
+//!   injects scheduled transient failures into the fallible gradient
+//!   path, leaving the infallible paths (BN sync, eval, broadcast)
+//!   untouched.
+//! - [`retry_collective`] — bounded retry with (virtual) exponential
+//!   backoff; exhaustion surfaces as a typed
+//!   [`CollectiveError::RetriesExhausted`], never a panic.
+//!
+//! Determinism rules (enforced by the chaos harness in the workspace
+//! root):
+//!
+//! 1. Timing-only faults (link degradation, stragglers) perturb *virtual
+//!    time* only — payloads are never touched, so training losses stay
+//!    bitwise identical to the fault-free run.
+//! 2. Transient collective failures fail an attempt on **every rank
+//!    symmetrically** before any data moves; the retry then reruns the
+//!    identical reduction, so results are bitwise unchanged.
+//! 3. Preemption discards state back to the last checkpoint; replaying
+//!    the lost steps from a bit-exact snapshot reproduces the
+//!    uninterrupted trajectory exactly.
+
+use crate::backend::Collective;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Typed errors for the fallible collective API.
+// ---------------------------------------------------------------------------
+
+/// Typed failure of a collective operation. The infallible [`Collective`]
+/// methods keep their panic-on-misuse contract; the `try_*` methods
+/// return these instead so robustness layers (retry, fault injection)
+/// can react programmatically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CollectiveError {
+    /// A zero-length payload was handed to a payload-carrying op.
+    EmptyPayload {
+        /// Which operation rejected it.
+        op: &'static str,
+    },
+    /// A broadcast root outside `0..size`.
+    InvalidRoot { root: usize, size: usize },
+    /// An injected (or observed) transient failure; retrying may succeed.
+    Transient {
+        /// Which operation failed.
+        op: &'static str,
+        /// Step at which the fault fired.
+        step: u64,
+        /// Failed attempt number at this step (1-based).
+        attempt: u32,
+    },
+    /// The retry budget was exhausted without a successful attempt.
+    RetriesExhausted {
+        /// Attempts made (== the policy's `max_attempts`).
+        attempts: u32,
+        /// The error from the final attempt.
+        last: Box<CollectiveError>,
+    },
+}
+
+impl fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectiveError::EmptyPayload { op } => {
+                write!(f, "{op}: zero-length payload")
+            }
+            CollectiveError::InvalidRoot { root, size } => {
+                write!(f, "broadcast root {root} out of range for world of {size}")
+            }
+            CollectiveError::Transient { op, step, attempt } => {
+                write!(
+                    f,
+                    "transient {op} failure at step {step} (attempt {attempt})"
+                )
+            }
+            CollectiveError::RetriesExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {}
+
+impl CollectiveError {
+    /// True when a retry might succeed (only [`CollectiveError::Transient`]).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CollectiveError::Transient { .. })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retry with (virtual) exponential backoff.
+// ---------------------------------------------------------------------------
+
+/// Bounded-retry policy for transient collective failures. Backoff is
+/// *virtual* (accounted, not slept): the simulated pod charges the time
+/// to the run's timeline without stalling the test process.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts (first try + retries). Must be ≥ 1.
+    pub max_attempts: u32,
+    /// Virtual seconds of backoff before the first retry.
+    pub base_backoff_s: f64,
+    /// Backoff growth factor per retry.
+    pub multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_s: 0.05,
+            multiplier: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Virtual backoff charged before retry number `retry` (1-based).
+    pub fn backoff_before(&self, retry: u32) -> f64 {
+        self.base_backoff_s * self.multiplier.powi(retry.saturating_sub(1) as i32)
+    }
+}
+
+/// Outcome of a successful (possibly retried) collective call.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RetryOutcome {
+    /// Attempts made, including the successful one (1 = no fault).
+    pub attempts: u32,
+    /// Total virtual backoff seconds charged by failed attempts.
+    pub backoff_s: f64,
+}
+
+/// Runs `op` under `policy`, retrying transient failures with virtual
+/// exponential backoff. Non-transient errors propagate immediately;
+/// exhausting the budget returns [`CollectiveError::RetriesExhausted`].
+pub fn retry_collective(
+    policy: &RetryPolicy,
+    mut op: impl FnMut() -> Result<(), CollectiveError>,
+) -> Result<RetryOutcome, CollectiveError> {
+    let max = policy.max_attempts.max(1);
+    let mut backoff_s = 0.0;
+    for attempt in 1..=max {
+        match op() {
+            Ok(()) => {
+                return Ok(RetryOutcome {
+                    attempts: attempt,
+                    backoff_s,
+                })
+            }
+            Err(e) if e.is_transient() && attempt < max => {
+                backoff_s += policy.backoff_before(attempt);
+            }
+            Err(e) if e.is_transient() => {
+                return Err(CollectiveError::RetriesExhausted {
+                    attempts: max,
+                    last: Box::new(e),
+                });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    unreachable!("loop returns on every branch")
+}
+
+// ---------------------------------------------------------------------------
+// The fault plan: seeded, serializable, sim-time triggered.
+// ---------------------------------------------------------------------------
+
+/// One kind of fault. Timing faults (link degradation, stragglers) are
+/// *virtual-time only*; transient failures and preemptions exercise the
+/// recovery machinery.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The outgoing ICI link of member `link` runs at `scale` of nominal
+    /// bandwidth (0 < scale ≤ 1). Bulk-synchronous collectives stall on
+    /// the slowest link, so one degraded link stretches every step whose
+    /// window overlaps the fault.
+    LinkDegrade { link: usize, scale: f64 },
+    /// Replica `replica` computes `slowdown`× slower (slowdown ≥ 1).
+    /// SPMD training is gated by its slowest member, so the whole step
+    /// stretches.
+    Straggler { replica: usize, slowdown: f64 },
+    /// Replica `replica` is preempted; the SPMD job dies at the step the
+    /// trigger time falls in and restarts from the last checkpoint.
+    Preempt { replica: usize },
+    /// The gradient exchange at the trigger step fails `failures` times
+    /// (symmetrically on every rank) before succeeding; the retry layer
+    /// absorbs it.
+    TransientCollective { failures: u32 },
+}
+
+/// A fault with an absolute sim-time trigger. `duration_s` only matters
+/// for timing faults (a window); point faults (preempt, transient) fire
+/// once at `at_s`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Absolute virtual trigger time, seconds from run start.
+    pub at_s: f64,
+    /// Window length for timing faults; ignored for point faults.
+    pub duration_s: f64,
+    pub kind: FaultKind,
+}
+
+fn default_virtual_step_seconds() -> f64 {
+    1.0
+}
+fn default_checkpoint_every_steps() -> u64 {
+    4
+}
+fn default_restart_delay_s() -> f64 {
+    5.0
+}
+
+/// A deterministic chaos schedule: the full description of every fault a
+/// run will experience, plus the recovery knobs (checkpoint cadence,
+/// restart cost, retry policy). Serializable as part of an `Experiment`,
+/// so a chaos run is reproducible from its config alone.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The fault events, in any order (compilation sorts them).
+    pub events: Vec<FaultEvent>,
+    /// Virtual seconds one healthy training step spans — the clock that
+    /// converts `at_s` triggers into step indices.
+    #[serde(default = "default_virtual_step_seconds")]
+    pub virtual_step_seconds: f64,
+    /// Full-state checkpoint cadence, in steps (recovery granularity for
+    /// preemption).
+    #[serde(default = "default_checkpoint_every_steps")]
+    pub checkpoint_every_steps: u64,
+    /// Virtual seconds a preemption restart costs (scheduling + restore).
+    #[serde(default = "default_restart_delay_s")]
+    pub restart_delay_s: f64,
+    /// Retry policy for transient collective failures.
+    #[serde(default)]
+    pub retry: RetryPolicy,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            events: Vec::new(),
+            virtual_step_seconds: default_virtual_step_seconds(),
+            checkpoint_every_steps: default_checkpoint_every_steps(),
+            restart_delay_s: default_restart_delay_s(),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// SplitMix64 — local copy so the plan generator has no dependency on
+/// the tensor crate's RNG.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit_f64(r: u64) -> f64 {
+    (r >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults, default recovery knobs).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Generates a seeded random plan: `n_faults` events over the first
+    /// `horizon_s` virtual seconds of a `world`-member run. Same seed ⇒
+    /// identical plan, always.
+    pub fn generate(seed: u64, world: usize, horizon_s: f64, n_faults: usize) -> Self {
+        assert!(world >= 1, "world must have at least one member");
+        assert!(horizon_s > 0.0, "horizon must be positive");
+        let mut s = seed ^ 0x005e_edfa_u64.rotate_left(17);
+        let mut events = Vec::with_capacity(n_faults);
+        for _ in 0..n_faults {
+            let at_s = unit_f64(splitmix64(&mut s)) * horizon_s;
+            let duration_s = (0.05 + 0.3 * unit_f64(splitmix64(&mut s))) * horizon_s;
+            let member = (splitmix64(&mut s) % world as u64) as usize;
+            let kind = match splitmix64(&mut s) % 4 {
+                0 => FaultKind::LinkDegrade {
+                    link: member,
+                    scale: 0.25 + 0.65 * unit_f64(splitmix64(&mut s)),
+                },
+                1 => FaultKind::Straggler {
+                    replica: member,
+                    slowdown: 1.5 + 2.5 * unit_f64(splitmix64(&mut s)),
+                },
+                2 => FaultKind::Preempt { replica: member },
+                _ => FaultKind::TransientCollective {
+                    failures: 1 + (splitmix64(&mut s) % 2) as u32,
+                },
+            };
+            events.push(FaultEvent {
+                at_s,
+                duration_s,
+                kind,
+            });
+        }
+        FaultPlan {
+            events,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Validates internal consistency, panicking with a clear message —
+    /// mirrors `Experiment::validate`.
+    pub fn validate(&self) {
+        assert!(
+            self.virtual_step_seconds > 0.0,
+            "virtual_step_seconds must be positive"
+        );
+        assert!(
+            self.checkpoint_every_steps >= 1,
+            "checkpoint cadence must be at least one step"
+        );
+        assert!(
+            self.restart_delay_s >= 0.0,
+            "restart delay cannot be negative"
+        );
+        assert!(
+            self.retry.max_attempts >= 1,
+            "retry needs at least one attempt"
+        );
+        for (i, ev) in self.events.iter().enumerate() {
+            assert!(ev.at_s >= 0.0, "event {i}: negative trigger time");
+            assert!(ev.duration_s >= 0.0, "event {i}: negative duration");
+            match ev.kind {
+                FaultKind::LinkDegrade { scale, .. } => {
+                    assert!(
+                        scale > 0.0 && scale <= 1.0,
+                        "event {i}: link scale {scale} outside (0, 1]"
+                    );
+                }
+                FaultKind::Straggler { slowdown, .. } => {
+                    assert!(
+                        slowdown >= 1.0,
+                        "event {i}: straggler slowdown {slowdown} < 1"
+                    );
+                }
+                FaultKind::Preempt { .. } => {}
+                FaultKind::TransientCollective { failures } => {
+                    assert!(failures >= 1, "event {i}: zero transient failures");
+                }
+            }
+        }
+    }
+
+    /// True when the plan contains only timing faults (no preemptions,
+    /// no transient failures) — the class that must leave training
+    /// losses bitwise unchanged.
+    pub fn is_timing_only(&self) -> bool {
+        self.events.iter().all(|e| {
+            matches!(
+                e.kind,
+                FaultKind::LinkDegrade { .. } | FaultKind::Straggler { .. }
+            )
+        })
+    }
+
+    /// Compiles the plan against a `total_steps`-step run, producing the
+    /// per-step tables every rank consults. Pure function of the plan —
+    /// every rank gets the identical schedule.
+    pub fn compile(&self, total_steps: u64) -> FaultSchedule {
+        self.validate();
+        let step_s = self.virtual_step_seconds;
+        let mut slowdown = vec![1.0f64; total_steps as usize];
+        let mut transient: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut preempts: Vec<u64> = Vec::new();
+        for ev in &self.events {
+            match ev.kind {
+                FaultKind::LinkDegrade { scale, .. } => {
+                    apply_window(&mut slowdown, step_s, ev.at_s, ev.duration_s, 1.0 / scale);
+                }
+                FaultKind::Straggler { slowdown: f, .. } => {
+                    apply_window(&mut slowdown, step_s, ev.at_s, ev.duration_s, f);
+                }
+                FaultKind::Preempt { .. } => {
+                    let step = (ev.at_s / step_s).floor() as u64;
+                    if step < total_steps {
+                        preempts.push(step);
+                    }
+                }
+                FaultKind::TransientCollective { failures } => {
+                    let step = (ev.at_s / step_s).floor() as u64;
+                    if step < total_steps {
+                        let e = transient.entry(step).or_insert(0);
+                        *e = (*e).max(failures);
+                    }
+                }
+            }
+        }
+        preempts.sort_unstable();
+        preempts.dedup();
+        FaultSchedule {
+            step_s,
+            slowdown,
+            transient,
+            preempts,
+            checkpoint_every_steps: self.checkpoint_every_steps.max(1),
+            restart_delay_s: self.restart_delay_s,
+            retry: self.retry,
+        }
+    }
+}
+
+/// Stretches every step whose window overlaps `[at, at + dur)` by
+/// `factor`, scaled by the overlap fraction (a fault covering half a
+/// step charges half its slowdown). Factors from multiple faults
+/// compose multiplicatively.
+fn apply_window(slowdown: &mut [f64], step_s: f64, at: f64, dur: f64, factor: f64) {
+    if dur <= 0.0 || factor == 1.0 {
+        return;
+    }
+    let end = at + dur;
+    for (k, s) in slowdown.iter_mut().enumerate() {
+        let w0 = k as f64 * step_s;
+        let w1 = w0 + step_s;
+        let overlap = (end.min(w1) - at.max(w0)).max(0.0);
+        if overlap > 0.0 {
+            let frac = overlap / step_s;
+            *s *= 1.0 + (factor - 1.0) * frac;
+        }
+    }
+}
+
+/// A [`FaultPlan`] compiled against a step clock: what every rank (and
+/// the trainer's outer recovery loop) actually consults.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSchedule {
+    step_s: f64,
+    slowdown: Vec<f64>,
+    transient: BTreeMap<u64, u32>,
+    preempts: Vec<u64>,
+    checkpoint_every_steps: u64,
+    restart_delay_s: f64,
+    retry: RetryPolicy,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no faults) over `total_steps`.
+    pub fn empty(total_steps: u64) -> Self {
+        FaultPlan::default().compile(total_steps)
+    }
+
+    /// Nominal virtual seconds per healthy step.
+    pub fn step_seconds(&self) -> f64 {
+        self.step_s
+    }
+
+    /// Slowdown multiplier (≥ 1) for step `step`; 1.0 when healthy.
+    pub fn slowdown_at(&self, step: u64) -> f64 {
+        self.slowdown.get(step as usize).copied().unwrap_or(1.0)
+    }
+
+    /// Scheduled transient failures for step `step`'s gradient exchange.
+    pub fn transient_failures_at(&self, step: u64) -> u32 {
+        self.transient.get(&step).copied().unwrap_or(0)
+    }
+
+    /// Preemption steps, ascending and deduplicated.
+    pub fn preempt_steps(&self) -> &[u64] {
+        &self.preempts
+    }
+
+    /// True when any preemption is scheduled.
+    pub fn has_preempts(&self) -> bool {
+        !self.preempts.is_empty()
+    }
+
+    /// True when any transient collective failure is scheduled.
+    pub fn has_transients(&self) -> bool {
+        !self.transient.is_empty()
+    }
+
+    /// True when any step carries a timing slowdown.
+    pub fn has_timing(&self) -> bool {
+        self.slowdown.iter().any(|&s| s > 1.0)
+    }
+
+    /// True when the schedule injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        !self.has_preempts() && !self.has_transients() && !self.has_timing()
+    }
+
+    /// Checkpoint cadence in steps.
+    pub fn checkpoint_every(&self) -> u64 {
+        self.checkpoint_every_steps
+    }
+
+    /// Virtual seconds charged per preemption restart.
+    pub fn restart_delay_s(&self) -> f64 {
+        self.restart_delay_s
+    }
+
+    /// Retry policy for transient collective failures.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultyCollective: the decorator that injects scheduled failures.
+// ---------------------------------------------------------------------------
+
+/// Wraps any [`Collective`] backend and injects the schedule's transient
+/// failures into the **fallible** gradient path
+/// ([`Collective::try_all_reduce_sum`]). Infallible operations delegate
+/// untouched, so BN sync, distributed eval, and checkpoint broadcasts
+/// never see injected faults (they share the step's fate through the
+/// timing model instead).
+///
+/// Injection is symmetric: the schedule is a pure function of the plan,
+/// every rank holds the same one, and a failed attempt returns *before*
+/// touching the underlying communicator — so no rank ever enters a
+/// collective its peers skipped (which would deadlock).
+pub struct FaultyCollective {
+    inner: Box<dyn Collective>,
+    schedule: Arc<FaultSchedule>,
+    step: AtomicU64,
+    failed_attempts_this_step: AtomicU32,
+    injected_failures: AtomicU64,
+}
+
+impl FaultyCollective {
+    /// Decorates `inner` with the shared `schedule`.
+    pub fn new(inner: Box<dyn Collective>, schedule: Arc<FaultSchedule>) -> Self {
+        FaultyCollective {
+            inner,
+            schedule,
+            step: AtomicU64::new(0),
+            failed_attempts_this_step: AtomicU32::new(0),
+            injected_failures: AtomicU64::new(0),
+        }
+    }
+
+    /// Advances the injector's step clock (call once per training step,
+    /// on every rank, before the gradient exchange).
+    pub fn set_step(&self, step: u64) {
+        self.step.store(step, Ordering::Relaxed);
+        self.failed_attempts_this_step.store(0, Ordering::Relaxed);
+    }
+
+    /// Total transient failures injected so far on this rank.
+    pub fn injected_failures(&self) -> u64 {
+        self.injected_failures.load(Ordering::Relaxed)
+    }
+
+    /// The shared schedule.
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.schedule
+    }
+}
+
+impl Collective for FaultyCollective {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+    fn backend(&self) -> crate::backend::Backend {
+        self.inner.backend()
+    }
+    fn all_reduce_sum(&self, buf: &mut [f32]) {
+        self.inner.all_reduce_sum(buf);
+    }
+    fn all_gather(&self, local: &[f32], out: &mut Vec<f32>) {
+        self.inner.all_gather(local, out);
+    }
+    fn broadcast(&self, buf: &mut [f32], root: usize) {
+        self.inner.broadcast(buf, root);
+    }
+    fn barrier(&self) {
+        self.inner.barrier();
+    }
+    fn stats(&self) -> crate::backend::CollectiveStats {
+        self.inner.stats()
+    }
+    fn scratch_reallocs(&self) -> u64 {
+        self.inner.scratch_reallocs()
+    }
+
+    fn try_all_reduce_sum(&self, buf: &mut [f32]) -> Result<(), CollectiveError> {
+        let step = self.step.load(Ordering::Relaxed);
+        let planned = self.schedule.transient_failures_at(step);
+        let failed = self.failed_attempts_this_step.load(Ordering::Relaxed);
+        if failed < planned {
+            // Fail BEFORE touching the payload or the inner communicator:
+            // every rank takes this branch for the same attempt, so the
+            // group stays in lockstep.
+            self.failed_attempts_this_step
+                .store(failed + 1, Ordering::Relaxed);
+            self.injected_failures.fetch_add(1, Ordering::Relaxed);
+            return Err(CollectiveError::Transient {
+                op: "all_reduce_sum",
+                step,
+                attempt: failed + 1,
+            });
+        }
+        self.inner.try_all_reduce_sum(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{create_collective, Backend};
+    use std::thread;
+
+    #[test]
+    fn plan_generation_is_deterministic() {
+        for seed in [0u64, 1, 42, 0xdead_beef] {
+            let a = FaultPlan::generate(seed, 8, 16.0, 4);
+            let b = FaultPlan::generate(seed, 8, 16.0, 4);
+            assert_eq!(a, b, "seed {seed}");
+            a.validate();
+        }
+        let a = FaultPlan::generate(1, 8, 16.0, 4);
+        let b = FaultPlan::generate(2, 8, 16.0, 4);
+        assert_ne!(a, b, "different seeds must differ");
+    }
+
+    #[test]
+    fn compile_maps_triggers_to_steps() {
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent {
+                    at_s: 2.0,
+                    duration_s: 2.0,
+                    kind: FaultKind::Straggler {
+                        replica: 0,
+                        slowdown: 3.0,
+                    },
+                },
+                FaultEvent {
+                    at_s: 5.5,
+                    duration_s: 0.0,
+                    kind: FaultKind::Preempt { replica: 1 },
+                },
+                FaultEvent {
+                    at_s: 7.0,
+                    duration_s: 0.0,
+                    kind: FaultKind::TransientCollective { failures: 2 },
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        let sched = plan.compile(10);
+        // Straggler covers steps 2 and 3 fully.
+        assert_eq!(sched.slowdown_at(1), 1.0);
+        assert!((sched.slowdown_at(2) - 3.0).abs() < 1e-12);
+        assert!((sched.slowdown_at(3) - 3.0).abs() < 1e-12);
+        assert_eq!(sched.slowdown_at(4), 1.0);
+        assert_eq!(sched.preempt_steps(), &[5]);
+        assert_eq!(sched.transient_failures_at(7), 2);
+        assert_eq!(sched.transient_failures_at(6), 0);
+        assert!(sched.has_timing() && sched.has_preempts() && sched.has_transients());
+    }
+
+    #[test]
+    fn partial_window_overlap_scales_proportionally() {
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                at_s: 0.5,
+                duration_s: 0.5,
+                kind: FaultKind::LinkDegrade {
+                    link: 0,
+                    scale: 0.5,
+                },
+            }],
+            ..FaultPlan::default()
+        };
+        let sched = plan.compile(2);
+        // Factor 2 over half of step 0: 1 + (2-1)*0.5 = 1.5.
+        assert!((sched.slowdown_at(0) - 1.5).abs() < 1e-12);
+        assert_eq!(sched.slowdown_at(1), 1.0);
+    }
+
+    #[test]
+    fn out_of_range_triggers_are_dropped() {
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent {
+                    at_s: 99.0,
+                    duration_s: 0.0,
+                    kind: FaultKind::Preempt { replica: 0 },
+                },
+                FaultEvent {
+                    at_s: 99.0,
+                    duration_s: 0.0,
+                    kind: FaultKind::TransientCollective { failures: 1 },
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        let sched = plan.compile(4);
+        assert!(sched.is_empty());
+    }
+
+    #[test]
+    fn retry_absorbs_transients_and_charges_backoff() {
+        let policy = RetryPolicy::default();
+        let mut fails = 2;
+        let out = retry_collective(&policy, || {
+            if fails > 0 {
+                fails -= 1;
+                Err(CollectiveError::Transient {
+                    op: "test",
+                    step: 0,
+                    attempt: 1,
+                })
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap();
+        assert_eq!(out.attempts, 3);
+        // 0.05 + 0.10 of virtual backoff.
+        assert!((out.backoff_s - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retry_exhaustion_is_typed_not_panicking() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let err = retry_collective(&policy, || {
+            Err(CollectiveError::Transient {
+                op: "test",
+                step: 9,
+                attempt: 0,
+            })
+        })
+        .unwrap_err();
+        match err {
+            CollectiveError::RetriesExhausted { attempts, last } => {
+                assert_eq!(attempts, 3);
+                assert!(last.is_transient());
+            }
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn retry_does_not_retry_permanent_errors() {
+        let policy = RetryPolicy::default();
+        let mut calls = 0;
+        let err = retry_collective(&policy, || {
+            calls += 1;
+            Err(CollectiveError::EmptyPayload { op: "test" })
+        })
+        .unwrap_err();
+        assert_eq!(calls, 1, "permanent errors must not be retried");
+        assert_eq!(err, CollectiveError::EmptyPayload { op: "test" });
+    }
+
+    #[test]
+    fn faulty_collective_injects_then_recovers_bitwise() {
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                at_s: 0.0,
+                duration_s: 0.0,
+                kind: FaultKind::TransientCollective { failures: 2 },
+            }],
+            ..FaultPlan::default()
+        };
+        let sched = Arc::new(plan.compile(4));
+        for backend in [Backend::Tree, Backend::Ring] {
+            let world = create_collective(backend, 3);
+            let joins: Vec<_> = world
+                .into_iter()
+                .map(|c| {
+                    let sched = Arc::clone(&sched);
+                    thread::spawn(move || {
+                        let fc = FaultyCollective::new(c, sched);
+                        let policy = RetryPolicy::default();
+                        let mut outs = Vec::new();
+                        for step in 0..2u64 {
+                            fc.set_step(step);
+                            let mut buf = vec![fc.rank() as f32 + 1.0, 2.0];
+                            let out = retry_collective(&policy, || fc.try_all_reduce_sum(&mut buf))
+                                .unwrap();
+                            outs.push((buf, out.attempts));
+                        }
+                        (outs, fc.injected_failures())
+                    })
+                })
+                .collect();
+            let results: Vec<_> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+            for (outs, injected) in &results {
+                // Step 0 needed 3 attempts (2 injected failures), step 1 none.
+                assert_eq!(outs[0].1, 3, "{backend}");
+                assert_eq!(outs[1].1, 1, "{backend}");
+                assert_eq!(*injected, 2, "{backend}");
+                // Payloads are unperturbed: 1+2+3 = 6 and 3×2 = 6.
+                assert_eq!(outs[0].0, vec![6.0, 6.0], "{backend}");
+                assert_eq!(outs[1].0, vec![6.0, 6.0], "{backend}");
+            }
+            assert_eq!(results[0].0, results[1].0, "{backend}: ranks diverged");
+        }
+    }
+
+    #[test]
+    fn schedule_is_identical_across_compiles() {
+        let plan = FaultPlan::generate(7, 4, 12.0, 4);
+        assert_eq!(plan.compile(12), plan.compile(12));
+    }
+}

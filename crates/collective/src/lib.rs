@@ -17,6 +17,7 @@
 pub mod backend;
 pub mod comm;
 pub mod cost;
+pub mod fault;
 pub mod group;
 pub mod hierarchical;
 pub mod ring;
@@ -30,6 +31,10 @@ pub use comm::CommHandle;
 pub use cost::{
     bn_sync_time, gradient_bytes, ring_all_reduce_time, torus_all_reduce_time,
     tree_all_reduce_time, tree_ring_crossover_bytes, LinkSpec, TPU_V3_LINK,
+};
+pub use fault::{
+    retry_collective, CollectiveError, FaultEvent, FaultKind, FaultPlan, FaultSchedule,
+    FaultyCollective, RetryOutcome, RetryPolicy,
 };
 pub use group::{bn_batch_size, GroupSpec};
 pub use hierarchical::{create_grid, GridMember};

@@ -21,8 +21,9 @@
 //! by buffer length, so bucket layout is part of its (fixed, reproducible)
 //! reduction order.
 
+use crate::report::RecoveryCounters;
 use crate::timeline::{AllReduceProfile, Stopwatch};
-use ets_collective::Collective;
+use ets_collective::{retry_collective, Collective, CollectiveError, RetryPolicy};
 use ets_nn::Layer;
 
 /// Default bucket bound: 1 Mi elements = 4 MiB of f32 gradients. Proxy
@@ -97,6 +98,35 @@ impl GradBucket {
         comm: &dyn Collective,
         local_loss: f32,
     ) -> f32 {
+        let mut counters = RecoveryCounters::default();
+        self.all_reduce_with_retry(
+            model,
+            comm,
+            local_loss,
+            &RetryPolicy::default(),
+            &mut counters,
+        )
+        .expect("gradient all-reduce failed permanently")
+    }
+
+    /// The fallible gradient exchange: identical reduction to
+    /// [`GradBucket::all_reduce`] (bitwise — a successful attempt computes
+    /// the same bytes), but transient collective failures are absorbed by
+    /// bounded retry with virtual exponential backoff, accounted into
+    /// `counters`. Exhausting the retry budget (or a permanent error)
+    /// surfaces as a typed [`CollectiveError`] instead of a panic.
+    ///
+    /// SPMD: fault schedules are symmetric, so every rank retries the
+    /// same attempts in lockstep and no rank enters a collective its
+    /// peers skipped.
+    pub fn all_reduce_with_retry(
+        &mut self,
+        model: &mut dyn Layer,
+        comm: &dyn Collective,
+        local_loss: f32,
+        policy: &RetryPolicy,
+        counters: &mut RecoveryCounters,
+    ) -> Result<f32, CollectiveError> {
         // Pack into the persistent flat buffer.
         let mut off = 0usize;
         let mut idx = 0usize;
@@ -120,10 +150,17 @@ impl GradBucket {
         );
         flat[off] = local_loss;
 
-        // Reduce bucket by bucket, timing each.
+        // Reduce bucket by bucket, timing each. Transient collective
+        // failures are retried under `policy`; the backoff is virtual
+        // (accounted into `counters`, never slept).
         for (i, &(a, b)) in self.buckets.iter().enumerate() {
             let mut sw = Stopwatch::start();
-            comm.all_reduce_sum(&mut self.flat[a..b]);
+            let flat = &mut self.flat;
+            let outcome = retry_collective(policy, || comm.try_all_reduce_sum(&mut flat[a..b]))?;
+            let retries = (outcome.attempts - 1) as u64;
+            counters.transient_failures += retries;
+            counters.collective_retries += retries;
+            counters.retry_backoff_virtual_s += outcome.backoff_s;
             self.profile.bucket_seconds[i] += sw.lap();
         }
         self.profile.rounds += 1;
@@ -139,7 +176,7 @@ impl GradBucket {
             }
             off += n;
         });
-        self.flat[off] * inv
+        Ok(self.flat[off] * inv)
     }
 }
 

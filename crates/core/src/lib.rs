@@ -27,7 +27,9 @@ pub use checkpoint::{
 pub use experiment::{DecayChoice, Experiment, OptimizerChoice};
 pub use grad_bucket::{GradBucket, DEFAULT_BUCKET_ELEMS};
 pub use paper_recipe::{proxy_of, PROXY_LARS_LR, PROXY_LARS_TRUST, PROXY_RMSPROP_LR};
-pub use report::{checksum_f32, EpochRecord, TrainReport};
+pub use report::{
+    checksum_f32, serde_json_is_functional, EpochRecord, RecoveryCounters, TrainReport,
+};
 pub use sweep::{batch_sweep, run_sweep, SweepCell, SweepResult};
-pub use timeline::{AllReduceProfile, PhaseBreakdown, Stopwatch};
+pub use timeline::{AllReduceProfile, PhaseBreakdown, StepTimeline, Stopwatch};
 pub use trainer::train;

@@ -106,6 +106,90 @@ impl AllReduceProfile {
     }
 }
 
+/// Virtual per-step timeline of a (possibly fault-injected) run.
+///
+/// The fault layer perturbs *virtual* time only: a straggler or degraded
+/// link stretches a step's virtual duration without touching payloads,
+/// and retry backoff is charged here instead of sleeping. The chaos
+/// harness asserts that timing-only faults show up in this timeline while
+/// losses stay bitwise identical to the fault-free run.
+///
+/// Indexed by global step; replayed steps (after a preemption rewind)
+/// overwrite their slot, so a finished run always has exactly
+/// `total_steps` entries.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StepTimeline {
+    /// Virtual seconds a nominal, healthy step spans.
+    pub nominal_step_s: f64,
+    /// Virtual seconds charged per global step.
+    pub virtual_s: Vec<f64>,
+}
+
+impl StepTimeline {
+    /// An empty timeline with the given nominal step duration.
+    pub fn new(nominal_step_s: f64) -> Self {
+        StepTimeline {
+            nominal_step_s,
+            virtual_s: Vec::new(),
+        }
+    }
+
+    /// Records `seconds` for global step `step`. Appending is the common
+    /// case; replays overwrite the existing slot.
+    pub fn record(&mut self, step: u64, seconds: f64) {
+        let i = step as usize;
+        if i < self.virtual_s.len() {
+            self.virtual_s[i] = seconds;
+        } else {
+            debug_assert_eq!(i, self.virtual_s.len(), "timeline must stay contiguous");
+            self.virtual_s.push(seconds);
+        }
+    }
+
+    /// Drops entries from step `len` on (preemption rewind).
+    pub fn truncate(&mut self, len: u64) {
+        self.virtual_s.truncate(len as usize);
+    }
+
+    /// Recorded steps.
+    pub fn len(&self) -> usize {
+        self.virtual_s.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.virtual_s.is_empty()
+    }
+
+    /// Total virtual seconds across all recorded steps.
+    pub fn total_virtual_s(&self) -> f64 {
+        self.virtual_s.iter().sum()
+    }
+
+    /// Largest per-step slowdown factor relative to nominal (1.0 for a
+    /// healthy or empty timeline).
+    pub fn max_slowdown(&self) -> f64 {
+        if self.nominal_step_s <= 0.0 {
+            return 1.0;
+        }
+        self.virtual_s
+            .iter()
+            .fold(1.0f64, |m, &s| m.max(s / self.nominal_step_s))
+    }
+
+    /// Steps whose virtual duration exceeds `factor` × nominal — where
+    /// the injected slowdowns surface.
+    pub fn slow_steps(&self, factor: f64) -> Vec<usize> {
+        let threshold = self.nominal_step_s * factor;
+        self.virtual_s
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s > threshold)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
 /// A phase stopwatch: `lap()` returns seconds since the previous lap.
 pub struct Stopwatch {
     last: Instant,
@@ -154,6 +238,34 @@ mod tests {
         let b = PhaseBreakdown::default();
         assert_eq!(b.all_reduce_share(), 0.0);
         assert_eq!(b.step_seconds(), 0.0);
+    }
+
+    #[test]
+    fn step_timeline_records_and_detects_slow_steps() {
+        let mut t = StepTimeline::new(1.0);
+        t.record(0, 1.0);
+        t.record(1, 3.0);
+        t.record(2, 1.0);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_virtual_s(), 5.0);
+        assert_eq!(t.max_slowdown(), 3.0);
+        assert_eq!(t.slow_steps(1.5), vec![1]);
+        // Replay overwrites, truncate rewinds.
+        t.record(1, 1.0);
+        assert_eq!(t.max_slowdown(), 1.0);
+        t.truncate(1);
+        assert_eq!(t.len(), 1);
+        t.record(1, 2.0);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn empty_step_timeline_is_safe() {
+        let t = StepTimeline::default();
+        assert!(t.is_empty());
+        assert_eq!(t.max_slowdown(), 1.0);
+        assert_eq!(t.total_virtual_s(), 0.0);
+        assert!(t.slow_steps(1.1).is_empty());
     }
 
     #[test]

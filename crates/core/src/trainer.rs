@@ -17,21 +17,31 @@
 //! - **Large-batch recipe** (§3.1/§3.2): LARS or RMSProp with linear LR
 //!   scaling, warmup, and the paper's decay schedules.
 //! - **Mixed precision** (§3.5): optional bf16 conv path.
+//! - **Fault injection & recovery**: when the experiment carries a
+//!   non-empty [`ets_collective::FaultPlan`], the world collective is
+//!   wrapped in a [`FaultyCollective`], transient collective failures are
+//!   absorbed by bounded retry with virtual backoff, replica preemptions
+//!   trigger checkpoint-based rewind-and-replay, and timing faults
+//!   (stragglers, degraded links) stretch a deterministic virtual
+//!   [`StepTimeline`] without perturbing a single payload bit. Recovery
+//!   activity is accounted in [`RecoveryCounters`] on the report.
 
 use crate::bn_sync::GroupStatSync;
+use crate::checkpoint::Checkpoint;
 use crate::experiment::{DecayChoice, Experiment, OptimizerChoice};
 use crate::grad_bucket::GradBucket;
-use crate::report::{checksum_f32, EpochRecord, TrainReport};
-use crate::timeline::{AllReduceProfile, PhaseBreakdown, Stopwatch};
-use ets_collective::{create_collective, Collective, SliceShape};
+use crate::report::{checksum_f32, EpochRecord, RecoveryCounters, TrainReport};
+use crate::timeline::{AllReduceProfile, PhaseBreakdown, StepTimeline, Stopwatch};
+use ets_collective::{create_collective, Collective, FaultSchedule, FaultyCollective, SliceShape};
 use ets_data::{load_batch, AugmentConfig, Dataset, EpochPlan, SynthNet};
 use ets_efficientnet::EfficientNet;
 use ets_nn::{cross_entropy, zero_grads, Ema, EvalCounts, Layer, Mode};
 use ets_optim::{
-    Constant, CosineDecay, ExponentialDecay, Lamb, Lars, LrSchedule, Optimizer, PolynomialDecay,
-    RmsProp, Sgd, Shifted, Sm3, Warmup,
+    Constant, CosineDecay, ExponentialDecay, Lamb, Lars, LrSchedule, Optimizer, OptimizerState,
+    PolynomialDecay, RmsProp, Sgd, Shifted, Sm3, Warmup,
 };
 use ets_tensor::Rng;
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -128,12 +138,56 @@ fn distributed_eval(
     all_reduce_counts(local, comm)
 }
 
+/// The replica's gradient collective: either the raw backend or the same
+/// backend behind a fault-injection decorator. BN-group collectives stay
+/// unwrapped — the fault model targets the world-wide gradient exchange.
+enum WorldComm {
+    Plain(Box<dyn Collective>),
+    Faulty(FaultyCollective),
+}
+
+impl WorldComm {
+    fn as_dyn(&self) -> &dyn Collective {
+        match self {
+            WorldComm::Plain(c) => c.as_ref(),
+            WorldComm::Faulty(f) => f,
+        }
+    }
+
+    /// Keys planned transient injections to the trainer's step counter so
+    /// replay after a preemption re-observes the same fault schedule.
+    fn set_step(&self, step: u64) {
+        if let WorldComm::Faulty(f) = self {
+            f.set_step(step);
+        }
+    }
+}
+
+/// Everything a replica needs to rewind to a checkpointed step bit-exactly:
+/// model weights + BN running stats (via the checkpoint layer), optimizer
+/// slots, EMA shadow weights, both RNG streams, and the in-flight epoch
+/// accounting. Restoring this and replaying reproduces the uninterrupted
+/// trajectory byte for byte.
+struct ReplicaSnapshot {
+    step: u64,
+    ckpt: Checkpoint,
+    opt_state: OptimizerState,
+    ema: Option<Ema>,
+    data_rng: Rng,
+    layer_rng: Rng,
+    history: Vec<EpochRecord>,
+    loss_sum: f64,
+    last_lr: f32,
+}
+
 /// Per-replica worker result.
 struct ReplicaResult {
     checksum: u64,
     history: Option<Vec<EpochRecord>>,
     phases: PhaseBreakdown,
     buckets: AllReduceProfile,
+    counters: RecoveryCounters,
+    timeline: StepTimeline,
 }
 
 /// Runs the experiment; returns replica 0's report after asserting all
@@ -152,6 +206,12 @@ pub fn train(exp: &Experiment) -> TrainReport {
     );
     let train_set = Arc::new(train_set);
     let eval_set = Arc::new(eval_set);
+
+    // Compile the experiment's fault plan against the run's step grid.
+    // An empty plan compiles to an empty schedule and the collectives stay
+    // unwrapped, so fault-free runs pay nothing.
+    let total_steps = exp.epochs * exp.steps_per_epoch() as u64;
+    let faults = Arc::new(exp.faults.compile(total_steps));
 
     // World collective for gradients/eval/init, per-group collectives for
     // BN — all on the experiment's chosen backend.
@@ -180,8 +240,15 @@ pub fn train(exp: &Experiment) -> TrainReport {
                 let train_set = Arc::clone(&train_set);
                 let eval_set = Arc::clone(&eval_set);
                 let exp = exp.clone();
-                scope
-                    .spawn(move || run_replica(&exp, r, world_comm, bn_comm, &train_set, &eval_set))
+                let faults = Arc::clone(&faults);
+                let comm = if faults.is_empty() {
+                    WorldComm::Plain(world_comm)
+                } else {
+                    WorldComm::Faulty(FaultyCollective::new(world_comm, Arc::clone(&faults)))
+                };
+                scope.spawn(move || {
+                    run_replica(&exp, r, comm, bn_comm, &faults, &train_set, &eval_set)
+                })
             })
             .collect();
         joins
@@ -196,14 +263,25 @@ pub fn train(exp: &Experiment) -> TrainReport {
             res.checksum, checksum0,
             "replica {r} diverged from replica 0 — synchronization bug"
         );
+        // Fault handling is SPMD: every rank must have observed the same
+        // injections, retries, and preemptions, or the run only survived
+        // by luck.
+        assert_eq!(
+            res.counters, results[0].counters,
+            "replica {r} recovery counters diverged — asymmetric fault handling"
+        );
     }
     let phases = results[0].phases;
     let mut buckets = AllReduceProfile::default();
     let mut history = None;
+    let mut fault_recovery = RecoveryCounters::default();
+    let mut step_timeline = StepTimeline::default();
     for r in results {
         if r.history.is_some() {
             buckets = r.buckets;
             history = r.history;
+            fault_recovery = r.counters;
+            step_timeline = r.timeline;
         }
     }
     let history = history.expect("replica 0 reports history");
@@ -225,14 +303,18 @@ pub fn train(exp: &Experiment) -> TrainReport {
         weight_checksum: checksum0,
         phases,
         all_reduce_buckets: buckets,
+        fault_recovery,
+        step_timeline,
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_replica(
     exp: &Experiment,
     replica: usize,
-    world: Box<dyn Collective>,
+    world: WorldComm,
     bn_comm: Option<Box<dyn Collective>>,
+    faults: &FaultSchedule,
     train_set: &SynthNet,
     eval_set: &SynthNet,
 ) -> ReplicaResult {
@@ -248,7 +330,7 @@ fn run_replica(
     let mut init_rng = Rng::new(exp.seed).split(init_stream);
     let mut model = EfficientNet::new(exp.model.clone(), exp.precision, &mut init_rng);
     if exp.broadcast_init && exp.replicas > 1 {
-        crate::checkpoint::broadcast(&mut model, world.as_ref(), 0);
+        crate::checkpoint::broadcast(&mut model, world.as_dyn(), 0);
     }
     model.visit_bns(&mut |bn| bn.set_momentum(PROXY_BN_MOMENTUM));
     if let Some(c) = bn_comm {
@@ -263,85 +345,172 @@ fn run_replica(
     let mut data_rng = Rng::new(exp.seed).split(1000 + replica as u64);
     let mut layer_rng = Rng::new(exp.seed).split(2000 + replica as u64);
 
-    let spe = exp.steps_per_epoch();
+    let spe = exp.steps_per_epoch() as u64;
+    let total_steps = exp.epochs * spe;
     let accum = exp.grad_accum_steps;
     let mut history = Vec::new();
-    let mut global_step = 0u64;
     let mut phases = PhaseBreakdown::default();
 
-    for epoch in 1..=exp.epochs {
-        let plan = EpochPlan::new(exp.seed, epoch, train_set.len());
-        let mut loss_sum = 0.0f64;
-        let mut last_lr = 0.0f32;
-        for step in 0..spe {
-            let mut sw = Stopwatch::start();
-            zero_grads(&mut model);
-            let mut micro_loss = 0.0f32;
-            for micro in 0..accum {
-                let indices = plan.replica_batch(
-                    step * accum + micro,
-                    replica,
-                    exp.replicas,
-                    exp.per_replica_batch,
-                );
-                let (x, labels) =
-                    load_batch(train_set, &indices, AugmentConfig::train(), &mut data_rng);
-                phases.data += sw.lap();
-                let logits = model.forward(&x, Mode::Train, &mut layer_rng);
-                let out = cross_entropy(&logits, &labels, exp.label_smoothing);
-                phases.forward += sw.lap();
-                model.backward(&out.dlogits);
-                phases.backward += sw.lap();
-                micro_loss += out.loss;
-            }
-            if accum > 1 {
-                // Each micro-batch contributed a mean gradient; average them.
-                let inv = 1.0 / accum as f32;
-                model.visit_params(&mut |p| p.grad.scale(inv));
-                micro_loss *= inv;
-            }
-            let mean_loss = grad_bucket.all_reduce(&mut model, world.as_ref(), micro_loss);
-            phases.all_reduce += sw.lap();
-            if let Some(max_norm) = exp.clip_grad_norm {
-                ets_optim::clip_global_norm(&mut model, max_norm);
-            }
-            let lr = schedule.lr(global_step);
-            optimizer.step(&mut model, lr);
-            if let Some(e) = &mut ema {
-                e.update(&mut model);
-            }
-            phases.optimizer += sw.lap();
-            phases.steps += 1;
-            loss_sum += mean_loss as f64;
-            last_lr = lr;
-            global_step += 1;
+    // Fault-recovery state. The step loop below is flattened (one global
+    // step counter instead of nested epoch/step loops) so a preemption can
+    // rewind across an epoch boundary by simply resetting `step`.
+    let retry_policy = faults.retry();
+    let mut counters = RecoveryCounters::default();
+    let mut timeline = StepTimeline::new(faults.step_seconds());
+    let mut pending_preempts: VecDeque<u64> = faults.preempt_steps().iter().copied().collect();
+    let mut snapshot: Option<ReplicaSnapshot> = None;
+
+    let mut plan = EpochPlan::new(exp.seed, 1, train_set.len());
+    let mut plan_epoch = 1u64;
+    let mut loss_sum = 0.0f64;
+    let mut last_lr = 0.0f32;
+    let mut step = 0u64;
+
+    while step < total_steps {
+        let epoch = step / spe + 1;
+        if epoch != plan_epoch {
+            plan = EpochPlan::new(exp.seed, epoch, train_set.len());
+            plan_epoch = epoch;
+        }
+        if step.is_multiple_of(spe) {
+            loss_sum = 0.0;
         }
 
-        let (eval_top1, eval_top5) = if epoch % exp.eval_every == 0 || epoch == exp.epochs {
-            let saved = ema.as_ref().map(|e| e.swap_in(&mut model));
-            let counts = distributed_eval(
-                &mut model,
-                eval_set,
+        // Periodic snapshot (only when the plan can actually preempt us).
+        // Taken *before* the preemption check: a checkpoint written at
+        // step `s` survives a job death at step `s`.
+        if faults.has_preempts() && step.is_multiple_of(faults.checkpoint_every()) {
+            snapshot = Some(ReplicaSnapshot {
+                step,
+                ckpt: crate::checkpoint::save(&mut model, step),
+                opt_state: optimizer.export_state(),
+                ema: ema.clone(),
+                data_rng: data_rng.clone(),
+                layer_rng: layer_rng.clone(),
+                history: history.clone(),
+                loss_sum,
+                last_lr,
+            });
+            counters.checkpoints_taken += 1;
+        }
+
+        // Preemption: the job dies *before* executing this step, restarts
+        // after a virtual delay, restores the latest checkpoint, and
+        // replays. Each planned preemption fires exactly once — replay
+        // does not re-trigger it — and the schedule is identical on every
+        // rank, so the whole world rewinds in lockstep.
+        if pending_preempts.front() == Some(&step) {
+            pending_preempts.pop_front();
+            let snap = snapshot
+                .as_ref()
+                .expect("preemption before the first checkpoint");
+            crate::checkpoint::restore(&mut model, &snap.ckpt);
+            optimizer.import_state(&snap.opt_state, &mut model);
+            ema.clone_from(&snap.ema);
+            data_rng = snap.data_rng.clone();
+            layer_rng = snap.layer_rng.clone();
+            history.clone_from(&snap.history);
+            loss_sum = snap.loss_sum;
+            last_lr = snap.last_lr;
+            counters.preemptions += 1;
+            counters.replayed_steps += step - snap.step;
+            counters.restart_virtual_s += faults.restart_delay_s();
+            timeline.truncate(snap.step);
+            step = snap.step;
+            continue;
+        }
+
+        let mut sw = Stopwatch::start();
+        zero_grads(&mut model);
+        let mut micro_loss = 0.0f32;
+        for micro in 0..accum {
+            let indices = plan.replica_batch(
+                (step % spe) as usize * accum + micro,
                 replica,
                 exp.replicas,
                 exp.per_replica_batch,
-                world.as_ref(),
             );
-            if let (Some(e), Some(s)) = (ema.as_ref(), saved) {
-                e.restore(&mut model, s);
-            }
-            (Some(counts.top1()), Some(counts.top5()))
-        } else {
-            (None, None)
-        };
+            let (x, labels) =
+                load_batch(train_set, &indices, AugmentConfig::train(), &mut data_rng);
+            phases.data += sw.lap();
+            let logits = model.forward(&x, Mode::Train, &mut layer_rng);
+            let out = cross_entropy(&logits, &labels, exp.label_smoothing);
+            phases.forward += sw.lap();
+            model.backward(&out.dlogits);
+            phases.backward += sw.lap();
+            micro_loss += out.loss;
+        }
+        if accum > 1 {
+            // Each micro-batch contributed a mean gradient; average them.
+            let inv = 1.0 / accum as f32;
+            model.visit_params(&mut |p| p.grad.scale(inv));
+            micro_loss *= inv;
+        }
+        // Key planned transient injections to this step, then exchange
+        // gradients with bounded retry (backoff is virtual: accounted,
+        // never slept).
+        world.set_step(step);
+        let backoff_before = counters.retry_backoff_virtual_s;
+        let mean_loss = grad_bucket
+            .all_reduce_with_retry(
+                &mut model,
+                world.as_dyn(),
+                micro_loss,
+                &retry_policy,
+                &mut counters,
+            )
+            .unwrap_or_else(|e| panic!("step {step}: gradient exchange failed permanently: {e}"));
+        phases.all_reduce += sw.lap();
+        if let Some(max_norm) = exp.clip_grad_norm {
+            ets_optim::clip_global_norm(&mut model, max_norm);
+        }
+        let lr = schedule.lr(step);
+        optimizer.step(&mut model, lr);
+        if let Some(e) = &mut ema {
+            e.update(&mut model);
+        }
+        phases.optimizer += sw.lap();
+        phases.steps += 1;
+        loss_sum += mean_loss as f64;
+        last_lr = lr;
 
-        history.push(EpochRecord {
-            epoch,
-            train_loss: (loss_sum / spe as f64) as f32,
-            lr: last_lr,
-            eval_top1,
-            eval_top5,
-        });
+        // Virtual step time: the nominal step stretched by the worst
+        // timing fault active at this step (SPMD steps gate on the slowest
+        // participant) plus any retry backoff spent in the exchange.
+        let nominal = faults.step_seconds();
+        let slowdown = faults.slowdown_at(step);
+        counters.straggler_virtual_s += (slowdown - 1.0) * nominal;
+        let step_backoff = counters.retry_backoff_virtual_s - backoff_before;
+        timeline.record(step, nominal * slowdown + step_backoff);
+
+        // Epoch boundary: evaluate and record.
+        if (step + 1).is_multiple_of(spe) {
+            let (eval_top1, eval_top5) = if epoch.is_multiple_of(exp.eval_every) || epoch == exp.epochs {
+                let saved = ema.as_ref().map(|e| e.swap_in(&mut model));
+                let counts = distributed_eval(
+                    &mut model,
+                    eval_set,
+                    replica,
+                    exp.replicas,
+                    exp.per_replica_batch,
+                    world.as_dyn(),
+                );
+                if let (Some(e), Some(s)) = (ema.as_ref(), saved) {
+                    e.restore(&mut model, s);
+                }
+                (Some(counts.top1()), Some(counts.top5()))
+            } else {
+                (None, None)
+            };
+            history.push(EpochRecord {
+                epoch,
+                train_loss: (loss_sum / spe as f64) as f32,
+                lr: last_lr,
+                eval_top1,
+                eval_top5,
+            });
+        }
+        step += 1;
     }
 
     let mut weights: Vec<f32> = Vec::new();
@@ -351,6 +520,8 @@ fn run_replica(
         history: (replica == 0).then_some(history),
         phases,
         buckets: grad_bucket.profile().clone(),
+        counters,
+        timeline,
     }
 }
 

@@ -9,6 +9,10 @@ use crate::layer::Layer;
 use ets_tensor::Tensor;
 
 /// Weight averager with TF-style decay warmup.
+///
+/// `Clone` gives a deep, bit-exact copy (shadow tensors included) — the
+/// trainer's preemption snapshots rely on it.
+#[derive(Clone)]
 pub struct Ema {
     decay: f32,
     shadow: Vec<(String, Tensor)>,

@@ -3,7 +3,7 @@
 //! point reviewers expect. Decoupled weight decay (AdamW-style) on
 //! decayed parameters.
 
-use crate::optimizer::{Optimizer, StateVec};
+use crate::optimizer::{bank_tensor, param_dims, tensor_bank, Optimizer, OptimizerState, StateVec};
 use ets_nn::Layer;
 use ets_tensor::Tensor;
 
@@ -70,6 +70,36 @@ impl Optimizer for Adam {
 
     fn name(&self) -> &'static str {
         "adam"
+    }
+
+    /// Scalars: `[t]`. Banks: all `m[i]` slots, then all `v[i]` slots.
+    fn export_state(&self) -> OptimizerState {
+        let mut banks: Vec<Vec<u32>> = self.m.slots().iter().map(tensor_bank).collect();
+        banks.extend(self.v.slots().iter().map(tensor_bank));
+        OptimizerState {
+            scalars: vec![self.t],
+            banks,
+        }
+    }
+
+    fn import_state(&mut self, state: &OptimizerState, model: &mut dyn Layer) {
+        self.t = state.scalars.first().copied().unwrap_or(0);
+        let dims = param_dims(model);
+        let k = state.banks.len() / 2;
+        self.m.set_slots(
+            state.banks[..k]
+                .iter()
+                .zip(&dims)
+                .map(|(b, d)| bank_tensor(b, d))
+                .collect(),
+        );
+        self.v.set_slots(
+            state.banks[k..]
+                .iter()
+                .zip(&dims)
+                .map(|(b, d)| bank_tensor(b, d))
+                .collect(),
+        );
     }
 }
 

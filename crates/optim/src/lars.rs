@@ -14,7 +14,7 @@
 //! (they take plain momentum steps with the global LR), matching the
 //! reference implementation used by the paper.
 
-use crate::optimizer::{Optimizer, StateVec};
+use crate::optimizer::{bank_tensor, param_dims, tensor_bank, Optimizer, OptimizerState, StateVec};
 use ets_nn::Layer;
 use ets_tensor::Tensor;
 
@@ -110,6 +110,28 @@ impl Optimizer for Lars {
 
     fn name(&self) -> &'static str {
         "lars"
+    }
+
+    /// Banks: `velocity[i]` per parameter. `last_ratios` is a diagnostic
+    /// recomputed every step, so it is deliberately not snapshotted.
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState {
+            scalars: Vec::new(),
+            banks: self.velocity.slots().iter().map(tensor_bank).collect(),
+        }
+    }
+
+    fn import_state(&mut self, state: &OptimizerState, model: &mut dyn Layer) {
+        let dims = param_dims(model);
+        self.velocity.set_slots(
+            state
+                .banks
+                .iter()
+                .zip(&dims)
+                .map(|(b, d)| bank_tensor(b, d))
+                .collect(),
+        );
+        self.last_ratios.clear();
     }
 }
 

@@ -27,7 +27,7 @@ pub use adam::Adam;
 pub use grad::{clip_global_norm, global_grad_norm, scale_grads};
 pub use lamb::Lamb;
 pub use lars::Lars;
-pub use optimizer::Optimizer;
+pub use optimizer::{Optimizer, OptimizerState};
 pub use rmsprop::RmsProp;
 pub use schedule::{
     lars_paper_schedule, linear_scaled_lr, rmsprop_paper_schedule, steps_per_epoch, BoxedSchedule,

@@ -11,7 +11,7 @@
 //! w  ← w − mom
 //! ```
 
-use crate::optimizer::{Optimizer, StateVec};
+use crate::optimizer::{bank_tensor, param_dims, tensor_bank, Optimizer, OptimizerState, StateVec};
 use ets_nn::Layer;
 use ets_tensor::Tensor;
 
@@ -79,6 +79,36 @@ impl Optimizer for RmsProp {
 
     fn name(&self) -> &'static str {
         "rmsprop"
+    }
+
+    /// Banks: all `ms[i]` slots first, then all `mom[i]` slots.
+    fn export_state(&self) -> OptimizerState {
+        let mut banks: Vec<Vec<u32>> = self.ms.slots().iter().map(tensor_bank).collect();
+        banks.extend(self.mom.slots().iter().map(tensor_bank));
+        OptimizerState {
+            scalars: Vec::new(),
+            banks,
+        }
+    }
+
+    fn import_state(&mut self, state: &OptimizerState, model: &mut dyn Layer) {
+        let dims = param_dims(model);
+        let k = state.banks.len() / 2;
+        debug_assert_eq!(state.banks.len(), 2 * k, "ms/mom banks must pair up");
+        self.ms.set_slots(
+            state.banks[..k]
+                .iter()
+                .zip(&dims)
+                .map(|(b, d)| bank_tensor(b, d))
+                .collect(),
+        );
+        self.mom.set_slots(
+            state.banks[k..]
+                .iter()
+                .zip(&dims)
+                .map(|(b, d)| bank_tensor(b, d))
+                .collect(),
+        );
     }
 }
 

@@ -1,6 +1,6 @@
 //! SGD with momentum and (coupled) L2 weight decay.
 
-use crate::optimizer::{Optimizer, StateVec};
+use crate::optimizer::{bank_tensor, param_dims, tensor_bank, Optimizer, OptimizerState, StateVec};
 use ets_nn::Layer;
 use ets_tensor::Tensor;
 
@@ -45,6 +45,26 @@ impl Optimizer for Sgd {
 
     fn name(&self) -> &'static str {
         "sgd"
+    }
+
+    /// Banks: `velocity[i]` per parameter, in `visit_params` order.
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState {
+            scalars: Vec::new(),
+            banks: self.velocity.slots().iter().map(tensor_bank).collect(),
+        }
+    }
+
+    fn import_state(&mut self, state: &OptimizerState, model: &mut dyn Layer) {
+        let dims = param_dims(model);
+        self.velocity.set_slots(
+            state
+                .banks
+                .iter()
+                .zip(&dims)
+                .map(|(b, d)| bank_tensor(b, d))
+                .collect(),
+        );
     }
 }
 

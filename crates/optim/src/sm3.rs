@@ -12,7 +12,7 @@
 //! a_i[j_i] = max(a_i[j_i], ν_j)     (push the new value back to covers)
 //! ```
 
-use crate::optimizer::{Optimizer, StateVec};
+use crate::optimizer::{bank_slice, param_dims, slice_bank, Optimizer, OptimizerState, StateVec};
 use ets_nn::Layer;
 
 /// Per-parameter SM3 state: one accumulator vector per axis.
@@ -106,6 +106,45 @@ impl Optimizer for Sm3 {
 
     fn name(&self) -> &'static str {
         "sm3"
+    }
+
+    /// Banks, per parameter `i` in order: bank `2i` holds the per-axis
+    /// cover accumulators concatenated axis-by-axis (lengths derivable
+    /// from the parameter's shape), bank `2i+1` the momentum velocity.
+    fn export_state(&self) -> OptimizerState {
+        let mut banks = Vec::with_capacity(2 * self.state.slots().len());
+        for (st, vel) in self.state.slots().iter().zip(self.velocity.slots()) {
+            let mut axes_flat = Vec::new();
+            for axis in &st.axes {
+                axes_flat.extend_from_slice(axis);
+            }
+            banks.push(slice_bank(&axes_flat));
+            banks.push(slice_bank(vel));
+        }
+        OptimizerState {
+            scalars: Vec::new(),
+            banks,
+        }
+    }
+
+    fn import_state(&mut self, state: &OptimizerState, model: &mut dyn Layer) {
+        let dims = param_dims(model);
+        let mut states = Vec::new();
+        let mut vels = Vec::new();
+        for (i, pair) in state.banks.chunks(2).enumerate() {
+            let mut st = Sm3State::new(&dims[i]);
+            let axes_flat = bank_slice(&pair[0]);
+            let mut off = 0;
+            for axis in &mut st.axes {
+                let len = axis.len();
+                axis.copy_from_slice(&axes_flat[off..off + len]);
+                off += len;
+            }
+            states.push(st);
+            vels.push(bank_slice(&pair[1]));
+        }
+        self.state.set_slots(states);
+        self.velocity.set_slots(vels);
     }
 }
 

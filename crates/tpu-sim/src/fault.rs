@@ -1,0 +1,409 @@
+//! Pod-scale chaos simulation: plays a [`FaultPlan`] against the
+//! calibrated step-time model with the discrete-event engine.
+//!
+//! Where `ets-train` *executes* a fault plan on the thread-level replica
+//! world (real gradients, bit-exact recovery), this module answers the
+//! operator's question at paper scale: *what does this chaos schedule do
+//! to a 1024-core run's wall clock?* Each training step is priced by
+//! [`step_time`]; fault events perturb the simulated timeline:
+//!
+//! - **Link degradation** stretches the all-reduce component of every
+//!   step the window covers (bulk-synchronous collectives gate on the
+//!   slowest link), weighted by the step's all-reduce share — a slow link
+//!   hurts B2 more than B5, exactly as Table 1's shares predict.
+//! - **Stragglers** stretch the whole step (SPMD steps gate on the
+//!   slowest replica).
+//! - **Transient collective failures** charge the retry policy's
+//!   exponential backoff to the step they land in.
+//! - **Preemptions** abort the in-flight step, roll the run back to the
+//!   last checkpoint, charge the restart delay, and replay — stale
+//!   in-flight events are invalidated with a generation counter.
+//!
+//! The simulation is deterministic: the same plan and config always
+//! produce the same report, byte for byte.
+
+use crate::event::EventSim;
+use crate::step::{step_time, StepConfig};
+use ets_collective::{FaultKind, FaultPlan};
+use serde::{Deserialize, Serialize};
+
+/// Events in the chaos simulation. `gen` invalidates in-flight step
+/// completions after a preemption rewinds the run (the event heap cannot
+/// remove entries, so stale generations are ignored on pop).
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// The step launched at generation `gen` finished.
+    StepDone { step: u64, gen: u64 },
+    /// Fault event `idx` of the sorted plan triggers.
+    Fault { idx: usize },
+    /// The job comes back after a preemption restart (generation `gen`).
+    Resume { gen: u64 },
+}
+
+/// Time-domain outcome of a chaos run on the calibrated pod.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PodChaosReport {
+    /// Seconds the run would take with no faults at all.
+    pub fault_free_seconds: f64,
+    /// Simulated seconds the faulted run actually took.
+    pub total_seconds: f64,
+    /// Steps that counted toward the run (the target count).
+    pub steps_completed: u64,
+    /// Steps executed including replays after preemptions.
+    pub steps_executed: u64,
+    /// Preemptions absorbed.
+    pub preemptions: u64,
+    /// Steps re-executed because a preemption rolled past them.
+    pub replayed_steps: u64,
+    /// Seconds spent in restart delays.
+    pub restart_seconds: f64,
+    /// Extra seconds from whole-step straggler slowdowns.
+    pub straggler_seconds: f64,
+    /// Extra seconds from degraded-link all-reduce stretching.
+    pub degrade_seconds: f64,
+    /// Seconds of retry backoff charged by transient failures.
+    pub retry_seconds: f64,
+}
+
+impl PodChaosReport {
+    /// Wall-clock inflation factor caused by the chaos schedule.
+    pub fn overhead_factor(&self) -> f64 {
+        if self.fault_free_seconds > 0.0 {
+            self.total_seconds / self.fault_free_seconds
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Simulates `total_steps` training steps of `cfg` under `plan`,
+/// returning the time-domain damage report. Trigger times in the plan are
+/// interpreted on the calibrated clock (one healthy step =
+/// `step_time(cfg).total()` seconds), so generate plans against a horizon
+/// of roughly `total_steps × step_time(cfg).total()`.
+pub fn simulate_chaos(cfg: &StepConfig, plan: &FaultPlan, total_steps: u64) -> PodChaosReport {
+    plan.validate();
+    let st = step_time(cfg);
+    let base = st.total();
+    let ar_share = st.all_reduce_share();
+    let ckpt_every = plan.checkpoint_every_steps.max(1);
+
+    let mut report = PodChaosReport {
+        fault_free_seconds: total_steps as f64 * base,
+        total_seconds: 0.0,
+        steps_completed: 0,
+        steps_executed: 0,
+        preemptions: 0,
+        replayed_steps: 0,
+        restart_seconds: 0.0,
+        straggler_seconds: 0.0,
+        degrade_seconds: 0.0,
+        retry_seconds: 0.0,
+    };
+    if total_steps == 0 {
+        return report;
+    }
+
+    // Sort events by trigger time (stable: plan order breaks ties).
+    let mut events = plan.events.clone();
+    events.sort_by(|a, b| a.at_s.partial_cmp(&b.at_s).unwrap());
+
+    // Duration of a step *starting* at absolute time `t`, with the
+    // (straggler, degrade) overhead split for accounting.
+    let step_dur = |t: f64| -> (f64, f64, f64) {
+        let mut link_scale = 1.0f64;
+        let mut slowdown = 1.0f64;
+        for ev in &events {
+            let active = t >= ev.at_s && t < ev.at_s + ev.duration_s;
+            match ev.kind {
+                FaultKind::LinkDegrade { scale, .. } if active => {
+                    link_scale = link_scale.min(scale);
+                }
+                FaultKind::Straggler { slowdown: s, .. } if active => {
+                    slowdown = slowdown.max(s);
+                }
+                _ => {}
+            }
+        }
+        // Slow link stretches the all-reduce share of the step; a
+        // straggler then stretches the whole (already stretched) step.
+        let degraded = base * (1.0 - ar_share) + base * ar_share / link_scale;
+        let total = degraded * slowdown;
+        (total, total - degraded, degraded - base)
+    };
+
+    let mut sim: EventSim<Ev> = EventSim::new();
+    // Point faults (preempt, transient) become discrete events; timing
+    // windows are sampled by `step_dur` instead.
+    for (idx, ev) in events.iter().enumerate() {
+        if matches!(
+            ev.kind,
+            FaultKind::Preempt { .. } | FaultKind::TransientCollective { .. }
+        ) {
+            sim.schedule_at(ev.at_s, Ev::Fault { idx });
+        }
+    }
+
+    let mut gen = 0u64;
+    let mut completed = 0u64;
+    let launch =
+        |sim: &mut EventSim<Ev>, report: &mut PodChaosReport, step: u64, gen: u64| -> (u64, f64) {
+            let (dur, straggle, degrade) = step_dur(sim.now());
+            report.straggler_seconds += straggle;
+            report.degrade_seconds += degrade;
+            let done_at = sim.now() + dur;
+            sim.schedule_at(done_at, Ev::StepDone { step, gen });
+            (step, done_at)
+        };
+    // The step currently executing: (index, completion time).
+    let mut inflight: Option<(u64, f64)> = Some(launch(&mut sim, &mut report, 0, gen));
+
+    while let Some(ev) = sim.next() {
+        match ev {
+            Ev::StepDone { step, gen: g } => {
+                if g != gen {
+                    continue; // stale: preempted or retried mid-flight
+                }
+                completed = step + 1;
+                report.steps_executed += 1;
+                inflight = None;
+                if completed < total_steps {
+                    inflight = Some(launch(&mut sim, &mut report, completed, gen));
+                }
+            }
+            Ev::Resume { gen: g } => {
+                if g != gen {
+                    continue; // a later preemption superseded this restart
+                }
+                inflight = Some(launch(&mut sim, &mut report, completed, gen));
+            }
+            Ev::Fault { idx } => {
+                if completed >= total_steps {
+                    continue; // run already finished; late faults are moot
+                }
+                match events[idx].kind {
+                    FaultKind::Preempt { .. } => {
+                        // Abort the in-flight step, rewind to the last
+                        // checkpoint, restart after the delay.
+                        gen += 1;
+                        let next = inflight.map_or(completed, |(s, _)| s);
+                        let resume_from = next - next % ckpt_every;
+                        report.preemptions += 1;
+                        report.replayed_steps += next - resume_from;
+                        report.restart_seconds += plan.restart_delay_s;
+                        completed = resume_from;
+                        inflight = None;
+                        sim.schedule_in(plan.restart_delay_s, Ev::Resume { gen });
+                    }
+                    FaultKind::TransientCollective { failures } => {
+                        // The in-flight step's gradient exchange fails
+                        // `failures` times; the retry layer absorbs it,
+                        // charging exponential backoff to the step.
+                        if let Some((step, done_at)) = inflight {
+                            let retries = failures.min(plan.retry.max_attempts.saturating_sub(1));
+                            let backoff: f64 =
+                                (1..=retries).map(|r| plan.retry.backoff_before(r)).sum();
+                            report.retry_seconds += backoff;
+                            gen += 1;
+                            let new_done = done_at + backoff;
+                            sim.schedule_at(new_done, Ev::StepDone { step, gen });
+                            inflight = Some((step, new_done));
+                        }
+                    }
+                    _ => unreachable!("only point faults are scheduled"),
+                }
+            }
+        }
+        if completed >= total_steps && inflight.is_none() && report.total_seconds == 0.0 {
+            report.total_seconds = sim.now();
+        }
+    }
+    report.steps_completed = completed;
+    if report.total_seconds == 0.0 {
+        report.total_seconds = sim.now();
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ets_collective::{FaultEvent, RetryPolicy};
+    use ets_efficientnet::Variant;
+
+    fn cfg() -> StepConfig {
+        StepConfig::new(Variant::B2, 128, 4096)
+    }
+
+    fn base_step() -> f64 {
+        step_time(&cfg()).total()
+    }
+
+    #[test]
+    fn no_faults_means_no_overhead() {
+        let r = simulate_chaos(&cfg(), &FaultPlan::none(), 50);
+        assert_eq!(r.steps_completed, 50);
+        assert_eq!(r.steps_executed, 50);
+        assert!((r.overhead_factor() - 1.0).abs() < 1e-12);
+        assert!((r.total_seconds - 50.0 * base_step()).abs() < 1e-9);
+        assert_eq!(r.preemptions, 0);
+        assert_eq!(r.replayed_steps, 0);
+    }
+
+    #[test]
+    fn straggler_window_stretches_covered_steps_only() {
+        let base = base_step();
+        let mut plan = FaultPlan::none();
+        // Cover steps ~10..20 with a 2× straggler.
+        plan.events.push(FaultEvent {
+            at_s: 10.0 * base,
+            duration_s: 10.0 * base,
+            kind: FaultKind::Straggler {
+                replica: 0,
+                slowdown: 2.0,
+            },
+        });
+        let r = simulate_chaos(&cfg(), &plan, 50);
+        assert_eq!(r.steps_completed, 50);
+        // Steps inside the window run at half speed, so the 10-base-step
+        // window fits only ~5 steps: the run extends by
+        // window × (1 − 1/slowdown) ≈ 5 base steps (edges can clip one).
+        assert!(
+            r.straggler_seconds > 4.0 * base && r.straggler_seconds < 6.0 * base,
+            "straggler_seconds {} vs base {}",
+            r.straggler_seconds,
+            base
+        );
+        let expect = r.fault_free_seconds + r.straggler_seconds;
+        assert!((r.total_seconds - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_degrade_costs_less_than_straggler() {
+        // Halving one link doubles only the all-reduce share (~2% for
+        // B2@128); halving the whole replica doubles the step. Same
+        // window, wildly different damage.
+        let base = base_step();
+        let window = (10.0 * base, 10.0 * base);
+        let mut degrade = FaultPlan::none();
+        degrade.events.push(FaultEvent {
+            at_s: window.0,
+            duration_s: window.1,
+            kind: FaultKind::LinkDegrade {
+                link: 0,
+                scale: 0.5,
+            },
+        });
+        let mut straggle = FaultPlan::none();
+        straggle.events.push(FaultEvent {
+            at_s: window.0,
+            duration_s: window.1,
+            kind: FaultKind::Straggler {
+                replica: 0,
+                slowdown: 2.0,
+            },
+        });
+        let rd = simulate_chaos(&cfg(), &degrade, 50);
+        let rs = simulate_chaos(&cfg(), &straggle, 50);
+        assert!(rd.total_seconds > rd.fault_free_seconds);
+        assert!(rd.degrade_seconds > 0.0 && rd.straggler_seconds == 0.0);
+        assert!(
+            rd.total_seconds - rd.fault_free_seconds
+                < 0.2 * (rs.total_seconds - rs.fault_free_seconds),
+            "degrade {} vs straggle {}",
+            rd.total_seconds,
+            rs.total_seconds
+        );
+    }
+
+    #[test]
+    fn preemption_replays_at_most_a_checkpoint_interval() {
+        let base = base_step();
+        let mut plan = FaultPlan::none();
+        plan.checkpoint_every_steps = 8;
+        plan.restart_delay_s = 3.0;
+        plan.events.push(FaultEvent {
+            at_s: 21.5 * base, // mid-step, well past checkpoint at 16
+            duration_s: 0.0,
+            kind: FaultKind::Preempt { replica: 1 },
+        });
+        let r = simulate_chaos(&cfg(), &plan, 50);
+        assert_eq!(r.steps_completed, 50, "run must still finish");
+        assert_eq!(r.preemptions, 1);
+        assert!(
+            r.replayed_steps > 0 && r.replayed_steps < 8,
+            "replays {} must stay under the checkpoint interval",
+            r.replayed_steps
+        );
+        assert_eq!(r.steps_executed, 50 + r.replayed_steps);
+        assert!((r.restart_seconds - 3.0).abs() < 1e-12);
+        // Total = healthy run + restart delay + replayed steps + the
+        // wasted partial work of the aborted in-flight step (< 1 step).
+        let floor = r.fault_free_seconds + r.restart_seconds + r.replayed_steps as f64 * base;
+        assert!(
+            r.total_seconds >= floor - 1e-9 && r.total_seconds < floor + base,
+            "{} outside [{floor}, {})",
+            r.total_seconds,
+            floor + base
+        );
+    }
+
+    #[test]
+    fn transient_failures_charge_exponential_backoff() {
+        let base = base_step();
+        let mut plan = FaultPlan::none();
+        plan.retry = RetryPolicy {
+            max_attempts: 4,
+            base_backoff_s: 0.1,
+            multiplier: 2.0,
+        };
+        plan.events.push(FaultEvent {
+            at_s: 5.5 * base,
+            duration_s: 0.0,
+            kind: FaultKind::TransientCollective { failures: 2 },
+        });
+        let r = simulate_chaos(&cfg(), &plan, 20);
+        assert_eq!(r.steps_completed, 20);
+        // Two failures → backoff 0.1 + 0.2.
+        assert!((r.retry_seconds - 0.3).abs() < 1e-12, "{}", r.retry_seconds);
+        let expect = r.fault_free_seconds + 0.3;
+        assert!((r.total_seconds - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generated_plans_are_deterministic_and_survivable() {
+        let base = base_step();
+        let horizon = 60.0 * base;
+        let plan = FaultPlan::generate(42, 128, horizon, 4);
+        let a = simulate_chaos(&cfg(), &plan, 60);
+        let b = simulate_chaos(&cfg(), &plan, 60);
+        assert_eq!(a.steps_completed, 60);
+        assert_eq!(a.total_seconds.to_bits(), b.total_seconds.to_bits());
+        assert_eq!(a.steps_executed, b.steps_executed);
+        assert_eq!(a.replayed_steps, b.replayed_steps);
+        assert!(a.overhead_factor() >= 1.0);
+    }
+
+    #[test]
+    fn back_to_back_preemptions_converge() {
+        // A second preemption landing inside the first restart window must
+        // supersede it, not wedge the run.
+        let base = base_step();
+        let mut plan = FaultPlan::none();
+        plan.restart_delay_s = 5.0 * base;
+        plan.events.push(FaultEvent {
+            at_s: 10.2 * base,
+            duration_s: 0.0,
+            kind: FaultKind::Preempt { replica: 0 },
+        });
+        plan.events.push(FaultEvent {
+            at_s: 12.0 * base, // during the first restart delay
+            duration_s: 0.0,
+            kind: FaultKind::Preempt { replica: 1 },
+        });
+        let r = simulate_chaos(&cfg(), &plan, 30);
+        assert_eq!(r.steps_completed, 30);
+        assert_eq!(r.preemptions, 2);
+        assert!(r.total_seconds > r.fault_free_seconds);
+    }
+}

@@ -15,6 +15,8 @@
 //!   train-and-eval loop (§3.3).
 //! - [`e2e`] — the composite time-to-accuracy model. Regenerates
 //!   **Figure 1**.
+//! - [`fault`] — pod-scale chaos simulation: plays an
+//!   `ets_collective::FaultPlan` against the calibrated step-time model.
 
 pub mod calibration;
 pub mod chip;
@@ -22,6 +24,7 @@ pub mod convergence;
 pub mod e2e;
 pub mod eval_loop;
 pub mod event;
+pub mod fault;
 pub mod netsim;
 pub mod scaling;
 pub mod step;
@@ -36,7 +39,11 @@ pub use convergence::{
 pub use e2e::{time_to_accuracy, RunConfig, RunOutcome};
 pub use eval_loop::{eval_pass_seconds, simulate as simulate_eval_loop, EvalLoopOutcome, EvalMode};
 pub use event::EventSim;
-pub use netsim::{simulate_ring_all_reduce, simulate_torus_all_reduce, LinkConditions};
+pub use fault::{simulate_chaos, PodChaosReport};
+pub use netsim::{
+    simulate_ring_all_reduce, simulate_torus_all_reduce, simulate_torus_all_reduce_with,
+    DegradeWindow, LinkConditions,
+};
 pub use scaling::{amdahl_serial_fraction, scaling_sweep, ScalingPoint};
 pub use step::{batch_eff_factor, step_time, total_bn_channels, StepConfig, StepTime};
 pub use whatif::{

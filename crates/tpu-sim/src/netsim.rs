@@ -21,11 +21,40 @@ use crate::event::EventSim;
 use ets_collective::{LinkSpec, SliceShape};
 use serde::{Deserialize, Serialize};
 
-/// Per-link condition multipliers (1.0 = nominal bandwidth).
+/// A time-bounded bandwidth degradation on one link: during
+/// `[from_s, until_s)` of simulated time, link `link` runs at `scale` of
+/// its (already static-scaled) bandwidth. This is how transient fault
+/// windows from a chaos plan reach the message-level simulation.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DegradeWindow {
+    /// Window start, absolute simulated seconds.
+    pub from_s: f64,
+    /// Window end (exclusive), absolute simulated seconds.
+    pub until_s: f64,
+    /// Which member's outgoing link degrades.
+    pub link: usize,
+    /// Bandwidth multiplier while the window is active (e.g. 0.5).
+    pub scale: f64,
+}
+
+impl DegradeWindow {
+    /// True when the window covers simulated time `t`.
+    pub fn active_at(&self, t: f64) -> bool {
+        t >= self.from_s && t < self.until_s
+    }
+}
+
+/// Per-link condition multipliers (1.0 = nominal bandwidth), optionally
+/// modulated by time-bounded degradation windows.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct LinkConditions {
-    /// Bandwidth multiplier per member's outgoing link (len = ring size).
+    /// Static bandwidth multiplier per member's outgoing link
+    /// (len = ring size).
     pub bandwidth_scale: Vec<f64>,
+    /// Transient degradations layered on top of the static scales;
+    /// windows on the same link multiply.
+    #[serde(default)]
+    pub windows: Vec<DegradeWindow>,
 }
 
 impl LinkConditions {
@@ -33,6 +62,7 @@ impl LinkConditions {
     pub fn nominal(p: usize) -> Self {
         LinkConditions {
             bandwidth_scale: vec![1.0; p],
+            windows: Vec::new(),
         }
     }
 
@@ -41,6 +71,38 @@ impl LinkConditions {
         let mut c = Self::nominal(p);
         c.bandwidth_scale[index % p] = scale;
         c
+    }
+
+    /// Adds a time-bounded degradation window (builder style).
+    pub fn with_window(mut self, w: DegradeWindow) -> Self {
+        assert!(w.scale > 0.0, "window scale must be positive");
+        assert!(
+            w.until_s >= w.from_s,
+            "window must not end before it starts"
+        );
+        self.windows.push(w);
+        self
+    }
+
+    /// Effective bandwidth multiplier of `link` at simulated time `t`:
+    /// the static scale times every active window on that link.
+    pub fn scale_at(&self, link: usize, t: f64) -> f64 {
+        let p = self.bandwidth_scale.len();
+        let mut s = self.bandwidth_scale[link % p];
+        for w in &self.windows {
+            if w.link % p == link % p && w.active_at(t) {
+                s *= w.scale;
+            }
+        }
+        s
+    }
+
+    /// The slowest effective link multiplier at simulated time `t` — what
+    /// gates a bulk-synchronous ring step starting at `t`.
+    pub fn worst_scale_at(&self, t: f64) -> f64 {
+        (0..self.bandwidth_scale.len())
+            .map(|l| self.scale_at(l, t))
+            .fold(f64::INFINITY, f64::min)
     }
 }
 
@@ -58,6 +120,20 @@ pub fn simulate_ring_phase(
     link: LinkSpec,
     conditions: &LinkConditions,
 ) -> f64 {
+    simulate_ring_phase_from(p, chunk_bytes, link, conditions, 0.0)
+}
+
+/// Like [`simulate_ring_phase`], but the phase starts at absolute
+/// simulated time `start_s`, so `conditions.windows` with absolute
+/// triggers line up across the phases of a larger collective. Returns the
+/// phase *duration* (not the end time).
+pub fn simulate_ring_phase_from(
+    p: usize,
+    chunk_bytes: f64,
+    link: LinkSpec,
+    conditions: &LinkConditions,
+    start_s: f64,
+) -> f64 {
     if p <= 1 {
         return 0.0;
     }
@@ -65,22 +141,18 @@ pub fn simulate_ring_phase(
     let mut sim: EventSim<Ev> = EventSim::new();
     let steps = p - 1;
     let mut step = 0usize;
-    // Kick off step 0.
-    let step_secs = |sim_step: usize, cond: &LinkConditions| -> f64 {
-        let _ = sim_step;
-        // Slowest link gates the bulk-synchronous step.
-        let worst_scale = cond
-            .bandwidth_scale
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min);
+    // Slowest link *at the step's start time* gates the bulk-synchronous
+    // step (time-windowed degradations stretch only the steps they cover).
+    let step_secs = |at: f64| -> f64 {
+        let worst_scale = conditions.worst_scale_at(start_s + at);
         link.latency + chunk_bytes / (link.bandwidth * link.duplex * worst_scale)
     };
-    sim.schedule_in(step_secs(0, conditions), Ev::StepDone { step: 0 });
+    // Kick off step 0.
+    sim.schedule_in(step_secs(0.0), Ev::StepDone { step: 0 });
     while let Some(Ev::StepDone { step: s }) = sim.next() {
         step = s;
         if s + 1 < steps {
-            sim.schedule_in(step_secs(s + 1, conditions), Ev::StepDone { step: s + 1 });
+            sim.schedule_in(step_secs(sim.now()), Ev::StepDone { step: s + 1 });
         }
     }
     debug_assert_eq!(step, steps - 1);
@@ -106,6 +178,23 @@ pub fn simulate_ring_all_reduce(
 /// reduce-scatter, column all-reduce on `1/cols` of the payload, row
 /// all-gather), with nominal links.
 pub fn simulate_torus_all_reduce(bytes: f64, slice: SliceShape, link: LinkSpec) -> f64 {
+    let row = LinkConditions::nominal(slice.cols.max(1));
+    let col = LinkConditions::nominal(slice.rows.max(1));
+    simulate_torus_all_reduce_with(bytes, slice, link, &row, &col)
+}
+
+/// [`simulate_torus_all_reduce`] under explicit link conditions: `row`
+/// conditions (len = `slice.cols`) apply to the row rings, `col`
+/// conditions (len = `slice.rows`) to the column rings. The three phases
+/// run back to back on one absolute clock, so a `DegradeWindow` covering
+/// only the tail of the collective stretches only the steps it overlaps.
+pub fn simulate_torus_all_reduce_with(
+    bytes: f64,
+    slice: SliceShape,
+    link: LinkSpec,
+    row: &LinkConditions,
+    col: &LinkConditions,
+) -> f64 {
     if slice.chips() <= 1 {
         return 0.0;
     }
@@ -113,16 +202,20 @@ pub fn simulate_torus_all_reduce(bytes: f64, slice: SliceShape, link: LinkSpec) 
     let rows = slice.rows;
     let row_chunk = bytes / cols as f64;
     // Row reduce-scatter: cols−1 steps of bytes/cols.
-    let rs = simulate_ring_phase(cols, row_chunk, link, &LinkConditions::nominal(cols));
-    // Column all-reduce of bytes/cols: 2(rows−1) steps of bytes/(cols·rows).
-    let col = if rows > 1 {
-        simulate_ring_all_reduce(rows, row_chunk, link, &LinkConditions::nominal(rows))
+    let rs = simulate_ring_phase_from(cols, row_chunk, link, row, 0.0);
+    // Column all-reduce of bytes/cols: 2(rows−1) steps of bytes/(cols·rows)
+    // — reduce-scatter then all-gather, phase-offset on the shared clock.
+    let col_time = if rows > 1 {
+        let c1 = simulate_ring_phase_from(rows, row_chunk / rows as f64, link, col, rs);
+        let c2 = simulate_ring_phase_from(rows, row_chunk / rows as f64, link, col, rs + c1);
+        c1 + c2
     } else {
         0.0
     };
-    // Row all-gather mirrors the reduce-scatter.
-    let ag = rs;
-    rs + col + ag
+    // Row all-gather mirrors the reduce-scatter, starting where the
+    // column phase ended.
+    let ag = simulate_ring_phase_from(cols, row_chunk, link, row, rs + col_time);
+    rs + col_time + ag
 }
 
 #[cfg(test)]
@@ -190,6 +283,92 @@ mod tests {
         );
         let s = SliceShape { rows: 1, cols: 1 };
         assert_eq!(simulate_torus_all_reduce(1e9, s, TPU_V3_LINK), 0.0);
+    }
+
+    #[test]
+    fn torus_with_nominal_conditions_matches_plain_torus() {
+        for &cores in &[128usize, 512] {
+            let slice = SliceShape::for_cores(cores);
+            let bytes = 36.4e6;
+            let plain = simulate_torus_all_reduce(bytes, slice, TPU_V3_LINK);
+            let row = LinkConditions::nominal(slice.cols);
+            let col = LinkConditions::nominal(slice.rows);
+            let with = simulate_torus_all_reduce_with(bytes, slice, TPU_V3_LINK, &row, &col);
+            assert_eq!(plain, with, "nominal conditions must be a no-op");
+        }
+    }
+
+    #[test]
+    fn inactive_window_changes_nothing() {
+        let p = 8;
+        let bytes = 1e8;
+        let nominal = simulate_ring_all_reduce(p, bytes, TPU_V3_LINK, &LinkConditions::nominal(p));
+        // Window far in the future: never active during the collective.
+        let cond = LinkConditions::nominal(p).with_window(DegradeWindow {
+            from_s: 1e6,
+            until_s: 2e6,
+            link: 0,
+            scale: 0.1,
+        });
+        let t = simulate_ring_all_reduce(p, bytes, TPU_V3_LINK, &cond);
+        assert_eq!(t, nominal);
+    }
+
+    #[test]
+    fn always_on_window_matches_static_slow_link() {
+        let p = 8;
+        let bytes = 1e8;
+        let windowed = LinkConditions::nominal(p).with_window(DegradeWindow {
+            from_s: 0.0,
+            until_s: f64::INFINITY,
+            link: 3,
+            scale: 0.5,
+        });
+        let a = simulate_ring_all_reduce(p, bytes, TPU_V3_LINK, &windowed);
+        let b = simulate_ring_all_reduce(
+            p,
+            bytes,
+            TPU_V3_LINK,
+            &LinkConditions::with_slow_link(p, 3, 0.5),
+        );
+        assert!((a - b).abs() / b < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn partial_window_stretches_only_covered_steps() {
+        let p = 8;
+        let bytes = 1e8;
+        let nominal = simulate_ring_all_reduce(p, bytes, TPU_V3_LINK, &LinkConditions::nominal(p));
+        // Cover roughly the first half of the collective.
+        let half = LinkConditions::nominal(p).with_window(DegradeWindow {
+            from_s: 0.0,
+            until_s: nominal / 2.0,
+            link: 0,
+            scale: 0.5,
+        });
+        let t_half = simulate_ring_all_reduce(p, bytes, TPU_V3_LINK, &half);
+        let full = LinkConditions::with_slow_link(p, 0, 0.5);
+        let t_full = simulate_ring_all_reduce(p, bytes, TPU_V3_LINK, &full);
+        assert!(
+            t_half > nominal && t_half < t_full,
+            "partial window must land strictly between: {nominal} < {t_half} < {t_full}"
+        );
+    }
+
+    #[test]
+    fn windows_compose_multiplicatively_with_static_scale() {
+        let mut c = LinkConditions::with_slow_link(4, 1, 0.5);
+        c = c.with_window(DegradeWindow {
+            from_s: 10.0,
+            until_s: 20.0,
+            link: 1,
+            scale: 0.5,
+        });
+        assert_eq!(c.scale_at(1, 5.0), 0.5, "outside window: static only");
+        assert_eq!(c.scale_at(1, 15.0), 0.25, "inside: static × window");
+        assert_eq!(c.scale_at(1, 20.0), 0.5, "until is exclusive");
+        assert_eq!(c.worst_scale_at(15.0), 0.25);
+        assert_eq!(c.worst_scale_at(5.0), 0.5);
     }
 
     #[test]

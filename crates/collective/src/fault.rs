@@ -210,6 +210,18 @@ pub enum FaultKind {
     /// (symmetrically on every rank) before succeeding; the retry layer
     /// absorbs it.
     TransientCollective { failures: u32 },
+    /// Replica `rank` is lost **permanently** at step `at_step` — the
+    /// host is gone and will not come back. Unlike [`FaultKind::Preempt`]
+    /// (rewind and replay at the same world size), permanent loss forces
+    /// an *elastic resize*: drain in-flight buckets, persist a durable
+    /// checkpoint, rebuild the collective and BN groups for world N−1,
+    /// re-shard the data, rescale the LR for the shrunken global batch,
+    /// and resume. Step-keyed (not time-keyed) because the resize
+    /// protocol is a step-boundary barrier; `at_s`/`duration_s` on the
+    /// carrying [`FaultEvent`] are ignored for this kind. The `rank` is
+    /// interpreted **modulo the surviving world** at trigger time, so a
+    /// seeded plan always names a live member even after earlier losses.
+    PermanentLoss { rank: usize, at_step: u64 },
 }
 
 /// A fault with an absolute sim-time trigger. `duration_s` only matters
@@ -232,6 +244,12 @@ fn default_checkpoint_every_steps() -> u64 {
 }
 fn default_restart_delay_s() -> f64 {
     5.0
+}
+fn default_resize_checkpoint_s() -> f64 {
+    2.0
+}
+fn default_resize_rebuild_s() -> f64 {
+    3.0
 }
 
 /// A deterministic chaos schedule: the full description of every fault a
@@ -256,6 +274,14 @@ pub struct FaultPlan {
     /// Retry policy for transient collective failures.
     #[serde(default)]
     pub retry: RetryPolicy,
+    /// Virtual seconds a resize-triggered durable checkpoint costs
+    /// (serialize + fsync + rename on every surviving host).
+    #[serde(default = "default_resize_checkpoint_s")]
+    pub resize_checkpoint_s: f64,
+    /// Virtual seconds rebuilding the collective, BN groups, and data
+    /// shards for the shrunken world costs.
+    #[serde(default = "default_resize_rebuild_s")]
+    pub resize_rebuild_s: f64,
 }
 
 impl Default for FaultPlan {
@@ -266,6 +292,8 @@ impl Default for FaultPlan {
             checkpoint_every_steps: default_checkpoint_every_steps(),
             restart_delay_s: default_restart_delay_s(),
             retry: RetryPolicy::default(),
+            resize_checkpoint_s: default_resize_checkpoint_s(),
+            resize_rebuild_s: default_resize_rebuild_s(),
         }
     }
 }
@@ -333,6 +361,40 @@ impl FaultPlan {
         }
     }
 
+    /// Generates a seeded *elastic* plan: the classic mix from
+    /// [`FaultPlan::generate`] plus `n_losses` permanent replica losses
+    /// at seeded steps inside the first `horizon_s` of virtual time.
+    /// Deliberately a **separate** entry point — the classic generator's
+    /// seeded streams are pinned by the PR 2 chaos suites and must not
+    /// shift.
+    pub fn generate_elastic(
+        seed: u64,
+        world: usize,
+        horizon_s: f64,
+        n_faults: usize,
+        n_losses: usize,
+    ) -> Self {
+        assert!(
+            n_losses < world,
+            "cannot permanently lose {n_losses} of {world} replicas"
+        );
+        let mut plan = FaultPlan::generate(seed, world, horizon_s, n_faults);
+        let mut s = seed ^ 0x00e1_a5fa_u64.rotate_left(29);
+        let horizon_steps = (horizon_s / plan.virtual_step_seconds).floor().max(2.0) as u64;
+        for _ in 0..n_losses {
+            // Avoid step 0 (a resize before the first step is a plain
+            // smaller-world start, not an interesting resize).
+            let at_step = 1 + splitmix64(&mut s) % (horizon_steps - 1);
+            let rank = (splitmix64(&mut s) % world as u64) as usize;
+            plan.events.push(FaultEvent {
+                at_s: at_step as f64 * plan.virtual_step_seconds,
+                duration_s: 0.0,
+                kind: FaultKind::PermanentLoss { rank, at_step },
+            });
+        }
+        plan
+    }
+
     /// Validates internal consistency, panicking with a clear message —
     /// mirrors `Experiment::validate`.
     pub fn validate(&self) {
@@ -372,8 +434,25 @@ impl FaultPlan {
                 FaultKind::TransientCollective { failures } => {
                     assert!(failures >= 1, "event {i}: zero transient failures");
                 }
+                FaultKind::PermanentLoss { .. } => {}
             }
         }
+        assert!(
+            self.resize_checkpoint_s >= 0.0,
+            "resize checkpoint cost cannot be negative"
+        );
+        assert!(
+            self.resize_rebuild_s >= 0.0,
+            "resize rebuild cost cannot be negative"
+        );
+    }
+
+    /// Number of [`FaultKind::PermanentLoss`] events in the plan.
+    pub fn permanent_losses(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::PermanentLoss { .. }))
+            .count()
     }
 
     /// True when the plan contains only timing faults (no preemptions,
@@ -397,6 +476,7 @@ impl FaultPlan {
         let mut slowdown = vec![1.0f64; total_steps as usize];
         let mut transient: BTreeMap<u64, u32> = BTreeMap::new();
         let mut preempts: Vec<u64> = Vec::new();
+        let mut losses: Vec<(u64, usize)> = Vec::new();
         for ev in &self.events {
             match ev.kind {
                 FaultKind::LinkDegrade { scale, .. } => {
@@ -418,18 +498,31 @@ impl FaultPlan {
                         *e = (*e).max(failures);
                     }
                 }
+                FaultKind::PermanentLoss { rank, at_step } => {
+                    // Step-keyed: the resize protocol is a step-boundary
+                    // barrier, so `at_step` is authoritative and `at_s`
+                    // is ignored for this kind.
+                    if at_step < total_steps {
+                        losses.push((at_step, rank));
+                    }
+                }
             }
         }
         preempts.sort_unstable();
         preempts.dedup();
+        losses.sort_unstable();
+        losses.dedup();
         FaultSchedule {
             step_s,
             slowdown,
             transient,
             preempts,
+            losses,
             checkpoint_every_steps: self.checkpoint_every_steps.max(1),
             restart_delay_s: self.restart_delay_s,
             retry: self.retry,
+            resize_checkpoint_s: self.resize_checkpoint_s,
+            resize_rebuild_s: self.resize_rebuild_s,
         }
     }
 }
@@ -462,9 +555,12 @@ pub struct FaultSchedule {
     slowdown: Vec<f64>,
     transient: BTreeMap<u64, u32>,
     preempts: Vec<u64>,
+    losses: Vec<(u64, usize)>,
     checkpoint_every_steps: u64,
     restart_delay_s: f64,
     retry: RetryPolicy,
+    resize_checkpoint_s: f64,
+    resize_rebuild_s: f64,
 }
 
 impl FaultSchedule {
@@ -498,6 +594,30 @@ impl FaultSchedule {
         !self.preempts.is_empty()
     }
 
+    /// Permanent-loss events as `(at_step, rank)` pairs, ascending by
+    /// step. The `rank` is interpreted modulo the surviving world at
+    /// trigger time (see [`FaultKind::PermanentLoss`]).
+    pub fn loss_events(&self) -> &[(u64, usize)] {
+        &self.losses
+    }
+
+    /// True when any permanent replica loss is scheduled.
+    pub fn has_losses(&self) -> bool {
+        !self.losses.is_empty()
+    }
+
+    /// Virtual seconds charged for the durable checkpoint leg of a
+    /// resize.
+    pub fn resize_checkpoint_s(&self) -> f64 {
+        self.resize_checkpoint_s
+    }
+
+    /// Virtual seconds charged for rebuilding collectives/BN groups/
+    /// shards during a resize.
+    pub fn resize_rebuild_s(&self) -> f64 {
+        self.resize_rebuild_s
+    }
+
     /// True when any transient collective failure is scheduled.
     pub fn has_transients(&self) -> bool {
         !self.transient.is_empty()
@@ -510,7 +630,7 @@ impl FaultSchedule {
 
     /// True when the schedule injects nothing at all.
     pub fn is_empty(&self) -> bool {
-        !self.has_preempts() && !self.has_transients() && !self.has_timing()
+        !self.has_preempts() && !self.has_transients() && !self.has_timing() && !self.has_losses()
     }
 
     /// Checkpoint cadence in steps.
@@ -836,5 +956,69 @@ mod tests {
     fn schedule_is_identical_across_compiles() {
         let plan = FaultPlan::generate(7, 4, 12.0, 4);
         assert_eq!(plan.compile(12), plan.compile(12));
+    }
+
+    #[test]
+    fn permanent_loss_is_step_keyed_and_sorted() {
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent {
+                    // at_s deliberately disagrees with at_step: at_step wins.
+                    at_s: 0.0,
+                    duration_s: 0.0,
+                    kind: FaultKind::PermanentLoss {
+                        rank: 2,
+                        at_step: 7,
+                    },
+                },
+                FaultEvent {
+                    at_s: 99.0,
+                    duration_s: 0.0,
+                    kind: FaultKind::PermanentLoss {
+                        rank: 1,
+                        at_step: 3,
+                    },
+                },
+                FaultEvent {
+                    at_s: 0.0,
+                    duration_s: 0.0,
+                    kind: FaultKind::PermanentLoss {
+                        rank: 0,
+                        at_step: 50, // beyond the horizon: dropped
+                    },
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        let sched = plan.compile(10);
+        assert_eq!(sched.loss_events(), &[(3, 1), (7, 2)]);
+        assert!(sched.has_losses());
+        assert!(!sched.is_empty());
+        assert!(!plan.is_timing_only());
+        assert_eq!(plan.permanent_losses(), 3);
+    }
+
+    #[test]
+    fn generate_elastic_is_deterministic_and_extends_classic() {
+        for seed in [0u64, 3, 0xfeed] {
+            let a = FaultPlan::generate_elastic(seed, 8, 16.0, 4, 2);
+            let b = FaultPlan::generate_elastic(seed, 8, 16.0, 4, 2);
+            assert_eq!(a, b, "seed {seed}");
+            a.validate();
+            assert_eq!(a.permanent_losses(), 2);
+            // The classic prefix is untouched: same seed, same first 4 events.
+            let classic = FaultPlan::generate(seed, 8, 16.0, 4);
+            assert_eq!(&a.events[..4], &classic.events[..]);
+            // Losses land on steps ≥ 1 and name ranks < world.
+            for ev in &a.events[4..] {
+                match ev.kind {
+                    FaultKind::PermanentLoss { rank, at_step } => {
+                        assert!(at_step >= 1);
+                        assert!(rank < 8);
+                    }
+                    other => panic!("expected PermanentLoss, got {other:?}"),
+                }
+            }
+        }
     }
 }

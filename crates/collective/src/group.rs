@@ -114,6 +114,78 @@ impl GroupSpec {
     }
 }
 
+impl GroupSpec {
+    /// Deterministically shrinks the spec to one valid for a world of
+    /// `new_world` replicas — the BN-regrouping leg of the elastic
+    /// resize protocol. Rules (pure function of `(self, new_world)`, so
+    /// every surviving rank computes the identical regrouping):
+    ///
+    /// - `Local` stays `Local`.
+    /// - `Contiguous(k)` becomes `Contiguous(k')` where `k'` is the
+    ///   largest divisor of `new_world` not exceeding `k` — the closest
+    ///   BN batch to the tuned one that still tiles the world exactly.
+    /// - `Tiled2d` on an even world shrinks each tile dimension to the
+    ///   largest divisor of the surviving slice's dimension; on an odd
+    ///   world (no torus factorization) it degrades to the equivalent
+    ///   `Contiguous` group size.
+    ///
+    /// At a world where the spec already validates, `regroup` is the
+    /// identity.
+    pub fn regroup(&self, new_world: usize) -> GroupSpec {
+        assert!(new_world >= 1, "cannot regroup an empty world");
+        match *self {
+            GroupSpec::Local => GroupSpec::Local,
+            GroupSpec::Contiguous(k) => {
+                GroupSpec::Contiguous(largest_divisor_at_most(new_world, k))
+            }
+            GroupSpec::Tiled2d { rows, cols } => {
+                if new_world >= CORES_PER_CHIP && new_world.is_multiple_of(CORES_PER_CHIP) {
+                    let slice = SliceShape::for_cores(new_world);
+                    GroupSpec::Tiled2d {
+                        rows: largest_divisor_at_most(slice.rows, rows),
+                        cols: largest_divisor_at_most(slice.cols, cols),
+                    }
+                } else {
+                    GroupSpec::Contiguous(largest_divisor_at_most(
+                        new_world,
+                        rows * cols * CORES_PER_CHIP,
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Largest divisor of `n` that does not exceed `k` (≥ 1).
+fn largest_divisor_at_most(n: usize, k: usize) -> usize {
+    let k = k.min(n).max(1);
+    (1..=k).rev().find(|d| n.is_multiple_of(*d)).unwrap_or(1)
+}
+
+/// Partitions `world` replica ids into BN groups under `spec`, without
+/// requiring a torus geometry — the form the trainer consumes, valid for
+/// the odd worlds an elastic shrink can produce. The spec is first
+/// [`GroupSpec::regroup`]ed to `world`, so the partition is always exact
+/// (every replica in exactly one group). On even worlds where the spec
+/// already validates, the partition matches [`GroupSpec::members`] over
+/// [`SliceShape::for_cores`].
+pub fn bn_partition(spec: GroupSpec, world: usize) -> Vec<Vec<usize>> {
+    assert!(world >= 1, "empty world");
+    match spec.regroup(world) {
+        GroupSpec::Local => (0..world).map(|r| vec![r]).collect(),
+        GroupSpec::Contiguous(k) => (0..world / k)
+            .map(|g| (g * k..(g + 1) * k).collect())
+            .collect(),
+        spec @ GroupSpec::Tiled2d { .. } => {
+            // regroup() only returns Tiled2d for even worlds.
+            let slice = SliceShape::for_cores(world);
+            (0..spec.num_groups(slice))
+                .map(|g| spec.members(g, slice))
+                .collect()
+        }
+    }
+}
+
 /// The BN *batch size* seen by each normalization: per-replica batch times
 /// group size — the quantity the paper tunes (§3.4: "the resulting batch
 /// normalization batch size ... affects model quality").
@@ -188,6 +260,78 @@ mod tests {
     #[should_panic]
     fn invalid_tile_rejected() {
         GroupSpec::Tiled2d { rows: 3, cols: 4 }.validate(SliceShape::for_cores(128));
+    }
+
+    #[test]
+    fn regroup_is_identity_at_valid_worlds() {
+        let slice = SliceShape::for_cores(128);
+        for spec in [
+            GroupSpec::Local,
+            GroupSpec::Contiguous(16),
+            GroupSpec::Tiled2d { rows: 4, cols: 4 },
+        ] {
+            spec.validate(slice);
+            assert_eq!(spec.regroup(128), spec, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn regroup_shrinks_to_valid_specs() {
+        // Losing one of 8 replicas: Contiguous(4) can't tile 7, so the
+        // nearest divisor is 1.
+        assert_eq!(
+            GroupSpec::Contiguous(4).regroup(7),
+            GroupSpec::Contiguous(1)
+        );
+        // Losing two of 8: groups of 2 and 3 both divide 6; 4 doesn't,
+        // so 3 is the closest from below.
+        assert_eq!(
+            GroupSpec::Contiguous(4).regroup(6),
+            GroupSpec::Contiguous(3)
+        );
+        // A tile spec on an odd world degrades to contiguous.
+        let t = GroupSpec::Tiled2d { rows: 2, cols: 2 };
+        match t.regroup(7) {
+            GroupSpec::Contiguous(k) => assert!(k >= 1 && 7 % k == 0),
+            other => panic!("expected Contiguous, got {other:?}"),
+        }
+        // A tile spec on a shrunken even world stays a valid tile.
+        let shrunk = t.regroup(6);
+        shrunk.validate(SliceShape::for_cores(6));
+    }
+
+    #[test]
+    fn bn_partition_is_exact_for_all_worlds() {
+        for spec in [
+            GroupSpec::Local,
+            GroupSpec::Contiguous(4),
+            GroupSpec::Tiled2d { rows: 2, cols: 2 },
+        ] {
+            for world in 1..=16 {
+                let parts = bn_partition(spec, world);
+                let mut seen = vec![0usize; world];
+                for group in &parts {
+                    assert!(!group.is_empty());
+                    for &m in group {
+                        seen[m] += 1;
+                    }
+                }
+                assert!(
+                    seen.iter().all(|&c| c == 1),
+                    "{spec:?} world {world}: partition not exact: {seen:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bn_partition_matches_members_on_valid_even_worlds() {
+        let spec = GroupSpec::Contiguous(16);
+        let slice = SliceShape::for_cores(128);
+        let parts = bn_partition(spec, 128);
+        for (g, part) in parts.iter().enumerate() {
+            assert_eq!(part, &spec.members(g, slice));
+        }
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub use fault::{
     retry_collective, CollectiveError, FaultEvent, FaultKind, FaultPlan, FaultSchedule,
     FaultyCollective, RetryOutcome, RetryPolicy,
 };
-pub use group::{bn_batch_size, GroupSpec};
+pub use group::{bn_batch_size, bn_partition, GroupSpec};
 pub use hierarchical::{create_grid, GridMember};
 pub use ring::{create_ring, RingMember};
 pub use topology::{SliceShape, CORES_PER_CHIP};

@@ -41,6 +41,20 @@ impl SliceShape {
         }
     }
 
+    /// The slice geometry that *survives* a degraded core count: the
+    /// standard shape for the largest positive multiple of
+    /// [`CORES_PER_CHIP`] not exceeding `cores`. After an elastic shrink
+    /// the world can be odd (a chip lost one of its two cores); the
+    /// torus the collectives route over is then the even sub-slice, with
+    /// the orphan core hanging off its chip's links.
+    pub fn surviving(cores: usize) -> SliceShape {
+        assert!(
+            cores >= CORES_PER_CHIP,
+            "fewer than {CORES_PER_CHIP} surviving cores has no torus"
+        );
+        SliceShape::for_cores(cores - cores % CORES_PER_CHIP)
+    }
+
     /// Total chips in the slice.
     pub fn chips(&self) -> usize {
         self.rows * self.cols
@@ -144,6 +158,20 @@ mod tests {
         assert_eq!(s.hop_distance(s.chip_at(0, 0), s.chip_at(0, 7)), 1);
         assert_eq!(s.hop_distance(s.chip_at(0, 0), s.chip_at(4, 4)), 8);
         assert_eq!(s.hop_distance(s.chip_at(2, 2), s.chip_at(2, 2)), 0);
+    }
+
+    #[test]
+    fn surviving_floors_to_even_core_counts() {
+        assert_eq!(SliceShape::surviving(128), SliceShape::for_cores(128));
+        assert_eq!(SliceShape::surviving(127), SliceShape::for_cores(126));
+        assert_eq!(SliceShape::surviving(3), SliceShape::for_cores(2));
+        assert_eq!(SliceShape::surviving(2), SliceShape::for_cores(2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn surviving_rejects_single_core() {
+        SliceShape::surviving(1);
     }
 
     #[test]

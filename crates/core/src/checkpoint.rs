@@ -12,7 +12,7 @@ use ets_nn::Layer;
 use serde::{Deserialize, Serialize};
 
 /// Serialized tensor: shape + exact f32 bit patterns.
-#[derive(Serialize, Deserialize, Clone)]
+#[derive(Serialize, Deserialize, Clone, Debug)]
 pub struct TensorRecord {
     pub name: String,
     pub shape: Vec<usize>,

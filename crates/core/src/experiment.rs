@@ -97,6 +97,22 @@ pub struct Experiment {
     pub label_smoothing: f32,
     /// Weight-EMA decay; `None` disables EMA evaluation.
     pub ema_decay: Option<f32>,
+    /// Divergence guard: when `true`, every optimizer step checks the
+    /// reduced loss and the bucketized gradients for non-finite values;
+    /// a trip rolls the run back to the latest durable checkpoint with
+    /// the LR halved (counted in `RecoveryCounters`) instead of letting
+    /// a NaN poison the weights. Old configs default to `false`.
+    #[serde(default)]
+    pub nan_guard: bool,
+    /// Directory for the durable checkpoint store. `None` (the default)
+    /// lets the trainer pick a private temp directory when durability is
+    /// needed (elastic resize or `nan_guard`) and clean it up afterwards.
+    /// Set it to inspect the surviving checkpoints after a run: the
+    /// trainer *owns* the directory — it is cleared at run start so stale
+    /// files from earlier runs can never shadow this run's state — and
+    /// its contents are left in place at run end.
+    #[serde(default)]
+    pub ckpt_dir: Option<String>,
     // Dataset shape.
     pub train_samples: usize,
     pub eval_samples: usize,
@@ -138,6 +154,8 @@ impl Experiment {
             clip_grad_norm: None,
             label_smoothing: 0.1,
             ema_decay: None,
+            nan_guard: false,
+            ckpt_dir: None,
             train_samples: 512,
             eval_samples: 128,
             num_classes: 8,
@@ -199,8 +217,19 @@ impl Experiment {
                     self.replicas
                 ),
                 ets_collective::FaultKind::TransientCollective { .. } => {}
+                ets_collective::FaultKind::PermanentLoss { rank, .. } => assert!(
+                    rank < self.replicas,
+                    "fault plan permanently loses rank {rank} outside world of {}",
+                    self.replicas
+                ),
             }
         }
+        assert!(
+            self.faults.permanent_losses() < self.replicas,
+            "fault plan loses {} of only {} replicas — at least one must survive",
+            self.faults.permanent_losses(),
+            self.replicas
+        );
     }
 }
 

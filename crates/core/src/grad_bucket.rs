@@ -86,6 +86,15 @@ impl GradBucket {
         &self.profile
     }
 
+    /// True when every element of the most recent reduction's flat buffer
+    /// (summed gradients + loss scalar) is finite — the divergence
+    /// guard's probe. The reduced buffer is bitwise identical on every
+    /// rank, so either all ranks trip or none do; no extra collective is
+    /// needed to agree.
+    pub fn last_reduction_is_finite(&self) -> bool {
+        self.flat.iter().all(|v| v.is_finite())
+    }
+
     /// Sums gradients (and `local_loss`) across the group bucket by
     /// bucket, averages, writes the averaged gradients back into the
     /// model, and returns the mean loss.
@@ -270,6 +279,28 @@ mod tests {
         assert_eq!(prof.bucket_seconds.len(), prof.bucket_elems.len());
         assert!(prof.total_seconds() >= 0.0);
         assert!(prof.mean_bucket_seconds(0) >= 0.0);
+    }
+
+    #[test]
+    fn finiteness_probe_detects_nan_gradients() {
+        let mut world = create_collective(Backend::Tree, 1);
+        let c = world.pop().unwrap();
+        let mut m = tiny_model(5);
+        let mut gb = GradBucket::new(&mut m);
+        fill_grads(&mut m, 0);
+        let _ = gb.all_reduce(&mut m, c.as_ref(), 1.0);
+        assert!(gb.last_reduction_is_finite());
+        // Poison one gradient element; the probe must trip after the next
+        // exchange.
+        let mut first = true;
+        m.visit_params(&mut |p| {
+            if first {
+                p.grad.data_mut()[0] = f32::NAN;
+                first = false;
+            }
+        });
+        let _ = gb.all_reduce(&mut m, c.as_ref(), 1.0);
+        assert!(!gb.last_reduction_is_finite());
     }
 
     #[test]

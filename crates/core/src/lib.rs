@@ -11,6 +11,7 @@
 
 pub mod bn_sync;
 pub mod checkpoint;
+pub mod ckpt_store;
 pub mod experiment;
 pub mod grad_bucket;
 pub mod paper_recipe;
@@ -24,6 +25,10 @@ pub use checkpoint::{
     broadcast as broadcast_checkpoint, restore as restore_checkpoint, save as save_checkpoint,
     Checkpoint,
 };
+pub use ckpt_store::{
+    crc32, CkptError, CkptStore, CorruptionInjector, DurableSnapshot, LoadReport, ManifestEntry,
+    CKPT_STORE_VERSION,
+};
 pub use experiment::{DecayChoice, Experiment, OptimizerChoice};
 pub use grad_bucket::{GradBucket, DEFAULT_BUCKET_ELEMS};
 pub use paper_recipe::{proxy_of, PROXY_LARS_LR, PROXY_LARS_TRUST, PROXY_RMSPROP_LR};
@@ -31,5 +36,5 @@ pub use report::{
     checksum_f32, serde_json_is_functional, EpochRecord, RecoveryCounters, TrainReport,
 };
 pub use sweep::{batch_sweep, run_sweep, SweepCell, SweepResult};
-pub use timeline::{AllReduceProfile, PhaseBreakdown, StepTimeline, Stopwatch};
-pub use trainer::train;
+pub use timeline::{AllReduceProfile, PhaseBreakdown, ResizeRecord, StepTimeline, Stopwatch};
+pub use trainer::{train, DivergenceError};

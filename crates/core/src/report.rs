@@ -36,6 +36,29 @@ pub struct RecoveryCounters {
     pub straggler_virtual_s: f64,
     /// Full-state snapshots taken for preemption recovery.
     pub checkpoints_taken: u64,
+    /// Replicas permanently lost over the run (elastic resize events may
+    /// drop more than one rank at the same step).
+    #[serde(default)]
+    pub lost_replicas: u64,
+    /// World-resize protocols executed (drain → durable checkpoint →
+    /// rebuild collectives/BN groups → re-shard → resume).
+    #[serde(default)]
+    pub resizes: u64,
+    /// Virtual seconds charged by resize protocols (checkpoint persist +
+    /// collective rebuild + restart delay).
+    #[serde(default)]
+    pub resize_virtual_s: f64,
+    /// Durable on-disk checkpoints persisted via the checkpoint store.
+    #[serde(default)]
+    pub durable_checkpoints: u64,
+    /// Corrupt durable checkpoints detected and skipped during loads —
+    /// every one of these is a *loudly rejected* file, never a silent load.
+    #[serde(default)]
+    pub corrupt_checkpoints_skipped: u64,
+    /// Divergence-guard trips: non-finite loss/gradients detected, state
+    /// rolled back to the latest durable checkpoint with the LR halved.
+    #[serde(default)]
+    pub divergence_rollbacks: u64,
 }
 
 impl RecoveryCounters {
@@ -46,7 +69,10 @@ impl RecoveryCounters {
 
     /// Total virtual seconds the faults cost beyond nominal execution.
     pub fn total_fault_virtual_s(&self) -> f64 {
-        self.retry_backoff_virtual_s + self.restart_virtual_s + self.straggler_virtual_s
+        self.retry_backoff_virtual_s
+            + self.restart_virtual_s
+            + self.straggler_virtual_s
+            + self.resize_virtual_s
     }
 }
 
@@ -95,6 +121,11 @@ pub struct TrainReport {
     /// predating the fault layer.
     #[serde(default)]
     pub step_timeline: StepTimeline,
+    /// Number of replicas still alive at the end of the run (equals the
+    /// configured world unless permanent losses shrank it). Zero in
+    /// reports predating the elastic layer.
+    #[serde(default)]
+    pub final_world: usize,
 }
 
 impl TrainReport {
@@ -180,6 +211,7 @@ mod tests {
             all_reduce_buckets: AllReduceProfile::default(),
             fault_recovery: RecoveryCounters::default(),
             step_timeline: StepTimeline::default(),
+            final_world: 1,
         };
         assert_eq!(report.epochs_to_accuracy(0.75), Some(2));
         assert_eq!(report.epochs_to_accuracy(0.95), None);

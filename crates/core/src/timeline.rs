@@ -123,6 +123,22 @@ pub struct StepTimeline {
     pub nominal_step_s: f64,
     /// Virtual seconds charged per global step.
     pub virtual_s: Vec<f64>,
+    /// World-resize events, in step order. Empty for timelines predating
+    /// the elastic layer.
+    #[serde(default)]
+    pub resizes: Vec<ResizeRecord>,
+}
+
+/// One elastic world-resize event on the timeline: the step *before*
+/// which the new world resumed, the world sizes on either side, and the
+/// virtual seconds charged for the protocol (durable checkpoint +
+/// collective/BN rebuild + restart delay).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResizeRecord {
+    pub step: u64,
+    pub world_before: usize,
+    pub world_after: usize,
+    pub virtual_s: f64,
 }
 
 impl StepTimeline {
@@ -131,7 +147,19 @@ impl StepTimeline {
         StepTimeline {
             nominal_step_s,
             virtual_s: Vec::new(),
+            resizes: Vec::new(),
         }
+    }
+
+    /// Appends a resize event; charged time also lands in `virtual_s`
+    /// bookkeeping via the counters, so this is pure event metadata.
+    pub fn record_resize(&mut self, r: ResizeRecord) {
+        self.resizes.push(r);
+    }
+
+    /// Total virtual seconds charged by resize protocols.
+    pub fn resize_virtual_s(&self) -> f64 {
+        self.resizes.iter().map(|r| r.virtual_s).sum()
     }
 
     /// Records `seconds` for global step `step`. Appending is the common
@@ -257,6 +285,26 @@ mod tests {
         assert_eq!(t.len(), 1);
         t.record(1, 2.0);
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn resize_records_accumulate() {
+        let mut t = StepTimeline::new(1.0);
+        t.record_resize(ResizeRecord {
+            step: 5,
+            world_before: 4,
+            world_after: 3,
+            virtual_s: 7.5,
+        });
+        t.record_resize(ResizeRecord {
+            step: 9,
+            world_before: 3,
+            world_after: 2,
+            virtual_s: 6.0,
+        });
+        assert_eq!(t.resizes.len(), 2);
+        assert!((t.resize_virtual_s() - 13.5).abs() < 1e-12);
+        assert_eq!(t.resizes[0].world_after, t.resizes[1].world_before);
     }
 
     #[test]

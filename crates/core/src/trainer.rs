@@ -25,14 +25,30 @@
 //!   (stragglers, degraded links) stretch a deterministic virtual
 //!   [`StepTimeline`] without perturbing a single payload bit. Recovery
 //!   activity is accounted in [`RecoveryCounters`] on the report.
+//! - **Elastic world resizing**: a `FaultKind::PermanentLoss` shrinks the
+//!   world instead of rewinding it. Training proceeds in *phases*, each a
+//!   fixed world size; at a loss step the surviving ranks drain in-flight
+//!   work, persist a durable checkpoint ([`crate::ckpt_store`]), and the
+//!   run rebuilds collectives, BN groups, data shards, and the linearly
+//!   rescaled LR schedule for the smaller world, resuming from the exact
+//!   sample offset the old world reached — every sample is still seen
+//!   exactly once per epoch. Progress is therefore tracked in *samples*
+//!   ([`Progress`]), not steps.
+//! - **Divergence guard** (`Experiment::nan_guard`): each step's reduced
+//!   loss and bucketized gradients are checked for non-finite values; a
+//!   trip rolls every rank back to the latest durable checkpoint with the
+//!   LR halved instead of letting a NaN poison the weights.
 
 use crate::bn_sync::GroupStatSync;
-use crate::checkpoint::Checkpoint;
+use crate::checkpoint::{Checkpoint, CHECKPOINT_VERSION};
+use crate::ckpt_store::{CkptStore, DurableSnapshot};
 use crate::experiment::{DecayChoice, Experiment, OptimizerChoice};
 use crate::grad_bucket::GradBucket;
 use crate::report::{checksum_f32, EpochRecord, RecoveryCounters, TrainReport};
-use crate::timeline::{AllReduceProfile, PhaseBreakdown, StepTimeline, Stopwatch};
-use ets_collective::{create_collective, Collective, FaultSchedule, FaultyCollective, SliceShape};
+use crate::timeline::{AllReduceProfile, PhaseBreakdown, ResizeRecord, StepTimeline, Stopwatch};
+use ets_collective::{
+    bn_partition, create_collective, Collective, FaultSchedule, FaultyCollective,
+};
 use ets_data::{load_batch, AugmentConfig, Dataset, EpochPlan, SynthNet};
 use ets_efficientnet::EfficientNet;
 use ets_nn::{cross_entropy, zero_grads, Ema, EvalCounts, Layer, Mode};
@@ -42,12 +58,47 @@ use ets_optim::{
 };
 use ets_tensor::Rng;
 use std::collections::VecDeque;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// BN running-stat momentum for short proxy runs (TF's 0.99 would leave
 /// eval-time statistics stale after a dozen epochs).
 const PROXY_BN_MOMENTUM: f32 = 0.9;
+
+/// Durable checkpoints retained on disk (older ones are GC'd).
+const DURABLE_RETAIN: usize = 3;
+
+/// Divergence rollbacks tolerated before the run aborts with a
+/// [`DivergenceError`]. Each rollback halves the LR scale, so a run that
+/// is rescuable at *any* positive LR escapes well within this budget;
+/// exceeding it means the non-finite values do not stem from the LR.
+const DIVERGENCE_ROLLBACK_CAP: u64 = 100;
+
+/// Typed failure of the divergence guard: non-finite loss/gradients that
+/// rollback-with-halved-LR could not cure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DivergenceError {
+    /// Step at which the guard last tripped.
+    pub step: u64,
+    /// Rollbacks performed before giving up.
+    pub rollbacks: u64,
+}
+
+impl fmt::Display for DivergenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "divergence guard: non-finite loss/gradients at step {} persisted after {} \
+             rollback(s) with halved LR",
+            self.step, self.rollbacks
+        )
+    }
+}
+
+impl std::error::Error for DivergenceError {}
 
 fn build_optimizer(choice: OptimizerChoice) -> Box<dyn Optimizer> {
     match choice {
@@ -163,39 +214,173 @@ impl WorldComm {
     }
 }
 
+/// Sample-granular training progress. Steps are not a stable clock once
+/// the world can resize (a smaller world takes more, smaller steps per
+/// epoch), so epochs and LR schedules key off *samples consumed*:
+/// `consumed_samples / global_batch` is the effective schedule step, and
+/// `sample_off` addresses the epoch permutation directly so a resized
+/// world resumes mid-epoch without skipping or repeating a sample.
+#[derive(Clone, Copy, Debug)]
+struct Progress {
+    /// Global optimizer step counter (monotonic across resizes).
+    step: u64,
+    /// 1-based epoch in progress.
+    epoch: u64,
+    /// Samples consumed within the current epoch (offset into the epoch
+    /// permutation).
+    sample_off: u64,
+    /// Optimizer steps taken within the current epoch.
+    steps_this_epoch: u64,
+    /// Samples consumed since step 0.
+    consumed_samples: u64,
+    /// Divergence-guard LR multiplier (1.0 until a rollback halves it).
+    lr_scale: f32,
+    /// Running loss sum for the current epoch.
+    loss_sum: f64,
+    /// Last applied learning rate.
+    last_lr: f32,
+}
+
+impl Progress {
+    fn fresh() -> Self {
+        Progress {
+            step: 0,
+            epoch: 1,
+            sample_off: 0,
+            steps_this_epoch: 0,
+            consumed_samples: 0,
+            lr_scale: 1.0,
+            loss_sum: 0.0,
+            last_lr: 0.0,
+        }
+    }
+}
+
+/// Captures the full durable state of a replica (identical on every rank)
+/// into the on-disk snapshot format.
+fn capture_durable(
+    model: &mut EfficientNet,
+    optimizer: &dyn Optimizer,
+    ema: &Option<Ema>,
+    prog: &Progress,
+    world: usize,
+    history: &[EpochRecord],
+) -> DurableSnapshot {
+    let ckpt = crate::checkpoint::save(model, prog.step);
+    DurableSnapshot {
+        step: prog.step,
+        epoch: prog.epoch,
+        sample_off: prog.sample_off,
+        steps_this_epoch: prog.steps_this_epoch,
+        consumed_samples: prog.consumed_samples,
+        world: world as u64,
+        lr_scale_bits: prog.lr_scale.to_bits(),
+        loss_sum_bits: prog.loss_sum.to_bits(),
+        last_lr_bits: prog.last_lr.to_bits(),
+        params: ckpt.params,
+        bn_running: ckpt.bn_running,
+        opt_state: optimizer.export_state(),
+        ema: ema.as_ref().map(|e| e.export_state()),
+        history: history.to_vec(),
+    }
+}
+
+/// Restores a durable snapshot into a structurally-identical replica,
+/// returning the captured progress and epoch history.
+fn apply_durable(
+    snap: &DurableSnapshot,
+    model: &mut EfficientNet,
+    optimizer: &mut dyn Optimizer,
+    ema: &mut Option<Ema>,
+) -> (Progress, Vec<EpochRecord>) {
+    let ckpt = Checkpoint {
+        version: CHECKPOINT_VERSION,
+        step: snap.step,
+        params: snap.params.clone(),
+        bn_running: snap.bn_running.clone(),
+    };
+    crate::checkpoint::restore(model, &ckpt);
+    optimizer.import_state(&snap.opt_state, model);
+    match (ema.as_mut(), snap.ema.as_ref()) {
+        (Some(e), Some(state)) => e.import_state(state),
+        (None, None) => {}
+        _ => panic!("EMA configuration changed between checkpoint and restore"),
+    }
+    (
+        Progress {
+            step: snap.step,
+            epoch: snap.epoch,
+            sample_off: snap.sample_off,
+            steps_this_epoch: snap.steps_this_epoch,
+            consumed_samples: snap.consumed_samples,
+            lr_scale: snap.lr_scale(),
+            loss_sum: snap.loss_sum(),
+            last_lr: snap.last_lr(),
+        },
+        snap.history.clone(),
+    )
+}
+
 /// Everything a replica needs to rewind to a checkpointed step bit-exactly:
 /// model weights + BN running stats (via the checkpoint layer), optimizer
 /// slots, EMA shadow weights, both RNG streams, and the in-flight epoch
 /// accounting. Restoring this and replaying reproduces the uninterrupted
 /// trajectory byte for byte.
 struct ReplicaSnapshot {
-    step: u64,
+    prog: Progress,
     ckpt: Checkpoint,
     opt_state: OptimizerState,
     ema: Option<Ema>,
     data_rng: Rng,
     layer_rng: Rng,
     history: Vec<EpochRecord>,
-    loss_sum: f64,
-    last_lr: f32,
 }
 
-/// Per-replica worker result.
-struct ReplicaResult {
+/// Per-replica, per-phase worker result.
+struct PhaseOutcome {
     checksum: u64,
-    history: Option<Vec<EpochRecord>>,
+    history: Vec<EpochRecord>,
     phases: PhaseBreakdown,
     buckets: AllReduceProfile,
     counters: RecoveryCounters,
     timeline: StepTimeline,
+    /// Global step at which the phase stopped (identical on all ranks).
+    step: u64,
+    /// True when training completed; false when the phase drained for a
+    /// world resize.
+    done: bool,
+}
+
+/// Merges a phase's bucket profile into the run accumulator. The bucket
+/// layout is a function of model structure alone, so it is invariant
+/// across resizes.
+fn merge_profiles(into: &mut AllReduceProfile, from: &AllReduceProfile) {
+    if into.bucket_elems.is_empty() {
+        *into = from.clone();
+        return;
+    }
+    assert_eq!(
+        into.bucket_elems, from.bucket_elems,
+        "bucket layout changed across phases"
+    );
+    for (a, b) in into.bucket_seconds.iter_mut().zip(&from.bucket_seconds) {
+        *a += b;
+    }
+    into.rounds += from.rounds;
 }
 
 /// Runs the experiment; returns replica 0's report after asserting all
 /// replicas converged to bitwise-identical weights.
+///
+/// With permanent losses in the fault plan, the run executes as a
+/// sequence of fixed-world *phases* separated by the resize protocol:
+/// drain → durable checkpoint → rebuild collectives/BN groups/shards/LR
+/// for the surviving world → resume from the exact sample offset. Runs
+/// without losses execute as a single phase, bitwise identical to the
+/// pre-elastic trainer.
 pub fn train(exp: &Experiment) -> TrainReport {
     exp.validate();
     let start = Instant::now();
-    let replicas = exp.replicas;
     let (train_set, eval_set) = SynthNet::train_eval_pair(
         exp.seed,
         exp.num_classes,
@@ -207,84 +392,186 @@ pub fn train(exp: &Experiment) -> TrainReport {
     let train_set = Arc::new(train_set);
     let eval_set = Arc::new(eval_set);
 
-    // Compile the experiment's fault plan against the run's step grid.
-    // An empty plan compiles to an empty schedule and the collectives stay
-    // unwrapped, so fault-free runs pay nothing.
-    let total_steps = exp.epochs * exp.steps_per_epoch() as u64;
-    let faults = Arc::new(exp.faults.compile(total_steps));
+    // Compile the experiment's fault plan against the *nominal* step grid
+    // (initial world). The global step counter keeps counting through
+    // resizes, so step-keyed events stay well-defined; a resized run may
+    // execute more steps than the nominal grid, and the schedule treats
+    // those as healthy. An empty plan compiles to an empty schedule and
+    // the collectives stay unwrapped, so fault-free runs pay nothing.
+    let nominal_total_steps = exp.epochs * exp.steps_per_epoch() as u64;
+    let faults = Arc::new(exp.faults.compile(nominal_total_steps));
 
-    // World collective for gradients/eval/init, per-group collectives for
-    // BN — all on the experiment's chosen backend.
+    // Resize boundaries: permanent losses grouped by step → (step, ranks
+    // lost at that step).
+    let mut boundaries: VecDeque<(u64, usize)> = VecDeque::new();
+    for &(s, _rank) in faults.loss_events() {
+        match boundaries.back_mut() {
+            Some((bs, k)) if *bs == s => *k += 1,
+            _ => boundaries.push_back((s, 1)),
+        }
+    }
+
+    // Durable checkpoint store, opened only when the run can actually
+    // lose replicas or trip the divergence guard. The trainer owns the
+    // directory: it is cleared at run start so stale files from earlier
+    // runs can never shadow this run's state.
+    static NEXT_STORE_ID: AtomicU64 = AtomicU64::new(0);
+    let needs_store = faults.has_losses() || exp.nan_guard;
+    let mut auto_dir: Option<PathBuf> = None;
+    let store: Option<Arc<CkptStore>> = if needs_store {
+        let dir = match &exp.ckpt_dir {
+            Some(d) => PathBuf::from(d),
+            None => {
+                let d = std::env::temp_dir().join(format!(
+                    "ets-ckpt-{}-{}",
+                    std::process::id(),
+                    NEXT_STORE_ID.fetch_add(1, Ordering::Relaxed)
+                ));
+                auto_dir = Some(d.clone());
+                d
+            }
+        };
+        let _ = std::fs::remove_dir_all(&dir);
+        Some(Arc::new(
+            CkptStore::open(&dir, DURABLE_RETAIN).expect("open durable checkpoint store"),
+        ))
+    } else {
+        None
+    };
+
     let backend = exp.collective_backend;
-    let world = create_collective(backend, replicas);
-    let mut bn_comms: Vec<Option<Box<dyn Collective>>> = (0..replicas).map(|_| None).collect();
-    if replicas > 1 && !matches!(exp.bn_group, ets_collective::GroupSpec::Local) {
-        // Non-local grouping needs the torus geometry (even replica count).
-        let slice = SliceShape::for_cores(replicas);
-        exp.bn_group.validate(slice);
-        for g in 0..exp.bn_group.num_groups(slice) {
-            let members = exp.bn_group.members(g, slice);
-            let comms = create_collective(backend, members.len());
-            for (c, &m) in comms.into_iter().zip(&members) {
-                bn_comms[m] = Some(c);
+    let mut world = exp.replicas;
+    let mut phase_idx = 0u64;
+    let mut carry_counters = RecoveryCounters::default();
+    let mut carry_timeline = StepTimeline::new(faults.step_seconds());
+    let mut carry_phases = PhaseBreakdown::default();
+    let mut carry_buckets = AllReduceProfile::default();
+    let history;
+    let checksum0;
+    let final_step;
+
+    loop {
+        let stop_at = boundaries.front().map(|&(s, _)| s);
+        let mut view = exp.clone();
+        view.replicas = world;
+
+        // World collective for gradients/eval/init, per-group collectives
+        // for BN — all on the experiment's chosen backend, rebuilt for
+        // the current world. `bn_partition` regroups the experiment's BN
+        // spec onto the surviving world (2-D tiles degrade to contiguous
+        // groups when the torus geometry no longer exists).
+        let world_comms = create_collective(backend, world);
+        let mut bn_comms: Vec<Option<Box<dyn Collective>>> = (0..world).map(|_| None).collect();
+        if world > 1 && !matches!(exp.bn_group, ets_collective::GroupSpec::Local) {
+            for members in bn_partition(exp.bn_group, world) {
+                let comms = create_collective(backend, members.len());
+                for (c, &m) in comms.into_iter().zip(&members) {
+                    bn_comms[m] = Some(c);
+                }
             }
         }
-    }
 
-    let results: Vec<ReplicaResult> = std::thread::scope(|scope| {
-        let joins: Vec<_> = world
-            .into_iter()
-            .zip(bn_comms)
-            .enumerate()
-            .map(|(r, (world_comm, bn_comm))| {
-                let train_set = Arc::clone(&train_set);
-                let eval_set = Arc::clone(&eval_set);
-                let exp = exp.clone();
-                let faults = Arc::clone(&faults);
-                let comm = if faults.is_empty() {
-                    WorldComm::Plain(world_comm)
-                } else {
-                    WorldComm::Faulty(FaultyCollective::new(world_comm, Arc::clone(&faults)))
-                };
-                scope.spawn(move || {
-                    run_replica(&exp, r, comm, bn_comm, &faults, &train_set, &eval_set)
+        let resume = phase_idx > 0;
+        let results: Vec<PhaseOutcome> = std::thread::scope(|scope| {
+            let joins: Vec<_> = world_comms
+                .into_iter()
+                .zip(bn_comms)
+                .enumerate()
+                .map(|(r, (world_comm, bn_comm))| {
+                    let train_set = Arc::clone(&train_set);
+                    let eval_set = Arc::clone(&eval_set);
+                    let view = view.clone();
+                    let faults = Arc::clone(&faults);
+                    let store = store.clone();
+                    let counters0 = carry_counters;
+                    let timeline0 = carry_timeline.clone();
+                    let comm = if faults.is_empty() {
+                        WorldComm::Plain(world_comm)
+                    } else {
+                        WorldComm::Faulty(FaultyCollective::new(world_comm, Arc::clone(&faults)))
+                    };
+                    scope.spawn(move || {
+                        run_replica_phase(
+                            &view,
+                            r,
+                            comm,
+                            bn_comm,
+                            &faults,
+                            &train_set,
+                            &eval_set,
+                            phase_idx,
+                            stop_at,
+                            store.as_deref(),
+                            resume,
+                            counters0,
+                            timeline0,
+                        )
+                    })
                 })
-            })
-            .collect();
-        joins
-            .into_iter()
-            .map(|j| j.join().expect("replica panicked"))
-            .collect()
-    });
+                .collect();
+            joins
+                .into_iter()
+                .map(|j| j.join().expect("replica panicked"))
+                .collect()
+        });
 
-    let checksum0 = results[0].checksum;
-    for (r, res) in results.iter().enumerate() {
-        assert_eq!(
-            res.checksum, checksum0,
-            "replica {r} diverged from replica 0 — synchronization bug"
-        );
-        // Fault handling is SPMD: every rank must have observed the same
-        // injections, retries, and preemptions, or the run only survived
-        // by luck.
-        assert_eq!(
-            res.counters, results[0].counters,
-            "replica {r} recovery counters diverged — asymmetric fault handling"
-        );
-    }
-    let phases = results[0].phases;
-    let mut buckets = AllReduceProfile::default();
-    let mut history = None;
-    let mut fault_recovery = RecoveryCounters::default();
-    let mut step_timeline = StepTimeline::default();
-    for r in results {
-        if r.history.is_some() {
-            buckets = r.buckets;
-            history = r.history;
-            fault_recovery = r.counters;
-            step_timeline = r.timeline;
+        for (r, res) in results.iter().enumerate() {
+            assert_eq!(
+                res.checksum, results[0].checksum,
+                "replica {r} diverged from replica 0 — synchronization bug"
+            );
+            // Fault handling is SPMD: every rank must have observed the
+            // same injections, retries, preemptions, durable checkpoints,
+            // and rollbacks, or the run only survived by luck.
+            assert_eq!(
+                res.counters, results[0].counters,
+                "replica {r} recovery counters diverged — asymmetric fault handling"
+            );
+            assert_eq!(
+                res.step, results[0].step,
+                "replica {r} stopped at a different step — drain bug"
+            );
         }
+
+        carry_counters = results[0].counters;
+        carry_phases.merge(&results[0].phases);
+        merge_profiles(&mut carry_buckets, &results[0].buckets);
+        let res0 = results.into_iter().next().expect("at least one replica");
+        carry_timeline = res0.timeline;
+
+        if res0.done {
+            history = res0.history;
+            checksum0 = res0.checksum;
+            final_step = res0.step;
+            break;
+        }
+
+        // Resize protocol accounting: the phase drained and persisted a
+        // durable checkpoint; shrink the world (keeping at least one
+        // survivor) and charge the virtual cost of checkpoint + rebuild +
+        // restart before the next phase resumes.
+        let (bstep, k) = boundaries.pop_front().expect("drained without a boundary");
+        debug_assert_eq!(bstep, res0.step, "phase stopped at the wrong boundary");
+        let lost = k.min(world - 1);
+        let new_world = world - lost;
+        let resize_s =
+            faults.resize_checkpoint_s() + faults.resize_rebuild_s() + faults.restart_delay_s();
+        carry_counters.lost_replicas += lost as u64;
+        carry_counters.resizes += 1;
+        carry_counters.resize_virtual_s += resize_s;
+        carry_timeline.record_resize(ResizeRecord {
+            step: bstep,
+            world_before: world,
+            world_after: new_world,
+            virtual_s: resize_s,
+        });
+        world = new_world;
+        phase_idx += 1;
     }
-    let history = history.expect("replica 0 reports history");
+
+    if let Some(d) = auto_dir {
+        let _ = std::fs::remove_dir_all(&d);
+    }
 
     let (peak_top1, peak_epoch) = history
         .iter()
@@ -295,41 +582,50 @@ pub fn train(exp: &Experiment) -> TrainReport {
         );
 
     TrainReport {
-        steps: exp.epochs * exp.steps_per_epoch() as u64,
+        steps: final_step,
         peak_top1,
         peak_epoch,
         history,
         wall_seconds: start.elapsed().as_secs_f64(),
         weight_checksum: checksum0,
-        phases,
-        all_reduce_buckets: buckets,
-        fault_recovery,
-        step_timeline,
+        phases: carry_phases,
+        all_reduce_buckets: carry_buckets,
+        fault_recovery: carry_counters,
+        step_timeline: carry_timeline,
+        final_world: world,
     }
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_replica(
-    exp: &Experiment,
+fn run_replica_phase(
+    view: &Experiment,
     replica: usize,
     world: WorldComm,
     bn_comm: Option<Box<dyn Collective>>,
     faults: &FaultSchedule,
     train_set: &SynthNet,
     eval_set: &SynthNet,
-) -> ReplicaResult {
+    phase_idx: u64,
+    stop_at: Option<u64>,
+    store: Option<&CkptStore>,
+    resume: bool,
+    counters0: RecoveryCounters,
+    timeline0: StepTimeline,
+) -> PhaseOutcome {
     // Two init-sync modes: shared seed stream (default), or independent
     // init + a broadcast of replica 0's state (the multi-host pattern),
     // routed through the checkpoint layer so params *and* BN running
-    // statistics synchronize bit-exactly.
-    let init_stream = if exp.broadcast_init {
+    // statistics synchronize bit-exactly. Resumed phases overwrite the
+    // init with the durable checkpoint below, so the broadcast is only
+    // needed in phase 0.
+    let init_stream = if view.broadcast_init {
         100 + replica as u64
     } else {
         1
     };
-    let mut init_rng = Rng::new(exp.seed).split(init_stream);
-    let mut model = EfficientNet::new(exp.model.clone(), exp.precision, &mut init_rng);
-    if exp.broadcast_init && exp.replicas > 1 {
+    let mut init_rng = Rng::new(view.seed).split(init_stream);
+    let mut model = EfficientNet::new(view.model.clone(), view.precision, &mut init_rng);
+    if phase_idx == 0 && view.broadcast_init && view.replicas > 1 {
         crate::checkpoint::broadcast(&mut model, world.as_dyn(), 0);
     }
     model.visit_bns(&mut |bn| bn.set_momentum(PROXY_BN_MOMENTUM));
@@ -337,59 +633,116 @@ fn run_replica(
         model.set_bn_sync(Arc::new(GroupStatSync::new(c)));
     }
     let mut grad_bucket = GradBucket::new(&mut model);
-    let mut optimizer = build_optimizer(exp.optimizer);
-    let schedule = build_schedule(exp);
-    let mut ema = exp.ema_decay.map(|d| Ema::new(&mut model, d));
+    let mut optimizer = build_optimizer(view.optimizer);
+    // Schedule in the *current world's* step units: `view.replicas` is the
+    // surviving world, so the peak LR linear-rescales with the shrunken
+    // global batch and warmup/decay spans keep their sample extent.
+    let schedule = build_schedule(view);
+    let mut ema = view.ema_decay.map(|d| Ema::new(&mut model, d));
 
     // Replica-local stochasticity (augmentation, dropout, drop-path).
-    let mut data_rng = Rng::new(exp.seed).split(1000 + replica as u64);
-    let mut layer_rng = Rng::new(exp.seed).split(2000 + replica as u64);
+    // Phase 0 uses the historical streams (bitwise compatibility with the
+    // pre-elastic trainer); later phases jump to disjoint stream blocks
+    // so a resumed world never replays consumed randomness.
+    let stream_base = phase_idx * 10_000;
+    let mut data_rng = Rng::new(view.seed).split(1000 + stream_base + replica as u64);
+    let mut layer_rng = Rng::new(view.seed).split(2000 + stream_base + replica as u64);
 
-    let spe = exp.steps_per_epoch() as u64;
-    let total_steps = exp.epochs * spe;
-    let accum = exp.grad_accum_steps;
-    let mut history = Vec::new();
+    let mut counters = counters0;
+    let mut timeline = timeline0;
+    let mut prog = Progress::fresh();
+    let mut history: Vec<EpochRecord> = Vec::new();
+    if resume {
+        let store = store.expect("elastic resume requires the durable store");
+        let (snap, load_report) = store
+            .load_latest_valid()
+            .expect("durable checkpoint store I/O failed")
+            .expect("no valid durable checkpoint to resume the resized world from");
+        // Symmetric: every rank scans the same directory and skips the
+        // same corrupt files, so the counter stays rank-identical.
+        counters.corrupt_checkpoints_skipped += load_report.corrupt_skipped;
+        let (p, h) = apply_durable(&snap, &mut model, optimizer.as_mut(), &mut ema);
+        prog = p;
+        history = h;
+    }
+    let phase_start = prog.step;
+
+    let train_len = train_set.len() as u64;
+    let gb = view.global_batch() as u64;
+    let b = view.per_replica_batch;
+    let accum = view.grad_accum_steps;
+    let micro_span = view.replicas * b;
+
     let mut phases = PhaseBreakdown::default();
-
-    // Fault-recovery state. The step loop below is flattened (one global
-    // step counter instead of nested epoch/step loops) so a preemption can
-    // rewind across an epoch boundary by simply resetting `step`.
     let retry_policy = faults.retry();
-    let mut counters = RecoveryCounters::default();
-    let mut timeline = StepTimeline::new(faults.step_seconds());
-    let mut pending_preempts: VecDeque<u64> = faults.preempt_steps().iter().copied().collect();
+    // Preemptions belonging to this phase: at or after its first step,
+    // strictly before the resize boundary (a preemption at the boundary
+    // step fires in the next phase's world).
+    let mut pending_preempts: VecDeque<u64> = faults
+        .preempt_steps()
+        .iter()
+        .copied()
+        .filter(|&s| s >= phase_start && stop_at.is_none_or(|t| s < t))
+        .collect();
     let mut snapshot: Option<ReplicaSnapshot> = None;
+    let mut force_snapshot = false;
 
-    let mut plan = EpochPlan::new(exp.seed, 1, train_set.len());
-    let mut plan_epoch = 1u64;
-    let mut loss_sum = 0.0f64;
-    let mut last_lr = 0.0f32;
-    let mut step = 0u64;
+    let mut plan = EpochPlan::new(view.seed, prog.epoch, train_set.len());
+    let mut plan_epoch = prog.epoch;
 
-    while step < total_steps {
-        let epoch = step / spe + 1;
-        if epoch != plan_epoch {
-            plan = EpochPlan::new(exp.seed, epoch, train_set.len());
-            plan_epoch = epoch;
+    let done = loop {
+        if prog.epoch > view.epochs {
+            break true;
         }
-        if step.is_multiple_of(spe) {
-            loss_sum = 0.0;
+        if stop_at == Some(prog.step) {
+            break false;
+        }
+        if prog.epoch != plan_epoch {
+            plan = EpochPlan::new(view.seed, prog.epoch, train_set.len());
+            plan_epoch = prog.epoch;
         }
 
-        // Periodic snapshot (only when the plan can actually preempt us).
-        // Taken *before* the preemption check: a checkpoint written at
-        // step `s` survives a job death at step `s`.
-        if faults.has_preempts() && step.is_multiple_of(faults.checkpoint_every()) {
+        // Durable checkpoint cadence for the divergence guard: rank 0
+        // persists *before* this step's collective, so the write
+        // happens-before any rank's post-collective guard trip — every
+        // rank that rolls back sees the completed, renamed file. The
+        // counter increments on all ranks (it counts logical checkpoints,
+        // which are symmetric).
+        if let Some(store) = store.filter(|_| {
+            view.nan_guard
+                && (prog.step == phase_start || prog.step.is_multiple_of(faults.checkpoint_every()))
+        }) {
+            if replica == 0 {
+                let snap = capture_durable(
+                    &mut model,
+                    optimizer.as_ref(),
+                    &ema,
+                    &prog,
+                    view.replicas,
+                    &history,
+                );
+                store.save(&snap).expect("durable checkpoint save failed");
+            }
+            counters.durable_checkpoints += 1;
+        }
+
+        // Periodic in-memory snapshot (only when the plan can actually
+        // preempt us). Taken *before* the preemption check: a checkpoint
+        // written at step `s` survives a job death at step `s`.
+        if faults.has_preempts()
+            && (force_snapshot
+                || prog.step == phase_start
+                || prog.step.is_multiple_of(faults.checkpoint_every()))
+        {
+            force_snapshot = false;
             snapshot = Some(ReplicaSnapshot {
-                step,
-                ckpt: crate::checkpoint::save(&mut model, step),
+                prog,
+                ckpt: crate::checkpoint::save(&mut model, prog.step),
                 opt_state: optimizer.export_state(),
                 ema: ema.clone(),
                 data_rng: data_rng.clone(),
                 layer_rng: layer_rng.clone(),
                 history: history.clone(),
-                loss_sum,
-                last_lr,
             });
             counters.checkpoints_taken += 1;
         }
@@ -399,7 +752,7 @@ fn run_replica(
         // replays. Each planned preemption fires exactly once — replay
         // does not re-trigger it — and the schedule is identical on every
         // rank, so the whole world rewinds in lockstep.
-        if pending_preempts.front() == Some(&step) {
+        if pending_preempts.front() == Some(&prog.step) {
             pending_preempts.pop_front();
             let snap = snapshot
                 .as_ref()
@@ -410,13 +763,11 @@ fn run_replica(
             data_rng = snap.data_rng.clone();
             layer_rng = snap.layer_rng.clone();
             history.clone_from(&snap.history);
-            loss_sum = snap.loss_sum;
-            last_lr = snap.last_lr;
             counters.preemptions += 1;
-            counters.replayed_steps += step - snap.step;
+            counters.replayed_steps += prog.step - snap.prog.step;
             counters.restart_virtual_s += faults.restart_delay_s();
-            timeline.truncate(snap.step);
-            step = snap.step;
+            timeline.truncate(snap.prog.step);
+            prog = snap.prog;
             continue;
         }
 
@@ -424,17 +775,13 @@ fn run_replica(
         zero_grads(&mut model);
         let mut micro_loss = 0.0f32;
         for micro in 0..accum {
-            let indices = plan.replica_batch(
-                (step % spe) as usize * accum + micro,
-                replica,
-                exp.replicas,
-                exp.per_replica_batch,
-            );
+            let offset = prog.sample_off as usize + micro * micro_span;
+            let indices = plan.batch_at(offset, replica, view.replicas, b);
             let (x, labels) =
                 load_batch(train_set, &indices, AugmentConfig::train(), &mut data_rng);
             phases.data += sw.lap();
             let logits = model.forward(&x, Mode::Train, &mut layer_rng);
-            let out = cross_entropy(&logits, &labels, exp.label_smoothing);
+            let out = cross_entropy(&logits, &labels, view.label_smoothing);
             phases.forward += sw.lap();
             model.backward(&out.dlogits);
             phases.backward += sw.lap();
@@ -449,7 +796,7 @@ fn run_replica(
         // Key planned transient injections to this step, then exchange
         // gradients with bounded retry (backoff is virtual: accounted,
         // never slept).
-        world.set_step(step);
+        world.set_step(prog.step);
         let backoff_before = counters.retry_backoff_virtual_s;
         let mean_loss = grad_bucket
             .all_reduce_with_retry(
@@ -459,69 +806,152 @@ fn run_replica(
                 &retry_policy,
                 &mut counters,
             )
-            .unwrap_or_else(|e| panic!("step {step}: gradient exchange failed permanently: {e}"));
+            .unwrap_or_else(|e| {
+                panic!(
+                    "step {}: gradient exchange failed permanently: {e}",
+                    prog.step
+                )
+            });
         phases.all_reduce += sw.lap();
-        if let Some(max_norm) = exp.clip_grad_norm {
+
+        // Divergence guard: the reduced loss and flat gradient buffer are
+        // bitwise identical on every rank, so either all ranks trip here
+        // or none do — the rollback is SPMD-symmetric by construction.
+        // Tripping *before* the optimizer step keeps non-finite values
+        // out of the weights entirely.
+        if view.nan_guard && !(mean_loss.is_finite() && grad_bucket.last_reduction_is_finite()) {
+            let store = store.expect("nan_guard requires the durable store");
+            counters.divergence_rollbacks += 1;
+            let err = DivergenceError {
+                step: prog.step,
+                rollbacks: counters.divergence_rollbacks,
+            };
+            if counters.divergence_rollbacks > DIVERGENCE_ROLLBACK_CAP {
+                panic!("{err}");
+            }
+            // Roll back *strictly before* the failing step: the weights
+            // were poisoned by the previous update, so a checkpoint taken
+            // at the top of this very step captured them — replaying it at
+            // any LR reproduces the same non-finite forward. Only rewinding
+            // past it and replaying the gap at halved LR changes the
+            // trajectory.
+            let (snap, load_report) = store
+                .load_latest_valid_before(prog.step)
+                .expect("durable checkpoint store I/O failed")
+                .unwrap_or_else(|| panic!("{err}: no valid durable checkpoint to roll back to"));
+            counters.corrupt_checkpoints_skipped += load_report.corrupt_skipped;
+            counters.replayed_steps += prog.step - snap.step;
+            let halved = prog.lr_scale * 0.5;
+            let (p, h) = apply_durable(&snap, &mut model, optimizer.as_mut(), &mut ema);
+            prog = p;
+            history = h;
+            prog.lr_scale = halved;
+            timeline.truncate(prog.step);
+            // Any in-memory snapshot taken after the rollback target now
+            // holds pre-rollback state; drop it and re-anchor.
+            snapshot = None;
+            force_snapshot = faults.has_preempts();
+            continue;
+        }
+
+        if let Some(max_norm) = view.clip_grad_norm {
             ets_optim::clip_global_norm(&mut model, max_norm);
         }
-        let lr = schedule.lr(step);
+        // Effective schedule step in the current world's units; ×1.0 is a
+        // bitwise no-op, so unguarded runs stay on the legacy trajectory.
+        let eff_step = prog.consumed_samples / gb;
+        let lr = schedule.lr(eff_step) * prog.lr_scale;
         optimizer.step(&mut model, lr);
         if let Some(e) = &mut ema {
             e.update(&mut model);
         }
         phases.optimizer += sw.lap();
         phases.steps += 1;
-        loss_sum += mean_loss as f64;
-        last_lr = lr;
+        prog.loss_sum += mean_loss as f64;
+        prog.last_lr = lr;
 
         // Virtual step time: the nominal step stretched by the worst
         // timing fault active at this step (SPMD steps gate on the slowest
         // participant) plus any retry backoff spent in the exchange.
         let nominal = faults.step_seconds();
-        let slowdown = faults.slowdown_at(step);
+        let slowdown = faults.slowdown_at(prog.step);
         counters.straggler_virtual_s += (slowdown - 1.0) * nominal;
         let step_backoff = counters.retry_backoff_virtual_s - backoff_before;
-        timeline.record(step, nominal * slowdown + step_backoff);
+        timeline.record(prog.step, nominal * slowdown + step_backoff);
 
-        // Epoch boundary: evaluate and record.
-        if (step + 1).is_multiple_of(spe) {
-            let (eval_top1, eval_top5) = if epoch.is_multiple_of(exp.eval_every) || epoch == exp.epochs {
-                let saved = ema.as_ref().map(|e| e.swap_in(&mut model));
-                let counts = distributed_eval(
-                    &mut model,
-                    eval_set,
-                    replica,
-                    exp.replicas,
-                    exp.per_replica_batch,
-                    world.as_dyn(),
-                );
-                if let (Some(e), Some(s)) = (ema.as_ref(), saved) {
-                    e.restore(&mut model, s);
-                }
-                (Some(counts.top1()), Some(counts.top5()))
-            } else {
-                (None, None)
-            };
+        // Advance the sample clock.
+        prog.step += 1;
+        prog.steps_this_epoch += 1;
+        prog.consumed_samples += gb;
+        prog.sample_off += gb;
+
+        // Epoch boundary (drop-remainder: a tail shorter than one global
+        // batch is skipped): evaluate and record.
+        if prog.sample_off + gb > train_len {
+            let epoch = prog.epoch;
+            let (eval_top1, eval_top5) =
+                if epoch.is_multiple_of(view.eval_every) || epoch == view.epochs {
+                    let saved = ema.as_ref().map(|e| e.swap_in(&mut model));
+                    let counts = distributed_eval(
+                        &mut model,
+                        eval_set,
+                        replica,
+                        view.replicas,
+                        view.per_replica_batch,
+                        world.as_dyn(),
+                    );
+                    if let (Some(e), Some(s)) = (ema.as_ref(), saved) {
+                        e.restore(&mut model, s);
+                    }
+                    (Some(counts.top1()), Some(counts.top5()))
+                } else {
+                    (None, None)
+                };
             history.push(EpochRecord {
                 epoch,
-                train_loss: (loss_sum / spe as f64) as f32,
-                lr: last_lr,
+                train_loss: (prog.loss_sum / prog.steps_this_epoch as f64) as f32,
+                lr: prog.last_lr,
                 eval_top1,
                 eval_top5,
             });
+            prog.epoch += 1;
+            prog.sample_off = 0;
+            prog.steps_this_epoch = 0;
+            prog.loss_sum = 0.0;
         }
-        step += 1;
+    };
+
+    // Drain for a resize: the last collective has completed (the step
+    // loop never leaves a bucket in flight), so rank 0 persists the
+    // durable checkpoint every survivor will resume from. The thread
+    // join in `train` orders this write before the next phase's loads.
+    if !done {
+        let store = store.expect("resize boundaries require the durable store");
+        if replica == 0 {
+            let snap = capture_durable(
+                &mut model,
+                optimizer.as_ref(),
+                &ema,
+                &prog,
+                view.replicas,
+                &history,
+            );
+            store.save(&snap).expect("durable drain checkpoint failed");
+        }
+        counters.durable_checkpoints += 1;
     }
 
     let mut weights: Vec<f32> = Vec::new();
     model.visit_params(&mut |p| weights.extend_from_slice(p.value.data()));
-    ReplicaResult {
+    PhaseOutcome {
         checksum: checksum_f32(weights.into_iter()),
-        history: (replica == 0).then_some(history),
+        history,
         phases,
         buckets: grad_bucket.profile().clone(),
         counters,
         timeline,
+        step: prog.step,
+        done,
     }
 }
 
@@ -545,6 +975,7 @@ mod tests {
         assert_eq!(report.history.len(), 3);
         assert!(report.peak_top1 > 0.0, "should beat zero accuracy");
         assert!(report.history[0].train_loss.is_finite());
+        assert_eq!(report.final_world, 1);
     }
 
     #[test]
@@ -610,6 +1041,17 @@ mod tests {
             ra.history[0].train_loss,
             rb.history[0].train_loss
         );
+    }
+
+    #[test]
+    fn divergence_error_displays_step_and_rollbacks() {
+        let e = DivergenceError {
+            step: 17,
+            rollbacks: 3,
+        };
+        let msg = format!("{e}");
+        assert!(msg.contains("step 17"), "{msg}");
+        assert!(msg.contains("3 rollback"), "{msg}");
     }
 }
 

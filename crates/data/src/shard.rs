@@ -52,9 +52,25 @@ impl EpochPlan {
         num_replicas: usize,
         per_replica_batch: usize,
     ) -> Vec<usize> {
-        assert!(replica < num_replicas);
         let global = per_replica_batch * num_replicas;
-        let start = step * global + replica * per_replica_batch;
+        self.batch_at(step * global, replica, num_replicas, per_replica_batch)
+    }
+
+    /// Like [`EpochPlan::replica_batch`] but addressed by *sample offset*
+    /// into the epoch permutation instead of step index. This is what the
+    /// elastic trainer uses: after a mid-epoch world resize the surviving
+    /// replicas continue from the exact sample offset the old world
+    /// reached, so every sample is still visited exactly once per epoch
+    /// regardless of how the global batch size changed underneath.
+    pub fn batch_at(
+        &self,
+        offset: usize,
+        replica: usize,
+        num_replicas: usize,
+        per_replica_batch: usize,
+    ) -> Vec<usize> {
+        assert!(replica < num_replicas);
+        let start = offset + replica * per_replica_batch;
         let end = (start + per_replica_batch).min(self.perm.len());
         if start >= self.perm.len() {
             return Vec::new();
@@ -106,6 +122,45 @@ mod tests {
         let plan = EpochPlan::new(1, 0, 70);
         // 70 / (4·4) = 4 full steps; 6 leftovers dropped.
         assert_eq!(plan.steps(4, 4), 4);
+    }
+
+    #[test]
+    fn batch_at_agrees_with_replica_batch() {
+        let plan = EpochPlan::new(3, 2, 96);
+        for step in 0..plan.steps(4, 4) {
+            for r in 0..4 {
+                assert_eq!(
+                    plan.replica_batch(step, r, 4, 4),
+                    plan.batch_at(step * 16, r, 4, 4)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_at_partitions_across_a_world_resize() {
+        // Old world 4 consumes the first two steps; new world 3 resumes at
+        // the same offset. Together they must cover a prefix exactly once.
+        let plan = EpochPlan::new(9, 0, 96);
+        let mut seen = HashSet::new();
+        let mut offset = 0;
+        for _ in 0..2 {
+            for r in 0..4 {
+                for idx in plan.batch_at(offset, r, 4, 4) {
+                    assert!(seen.insert(idx), "index {idx} duplicated");
+                }
+            }
+            offset += 16;
+        }
+        while offset + 12 <= plan.len() {
+            for r in 0..3 {
+                for idx in plan.batch_at(offset, r, 3, 4) {
+                    assert!(seen.insert(idx), "index {idx} duplicated post-resize");
+                }
+            }
+            offset += 12;
+        }
+        assert_eq!(seen.len(), offset, "prefix covered exactly once");
     }
 
     #[test]

@@ -81,6 +81,61 @@ impl Ema {
     pub fn updates(&self) -> u64 {
         self.updates
     }
+
+    /// Exports the averager's full state, bit-exactly — the durable
+    /// checkpoint store persists this alongside weights and optimizer
+    /// state so an elastic restart resumes the same average.
+    pub fn export_state(&self) -> EmaState {
+        EmaState {
+            decay_bits: self.decay.to_bits(),
+            updates: self.updates,
+            shadow: self
+                .shadow
+                .iter()
+                .map(|(name, t)| {
+                    (
+                        name.clone(),
+                        t.shape().dims().to_vec(),
+                        t.data().iter().map(|v| v.to_bits()).collect(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Imports state exported by [`Ema::export_state`] into an averager
+    /// freshly constructed over a structurally-identical model. Panics
+    /// with a descriptive message on any name/shape mismatch — a silent
+    /// partial import is exactly the failure mode the durable store is
+    /// built to prevent.
+    pub fn import_state(&mut self, state: &EmaState) {
+        assert_eq!(
+            state.shadow.len(),
+            self.shadow.len(),
+            "EMA state has {} shadow tensors, model has {}",
+            state.shadow.len(),
+            self.shadow.len()
+        );
+        self.decay = f32::from_bits(state.decay_bits);
+        self.updates = state.updates;
+        for ((name, t), (sname, sshape, sbits)) in self.shadow.iter_mut().zip(&state.shadow) {
+            assert_eq!(name, sname, "EMA shadow name mismatch");
+            assert_eq!(t.shape().dims(), &sshape[..], "EMA shadow shape mismatch");
+            for (dst, &bits) in t.data_mut().iter_mut().zip(sbits) {
+                *dst = f32::from_bits(bits);
+            }
+        }
+    }
+}
+
+/// Bit-exact serialized form of an [`Ema`]: decay (f32 bit pattern),
+/// update counter, and the named, shaped shadow tensors as `u32` bit
+/// patterns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EmaState {
+    pub decay_bits: u32,
+    pub updates: u64,
+    pub shadow: Vec<(String, Vec<usize>, Vec<u32>)>,
 }
 
 #[cfg(test)]
@@ -117,6 +172,24 @@ mod tests {
             i += 1;
         });
         assert!(max_diff < 1e-5, "shadow should converge, diff {max_diff}");
+    }
+
+    #[test]
+    fn export_import_round_trips_bit_exactly() {
+        let mut m = tiny_model();
+        let mut ema = Ema::new(&mut m, 0.75);
+        m.visit_params(&mut |p| {
+            p.value.map_inplace(|v| v * 1.5 + 0.25);
+        });
+        ema.update(&mut m);
+        ema.update(&mut m);
+        let state = ema.export_state();
+
+        let mut m2 = tiny_model();
+        let mut ema2 = Ema::new(&mut m2, 0.75);
+        ema2.import_state(&state);
+        assert_eq!(ema2.updates(), ema.updates());
+        assert_eq!(ema2.export_state(), state, "round trip must be bit-exact");
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub use batchnorm::{BatchNorm2d, LocalStats, StatSync};
 pub use confusion::ConfusionMatrix;
 pub use conv::{Conv2d, DepthwiseConv2d, Precision};
 pub use dropout::{DropPath, Dropout};
-pub use ema::Ema;
+pub use ema::{Ema, EmaState};
 pub use layer::{param_count, snapshot_params, zero_grads, Layer, Mode, Sequential};
 pub use linear::Linear;
 pub use loss::{cross_entropy, softmax, LossOutput};

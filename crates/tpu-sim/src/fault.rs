@@ -18,13 +18,25 @@
 //! - **Preemptions** abort the in-flight step, roll the run back to the
 //!   last checkpoint, charge the restart delay, and replay — stale
 //!   in-flight events are invalidated with a generation counter.
+//! - **Permanent replica losses** run the elastic resize protocol at the
+//!   step boundary they name: the run drains, persists a durable
+//!   checkpoint, rebuilds collectives and BN groups for the surviving
+//!   sub-torus, and resumes — then pays a *per-step* degradation tax for
+//!   the rest of the run, because the survivors absorb the lost cores'
+//!   shard of the (fixed) global batch. The torus degrades to the even
+//!   floor of the surviving core count ([`SliceShape::surviving`]); an
+//!   odd straggler core idles. Note the duality with the thread-level
+//!   trainer: the trainer shrinks the global batch and rescales the LR
+//!   (same price paid as extra steps per epoch), while the sim holds the
+//!   sample budget per step fixed so the price lands directly in step
+//!   time.
 //!
 //! The simulation is deterministic: the same plan and config always
 //! produce the same report, byte for byte.
 
 use crate::event::EventSim;
-use crate::step::{step_time, StepConfig};
-use ets_collective::{FaultKind, FaultPlan};
+use crate::step::{step_time, step_time_elastic, StepConfig};
+use ets_collective::{FaultEvent, FaultKind, FaultPlan, SliceShape, CORES_PER_CHIP};
 use serde::{Deserialize, Serialize};
 
 /// Events in the chaos simulation. `gen` invalidates in-flight step
@@ -63,6 +75,35 @@ pub struct PodChaosReport {
     pub degrade_seconds: f64,
     /// Seconds of retry backoff charged by transient failures.
     pub retry_seconds: f64,
+    /// Replica (core) losses absorbed by elastic resizes. Old serialized
+    /// reports (pre-elastic) deserialize with all resize fields zero.
+    #[serde(default)]
+    pub permanent_losses: u64,
+    /// Elastic resize protocols executed (losses at the same step drain
+    /// into one protocol run).
+    #[serde(default)]
+    pub resizes: u64,
+    /// Seconds persisting durable checkpoints during resize protocols.
+    #[serde(default)]
+    pub resize_checkpoint_seconds: f64,
+    /// Seconds rebuilding collectives/BN groups for the shrunken world.
+    #[serde(default)]
+    pub resize_rebuild_seconds: f64,
+    /// Seconds of restart delay charged by resize protocols.
+    #[serde(default)]
+    pub resize_restart_seconds: f64,
+    /// Extra per-step seconds accumulated because post-resize steps run
+    /// on the degraded sub-torus (survivors absorb the lost shard, so
+    /// per-core batch grows). Signed: a shrunken BN group can in
+    /// principle win back a sliver, but compute dominates in practice.
+    #[serde(default)]
+    pub resize_degraded_seconds: f64,
+    /// Active torus cores at the end of the run: the even floor
+    /// ([`SliceShape::surviving`]) of the surviving core count. Equals
+    /// the configured cores when no permanent loss occurred. Zero in
+    /// reports predating the elastic layer.
+    #[serde(default)]
+    pub surviving_cores: usize,
 }
 
 impl PodChaosReport {
@@ -74,6 +115,94 @@ impl PodChaosReport {
             1.0
         }
     }
+
+    /// Total seconds the elastic resize protocols and their aftermath
+    /// cost — the resize-overhead decomposition summed back up.
+    pub fn resize_overhead_seconds(&self) -> f64 {
+        self.resize_checkpoint_seconds
+            + self.resize_rebuild_seconds
+            + self.resize_restart_seconds
+            + self.resize_degraded_seconds
+    }
+}
+
+/// Mutable pricing state of the (possibly shrunken) pod: which cores are
+/// still alive and what a healthy step costs on them.
+struct ElasticWorld {
+    /// Cores still alive (may be odd; the torus uses the even floor).
+    cores: usize,
+    /// Healthy step seconds on the current sub-torus.
+    base: f64,
+    /// All-reduce share of the current healthy step.
+    ar_share: f64,
+    /// Pending `(at_step, ranks_lost)` boundaries, ascending by step.
+    losses: Vec<(u64, usize)>,
+    /// First unprocessed entry of `losses`.
+    next: usize,
+}
+
+impl ElasticWorld {
+    /// Runs any resize protocol due at or before the launch of `step`:
+    /// charges the drain → durable checkpoint → rebuild decomposition to
+    /// `report` and reprices the step on the surviving sub-torus. Returns
+    /// the protocol seconds the launch must wait (0.0 when no resize is
+    /// due). Idempotent per boundary — preemption replays never re-charge
+    /// a resize, because losses are permanent.
+    fn drain_resizes_before(
+        &mut self,
+        cfg: &StepConfig,
+        plan: &FaultPlan,
+        report: &mut PodChaosReport,
+        step: u64,
+    ) -> f64 {
+        let mut protocol_s = 0.0;
+        while self.next < self.losses.len() && self.losses[self.next].0 <= step {
+            let (_, k) = self.losses[self.next];
+            self.next += 1;
+            // Never shrink below one chip — the last torus standing.
+            self.cores = (self.cores.saturating_sub(k)).max(CORES_PER_CHIP);
+            report.permanent_losses += k as u64;
+            report.resizes += 1;
+            report.resize_checkpoint_seconds += plan.resize_checkpoint_s;
+            report.resize_rebuild_seconds += plan.resize_rebuild_s;
+            report.resize_restart_seconds += plan.restart_delay_s;
+            protocol_s += plan.resize_checkpoint_s + plan.resize_rebuild_s + plan.restart_delay_s;
+            // Reprice the step on the surviving sub-torus: same global
+            // batch over fewer cores (survivors absorb the lost shard,
+            // ceiling split on the most-loaded core), BN groups
+            // deterministically regrouped.
+            let st = step_time_elastic(cfg, self.cores);
+            self.base = st.total();
+            self.ar_share = st.all_reduce_share();
+            report.surviving_cores = SliceShape::surviving(self.cores).cores();
+        }
+        protocol_s
+    }
+}
+
+/// Duration of a step starting at absolute time `t` on a world whose
+/// healthy step costs `base` seconds with all-reduce share `ar_share`,
+/// with the (straggler, degrade) overhead split for accounting.
+fn step_dur_at(events: &[FaultEvent], t: f64, base: f64, ar_share: f64) -> (f64, f64, f64) {
+    let mut link_scale = 1.0f64;
+    let mut slowdown = 1.0f64;
+    for ev in events {
+        let active = t >= ev.at_s && t < ev.at_s + ev.duration_s;
+        match ev.kind {
+            FaultKind::LinkDegrade { scale, .. } if active => {
+                link_scale = link_scale.min(scale);
+            }
+            FaultKind::Straggler { slowdown: s, .. } if active => {
+                slowdown = slowdown.max(s);
+            }
+            _ => {}
+        }
+    }
+    // Slow link stretches the all-reduce share of the step; a straggler
+    // then stretches the whole (already stretched) step.
+    let degraded = base * (1.0 - ar_share) + base * ar_share / link_scale;
+    let total = degraded * slowdown;
+    (total, total - degraded, degraded - base)
 }
 
 /// Simulates `total_steps` training steps of `cfg` under `plan`,
@@ -84,12 +213,11 @@ impl PodChaosReport {
 pub fn simulate_chaos(cfg: &StepConfig, plan: &FaultPlan, total_steps: u64) -> PodChaosReport {
     plan.validate();
     let st = step_time(cfg);
-    let base = st.total();
-    let ar_share = st.all_reduce_share();
+    let base0 = st.total();
     let ckpt_every = plan.checkpoint_every_steps.max(1);
 
     let mut report = PodChaosReport {
-        fault_free_seconds: total_steps as f64 * base,
+        fault_free_seconds: total_steps as f64 * base0,
         total_seconds: 0.0,
         steps_completed: 0,
         steps_executed: 0,
@@ -99,6 +227,13 @@ pub fn simulate_chaos(cfg: &StepConfig, plan: &FaultPlan, total_steps: u64) -> P
         straggler_seconds: 0.0,
         degrade_seconds: 0.0,
         retry_seconds: 0.0,
+        permanent_losses: 0,
+        resizes: 0,
+        resize_checkpoint_seconds: 0.0,
+        resize_rebuild_seconds: 0.0,
+        resize_restart_seconds: 0.0,
+        resize_degraded_seconds: 0.0,
+        surviving_cores: cfg.cores,
     };
     if total_steps == 0 {
         return report;
@@ -108,33 +243,31 @@ pub fn simulate_chaos(cfg: &StepConfig, plan: &FaultPlan, total_steps: u64) -> P
     let mut events = plan.events.clone();
     events.sort_by(|a, b| a.at_s.partial_cmp(&b.at_s).unwrap());
 
-    // Duration of a step *starting* at absolute time `t`, with the
-    // (straggler, degrade) overhead split for accounting.
-    let step_dur = |t: f64| -> (f64, f64, f64) {
-        let mut link_scale = 1.0f64;
-        let mut slowdown = 1.0f64;
-        for ev in &events {
-            let active = t >= ev.at_s && t < ev.at_s + ev.duration_s;
-            match ev.kind {
-                FaultKind::LinkDegrade { scale, .. } if active => {
-                    link_scale = link_scale.min(scale);
-                }
-                FaultKind::Straggler { slowdown: s, .. } if active => {
-                    slowdown = slowdown.max(s);
-                }
-                _ => {}
+    // Permanent losses are *step*-keyed (their `at_s` is advisory): group
+    // them into ascending resize boundaries, coalescing losses that land
+    // on the same step into one protocol run (`k` ranks drain together).
+    let mut boundaries: Vec<(u64, usize)> = Vec::new();
+    for ev in &events {
+        if let FaultKind::PermanentLoss { at_step, .. } = ev.kind {
+            match boundaries.iter_mut().find(|(s, _)| *s == at_step) {
+                Some((_, k)) => *k += 1,
+                None => boundaries.push((at_step, 1)),
             }
         }
-        // Slow link stretches the all-reduce share of the step; a
-        // straggler then stretches the whole (already stretched) step.
-        let degraded = base * (1.0 - ar_share) + base * ar_share / link_scale;
-        let total = degraded * slowdown;
-        (total, total - degraded, degraded - base)
+    }
+    boundaries.sort_by_key(|&(s, _)| s);
+    let mut world = ElasticWorld {
+        cores: cfg.cores,
+        base: base0,
+        ar_share: st.all_reduce_share(),
+        losses: boundaries,
+        next: 0,
     };
 
     let mut sim: EventSim<Ev> = EventSim::new();
     // Point faults (preempt, transient) become discrete events; timing
-    // windows are sampled by `step_dur` instead.
+    // windows are sampled by `step_dur_at`; permanent losses trigger at
+    // the step boundary they name, not at a clock time.
     for (idx, ev) in events.iter().enumerate() {
         if matches!(
             ev.kind,
@@ -146,17 +279,39 @@ pub fn simulate_chaos(cfg: &StepConfig, plan: &FaultPlan, total_steps: u64) -> P
 
     let mut gen = 0u64;
     let mut completed = 0u64;
-    let launch =
-        |sim: &mut EventSim<Ev>, report: &mut PodChaosReport, step: u64, gen: u64| -> (u64, f64) {
-            let (dur, straggle, degrade) = step_dur(sim.now());
-            report.straggler_seconds += straggle;
-            report.degrade_seconds += degrade;
-            let done_at = sim.now() + dur;
-            sim.schedule_at(done_at, Ev::StepDone { step, gen });
-            (step, done_at)
-        };
-    // The step currently executing: (index, completion time).
-    let mut inflight: Option<(u64, f64)> = Some(launch(&mut sim, &mut report, 0, gen));
+    let launch = |sim: &mut EventSim<Ev>,
+                  report: &mut PodChaosReport,
+                  world: &ElasticWorld,
+                  step: u64,
+                  gen: u64|
+     -> (u64, f64) {
+        let (dur, straggle, degrade) = step_dur_at(&events, sim.now(), world.base, world.ar_share);
+        report.straggler_seconds += straggle;
+        report.degrade_seconds += degrade;
+        // Every step run on a shrunken sub-torus pays the degradation
+        // delta relative to the healthy pod's step.
+        report.resize_degraded_seconds += world.base - base0;
+        let done_at = sim.now() + dur;
+        sim.schedule_at(done_at, Ev::StepDone { step, gen });
+        (step, done_at)
+    };
+    // Launch the next step, first draining any resize boundary due at it:
+    // the protocol (drain + durable checkpoint + rebuild + restart) runs
+    // to completion before the shrunken world executes the step, exactly
+    // like the trainer's phase loop.
+    let mut inflight: Option<(u64, f64)>;
+    macro_rules! launch_next {
+        ($step:expr) => {{
+            let protocol_s = world.drain_resizes_before(cfg, plan, &mut report, $step);
+            if protocol_s > 0.0 {
+                sim.schedule_in(protocol_s, Ev::Resume { gen });
+                inflight = None;
+            } else {
+                inflight = Some(launch(&mut sim, &mut report, &world, $step, gen));
+            }
+        }};
+    }
+    launch_next!(0);
 
     while let Some(ev) = sim.next() {
         match ev {
@@ -168,14 +323,14 @@ pub fn simulate_chaos(cfg: &StepConfig, plan: &FaultPlan, total_steps: u64) -> P
                 report.steps_executed += 1;
                 inflight = None;
                 if completed < total_steps {
-                    inflight = Some(launch(&mut sim, &mut report, completed, gen));
+                    launch_next!(completed);
                 }
             }
             Ev::Resume { gen: g } => {
                 if g != gen {
                     continue; // a later preemption superseded this restart
                 }
-                inflight = Some(launch(&mut sim, &mut report, completed, gen));
+                launch_next!(completed);
             }
             Ev::Fault { idx } => {
                 if completed >= total_steps {
@@ -382,6 +537,138 @@ mod tests {
         assert_eq!(a.steps_executed, b.steps_executed);
         assert_eq!(a.replayed_steps, b.replayed_steps);
         assert!(a.overhead_factor() >= 1.0);
+    }
+
+    fn loss_at(at_step: u64, rank: usize) -> FaultEvent {
+        FaultEvent {
+            at_s: 0.0, // advisory only; PermanentLoss triggers by step
+            duration_s: 0.0,
+            kind: FaultKind::PermanentLoss { rank, at_step },
+        }
+    }
+
+    #[test]
+    fn permanent_loss_prices_the_resize_protocol() {
+        let base = base_step();
+        let mut plan = FaultPlan::none();
+        plan.resize_checkpoint_s = 4.0;
+        plan.resize_rebuild_s = 2.0;
+        plan.restart_delay_s = 3.0;
+        plan.events.push(loss_at(20, 7));
+        let r = simulate_chaos(&cfg(), &plan, 50);
+        assert_eq!(r.steps_completed, 50, "run must finish on the survivors");
+        assert_eq!(r.permanent_losses, 1);
+        assert_eq!(r.resizes, 1);
+        assert!((r.resize_checkpoint_seconds - 4.0).abs() < 1e-12);
+        assert!((r.resize_rebuild_seconds - 2.0).abs() < 1e-12);
+        assert!((r.resize_restart_seconds - 3.0).abs() < 1e-12);
+        // 127 survivors → 126-core torus (even floor).
+        assert_eq!(r.surviving_cores, 126);
+        // Survivors absorb the lost shard: the 30 post-resize steps each
+        // run slower than the healthy pod's step.
+        assert!(
+            r.resize_degraded_seconds > 0.0,
+            "degraded tax {} must be positive",
+            r.resize_degraded_seconds
+        );
+        // Total decomposes exactly: healthy run + protocol + per-step tax.
+        let expect = r.fault_free_seconds + r.resize_overhead_seconds();
+        assert!(
+            (r.total_seconds - expect).abs() < 1e-9,
+            "{} vs {}",
+            r.total_seconds,
+            expect
+        );
+        assert!(r.total_seconds > r.fault_free_seconds + 9.0 - 1e-9);
+        assert!(r.overhead_factor() > 1.0);
+        // Sanity anchor: the protocol alone is ≥ 9 s; degraded steps add
+        // a strictly positive amount bounded by the step count.
+        assert!(r.resize_degraded_seconds < 30.0 * base);
+    }
+
+    #[test]
+    fn earlier_loss_pays_more_degraded_steps() {
+        let mut early = FaultPlan::none();
+        early.events.push(loss_at(5, 0));
+        let mut late = FaultPlan::none();
+        late.events.push(loss_at(45, 0));
+        let re = simulate_chaos(&cfg(), &early, 50);
+        let rl = simulate_chaos(&cfg(), &late, 50);
+        // Same protocol charge, but 45 vs 5 degraded steps.
+        assert!((re.resize_checkpoint_seconds - rl.resize_checkpoint_seconds).abs() < 1e-12);
+        assert!(
+            re.resize_degraded_seconds > 5.0 * rl.resize_degraded_seconds,
+            "early {} vs late {}",
+            re.resize_degraded_seconds,
+            rl.resize_degraded_seconds
+        );
+        assert!(re.total_seconds > rl.total_seconds);
+    }
+
+    #[test]
+    fn coalesced_losses_run_one_protocol() {
+        // Two ranks lost at the same step drain into a single resize;
+        // losses at different steps each pay the protocol.
+        let mut same = FaultPlan::none();
+        same.events.push(loss_at(10, 1));
+        same.events.push(loss_at(10, 2));
+        let rs = simulate_chaos(&cfg(), &same, 40);
+        assert_eq!(rs.permanent_losses, 2);
+        assert_eq!(rs.resizes, 1);
+        assert_eq!(rs.surviving_cores, 126);
+        let mut split = FaultPlan::none();
+        split.events.push(loss_at(10, 1));
+        split.events.push(loss_at(20, 2));
+        let rp = simulate_chaos(&cfg(), &split, 40);
+        assert_eq!(rp.permanent_losses, 2);
+        assert_eq!(rp.resizes, 2);
+        assert_eq!(rp.surviving_cores, 126);
+        assert!(
+            rp.resize_restart_seconds > rs.resize_restart_seconds,
+            "two protocols must charge two restarts"
+        );
+    }
+
+    #[test]
+    fn resize_composes_with_preemption() {
+        // A preemption after the resize replays *degraded* steps; the run
+        // still finishes and losses are never re-charged on replay.
+        let base = base_step();
+        let mut plan = FaultPlan::none();
+        plan.checkpoint_every_steps = 8;
+        plan.restart_delay_s = 2.0;
+        plan.events.push(loss_at(10, 3));
+        plan.events.push(FaultEvent {
+            at_s: 30.0 * base, // lands mid-run, after the resize
+            duration_s: 0.0,
+            kind: FaultKind::Preempt { replica: 0 },
+        });
+        let r = simulate_chaos(&cfg(), &plan, 50);
+        assert_eq!(r.steps_completed, 50);
+        assert_eq!(r.preemptions, 1);
+        assert_eq!(r.resizes, 1, "replay must not re-run the resize");
+        assert_eq!(r.permanent_losses, 1);
+        assert_eq!(r.steps_executed, 50 + r.replayed_steps);
+    }
+
+    #[test]
+    fn elastic_reports_are_deterministic() {
+        let base = base_step();
+        let horizon = 60.0 * base;
+        let plan = FaultPlan::generate_elastic(7, 128, horizon, 3, 2);
+        let a = simulate_chaos(&cfg(), &plan, 60);
+        let b = simulate_chaos(&cfg(), &plan, 60);
+        assert_eq!(a.steps_completed, 60);
+        assert_eq!(a.total_seconds.to_bits(), b.total_seconds.to_bits());
+        assert_eq!(
+            a.resize_degraded_seconds.to_bits(),
+            b.resize_degraded_seconds.to_bits()
+        );
+        assert_eq!(a.permanent_losses, b.permanent_losses);
+        assert_eq!(a.surviving_cores, b.surviving_cores);
+        assert!(a.permanent_losses >= 1, "generator must emit losses");
+        assert!(a.surviving_cores < 128 && a.surviving_cores >= 124);
+        assert!(a.overhead_factor() > 1.0);
     }
 
     #[test]

@@ -45,7 +45,9 @@ pub use netsim::{
     DegradeWindow, LinkConditions,
 };
 pub use scaling::{amdahl_serial_fraction, scaling_sweep, ScalingPoint};
-pub use step::{batch_eff_factor, step_time, total_bn_channels, StepConfig, StepTime};
+pub use step::{
+    batch_eff_factor, step_time, step_time_elastic, total_bn_channels, StepConfig, StepTime,
+};
 pub use whatif::{
     degraded_link_impact, infeed_analysis, DegradedLinkReport, InfeedReport, CORES_PER_HOST,
 };

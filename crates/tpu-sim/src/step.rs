@@ -120,6 +120,41 @@ pub fn step_time(cfg: &StepConfig) -> StepTime {
     }
 }
 
+/// Prices one step on a *degraded* sub-torus after an elastic shrink:
+/// `surviving_cores` (possibly odd — the torus uses the even floor, see
+/// [`SliceShape::surviving`]) absorb `cfg`'s full global batch. The
+/// residual shards are uneven, and the synchronous step gates on the
+/// most-loaded core, so the per-core batch is the ceiling split. BN
+/// groups are deterministically [`GroupSpec::regroup`]ed to the
+/// surviving world, mirroring the trainer's resize protocol.
+///
+/// On a healthy world (`surviving_cores == cfg.cores`, batch divisible)
+/// this agrees with [`step_time`] exactly.
+pub fn step_time_elastic(cfg: &StepConfig, surviving_cores: usize) -> StepTime {
+    let model_cfg = ModelConfig::variant(cfg.variant);
+    let stats: ModelStats = model_stats(&model_cfg);
+    let slice = SliceShape::surviving(surviving_cores);
+    let active = slice.cores();
+    let link = calibrated_link();
+
+    // Most-loaded survivor: ceiling split of the (unchanged) global batch.
+    let per_core = cfg.global_batch.div_ceil(active);
+    let padded = padded_per_core_batch(per_core);
+    let eff = mxu_efficiency(cfg.variant) * batch_eff_factor(padded);
+    let compute = padded as f64 * stats.flops_train() / (eff * core_spec().peak_flops);
+
+    let all_reduce = torus_all_reduce_time(stats.gradient_bytes(), slice, link);
+
+    let group = cfg.bn_group.regroup(active).group_size(slice);
+    let bn_sync = bn_sync_time(total_bn_channels(&model_cfg), group, link);
+
+    StepTime {
+        compute,
+        all_reduce,
+        bn_sync,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +251,27 @@ mod tests {
         let tl = step_time(&large);
         assert!(tl.bn_sync > ts.bn_sync);
         assert!(tl.bn_sync / tl.total() < 0.05, "BN sync must stay minor");
+    }
+
+    #[test]
+    fn elastic_pricing_agrees_with_healthy_step() {
+        let cfg = StepConfig::new(Variant::B2, 128, 4096);
+        let a = step_time(&cfg);
+        let b = step_time_elastic(&cfg, 128);
+        assert!((a.total() - b.total()).abs() < 1e-15);
+        assert!((a.all_reduce - b.all_reduce).abs() < 1e-15);
+    }
+
+    #[test]
+    fn elastic_pricing_charges_the_most_loaded_survivor() {
+        let cfg = StepConfig::new(Variant::B2, 128, 4096);
+        let healthy = step_time(&cfg).total();
+        // 127 survivors → even floor 126 → 33/core padded to 40.
+        let degraded = step_time_elastic(&cfg, 127);
+        assert!(degraded.total() > healthy, "shrunken torus must be slower");
+        // Still fewer survivors: strictly more compute per core.
+        let worse = step_time_elastic(&cfg, 100);
+        assert!(worse.compute > degraded.compute);
     }
 
     #[test]

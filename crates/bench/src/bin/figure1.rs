@@ -5,55 +5,11 @@
 //! ```sh
 //! cargo run -p ets-bench --bin figure1 [-- --json]
 //! ```
+//!
+//! `--json` emits through the flight recorder's own JSON writer, so the
+//! output parses even in hermetic builds with a stubbed `serde_json`.
 
-use ets_efficientnet::Variant;
-use ets_tpu_sim::{time_to_accuracy, OptimizerKind, RunConfig};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Point {
-    model: String,
-    cores: usize,
-    global_batch: usize,
-    optimizer: String,
-    minutes_to_peak: f64,
-    peak_top1: f64,
-}
-
-fn series(v: Variant) -> Vec<Point> {
-    let mut pts = Vec::new();
-    for &cores in &[128usize, 256, 512, 1024] {
-        let gbs = cores * 32;
-        // The paper's Figure 1 runs use the best recipe per scale: RMSProp
-        // where it still holds (≤16384), LARS beyond.
-        let opt = if gbs > 16384 {
-            OptimizerKind::Lars
-        } else {
-            OptimizerKind::RmsProp
-        };
-        let out = time_to_accuracy(&RunConfig::paper(v, cores, gbs, opt));
-        pts.push(Point {
-            model: v.name().to_string(),
-            cores,
-            global_batch: gbs,
-            optimizer: format!("{opt:?}"),
-            minutes_to_peak: out.minutes_to_peak(),
-            peak_top1: out.peak_top1,
-        });
-    }
-    if v == Variant::B5 {
-        let out = time_to_accuracy(&RunConfig::paper(v, 1024, 65536, OptimizerKind::Lars));
-        pts.push(Point {
-            model: v.name().to_string(),
-            cores: 1024,
-            global_batch: 65536,
-            optimizer: "Lars".into(),
-            minutes_to_peak: out.minutes_to_peak(),
-            peak_top1: out.peak_top1,
-        });
-    }
-    pts
-}
+use ets_bench::{figure1_json, figure1_points};
 
 fn bar(minutes: f64, scale: f64) -> String {
     "█".repeat(((minutes / scale).ceil() as usize).max(1))
@@ -61,13 +17,10 @@ fn bar(minutes: f64, scale: f64) -> String {
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
-    let all: Vec<Point> = [Variant::B2, Variant::B5]
-        .iter()
-        .flat_map(|&v| series(v))
-        .collect();
+    let all = figure1_points();
 
     if json {
-        println!("{}", serde_json::to_string_pretty(&all).unwrap());
+        println!("{}", figure1_json(&all));
         return;
     }
 

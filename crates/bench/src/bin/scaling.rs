@@ -5,28 +5,25 @@
 //! ```sh
 //! cargo run -p ets-bench --bin scaling [-- --json]
 //! ```
+//!
+//! `--json` emits through the flight recorder's own JSON writer, so the
+//! output parses even in hermetic builds with a stubbed `serde_json`.
 
-use ets_efficientnet::Variant;
-use ets_tpu_sim::{amdahl_serial_fraction, scaling_sweep};
+use ets_bench::{scaling_json, scaling_tables};
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let slices = [128usize, 256, 512, 1024];
+    let tables = scaling_tables(&slices);
     if json {
-        let mut all = serde_json::Map::new();
-        for v in [Variant::B2, Variant::B5] {
-            let pts = scaling_sweep(v, &slices);
-            all.insert(v.name().to_string(), serde_json::to_value(&pts).unwrap());
-        }
-        println!("{}", serde_json::to_string_pretty(&all).unwrap());
+        println!("{}", scaling_json(&tables));
         return;
     }
     println!("Scaling analysis (per-core batch 32)\n");
-    for v in [Variant::B2, Variant::B5] {
-        let pts = scaling_sweep(v, &slices);
+    for (v, pts, serial) in &tables {
         println!("{}", v.name());
         println!("  cores  batch   par.eff  compute%  AR%    e2e speedup");
-        for p in &pts {
+        for p in pts {
             println!(
                 "  {:>5}  {:>6}  {:>6.3}   {:>6.1}   {:>5.2}  {:>10.2}×",
                 p.cores,
@@ -37,9 +34,6 @@ fn main() {
                 p.end_to_end_speedup,
             );
         }
-        println!(
-            "  Amdahl serial fraction (fit): {:.4}\n",
-            amdahl_serial_fraction(&pts)
-        );
+        println!("  Amdahl serial fraction (fit): {serial:.4}\n");
     }
 }

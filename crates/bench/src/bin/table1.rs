@@ -4,44 +4,22 @@
 //! ```sh
 //! cargo run -p ets-bench --bin table1 [-- --json]
 //! ```
+//!
+//! `--json` emits through the flight recorder's own JSON writer, so the
+//! output parses even in hermetic builds with a stubbed `serde_json`.
+//! `--real` runs the measured counterpart on the threaded trainer,
+//! collapsing each run into a Table-1-style [`ets_obs::RunSummary`].
 
-use ets_efficientnet::Variant;
-use ets_tpu_sim::{step_time, StepConfig};
+use ets_bench::{table1_json, table1_rows};
+use ets_obs::summaries_to_json;
 use ets_train::{train, Experiment};
-use serde::Serialize;
-
-/// Paper-reported values for side-by-side comparison.
-const PAPER: [(Variant, usize, usize, f64, f64); 8] = [
-    (Variant::B2, 128, 4096, 57.57, 2.1),
-    (Variant::B2, 256, 8192, 113.73, 2.6),
-    (Variant::B2, 512, 16384, 227.13, 2.5),
-    (Variant::B2, 1024, 32768, 451.35, 2.81),
-    (Variant::B5, 128, 4096, 9.76, 0.89),
-    (Variant::B5, 256, 8192, 19.48, 1.24),
-    (Variant::B5, 512, 16384, 38.55, 1.24),
-    (Variant::B5, 1024, 32768, 77.44, 1.03),
-];
-
-#[derive(Serialize)]
-struct Row {
-    model: String,
-    cores: usize,
-    global_batch: usize,
-    throughput_img_per_ms: f64,
-    allreduce_pct: f64,
-    paper_throughput: f64,
-    paper_allreduce_pct: f64,
-}
 
 /// The real-engine counterpart: measure throughput and all-reduce share on
 /// the threaded trainer as replica count scales (per-replica batch fixed),
-/// mirroring Table 1's protocol at laptop scale.
-fn real_engine_table() {
-    println!("Table 1 (real engine counterpart): threaded replicas, per-replica batch 8\n");
-    println!(
-        "{:>8} {:>7} {:>12} {:>12} {:>8}",
-        "replicas", "batch", "img/s", "step ms", "AR %"
-    );
+/// mirroring Table 1's protocol at laptop scale. Each run collapses into a
+/// `RunSummary`; `--json` prints them as `{"runs": [...]}`.
+fn real_engine_table(json: bool) {
+    let mut runs = Vec::new();
     for &replicas in &[1usize, 2, 4, 8] {
         let mut exp = Experiment::proxy_default();
         exp.replicas = replicas;
@@ -51,15 +29,25 @@ fn real_engine_table() {
         exp.eval_samples = 32;
         exp.eval_every = 2;
         let report = train(&exp);
-        let p = report.phases;
-        let imgs = (report.steps as usize * exp.global_batch()) as f64;
+        runs.push(report.run_summary(
+            &format!("proxy @ {replicas} replicas"),
+            replicas as u64,
+            exp.global_batch() as u64,
+        ));
+    }
+    if json {
+        println!("{}", summaries_to_json(&runs));
+        return;
+    }
+    println!("Table 1 (real engine counterpart): threaded replicas, per-replica batch 8\n");
+    println!(
+        "{:>8} {:>7} {:>12} {:>12} {:>8}",
+        "replicas", "batch", "img/s", "step ms", "AR %"
+    );
+    for s in &runs {
         println!(
             "{:>8} {:>7} {:>12.0} {:>12.2} {:>8.2}",
-            replicas,
-            exp.global_batch(),
-            imgs / p.total(),
-            1e3 * p.step_seconds(),
-            100.0 * p.all_reduce_share(),
+            s.cores, s.global_batch, s.images_per_sec, s.step_ms, s.all_reduce_pct,
         );
     }
     println!("\nCaveats vs the paper's hardware: replicas share one CPU's cores,");
@@ -68,29 +56,15 @@ fn real_engine_table() {
 }
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     if std::env::args().any(|a| a == "--real") {
-        real_engine_table();
+        real_engine_table(json);
         return;
     }
-    let json = std::env::args().any(|a| a == "--json");
-    let rows: Vec<Row> = PAPER
-        .iter()
-        .map(|&(v, cores, gbs, p_thr, p_ar)| {
-            let st = step_time(&StepConfig::new(v, cores, gbs));
-            Row {
-                model: v.name().to_string(),
-                cores,
-                global_batch: gbs,
-                throughput_img_per_ms: st.throughput_img_per_ms(gbs),
-                allreduce_pct: 100.0 * st.all_reduce_share(),
-                paper_throughput: p_thr,
-                paper_allreduce_pct: p_ar,
-            }
-        })
-        .collect();
+    let rows = table1_rows();
 
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        println!("{}", table1_json(&rows));
         return;
     }
 

@@ -1,6 +1,314 @@
 //! Shared scaffolding for the table/figure harness binaries.
 //!
 //! Each binary regenerates one artifact of the paper (see DESIGN.md's
-//! experiment index); they share only trivial formatting, which lives
-//! inline, so this crate root exists for the `[[bin]]`/`[[bench]]`
-//! targets.
+//! experiment index). The row builders and JSON emitters live here so the
+//! bins, the bench smoke tests, and CI's artifact job all exercise the
+//! *same* code path: a bin that prints unparseable JSON is now a test
+//! failure, not a silent gap in the perf trajectory.
+//!
+//! All machine-readable output goes through [`ets_obs::JsonWriter`] — a
+//! dependency-free writer that stays valid JSON even in hermetic builds
+//! where `serde_json` is replaced by a non-functional stub.
+
+use ets_efficientnet::Variant;
+use ets_obs::{
+    summaries_to_json, validate_chrome_trace, JsonWriter, OverheadDecomposition, Recorder,
+    RunSummary,
+};
+use ets_tpu_sim::{
+    amdahl_serial_fraction, scaling_sweep, step_time, time_to_accuracy, OptimizerKind, RunConfig,
+    ScalingPoint, StepConfig,
+};
+use ets_train::{train_traced, Experiment, TrainReport};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------- Table 1
+
+/// Paper-reported Table 1 values for side-by-side comparison.
+pub const TABLE1_PAPER: [(Variant, usize, usize, f64, f64); 8] = [
+    (Variant::B2, 128, 4096, 57.57, 2.1),
+    (Variant::B2, 256, 8192, 113.73, 2.6),
+    (Variant::B2, 512, 16384, 227.13, 2.5),
+    (Variant::B2, 1024, 32768, 451.35, 2.81),
+    (Variant::B5, 128, 4096, 9.76, 0.89),
+    (Variant::B5, 256, 8192, 19.48, 1.24),
+    (Variant::B5, 512, 16384, 38.55, 1.24),
+    (Variant::B5, 1024, 32768, 77.44, 1.03),
+];
+
+/// One Table 1 row: the calibrated simulator's numbers next to the paper's.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    pub model: String,
+    pub cores: usize,
+    pub global_batch: usize,
+    pub throughput_img_per_ms: f64,
+    pub allreduce_pct: f64,
+    pub step_ms: f64,
+    pub paper_throughput: f64,
+    pub paper_allreduce_pct: f64,
+}
+
+/// Rebuild Table 1 from the calibrated step-time model.
+pub fn table1_rows() -> Vec<Table1Row> {
+    TABLE1_PAPER
+        .iter()
+        .map(|&(v, cores, gbs, p_thr, p_ar)| {
+            let st = step_time(&StepConfig::new(v, cores, gbs));
+            Table1Row {
+                model: v.name().to_string(),
+                cores,
+                global_batch: gbs,
+                throughput_img_per_ms: st.throughput_img_per_ms(gbs),
+                allreduce_pct: 100.0 * st.all_reduce_share(),
+                step_ms: 1e3 * st.total(),
+                paper_throughput: p_thr,
+                paper_allreduce_pct: p_ar,
+            }
+        })
+        .collect()
+}
+
+/// Table 1 rows as a JSON array (always parseable; no serde_json).
+pub fn table1_json(rows: &[Table1Row]) -> String {
+    let mut w = JsonWriter::with_capacity(4096);
+    w.begin_array();
+    for r in rows {
+        w.begin_object()
+            .field_str("model", &r.model)
+            .field_u64("cores", r.cores as u64)
+            .field_u64("global_batch", r.global_batch as u64)
+            .field_f64("throughput_img_per_ms", r.throughput_img_per_ms)
+            .field_f64("allreduce_pct", r.allreduce_pct)
+            .field_f64("step_ms", r.step_ms)
+            .field_f64("paper_throughput", r.paper_throughput)
+            .field_f64("paper_allreduce_pct", r.paper_allreduce_pct)
+            .end_object();
+    }
+    w.end_array();
+    w.finish()
+}
+
+// --------------------------------------------------------------- Figure 1
+
+/// One Figure 1 point: time to peak accuracy at an operating point.
+#[derive(Clone, Debug)]
+pub struct Figure1Point {
+    pub model: String,
+    pub cores: usize,
+    pub global_batch: usize,
+    pub optimizer: String,
+    pub minutes_to_peak: f64,
+    pub peak_top1: f64,
+}
+
+/// Rebuild Figure 1's series for one variant (incl. the batch-65536
+/// headline run for B5).
+pub fn figure1_series(v: Variant) -> Vec<Figure1Point> {
+    let mut pts = Vec::new();
+    for &cores in &[128usize, 256, 512, 1024] {
+        let gbs = cores * 32;
+        // The paper's Figure 1 runs use the best recipe per scale: RMSProp
+        // where it still holds (≤16384), LARS beyond.
+        let opt = if gbs > 16384 {
+            OptimizerKind::Lars
+        } else {
+            OptimizerKind::RmsProp
+        };
+        let out = time_to_accuracy(&RunConfig::paper(v, cores, gbs, opt));
+        pts.push(Figure1Point {
+            model: v.name().to_string(),
+            cores,
+            global_batch: gbs,
+            optimizer: format!("{opt:?}"),
+            minutes_to_peak: out.minutes_to_peak(),
+            peak_top1: out.peak_top1,
+        });
+    }
+    if v == Variant::B5 {
+        let out = time_to_accuracy(&RunConfig::paper(v, 1024, 65536, OptimizerKind::Lars));
+        pts.push(Figure1Point {
+            model: v.name().to_string(),
+            cores: 1024,
+            global_batch: 65536,
+            optimizer: "Lars".into(),
+            minutes_to_peak: out.minutes_to_peak(),
+            peak_top1: out.peak_top1,
+        });
+    }
+    pts
+}
+
+/// All Figure 1 points (B2 then B5).
+pub fn figure1_points() -> Vec<Figure1Point> {
+    [Variant::B2, Variant::B5]
+        .iter()
+        .flat_map(|&v| figure1_series(v))
+        .collect()
+}
+
+/// Figure 1 points as a JSON array.
+pub fn figure1_json(points: &[Figure1Point]) -> String {
+    let mut w = JsonWriter::with_capacity(4096);
+    w.begin_array();
+    for p in points {
+        w.begin_object()
+            .field_str("model", &p.model)
+            .field_u64("cores", p.cores as u64)
+            .field_u64("global_batch", p.global_batch as u64)
+            .field_str("optimizer", &p.optimizer)
+            .field_f64("minutes_to_peak", p.minutes_to_peak)
+            .field_f64("peak_top1", p.peak_top1)
+            .end_object();
+    }
+    w.end_array();
+    w.finish()
+}
+
+// ---------------------------------------------------------------- Scaling
+
+/// The scaling sweep for both variants, with the Amdahl fit per variant.
+pub fn scaling_tables(slices: &[usize]) -> Vec<(Variant, Vec<ScalingPoint>, f64)> {
+    [Variant::B2, Variant::B5]
+        .iter()
+        .map(|&v| {
+            let pts = scaling_sweep(v, slices);
+            let serial = amdahl_serial_fraction(&pts);
+            (v, pts, serial)
+        })
+        .collect()
+}
+
+/// Scaling sweep as `{"B2": {"points": [...], "amdahl_serial_fraction": f},
+/// "B5": ...}`.
+pub fn scaling_json(tables: &[(Variant, Vec<ScalingPoint>, f64)]) -> String {
+    let mut w = JsonWriter::with_capacity(4096);
+    w.begin_object();
+    for (v, pts, serial) in tables {
+        w.key(v.name()).begin_object().key("points").begin_array();
+        for p in pts {
+            w.begin_object()
+                .field_u64("cores", p.cores as u64)
+                .field_u64("global_batch", p.global_batch as u64)
+                .field_f64("parallel_efficiency", p.parallel_efficiency)
+                .field_f64("compute_share", p.compute_share)
+                .field_f64("all_reduce_share", p.all_reduce_share)
+                .field_f64("end_to_end_speedup", p.end_to_end_speedup)
+                .end_object();
+        }
+        w.end_array()
+            .field_f64("amdahl_serial_fraction", *serial)
+            .end_object();
+    }
+    w.end_object();
+    w.finish()
+}
+
+// ------------------------------------------------- BENCH_step_time smoke
+
+/// One [`RunSummary`] per Table 1 operating point, from the calibrated
+/// step-time model. `steps` is 0 (the model prices one steady-state step,
+/// not a run); `total_virtual_s` is one step.
+pub fn step_time_summaries() -> Vec<RunSummary> {
+    table1_rows()
+        .iter()
+        .map(|r| RunSummary {
+            label: format!("{} @ {} cores", r.model, r.cores),
+            cores: r.cores as u64,
+            global_batch: r.global_batch as u64,
+            steps: 0,
+            step_ms: r.step_ms,
+            all_reduce_pct: r.allreduce_pct,
+            bn_sync_pct: 0.0,
+            images_per_sec: r.throughput_img_per_ms * 1e3,
+            total_virtual_s: r.step_ms * 1e-3,
+            overhead: OverheadDecomposition::default(),
+        })
+        .collect()
+}
+
+/// The smoke experiment behind `BENCH_step_time.json`'s measured row and
+/// the CI Chrome-trace artifact: a 2×2 world (4 replicas) with a straggler
+/// window, a transient collective failure, and a mid-run preemption — every
+/// recorder lane lights up, and the run stays deterministic.
+pub fn smoke_experiment() -> Experiment {
+    use ets_collective::{FaultEvent, FaultKind};
+    let mut e = Experiment::proxy_default();
+    e.replicas = 4;
+    e.per_replica_batch = 8;
+    e.epochs = 2;
+    e.train_samples = 128;
+    e.eval_samples = 32;
+    e.eval_every = 2;
+    e.faults.checkpoint_every_steps = 2;
+    e.faults.restart_delay_s = 3.0;
+    e.faults.events = vec![
+        FaultEvent {
+            at_s: 1.0,
+            duration_s: 2.0,
+            kind: FaultKind::Straggler {
+                replica: 3,
+                slowdown: 2.5,
+            },
+        },
+        FaultEvent {
+            at_s: 3.5,
+            duration_s: 0.0,
+            kind: FaultKind::TransientCollective { failures: 1 },
+        },
+        FaultEvent {
+            at_s: 5.0,
+            duration_s: 0.0,
+            kind: FaultKind::Preempt { replica: 1 },
+        },
+    ];
+    e
+}
+
+/// Output of [`run_smoke`]: everything CI uploads as artifacts.
+pub struct SmokeArtifacts {
+    /// `BENCH_step_time.json` contents: per-variant simulated operating
+    /// points plus the measured proxy run, `{"runs": [...]}`.
+    pub step_time_json: String,
+    /// Chrome trace-event JSON of the faulted 2×2-world run (one pid per
+    /// rank), already validated against the trace-event schema.
+    pub trace_json: String,
+    /// Prometheus text dump of all ranks' metric registries.
+    pub prom_text: String,
+    /// The traced run's report (for asserts in tests).
+    pub report: TrainReport,
+    /// Per-rank recorders of the traced run.
+    pub recorders: Vec<Arc<Recorder>>,
+}
+
+/// The bench smoke path: build the per-variant step-time summaries, run
+/// the traced faulted proxy experiment, and render all artifacts.
+/// Panics if the produced trace fails schema validation — CI runs this
+/// path, so an invalid trace can never become an uploaded artifact.
+pub fn run_smoke() -> SmokeArtifacts {
+    let exp = smoke_experiment();
+    let (report, recorders) = train_traced(&exp);
+
+    let mut runs = step_time_summaries();
+    runs.push(report.run_summary(
+        "proxy (measured) @ 2x2 world",
+        exp.replicas as u64,
+        exp.global_batch() as u64,
+    ));
+    let step_time_json = summaries_to_json(&runs);
+
+    let recs: Vec<&Recorder> = recorders.iter().map(Arc::as_ref).collect();
+    let trace_json = ets_obs::chrome_trace_multi(&recs);
+    let stats = validate_chrome_trace(&trace_json)
+        .unwrap_or_else(|e| panic!("smoke trace failed schema validation: {e}"));
+    assert_eq!(stats.pids, exp.replicas, "one pid per rank");
+    let prom_text = ets_obs::prometheus_text_multi(&recs);
+
+    SmokeArtifacts {
+        step_time_json,
+        trace_json,
+        prom_text,
+        report,
+        recorders,
+    }
+}

@@ -1,0 +1,161 @@
+//! Smoke tests for the bench harness: the table/figure row builders must
+//! run, their JSON must parse, and the smoke path's `BENCH_step_time.json`
+//! must agree with the Table 1 operating points.
+//!
+//! These are exactly the code paths the `table1`/`figure1`/`scaling` bins
+//! and CI's artifact job execute — before this suite existed, nothing
+//! exercised them and the `BENCH_*` perf trajectory stayed empty.
+
+use ets_bench::{
+    figure1_json, figure1_points, run_smoke, scaling_json, scaling_tables, step_time_summaries,
+    table1_json, table1_rows, TABLE1_PAPER,
+};
+use ets_obs::{parse_json, validate_chrome_trace};
+
+#[test]
+fn table1_rows_emit_parseable_json_with_all_operating_points() {
+    let rows = table1_rows();
+    assert_eq!(rows.len(), TABLE1_PAPER.len());
+    let v = parse_json(&table1_json(&rows)).expect("table1 JSON must parse");
+    let arr = v.as_arr().expect("array of rows");
+    assert_eq!(arr.len(), TABLE1_PAPER.len());
+    for (row, (variant, cores, gbs, ..)) in arr.iter().zip(TABLE1_PAPER) {
+        assert_eq!(row.get("model").unwrap().as_str().unwrap(), variant.name());
+        assert_eq!(row.get("cores").unwrap().as_f64().unwrap() as usize, cores);
+        assert_eq!(
+            row.get("global_batch").unwrap().as_f64().unwrap() as usize,
+            gbs
+        );
+        assert!(row.get("step_ms").unwrap().as_f64().unwrap() > 0.0);
+        let ar = row.get("allreduce_pct").unwrap().as_f64().unwrap();
+        assert!(
+            ar > 0.0 && ar < 100.0,
+            "all-reduce share {ar}% out of range"
+        );
+    }
+}
+
+#[test]
+fn figure1_points_emit_parseable_json_including_headline_run() {
+    let pts = figure1_points();
+    // 4 slices per variant + B5's batch-65536 headline.
+    assert_eq!(pts.len(), 9);
+    let v = parse_json(&figure1_json(&pts)).expect("figure1 JSON must parse");
+    let arr = v.as_arr().unwrap();
+    assert_eq!(arr.len(), 9);
+    let headline = arr
+        .iter()
+        .find(|p| p.get("global_batch").unwrap().as_f64().unwrap() as usize == 65536)
+        .expect("batch-65536 headline run present");
+    assert!(headline.get("minutes_to_peak").unwrap().as_f64().unwrap() > 0.0);
+    assert!(headline.get("peak_top1").unwrap().as_f64().unwrap() > 0.8);
+}
+
+#[test]
+fn scaling_tables_emit_parseable_json_for_both_variants() {
+    let tables = scaling_tables(&[128, 256, 512, 1024]);
+    let v = parse_json(&scaling_json(&tables)).expect("scaling JSON must parse");
+    for name in ["EfficientNet-B2", "EfficientNet-B5"] {
+        let t = v
+            .get(name)
+            .unwrap_or_else(|| panic!("variant {name} missing"));
+        let pts = t.get("points").unwrap().as_arr().unwrap();
+        assert_eq!(pts.len(), 4);
+        let serial = t.get("amdahl_serial_fraction").unwrap().as_f64().unwrap();
+        assert!(
+            (0.0..1.0).contains(&serial),
+            "serial fraction {serial} out of range"
+        );
+        // Parallel efficiency stays near 1 (the paper's "scales linearly").
+        for p in pts {
+            let eff = p.get("parallel_efficiency").unwrap().as_f64().unwrap();
+            assert!(eff > 0.5 && eff <= 1.0 + 1e-9, "efficiency {eff}");
+        }
+    }
+}
+
+#[test]
+fn step_time_summaries_match_table1_within_tolerance() {
+    let rows = table1_rows();
+    let runs = step_time_summaries();
+    assert_eq!(runs.len(), rows.len());
+    for (s, r) in runs.iter().zip(&rows) {
+        assert_eq!(s.cores as usize, r.cores);
+        assert_eq!(s.global_batch as usize, r.global_batch);
+        assert!(
+            (s.step_ms - r.step_ms).abs() < 1e-9,
+            "{}: step_ms {} vs {}",
+            s.label,
+            s.step_ms,
+            r.step_ms
+        );
+        assert!(
+            (s.all_reduce_pct - r.allreduce_pct).abs() < 1e-9,
+            "{}: AR% {} vs {}",
+            s.label,
+            s.all_reduce_pct,
+            r.allreduce_pct
+        );
+        assert!(
+            (s.images_per_sec - r.throughput_img_per_ms * 1e3).abs()
+                < 1e-6 * s.images_per_sec.abs().max(1.0),
+            "{}: im/s",
+            s.label
+        );
+    }
+}
+
+#[test]
+fn smoke_path_emits_valid_artifacts() {
+    let art = run_smoke();
+
+    // BENCH_step_time.json: the 8 operating points + the measured row.
+    let v = parse_json(&art.step_time_json).expect("BENCH_step_time.json must parse");
+    let runs = v.get("runs").unwrap().as_arr().unwrap();
+    assert_eq!(runs.len(), TABLE1_PAPER.len() + 1);
+    let rows = table1_rows();
+    for (run, row) in runs.iter().zip(&rows) {
+        let step_ms = run.get("step_ms").unwrap().as_f64().unwrap();
+        let ar = run.get("all_reduce_pct").unwrap().as_f64().unwrap();
+        assert!(
+            (step_ms - row.step_ms).abs() < 1e-9,
+            "step_ms {step_ms} vs {}",
+            row.step_ms
+        );
+        assert!((ar - row.allreduce_pct).abs() < 1e-9);
+    }
+    let measured = runs.last().unwrap();
+    assert!(measured.get("step_ms").unwrap().as_f64().unwrap() > 0.0);
+    assert!(measured.get("steps").unwrap().as_f64().unwrap() > 0.0);
+    // The faulted run's virtual overhead shows up in the decomposition.
+    let overhead = measured.get("overhead").unwrap();
+    assert!(overhead.get("restart_s").unwrap().as_f64().unwrap() > 0.0);
+    assert!(
+        overhead.get("retry_backoff_s").unwrap().as_f64().unwrap() > 0.0,
+        "transient failure must charge backoff"
+    );
+
+    // The Chrome trace validates and has one pid per rank.
+    let stats = validate_chrome_trace(&art.trace_json).expect("trace must validate");
+    assert_eq!(stats.pids, 4);
+    assert!(stats.spans > 0 && stats.instants > 0);
+
+    // Every rank recorded the identical virtual stream.
+    let fp0 = art.recorders[0].virtual_fingerprint();
+    for rec in &art.recorders[1..] {
+        assert_eq!(rec.virtual_fingerprint(), fp0);
+    }
+
+    // Prometheus dump carries trainer counters for every rank.
+    assert!(art.prom_text.contains("# TYPE ets_preemptions counter"));
+    for rank in 0..4 {
+        assert!(
+            art.prom_text.contains(&format!("rank=\"{rank}\"")),
+            "rank {rank} missing from prom dump"
+        );
+    }
+
+    // The faulted run exercised the fault machinery it claims to trace.
+    assert!(art.report.fault_recovery.preemptions >= 1);
+    assert!(art.report.fault_recovery.transient_failures >= 1);
+}

@@ -670,6 +670,11 @@ pub struct FaultyCollective {
     step: AtomicU64,
     failed_attempts_this_step: AtomicU32,
     injected_failures: AtomicU64,
+    /// Optional flight recorder; injected failures and fallible calls are
+    /// counted into its metrics registry. A disabled recorder makes every
+    /// recording call a cheap early-return, so fault-free hot paths pay
+    /// nothing.
+    recorder: Option<Arc<ets_obs::Recorder>>,
 }
 
 impl FaultyCollective {
@@ -681,7 +686,17 @@ impl FaultyCollective {
             step: AtomicU64::new(0),
             failed_attempts_this_step: AtomicU32::new(0),
             injected_failures: AtomicU64::new(0),
+            recorder: None,
         }
+    }
+
+    /// Attaches a flight recorder: every injected transient failure bumps
+    /// `collective_faults_injected`, every fallible exchange attempt bumps
+    /// `collective_try_calls`, replacing ad-hoc polling of
+    /// [`FaultyCollective::injected_failures`] for observability consumers
+    /// (the atomic stays as the serde-facade-level accessor).
+    pub fn attach_recorder(&mut self, rec: Arc<ets_obs::Recorder>) {
+        self.recorder = Some(rec);
     }
 
     /// Advances the injector's step clock (call once per training step,
@@ -735,6 +750,9 @@ impl Collective for FaultyCollective {
         let step = self.step.load(Ordering::Relaxed);
         let planned = self.schedule.transient_failures_at(step);
         let failed = self.failed_attempts_this_step.load(Ordering::Relaxed);
+        if let Some(rec) = &self.recorder {
+            rec.counter_add("collective_try_calls", 1);
+        }
         if failed < planned {
             // Fail BEFORE touching the payload or the inner communicator:
             // every rank takes this branch for the same attempt, so the
@@ -742,13 +760,26 @@ impl Collective for FaultyCollective {
             self.failed_attempts_this_step
                 .store(failed + 1, Ordering::Relaxed);
             self.injected_failures.fetch_add(1, Ordering::Relaxed);
+            if let Some(rec) = &self.recorder {
+                rec.counter_add("collective_faults_injected", 1);
+            }
             return Err(CollectiveError::Transient {
                 op: "all_reduce_sum",
                 step,
                 attempt: failed + 1,
             });
         }
-        self.inner.try_all_reduce_sum(buf)
+        if let Some(rec) = &self.recorder {
+            let _span = rec.wall_span(
+                ets_obs::Lane::WallCollective,
+                ets_obs::phase::RETRY_ATTEMPT,
+                step,
+                (failed + 1) as u64,
+            );
+            self.inner.try_all_reduce_sum(buf)
+        } else {
+            self.inner.try_all_reduce_sum(buf)
+        }
     }
 }
 

@@ -30,11 +30,13 @@
 use crate::checkpoint::TensorRecord;
 use crate::report::EpochRecord;
 use ets_nn::EmaState;
+use ets_obs::{phase as obs_phase, Lane, Recorder};
 use ets_optim::OptimizerState;
 use std::fmt;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Current durable-checkpoint format version.
 pub const CKPT_STORE_VERSION: u32 = 1;
@@ -650,6 +652,11 @@ pub struct LoadReport {
 pub struct CkptStore {
     dir: PathBuf,
     retain: usize,
+    /// Optional flight recorder: save/load I/O is timed on
+    /// [`Lane::WallCkpt`] and counted (`ckpt_saves`, `ckpt_loads`,
+    /// `ckpt_corrupt_skipped`). The store is usually driven by rank 0, so
+    /// one recorder per store is the natural granularity.
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl CkptStore {
@@ -659,7 +666,17 @@ impl CkptStore {
         assert!(retain >= 1, "must retain at least one checkpoint");
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir).map_err(io_err)?;
-        Ok(CkptStore { dir, retain })
+        Ok(CkptStore {
+            dir,
+            retain,
+            recorder: None,
+        })
+    }
+
+    /// Attaches a flight recorder; subsequent saves/loads emit wall spans
+    /// and counters into it.
+    pub fn attach_recorder(&mut self, rec: Arc<Recorder>) {
+        self.recorder = Some(rec);
     }
 
     /// The store directory.
@@ -678,6 +695,10 @@ impl CkptStore {
     /// Atomically persists `snap`, updates the manifest, and applies the
     /// retention policy. Returns the checkpoint's final path.
     pub fn save(&self, snap: &DurableSnapshot) -> Result<PathBuf, CkptError> {
+        let _span = self.recorder.as_ref().map(|rec| {
+            rec.counter_add("ckpt_saves", 1);
+            rec.wall_span(Lane::WallCkpt, obs_phase::DURABLE_CHECKPOINT, snap.step, 0)
+        });
         let bytes = snap.to_bytes();
         let final_path = self.path_for(snap.step);
         let tmp_path = self.dir.join(format!("{}.tmp", Self::file_name(snap.step)));
@@ -726,6 +747,10 @@ impl CkptStore {
         &self,
         before: u64,
     ) -> Result<Option<(DurableSnapshot, LoadReport)>, CkptError> {
+        let _span = self.recorder.as_ref().map(|rec| {
+            rec.counter_add("ckpt_loads", 1);
+            rec.wall_span(Lane::WallCkpt, obs_phase::CHECKPOINT, before, 0)
+        });
         // The directory scan is the source of truth for candidates; the
         // manifest adds a cross-check when it is itself intact. A corrupt
         // manifest therefore degrades availability never correctness.
@@ -748,6 +773,9 @@ impl CkptStore {
                                 continue;
                             }
                         }
+                    }
+                    if let Some(rec) = self.recorder.as_ref().filter(|_| skipped > 0) {
+                        rec.counter_add("ckpt_corrupt_skipped", skipped);
                     }
                     return Ok(Some((
                         snap,

@@ -25,6 +25,8 @@ use crate::report::RecoveryCounters;
 use crate::timeline::{AllReduceProfile, Stopwatch};
 use ets_collective::{retry_collective, Collective, CollectiveError, RetryPolicy};
 use ets_nn::Layer;
+use ets_obs::{phase as obs_phase, Lane, Recorder};
+use std::sync::Arc;
 
 /// Default bucket bound: 1 Mi elements = 4 MiB of f32 gradients. Proxy
 /// models fit in one bucket; paper-scale models split into several.
@@ -38,8 +40,16 @@ pub struct GradBucket {
     flat: Vec<f32>,
     /// Contiguous `[start, end)` element ranges covering `flat`.
     buckets: Vec<(usize, usize)>,
-    /// Accumulated per-bucket timing.
+    /// Accumulated per-bucket timing (serde facade over the recorder's
+    /// wall-bucket lane; both are fed from the same stopwatch laps).
     profile: AllReduceProfile,
+    /// Optional flight recorder: per-bucket wall spans on
+    /// [`Lane::WallBucket`] (aux = bucket index), a `bucket_seconds`
+    /// histogram, and retry counters. Disabled recorders cost one branch.
+    recorder: Option<Arc<Recorder>>,
+    /// Step used to tag recorded bucket spans (set via
+    /// [`GradBucket::set_step`]; purely observational).
+    step: u64,
 }
 
 impl GradBucket {
@@ -68,7 +78,21 @@ impl GradBucket {
             flat: vec![0.0; total],
             buckets,
             profile: AllReduceProfile::new(bucket_elems),
+            recorder: None,
+            step: 0,
         }
+    }
+
+    /// Attaches a flight recorder; subsequent exchanges emit per-bucket
+    /// wall spans and retry counters into it.
+    pub fn attach_recorder(&mut self, rec: Arc<Recorder>) {
+        self.recorder = Some(rec);
+    }
+
+    /// Tags future recorded bucket spans with `step` (call alongside the
+    /// fault injector's step clock; has no effect on numerics).
+    pub fn set_step(&mut self, step: u64) {
+        self.step = step;
     }
 
     /// Total flattened elements (params + loss scalar).
@@ -170,9 +194,27 @@ impl GradBucket {
             counters.transient_failures += retries;
             counters.collective_retries += retries;
             counters.retry_backoff_virtual_s += outcome.backoff_s;
-            self.profile.bucket_seconds[i] += sw.lap();
+            let dur = sw.lap();
+            self.profile.bucket_seconds[i] += dur;
+            if let Some(rec) = &self.recorder {
+                rec.wall_span_measured(
+                    Lane::WallBucket,
+                    obs_phase::BUCKET,
+                    rec.wall_now_s() - dur,
+                    dur,
+                    self.step,
+                    i as u64,
+                );
+                rec.histogram_observe("bucket_seconds", dur);
+                if retries > 0 {
+                    rec.counter_add("bucket_retries", retries);
+                }
+            }
         }
         self.profile.rounds += 1;
+        if let Some(rec) = &self.recorder {
+            rec.counter_add("all_reduce_rounds", 1);
+        }
 
         // Average and scatter back.
         let inv = 1.0 / comm.size() as f32;

@@ -37,4 +37,4 @@ pub use report::{
 };
 pub use sweep::{batch_sweep, run_sweep, SweepCell, SweepResult};
 pub use timeline::{AllReduceProfile, PhaseBreakdown, ResizeRecord, StepTimeline, Stopwatch};
-pub use trainer::{train, DivergenceError};
+pub use trainer::{train, train_traced, DivergenceError};

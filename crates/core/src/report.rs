@@ -74,6 +74,29 @@ impl RecoveryCounters {
             + self.straggler_virtual_s
             + self.resize_virtual_s
     }
+
+    /// Mirrors the final counter values into a flight recorder's metrics
+    /// registry (integer fields as counters, virtual-seconds fields as
+    /// gauges). Call once at end of run: counters accumulate.
+    pub fn mirror_to(&self, rec: &ets_obs::Recorder) {
+        rec.counter_add("transient_failures", self.transient_failures);
+        rec.counter_add("collective_retries", self.collective_retries);
+        rec.counter_add("preemptions", self.preemptions);
+        rec.counter_add("replayed_steps", self.replayed_steps);
+        rec.counter_add("checkpoints_taken", self.checkpoints_taken);
+        rec.counter_add("lost_replicas", self.lost_replicas);
+        rec.counter_add("resizes", self.resizes);
+        rec.counter_add("durable_checkpoints", self.durable_checkpoints);
+        rec.counter_add(
+            "corrupt_checkpoints_skipped",
+            self.corrupt_checkpoints_skipped,
+        );
+        rec.counter_add("divergence_rollbacks", self.divergence_rollbacks);
+        rec.gauge_set("retry_backoff_virtual_s", self.retry_backoff_virtual_s);
+        rec.gauge_set("restart_virtual_s", self.restart_virtual_s);
+        rec.gauge_set("straggler_virtual_s", self.straggler_virtual_s);
+        rec.gauge_set("resize_virtual_s", self.resize_virtual_s);
+    }
 }
 
 /// One epoch's record, as seen by replica 0 (identical on all replicas for
@@ -148,6 +171,37 @@ impl TrainReport {
     /// Serializes to pretty JSON for the experiment harnesses.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Collapses the report into a Table-1-style [`ets_obs::RunSummary`]:
+    /// measured wall step time / all-reduce share / throughput, plus the
+    /// virtual-seconds recovery and resize overhead decomposition.
+    pub fn run_summary(&self, label: &str, cores: u64, global_batch: u64) -> ets_obs::RunSummary {
+        let step_s = self.phases.step_seconds();
+        ets_obs::RunSummary {
+            label: label.to_string(),
+            cores,
+            global_batch,
+            steps: self.steps,
+            step_ms: step_s * 1e3,
+            all_reduce_pct: self.phases.all_reduce_share() * 100.0,
+            bn_sync_pct: 0.0, // thread engine folds BN sync into forward time
+            images_per_sec: if step_s > 0.0 {
+                global_batch as f64 / step_s
+            } else {
+                0.0
+            },
+            total_virtual_s: self.step_timeline.total_virtual_s()
+                + self.step_timeline.resize_virtual_s()
+                + self.fault_recovery.restart_virtual_s,
+            overhead: ets_obs::OverheadDecomposition {
+                retry_backoff_s: self.fault_recovery.retry_backoff_virtual_s,
+                restart_s: self.fault_recovery.restart_virtual_s,
+                straggler_s: self.fault_recovery.straggler_virtual_s,
+                degrade_s: 0.0, // link degradation is priced by the pod sim
+                resize_s: self.fault_recovery.resize_virtual_s,
+            },
+        }
     }
 }
 

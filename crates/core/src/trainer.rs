@@ -52,6 +52,7 @@ use ets_collective::{
 use ets_data::{load_batch, AugmentConfig, Dataset, EpochPlan, SynthNet};
 use ets_efficientnet::EfficientNet;
 use ets_nn::{cross_entropy, zero_grads, Ema, EvalCounts, Layer, Mode};
+use ets_obs::{phase as obs_ph, Lane, Recorder};
 use ets_optim::{
     Constant, CosineDecay, ExponentialDecay, Lamb, Lars, LrSchedule, Optimizer, OptimizerState,
     PolynomialDecay, RmsProp, Sgd, Shifted, Sm3, Warmup,
@@ -349,6 +350,11 @@ struct PhaseOutcome {
     /// True when training completed; false when the phase drained for a
     /// world resize.
     done: bool,
+    /// Virtual-clock cursor at phase end. Unlike the timeline (which
+    /// overwrites replayed steps), the cursor advances monotonically
+    /// through replays, restarts, and resizes, so the next phase's trace
+    /// spans continue where this phase's stopped.
+    vnow_end: f64,
 }
 
 /// Merges a phase's bucket profile into the run accumulator. The bucket
@@ -379,7 +385,38 @@ fn merge_profiles(into: &mut AllReduceProfile, from: &AllReduceProfile) {
 /// without losses execute as a single phase, bitwise identical to the
 /// pre-elastic trainer.
 pub fn train(exp: &Experiment) -> TrainReport {
+    // Disabled recorders: every instrumentation call early-returns before
+    // touching a lock, the clock, or the allocator, so the untraced path
+    // stays bitwise and allocation-identical to the pre-recorder trainer.
+    let recorders: Vec<Arc<Recorder>> = (0..exp.replicas)
+        .map(|_| Arc::new(Recorder::disabled()))
+        .collect();
+    train_recorded(exp, &recorders)
+}
+
+/// Like [`train`], but with a live flight recorder per replica: every rank
+/// records hierarchical spans on both clocks (deterministic virtual
+/// seconds + wall time) plus counters/gauges/histograms. Returns the
+/// report together with the recorders; feed them to
+/// [`ets_obs::chrome_trace_multi`] / [`ets_obs::prometheus_text_multi`]
+/// for export. Recording does not perturb numerics: the virtual spans
+/// charge exactly the quantities the [`StepTimeline`] already records, so
+/// a traced run produces a bit-identical [`TrainReport`].
+pub fn train_traced(exp: &Experiment) -> (TrainReport, Vec<Arc<Recorder>>) {
+    let recorders: Vec<Arc<Recorder>> = (0..exp.replicas)
+        .map(|r| Arc::new(Recorder::enabled(r as u32)))
+        .collect();
+    let report = train_recorded(exp, &recorders);
+    (report, recorders)
+}
+
+fn train_recorded(exp: &Experiment, recorders: &[Arc<Recorder>]) -> TrainReport {
     exp.validate();
+    assert_eq!(
+        recorders.len(),
+        exp.replicas,
+        "one recorder per starting replica"
+    );
     let start = Instant::now();
     let (train_set, eval_set) = SynthNet::train_eval_pair(
         exp.seed,
@@ -432,9 +469,11 @@ pub fn train(exp: &Experiment) -> TrainReport {
             }
         };
         let _ = std::fs::remove_dir_all(&dir);
-        Some(Arc::new(
-            CkptStore::open(&dir, DURABLE_RETAIN).expect("open durable checkpoint store"),
-        ))
+        let mut s = CkptStore::open(&dir, DURABLE_RETAIN).expect("open durable checkpoint store");
+        // Only rank 0 writes through the store, so its recorder owns the
+        // store's (wall-clock-only) checkpoint spans.
+        s.attach_recorder(Arc::clone(&recorders[0]));
+        Some(Arc::new(s))
     } else {
         None
     };
@@ -446,6 +485,7 @@ pub fn train(exp: &Experiment) -> TrainReport {
     let mut carry_timeline = StepTimeline::new(faults.step_seconds());
     let mut carry_phases = PhaseBreakdown::default();
     let mut carry_buckets = AllReduceProfile::default();
+    let mut carry_vnow = 0.0f64;
     let history;
     let checksum0;
     let final_step;
@@ -485,10 +525,16 @@ pub fn train(exp: &Experiment) -> TrainReport {
                     let store = store.clone();
                     let counters0 = carry_counters;
                     let timeline0 = carry_timeline.clone();
+                    let vnow0 = carry_vnow;
+                    // Surviving ranks keep their original recorders: rank r
+                    // of the shrunken world is survivor r of the old one.
+                    let rec = Arc::clone(&recorders[r]);
                     let comm = if faults.is_empty() {
                         WorldComm::Plain(world_comm)
                     } else {
-                        WorldComm::Faulty(FaultyCollective::new(world_comm, Arc::clone(&faults)))
+                        let mut fc = FaultyCollective::new(world_comm, Arc::clone(&faults));
+                        fc.attach_recorder(Arc::clone(&rec));
+                        WorldComm::Faulty(fc)
                     };
                     scope.spawn(move || {
                         run_replica_phase(
@@ -505,6 +551,8 @@ pub fn train(exp: &Experiment) -> TrainReport {
                             resume,
                             counters0,
                             timeline0,
+                            rec,
+                            vnow0,
                         )
                     })
                 })
@@ -533,11 +581,27 @@ pub fn train(exp: &Experiment) -> TrainReport {
             );
         }
 
+        // The virtual-clock span stream is derived purely from the
+        // SPMD-symmetric fault schedule, so every rank must have recorded
+        // bit-identical virtual events (wall spans are excluded from the
+        // fingerprint by construction).
+        if recorders[0].is_enabled() {
+            let fp0 = recorders[0].virtual_fingerprint();
+            for (r, rec) in recorders.iter().enumerate().take(world).skip(1) {
+                assert_eq!(
+                    rec.virtual_fingerprint(),
+                    fp0,
+                    "replica {r} virtual trace diverged — nondeterministic recording"
+                );
+            }
+        }
+
         carry_counters = results[0].counters;
         carry_phases.merge(&results[0].phases);
         merge_profiles(&mut carry_buckets, &results[0].buckets);
         let res0 = results.into_iter().next().expect("at least one replica");
         carry_timeline = res0.timeline;
+        carry_vnow = res0.vnow_end;
 
         if res0.done {
             history = res0.history;
@@ -571,6 +635,12 @@ pub fn train(exp: &Experiment) -> TrainReport {
 
     if let Some(d) = auto_dir {
         let _ = std::fs::remove_dir_all(&d);
+    }
+
+    // Mirror the final recovery counters into every surviving recorder's
+    // metric registry (no-op for disabled recorders).
+    for rec in recorders.iter().take(world) {
+        carry_counters.mirror_to(rec);
     }
 
     let (peak_top1, peak_epoch) = history
@@ -611,6 +681,8 @@ fn run_replica_phase(
     resume: bool,
     counters0: RecoveryCounters,
     timeline0: StepTimeline,
+    rec: Arc<Recorder>,
+    vnow0: f64,
 ) -> PhaseOutcome {
     // Two init-sync modes: shared seed stream (default), or independent
     // init + a broadcast of replica 0's state (the multi-host pattern),
@@ -633,6 +705,7 @@ fn run_replica_phase(
         model.set_bn_sync(Arc::new(GroupStatSync::new(c)));
     }
     let mut grad_bucket = GradBucket::new(&mut model);
+    grad_bucket.attach_recorder(Arc::clone(&rec));
     let mut optimizer = build_optimizer(view.optimizer);
     // Schedule in the *current world's* step units: `view.replicas` is the
     // surviving world, so the peak LR linear-rescales with the shrunken
@@ -650,6 +723,11 @@ fn run_replica_phase(
 
     let mut counters = counters0;
     let mut timeline = timeline0;
+    // Virtual-clock cursor for trace spans. The timeline *overwrites*
+    // replayed steps (it models the final trajectory), but the trace keeps
+    // every execution: replayed steps re-emit spans at a later cursor, so
+    // rewinds are visible as repeated step names on a monotone clock.
+    let mut vnow = vnow0;
     let mut prog = Progress::fresh();
     let mut history: Vec<EpochRecord> = Vec::new();
     if resume {
@@ -724,6 +802,15 @@ fn run_replica_phase(
                 store.save(&snap).expect("durable checkpoint save failed");
             }
             counters.durable_checkpoints += 1;
+            // Symmetric on all ranks (logical checkpoints), so the virtual
+            // instant keeps the cross-rank fingerprint equal.
+            rec.virtual_instant(
+                Lane::VirtualControl,
+                obs_ph::DURABLE_CHECKPOINT,
+                vnow,
+                prog.step,
+                counters.durable_checkpoints,
+            );
         }
 
         // Periodic in-memory snapshot (only when the plan can actually
@@ -745,6 +832,13 @@ fn run_replica_phase(
                 history: history.clone(),
             });
             counters.checkpoints_taken += 1;
+            rec.virtual_instant(
+                Lane::VirtualControl,
+                obs_ph::CHECKPOINT,
+                vnow,
+                prog.step,
+                counters.checkpoints_taken,
+            );
         }
 
         // Preemption: the job dies *before* executing this step, restarts
@@ -766,6 +860,22 @@ fn run_replica_phase(
             counters.preemptions += 1;
             counters.replayed_steps += prog.step - snap.prog.step;
             counters.restart_virtual_s += faults.restart_delay_s();
+            rec.virtual_instant(
+                Lane::VirtualControl,
+                obs_ph::REWIND,
+                vnow,
+                prog.step,
+                prog.step - snap.prog.step,
+            );
+            rec.virtual_span(
+                Lane::VirtualControl,
+                obs_ph::RESTART,
+                vnow,
+                faults.restart_delay_s(),
+                prog.step,
+                0,
+            );
+            vnow += faults.restart_delay_s();
             timeline.truncate(snap.prog.step);
             prog = snap.prog;
             continue;
@@ -774,18 +884,45 @@ fn run_replica_phase(
         let mut sw = Stopwatch::start();
         zero_grads(&mut model);
         let mut micro_loss = 0.0f32;
+        let (mut data_s, mut fwd_s, mut bwd_s) = (0.0f64, 0.0f64, 0.0f64);
         for micro in 0..accum {
             let offset = prog.sample_off as usize + micro * micro_span;
             let indices = plan.batch_at(offset, replica, view.replicas, b);
             let (x, labels) =
                 load_batch(train_set, &indices, AugmentConfig::train(), &mut data_rng);
-            phases.data += sw.lap();
+            data_s += sw.lap();
             let logits = model.forward(&x, Mode::Train, &mut layer_rng);
             let out = cross_entropy(&logits, &labels, view.label_smoothing);
-            phases.forward += sw.lap();
+            fwd_s += sw.lap();
             model.backward(&out.dlogits);
-            phases.backward += sw.lap();
+            bwd_s += sw.lap();
             micro_loss += out.loss;
+        }
+        phases.data += data_s;
+        phases.forward += fwd_s;
+        phases.backward += bwd_s;
+        if rec.is_enabled() {
+            // Aggregated per-step wall spans (one per phase), back-dated
+            // from the current wall clock so they tile the measured laps.
+            let now = rec.wall_now_s();
+            let start = now - (data_s + fwd_s + bwd_s);
+            rec.wall_span_measured(Lane::WallPhase, obs_ph::DATA, start, data_s, prog.step, 0);
+            rec.wall_span_measured(
+                Lane::WallPhase,
+                obs_ph::FORWARD,
+                start + data_s,
+                fwd_s,
+                prog.step,
+                0,
+            );
+            rec.wall_span_measured(
+                Lane::WallPhase,
+                obs_ph::BACKWARD,
+                start + data_s + fwd_s,
+                bwd_s,
+                prog.step,
+                0,
+            );
         }
         if accum > 1 {
             // Each micro-batch contributed a mean gradient; average them.
@@ -797,6 +934,7 @@ fn run_replica_phase(
         // gradients with bounded retry (backoff is virtual: accounted,
         // never slept).
         world.set_step(prog.step);
+        grad_bucket.set_step(prog.step);
         let backoff_before = counters.retry_backoff_virtual_s;
         let mean_loss = grad_bucket
             .all_reduce_with_retry(
@@ -812,7 +950,18 @@ fn run_replica_phase(
                     prog.step
                 )
             });
-        phases.all_reduce += sw.lap();
+        let ar_s = sw.lap();
+        phases.all_reduce += ar_s;
+        if rec.is_enabled() {
+            rec.wall_span_measured(
+                Lane::WallPhase,
+                obs_ph::ALL_REDUCE,
+                rec.wall_now_s() - ar_s,
+                ar_s,
+                prog.step,
+                0,
+            );
+        }
 
         // Divergence guard: the reduced loss and flat gradient buffer are
         // bitwise identical on every rank, so either all ranks trip here
@@ -841,6 +990,13 @@ fn run_replica_phase(
                 .unwrap_or_else(|| panic!("{err}: no valid durable checkpoint to roll back to"));
             counters.corrupt_checkpoints_skipped += load_report.corrupt_skipped;
             counters.replayed_steps += prog.step - snap.step;
+            rec.virtual_instant(
+                Lane::VirtualControl,
+                obs_ph::REWIND,
+                vnow,
+                prog.step,
+                prog.step - snap.step,
+            );
             let halved = prog.lr_scale * 0.5;
             let (p, h) = apply_durable(&snap, &mut model, optimizer.as_mut(), &mut ema);
             prog = p;
@@ -865,10 +1021,21 @@ fn run_replica_phase(
         if let Some(e) = &mut ema {
             e.update(&mut model);
         }
-        phases.optimizer += sw.lap();
+        let opt_s = sw.lap();
+        phases.optimizer += opt_s;
         phases.steps += 1;
         prog.loss_sum += mean_loss as f64;
         prog.last_lr = lr;
+        if rec.is_enabled() {
+            rec.wall_span_measured(
+                Lane::WallPhase,
+                obs_ph::OPTIMIZER,
+                rec.wall_now_s() - opt_s,
+                opt_s,
+                prog.step,
+                0,
+            );
+        }
 
         // Virtual step time: the nominal step stretched by the worst
         // timing fault active at this step (SPMD steps gate on the slowest
@@ -877,7 +1044,40 @@ fn run_replica_phase(
         let slowdown = faults.slowdown_at(prog.step);
         counters.straggler_virtual_s += (slowdown - 1.0) * nominal;
         let step_backoff = counters.retry_backoff_virtual_s - backoff_before;
-        timeline.record(prog.step, nominal * slowdown + step_backoff);
+        let step_virtual = nominal * slowdown + step_backoff;
+        timeline.record(prog.step, step_virtual);
+        // Trace the same deterministic quantity: a STEP span covering the
+        // full virtual duration, with control sub-spans decomposing the
+        // fault overhead (straggler stretch, then retry backoff).
+        rec.virtual_span(
+            Lane::VirtualStep,
+            obs_ph::STEP,
+            vnow,
+            step_virtual,
+            prog.step,
+            0,
+        );
+        if slowdown > 1.0 {
+            rec.virtual_span(
+                Lane::VirtualControl,
+                obs_ph::STRAGGLER,
+                vnow + nominal,
+                (slowdown - 1.0) * nominal,
+                prog.step,
+                0,
+            );
+        }
+        if step_backoff > 0.0 {
+            rec.virtual_span(
+                Lane::VirtualControl,
+                obs_ph::RETRY_BACKOFF,
+                vnow + nominal * slowdown,
+                step_backoff,
+                prog.step,
+                0,
+            );
+        }
+        vnow += step_virtual;
 
         // Advance the sample clock.
         prog.step += 1;
@@ -891,6 +1091,7 @@ fn run_replica_phase(
             let epoch = prog.epoch;
             let (eval_top1, eval_top5) =
                 if epoch.is_multiple_of(view.eval_every) || epoch == view.epochs {
+                    let _eval_span = rec.wall_span(Lane::WallEval, obs_ph::EVAL, prog.step, epoch);
                     let saved = ema.as_ref().map(|e| e.swap_in(&mut model));
                     let counts = distributed_eval(
                         &mut model,
@@ -939,6 +1140,28 @@ fn run_replica_phase(
             store.save(&snap).expect("durable drain checkpoint failed");
         }
         counters.durable_checkpoints += 1;
+        rec.virtual_instant(
+            Lane::VirtualControl,
+            obs_ph::DURABLE_CHECKPOINT,
+            vnow,
+            prog.step,
+            counters.durable_checkpoints,
+        );
+        // The resize protocol's virtual cost (durable persist + collective
+        // rebuild + restart) is charged by `train` between phases; trace
+        // it here so every old-world rank records the identical span and
+        // the next phase's cursor continues past it.
+        let resize_s =
+            faults.resize_checkpoint_s() + faults.resize_rebuild_s() + faults.restart_delay_s();
+        rec.virtual_span(
+            Lane::VirtualControl,
+            obs_ph::RESIZE,
+            vnow,
+            resize_s,
+            prog.step,
+            view.replicas as u64,
+        );
+        vnow += resize_s;
     }
 
     let mut weights: Vec<f32> = Vec::new();
@@ -952,6 +1175,7 @@ fn run_replica_phase(
         timeline,
         step: prog.step,
         done,
+        vnow_end: vnow,
     }
 }
 

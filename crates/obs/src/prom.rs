@@ -1,0 +1,162 @@
+//! Prometheus text-format exporter (exposition format 0.0.4).
+//!
+//! Dumps the recorder's counters, gauges and histograms as
+//! `ets_<name>{rank="<r>"} <value>` lines. Metric names are sanitized to
+//! `[a-zA-Z0-9_]`; histograms emit the conventional `_bucket{le=...}`,
+//! `_sum`, `_count` triple with cumulative bucket counts.
+
+use std::fmt::Write as _;
+
+use crate::recorder::{histogram_bound, Recorder, HISTOGRAM_BUCKETS};
+
+fn sanitize(name: &str, out: &mut String) {
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else if v > 0.0 {
+        "+Inf".to_string()
+    } else {
+        "-Inf".to_string()
+    }
+}
+
+/// Render all metrics of `rec` in Prometheus text format.
+pub fn prometheus_text(rec: &Recorder) -> String {
+    prometheus_text_multi(&[rec])
+}
+
+/// Render metrics of several recorders (one `rank` label value each).
+pub fn prometheus_text_multi(recs: &[&Recorder]) -> String {
+    let mut out = String::with_capacity(4096);
+    // Group by metric name so each # TYPE header appears once.
+    let mut counter_names: Vec<&'static str> = Vec::new();
+    let mut gauge_names: Vec<&'static str> = Vec::new();
+    let mut hist_names: Vec<&'static str> = Vec::new();
+    for rec in recs {
+        for (n, _) in rec.counters_snapshot() {
+            if !counter_names.contains(&n) {
+                counter_names.push(n);
+            }
+        }
+        for (n, _) in rec.gauges_snapshot() {
+            if !gauge_names.contains(&n) {
+                gauge_names.push(n);
+            }
+        }
+        for (n, ..) in rec.histograms_snapshot() {
+            if !hist_names.contains(&n) {
+                hist_names.push(n);
+            }
+        }
+    }
+
+    for name in counter_names {
+        let mut m = String::from("ets_");
+        sanitize(name, &mut m);
+        let _ = writeln!(out, "# TYPE {m} counter");
+        for rec in recs {
+            if let Some((_, v)) = rec
+                .counters_snapshot()
+                .into_iter()
+                .find(|(n, _)| *n == name)
+            {
+                let _ = writeln!(out, "{m}{{rank=\"{}\"}} {v}", rec.rank());
+            }
+        }
+    }
+    for name in gauge_names {
+        let mut m = String::from("ets_");
+        sanitize(name, &mut m);
+        let _ = writeln!(out, "# TYPE {m} gauge");
+        for rec in recs {
+            if let Some((_, v)) = rec.gauges_snapshot().into_iter().find(|(n, _)| *n == name) {
+                let _ = writeln!(out, "{m}{{rank=\"{}\"}} {}", rec.rank(), fmt_f64(v));
+            }
+        }
+    }
+    for name in hist_names {
+        let mut m = String::from("ets_");
+        sanitize(name, &mut m);
+        let _ = writeln!(out, "# TYPE {m} histogram");
+        for rec in recs {
+            if let Some((_, counts, count, sum)) = rec
+                .histograms_snapshot()
+                .into_iter()
+                .find(|(n, ..)| *n == name)
+            {
+                let rank = rec.rank();
+                let mut cumulative = 0u64;
+                for (i, c) in counts.iter().enumerate().take(HISTOGRAM_BUCKETS) {
+                    cumulative += c;
+                    let le = fmt_f64(histogram_bound(i));
+                    let _ = writeln!(
+                        out,
+                        "{m}_bucket{{rank=\"{rank}\",le=\"{le}\"}} {cumulative}"
+                    );
+                }
+                let _ = writeln!(out, "{m}_sum{{rank=\"{rank}\"}} {}", fmt_f64(sum));
+                let _ = writeln!(out, "{m}_count{{rank=\"{rank}\"}} {count}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn counters_gauges_histograms_render() {
+        let r = Recorder::enabled(2);
+        r.counter_add("steps_total", 5);
+        r.gauge_set("lr", 0.125);
+        r.histogram_observe("step_seconds", 0.001);
+        r.histogram_observe("step_seconds", 0.002);
+        let text = prometheus_text(&r);
+        assert!(text.contains("# TYPE ets_steps_total counter"), "{text}");
+        assert!(text.contains("ets_steps_total{rank=\"2\"} 5"), "{text}");
+        assert!(text.contains("ets_lr{rank=\"2\"} 0.125"), "{text}");
+        assert!(text.contains("# TYPE ets_step_seconds histogram"), "{text}");
+        assert!(
+            text.contains("ets_step_seconds_count{rank=\"2\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("le=\"+Inf\""), "{text}");
+    }
+
+    #[test]
+    fn cumulative_bucket_counts_are_monotone() {
+        let r = Recorder::enabled(0);
+        for v in [1e-6, 1e-3, 1e-1, 10.0] {
+            r.histogram_observe("d", v);
+        }
+        let text = prometheus_text(&r);
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("ets_d_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "{line}");
+            last = v;
+        }
+        assert_eq!(last, 4);
+    }
+
+    #[test]
+    fn disabled_recorder_renders_empty() {
+        let r = Recorder::disabled();
+        r.counter_add("x", 1);
+        assert!(prometheus_text(&r).is_empty());
+    }
+}

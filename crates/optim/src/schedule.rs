@@ -3,9 +3,10 @@
 //! Three pieces compose the paper's recipe:
 //! 1. **Linear scaling** — the base LR is specified *per 256 samples* and
 //!    multiplied by `global_batch / 256` (Goyal et al.).
-//! 2. **Warmup** — LR ramps linearly from 0 to the scaled peak over a
-//!    tunable number of epochs (5 for RMSProp, 50 / 43 for LARS rows of
-//!    Table 2).
+//! 2. **Warmup** — LR ramps linearly to the scaled peak over a tunable
+//!    number of epochs (5 for RMSProp, 50 / 43 for LARS rows of Table 2);
+//!    step 0 starts one ramp increment above zero — see [`Warmup`] for the
+//!    deliberate deviation from TF's convention.
 //! 3. **Decay** — exponential decay (0.97 every 2.4 epochs; RMSProp
 //!    baseline) or polynomial decay to ~0 with power 2 (LARS; the paper
 //!    found polynomial beats exponential for LARS).
@@ -64,6 +65,14 @@ pub struct PolynomialDecay {
 
 impl LrSchedule for PolynomialDecay {
     fn lr(&self, step: u64) -> f32 {
+        // Degenerate budget: a zero-step decay has already finished, so
+        // every step gets `end`. (The `step >= total_steps` early return
+        // happens to cover this case too, but only by accident of its
+        // ordering before the division — make the guard explicit so a
+        // future reorder cannot reintroduce a 0/0 NaN.)
+        if self.total_steps == 0 {
+            return self.end;
+        }
         if step >= self.total_steps {
             return self.end;
         }
@@ -81,15 +90,38 @@ pub struct CosineDecay {
 
 impl LrSchedule for CosineDecay {
     fn lr(&self, step: u64) -> f32 {
+        // Degenerate budget: without the guard, `0 / 0` makes every step's
+        // LR NaN, which silently poisons the whole run. A zero-step cosine
+        // never leaves its starting point, so return `peak`.
+        if self.total_steps == 0 {
+            return self.peak;
+        }
         let s = (step.min(self.total_steps)) as f32 / self.total_steps as f32;
         0.5 * self.peak * (1.0 + (std::f32::consts::PI * s).cos())
     }
 }
 
 /// Linear warmup wrapped around any schedule: during the first
-/// `warmup_steps`, LR ramps linearly from 0 to the inner schedule's value
-/// at the end of warmup; afterwards the inner schedule (evaluated at the
-/// *global* step) takes over.
+/// `warmup_steps`, LR ramps linearly **toward** the inner schedule's value
+/// at the handover step, taking `target · (step + 1) / warmup_steps` —
+/// i.e. step 0 applies `target / warmup_steps`, *not* 0, and step
+/// `warmup_steps − 1` applies the full target. Afterwards the inner
+/// schedule (evaluated at the *global* step) takes over.
+///
+/// This deliberately differs from TF EfficientNet's
+/// `lr · step / warmup_steps` convention in two ways, both intentional:
+///
+/// 1. **No wasted step.** TF's ramp applies a zero LR at global step 0 —
+///    a full forward/backward pass whose update is discarded. Starting at
+///    `target / warmup_steps` spends that step learning; with the paper's
+///    warmups (5–50 epochs) the two ramps are otherwise indistinguishable
+///    (they differ by one ramp increment everywhere).
+/// 2. **Exact handover.** Reaching the target at step `warmup_steps − 1`
+///    makes the boundary seamless when the decay is [`Shifted`] to start
+///    at the handover (the [`lars_paper_schedule`] construction):
+///    `lr(warmup_steps − 1) = lr(warmup_steps) = peak`, so the LR curve
+///    is flat across the boundary instead of double-counting the peak or
+///    jumping by a ramp increment.
 pub struct Warmup<S> {
     pub warmup_steps: u64,
     pub inner: S,
@@ -288,5 +320,111 @@ mod tests {
     fn steps_per_epoch_rounds_up() {
         assert_eq!(steps_per_epoch(100, 32), 4);
         assert_eq!(steps_per_epoch(96, 32), 3);
+    }
+
+    #[test]
+    fn cosine_zero_total_steps_is_peak_not_nan() {
+        let s = CosineDecay {
+            peak: 2.0,
+            total_steps: 0,
+        };
+        for step in [0u64, 1, 17, u64::MAX] {
+            let lr = s.lr(step);
+            assert!(lr.is_finite(), "step {step} produced {lr}");
+            assert_eq!(lr, 2.0);
+        }
+    }
+
+    #[test]
+    fn polynomial_zero_total_steps_is_end_not_nan() {
+        let s = PolynomialDecay {
+            peak: 4.0,
+            end: 1e-4,
+            power: 2.0,
+            total_steps: 0,
+        };
+        for step in [0u64, 1, 17, u64::MAX] {
+            let lr = s.lr(step);
+            assert!(lr.is_finite(), "step {step} produced {lr}");
+            assert_eq!(lr, 1e-4);
+        }
+    }
+
+    #[test]
+    fn schedules_never_produce_nan_on_edge_budgets() {
+        // Sweep tiny budgets (incl. the degenerate 0) across every decay:
+        // the whole family must stay finite everywhere.
+        for total in 0..4u64 {
+            let schedules: Vec<BoxedSchedule> = vec![
+                Box::new(CosineDecay {
+                    peak: 1.0,
+                    total_steps: total,
+                }),
+                Box::new(PolynomialDecay {
+                    peak: 1.0,
+                    end: 0.0,
+                    power: 2.0,
+                    total_steps: total,
+                }),
+                Box::new(ExponentialDecay {
+                    peak: 1.0,
+                    rate: 0.97,
+                    decay_steps: total,
+                }),
+                Box::new(Warmup::new(
+                    total,
+                    CosineDecay {
+                        peak: 1.0,
+                        total_steps: total,
+                    },
+                )),
+            ];
+            for s in &schedules {
+                for step in 0..6u64 {
+                    let lr = s.lr(step);
+                    assert!(lr.is_finite(), "total {total} step {step}: {lr}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warmup_step_zero_is_one_ramp_increment_not_zero() {
+        // The documented convention: step 0 applies target/warmup_steps
+        // (one ramp increment), deliberately not TF's zero-LR first step.
+        let s = Warmup::new(10, Constant(1.0));
+        assert!((s.lr(0) - 0.1).abs() < 1e-7);
+        assert!(s.lr(0) > 0.0, "step 0 must not waste a zero-LR update");
+        // Full target is reached at the LAST warmup step, not after it.
+        assert!((s.lr(9) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn lars_schedule_handover_is_flat_across_the_boundary() {
+        // The Shifted construction in lars_paper_schedule must make the
+        // warmup→decay boundary seamless: the last warmup step, the first
+        // decay step, and the decay's own peak all coincide.
+        const IMAGENET: u64 = 1_281_167;
+        let l = lars_paper_schedule(0.236, 50, 350, 16384, IMAGENET);
+        let spe = steps_per_epoch(IMAGENET, 16384);
+        let ws = 50 * spe;
+        let peak = linear_scaled_lr(0.236, 16384);
+        assert!((l.lr(ws - 1) - peak).abs() < 1e-4, "last warmup step");
+        assert!((l.lr(ws) - peak).abs() < 1e-4, "first decay step");
+        assert_eq!(
+            l.lr(ws - 1).to_bits(),
+            l.lr(ws).to_bits(),
+            "handover must be exactly flat"
+        );
+        // Strictly on the ramp just before, strictly decaying just after.
+        assert!(l.lr(ws - 2) < l.lr(ws - 1));
+        assert!(l.lr(ws + spe) < l.lr(ws));
+        // And monotone non-increasing for the rest of the run.
+        let mut prev = l.lr(ws);
+        for e in 51..=350 {
+            let lr = l.lr(e * spe);
+            assert!(lr <= prev + 1e-7, "epoch {e}: {lr} > {prev}");
+            prev = lr;
+        }
     }
 }

@@ -37,6 +37,7 @@
 use crate::event::EventSim;
 use crate::step::{step_time, step_time_elastic, StepConfig};
 use ets_collective::{FaultEvent, FaultKind, FaultPlan, SliceShape, CORES_PER_CHIP};
+use ets_obs::{phase as obs_ph, Lane, Recorder};
 use serde::{Deserialize, Serialize};
 
 /// Events in the chaos simulation. `gen` invalidates in-flight step
@@ -123,6 +124,30 @@ impl PodChaosReport {
             + self.resize_rebuild_seconds
             + self.resize_restart_seconds
             + self.resize_degraded_seconds
+    }
+
+    /// Mirrors the report into a flight recorder's metrics registry
+    /// (counts as counters, seconds as gauges), prefixed `sim_` so pod-sim
+    /// metrics never collide with the trainer's when both feed one
+    /// Prometheus dump. No-op on a disabled recorder.
+    pub fn mirror_to(&self, rec: &Recorder) {
+        rec.counter_add("sim_steps_completed", self.steps_completed);
+        rec.counter_add("sim_steps_executed", self.steps_executed);
+        rec.counter_add("sim_preemptions", self.preemptions);
+        rec.counter_add("sim_replayed_steps", self.replayed_steps);
+        rec.counter_add("sim_permanent_losses", self.permanent_losses);
+        rec.counter_add("sim_resizes", self.resizes);
+        rec.gauge_set("sim_fault_free_seconds", self.fault_free_seconds);
+        rec.gauge_set("sim_total_seconds", self.total_seconds);
+        rec.gauge_set("sim_restart_seconds", self.restart_seconds);
+        rec.gauge_set("sim_straggler_seconds", self.straggler_seconds);
+        rec.gauge_set("sim_degrade_seconds", self.degrade_seconds);
+        rec.gauge_set("sim_retry_seconds", self.retry_seconds);
+        rec.gauge_set(
+            "sim_resize_overhead_seconds",
+            self.resize_overhead_seconds(),
+        );
+        rec.gauge_set("sim_surviving_cores", self.surviving_cores as f64);
     }
 }
 
@@ -211,6 +236,22 @@ fn step_dur_at(events: &[FaultEvent], t: f64, base: f64, ar_share: f64) -> (f64,
 /// `step_time(cfg).total()` seconds), so generate plans against a horizon
 /// of roughly `total_steps × step_time(cfg).total()`.
 pub fn simulate_chaos(cfg: &StepConfig, plan: &FaultPlan, total_steps: u64) -> PodChaosReport {
+    simulate_chaos_recorded(cfg, plan, total_steps, &Recorder::disabled())
+}
+
+/// Like [`simulate_chaos`], but records the simulated timeline as spans on
+/// `rec`'s deterministic virtual clock ([`Lane::VirtualSim`]): one STEP
+/// span per executed step (replays re-emit at their replay time), REWIND
+/// instants and RESTART spans for preemptions, RETRY_BACKOFF spans for
+/// transient failures, and RESIZE spans for elastic protocols. Recording
+/// never perturbs the simulation — the report is bit-identical to the
+/// unrecorded run.
+pub fn simulate_chaos_recorded(
+    cfg: &StepConfig,
+    plan: &FaultPlan,
+    total_steps: u64,
+    rec: &Recorder,
+) -> PodChaosReport {
     plan.validate();
     let st = step_time(cfg);
     let base0 = st.total();
@@ -292,6 +333,32 @@ pub fn simulate_chaos(cfg: &StepConfig, plan: &FaultPlan, total_steps: u64) -> P
         // delta relative to the healthy pod's step.
         report.resize_degraded_seconds += world.base - base0;
         let done_at = sim.now() + dur;
+        // Trace the launched step on the sim lane. Replayed steps re-emit
+        // at their replay time; a superseded (preempted) launch keeps its
+        // span — the rewind marker explains the overlap. All values come
+        // off the deterministic event clock, so the stream is reproducible
+        // run to run.
+        rec.virtual_span(Lane::VirtualSim, obs_ph::STEP, sim.now(), dur, step, gen);
+        if straggle > 0.0 {
+            rec.virtual_span(
+                Lane::VirtualSim,
+                obs_ph::STRAGGLER,
+                sim.now() + dur - straggle,
+                straggle,
+                step,
+                gen,
+            );
+        }
+        if degrade > 0.0 {
+            rec.virtual_span(
+                Lane::VirtualSim,
+                obs_ph::DEGRADE,
+                sim.now(),
+                degrade,
+                step,
+                gen,
+            );
+        }
         sim.schedule_at(done_at, Ev::StepDone { step, gen });
         (step, done_at)
     };
@@ -304,6 +371,14 @@ pub fn simulate_chaos(cfg: &StepConfig, plan: &FaultPlan, total_steps: u64) -> P
         ($step:expr) => {{
             let protocol_s = world.drain_resizes_before(cfg, plan, &mut report, $step);
             if protocol_s > 0.0 {
+                rec.virtual_span(
+                    Lane::VirtualSim,
+                    obs_ph::RESIZE,
+                    sim.now(),
+                    protocol_s,
+                    $step,
+                    world.cores as u64,
+                );
                 sim.schedule_in(protocol_s, Ev::Resume { gen });
                 inflight = None;
             } else {
@@ -346,6 +421,21 @@ pub fn simulate_chaos(cfg: &StepConfig, plan: &FaultPlan, total_steps: u64) -> P
                         report.preemptions += 1;
                         report.replayed_steps += next - resume_from;
                         report.restart_seconds += plan.restart_delay_s;
+                        rec.virtual_instant(
+                            Lane::VirtualSim,
+                            obs_ph::REWIND,
+                            sim.now(),
+                            next,
+                            next - resume_from,
+                        );
+                        rec.virtual_span(
+                            Lane::VirtualSim,
+                            obs_ph::RESTART,
+                            sim.now(),
+                            plan.restart_delay_s,
+                            resume_from,
+                            0,
+                        );
                         completed = resume_from;
                         inflight = None;
                         sim.schedule_in(plan.restart_delay_s, Ev::Resume { gen });
@@ -359,6 +449,14 @@ pub fn simulate_chaos(cfg: &StepConfig, plan: &FaultPlan, total_steps: u64) -> P
                             let backoff: f64 =
                                 (1..=retries).map(|r| plan.retry.backoff_before(r)).sum();
                             report.retry_seconds += backoff;
+                            rec.virtual_span(
+                                Lane::VirtualSim,
+                                obs_ph::RETRY_BACKOFF,
+                                done_at,
+                                backoff,
+                                step,
+                                retries as u64,
+                            );
                             gen += 1;
                             let new_done = done_at + backoff;
                             sim.schedule_at(new_done, Ev::StepDone { step, gen });
@@ -377,6 +475,7 @@ pub fn simulate_chaos(cfg: &StepConfig, plan: &FaultPlan, total_steps: u64) -> P
     if report.total_seconds == 0.0 {
         report.total_seconds = sim.now();
     }
+    report.mirror_to(rec);
     report
 }
 
@@ -669,6 +768,63 @@ mod tests {
         assert!(a.permanent_losses >= 1, "generator must emit losses");
         assert!(a.surviving_cores < 128 && a.surviving_cores >= 124);
         assert!(a.overhead_factor() > 1.0);
+    }
+
+    #[test]
+    fn recording_never_perturbs_the_simulation() {
+        // A recorded chaos run must produce a bit-identical report, and the
+        // recorded virtual stream must be deterministic run to run.
+        let base = base_step();
+        let horizon = 60.0 * base;
+        let plan = FaultPlan::generate_elastic(11, 128, horizon, 3, 2);
+        let plain = simulate_chaos(&cfg(), &plan, 60);
+        let rec_a = Recorder::enabled(0);
+        let rec_b = Recorder::enabled(0);
+        let a = simulate_chaos_recorded(&cfg(), &plan, 60, &rec_a);
+        let b = simulate_chaos_recorded(&cfg(), &plan, 60, &rec_b);
+        assert_eq!(plain.total_seconds.to_bits(), a.total_seconds.to_bits());
+        assert_eq!(plain.steps_executed, a.steps_executed);
+        assert_eq!(plain.replayed_steps, a.replayed_steps);
+        assert_eq!(
+            plain.resize_degraded_seconds.to_bits(),
+            a.resize_degraded_seconds.to_bits()
+        );
+        assert_eq!(rec_a.virtual_fingerprint(), rec_b.virtual_fingerprint());
+        assert_eq!(a.total_seconds.to_bits(), b.total_seconds.to_bits());
+        // Every executed step left a span; chaos adds control spans on top.
+        assert!(rec_a.event_count() as u64 >= a.steps_executed);
+        // The report mirrors into the metrics registry.
+        assert_eq!(rec_a.counter_value("sim_steps_executed"), a.steps_executed);
+        assert_eq!(
+            rec_a.gauge_value("sim_total_seconds"),
+            Some(a.total_seconds)
+        );
+    }
+
+    #[test]
+    fn recorded_chaos_trace_exports_valid_chrome_json() {
+        let base = base_step();
+        let mut plan = FaultPlan::none();
+        plan.checkpoint_every_steps = 8;
+        plan.restart_delay_s = 2.0;
+        plan.events.push(loss_at(10, 3));
+        plan.events.push(FaultEvent {
+            at_s: 20.2 * base,
+            duration_s: 0.0,
+            kind: FaultKind::Preempt { replica: 0 },
+        });
+        plan.events.push(FaultEvent {
+            at_s: 5.5 * base,
+            duration_s: 0.0,
+            kind: FaultKind::TransientCollective { failures: 2 },
+        });
+        let rec = Recorder::enabled(0);
+        let r = simulate_chaos_recorded(&cfg(), &plan, 40, &rec);
+        assert_eq!(r.steps_completed, 40);
+        let json = ets_obs::chrome_trace(&rec);
+        let stats = ets_obs::validate_chrome_trace(&json).expect("trace must validate");
+        assert!(stats.spans as u64 >= r.steps_executed);
+        assert!(stats.instants >= 1, "preemption must leave a rewind marker");
     }
 
     #[test]

@@ -39,10 +39,10 @@ pub use convergence::{
 pub use e2e::{time_to_accuracy, RunConfig, RunOutcome};
 pub use eval_loop::{eval_pass_seconds, simulate as simulate_eval_loop, EvalLoopOutcome, EvalMode};
 pub use event::EventSim;
-pub use fault::{simulate_chaos, PodChaosReport};
+pub use fault::{simulate_chaos, simulate_chaos_recorded, PodChaosReport};
 pub use netsim::{
-    simulate_ring_all_reduce, simulate_torus_all_reduce, simulate_torus_all_reduce_with,
-    DegradeWindow, LinkConditions,
+    bulk_step_seconds, simulate_ring_all_reduce, simulate_torus_all_reduce,
+    simulate_torus_all_reduce_with, DegradeWindow, LinkConditions,
 };
 pub use scaling::{amdahl_serial_fraction, scaling_sweep, ScalingPoint};
 pub use step::{

@@ -104,6 +104,65 @@ impl LinkConditions {
             .map(|l| self.scale_at(l, t))
             .fold(f64::INFINITY, f64::min)
     }
+
+    /// The earliest *finite* window edge (`from_s` or `until_s`) strictly
+    /// after `t`, if any — the next instant the effective scales can
+    /// change. Static scales never change, so between consecutive edges
+    /// every link's bandwidth is constant.
+    pub fn next_window_edge_after(&self, t: f64) -> Option<f64> {
+        self.windows
+            .iter()
+            .flat_map(|w| [w.from_s, w.until_s])
+            .filter(|&e| e.is_finite() && e > t)
+            .fold(None, |best, e| match best {
+                Some(b) if b <= e => Some(b),
+                _ => Some(e),
+            })
+    }
+}
+
+/// Seconds one bulk-synchronous ring step takes when it starts at absolute
+/// simulated time `start_s`: per-hop latency, then `chunk_bytes` streamed
+/// at the *instantaneous* worst-link bandwidth, integrated piecewise
+/// across window edges. A [`DegradeWindow`] opening (or closing) mid-step
+/// therefore stretches exactly the bytes it covers — a window fully inside
+/// one long step slows precisely its own duration's worth of transfer,
+/// and a window whose edge coincides with the step's start follows the
+/// half-open `[from_s, until_s)` convention of [`DegradeWindow::active_at`].
+///
+/// The step is priced on the *pessimal envelope*: at each instant the
+/// slowest link's scale gates everyone (the collectives are
+/// bulk-synchronous). When a single link is degraded — the chaos plans'
+/// case — this is exact; when the identity of the worst link switches
+/// mid-step it is a conservative upper bound.
+pub fn bulk_step_seconds(
+    link: LinkSpec,
+    chunk_bytes: f64,
+    conditions: &LinkConditions,
+    start_s: f64,
+) -> f64 {
+    // The data phase begins after the per-hop latency (latency is not
+    // bandwidth-scaled).
+    let mut t = start_s + link.latency;
+    let mut remaining = chunk_bytes;
+    loop {
+        let scale = conditions.worst_scale_at(t);
+        let rate = link.bandwidth * link.duplex * scale;
+        assert!(
+            rate > 0.0,
+            "non-positive effective bandwidth at t={t}: scale {scale}"
+        );
+        let need = remaining / rate;
+        match conditions.next_window_edge_after(t) {
+            // Scales change at `edge`: stream what fits, re-price there.
+            Some(edge) if t + need > edge => {
+                remaining -= rate * (edge - t);
+                t = edge;
+            }
+            // Constant bandwidth to the finish line.
+            _ => return t + need - start_s,
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -141,12 +200,12 @@ pub fn simulate_ring_phase_from(
     let mut sim: EventSim<Ev> = EventSim::new();
     let steps = p - 1;
     let mut step = 0usize;
-    // Slowest link *at the step's start time* gates the bulk-synchronous
-    // step (time-windowed degradations stretch only the steps they cover).
-    let step_secs = |at: f64| -> f64 {
-        let worst_scale = conditions.worst_scale_at(start_s + at);
-        link.latency + chunk_bytes / (link.bandwidth * link.duplex * worst_scale)
-    };
+    // Each bulk-synchronous step is priced by integrating the slowest
+    // link's instantaneous bandwidth across window edges — a window
+    // opening mid-step stretches exactly the bytes it covers (see
+    // `bulk_step_seconds`), not nothing (the old start-sampled semantics).
+    let step_secs =
+        |at: f64| -> f64 { bulk_step_seconds(link, chunk_bytes, conditions, start_s + at) };
     // Kick off step 0.
     sim.schedule_in(step_secs(0.0), Ev::StepDone { step: 0 });
     while let Some(Ev::StepDone { step: s }) = sim.next() {
@@ -369,6 +428,163 @@ mod tests {
         assert_eq!(c.scale_at(1, 20.0), 0.5, "until is exclusive");
         assert_eq!(c.worst_scale_at(15.0), 0.25);
         assert_eq!(c.worst_scale_at(5.0), 0.5);
+    }
+
+    /// A `p = 2` ring phase is one single step — the sharpest lens on the
+    /// mid-step window semantics.
+    fn one_step_secs(cond: &LinkConditions, chunk: f64) -> f64 {
+        simulate_ring_phase_from(2, chunk, TPU_V3_LINK, cond, 0.0)
+    }
+
+    #[test]
+    fn window_fully_inside_one_step_stretches_exactly_its_own_span() {
+        // Old start-sampled semantics silently ignored a window that
+        // opened and closed inside one long step. Now it must stretch the
+        // step by span · (1 − scale) exactly: during the window the link
+        // moves only `scale` of its nominal bytes, and the deficit
+        // `span·(1−scale)·rate` is made up at nominal rate afterwards.
+        let chunk = 2e11; // one long step (~seconds)
+        let nominal = one_step_secs(&LinkConditions::nominal(2), chunk);
+        assert!(nominal > 0.1, "need a long step, got {nominal}");
+        let (a, b) = (nominal * 0.25, nominal * 0.5);
+        let cond = LinkConditions::nominal(2).with_window(DegradeWindow {
+            from_s: a,
+            until_s: b,
+            link: 0,
+            scale: 0.5,
+        });
+        let stretched = one_step_secs(&cond, chunk);
+        let expect = nominal + (b - a) * (1.0 - 0.5);
+        assert!(
+            (stretched - expect).abs() < 1e-9 * expect,
+            "stretched {stretched} vs expected {expect} (nominal {nominal})"
+        );
+    }
+
+    #[test]
+    fn window_opening_mid_step_charges_only_the_covered_tail() {
+        // A window that opens mid-step and never closes: the head of the
+        // step runs at nominal rate, the tail at the degraded rate.
+        let chunk = 1e9;
+        let nominal = one_step_secs(&LinkConditions::nominal(2), chunk);
+        let open_at = nominal * 0.5;
+        let cond = LinkConditions::nominal(2).with_window(DegradeWindow {
+            from_s: open_at,
+            until_s: f64::INFINITY,
+            link: 0,
+            scale: 0.5,
+        });
+        let stretched = one_step_secs(&cond, chunk);
+        // Remaining half of the bytes take 2× as long: total = nominal·1.5
+        // (latency is negligible at this payload; tolerance absorbs it).
+        assert!(
+            (stretched - 1.5 * nominal).abs() < 1e-6 * nominal,
+            "stretched {stretched} vs 1.5×{nominal}"
+        );
+    }
+
+    #[test]
+    fn window_edges_at_exact_step_boundaries_are_half_open() {
+        let chunk = 1e9;
+        let nominal = one_step_secs(&LinkConditions::nominal(2), chunk);
+        // Window ending exactly at the step's start: `until_s` is
+        // exclusive, so the step is untouched.
+        let before = LinkConditions::nominal(2).with_window(DegradeWindow {
+            from_s: -5.0,
+            until_s: 0.0,
+            link: 0,
+            scale: 0.1,
+        });
+        assert_eq!(one_step_secs(&before, chunk), nominal);
+        // Window starting exactly at the step's start: `from_s` is
+        // inclusive, so the whole step runs degraded.
+        let at = LinkConditions::nominal(2).with_window(DegradeWindow {
+            from_s: 0.0,
+            until_s: f64::INFINITY,
+            link: 0,
+            scale: 0.5,
+        });
+        let degraded = one_step_secs(&at, chunk);
+        let full = simulate_ring_phase_from(
+            2,
+            chunk,
+            TPU_V3_LINK,
+            &LinkConditions::with_slow_link(2, 0, 0.5),
+            0.0,
+        );
+        assert!(
+            (degraded - full).abs() < 1e-12 * full,
+            "{degraded} vs {full}"
+        );
+        // Window closing exactly where the degraded transfer would have
+        // *started* the tail (i.e. at the data-phase start): half-open on
+        // both ends keeps the pricing continuous.
+        let zero_len = LinkConditions::nominal(2).with_window(DegradeWindow {
+            from_s: nominal * 0.5,
+            until_s: nominal * 0.5,
+            link: 0,
+            scale: 0.5,
+        });
+        assert_eq!(one_step_secs(&zero_len, chunk), nominal);
+    }
+
+    #[test]
+    fn bulk_step_integrates_across_multiple_edges() {
+        // Two disjoint windows inside one step, plus one after it: the
+        // step pays `span · (1 − scale)` for each of the first two spans
+        // (both end well before even the nominal step does, so they are
+        // fully covered) and ignores the third entirely.
+        let chunk = 2e11;
+        let nominal = one_step_secs(&LinkConditions::nominal(2), chunk);
+        let (a1, b1) = (nominal * 0.1, nominal * 0.2);
+        let (a2, b2) = (nominal * 0.4, nominal * 0.55);
+        let cond = LinkConditions::nominal(2)
+            .with_window(DegradeWindow {
+                from_s: a1,
+                until_s: b1,
+                link: 0,
+                scale: 0.5,
+            })
+            .with_window(DegradeWindow {
+                from_s: a2,
+                until_s: b2,
+                link: 1,
+                scale: 0.25,
+            })
+            .with_window(DegradeWindow {
+                from_s: nominal * 100.0,
+                until_s: nominal * 200.0,
+                link: 0,
+                scale: 0.01,
+            });
+        let stretched = one_step_secs(&cond, chunk);
+        let expect = nominal + (b1 - a1) * (1.0 - 0.5) + (b2 - a2) * (1.0 - 0.25);
+        assert!(
+            (stretched - expect).abs() < 1e-9 * expect,
+            "stretched {stretched} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn next_window_edge_skips_infinite_and_past_edges() {
+        let cond = LinkConditions::nominal(2)
+            .with_window(DegradeWindow {
+                from_s: 1.0,
+                until_s: f64::INFINITY,
+                link: 0,
+                scale: 0.5,
+            })
+            .with_window(DegradeWindow {
+                from_s: 3.0,
+                until_s: 4.0,
+                link: 1,
+                scale: 0.5,
+            });
+        assert_eq!(cond.next_window_edge_after(0.0), Some(1.0));
+        assert_eq!(cond.next_window_edge_after(1.0), Some(3.0));
+        assert_eq!(cond.next_window_edge_after(3.5), Some(4.0));
+        assert_eq!(cond.next_window_edge_after(4.0), None);
+        assert_eq!(LinkConditions::nominal(2).next_window_edge_after(0.0), None);
     }
 
     #[test]

@@ -1,13 +1,17 @@
 //! Quickstart: train a tiny EfficientNet on the synthetic dataset with the
 //! paper's distributed recipe — 4 replica threads, gradient all-reduce,
 //! distributed batch norm and evaluation — in under a minute on a laptop.
+//! The run is traced by the flight recorder and dumped as a Chrome trace
+//! (`quickstart_trace.json` — open it at `chrome://tracing` or
+//! <https://ui.perfetto.dev>).
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use efficientnet_at_scale::collective::GroupSpec;
-use efficientnet_at_scale::train::{train, Experiment, OptimizerChoice};
+use efficientnet_at_scale::obs::{chrome_trace_multi, validate_chrome_trace, Recorder};
+use efficientnet_at_scale::train::{train_traced, Experiment, OptimizerChoice};
 
 fn main() {
     let mut exp = Experiment::proxy_default();
@@ -34,7 +38,7 @@ fn main() {
     );
     println!();
 
-    let report = train(&exp);
+    let (report, recorders) = train_traced(&exp);
 
     println!("epoch  loss    lr      eval top-1  eval top-5");
     for rec in &report.history {
@@ -62,5 +66,17 @@ fn main() {
     println!(
         "final weight checksum (bitwise identical across replicas & reruns): {:#018x}",
         report.weight_checksum
+    );
+
+    // Export the flight recorder's Chrome trace: one pid per rank, with
+    // virtual-time lanes (deterministic step timeline) next to wall-clock
+    // phase/bucket lanes. Open in chrome://tracing or ui.perfetto.dev.
+    let refs: Vec<&Recorder> = recorders.iter().map(|r| r.as_ref()).collect();
+    let trace = chrome_trace_multi(&refs);
+    let stats = validate_chrome_trace(&trace).expect("trace must validate");
+    std::fs::write("quickstart_trace.json", &trace).expect("write quickstart_trace.json");
+    println!(
+        "wrote quickstart_trace.json ({} ranks, {} spans, {} instants)",
+        stats.pids, stats.spans, stats.instants
     );
 }

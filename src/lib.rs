@@ -17,6 +17,8 @@
 //!   (Tables 1–2, Figure 1).
 //! - [`data`] — the SynthNet dataset, sharding, and input pipeline.
 //! - [`train`] — the distributed trainer tying it all together.
+//! - [`obs`] — the deterministic flight recorder (two-clock spans,
+//!   zero-alloc metrics, Chrome-trace / Prometheus / summary exporters).
 //!
 //! See README.md for a tour and DESIGN.md for the paper-to-module map.
 //!
@@ -50,6 +52,7 @@ pub use ets_collective as collective;
 pub use ets_data as data;
 pub use ets_efficientnet as efficientnet;
 pub use ets_nn as nn;
+pub use ets_obs as obs;
 pub use ets_optim as optim;
 pub use ets_tensor as tensor;
 pub use ets_tpu_sim as tpu_sim;

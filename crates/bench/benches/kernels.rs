@@ -9,11 +9,16 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ets_tensor::bf16::gemm_bf16_slice;
-use ets_tensor::ops::conv::{conv2d_backward, conv2d_forward, depthwise_forward};
-use ets_tensor::ops::gemm_blocked::gemm_blocked;
-use ets_tensor::ops::matmul::gemm_slice;
+use ets_tensor::ops::conv::{
+    conv2d_backward, conv2d_forward, depthwise_forward, im2col, Conv2dGeom,
+};
+use ets_tensor::ops::gemm_blocked::{
+    gemm_blocked, gemm_blocked_a_bt, gemm_blocked_at_b, gemm_prepacked, pack_a_into, packed_a_len,
+    PanelA, PanelB,
+};
+use ets_tensor::ops::matmul::{gemm_a_bt_slice, gemm_at_b_slice, gemm_slice};
 use ets_tensor::ops::reduce::{channel_mean, channel_sum_sq};
-use ets_tensor::{Rng, Tensor};
+use ets_tensor::{scratch_f32, Rng, Shape, Tensor};
 
 fn rand_vec(rng: &mut Rng, n: usize) -> Vec<f32> {
     let mut v = vec![0.0; n];
@@ -44,7 +49,68 @@ fn bench_gemm(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, &n| {
             bench.iter(|| gemm_blocked(n, n, n, &a, &b, &mut out));
         });
+        group.bench_with_input(BenchmarkId::new("at_b_naive", n), &n, |bench, &n| {
+            bench.iter(|| gemm_at_b_slice(n, n, n, &a, &b, &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("at_b_blocked", n), &n, |bench, &n| {
+            bench.iter(|| gemm_blocked_at_b(n, n, n, &a, &b, &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("a_bt_naive", n), &n, |bench, &n| {
+            bench.iter(|| gemm_a_bt_slice(n, n, n, &a, &b, &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("a_bt_blocked", n), &n, |bench, &n| {
+            bench.iter(|| gemm_blocked_a_bt(n, n, n, &a, &b, &mut out));
+        });
     }
+    group.finish();
+}
+
+/// The three conv-GEMM strategies head-to-head on one image of a
+/// stage-5-sized 3×3 conv (the `BENCH_kernels.json` calibration shape).
+fn bench_conv_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_gemm_strategy");
+    group.sample_size(10);
+    let mut rng = Rng::new(9);
+    let xs = Shape::new(&[1, 128, 56, 56]);
+    let wsh = Shape::new(&[256, 128, 3, 3]);
+    let g = Conv2dGeom::infer(&xs, &wsh, 1, 1);
+    let (m, k, n) = (g.c_out, g.k(), g.p());
+    let mut img = vec![0.0f32; 128 * 56 * 56];
+    rng.fill_uniform(&mut img, -1.0, 1.0);
+    let mut w = vec![0.0f32; m * k];
+    rng.fill_uniform(&mut w, -0.5, 0.5);
+    let mut y = vec![0.0f32; m * n];
+    let mut patches = vec![0.0f32; k * n];
+    group.bench_function("im2col_naive", |bench| {
+        bench.iter(|| {
+            im2col(&g, &img, &mut patches);
+            gemm_slice(m, k, n, &w, &patches, &mut y);
+        });
+    });
+    group.bench_function("im2col_blocked", |bench| {
+        bench.iter(|| {
+            im2col(&g, &img, &mut patches);
+            gemm_blocked(m, k, n, &w, &patches, &mut y);
+        });
+    });
+    let mut ap = scratch_f32(packed_a_len(m, k));
+    pack_a_into(PanelA::RowMajor(&w), m, k, &mut ap);
+    group.bench_function("fused_patches", |bench| {
+        bench.iter(|| {
+            gemm_prepacked(
+                m,
+                k,
+                n,
+                &ap,
+                PanelB::Patches {
+                    geom: &g,
+                    img: &img,
+                },
+                &mut y,
+                false,
+            );
+        });
+    });
     group.finish();
 }
 
@@ -85,6 +151,6 @@ fn bench_bn_reductions(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_gemm, bench_conv, bench_bn_reductions
+    targets = bench_gemm, bench_conv_strategies, bench_conv, bench_bn_reductions
 }
 criterion_main!(benches);

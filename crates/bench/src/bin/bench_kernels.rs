@@ -1,0 +1,68 @@
+//! Kernel GFLOP/s harness: writes `BENCH_kernels.json` — naive vs
+//! blocked vs fused-im2col throughput across EfficientNet-B0 layer
+//! shapes, plus the steady-state step probe (wall time per step, scratch
+//! arena allocator hits, gemm_auto dispatch split).
+//!
+//! The document is schema-validated in-process before writing, and
+//! `--check-regression` turns the CI gates (blocked ≥ naive at the
+//! calibration shape; steady-state `scratch_reallocs_delta == 0`) into a
+//! non-zero exit.
+//!
+//! ```sh
+//! cargo run --release -p ets-bench --bin bench_kernels [-- --out <dir>] [--smoke] [--check-regression]
+//! ```
+
+use ets_bench::kernels::{
+    check_kernel_regression, kernel_rows, kernels_json, steady_state_probe, validate_kernels_json,
+};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut out_dir = PathBuf::from(".");
+    if let Some(i) = args.iter().position(|a| a == "--out") {
+        out_dir = PathBuf::from(args.get(i + 1).expect("--out requires a directory"));
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check-regression");
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+
+    let rows = kernel_rows(smoke);
+    let ss = steady_state_probe(smoke);
+    let doc = kernels_json(&rows, &ss, smoke);
+    validate_kernels_json(&doc).expect("BENCH_kernels.json failed schema validation");
+
+    let path = out_dir.join("BENCH_kernels.json");
+    std::fs::write(&path, &doc).expect("write BENCH_kernels.json");
+
+    for r in &rows {
+        let fused = r
+            .fused_gflops
+            .map(|f| format!("{f:8.2}"))
+            .unwrap_or_else(|| "       -".into());
+        println!(
+            "{:<32} {:>4}x{:>5}x{:>5}  naive {:8.2}  blocked {:8.2}  fused {}  ({:4.2}x)",
+            r.label,
+            r.m,
+            r.k,
+            r.n,
+            r.naive_gflops,
+            r.blocked_gflops,
+            fused,
+            r.speedup_blocked()
+        );
+    }
+    println!(
+        "steady state: {:.3} ms/step over {} steps ({} warmup), scratch reallocs {}, dispatch blocked/naive {}/{}",
+        ss.step_ms, ss.steps, ss.warmup_steps, ss.scratch_reallocs_delta, ss.dispatch_blocked, ss.dispatch_naive
+    );
+    println!("wrote {} ({} B)", path.display(), doc.len());
+
+    if check {
+        if let Err(e) = check_kernel_regression(&rows, &ss) {
+            eprintln!("kernel regression gate failed: {e}");
+            std::process::exit(1);
+        }
+        println!("regression gate: ok");
+    }
+}

@@ -1,0 +1,535 @@
+//! The compute-kernel baseline behind `BENCH_kernels.json`.
+//!
+//! Measures GFLOP/s of the three conv-GEMM strategies across
+//! EfficientNet-B0 layer shapes:
+//!
+//! - **naive** — materialized im2col patches + the streaming
+//!   [`gemm_slice`] kernel (the pre-packed-kernel hot path),
+//! - **blocked** — materialized im2col patches + the cache-blocked,
+//!   panel-packed [`gemm_blocked`] kernel,
+//! - **fused** — [`gemm_prepacked`] over a [`PanelB::Patches`] operand:
+//!   patches are gathered straight into tile-major B panels, the `K×P`
+//!   patch matrix never exists in memory (conv rows only). The weight
+//!   panel is packed once outside the timing loop, mirroring
+//!   `conv2d_forward`'s per-call amortization across a batch.
+//!
+//! plus a steady-state training-step probe that pins the scratch arena's
+//! allocator traffic to **zero** after warmup and reports wall time per
+//! step and the gemm_auto dispatch split.
+//!
+//! The calibration row (`m=256, k=1152, n=3136` — a B0 stage-5-sized
+//! 3×3 conv at 56×56) is identical in smoke and full mode: CI gates on
+//! blocked ≥ naive at that shape, so the fast path can never silently
+//! regress below the kernel it replaced.
+
+use ets_obs::{parse_json, JsonWriter, Value};
+use ets_tensor::ops::conv::{conv2d_backward, conv2d_forward, im2col, Conv2dGeom};
+use ets_tensor::ops::dispatch::{dispatch_blocked_calls, dispatch_naive_calls};
+use ets_tensor::ops::gemm_blocked::{
+    gemm_blocked, gemm_prepacked, pack_a_into, packed_a_len, PanelA, PanelB,
+};
+use ets_tensor::ops::matmul::gemm_slice;
+use ets_tensor::{scratch_f32, scratch_reallocs, Rng, Shape, Tensor};
+use std::time::Instant;
+
+/// Label of the ISSUE calibration shape (CI regression gate).
+pub const CALIBRATION_LABEL: &str = "b0_stage5_3x3_56px_calibration";
+/// The calibration GEMM dims: `C_out × (C_in·KH·KW) × (H_out·W_out)`.
+pub const CALIBRATION_MKN: (usize, usize, usize) = (256, 1152, 3136);
+
+/// One measured kernel shape.
+#[derive(Clone, Debug)]
+pub struct KernelBenchRow {
+    pub label: String,
+    pub m: usize,
+    pub k: usize,
+    pub n: usize,
+    pub reps: usize,
+    pub naive_gflops: f64,
+    pub blocked_gflops: f64,
+    /// Fused im2col+packing path; `None` for pure-GEMM rows.
+    pub fused_gflops: Option<f64>,
+    /// True for the CI-gated calibration shape.
+    pub calibration: bool,
+}
+
+impl KernelBenchRow {
+    /// blocked / naive throughput ratio.
+    pub fn speedup_blocked(&self) -> f64 {
+        if self.naive_gflops > 0.0 {
+            self.blocked_gflops / self.naive_gflops
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Steady-state training-step probe results.
+#[derive(Clone, Debug)]
+pub struct SteadyState {
+    pub warmup_steps: usize,
+    pub steps: usize,
+    pub step_ms: f64,
+    /// Arena allocator hits across the measured (post-warmup) steps.
+    /// The allocation-free-step contract requires this to be 0.
+    pub scratch_reallocs_delta: u64,
+    pub dispatch_blocked: u64,
+    pub dispatch_naive: u64,
+}
+
+/// Times `reps` invocations of `f` (after one untimed warmup call) and
+/// returns GFLOP/s for `flops` floating-point ops per invocation.
+fn time_gflops(flops: u64, reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup: faults in scratch buffers, pages, rayon pool
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    (flops as f64 * reps as f64) / secs / 1e9
+}
+
+/// A conv-shaped row: times naive / blocked / fused on one image.
+#[allow(clippy::too_many_arguments)]
+fn conv_row(
+    label: &str,
+    rng: &mut Rng,
+    c_in: usize,
+    hw: usize,
+    c_out: usize,
+    ksz: usize,
+    stride: usize,
+    pad: usize,
+    reps: usize,
+    calibration: bool,
+) -> KernelBenchRow {
+    let xs = Shape::new(&[1, c_in, hw, hw]);
+    let ws = Shape::new(&[c_out, c_in, ksz, ksz]);
+    let g = Conv2dGeom::infer(&xs, &ws, stride, pad);
+    let (m, k, n) = (g.c_out, g.k(), g.p());
+    let flops = 2 * (m * k * n) as u64;
+
+    let mut img = vec![0.0f32; c_in * hw * hw];
+    rng.fill_uniform(&mut img, -1.0, 1.0);
+    let mut w = vec![0.0f32; m * k];
+    rng.fill_uniform(&mut w, -0.5, 0.5);
+    let mut y = vec![0.0f32; m * n];
+    let mut patches = vec![0.0f32; k * n];
+
+    let naive_gflops = time_gflops(flops, reps, || {
+        im2col(&g, &img, &mut patches);
+        gemm_slice(m, k, n, &w, &patches, &mut y);
+    });
+    let blocked_gflops = time_gflops(flops, reps, || {
+        im2col(&g, &img, &mut patches);
+        gemm_blocked(m, k, n, &w, &patches, &mut y);
+    });
+    // Fused: weight panel packed once (amortized across a batch in
+    // `conv2d_forward`), patches gathered straight into B panels.
+    let mut ap = scratch_f32(packed_a_len(m, k));
+    pack_a_into(PanelA::RowMajor(&w), m, k, &mut ap);
+    let fused_gflops = time_gflops(flops, reps, || {
+        gemm_prepacked(
+            m,
+            k,
+            n,
+            &ap,
+            PanelB::Patches {
+                geom: &g,
+                img: &img,
+            },
+            &mut y,
+            false,
+        );
+    });
+
+    KernelBenchRow {
+        label: label.to_string(),
+        m,
+        k,
+        n,
+        reps,
+        naive_gflops,
+        blocked_gflops,
+        fused_gflops: Some(fused_gflops),
+        calibration,
+    }
+}
+
+/// A pure-GEMM row (e.g. the classifier): naive vs blocked only.
+fn gemm_row(
+    label: &str,
+    rng: &mut Rng,
+    m: usize,
+    k: usize,
+    n: usize,
+    reps: usize,
+) -> KernelBenchRow {
+    let flops = 2 * (m * k * n) as u64;
+    let mut a = vec![0.0f32; m * k];
+    rng.fill_uniform(&mut a, -1.0, 1.0);
+    let mut b = vec![0.0f32; k * n];
+    rng.fill_uniform(&mut b, -1.0, 1.0);
+    let mut c = vec![0.0f32; m * n];
+    let naive_gflops = time_gflops(flops, reps, || gemm_slice(m, k, n, &a, &b, &mut c));
+    let blocked_gflops = time_gflops(flops, reps, || gemm_blocked(m, k, n, &a, &b, &mut c));
+    KernelBenchRow {
+        label: label.to_string(),
+        m,
+        k,
+        n,
+        reps,
+        naive_gflops,
+        blocked_gflops,
+        fused_gflops: None,
+        calibration: false,
+    }
+}
+
+/// Measures every row. `smoke` shrinks the non-calibration spatial sizes
+/// and rep counts so CI finishes in seconds; the calibration shape is
+/// identical in both modes (the regression gate must compare like with
+/// like across runs).
+pub fn kernel_rows(smoke: bool) -> Vec<KernelBenchRow> {
+    let mut rng = Rng::new(42);
+    let reps = if smoke { 2 } else { 8 };
+    let px = |full: usize, small: usize| if smoke { small } else { full };
+    vec![
+        // Stem: 3×3 stride-2 on RGB.
+        conv_row(
+            "b0_stem_3x3_s2",
+            &mut rng,
+            3,
+            px(224, 56),
+            32,
+            3,
+            2,
+            1,
+            reps,
+            false,
+        ),
+        // MBConv1 expand-style 1×1 at 56 px.
+        conv_row(
+            "b0_mb_expand_1x1_56px",
+            &mut rng,
+            16,
+            px(56, 28),
+            96,
+            1,
+            1,
+            0,
+            reps,
+            false,
+        ),
+        // Calibration: B0 stage-5-sized 3×3 (m=256, k=1152, n=3136).
+        conv_row(
+            CALIBRATION_LABEL,
+            &mut rng,
+            128,
+            56,
+            256,
+            3,
+            1,
+            1,
+            reps,
+            true,
+        ),
+        // Head 1×1: 320 → 1280 at 7 px.
+        conv_row(
+            "b0_head_1x1_7px",
+            &mut rng,
+            320,
+            7,
+            1280,
+            1,
+            1,
+            0,
+            reps,
+            false,
+        ),
+        // Classifier GEMM: batch × 1280 → 1000.
+        gemm_row("b0_fc_batch64", &mut rng, px(64, 16), 1280, 1000, reps),
+    ]
+}
+
+/// One steady-state training step of a blocked-dispatch conv layer:
+/// forward + full backward on a batch of 8.
+fn steady_step(x: &Tensor, w: &Tensor) -> f32 {
+    let y = conv2d_forward(x, w, 1, 1);
+    let (dx, dw) = conv2d_backward(x, w, &y, 1, 1);
+    // Touch outputs so nothing is optimized away.
+    dx.data()[0] + dw.data()[0] + y.data()[0]
+}
+
+/// Runs the steady-state probe: after `warmup` steps every thread's
+/// scratch pool holds a buffer for every size class the layer needs, so
+/// the measured steps must not hit the allocator at all.
+pub fn steady_state_probe(smoke: bool) -> SteadyState {
+    let mut rng = Rng::new(7);
+    let mut x = Tensor::zeros([8, 16, 24, 24]);
+    rng.fill_uniform(x.data_mut(), -1.0, 1.0);
+    let mut w = Tensor::zeros([32, 16, 3, 3]);
+    rng.fill_uniform(w.data_mut(), -0.5, 0.5);
+
+    let warmup_steps = 5;
+    let steps = if smoke { 4 } else { 20 };
+    let mut sink = 0.0f32;
+    for _ in 0..warmup_steps {
+        sink += steady_step(&x, &w);
+    }
+    let reallocs_before = scratch_reallocs();
+    let blocked_before = dispatch_blocked_calls();
+    let naive_before = dispatch_naive_calls();
+    let t0 = Instant::now();
+    for _ in 0..steps {
+        sink += steady_step(&x, &w);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert!(
+        sink.is_finite(),
+        "steady-state probe produced non-finite values"
+    );
+    SteadyState {
+        warmup_steps,
+        steps,
+        step_ms: 1e3 * elapsed / steps as f64,
+        scratch_reallocs_delta: scratch_reallocs() - reallocs_before,
+        dispatch_blocked: dispatch_blocked_calls() - blocked_before,
+        dispatch_naive: dispatch_naive_calls() - naive_before,
+    }
+}
+
+/// Renders `BENCH_kernels.json` (always parseable; no serde_json).
+pub fn kernels_json(rows: &[KernelBenchRow], ss: &SteadyState, smoke: bool) -> String {
+    let mut w = JsonWriter::with_capacity(4096);
+    w.begin_object()
+        .field_str("schema", "bench_kernels_v1")
+        .field_str("mode", if smoke { "smoke" } else { "full" })
+        .key("rows")
+        .begin_array();
+    for r in rows {
+        w.begin_object()
+            .field_str("label", &r.label)
+            .field_u64("m", r.m as u64)
+            .field_u64("k", r.k as u64)
+            .field_u64("n", r.n as u64)
+            .field_u64("reps", r.reps as u64)
+            .field_f64("naive_gflops", r.naive_gflops)
+            .field_f64("blocked_gflops", r.blocked_gflops);
+        match r.fused_gflops {
+            Some(f) => w.field_f64("fused_gflops", f),
+            None => w.key("fused_gflops").null_value(),
+        };
+        w.field_f64("speedup_blocked", r.speedup_blocked())
+            .field_bool("calibration", r.calibration)
+            .end_object();
+    }
+    w.end_array()
+        .key("steady_state")
+        .begin_object()
+        .field_u64("warmup_steps", ss.warmup_steps as u64)
+        .field_u64("steps", ss.steps as u64)
+        .field_f64("step_ms", ss.step_ms)
+        .field_u64("scratch_reallocs_delta", ss.scratch_reallocs_delta)
+        .field_u64("dispatch_blocked", ss.dispatch_blocked)
+        .field_u64("dispatch_naive", ss.dispatch_naive)
+        .end_object()
+        .end_object();
+    w.finish()
+}
+
+/// In-process schema validation of a `BENCH_kernels.json` document.
+/// CI runs this before uploading, so a malformed artifact is a failure,
+/// not a silent gap in the perf trajectory.
+pub fn validate_kernels_json(doc: &str) -> Result<(), String> {
+    let v = parse_json(doc)?;
+    if v.get("schema").and_then(Value::as_str) != Some("bench_kernels_v1") {
+        return Err("schema must be bench_kernels_v1".into());
+    }
+    match v.get("mode").and_then(Value::as_str) {
+        Some("smoke") | Some("full") => {}
+        other => return Err(format!("mode must be smoke|full, got {other:?}")),
+    }
+    let rows = v
+        .get("rows")
+        .and_then(Value::as_arr)
+        .ok_or("rows must be an array")?;
+    if rows.is_empty() {
+        return Err("rows must be non-empty".into());
+    }
+    let mut calibration_rows = 0;
+    for (i, r) in rows.iter().enumerate() {
+        for key in [
+            "m",
+            "k",
+            "n",
+            "reps",
+            "naive_gflops",
+            "blocked_gflops",
+            "speedup_blocked",
+        ] {
+            let num = r.get(key).and_then(Value::as_f64);
+            match num {
+                Some(x) if x.is_finite() && x >= 0.0 => {}
+                _ => {
+                    return Err(format!(
+                        "row {i}: {key} must be a finite non-negative number"
+                    ))
+                }
+            }
+        }
+        if r.get("label").and_then(Value::as_str).is_none() {
+            return Err(format!("row {i}: label must be a string"));
+        }
+        if matches!(r.get("calibration"), Some(Value::Bool(true))) {
+            calibration_rows += 1;
+            let (m, k, n) = CALIBRATION_MKN;
+            for (key, want) in [("m", m), ("k", k), ("n", n)] {
+                if r.get(key).and_then(Value::as_f64) != Some(want as f64) {
+                    return Err(format!("calibration row: {key} must be {want}"));
+                }
+            }
+        }
+    }
+    if calibration_rows != 1 {
+        return Err(format!(
+            "expected exactly 1 calibration row, found {calibration_rows}"
+        ));
+    }
+    let ss = v.get("steady_state").ok_or("steady_state missing")?;
+    for key in ["warmup_steps", "steps", "step_ms", "scratch_reallocs_delta"] {
+        if ss.get(key).and_then(Value::as_f64).is_none() {
+            return Err(format!("steady_state.{key} must be a number"));
+        }
+    }
+    Ok(())
+}
+
+/// The CI regression gate: the blocked kernel must not fall below the
+/// naive kernel at the calibration shape, and the steady state must be
+/// allocation-free.
+pub fn check_kernel_regression(rows: &[KernelBenchRow], ss: &SteadyState) -> Result<(), String> {
+    let cal = rows
+        .iter()
+        .find(|r| r.calibration)
+        .ok_or("no calibration row")?;
+    if cal.blocked_gflops < cal.naive_gflops {
+        return Err(format!(
+            "blocked GEMM regressed below naive at calibration shape: {:.2} < {:.2} GFLOP/s",
+            cal.blocked_gflops, cal.naive_gflops
+        ));
+    }
+    if ss.scratch_reallocs_delta != 0 {
+        return Err(format!(
+            "steady-state step hit the allocator {} time(s); the arena contract requires 0",
+            ss.scratch_reallocs_delta
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips_and_validates() {
+        let rows = vec![
+            KernelBenchRow {
+                label: "toy".into(),
+                m: 8,
+                k: 8,
+                n: 8,
+                reps: 1,
+                naive_gflops: 1.0,
+                blocked_gflops: 2.0,
+                fused_gflops: None,
+                calibration: false,
+            },
+            KernelBenchRow {
+                label: CALIBRATION_LABEL.into(),
+                m: CALIBRATION_MKN.0,
+                k: CALIBRATION_MKN.1,
+                n: CALIBRATION_MKN.2,
+                reps: 1,
+                naive_gflops: 1.0,
+                blocked_gflops: 2.5,
+                fused_gflops: Some(3.0),
+                calibration: true,
+            },
+        ];
+        let ss = SteadyState {
+            warmup_steps: 5,
+            steps: 3,
+            step_ms: 1.25,
+            scratch_reallocs_delta: 0,
+            dispatch_blocked: 12,
+            dispatch_naive: 4,
+        };
+        let doc = kernels_json(&rows, &ss, true);
+        validate_kernels_json(&doc).expect("valid document");
+        check_kernel_regression(&rows, &ss).expect("no regression");
+    }
+
+    #[test]
+    fn validator_rejects_bad_documents() {
+        assert!(validate_kernels_json("{}").is_err());
+        assert!(validate_kernels_json("not json").is_err());
+        // Missing calibration row.
+        let rows = vec![KernelBenchRow {
+            label: "toy".into(),
+            m: 8,
+            k: 8,
+            n: 8,
+            reps: 1,
+            naive_gflops: 1.0,
+            blocked_gflops: 2.0,
+            fused_gflops: None,
+            calibration: false,
+        }];
+        let ss = SteadyState {
+            warmup_steps: 1,
+            steps: 1,
+            step_ms: 1.0,
+            scratch_reallocs_delta: 0,
+            dispatch_blocked: 0,
+            dispatch_naive: 1,
+        };
+        let doc = kernels_json(&rows, &ss, true);
+        assert!(validate_kernels_json(&doc).is_err());
+    }
+
+    #[test]
+    fn regression_gate_fires() {
+        let rows = vec![KernelBenchRow {
+            label: CALIBRATION_LABEL.into(),
+            m: CALIBRATION_MKN.0,
+            k: CALIBRATION_MKN.1,
+            n: CALIBRATION_MKN.2,
+            reps: 1,
+            naive_gflops: 2.0,
+            blocked_gflops: 1.0, // slower than naive
+            fused_gflops: None,
+            calibration: true,
+        }];
+        let ss = SteadyState {
+            warmup_steps: 1,
+            steps: 1,
+            step_ms: 1.0,
+            scratch_reallocs_delta: 0,
+            dispatch_blocked: 1,
+            dispatch_naive: 0,
+        };
+        assert!(check_kernel_regression(&rows, &ss).is_err());
+        let rows_ok = vec![KernelBenchRow {
+            blocked_gflops: 4.0,
+            ..rows[0].clone()
+        }];
+        assert!(check_kernel_regression(&rows_ok, &ss).is_ok());
+        let ss_bad = SteadyState {
+            scratch_reallocs_delta: 3,
+            ..ss
+        };
+        assert!(check_kernel_regression(&rows_ok, &ss_bad).is_err());
+    }
+}

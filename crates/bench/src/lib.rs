@@ -10,6 +10,8 @@
 //! dependency-free writer that stays valid JSON even in hermetic builds
 //! where `serde_json` is replaced by a non-functional stub.
 
+pub mod kernels;
+
 use ets_efficientnet::Variant;
 use ets_obs::{
     summaries_to_json, validate_chrome_trace, JsonWriter, OverheadDecomposition, Recorder,

@@ -643,6 +643,30 @@ fn train_recorded(exp: &Experiment, recorders: &[Arc<Recorder>]) -> TrainReport 
         carry_counters.mirror_to(rec);
     }
 
+    // Export the compute-kernel self-check counters (process-wide: the
+    // scratch arena's allocator hits and the gemm_auto dispatch split).
+    // Steady-state training must keep `tensor_scratch_reallocs` flat and
+    // `gemm_dispatch_blocked` nonzero on real model shapes; the bench
+    // harness and smoke tests assert on these via the registry.
+    for rec in recorders.iter().take(world) {
+        rec.gauge_set(
+            "tensor_scratch_reallocs",
+            ets_tensor::scratch_reallocs() as f64,
+        );
+        rec.gauge_set(
+            "tensor_scratch_checkouts",
+            ets_tensor::scratch_checkouts() as f64,
+        );
+        rec.gauge_set(
+            "gemm_dispatch_blocked",
+            ets_tensor::ops::dispatch::dispatch_blocked_calls() as f64,
+        );
+        rec.gauge_set(
+            "gemm_dispatch_naive",
+            ets_tensor::ops::dispatch::dispatch_naive_calls() as f64,
+        );
+    }
+
     let (peak_top1, peak_epoch) = history
         .iter()
         .filter_map(|rec| rec.eval_top1.map(|a| (a, rec.epoch)))

@@ -3,10 +3,15 @@
 //! Used by EfficientNet's classification head and the squeeze-and-excite
 //! bottleneck (whose 1×1 convs on a 1×1 spatial map are exactly dense
 //! layers, which is how we implement them).
+//!
+//! All three GEMMs (forward `x·Wᵀ`, weight gradient `gradᵀ·x`, input
+//! gradient `grad·W`) route through the shape-pure `gemm_auto`
+//! dispatcher, so head-sized products take the blocked packed kernels
+//! while SE-bottleneck-sized ones keep the naive streaming path.
 
 use crate::layer::{Layer, Mode};
 use crate::param::{Param, ParamKind};
-use ets_tensor::ops::matmul::{gemm_a_bt_slice, gemm_at_b_slice_acc, gemm_slice};
+use ets_tensor::ops::dispatch::{gemm_auto, gemm_auto_a_bt, gemm_auto_at_b_acc};
 use ets_tensor::{init, Rng, Tensor};
 
 /// Dense layer with weight stored `[out, in]` and optional bias.
@@ -71,7 +76,7 @@ impl Layer for Linear {
         assert_eq!(x.shape().dim(1), self.in_dim, "Linear in_dim mismatch");
         let mut y = Tensor::zeros([n, self.out_dim]);
         // y = x (N×in) · Wᵀ — W stored out×in, so this is gemm_a_bt.
-        gemm_a_bt_slice(
+        gemm_auto_a_bt(
             n,
             self.in_dim,
             self.out_dim,
@@ -99,7 +104,7 @@ impl Layer for Linear {
         let n = x.shape().dim(0);
         assert_eq!(grad.shape().dims(), &[n, self.out_dim], "Linear grad shape");
         // dW (out×in) += gradᵀ (out×N) · x (N×in)
-        gemm_at_b_slice_acc(
+        gemm_auto_at_b_acc(
             self.out_dim,
             n,
             self.in_dim,
@@ -117,7 +122,7 @@ impl Layer for Linear {
         }
         // dx (N×in) = grad (N×out) · W (out×in)
         let mut dx = Tensor::zeros([n, self.in_dim]);
-        gemm_slice(
+        gemm_auto(
             n,
             self.out_dim,
             self.in_dim,

@@ -3,7 +3,10 @@
 //! `s = σ(W₂ · swish(W₁ · GAP(x)))`, `y = x ⊙ s` (per-channel gate).
 //! The two 1×1 "convs" of the reference implementation operate on a 1×1
 //! spatial map, so they are implemented as dense layers (with bias, as in
-//! the TF code).
+//! the TF code). Their GEMMs route through `gemm_auto` via [`Linear`]:
+//! SE bottlenecks are usually below the blocked-dispatch threshold and
+//! keep the naive streaming kernels, by design — the dispatcher decides
+//! per shape, not per layer type.
 
 use crate::activations::{Sigmoid, Swish};
 use crate::layer::{Layer, Mode};

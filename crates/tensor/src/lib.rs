@@ -18,9 +18,14 @@ pub mod bf16;
 pub mod init;
 pub mod ops;
 pub mod rng;
+pub mod scratch;
 pub mod shape;
 pub mod tensor;
 
 pub use rng::Rng;
+pub use scratch::{
+    reset_scratch_counters, scratch_checkouts, scratch_f32, scratch_f32_zeroed, scratch_reallocs,
+    scratch_reallocs_local, ScratchVec,
+};
 pub use shape::{conv_out_dim, same_pad, Shape};
 pub use tensor::Tensor;

@@ -8,12 +8,29 @@
 //!
 //! The im2col patch matrix for one image is `K×P` with `K = C_in·KH·KW` and
 //! `P = H_out·W_out`, so the forward pass is a single `C_out×K · K×P` GEMM
-//! per image. Batch images run in parallel on rayon workers, each with its
-//! own scratch patch buffer (no allocation inside the per-image loop beyond
-//! the one scratch vec, which the thread reuses across calls via
-//! `for_each_init`).
+//! per image. Batch images run in parallel on rayon workers.
+//!
+//! Kernel routing: shapes past the [`dispatch::blocked_profitable`]
+//! threshold take the packed blocked kernels — forward additionally
+//! **fuses** im2col with panel packing ([`PanelB::Patches`]): the weight
+//! matrix is packed once per call and each image's patch matrix is
+//! gathered straight into the kernel's tile-major B panels, so the `K×P`
+//! patch matrix is never materialized. Small shapes keep the naive
+//! streaming kernels with an arena-scratch patch buffer. All short-lived
+//! buffers (patches, packed panels, per-image `dw` partials) come from
+//! the thread-local scratch arena, so steady-state calls never touch the
+//! allocator.
+//!
+//! Determinism: every reduction has a fixed association. The per-image
+//! `dw` partial for image `i` is always exactly `dY_i · patches_iᵀ`
+//! (never a rayon fold grouping, which work stealing would make
+//! nondeterministic), and partials are combined by a stride-doubling
+//! pairwise tree whose shape depends only on the batch size.
 
-use crate::ops::matmul::{gemm_at_b_slice, gemm_slice};
+use crate::ops::dispatch;
+use crate::ops::gemm_blocked::{gemm_prepacked, pack_a_into, packed_a_len, PanelA, PanelB};
+use crate::ops::matmul::gemm_slice;
+use crate::scratch::{scratch_f32, scratch_f32_zeroed};
 use crate::shape::{conv_out_dim, Shape};
 use crate::tensor::Tensor;
 use rayon::prelude::*;
@@ -158,20 +175,45 @@ pub fn col2im(g: &Conv2dGeom, patches: &[f32], dimg: &mut [f32]) {
 pub fn conv2d_forward(x: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Tensor {
     let g = Conv2dGeom::infer(x.shape(), w.shape(), stride, pad);
     let mut y = Tensor::zeros(g.out_shape());
+    let (kk, p) = (g.k(), g.p());
     let img_len = g.c_in * g.h * g.w;
-    let out_len = g.c_out * g.p();
+    let out_len = g.c_out * p;
     let xs = x.data();
     let ws = w.data();
-    y.data_mut()
-        .par_chunks_mut(out_len)
-        .enumerate()
-        .for_each_init(
-            || vec![0.0f32; g.k() * g.p()],
-            |patches, (i, yout)| {
-                im2col(&g, &xs[i * img_len..(i + 1) * img_len], patches);
-                gemm_slice(g.c_out, g.k(), g.p(), ws, patches, yout);
-            },
-        );
+    if dispatch::blocked_profitable(g.c_out, kk, p) {
+        dispatch::record_dispatch(true);
+        // Fused path: pack W once (shared read-only across workers), then
+        // gather each image's virtual patch matrix directly into the
+        // kernel's B panels — no K×P materialization, one memory pass.
+        let mut ap = scratch_f32(packed_a_len(g.c_out, kk));
+        pack_a_into(PanelA::RowMajor(ws), g.c_out, kk, &mut ap);
+        let ap = &*ap;
+        y.data_mut()
+            .par_chunks_mut(out_len)
+            .enumerate()
+            .for_each(|(i, yout)| {
+                let img = &xs[i * img_len..(i + 1) * img_len];
+                gemm_prepacked(
+                    g.c_out,
+                    kk,
+                    p,
+                    ap,
+                    PanelB::Patches { geom: &g, img },
+                    yout,
+                    false,
+                );
+            });
+    } else {
+        dispatch::record_dispatch(false);
+        y.data_mut()
+            .par_chunks_mut(out_len)
+            .enumerate()
+            .for_each(|(i, yout)| {
+                let mut patches = scratch_f32(kk * p);
+                im2col(&g, &xs[i * img_len..(i + 1) * img_len], &mut patches);
+                gemm_slice(g.c_out, kk, p, ws, &patches, yout);
+            });
+    }
     y
 }
 
@@ -193,8 +235,9 @@ pub fn conv2d_backward(
         dy.shape(),
         g.out_shape()
     );
+    let (kk, p) = (g.k(), g.p());
     let img_len = g.c_in * g.h * g.w;
-    let out_len = g.c_out * g.p();
+    let out_len = g.c_out * p;
     let xs = x.data();
     let ws = w.data();
     let dys = dy.data();
@@ -202,55 +245,65 @@ pub fn conv2d_backward(
 
     let mut dx = Tensor::zeros(x.shape().clone());
 
-    // Parallel over batch: each worker owns disjoint dx image slices and a
-    // private dw accumulator; private dws are tree-reduced at the end.
-    let dw_partials: Vec<Vec<f32>> = dx
-        .data_mut()
+    // Pass 1 — input gradient, parallel over images (disjoint dx slices):
+    // dPatches = Wᵀ · dY_i (W stored Cout×K), scattered back by col2im.
+    dx.data_mut()
         .par_chunks_mut(img_len)
         .enumerate()
-        .fold(
-            || (vec![0.0f32; wlen], vec![0.0f32; g.k() * g.p()]),
-            |(mut dw_local, mut scratch), (i, dximg)| {
-                let dyi = &dys[i * out_len..(i + 1) * out_len];
-                // dW += dY_i · patches_iᵀ  (dY_i: Cout×P, patches: K×P)
-                im2col(&g, &xs[i * img_len..(i + 1) * img_len], &mut scratch);
-                acc_a_bt(g.c_out, g.p(), g.k(), dyi, &scratch, &mut dw_local);
-                // dPatches = Wᵀ · dY_i   (W stored Cout×K)
-                gemm_at_b_slice(g.k(), g.c_out, g.p(), ws, dyi, &mut scratch);
-                dximg.iter_mut().for_each(|v| *v = 0.0);
-                col2im(&g, &scratch, dximg);
-                (dw_local, scratch)
-            },
-        )
-        .map(|(dw_local, _)| dw_local)
-        .collect();
+        .for_each(|(i, dximg)| {
+            let dyi = &dys[i * out_len..(i + 1) * out_len];
+            let mut dpatches = scratch_f32(kk * p);
+            dispatch::gemm_auto_at_b(kk, g.c_out, p, ws, dyi, &mut dpatches);
+            dximg.iter_mut().for_each(|v| *v = 0.0);
+            col2im(&g, &dpatches, dximg);
+        });
 
+    // Pass 2 — weight gradient: one partial slot per image, parallel over
+    // slots. Slot i holds exactly dY_i · patches_iᵀ (dY_i: Cout×P,
+    // patches: K×P stored row-major = the `n×k` ABᵀ operand), on the
+    // packed accumulating kernel when the shape clears the threshold.
+    // Fixed per-image slots keep the result independent of rayon's work
+    // distribution.
+    let mut partials = scratch_f32_zeroed(g.n * wlen);
+    partials
+        .par_chunks_mut(wlen)
+        .enumerate()
+        .for_each(|(i, slot)| {
+            let dyi = &dys[i * out_len..(i + 1) * out_len];
+            let mut patches = scratch_f32(kk * p);
+            im2col(&g, &xs[i * img_len..(i + 1) * img_len], &mut patches);
+            dispatch::gemm_auto_a_bt_acc(g.c_out, p, kk, dyi, &patches, slot);
+        });
+
+    // Pass 3 — stride-doubling pairwise tree over the image slots; the
+    // association depends only on the batch size, never on scheduling.
+    reduce_partials_pairwise(&mut partials, g.n, wlen);
     let mut dw = Tensor::zeros(w.shape().clone());
-    for part in &dw_partials {
-        for (d, &p) in dw.data_mut().iter_mut().zip(part) {
-            *d += p;
-        }
-    }
+    dw.data_mut().copy_from_slice(&partials[..wlen]);
     (dx, dw)
 }
 
-/// `c += a(m×k) · bᵀ` with `b` stored `n×k` — local accumulating helper for
-/// the weight-gradient product.
-fn acc_a_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), n * k);
-    debug_assert_eq!(c.len(), m * n);
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let crow = &mut c[i * n..(i + 1) * n];
-        for (j, cv) in crow.iter_mut().enumerate() {
-            let brow = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in arow.iter().zip(brow) {
-                acc += av * bv;
-            }
-            *cv += acc;
-        }
+/// Reduces `count` partials of `len` floats laid out contiguously in
+/// `buf` into `buf[..len]` with a fixed pairwise (stride-doubling) tree:
+/// round `r` adds slot `i + 2^r` into slot `i` for every `i` that is a
+/// multiple of `2^(r+1)`, rounds run in parallel over disjoint pairs.
+/// The association is a pure function of `count`, so the f32 result is
+/// bitwise-reproducible regardless of thread scheduling.
+fn reduce_partials_pairwise(buf: &mut [f32], count: usize, len: usize) {
+    debug_assert!(buf.len() >= count * len);
+    let mut stride = 1;
+    while stride < count {
+        buf[..count * len]
+            .par_chunks_mut(2 * stride * len)
+            .for_each(|chunk| {
+                if chunk.len() > stride * len {
+                    let (dst, src) = chunk.split_at_mut(stride * len);
+                    for (d, &s) in dst[..len].iter_mut().zip(&src[..len]) {
+                        *d += s;
+                    }
+                }
+            });
+        stride *= 2;
     }
 }
 
@@ -322,52 +375,77 @@ pub fn depthwise_backward(
     let dys = dy.data();
 
     let mut dx = Tensor::zeros(x.shape().clone());
-    // Parallel over (image, channel) planes; dw reduced from per-worker
-    // partials since multiple images share a channel's kernel.
-    let dw_partials: Vec<Vec<f32>> = dx
-        .data_mut()
+    let klen = kh * kw;
+
+    // Pass 1 — input gradient, parallel over (image, channel) planes.
+    // No `g == 0.0` skip: a zero upstream gradient against a non-finite
+    // activation must still produce NaN (nan_guard contract; see the
+    // branchless-accumulation note in `matmul`).
+    dx.data_mut()
         .par_chunks_mut(in_plane)
         .enumerate()
-        .fold(
-            || vec![0.0f32; c * kh * kw],
-            |mut dw_local, (plane_idx, dximg)| {
-                let ch = plane_idx % c;
-                let xin = &xs[plane_idx * in_plane..(plane_idx + 1) * in_plane];
-                let dyp = &dys[plane_idx * out_plane..(plane_idx + 1) * out_plane];
-                let ker = &ws[ch * kh * kw..(ch + 1) * kh * kw];
-                let dker = &mut dw_local[ch * kh * kw..(ch + 1) * kh * kw];
-                for oh in 0..h_out {
-                    for ow in 0..w_out {
-                        let g = dyp[oh * w_out + ow];
-                        if g == 0.0 {
+        .for_each(|(plane_idx, dximg)| {
+            let ch = plane_idx % c;
+            let dyp = &dys[plane_idx * out_plane..(plane_idx + 1) * out_plane];
+            let ker = &ws[ch * klen..(ch + 1) * klen];
+            for oh in 0..h_out {
+                for ow in 0..w_out {
+                    let g = dyp[oh * w_out + ow];
+                    for ki in 0..kh {
+                        let ih = (oh * stride + ki) as isize - pad as isize;
+                        if ih < 0 || ih >= h as isize {
                             continue;
                         }
-                        for ki in 0..kh {
-                            let ih = (oh * stride + ki) as isize - pad as isize;
-                            if ih < 0 || ih >= h as isize {
+                        for kj in 0..kw {
+                            let iw = (ow * stride + kj) as isize - pad as isize;
+                            if iw < 0 || iw >= wid as isize {
                                 continue;
                             }
-                            for kj in 0..kw {
-                                let iw = (ow * stride + kj) as isize - pad as isize;
-                                if iw < 0 || iw >= wid as isize {
-                                    continue;
-                                }
-                                let xi = ih as usize * wid + iw as usize;
-                                dker[ki * kw + kj] += g * xin[xi];
-                                dximg[xi] += g * ker[ki * kw + kj];
-                            }
+                            dximg[ih as usize * wid + iw as usize] += g * ker[ki * kw + kj];
                         }
                     }
                 }
-                dw_local
-            },
-        )
-        .collect();
+            }
+        });
 
+    // Pass 2 — weight gradient: one arena-backed partial slot per plane
+    // (image, channel), parallel over slots; slot contents depend only on
+    // that plane, never on rayon's work distribution.
+    let mut partials = scratch_f32_zeroed(n * c * klen);
+    partials
+        .par_chunks_mut(klen)
+        .enumerate()
+        .for_each(|(plane_idx, dker)| {
+            let xin = &xs[plane_idx * in_plane..(plane_idx + 1) * in_plane];
+            let dyp = &dys[plane_idx * out_plane..(plane_idx + 1) * out_plane];
+            for oh in 0..h_out {
+                for ow in 0..w_out {
+                    let g = dyp[oh * w_out + ow];
+                    for ki in 0..kh {
+                        let ih = (oh * stride + ki) as isize - pad as isize;
+                        if ih < 0 || ih >= h as isize {
+                            continue;
+                        }
+                        for kj in 0..kw {
+                            let iw = (ow * stride + kj) as isize - pad as isize;
+                            if iw < 0 || iw >= wid as isize {
+                                continue;
+                            }
+                            dker[ki * kw + kj] += g * xin[ih as usize * wid + iw as usize];
+                        }
+                    }
+                }
+            }
+        });
+
+    // Pass 3 — fold image partials per channel in fixed ascending-image
+    // order (deterministic association; the per-channel vectors are tiny).
     let mut dw = Tensor::zeros(w.shape().clone());
-    for part in &dw_partials {
-        for (d, &p) in dw.data_mut().iter_mut().zip(part) {
-            *d += p;
+    let dws = dw.data_mut();
+    for img in 0..n {
+        let base = img * c * klen;
+        for (d, &s) in dws.iter_mut().zip(&partials[base..base + c * klen]) {
+            *d += s;
         }
     }
     (dx, dw)
@@ -424,6 +502,10 @@ mod tests {
             (2, 3, 9, 7, 5, 3, 2, 1),
             (1, 4, 6, 6, 2, 1, 1, 0),
             (2, 2, 11, 11, 3, 5, 2, 2),
+            // Past the blocked-dispatch threshold: exercises the fused
+            // patch-packing path (stride 1 and stride 2, both padded).
+            (1, 8, 12, 12, 8, 3, 1, 1),
+            (1, 8, 13, 13, 32, 3, 2, 1),
         ] {
             let x = rand_tensor(&mut rng, &[n, ci, h, w]);
             let wt = rand_tensor(&mut rng, &[co, ci, k, k]);
@@ -581,6 +663,78 @@ mod tests {
             .map(|(&a, &b)| a as f64 * b as f64)
             .sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn pairwise_partial_reduction_matches_serial_sum() {
+        let len = 7;
+        for &count in &[1usize, 2, 3, 5, 8, 13] {
+            let orig: Vec<f32> = (0..count * len).map(|i| (i as f32 * 0.37).sin()).collect();
+            let mut buf = orig.clone();
+            reduce_partials_pairwise(&mut buf, count, len);
+            for j in 0..len {
+                let want: f64 = (0..count).map(|i| orig[i * len + j] as f64).sum();
+                assert!(
+                    (buf[j] as f64 - want).abs() < 1e-4,
+                    "count={count} j={j}: {} vs {want}",
+                    buf[j]
+                );
+            }
+            // Rerun: bitwise identical (fixed association).
+            let mut buf2 = orig.clone();
+            reduce_partials_pairwise(&mut buf2, count, len);
+            assert_eq!(
+                buf[..len].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                buf2[..len].iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    /// Backward at a shape past the blocked threshold still matches the
+    /// finite-difference reference (packed accumulating kernels + fixed
+    /// per-image partial slots).
+    #[test]
+    fn backward_blocked_shape_finite_difference() {
+        let mut rng = Rng::new(7);
+        let x = rand_tensor(&mut rng, &[2, 8, 10, 10]);
+        let wt = rand_tensor(&mut rng, &[16, 8, 3, 3]);
+        let (s, p) = (1, 1);
+        let y0 = conv2d_forward(&x, &wt, s, p);
+        let gout = rand_tensor(&mut rng, y0.shape().dims());
+        let (dx, dw) = conv2d_backward(&x, &wt, &gout, s, p);
+        let loss = |x: &Tensor, w: &Tensor| -> f64 {
+            conv2d_forward(x, w, s, p)
+                .data()
+                .iter()
+                .zip(gout.data())
+                .map(|(&a, &b)| (a as f64) * (b as f64))
+                .sum()
+        };
+        let eps = 1e-3f32;
+        for &i in &[0usize, 101, x.numel() - 1] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = ((loss(&xp, &wt) - loss(&xm, &wt)) / (2.0 * eps as f64)) as f32;
+            let ana = dx.data()[i];
+            assert!(
+                (num - ana).abs() < 3e-2 * (1.0 + num.abs()),
+                "dx[{i}]: numeric {num} vs analytic {ana}"
+            );
+        }
+        for &i in &[0usize, 77, wt.numel() - 1] {
+            let mut wp = wt.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = wt.clone();
+            wm.data_mut()[i] -= eps;
+            let num = ((loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps as f64)) as f32;
+            let ana = dw.data()[i];
+            assert!(
+                (num - ana).abs() < 3e-2 * (1.0 + num.abs()),
+                "dw[{i}]: numeric {num} vs analytic {ana}"
+            );
+        }
     }
 
     #[test]

@@ -1,119 +1,412 @@
-//! Cache-blocked, panel-packed GEMM.
+//! Cache-blocked, panel-packed GEMM — the workhorse kernel family behind
+//! every dense hot loop (conv forward/backward, linear forward/backward,
+//! squeeze-excite).
 //!
-//! The naive ikj kernel in [`crate::ops::matmul`] streams `B` from memory
+//! The naive ikj kernels in [`crate::ops::matmul`] stream `B` from memory
 //! on every row of `A`; once `B` no longer fits in L2 that becomes the
-//! bottleneck. This variant applies the standard GotoBLAS decomposition:
+//! bottleneck. This module applies the standard GotoBLAS decomposition:
 //!
 //! ```text
 //! for jc in 0..n step NC          (B panel → L3)
 //!   for pc in 0..k step KC        (pack B[pc..pc+KC, jc..jc+NC] once)
-//!     for ic in 0..m step MC      (pack A[ic..ic+MC, pc..pc+KC])
-//!       macro-kernel: MC×NC += MC×KC · KC×NC  (register-tiled 4×4)
+//!     for ic in 0..m step MC      (prepacked A[ic..ic+MC, pc..pc+KC])
+//!       macro-kernel: MC×NC += MC×KC · KC×NC  (register-tiled MR×NR)
 //! ```
 //!
-//! Packing copies each panel into contiguous, tile-major scratch so the
-//! micro-kernel reads both operands at stride 1. Parallelism: the `ic`
-//! loop is split across rayon workers (disjoint `C` row-blocks, shared
-//! read-only packed `B`).
+//! Design points that differ from a textbook single-kernel implementation:
 //!
-//! The unit tests pin it against the reference kernel; `benches/kernels.rs`
-//! compares throughput.
+//! - **One macro-kernel, many orientations.** The operand views
+//!   [`PanelA`] / [`PanelB`] describe how the packing routines gather the
+//!   effective `A (m×k)` and `B (k×n)` from storage: plain row-major,
+//!   transposed storage (`AᵀB` / `ABᵀ`, which the backward passes need),
+//!   or — the fused-conv path — **virtual im2col patches** packed straight
+//!   from the image into the tile-major B panel, so the `K×P` patch matrix
+//!   of the im2col convolution is never materialized at all
+//!   ([`PanelB::Patches`]).
+//! - **A is packed exactly once per call** ([`pack_a_into`] into a
+//!   [`crate::scratch`] buffer), not once per `jc` column block; callers
+//!   with a shared `A` across many GEMMs (conv weights across a batch) can
+//!   prepack once and call [`gemm_prepacked`] per image.
+//! - **Accumulating (`C += A·B`) variants** for gradient products: the
+//!   macro-kernel always merges with `+=`; the non-accumulating entry
+//!   points just zero `C` first.
+//! - **Zero steady-state allocation**: all pack buffers come from the
+//!   per-thread [`crate::scratch`] arena.
+//! - **Deterministic summation order**: every `C` element accumulates its
+//!   `k` products in ascending `pc`-block order, and parallelism is over
+//!   disjoint row blocks — the result is a pure function of the inputs,
+//!   independent of worker scheduling, so SPMD replicas stay bitwise
+//!   symmetric.
+//!
+//! The unit tests pin every orientation against the naive reference;
+//! `crates/tensor/tests/kernel_equivalence.rs` fuzzes adversarial shapes;
+//! `ets-bench`'s `bench_kernels` bin records the throughput trajectory in
+//! `BENCH_kernels.json`.
 
+use crate::ops::conv::Conv2dGeom;
+use crate::scratch::scratch_f32;
 use rayon::prelude::*;
 
-/// Row-block size (A panel height).
+/// Row-block size (A panel height). A multiple of [`MR`].
 pub const MC: usize = 64;
 /// Depth-block size (shared panel depth).
 pub const KC: usize = 128;
-/// Column-block size (B panel width).
+/// Column-block size (B panel width). A multiple of [`NR`].
 pub const NC: usize = 256;
-/// Micro-tile dimensions.
-const MR: usize = 4;
-const NR: usize = 4;
+/// Micro-tile rows.
+pub const MR: usize = 4;
+/// Micro-tile columns (one 256-bit f32 vector wide).
+pub const NR: usize = 8;
 
-/// `c = a(m×k) · b(k×n)` with cache blocking and panel packing.
-pub fn gemm_blocked(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    assert_eq!(a.len(), m * k, "A dims");
-    assert_eq!(b.len(), k * n, "B dims");
+/// Minimum MAC count before the macro-kernel parallelizes its row blocks.
+const PAR_FLOP_THRESHOLD: usize = 64 * 1024;
+
+/// How the effective `A (m×k)` operand is stored.
+#[derive(Clone, Copy, Debug)]
+pub enum PanelA<'a> {
+    /// `a[i*k + p]` — plain row-major `m×k`.
+    RowMajor(&'a [f32]),
+    /// `a[p*m + i]` — stored `k×m`; the effective A is the transpose
+    /// (the `AᵀB` orientation used by weight gradients).
+    Transposed(&'a [f32]),
+}
+
+/// How the effective `B (k×n)` operand is produced.
+#[derive(Clone, Copy, Debug)]
+pub enum PanelB<'a> {
+    /// `b[p*n + j]` — plain row-major `k×n`.
+    RowMajor(&'a [f32]),
+    /// `b[j*k + p]` — stored `n×k`; the effective B is the transpose
+    /// (the `ABᵀ` orientation used by input gradients).
+    Transposed(&'a [f32]),
+    /// The virtual `K×P` im2col patch matrix of one image, packed
+    /// directly from `CHW` storage (`img`) into the tile-major panel —
+    /// fused im2col: the patch matrix never exists in memory.
+    Patches {
+        geom: &'a Conv2dGeom,
+        img: &'a [f32],
+    },
+}
+
+/// Length of the packed-A buffer for an `m×k` operand: every row tile is
+/// padded to [`MR`] rows.
+#[inline]
+pub fn packed_a_len(m: usize, k: usize) -> usize {
+    m.div_ceil(MR) * MR * k
+}
+
+/// Packs the effective `A (m×k)` into tile-major panels.
+///
+/// Layout: for each depth block `pc` (step [`KC`], width `kc`), a region of
+/// `m_padded·kc` floats at offset `m_padded·pc` holding `m/MR` tiles of
+/// `kc×MR` (column-of-tiles, row-within-tile fastest); rows past `m` are
+/// zero. The macro-kernel reads both packed operands at stride 1.
+pub fn pack_a_into(a: PanelA<'_>, m: usize, k: usize, ap: &mut [f32]) {
+    debug_assert_eq!(ap.len(), packed_a_len(m, k));
+    let m_tiles = m.div_ceil(MR);
+    let m_padded = m_tiles * MR;
+    let at = |i: usize, p: usize| -> f32 {
+        match a {
+            PanelA::RowMajor(s) => s[i * k + p],
+            PanelA::Transposed(s) => s[p * m + i],
+        }
+    };
+    for pc in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc);
+        let region = &mut ap[m_padded * pc..m_padded * (pc + kc)];
+        for it in 0..m_tiles {
+            let i0 = it * MR;
+            let im = MR.min(m - i0);
+            let tile = &mut region[it * kc * MR..(it + 1) * kc * MR];
+            for p in 0..kc {
+                let dst = &mut tile[p * MR..(p + 1) * MR];
+                for (ii, d) in dst.iter_mut().enumerate() {
+                    *d = if ii < im { at(i0 + ii, pc + p) } else { 0.0 };
+                }
+            }
+        }
+    }
+}
+
+/// One im2col patch value: row `r` of the virtual `K×P` matrix at output
+/// position `col`, gathered straight from `CHW` image storage (0 in the
+/// padding halo).
+#[inline]
+fn patch_value(g: &Conv2dGeom, img: &[f32], r: usize, col: usize) -> f32 {
+    let c = r / (g.kh * g.kw);
+    let rem = r % (g.kh * g.kw);
+    let ki = rem / g.kw;
+    let kj = rem % g.kw;
+    let oh = col / g.w_out;
+    let ow = col % g.w_out;
+    let ih = (oh * g.stride + ki) as isize - g.pad as isize;
+    let iw = (ow * g.stride + kj) as isize - g.pad as isize;
+    if ih < 0 || ih >= g.h as isize || iw < 0 || iw >= g.w as isize {
+        0.0
+    } else {
+        img[(c * g.h + ih as usize) * g.w + iw as usize]
+    }
+}
+
+/// Packs one `kc×nc` B panel (`pc..pc+kc` × `jc..jc+nc` of the effective
+/// B) into tile-major layout: `nc/NR` tiles of `kc×NR`, columns past `n`
+/// zero-padded.
+#[allow(clippy::too_many_arguments)] // panel geometry is irreducibly 2-D×2
+fn pack_b_panel(
+    b: PanelB<'_>,
+    k: usize,
+    n: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    bp: &mut [f32],
+) {
+    let _ = k;
+    let b_tiles = nc.div_ceil(NR);
+    debug_assert!(bp.len() >= b_tiles * kc * NR);
+    for jt in 0..b_tiles {
+        let j0 = jc + jt * NR;
+        let jn = NR.min(nc - jt * NR);
+        let tile = &mut bp[jt * kc * NR..(jt + 1) * kc * NR];
+        match b {
+            PanelB::RowMajor(s) => {
+                for p in 0..kc {
+                    let src = &s[(pc + p) * n + j0..(pc + p) * n + j0 + jn];
+                    let dst = &mut tile[p * NR..(p + 1) * NR];
+                    dst[..jn].copy_from_slice(src);
+                    dst[jn..].iter_mut().for_each(|v| *v = 0.0);
+                }
+            }
+            PanelB::Transposed(s) => {
+                let kk = s.len() / n; // stored n×k ⇒ row stride k
+                for p in 0..kc {
+                    let dst = &mut tile[p * NR..(p + 1) * NR];
+                    for (jj, d) in dst.iter_mut().enumerate() {
+                        *d = if jj < jn {
+                            s[(j0 + jj) * kk + pc + p]
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+            PanelB::Patches { geom, img } => {
+                for p in 0..kc {
+                    let dst = &mut tile[p * NR..(p + 1) * NR];
+                    for (jj, d) in dst.iter_mut().enumerate() {
+                        *d = if jj < jn {
+                            patch_value(geom, img, pc + p, j0 + jj)
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The register-tiled inner product of one `MR×NR` micro-tile over a
+/// depth of `kc`: `acc += apanel(kc×MR)ᵀ ⊗ bpanel(kc×NR)` row by row.
+/// Branchless — non-finite operands propagate exactly as IEEE dictates.
+#[inline]
+fn micro_kernel(kc: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    debug_assert_eq!(apanel.len(), kc * MR);
+    debug_assert_eq!(bpanel.len(), kc * NR);
+    for p in 0..kc {
+        let arow = &apanel[p * MR..(p + 1) * MR];
+        let brow = &bpanel[p * NR..(p + 1) * NR];
+        for (ii, accrow) in acc.iter_mut().enumerate() {
+            let av = arow[ii];
+            for (jj, slot) in accrow.iter_mut().enumerate() {
+                *slot += av * brow[jj];
+            }
+        }
+    }
+}
+
+/// Macro-kernel over one row block of `C` for one packed B panel.
+#[allow(clippy::too_many_arguments)]
+fn macro_block(
+    m: usize,
+    n: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    ic: usize,
+    mc: usize,
+    a_region: &[f32], // packed A for this pc block: m_tiles tiles of kc×MR
+    bp: &[f32],
+    c_block: &mut [f32], // rows ic..ic+mc of C
+) {
+    let _ = m;
+    let b_tiles = nc.div_ceil(NR);
+    let t0 = ic / MR; // MC % MR == 0, so blocks align to tile boundaries
+    let tiles_in_block = mc.div_ceil(MR);
+    for dt in 0..tiles_in_block {
+        let it = t0 + dt;
+        let i0 = dt * MR; // row offset within the block
+        let im = MR.min(mc - i0);
+        let apanel = &a_region[it * kc * MR..(it + 1) * kc * MR];
+        for jt in 0..b_tiles {
+            let j0 = jc + jt * NR;
+            let jn = NR.min(nc - jt * NR);
+            let mut acc = [[0.0f32; NR]; MR];
+            micro_kernel(kc, apanel, &bp[jt * kc * NR..(jt + 1) * kc * NR], &mut acc);
+            for (ii, accrow) in acc.iter().enumerate().take(im) {
+                let crow = &mut c_block[(i0 + ii) * n + j0..(i0 + ii) * n + j0 + jn];
+                for (cv, &av) in crow.iter_mut().zip(accrow.iter()) {
+                    *cv += av;
+                }
+            }
+        }
+    }
+}
+
+/// Blocked GEMM with a **prepacked** A (see [`pack_a_into`]): computes
+/// `C ⟵ C + A·B` when `accumulate`, else `C = A·B`. `B` is packed panel
+/// by panel from its [`PanelB`] source — including the fused-conv path
+/// that gathers im2col patches on the fly.
+///
+/// Callers with one `A` and many `B`s (conv weights across a batch) pack
+/// A once and amortize it; [`gemm_packed`] is the single-shot wrapper.
+pub fn gemm_prepacked(
+    m: usize,
+    k: usize,
+    n: usize,
+    ap: &[f32],
+    b: PanelB<'_>,
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    assert_eq!(ap.len(), packed_a_len(m, k), "packed A length");
     assert_eq!(c.len(), m * n, "C dims");
-    c.iter_mut().for_each(|v| *v = 0.0);
+    match b {
+        PanelB::RowMajor(s) => assert_eq!(s.len(), k * n, "B dims"),
+        PanelB::Transposed(s) => assert_eq!(s.len(), n * k, "B dims (stored n×k)"),
+        PanelB::Patches { geom, img } => {
+            assert_eq!(geom.k(), k, "patch rows");
+            assert_eq!(geom.p(), n, "patch cols");
+            assert_eq!(img.len(), geom.c_in * geom.h * geom.w, "image length");
+        }
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if !accumulate {
+        c.iter_mut().for_each(|v| *v = 0.0);
+    }
+    if k == 0 {
+        return;
+    }
 
+    let m_padded = m.div_ceil(MR) * MR;
+    let parallel = m > MC && m * n * k >= PAR_FLOP_THRESHOLD;
+    // One panel buffer reused across every (jc, pc) iteration.
+    let max_nc_padded = NC.min(n.div_ceil(NR) * NR);
+    let mut bp = scratch_f32(KC.min(k) * max_nc_padded);
     for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
         for pc in (0..k).step_by(KC) {
             let kc = KC.min(k - pc);
-            // Pack B panel: tile-major, NR columns per tile, padded to NR.
-            let b_tiles = nc.div_ceil(NR);
-            let mut bp = vec![0.0f32; b_tiles * kc * NR];
-            for jt in 0..b_tiles {
-                let j0 = jc + jt * NR;
-                let jn = NR.min(n.saturating_sub(j0)).min(nc - jt * NR);
-                for p in 0..kc {
-                    let src = (pc + p) * n + j0;
-                    let dst = (jt * kc + p) * NR;
-                    bp[dst..dst + jn].copy_from_slice(&b[src..src + jn]);
-                }
-            }
-
-            // Row blocks in parallel; each packs its own A panel.
-            c.par_chunks_mut(MC * n)
-                .enumerate()
-                .for_each(|(block, c_block)| {
-                    let ic = block * MC;
-                    if ic >= m {
-                        return;
-                    }
-                    let mc = MC.min(m - ic);
-                    // Pack A panel: tile-major, MR rows per tile, padded.
-                    let a_tiles = mc.div_ceil(MR);
-                    let mut ap = vec![0.0f32; a_tiles * kc * MR];
-                    for it in 0..a_tiles {
-                        let i0 = ic + it * MR;
-                        let im = MR.min(m - i0).min(mc - it * MR);
-                        for p in 0..kc {
-                            for ii in 0..im {
-                                ap[(it * kc + p) * MR + ii] = a[(i0 + ii) * k + pc + p];
-                            }
-                        }
-                    }
-                    // Macro-kernel over micro-tiles.
-                    for it in 0..a_tiles {
-                        let i0 = it * MR; // row offset within the block
-                        let im = MR.min(mc - i0);
-                        for jt in 0..b_tiles {
-                            let j0 = jc + jt * NR;
-                            let jn = NR.min(nc - jt * NR);
-                            let mut acc = [[0.0f32; NR]; MR];
-                            let apanel = &ap[it * kc * MR..(it + 1) * kc * MR];
-                            let bpanel = &bp[jt * kc * NR..(jt + 1) * kc * NR];
-                            for p in 0..kc {
-                                let arow = &apanel[p * MR..(p + 1) * MR];
-                                let brow = &bpanel[p * NR..(p + 1) * NR];
-                                for (ii, accrow) in acc.iter_mut().enumerate() {
-                                    let av = arow[ii];
-                                    for (jj, slot) in accrow.iter_mut().enumerate() {
-                                        *slot += av * brow[jj];
-                                    }
-                                }
-                            }
-                            for ii in 0..im {
-                                let crow = &mut c_block[(i0 + ii) * n + j0..];
-                                for jj in 0..jn {
-                                    crow[jj] += acc[ii][jj];
-                                }
-                            }
-                        }
+            pack_b_panel(b, k, n, pc, kc, jc, nc, &mut bp);
+            let a_pc = &ap[m_padded * pc..m_padded * (pc + kc)];
+            if parallel {
+                c.par_chunks_mut(MC * n).enumerate().for_each(|(blk, cb)| {
+                    let ic = blk * MC;
+                    if ic < m {
+                        let mc = MC.min(m - ic);
+                        macro_block(m, n, kc, jc, nc, ic, mc, a_pc, &bp, cb);
                     }
                 });
+            } else {
+                for (blk, cb) in c.chunks_mut(MC * n).enumerate() {
+                    let ic = blk * MC;
+                    if ic < m {
+                        let mc = MC.min(m - ic);
+                        macro_block(m, n, kc, jc, nc, ic, mc, a_pc, &bp, cb);
+                    }
+                }
+            }
         }
     }
+}
+
+/// Blocked GEMM over arbitrary operand orientations: packs A into arena
+/// scratch, then runs [`gemm_prepacked`].
+pub fn gemm_packed(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: PanelA<'_>,
+    b: PanelB<'_>,
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    match a {
+        PanelA::RowMajor(s) => assert_eq!(s.len(), m * k, "A dims"),
+        PanelA::Transposed(s) => assert_eq!(s.len(), k * m, "A dims (stored k×m)"),
+    }
+    let mut ap = scratch_f32(packed_a_len(m, k));
+    pack_a_into(a, m, k, &mut ap);
+    gemm_prepacked(m, k, n, &ap, b, c, accumulate);
+}
+
+// ---------------------------------------------------------- entry points
+
+/// `c = a(m×k) · b(k×n)` with cache blocking and panel packing.
+pub fn gemm_blocked(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_packed(m, k, n, PanelA::RowMajor(a), PanelB::RowMajor(b), c, false);
+}
+
+/// `c += a(m×k) · b(k×n)`.
+pub fn gemm_blocked_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_packed(m, k, n, PanelA::RowMajor(a), PanelB::RowMajor(b), c, true);
+}
+
+/// `c = aᵀ · b` with `a` stored `k×m` and `b` row-major `k×n`.
+pub fn gemm_blocked_at_b(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_packed(
+        m,
+        k,
+        n,
+        PanelA::Transposed(a),
+        PanelB::RowMajor(b),
+        c,
+        false,
+    );
+}
+
+/// `c += aᵀ · b` with `a` stored `k×m`.
+pub fn gemm_blocked_at_b_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_packed(m, k, n, PanelA::Transposed(a), PanelB::RowMajor(b), c, true);
+}
+
+/// `c = a · bᵀ` with `a` row-major `m×k` and `b` stored `n×k`.
+pub fn gemm_blocked_a_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_packed(
+        m,
+        k,
+        n,
+        PanelA::RowMajor(a),
+        PanelB::Transposed(b),
+        c,
+        false,
+    );
+}
+
+/// `c += a · bᵀ` with `b` stored `n×k`.
+pub fn gemm_blocked_a_bt_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_packed(m, k, n, PanelA::RowMajor(a), PanelB::Transposed(b), c, true);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ops::matmul::gemm_slice;
+    use crate::ops::conv::im2col;
     use crate::rng::Rng;
+    use crate::shape::Shape;
 
     fn rand_vec(rng: &mut Rng, n: usize) -> Vec<f32> {
         let mut v = vec![0.0; n];
@@ -121,29 +414,81 @@ mod tests {
         v
     }
 
-    fn check(m: usize, k: usize, n: usize, seed: u64) {
+    /// f64-accumulated reference.
+    fn reference(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for p in 0..k {
+                    acc += a[i * k + p] as f64 * b[p * n + j] as f64;
+                }
+                c[i * n + j] = acc as f32;
+            }
+        }
+        c
+    }
+
+    fn tol(k: usize) -> f32 {
+        1e-3 * k as f32 / 16.0 + 1e-4
+    }
+
+    fn assert_close(got: &[f32], want: &[f32], k: usize, ctx: &str) {
+        let max_err = got
+            .iter()
+            .zip(want)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err < tol(k), "{ctx}: max_err {max_err}");
+    }
+
+    fn transpose(rows: usize, cols: usize, s: &[f32]) -> Vec<f32> {
+        let mut t = vec![0.0; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                t[c * rows + r] = s[r * cols + c];
+            }
+        }
+        t
+    }
+
+    fn check_all_orientations(m: usize, k: usize, n: usize, seed: u64) {
         let mut rng = Rng::new(seed);
         let a = rand_vec(&mut rng, m * k);
         let b = rand_vec(&mut rng, k * n);
-        let mut want = vec![0.0; m * n];
-        gemm_slice(m, k, n, &a, &b, &mut want);
-        let mut got = vec![0.0; m * n];
-        gemm_blocked(m, k, n, &a, &b, &mut got);
-        let max_err = got
-            .iter()
-            .zip(&want)
-            .map(|(x, y)| (x - y).abs())
-            .fold(0.0f32, f32::max);
-        assert!(
-            max_err < 1e-3 * k as f32 / 16.0 + 1e-4,
-            "({m},{k},{n}): {max_err}"
-        );
+        let want = reference(m, k, n, &a, &b);
+        let a_t = transpose(m, k, &a); // stored k×m
+        let b_t = transpose(k, n, &b); // stored n×k
+
+        let mut c = vec![0.0; m * n];
+        gemm_blocked(m, k, n, &a, &b, &mut c);
+        assert_close(&c, &want, k, &format!("AB ({m},{k},{n})"));
+
+        gemm_blocked_at_b(m, k, n, &a_t, &b, &mut c);
+        assert_close(&c, &want, k, &format!("AtB ({m},{k},{n})"));
+
+        gemm_blocked_a_bt(m, k, n, &a, &b_t, &mut c);
+        assert_close(&c, &want, k, &format!("ABt ({m},{k},{n})"));
+
+        // Accumulating variants: C preloaded with 1.0 everywhere.
+        let want_acc: Vec<f32> = want.iter().map(|v| v + 1.0).collect();
+        let mut c = vec![1.0; m * n];
+        gemm_blocked_acc(m, k, n, &a, &b, &mut c);
+        assert_close(&c, &want_acc, k, &format!("AB acc ({m},{k},{n})"));
+
+        let mut c = vec![1.0; m * n];
+        gemm_blocked_at_b_acc(m, k, n, &a_t, &b, &mut c);
+        assert_close(&c, &want_acc, k, &format!("AtB acc ({m},{k},{n})"));
+
+        let mut c = vec![1.0; m * n];
+        gemm_blocked_a_bt_acc(m, k, n, &a, &b_t, &mut c);
+        assert_close(&c, &want_acc, k, &format!("ABt acc ({m},{k},{n})"));
     }
 
     #[test]
     fn matches_reference_small() {
         for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (4, 4, 4), (5, 9, 3), (17, 13, 11)] {
-            check(m, k, n, 1);
+            check_all_orientations(m, k, n, 1);
         }
     }
 
@@ -155,15 +500,16 @@ mod tests {
             (MC + 1, KC - 1, NC + 1),
             (2 * MC + 3, KC, NR),
             (MR, 2 * KC + 5, NC + NR + 1),
+            (MR - 1, KC, NR - 1),
         ] {
-            check(m, k, n, 2);
+            check_all_orientations(m, k, n, 2);
         }
     }
 
     #[test]
     fn matches_reference_large() {
-        check(200, 300, 150, 3);
-        check(256, 256, 256, 4);
+        check_all_orientations(200, 300, 150, 3);
+        check_all_orientations(256, 256, 256, 4);
     }
 
     #[test]
@@ -180,5 +526,110 @@ mod tests {
         for (x, y) in c.iter().zip(&a) {
             assert!((x - y).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn prepacked_a_reused_across_b_operands() {
+        let (m, k, n) = (37, 150, 61);
+        let mut rng = Rng::new(6);
+        let a = rand_vec(&mut rng, m * k);
+        let mut ap = vec![0.0; packed_a_len(m, k)];
+        pack_a_into(PanelA::RowMajor(&a), m, k, &mut ap);
+        for trial in 0..3u64 {
+            let b = rand_vec(&mut rng, k * n);
+            let want = reference(m, k, n, &a, &b);
+            let mut c = vec![0.0; m * n];
+            gemm_prepacked(m, k, n, &ap, PanelB::RowMajor(&b), &mut c, false);
+            assert_close(&c, &want, k, &format!("prepacked trial {trial}"));
+        }
+    }
+
+    #[test]
+    fn fused_patch_panel_matches_materialized_im2col() {
+        let mut rng = Rng::new(7);
+        // Stride-2, padded geometry — the adversarial case for the fused
+        // packer's halo handling.
+        for &(c_in, h, w, c_out, ksz, stride, pad) in &[
+            (3usize, 9usize, 7usize, 5usize, 3usize, 2usize, 1usize),
+            (2, 11, 11, 4, 5, 2, 2),
+            (4, 8, 8, 9, 3, 1, 1),
+            (1, 5, 5, 2, 1, 1, 0),
+        ] {
+            let x_shape = Shape::new(&[1, c_in, h, w]);
+            let w_shape = Shape::new(&[c_out, c_in, ksz, ksz]);
+            let g = Conv2dGeom::infer(&x_shape, &w_shape, stride, pad);
+            let img = rand_vec(&mut rng, c_in * h * w);
+            let wts = rand_vec(&mut rng, c_out * g.k());
+
+            // Reference: materialized im2col then dense blocked GEMM.
+            let mut patches = vec![0.0; g.k() * g.p()];
+            im2col(&g, &img, &mut patches);
+            let want = reference(c_out, g.k(), g.p(), &wts, &patches);
+
+            // Fused: patches packed on the fly.
+            let mut got = vec![0.0; c_out * g.p()];
+            gemm_packed(
+                c_out,
+                g.k(),
+                g.p(),
+                PanelA::RowMajor(&wts),
+                PanelB::Patches {
+                    geom: &g,
+                    img: &img,
+                },
+                &mut got,
+                false,
+            );
+            assert_close(
+                &got,
+                &want,
+                g.k(),
+                &format!("fused conv ({c_in},{h},{w},{c_out},{ksz},s{stride},p{pad})"),
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_operands_propagate() {
+        // 0·inf must be NaN, not silently dropped — the nan_guard depends
+        // on gradients staying honestly non-finite.
+        let (m, k, n) = (MR + 1, KC + 3, NR + 2);
+        let mut a = vec![0.0f32; m * k];
+        let b = vec![1.0f32; k * n];
+        a[0] = f32::INFINITY; // row 0 picks up inf·1 = inf
+        let mut c = vec![0.0; m * n];
+        gemm_blocked(m, k, n, &a, &b, &mut c);
+        assert!(c[0].is_infinite());
+        // NaN anywhere in the depth poisons the whole row.
+        let mut a2 = vec![1.0f32; m * k];
+        a2[k - 1] = f32::NAN;
+        gemm_blocked(m, k, n, &a2, &b, &mut c);
+        for (j, v) in c[..n].iter().enumerate() {
+            assert!(v.is_nan(), "c[0,{j}] must be NaN");
+        }
+        // …and rows without non-finite inputs stay finite (padding lanes
+        // never leak into real outputs).
+        for i in 1..m {
+            for j in 0..n {
+                assert!(c[i * n + j].is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_bitwise_across_repeats() {
+        let (m, k, n) = (130, 270, 140);
+        let mut rng = Rng::new(9);
+        let a = rand_vec(&mut rng, m * k);
+        let b = rand_vec(&mut rng, k * n);
+        let mut c1 = vec![0.0; m * n];
+        gemm_blocked(m, k, n, &a, &b, &mut c1);
+        let mut c2 = vec![0.0; m * n];
+        gemm_blocked(m, k, n, &a, &b, &mut c2);
+        assert_eq!(
+            c1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            c2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "blocked GEMM must be bitwise reproducible"
+        );
     }
 }

@@ -1,19 +1,34 @@
-//! Parallel blocked GEMM kernels.
+//! Naive streaming GEMM kernels (the reference semantics).
 //!
-//! These are the workhorses behind the im2col convolution and the linear
-//! layers. Three orientations are provided because the backward passes of
-//! conv/linear need `AᵀB` and `ABᵀ` and materializing transposes would blow
-//! the memory budget of the hot loop:
+//! These are the small-shape workhorses behind the im2col convolution and
+//! the linear layers, and the ground truth the blocked packed kernels in
+//! [`super::gemm_blocked`] are pinned against. Three orientations are
+//! provided because the backward passes of conv/linear need `AᵀB` and
+//! `ABᵀ` and materializing transposes would blow the memory budget of the
+//! hot loop:
 //!
 //! - [`gemm_slice`]      — `C = A(m×k) · B(k×n)`
 //! - [`gemm_at_b_slice`] — `C = Aᵀ·B` with `A` stored `k×m`
 //! - [`gemm_a_bt_slice`] — `C = A·Bᵀ` with `B` stored `n×k`
+//!
+//! plus accumulating (`+=`) variants of each. The tensor-level wrappers
+//! ([`matmul`], [`matmul_at_b`], [`matmul_a_bt`]) route through the
+//! shape-pure dispatcher in [`super::dispatch`], so large products take
+//! the blocked path automatically.
 //!
 //! Parallelism: rows of `C` are chunked across rayon workers; each worker
 //! writes a disjoint `C` slice so no synchronization is needed. The inner
 //! kernel is a cache-friendly ikj loop with f32 accumulation (matching the
 //! systolic-array semantics modeled in the pod simulator: bf16 or f32
 //! multiplies, f32 accumulate).
+//!
+//! Accumulation is **branchless**: there is deliberately no
+//! `if apv == 0.0 { continue; }` skip. Such a skip maps `0·∞` and `0·NaN`
+//! to `0` instead of `NaN`, which silently launders non-finite values and
+//! defeats the trainer's nan_guard. For finite inputs the skip was also
+//! bitwise-neutral (`0.0 * x` is `±0.0` and `c + ±0.0 == c` for any
+//! finite or zero `c` under round-to-nearest), so removing it changes no
+//! pinned history.
 
 use crate::tensor::Tensor;
 use rayon::prelude::*;
@@ -47,9 +62,6 @@ pub fn gemm_slice(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f
 fn gemm_row(k: usize, n: usize, arow: &[f32], b: &[f32], crow: &mut [f32]) {
     crow.iter_mut().for_each(|v| *v = 0.0);
     for (p, &apv) in arow.iter().enumerate().take(k) {
-        if apv == 0.0 {
-            continue;
-        }
         let brow = &b[p * n..(p + 1) * n];
         for (cv, &bv) in crow.iter_mut().zip(brow) {
             *cv += apv * bv;
@@ -66,9 +78,6 @@ pub fn gemm_slice_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mu
     let body = |i: usize, crow: &mut [f32]| {
         let arow = &a[i * k..(i + 1) * k];
         for (p, &apv) in arow.iter().enumerate() {
-            if apv == 0.0 {
-                continue;
-            }
             let brow = &b[p * n..(p + 1) * n];
             for (cv, &bv) in crow.iter_mut().zip(brow) {
                 *cv += apv * bv;
@@ -100,9 +109,6 @@ pub fn gemm_at_b_slice(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &m
         // Column i of the stored a (stride m) forms row i of aᵀ.
         for p in 0..k {
             let apv = a[p * m + i];
-            if apv == 0.0 {
-                continue;
-            }
             let brow = &b[p * n..(p + 1) * n];
             for (cv, &bv) in crow.iter_mut().zip(brow) {
                 *cv += apv * bv;
@@ -129,9 +135,6 @@ pub fn gemm_at_b_slice_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c
     let body = |i: usize, crow: &mut [f32]| {
         for p in 0..k {
             let apv = a[p * m + i];
-            if apv == 0.0 {
-                continue;
-            }
             let brow = &b[p * n..(p + 1) * n];
             for (cv, &bv) in crow.iter_mut().zip(brow) {
                 *cv += apv * bv;
@@ -180,33 +183,63 @@ pub fn gemm_a_bt_slice(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &m
     }
 }
 
-/// Tensor-level `A(m×k) · B(k×n)`.
+/// `c += a · bᵀ` (accumulating variant of [`gemm_a_bt_slice`]).
+pub fn gemm_a_bt_slice_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A dims");
+    assert_eq!(b.len(), n * k, "B dims (stored n×k)");
+    assert_eq!(c.len(), m * n, "C dims");
+    let work = m * n * k;
+    let body = |i: usize, crow: &mut [f32]| {
+        let arow = &a[i * k..(i + 1) * k];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *cv += acc;
+        }
+    };
+    if m >= PAR_ROW_THRESHOLD && work >= PAR_FLOP_THRESHOLD {
+        c.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, crow)| body(i, crow));
+    } else {
+        for i in 0..m {
+            body(i, &mut c[i * n..(i + 1) * n]);
+        }
+    }
+}
+
+/// Tensor-level `A(m×k) · B(k×n)`. Dispatches via [`super::dispatch`].
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = mat_dims(a, "A");
     let (k2, n) = mat_dims(b, "B");
     assert_eq!(k, k2, "matmul inner dims: A is {m}x{k}, B is {k2}x{n}");
     let mut c = Tensor::zeros([m, n]);
-    gemm_slice(m, k, n, a.data(), b.data(), c.data_mut());
+    super::dispatch::gemm_auto(m, k, n, a.data(), b.data(), c.data_mut());
     c
 }
 
-/// Tensor-level `Aᵀ · B` where `a` is stored `k×m`.
+/// Tensor-level `Aᵀ · B` where `a` is stored `k×m`. Dispatches via
+/// [`super::dispatch`].
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = mat_dims(a, "A");
     let (k2, n) = mat_dims(b, "B");
     assert_eq!(k, k2, "matmul_at_b inner dims");
     let mut c = Tensor::zeros([m, n]);
-    gemm_at_b_slice(m, k, n, a.data(), b.data(), c.data_mut());
+    super::dispatch::gemm_auto_at_b(m, k, n, a.data(), b.data(), c.data_mut());
     c
 }
 
-/// Tensor-level `A · Bᵀ` where `b` is stored `n×k`.
+/// Tensor-level `A · Bᵀ` where `b` is stored `n×k`. Dispatches via
+/// [`super::dispatch`].
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = mat_dims(a, "A");
     let (n, k2) = mat_dims(b, "B");
     assert_eq!(k, k2, "matmul_a_bt inner dims");
     let mut c = Tensor::zeros([m, n]);
-    gemm_a_bt_slice(m, k, n, a.data(), b.data(), c.data_mut());
+    super::dispatch::gemm_auto_a_bt(m, k, n, a.data(), b.data(), c.data_mut());
     c
 }
 
@@ -348,6 +381,77 @@ mod tests {
         let a = Tensor::zeros([2, 3]);
         let b = Tensor::zeros([4, 2]);
         let _ = matmul(&a, &b);
+    }
+
+    /// The old kernels skipped `apv == 0.0` terms, silently mapping
+    /// `0·∞` and `0·NaN` to `0` and hiding non-finite values from the
+    /// nan_guard. Accumulation is branchless now: NaN and ∞ must
+    /// propagate through every orientation even when the matching
+    /// multiplier is zero.
+    #[test]
+    fn non_finite_values_propagate_through_zero_multipliers() {
+        let (m, k, n) = (2, 3, 2);
+        // A row 0 = [0, 1, 0]; B has a NaN in row 0 and an inf in row 2,
+        // both multiplied by A's zeros.
+        let a = vec![0.0, 1.0, 0.0, 1.0, 1.0, 1.0];
+        let b = vec![f32::NAN, 2.0, 3.0, 4.0, f32::INFINITY, 6.0];
+        let mut c = vec![0.0; m * n];
+        gemm_slice(m, k, n, &a, &b, &mut c);
+        assert!(c[0].is_nan(), "0·NaN must propagate NaN, got {}", c[0]);
+        assert!(c.iter().any(|v| v.is_nan() || v.is_infinite()));
+
+        // Accumulating variant.
+        let mut c_acc = vec![0.0; m * n];
+        gemm_slice_acc(m, k, n, &a, &b, &mut c_acc);
+        assert!(c_acc[0].is_nan());
+
+        // AᵀB with A stored k×m: column 0 of stored A = [0, 1, 0].
+        let mut at = vec![0.0; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        let mut c2 = vec![0.0; m * n];
+        gemm_at_b_slice(m, k, n, &at, &b, &mut c2);
+        assert!(c2[0].is_nan(), "AᵀB must propagate NaN");
+        let mut c2a = vec![0.0; m * n];
+        gemm_at_b_slice_acc(m, k, n, &at, &b, &mut c2a);
+        assert!(c2a[0].is_nan(), "AᵀB acc must propagate NaN");
+
+        // ABᵀ with B stored n×k.
+        let mut bt = vec![0.0; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                bt[j * k + p] = b[p * n + j];
+            }
+        }
+        let mut c3 = vec![0.0; m * n];
+        gemm_a_bt_slice(m, k, n, &a, &bt, &mut c3);
+        assert!(c3[0].is_nan(), "ABᵀ must propagate NaN");
+        let mut c3a = vec![0.0; m * n];
+        gemm_a_bt_slice_acc(m, k, n, &a, &bt, &mut c3a);
+        assert!(c3a[0].is_nan(), "ABᵀ acc must propagate NaN");
+    }
+
+    #[test]
+    fn a_bt_acc_adds_onto_existing() {
+        let mut rng = Rng::new(6);
+        let (m, k, n) = (5, 7, 4);
+        let a = rand_vec(&mut rng, m * k);
+        let b = rand_vec(&mut rng, k * n);
+        let mut b_t = vec![0.0; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                b_t[j * k + p] = b[p * n + j];
+            }
+        }
+        let r = reference(m, k, n, &a, &b);
+        let mut c = vec![2.5; m * n];
+        gemm_a_bt_slice_acc(m, k, n, &a, &b_t, &mut c);
+        for (x, y) in c.iter().zip(&r) {
+            assert!((x - (y + 2.5)).abs() < 1e-4);
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Compute kernels over dense tensors.
 
 pub mod conv;
+pub mod dispatch;
 pub mod gemm_blocked;
 pub mod matmul;
 pub mod pool;

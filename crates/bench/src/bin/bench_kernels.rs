@@ -1,11 +1,14 @@
 //! Kernel GFLOP/s harness: writes `BENCH_kernels.json` — naive vs
-//! blocked vs fused-im2col throughput across EfficientNet-B0 layer
-//! shapes, plus the steady-state step probe (wall time per step, scratch
-//! arena allocator hits, gemm_auto dispatch split).
+//! blocked vs dispatched vs bf16-packed vs fused-im2col throughput
+//! across EfficientNet-B0 layer shapes, plus the panel-pack throughput
+//! probe (f32 vs bf16) and the steady-state step probe (wall time per
+//! step, scratch arena allocator hits, per-precision gemm_auto dispatch
+//! split).
 //!
 //! The document is schema-validated in-process before writing, and
 //! `--check-regression` turns the CI gates (blocked ≥ naive at the
-//! calibration shape; steady-state `scratch_reallocs_delta == 0`) into a
+//! calibration shape; dispatched ≥ naive at every shape; bf16 pack ≥
+//! f32 pack; steady-state `scratch_reallocs_delta == 0`) into a
 //! non-zero exit.
 //!
 //! ```sh
@@ -13,7 +16,8 @@
 //! ```
 
 use ets_bench::kernels::{
-    check_kernel_regression, kernel_rows, kernels_json, steady_state_probe, validate_kernels_json,
+    check_kernel_regression, kernel_rows, kernels_json, pack_probe, steady_state_probe,
+    validate_kernels_json,
 };
 use std::path::PathBuf;
 
@@ -29,7 +33,8 @@ fn main() {
 
     let rows = kernel_rows(smoke);
     let ss = steady_state_probe(smoke);
-    let doc = kernels_json(&rows, &ss, smoke);
+    let pack = pack_probe(smoke);
+    let doc = kernels_json(&rows, &ss, &pack, smoke);
     validate_kernels_json(&doc).expect("BENCH_kernels.json failed schema validation");
 
     let path = out_dir.join("BENCH_kernels.json");
@@ -40,26 +45,42 @@ fn main() {
             .fused_gflops
             .map(|f| format!("{f:8.2}"))
             .unwrap_or_else(|| "       -".into());
+        let bf16_fused = r
+            .bf16_fused_gflops
+            .map(|f| format!("{f:8.2}"))
+            .unwrap_or_else(|| "       -".into());
         println!(
-            "{:<32} {:>4}x{:>5}x{:>5}  naive {:8.2}  blocked {:8.2}  fused {}  ({:4.2}x)",
+            "{:<32} {:>4}x{:>5}x{:>5}  naive {:8.2}  blocked {:8.2}  auto {:8.2}  bf16 {:8.2}  fused {}  bf16-fused {}  ({:4.2}x)",
             r.label,
             r.m,
             r.k,
             r.n,
             r.naive_gflops,
             r.blocked_gflops,
+            r.auto_gflops,
+            r.bf16_blocked_gflops,
             fused,
-            r.speedup_blocked()
+            bf16_fused,
+            r.speedup_auto()
         );
     }
     println!(
-        "steady state: {:.3} ms/step over {} steps ({} warmup), scratch reallocs {}, dispatch blocked/naive {}/{}",
-        ss.step_ms, ss.steps, ss.warmup_steps, ss.scratch_reallocs_delta, ss.dispatch_blocked, ss.dispatch_naive
+        "pack @ {}x{}: f32 {:.1} Melem/s, bf16 {:.1} Melem/s ({:.2}x)",
+        pack.m,
+        pack.k,
+        pack.f32_melems_per_s,
+        pack.bf16_melems_per_s,
+        pack.bf16_melems_per_s / pack.f32_melems_per_s.max(1e-9)
+    );
+    println!(
+        "steady state: {:.3} ms/step over {} steps ({} warmup), scratch reallocs {}, dispatch blocked/naive f32 {}/{} bf16 {}/{}",
+        ss.step_ms, ss.steps, ss.warmup_steps, ss.scratch_reallocs_delta,
+        ss.dispatch_blocked, ss.dispatch_naive, ss.dispatch_blocked_bf16, ss.dispatch_naive_bf16
     );
     println!("wrote {} ({} B)", path.display(), doc.len());
 
     if check {
-        if let Err(e) = check_kernel_regression(&rows, &ss) {
+        if let Err(e) = check_kernel_regression(&rows, &ss, &pack) {
             eprintln!("kernel regression gate failed: {e}");
             std::process::exit(1);
         }

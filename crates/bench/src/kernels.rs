@@ -13,23 +13,35 @@
 //!   panel is packed once outside the timing loop, mirroring
 //!   `conv2d_forward`'s per-call amortization across a batch.
 //!
-//! plus a steady-state training-step probe that pins the scratch arena's
-//! allocator traffic to **zero** after warmup and reports wall time per
-//! step and the gemm_auto dispatch split.
+//! Every row is also measured through the shape-pure dispatcher
+//! (`gemm_auto`) and through the bf16 packed kernels (§3.5: operands
+//! narrowed once at pack time, f32 accumulate), plus a panel-packing
+//! throughput probe (f32 copy vs bf16 narrowing pack) at the calibration
+//! shape, and a steady-state training-step probe that pins the scratch
+//! arena's allocator traffic to **zero** after warmup — in both
+//! precisions — and reports wall time per step and the per-precision
+//! gemm_auto dispatch split.
 //!
 //! The calibration row (`m=256, k=1152, n=3136` — a B0 stage-5-sized
 //! 3×3 conv at 56×56) is identical in smoke and full mode: CI gates on
-//! blocked ≥ naive at that shape, so the fast path can never silently
-//! regress below the kernel it replaced.
+//! blocked ≥ naive at that shape, dispatched ≥ naive at *every* shape,
+//! and bf16 pack ≥ f32 pack, so neither the fast path nor the
+//! mixed-precision path can silently regress below what they replaced.
 
 use ets_obs::{parse_json, JsonWriter, Value};
-use ets_tensor::ops::conv::{conv2d_backward, conv2d_forward, im2col, Conv2dGeom};
-use ets_tensor::ops::dispatch::{dispatch_blocked_calls, dispatch_naive_calls};
+use ets_tensor::bf16::Bf16;
+use ets_tensor::ops::conv::{
+    conv2d_backward, conv2d_backward_p, conv2d_forward, conv2d_forward_p, im2col, Conv2dGeom,
+};
+use ets_tensor::ops::dispatch::{
+    dispatch_blocked_calls, dispatch_calls, dispatch_naive_calls, gemm_auto, GemmPrecision,
+};
 use ets_tensor::ops::gemm_blocked::{
-    gemm_blocked, gemm_prepacked, pack_a_into, packed_a_len, PanelA, PanelB,
+    gemm_blocked, gemm_blocked_bf16, gemm_prepacked, gemm_prepacked_as, pack_a_into,
+    pack_a_into_as, pack_b_panel, packed_a_len, PanelA, PanelB, KC, NC,
 };
 use ets_tensor::ops::matmul::gemm_slice;
-use ets_tensor::{scratch_f32, scratch_reallocs, Rng, Shape, Tensor};
+use ets_tensor::{scratch_bf16, scratch_f32, scratch_reallocs, Rng, Shape, Tensor};
 use std::time::Instant;
 
 /// Label of the ISSUE calibration shape (CI regression gate).
@@ -47,8 +59,17 @@ pub struct KernelBenchRow {
     pub reps: usize,
     pub naive_gflops: f64,
     pub blocked_gflops: f64,
+    /// `gemm_auto` through the shape-pure dispatcher — what training
+    /// actually runs at this shape. The per-row gate compares this (not
+    /// the raw blocked kernel) against naive: the dispatcher must never
+    /// pick a path slower than the kernel it replaced.
+    pub auto_gflops: f64,
+    /// bf16 packed-panel blocked kernel (narrow at pack, f32 accumulate).
+    pub bf16_blocked_gflops: f64,
     /// Fused im2col+packing path; `None` for pure-GEMM rows.
     pub fused_gflops: Option<f64>,
+    /// bf16 fused patch path; `None` for pure-GEMM rows.
+    pub bf16_fused_gflops: Option<f64>,
     /// True for the CI-gated calibration shape.
     pub calibration: bool,
 }
@@ -62,6 +83,29 @@ impl KernelBenchRow {
             0.0
         }
     }
+
+    /// dispatched / naive throughput ratio (the effective speedup).
+    pub fn speedup_auto(&self) -> f64 {
+        if self.naive_gflops > 0.0 {
+            self.auto_gflops / self.naive_gflops
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Panel-packing throughput at the calibration shape, f32 vs bf16. The
+/// bf16 pack narrows each element (RNE) but writes half the bytes, so it
+/// must not lose to the f32 copy — the regression gate enforces it.
+#[derive(Clone, Debug)]
+pub struct PackProbe {
+    pub m: usize,
+    pub k: usize,
+    /// Elements packed per invocation.
+    pub elems: usize,
+    pub reps: usize,
+    pub f32_melems_per_s: f64,
+    pub bf16_melems_per_s: f64,
 }
 
 /// Steady-state training-step probe results.
@@ -75,18 +119,28 @@ pub struct SteadyState {
     pub scratch_reallocs_delta: u64,
     pub dispatch_blocked: u64,
     pub dispatch_naive: u64,
+    /// bf16 dispatch split across the measured steps — the probe runs a
+    /// mixed-precision step alongside the f32 one, so the bf16 scratch
+    /// pools (half-width panels) are held to the same zero-realloc
+    /// contract.
+    pub dispatch_blocked_bf16: u64,
+    pub dispatch_naive_bf16: u64,
 }
 
 /// Times `reps` invocations of `f` (after one untimed warmup call) and
-/// returns GFLOP/s for `flops` floating-point ops per invocation.
+/// returns GFLOP/s of the **fastest** invocation for `flops`
+/// floating-point ops per call. Best-of, not mean: on a shared machine a
+/// single descheduled rep can triple the average and flip the regression
+/// gate, while the minimum estimates the kernel's actual capability.
 fn time_gflops(flops: u64, reps: usize, mut f: impl FnMut()) -> f64 {
     f(); // warmup: faults in scratch buffers, pages, rayon pool
-    let t0 = Instant::now();
+    let mut best = f64::INFINITY;
     for _ in 0..reps {
+        let t0 = Instant::now();
         f();
+        best = best.min(t0.elapsed().as_secs_f64().max(1e-9));
     }
-    let secs = t0.elapsed().as_secs_f64().max(1e-9);
-    (flops as f64 * reps as f64) / secs / 1e9
+    flops as f64 / best / 1e9
 }
 
 /// A conv-shaped row: times naive / blocked / fused on one image.
@@ -124,6 +178,14 @@ fn conv_row(
         im2col(&g, &img, &mut patches);
         gemm_blocked(m, k, n, &w, &patches, &mut y);
     });
+    let auto_gflops = time_gflops(flops, reps, || {
+        im2col(&g, &img, &mut patches);
+        gemm_auto(m, k, n, &w, &patches, &mut y);
+    });
+    let bf16_blocked_gflops = time_gflops(flops, reps, || {
+        im2col(&g, &img, &mut patches);
+        gemm_blocked_bf16(m, k, n, &w, &patches, &mut y);
+    });
     // Fused: weight panel packed once (amortized across a batch in
     // `conv2d_forward`), patches gathered straight into B panels.
     let mut ap = scratch_f32(packed_a_len(m, k));
@@ -142,6 +204,22 @@ fn conv_row(
             false,
         );
     });
+    let mut ap16 = scratch_bf16(packed_a_len(m, k));
+    pack_a_into_as::<Bf16>(PanelA::RowMajor(&w), m, k, &mut ap16);
+    let bf16_fused_gflops = time_gflops(flops, reps, || {
+        gemm_prepacked_as::<Bf16>(
+            m,
+            k,
+            n,
+            &ap16,
+            PanelB::Patches {
+                geom: &g,
+                img: &img,
+            },
+            &mut y,
+            false,
+        );
+    });
 
     KernelBenchRow {
         label: label.to_string(),
@@ -151,7 +229,10 @@ fn conv_row(
         reps,
         naive_gflops,
         blocked_gflops,
+        auto_gflops,
+        bf16_blocked_gflops,
         fused_gflops: Some(fused_gflops),
+        bf16_fused_gflops: Some(bf16_fused_gflops),
         calibration,
     }
 }
@@ -173,6 +254,9 @@ fn gemm_row(
     let mut c = vec![0.0f32; m * n];
     let naive_gflops = time_gflops(flops, reps, || gemm_slice(m, k, n, &a, &b, &mut c));
     let blocked_gflops = time_gflops(flops, reps, || gemm_blocked(m, k, n, &a, &b, &mut c));
+    let auto_gflops = time_gflops(flops, reps, || gemm_auto(m, k, n, &a, &b, &mut c));
+    let bf16_blocked_gflops =
+        time_gflops(flops, reps, || gemm_blocked_bf16(m, k, n, &a, &b, &mut c));
     KernelBenchRow {
         label: label.to_string(),
         m,
@@ -181,8 +265,80 @@ fn gemm_row(
         reps,
         naive_gflops,
         blocked_gflops,
+        auto_gflops,
+        bf16_blocked_gflops,
         fused_gflops: None,
+        bf16_fused_gflops: None,
         calibration: false,
+    }
+}
+
+/// The complete pack work of the calibration GEMM in one precision: the
+/// tile-major A pack (`m×k`) plus every `KC×NC` B panel (`k×n`), packed
+/// into reused panel buffers exactly as `gemm_prepacked_as` does.
+fn pack_pass<E: ets_tensor::ops::gemm_blocked::PackElem>(
+    m: usize,
+    k: usize,
+    n: usize,
+    w: &[f32],
+    b: &[f32],
+    ap: &mut [E],
+    bp: &mut [E],
+) {
+    pack_a_into_as::<E>(PanelA::RowMajor(w), m, k, ap);
+    for pc in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc);
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            pack_b_panel(PanelB::RowMajor(b), k, n, pc, kc, jc, nc, bp);
+        }
+    }
+}
+
+/// Measures the calibration GEMM's full panel-pack throughput (A pack +
+/// all B panels, `m·k + k·n` elements) in f32 vs bf16. The bf16 pass
+/// narrows every element (RNE) but writes half the bytes, and B panels —
+/// the bulk of the volume — go through the contiguous `pack_from_f32`
+/// fast path. Best-of-`reps` timing, so scheduler noise cannot flip the
+/// regression gate.
+pub fn pack_probe(smoke: bool) -> PackProbe {
+    let (m, k, n) = CALIBRATION_MKN;
+    let elems = m * k + k * n;
+    let reps = if smoke { 6 } else { 24 };
+    let mut rng = Rng::new(97);
+    let mut w = vec![0.0f32; m * k];
+    rng.fill_uniform(&mut w, -0.5, 0.5);
+    let mut b = vec![0.0f32; k * n];
+    rng.fill_uniform(&mut b, -1.0, 1.0);
+    let panel = KC * NC;
+    let mut ap32 = vec![0.0f32; packed_a_len(m, k)];
+    let mut bp32 = vec![0.0f32; panel];
+    let mut ap16 = vec![Bf16::from_f32(0.0); packed_a_len(m, k)];
+    let mut bp16 = vec![Bf16::from_f32(0.0); panel];
+
+    let best_of = |mut f: Box<dyn FnMut()>| -> f64 {
+        f(); // warmup
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64().max(1e-9));
+        }
+        elems as f64 / best / 1e6
+    };
+    let f32_melems_per_s = best_of(Box::new(|| {
+        pack_pass::<f32>(m, k, n, &w, &b, &mut ap32, &mut bp32)
+    }));
+    let bf16_melems_per_s = best_of(Box::new(|| {
+        pack_pass::<Bf16>(m, k, n, &w, &b, &mut ap16, &mut bp16)
+    }));
+    PackProbe {
+        m,
+        k,
+        elems,
+        reps,
+        f32_melems_per_s,
+        bf16_melems_per_s,
     }
 }
 
@@ -253,12 +409,16 @@ pub fn kernel_rows(smoke: bool) -> Vec<KernelBenchRow> {
 }
 
 /// One steady-state training step of a blocked-dispatch conv layer:
-/// forward + full backward on a batch of 8.
+/// forward + full backward on a batch of 8, in f32 and again under the
+/// bf16 precision so both scratch families (f32 panels, half-width bf16
+/// panels, quantize buffers) reach steady state.
 fn steady_step(x: &Tensor, w: &Tensor) -> f32 {
     let y = conv2d_forward(x, w, 1, 1);
     let (dx, dw) = conv2d_backward(x, w, &y, 1, 1);
+    let yq = conv2d_forward_p(x, w, 1, 1, GemmPrecision::Bf16);
+    let (dxq, dwq) = conv2d_backward_p(x, w, &yq, 1, 1, GemmPrecision::Bf16);
     // Touch outputs so nothing is optimized away.
-    dx.data()[0] + dw.data()[0] + y.data()[0]
+    dx.data()[0] + dw.data()[0] + y.data()[0] + dxq.data()[0] + dwq.data()[0] + yq.data()[0]
 }
 
 /// Runs the steady-state probe: after `warmup` steps every thread's
@@ -280,6 +440,7 @@ pub fn steady_state_probe(smoke: bool) -> SteadyState {
     let reallocs_before = scratch_reallocs();
     let blocked_before = dispatch_blocked_calls();
     let naive_before = dispatch_naive_calls();
+    let (bf16_blocked_before, bf16_naive_before) = dispatch_calls(GemmPrecision::Bf16);
     let t0 = Instant::now();
     for _ in 0..steps {
         sink += steady_step(&x, &w);
@@ -289,6 +450,7 @@ pub fn steady_state_probe(smoke: bool) -> SteadyState {
         sink.is_finite(),
         "steady-state probe produced non-finite values"
     );
+    let (bf16_blocked, bf16_naive) = dispatch_calls(GemmPrecision::Bf16);
     SteadyState {
         warmup_steps,
         steps,
@@ -296,14 +458,21 @@ pub fn steady_state_probe(smoke: bool) -> SteadyState {
         scratch_reallocs_delta: scratch_reallocs() - reallocs_before,
         dispatch_blocked: dispatch_blocked_calls() - blocked_before,
         dispatch_naive: dispatch_naive_calls() - naive_before,
+        dispatch_blocked_bf16: bf16_blocked - bf16_blocked_before,
+        dispatch_naive_bf16: bf16_naive - bf16_naive_before,
     }
 }
 
 /// Renders `BENCH_kernels.json` (always parseable; no serde_json).
-pub fn kernels_json(rows: &[KernelBenchRow], ss: &SteadyState, smoke: bool) -> String {
+pub fn kernels_json(
+    rows: &[KernelBenchRow],
+    ss: &SteadyState,
+    pack: &PackProbe,
+    smoke: bool,
+) -> String {
     let mut w = JsonWriter::with_capacity(4096);
     w.begin_object()
-        .field_str("schema", "bench_kernels_v1")
+        .field_str("schema", "bench_kernels_v2")
         .field_str("mode", if smoke { "smoke" } else { "full" })
         .key("rows")
         .begin_array();
@@ -315,16 +484,32 @@ pub fn kernels_json(rows: &[KernelBenchRow], ss: &SteadyState, smoke: bool) -> S
             .field_u64("n", r.n as u64)
             .field_u64("reps", r.reps as u64)
             .field_f64("naive_gflops", r.naive_gflops)
-            .field_f64("blocked_gflops", r.blocked_gflops);
+            .field_f64("blocked_gflops", r.blocked_gflops)
+            .field_f64("auto_gflops", r.auto_gflops)
+            .field_f64("bf16_blocked_gflops", r.bf16_blocked_gflops);
         match r.fused_gflops {
             Some(f) => w.field_f64("fused_gflops", f),
             None => w.key("fused_gflops").null_value(),
         };
+        match r.bf16_fused_gflops {
+            Some(f) => w.field_f64("bf16_fused_gflops", f),
+            None => w.key("bf16_fused_gflops").null_value(),
+        };
         w.field_f64("speedup_blocked", r.speedup_blocked())
+            .field_f64("speedup_auto", r.speedup_auto())
             .field_bool("calibration", r.calibration)
             .end_object();
     }
     w.end_array()
+        .key("pack")
+        .begin_object()
+        .field_u64("m", pack.m as u64)
+        .field_u64("k", pack.k as u64)
+        .field_u64("elems", pack.elems as u64)
+        .field_u64("reps", pack.reps as u64)
+        .field_f64("f32_melems_per_s", pack.f32_melems_per_s)
+        .field_f64("bf16_melems_per_s", pack.bf16_melems_per_s)
+        .end_object()
         .key("steady_state")
         .begin_object()
         .field_u64("warmup_steps", ss.warmup_steps as u64)
@@ -333,6 +518,8 @@ pub fn kernels_json(rows: &[KernelBenchRow], ss: &SteadyState, smoke: bool) -> S
         .field_u64("scratch_reallocs_delta", ss.scratch_reallocs_delta)
         .field_u64("dispatch_blocked", ss.dispatch_blocked)
         .field_u64("dispatch_naive", ss.dispatch_naive)
+        .field_u64("dispatch_blocked_bf16", ss.dispatch_blocked_bf16)
+        .field_u64("dispatch_naive_bf16", ss.dispatch_naive_bf16)
         .end_object()
         .end_object();
     w.finish()
@@ -343,8 +530,8 @@ pub fn kernels_json(rows: &[KernelBenchRow], ss: &SteadyState, smoke: bool) -> S
 /// not a silent gap in the perf trajectory.
 pub fn validate_kernels_json(doc: &str) -> Result<(), String> {
     let v = parse_json(doc)?;
-    if v.get("schema").and_then(Value::as_str) != Some("bench_kernels_v1") {
-        return Err("schema must be bench_kernels_v1".into());
+    if v.get("schema").and_then(Value::as_str) != Some("bench_kernels_v2") {
+        return Err("schema must be bench_kernels_v2".into());
     }
     match v.get("mode").and_then(Value::as_str) {
         Some("smoke") | Some("full") => {}
@@ -366,7 +553,10 @@ pub fn validate_kernels_json(doc: &str) -> Result<(), String> {
             "reps",
             "naive_gflops",
             "blocked_gflops",
+            "auto_gflops",
+            "bf16_blocked_gflops",
             "speedup_blocked",
+            "speedup_auto",
         ] {
             let num = r.get(key).and_then(Value::as_f64);
             match num {
@@ -396,8 +586,22 @@ pub fn validate_kernels_json(doc: &str) -> Result<(), String> {
             "expected exactly 1 calibration row, found {calibration_rows}"
         ));
     }
+    let pack = v.get("pack").ok_or("pack probe missing")?;
+    for key in ["elems", "reps", "f32_melems_per_s", "bf16_melems_per_s"] {
+        match pack.get(key).and_then(Value::as_f64) {
+            Some(x) if x.is_finite() && x >= 0.0 => {}
+            _ => return Err(format!("pack.{key} must be a finite non-negative number")),
+        }
+    }
     let ss = v.get("steady_state").ok_or("steady_state missing")?;
-    for key in ["warmup_steps", "steps", "step_ms", "scratch_reallocs_delta"] {
+    for key in [
+        "warmup_steps",
+        "steps",
+        "step_ms",
+        "scratch_reallocs_delta",
+        "dispatch_blocked_bf16",
+        "dispatch_naive_bf16",
+    ] {
         if ss.get(key).and_then(Value::as_f64).is_none() {
             return Err(format!("steady_state.{key} must be a number"));
         }
@@ -405,10 +609,26 @@ pub fn validate_kernels_json(doc: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// The CI regression gate: the blocked kernel must not fall below the
-/// naive kernel at the calibration shape, and the steady state must be
-/// allocation-free.
-pub fn check_kernel_regression(rows: &[KernelBenchRow], ss: &SteadyState) -> Result<(), String> {
+/// Per-row dispatch-vs-naive noise allowance: the two timings are
+/// separate wall-clock samples of the *same* kernel whenever dispatch
+/// picks naive, so a few percent of scheduler jitter must not fire the
+/// gate.
+const AUTO_NOISE_FLOOR: f64 = 0.90;
+
+/// The CI regression gate:
+/// 1. the blocked kernel must not fall below naive at the calibration
+///    shape;
+/// 2. the *dispatched* path must not fall below naive at any committed
+///    shape (modulo timing noise) — this is what the small-k guard
+///    protects: a shape the blocked kernel loses must route to naive;
+/// 3. the bf16 pack must not be slower than the f32 pack (it writes half
+///    the bytes; losing means the narrowing went quadratic somewhere);
+/// 4. the steady state must be allocation-free — in both precisions.
+pub fn check_kernel_regression(
+    rows: &[KernelBenchRow],
+    ss: &SteadyState,
+    pack: &PackProbe,
+) -> Result<(), String> {
     let cal = rows
         .iter()
         .find(|r| r.calibration)
@@ -417,6 +637,21 @@ pub fn check_kernel_regression(rows: &[KernelBenchRow], ss: &SteadyState) -> Res
         return Err(format!(
             "blocked GEMM regressed below naive at calibration shape: {:.2} < {:.2} GFLOP/s",
             cal.blocked_gflops, cal.naive_gflops
+        ));
+    }
+    for r in rows {
+        if r.auto_gflops < r.naive_gflops * AUTO_NOISE_FLOOR {
+            return Err(format!(
+                "dispatched GEMM slower than naive at {} ({}x{}x{}): {:.2} < {:.2} GFLOP/s — \
+                 the shape predicate routed a losing kernel",
+                r.label, r.m, r.k, r.n, r.auto_gflops, r.naive_gflops
+            ));
+        }
+    }
+    if pack.bf16_melems_per_s < pack.f32_melems_per_s * AUTO_NOISE_FLOOR {
+        return Err(format!(
+            "bf16 panel pack slower than f32 at calibration shape: {:.1} < {:.1} Melem/s",
+            pack.bf16_melems_per_s, pack.f32_melems_per_s
         ));
     }
     if ss.scratch_reallocs_delta != 0 {
@@ -432,30 +667,47 @@ pub fn check_kernel_regression(rows: &[KernelBenchRow], ss: &SteadyState) -> Res
 mod tests {
     use super::*;
 
+    fn row(label: &str, naive: f64, blocked: f64, calibration: bool) -> KernelBenchRow {
+        let (m, k, n) = if calibration {
+            CALIBRATION_MKN
+        } else {
+            (8, 8, 8)
+        };
+        KernelBenchRow {
+            label: label.into(),
+            m,
+            k,
+            n,
+            reps: 1,
+            naive_gflops: naive,
+            blocked_gflops: blocked,
+            auto_gflops: naive.max(blocked),
+            bf16_blocked_gflops: blocked,
+            fused_gflops: None,
+            bf16_fused_gflops: None,
+            calibration,
+        }
+    }
+
+    fn probe() -> PackProbe {
+        PackProbe {
+            m: CALIBRATION_MKN.0,
+            k: CALIBRATION_MKN.1,
+            elems: CALIBRATION_MKN.0 * CALIBRATION_MKN.1,
+            reps: 2,
+            f32_melems_per_s: 500.0,
+            bf16_melems_per_s: 600.0,
+        }
+    }
+
     #[test]
     fn json_round_trips_and_validates() {
         let rows = vec![
+            row("toy", 1.0, 2.0, false),
             KernelBenchRow {
-                label: "toy".into(),
-                m: 8,
-                k: 8,
-                n: 8,
-                reps: 1,
-                naive_gflops: 1.0,
-                blocked_gflops: 2.0,
-                fused_gflops: None,
-                calibration: false,
-            },
-            KernelBenchRow {
-                label: CALIBRATION_LABEL.into(),
-                m: CALIBRATION_MKN.0,
-                k: CALIBRATION_MKN.1,
-                n: CALIBRATION_MKN.2,
-                reps: 1,
-                naive_gflops: 1.0,
-                blocked_gflops: 2.5,
                 fused_gflops: Some(3.0),
-                calibration: true,
+                bf16_fused_gflops: Some(3.2),
+                ..row(CALIBRATION_LABEL, 1.0, 2.5, true)
             },
         ];
         let ss = SteadyState {
@@ -465,10 +717,12 @@ mod tests {
             scratch_reallocs_delta: 0,
             dispatch_blocked: 12,
             dispatch_naive: 4,
+            dispatch_blocked_bf16: 6,
+            dispatch_naive_bf16: 2,
         };
-        let doc = kernels_json(&rows, &ss, true);
+        let doc = kernels_json(&rows, &ss, &probe(), true);
         validate_kernels_json(&doc).expect("valid document");
-        check_kernel_regression(&rows, &ss).expect("no regression");
+        check_kernel_regression(&rows, &ss, &probe()).expect("no regression");
     }
 
     #[test]
@@ -476,17 +730,7 @@ mod tests {
         assert!(validate_kernels_json("{}").is_err());
         assert!(validate_kernels_json("not json").is_err());
         // Missing calibration row.
-        let rows = vec![KernelBenchRow {
-            label: "toy".into(),
-            m: 8,
-            k: 8,
-            n: 8,
-            reps: 1,
-            naive_gflops: 1.0,
-            blocked_gflops: 2.0,
-            fused_gflops: None,
-            calibration: false,
-        }];
+        let rows = vec![row("toy", 1.0, 2.0, false)];
         let ss = SteadyState {
             warmup_steps: 1,
             steps: 1,
@@ -494,24 +738,22 @@ mod tests {
             scratch_reallocs_delta: 0,
             dispatch_blocked: 0,
             dispatch_naive: 1,
+            dispatch_blocked_bf16: 0,
+            dispatch_naive_bf16: 0,
         };
-        let doc = kernels_json(&rows, &ss, true);
+        let doc = kernels_json(&rows, &ss, &probe(), true);
         assert!(validate_kernels_json(&doc).is_err());
+        // v1 documents no longer validate.
+        let rows2 = vec![row(CALIBRATION_LABEL, 1.0, 2.0, true)];
+        let doc2 = kernels_json(&rows2, &ss, &probe(), true)
+            .replace("bench_kernels_v2", "bench_kernels_v1");
+        assert!(validate_kernels_json(&doc2).is_err());
     }
 
     #[test]
     fn regression_gate_fires() {
-        let rows = vec![KernelBenchRow {
-            label: CALIBRATION_LABEL.into(),
-            m: CALIBRATION_MKN.0,
-            k: CALIBRATION_MKN.1,
-            n: CALIBRATION_MKN.2,
-            reps: 1,
-            naive_gflops: 2.0,
-            blocked_gflops: 1.0, // slower than naive
-            fused_gflops: None,
-            calibration: true,
-        }];
+        // Blocked slower than naive at the calibration shape.
+        let rows = vec![row(CALIBRATION_LABEL, 2.0, 1.0, true)];
         let ss = SteadyState {
             warmup_steps: 1,
             steps: 1,
@@ -519,17 +761,56 @@ mod tests {
             scratch_reallocs_delta: 0,
             dispatch_blocked: 1,
             dispatch_naive: 0,
+            dispatch_blocked_bf16: 0,
+            dispatch_naive_bf16: 0,
         };
-        assert!(check_kernel_regression(&rows, &ss).is_err());
+        assert!(check_kernel_regression(&rows, &ss, &probe()).is_err());
         let rows_ok = vec![KernelBenchRow {
             blocked_gflops: 4.0,
+            auto_gflops: 4.0,
             ..rows[0].clone()
         }];
-        assert!(check_kernel_regression(&rows_ok, &ss).is_ok());
+        assert!(check_kernel_regression(&rows_ok, &ss, &probe()).is_ok());
         let ss_bad = SteadyState {
             scratch_reallocs_delta: 3,
-            ..ss
+            ..ss.clone()
         };
-        assert!(check_kernel_regression(&rows_ok, &ss_bad).is_err());
+        assert!(check_kernel_regression(&rows_ok, &ss_bad, &probe()).is_err());
+    }
+
+    #[test]
+    fn gate_catches_dispatch_and_pack_regressions() {
+        let ss = SteadyState {
+            warmup_steps: 1,
+            steps: 1,
+            step_ms: 1.0,
+            scratch_reallocs_delta: 0,
+            dispatch_blocked: 1,
+            dispatch_naive: 1,
+            dispatch_blocked_bf16: 1,
+            dispatch_naive_bf16: 1,
+        };
+        // Dispatched path losing to naive at a non-calibration shape —
+        // exactly the b0_mb_expand_1x1_56px failure mode the small-k
+        // guard exists to prevent.
+        let mut bad_auto = vec![
+            row(CALIBRATION_LABEL, 1.0, 2.0, true),
+            row("b0_mb_expand_1x1_56px", 10.0, 8.0, false),
+        ];
+        bad_auto[1].auto_gflops = 8.0; // routed blocked, which loses
+        let err = check_kernel_regression(&bad_auto, &ss, &probe()).unwrap_err();
+        assert!(err.contains("b0_mb_expand_1x1_56px"), "{err}");
+        bad_auto[1].auto_gflops = 9.9; // routed naive: within noise floor
+        assert!(check_kernel_regression(&bad_auto, &ss, &probe()).is_ok());
+
+        // bf16 pack slower than f32 pack.
+        let slow_pack = PackProbe {
+            f32_melems_per_s: 600.0,
+            bf16_melems_per_s: 300.0,
+            ..probe()
+        };
+        let rows = vec![row(CALIBRATION_LABEL, 1.0, 2.0, true)];
+        let err = check_kernel_regression(&rows, &ss, &slow_pack).unwrap_err();
+        assert!(err.contains("bf16 panel pack"), "{err}");
     }
 }

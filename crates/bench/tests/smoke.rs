@@ -7,8 +7,8 @@
 //! exercised them and the `BENCH_*` perf trajectory stayed empty.
 
 use ets_bench::kernels::{
-    check_kernel_regression, kernel_rows, kernels_json, steady_state_probe, validate_kernels_json,
-    CALIBRATION_LABEL, CALIBRATION_MKN,
+    check_kernel_regression, kernel_rows, kernels_json, pack_probe, steady_state_probe,
+    validate_kernels_json, CALIBRATION_LABEL, CALIBRATION_MKN,
 };
 use ets_bench::{
     figure1_json, figure1_points, run_smoke, scaling_json, scaling_tables, step_time_summaries,
@@ -172,13 +172,14 @@ fn smoke_path_emits_valid_artifacts() {
 fn kernel_bench_smoke_emits_valid_json_and_allocation_free_steady_state() {
     let rows = kernel_rows(true);
     let ss = steady_state_probe(true);
-    let doc = kernels_json(&rows, &ss, true);
+    let pack = pack_probe(true);
+    let doc = kernels_json(&rows, &ss, &pack, true);
     validate_kernels_json(&doc).expect("BENCH_kernels.json schema");
 
     let v = parse_json(&doc).expect("kernels JSON must parse");
     assert_eq!(
         v.get("schema").unwrap().as_str().unwrap(),
-        "bench_kernels_v1"
+        "bench_kernels_v2"
     );
     assert_eq!(v.get("mode").unwrap().as_str().unwrap(), "smoke");
 
@@ -197,7 +198,19 @@ fn kernel_bench_smoke_emits_valid_json_and_allocation_free_steady_state() {
     for row in arr {
         assert!(row.get("naive_gflops").unwrap().as_f64().unwrap() > 0.0);
         assert!(row.get("blocked_gflops").unwrap().as_f64().unwrap() > 0.0);
+        assert!(row.get("auto_gflops").unwrap().as_f64().unwrap() > 0.0);
+        assert!(
+            row.get("bf16_blocked_gflops").unwrap().as_f64().unwrap() > 0.0,
+            "every row must carry a bf16 packed-kernel measurement"
+        );
     }
+
+    // Pack probe: both precisions measured at the calibration A panel.
+    let pv = v.get("pack").unwrap();
+    assert_eq!(pv.get("m").unwrap().as_f64().unwrap() as usize, m);
+    assert_eq!(pv.get("k").unwrap().as_f64().unwrap() as usize, k);
+    assert!(pv.get("f32_melems_per_s").unwrap().as_f64().unwrap() > 0.0);
+    assert!(pv.get("bf16_melems_per_s").unwrap().as_f64().unwrap() > 0.0);
 
     // Allocation-free steady state: after warmup the scratch arena must
     // serve every checkout from the pool.
@@ -208,6 +221,10 @@ fn kernel_bench_smoke_emits_valid_json_and_allocation_free_steady_state() {
         "steady-state training steps must not grow the scratch arena"
     );
     assert!(ssv.get("dispatch_blocked").unwrap().as_f64().unwrap() > 0.0);
+    assert!(
+        ssv.get("dispatch_blocked_bf16").unwrap().as_f64().unwrap() > 0.0,
+        "the steady-state probe's bf16 step must route through the bf16 packed kernels"
+    );
     assert!(ssv.get("step_ms").unwrap().as_f64().unwrap() > 0.0);
 
     // The CI regression gate passes on a healthy optimized build. The
@@ -216,16 +233,19 @@ fn kernel_bench_smoke_emits_valid_json_and_allocation_free_steady_state() {
     // so only assert it when this test itself runs under `--release` —
     // CI's `bench-kernels` job runs the bin in release mode regardless.
     if !cfg!(debug_assertions) {
-        check_kernel_regression(&rows, &ss).expect("regression gate must pass");
+        check_kernel_regression(&rows, &ss, &pack).expect("regression gate must pass");
     }
 }
 
 /// The regression checker actually rejects: a blocked-slower-than-naive
-/// calibration row and a nonzero realloc delta must both fail the gate.
+/// calibration row, a dispatch choice that loses to naive, a bf16 pack
+/// slower than the f32 pack, and a nonzero realloc delta must all fail
+/// the gate.
 #[test]
 fn kernel_regression_gate_rejects_bad_rows() {
     let rows = kernel_rows(true);
     let ss = steady_state_probe(true);
+    let pack = pack_probe(true);
 
     let mut slow = rows.clone();
     let cal = slow
@@ -234,14 +254,28 @@ fn kernel_regression_gate_rejects_bad_rows() {
         .expect("calibration row");
     cal.blocked_gflops = cal.naive_gflops * 0.5;
     assert!(
-        check_kernel_regression(&slow, &ss).is_err(),
+        check_kernel_regression(&slow, &ss, &pack).is_err(),
         "gate must reject blocked < naive at the calibration shape"
+    );
+
+    let mut routed_wrong = rows.clone();
+    routed_wrong[0].auto_gflops = routed_wrong[0].naive_gflops * 0.5;
+    assert!(
+        check_kernel_regression(&routed_wrong, &ss, &pack).is_err(),
+        "gate must reject a dispatched path slower than naive"
+    );
+
+    let mut slow_pack = pack.clone();
+    slow_pack.bf16_melems_per_s = slow_pack.f32_melems_per_s * 0.5;
+    assert!(
+        check_kernel_regression(&rows, &ss, &slow_pack).is_err(),
+        "gate must reject a bf16 pack slower than the f32 pack"
     );
 
     let mut leaky = ss.clone();
     leaky.scratch_reallocs_delta = 3;
     assert!(
-        check_kernel_regression(&rows, &leaky).is_err(),
+        check_kernel_regression(&rows, &leaky, &pack).is_err(),
         "gate must reject a growing scratch arena"
     );
 }

@@ -54,7 +54,14 @@ pub struct Experiment {
     pub grad_accum_steps: usize,
     /// Model architecture.
     pub model: ModelConfig,
-    /// Conv numeric policy (§3.5).
+    /// Numeric policy (§3.5). With `MixedBf16`, every convolution GEMM
+    /// packs its panels as bf16 — operands narrowed once at pack time,
+    /// MR×NR micro-kernel accumulating in f32 — while the head and
+    /// squeeze-excite GEMMs follow the shape-gated `GemmPolicy` (tiny
+    /// products stay f32). Kernel and precision choices are pure
+    /// functions of shape + this knob, never timing, so replicas cannot
+    /// fork paths mid-run; per-precision dispatch counters are exported
+    /// through the obs registry (`gemm_dispatch_{blocked,naive}_{f32,bf16}`).
     pub precision: Precision,
     /// Optimizer (§3.1).
     pub optimizer: OptimizerChoice,

@@ -665,6 +665,20 @@ fn train_recorded(exp: &Experiment, recorders: &[Arc<Recorder>]) -> TrainReport 
             "gemm_dispatch_naive",
             ets_tensor::ops::dispatch::dispatch_naive_calls() as f64,
         );
+        // Per-precision splits (legacy gauges above are their sums): a
+        // mixed-precision run must show nonzero bf16 traffic, and an f32
+        // run exactly zero — the smoke tests assert both directions.
+        // (Static names: the registry is zero-alloc by design.)
+        let (f32_blocked, f32_naive) = ets_tensor::ops::dispatch::dispatch_calls(
+            ets_tensor::ops::dispatch::GemmPrecision::F32,
+        );
+        let (bf16_blocked, bf16_naive) = ets_tensor::ops::dispatch::dispatch_calls(
+            ets_tensor::ops::dispatch::GemmPrecision::Bf16,
+        );
+        rec.gauge_set("gemm_dispatch_blocked_f32", f32_blocked as f64);
+        rec.gauge_set("gemm_dispatch_naive_f32", f32_naive as f64);
+        rec.gauge_set("gemm_dispatch_blocked_bf16", bf16_blocked as f64);
+        rec.gauge_set("gemm_dispatch_naive_bf16", bf16_naive as f64);
     }
 
     let (peak_top1, peak_epoch) = history

@@ -76,7 +76,13 @@ impl MbConvBlock {
             ),
             dw_bn: BatchNorm2d::new(format!("{label}.dw_bn"), expanded),
             dw_act: Swish::new(),
-            se: SqueezeExcite::new(format!("{label}.se"), expanded, se_dim, rng),
+            se: SqueezeExcite::new(
+                format!("{label}.se"),
+                expanded,
+                se_dim,
+                precision.policy(),
+                rng,
+            ),
             project: Conv2d::new(
                 format!("{label}.project"),
                 expanded,

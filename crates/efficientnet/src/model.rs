@@ -72,7 +72,18 @@ impl EfficientNet {
             head_act: Swish::new(),
             gap: GlobalAvgPool::new(),
             dropout: Dropout::new(config.dropout),
-            fc: Linear::new("head.fc", head_f, config.num_classes, true, rng),
+            // The head receives the experiment policy; its MAC gate keeps
+            // proxy-scale classifier GEMMs in f32 (§3.5 runs only the
+            // convolutions in bf16 at small sizes) while letting genuinely
+            // large head products use the narrow packed panels.
+            fc: Linear::with_precision(
+                "head.fc",
+                head_f,
+                config.num_classes,
+                true,
+                precision.policy(),
+                rng,
+            ),
             config,
         }
     }

@@ -11,8 +11,9 @@ use crate::layer::{Layer, Mode};
 use crate::param::{Param, ParamKind};
 use ets_tensor::bf16::quantize_tensor;
 use ets_tensor::ops::conv::{
-    conv2d_backward, conv2d_forward, depthwise_backward, depthwise_forward,
+    conv2d_backward_p, conv2d_forward_p, depthwise_backward, depthwise_forward,
 };
+use ets_tensor::ops::dispatch::{GemmPolicy, GemmPrecision};
 use ets_tensor::{init, Rng, Tensor};
 
 /// Numeric policy for conv products.
@@ -25,6 +26,30 @@ pub enum Precision {
 }
 
 impl Precision {
+    /// The shape-pure dispatch policy this config knob maps to — used by
+    /// the *non-conv* GEMMs (head [`crate::Linear`], squeeze-excite),
+    /// whose MAC gate keeps paper-§3.5's "everything but convolutions
+    /// stays f32" at proxy scale while still being a pure function of
+    /// shape + config.
+    pub fn policy(&self) -> GemmPolicy {
+        match self {
+            Precision::F32 => GemmPolicy::F32_ONLY,
+            Precision::MixedBf16 => GemmPolicy::MIXED_BF16,
+        }
+    }
+
+    /// Pack-time element type for *convolution* GEMMs: the paper runs
+    /// every convolution in bf16 when mixed precision is on, with no
+    /// size exception, so this maps the knob directly.
+    pub fn gemm(&self) -> GemmPrecision {
+        match self {
+            Precision::F32 => GemmPrecision::F32,
+            Precision::MixedBf16 => GemmPrecision::Bf16,
+        }
+    }
+
+    /// Rounds a tensor through bf16 when mixed (used by the depthwise
+    /// direct-loop kernels, which have no GEMM to pack into).
     fn prep(&self, t: &Tensor) -> Tensor {
         match self {
             Precision::F32 => t.clone(),
@@ -39,8 +64,9 @@ pub struct Conv2d {
     stride: usize,
     pad: usize,
     precision: Precision,
-    /// Cached (possibly quantized) input from the last forward.
-    cache_x: Option<Tensor>,
+    /// Cached raw input + the pack-time precision chosen in forward
+    /// (reused verbatim in backward so both passes agree).
+    cache: Option<(Tensor, GemmPrecision)>,
     label: String,
 }
 
@@ -65,7 +91,7 @@ impl Conv2d {
             stride,
             pad,
             precision,
-            cache_x: None,
+            cache: None,
             label,
         }
     }
@@ -78,20 +104,17 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, _mode: Mode, _rng: &mut Rng) -> Tensor {
-        let xq = self.precision.prep(x);
-        let wq = self.precision.prep(&self.weight.value);
-        let y = conv2d_forward(&xq, &wq, self.stride, self.pad);
-        self.cache_x = Some(xq);
+        // The kernels narrow operands at pack time, so no quantized
+        // tensor copies are materialized here anymore.
+        let prec = self.precision.gemm();
+        let y = conv2d_forward_p(x, &self.weight.value, self.stride, self.pad, prec);
+        self.cache = Some((x.clone(), prec));
         y
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let xq = self
-            .cache_x
-            .take()
-            .expect("Conv2d: forward before backward");
-        let wq = self.precision.prep(&self.weight.value);
-        let (dx, dw) = conv2d_backward(&xq, &wq, grad, self.stride, self.pad);
+        let (x, prec) = self.cache.take().expect("Conv2d: forward before backward");
+        let (dx, dw) = conv2d_backward_p(&x, &self.weight.value, grad, self.stride, self.pad, prec);
         self.weight.grad.add_assign(&dw);
         dx
     }

@@ -28,8 +28,11 @@ pub use activations::{Relu, Sigmoid, Swish};
 pub use batchnorm::{BatchNorm2d, LocalStats, StatSync};
 pub use confusion::ConfusionMatrix;
 pub use conv::{Conv2d, DepthwiseConv2d, Precision};
+// Re-exported so model/trainer code can name the dispatch policy without
+// depending on ets-tensor's module layout.
 pub use dropout::{DropPath, Dropout};
 pub use ema::{Ema, EmaState};
+pub use ets_tensor::ops::dispatch::{GemmPolicy, GemmPrecision};
 pub use layer::{param_count, snapshot_params, zero_grads, Layer, Mode, Sequential};
 pub use linear::Linear;
 pub use loss::{cross_entropy, softmax, LossOutput};

@@ -7,11 +7,16 @@
 //! All three GEMMs (forward `x·Wᵀ`, weight gradient `gradᵀ·x`, input
 //! gradient `grad·W`) route through the shape-pure `gemm_auto`
 //! dispatcher, so head-sized products take the blocked packed kernels
-//! while SE-bottleneck-sized ones keep the naive streaming path.
+//! while SE-bottleneck-sized ones keep the naive streaming path. A
+//! [`GemmPolicy`] (see [`Linear::with_precision`]) additionally selects
+//! the pack-time element type per shape: under the mixed policy, GEMMs
+//! past the MAC gate store their panels as bf16 and accumulate in f32,
+//! while bottleneck-sized ones stay f32 — the same pure
+//! shape-plus-config rule the kernel dispatch uses.
 
 use crate::layer::{Layer, Mode};
 use crate::param::{Param, ParamKind};
-use ets_tensor::ops::dispatch::{gemm_auto, gemm_auto_a_bt, gemm_auto_at_b_acc};
+use ets_tensor::ops::dispatch::{gemm_auto_a_bt_p, gemm_auto_at_b_acc_p, gemm_auto_p, GemmPolicy};
 use ets_tensor::{init, Rng, Tensor};
 
 /// Dense layer with weight stored `[out, in]` and optional bias.
@@ -22,16 +27,32 @@ pub struct Linear {
     label: String,
     in_dim: usize,
     out_dim: usize,
+    policy: GemmPolicy,
 }
 
 impl Linear {
     /// Creates a dense layer with uniform ±sqrt(1/fan_in) init and a zero
-    /// bias (when `with_bias`).
+    /// bias (when `with_bias`). Pure-f32 GEMMs; see
+    /// [`Linear::with_precision`] for the mixed-precision variant.
     pub fn new(
         label: impl Into<String>,
         in_dim: usize,
         out_dim: usize,
         with_bias: bool,
+        rng: &mut Rng,
+    ) -> Self {
+        Self::with_precision(label, in_dim, out_dim, with_bias, GemmPolicy::F32_ONLY, rng)
+    }
+
+    /// Creates a dense layer whose GEMMs narrow their packed panels to
+    /// bf16 when `policy` is mixed and the product clears the MAC gate
+    /// (accumulation always stays f32).
+    pub fn with_precision(
+        label: impl Into<String>,
+        in_dim: usize,
+        out_dim: usize,
+        with_bias: bool,
+        policy: GemmPolicy,
         rng: &mut Rng,
     ) -> Self {
         let label = label.into();
@@ -50,6 +71,7 @@ impl Linear {
             label,
             in_dim,
             out_dim,
+            policy,
         }
     }
 
@@ -75,8 +97,13 @@ impl Layer for Linear {
         let n = x.shape().dim(0);
         assert_eq!(x.shape().dim(1), self.in_dim, "Linear in_dim mismatch");
         let mut y = Tensor::zeros([n, self.out_dim]);
+        // All three GEMMs of this layer share one MAC volume
+        // (N·in·out), so one policy evaluation covers forward and both
+        // backward products consistently.
+        let prec = self.policy.precision(n, self.in_dim, self.out_dim);
         // y = x (N×in) · Wᵀ — W stored out×in, so this is gemm_a_bt.
-        gemm_auto_a_bt(
+        gemm_auto_a_bt_p(
+            prec,
             n,
             self.in_dim,
             self.out_dim,
@@ -103,8 +130,10 @@ impl Layer for Linear {
             .expect("Linear: forward before backward");
         let n = x.shape().dim(0);
         assert_eq!(grad.shape().dims(), &[n, self.out_dim], "Linear grad shape");
+        let prec = self.policy.precision(n, self.in_dim, self.out_dim);
         // dW (out×in) += gradᵀ (out×N) · x (N×in)
-        gemm_auto_at_b_acc(
+        gemm_auto_at_b_acc_p(
+            prec,
             self.out_dim,
             n,
             self.in_dim,
@@ -122,7 +151,8 @@ impl Layer for Linear {
         }
         // dx (N×in) = grad (N×out) · W (out×in)
         let mut dx = Tensor::zeros([n, self.in_dim]);
-        gemm_auto(
+        gemm_auto_p(
+            prec,
             n,
             self.out_dim,
             self.in_dim,

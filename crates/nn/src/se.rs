@@ -6,12 +6,17 @@
 //! the TF code). Their GEMMs route through `gemm_auto` via [`Linear`]:
 //! SE bottlenecks are usually below the blocked-dispatch threshold and
 //! keep the naive streaming kernels, by design — the dispatcher decides
-//! per shape, not per layer type.
+//! per shape, not per layer type. The same shape-plus-config rule
+//! governs the pack-time precision: the block takes a [`GemmPolicy`],
+//! and under the mixed policy the MAC gate keeps these bottleneck-sized
+//! products in f32 (the paper's "everything but convolutions stays
+//! f32") without a special case.
 
 use crate::activations::{Sigmoid, Swish};
 use crate::layer::{Layer, Mode};
 use crate::linear::Linear;
 use crate::param::Param;
+use ets_tensor::ops::dispatch::GemmPolicy;
 use ets_tensor::ops::pool::{
     channel_dot, global_avg_pool, global_avg_pool_backward, scale_channels,
 };
@@ -36,11 +41,32 @@ struct SeCache {
 impl SqueezeExcite {
     /// `channels` is the gated channel count; `se_dim` the bottleneck width
     /// (EfficientNet uses `max(1, input_filters/4)` computed by the caller).
-    pub fn new(label: impl Into<String>, channels: usize, se_dim: usize, rng: &mut Rng) -> Self {
+    /// `policy` governs the pack-time precision of the two FC GEMMs.
+    pub fn new(
+        label: impl Into<String>,
+        channels: usize,
+        se_dim: usize,
+        policy: GemmPolicy,
+        rng: &mut Rng,
+    ) -> Self {
         let label = label.into();
         SqueezeExcite {
-            reduce: Linear::new(format!("{label}.se_reduce"), channels, se_dim, true, rng),
-            expand: Linear::new(format!("{label}.se_expand"), se_dim, channels, true, rng),
+            reduce: Linear::with_precision(
+                format!("{label}.se_reduce"),
+                channels,
+                se_dim,
+                true,
+                policy,
+                rng,
+            ),
+            expand: Linear::with_precision(
+                format!("{label}.se_expand"),
+                se_dim,
+                channels,
+                true,
+                policy,
+                rng,
+            ),
             act: Swish::new(),
             gate: Sigmoid::new(),
             cache: None,
@@ -100,7 +126,7 @@ mod tests {
     #[test]
     fn gate_bounded_and_shapes_preserved() {
         let mut rng = Rng::new(1);
-        let mut se = SqueezeExcite::new("se", 8, 2, &mut rng);
+        let mut se = SqueezeExcite::new("se", 8, 2, GemmPolicy::F32_ONLY, &mut rng);
         let mut x = Tensor::zeros([2, 8, 4, 4]);
         rng.fill_normal(x.data_mut(), 0.0, 1.0);
         let y = se.forward(&x, Mode::Train, &mut rng);
@@ -116,7 +142,7 @@ mod tests {
     #[test]
     fn backward_finite_difference() {
         let mut rng = Rng::new(2);
-        let mut se = SqueezeExcite::new("se", 4, 2, &mut rng);
+        let mut se = SqueezeExcite::new("se", 4, 2, GemmPolicy::F32_ONLY, &mut rng);
         let mut x = Tensor::zeros([1, 4, 3, 3]);
         rng.fill_uniform(x.data_mut(), -1.0, 1.0);
         let mut g = Tensor::zeros(x.shape().dims());
@@ -153,7 +179,7 @@ mod tests {
     #[test]
     fn param_inventory() {
         let mut rng = Rng::new(3);
-        let mut se = SqueezeExcite::new("se", 16, 4, &mut rng);
+        let mut se = SqueezeExcite::new("se", 16, 4, GemmPolicy::F32_ONLY, &mut rng);
         let mut names = Vec::new();
         se.visit_params(&mut |p| names.push(p.name.clone()));
         assert_eq!(

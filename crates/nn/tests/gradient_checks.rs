@@ -110,7 +110,13 @@ proptest! {
     fn squeeze_excite_input_gradient(seed in 0u64..200, c in 2usize..5) {
         let x = rand_x(seed, &[1, c, 3, 3]);
         let mut make = move || -> Box<dyn Layer> {
-            Box::new(SqueezeExcite::new("se", c, (c / 2).max(1), &mut Rng::new(10)))
+            Box::new(SqueezeExcite::new(
+                "se",
+                c,
+                (c / 2).max(1),
+                ets_nn::GemmPolicy::F32_ONLY,
+                &mut Rng::new(10),
+            ))
         };
         check_input_gradient(&mut make, &x, &[0, 5, 11], 1e-3, 3e-2)?;
     }

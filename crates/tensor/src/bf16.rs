@@ -7,7 +7,7 @@
 //! that quantizes GEMM/conv operands through bf16 while accumulating in f32
 //! — matching the MXU's bf16-multiply/f32-accumulate contract.
 
-use crate::ops::matmul::gemm_slice;
+use crate::ops::dispatch::{gemm_auto_p, GemmPrecision};
 use crate::tensor::Tensor;
 
 /// A bfloat16 value stored as its raw 16-bit pattern.
@@ -22,17 +22,22 @@ impl Bf16 {
 
     /// Converts from `f32` with round-to-nearest-even on the dropped 16
     /// mantissa bits (the hardware rounding mode).
+    ///
+    /// Branchless: both the RNE-rounded pattern and the quieted-NaN
+    /// pattern are computed, then mask-selected. The panel-packing loops
+    /// run this per element, and a data-dependent NaN branch there stops
+    /// the compiler from vectorizing the whole pack.
     #[inline]
     pub fn from_f32(x: f32) -> Self {
         let bits = x.to_bits();
-        if x.is_nan() {
-            // Preserve NaN; force a mantissa bit so truncation can't create Inf.
-            return Bf16(((bits >> 16) as u16) | 0x0040);
-        }
         // Round to nearest even: add 0x7FFF + LSB of the kept part.
         let lsb = (bits >> 16) & 1;
-        let rounded = bits.wrapping_add(0x7FFF + lsb);
-        Bf16((rounded >> 16) as u16)
+        let rounded = (bits.wrapping_add(0x7FFF + lsb) >> 16) as u16;
+        // Preserve NaN; force a mantissa bit so truncation can't create
+        // Inf (and the rounding add above can't carry NaN into garbage).
+        let quieted = ((bits >> 16) as u16) | 0x0040;
+        let nan_mask = (((bits & 0x7FFF_FFFF) > 0x7F80_0000) as u16).wrapping_neg();
+        Bf16((quieted & nan_mask) | (rounded & !nan_mask))
     }
 
     /// Converts back to `f32` (exact: bf16 values are a subset of f32).
@@ -60,6 +65,202 @@ pub fn round_f32(x: f32) -> f32 {
     Bf16::from_f32(x).to_f32()
 }
 
+/// Bulk narrowing `f32 → bf16` — the panel-packing hot loop. Bitwise
+/// identical to mapping [`Bf16::from_f32`] over the slice.
+///
+/// On x86_64 the body is hand-vectorized: AVX2 (16 lanes/iter) when the
+/// CPU has it — the detection macro caches in an atomic, so the check is
+/// a load — falling back to SSE2 (8 lanes/iter, part of the x86_64
+/// baseline). The branchless rounding maps to integer lane ops the
+/// autovectorizer does not reliably find through the generic pack
+/// plumbing — and the pack must not be slower than the f32 `memcpy` it
+/// replaces (the bench regression gate checks).
+#[inline]
+pub fn narrow_slice(src: &[f32], dst: &mut [Bf16]) {
+    debug_assert_eq!(src.len(), dst.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if src.len() >= 16 && std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 presence just verified.
+            unsafe { narrow_slice_avx2(src, dst) }
+        } else {
+            // SAFETY: SSE2 is unconditionally available on x86_64.
+            unsafe { narrow_slice_sse2(src, dst) }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        *d = Bf16::from_f32(s);
+    }
+}
+
+/// Narrows a contiguous row and scatters it into tile-major panel
+/// storage: the `j`-th `nr`-element chunk of `src` lands at
+/// `dst[j * tile_stride ..]`. `src.len()` must be a multiple of `nr`.
+/// Bitwise identical to calling [`narrow_slice`] per chunk, but the
+/// conversion pipelines across the whole row (16 lanes per iteration
+/// with AVX2, the two 8-lane halves split-stored to consecutive tiles)
+/// instead of restarting every `nr` elements.
+pub fn narrow_row_scatter(src: &[f32], dst: &mut [Bf16], nr: usize, tile_stride: usize) {
+    debug_assert_eq!(src.len() % nr, 0);
+    #[cfg(target_arch = "x86_64")]
+    if nr == 8 {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 presence just verified; bounds asserted inside.
+            unsafe { narrow_scatter8_avx2(src, dst, tile_stride) }
+        } else {
+            // SAFETY: SSE2 is unconditionally available on x86_64.
+            unsafe { narrow_scatter8_sse2(src, dst, tile_stride) }
+        }
+        return;
+    }
+    for (j, chunk) in src.chunks_exact(nr).enumerate() {
+        narrow_slice(chunk, &mut dst[j * tile_stride..j * tile_stride + nr]);
+    }
+}
+
+/// Lane-parallel mirror of the scalar `Bf16::from_f32` (4 lanes).
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+unsafe fn narrow4_sse2(bits: std::arch::x86_64::__m128i) -> std::arch::x86_64::__m128i {
+    use std::arch::x86_64::*;
+    let kept = _mm_srli_epi32::<16>(bits);
+    let lsb = _mm_and_si128(kept, _mm_set1_epi32(1));
+    let rounded = _mm_srli_epi32::<16>(_mm_add_epi32(
+        bits,
+        _mm_add_epi32(_mm_set1_epi32(0x7FFF), lsb),
+    ));
+    let quieted = _mm_or_si128(kept, _mm_set1_epi32(0x0040));
+    // Both magnitudes sit in [0, 0x7FFFFFFF], so the signed compare is
+    // exact for the NaN test.
+    let is_nan = _mm_cmpgt_epi32(
+        _mm_and_si128(bits, _mm_set1_epi32(0x7FFF_FFFF)),
+        _mm_set1_epi32(0x7F80_0000),
+    );
+    _mm_or_si128(
+        _mm_and_si128(is_nan, quieted),
+        _mm_andnot_si128(is_nan, rounded),
+    )
+}
+
+/// Lane-parallel mirror of the scalar `Bf16::from_f32` (8 lanes).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn narrow8_avx2(bits: std::arch::x86_64::__m256i) -> std::arch::x86_64::__m256i {
+    use std::arch::x86_64::*;
+    let kept = _mm256_srli_epi32::<16>(bits);
+    let lsb = _mm256_and_si256(kept, _mm256_set1_epi32(1));
+    let rounded = _mm256_srli_epi32::<16>(_mm256_add_epi32(
+        bits,
+        _mm256_add_epi32(_mm256_set1_epi32(0x7FFF), lsb),
+    ));
+    let quieted = _mm256_or_si256(kept, _mm256_set1_epi32(0x0040));
+    // Both magnitudes sit in [0, 0x7FFFFFFF], so the signed compare is
+    // exact for the NaN test.
+    let is_nan = _mm256_cmpgt_epi32(
+        _mm256_and_si256(bits, _mm256_set1_epi32(0x7FFF_FFFF)),
+        _mm256_set1_epi32(0x7F80_0000),
+    );
+    _mm256_blendv_epi8(rounded, quieted, is_nan)
+}
+
+/// Sixteen lanes per iteration: two 8-lane RNE conversions packed into
+/// one u16×16 store. The rounded values are non-negative and fit 16 bits,
+/// so the unsigned-saturating `packus` is an exact u32→u16 truncation;
+/// `permute4x64(0xD8)` undoes its 128-bit-lane interleave.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn narrow_slice_avx2(src: &[f32], dst: &mut [Bf16]) {
+    use std::arch::x86_64::*;
+
+    let n = src.len();
+    let chunks = n / 16;
+    for i in 0..chunks {
+        let p = src.as_ptr().add(i * 16) as *const __m256i;
+        let lo = narrow8_avx2(_mm256_loadu_si256(p));
+        let hi = narrow8_avx2(_mm256_loadu_si256(p.add(1)));
+        let packed = _mm256_permute4x64_epi64::<0xD8>(_mm256_packus_epi32(lo, hi));
+        _mm256_storeu_si256(dst.as_mut_ptr().add(i * 16) as *mut __m256i, packed);
+    }
+    if chunks * 16 < n {
+        narrow_slice_sse2(&src[chunks * 16..], &mut dst[chunks * 16..]);
+    }
+}
+
+/// Two 8-element tiles per iteration: one 16-lane conversion whose u16×16
+/// result is split-stored to `dst[2i*stride]` and `dst[(2i+1)*stride]` —
+/// no staging buffer between the narrow and the panel.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn narrow_scatter8_avx2(src: &[f32], dst: &mut [Bf16], stride: usize) {
+    use std::arch::x86_64::*;
+
+    let chunks = src.len() / 8;
+    assert!(chunks == 0 || (chunks - 1) * stride + 8 <= dst.len());
+    for i in 0..chunks / 2 {
+        let p = src.as_ptr().add(i * 16) as *const __m256i;
+        let lo = narrow8_avx2(_mm256_loadu_si256(p));
+        let hi = narrow8_avx2(_mm256_loadu_si256(p.add(1)));
+        let packed = _mm256_permute4x64_epi64::<0xD8>(_mm256_packus_epi32(lo, hi));
+        let d0 = dst.as_mut_ptr().add(2 * i * stride) as *mut __m128i;
+        let d1 = dst.as_mut_ptr().add((2 * i + 1) * stride) as *mut __m128i;
+        _mm_storeu_si128(d0, _mm256_castsi256_si128(packed));
+        _mm_storeu_si128(d1, _mm256_extracti128_si256::<1>(packed));
+    }
+    if chunks % 2 == 1 {
+        let j = chunks - 1;
+        narrow_slice_sse2(&src[j * 8..], &mut dst[j * stride..j * stride + 8]);
+    }
+}
+
+/// SSE2 fallback for the tile scatter: one 8-element tile per iteration.
+#[cfg(target_arch = "x86_64")]
+unsafe fn narrow_scatter8_sse2(src: &[f32], dst: &mut [Bf16], stride: usize) {
+    use std::arch::x86_64::*;
+
+    let chunks = src.len() / 8;
+    assert!(chunks == 0 || (chunks - 1) * stride + 8 <= dst.len());
+    for j in 0..chunks {
+        let p = src.as_ptr().add(j * 8) as *const __m128i;
+        let lo = narrow4_sse2(_mm_loadu_si128(p));
+        let hi = narrow4_sse2(_mm_loadu_si128(p.add(1)));
+        let bias = _mm_set1_epi32(0x8000);
+        let packed = _mm_xor_si128(
+            _mm_packs_epi32(_mm_sub_epi32(lo, bias), _mm_sub_epi32(hi, bias)),
+            _mm_set1_epi16(i16::MIN),
+        );
+        _mm_storeu_si128(dst.as_mut_ptr().add(j * stride) as *mut __m128i, packed);
+    }
+}
+
+/// Eight lanes per iteration: two 4-lane RNE conversions packed into one
+/// u16×8 store. The `sub 0x8000 / packs / xor 0x8000` dance turns the
+/// signed-saturating pack into an exact u32→u16 truncation (the rounded
+/// values already fit 16 bits).
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn narrow_slice_sse2(src: &[f32], dst: &mut [Bf16]) {
+    use std::arch::x86_64::*;
+
+    let n = src.len();
+    let chunks = n / 8;
+    for i in 0..chunks {
+        let p = src.as_ptr().add(i * 8) as *const __m128i;
+        let lo = narrow4_sse2(_mm_loadu_si128(p));
+        let hi = narrow4_sse2(_mm_loadu_si128(p.add(1)));
+        let bias = _mm_set1_epi32(0x8000);
+        let packed = _mm_xor_si128(
+            _mm_packs_epi32(_mm_sub_epi32(lo, bias), _mm_sub_epi32(hi, bias)),
+            _mm_set1_epi16(i16::MIN),
+        );
+        _mm_storeu_si128(dst.as_mut_ptr().add(i * 8) as *mut __m128i, packed);
+    }
+    for j in chunks * 8..n {
+        *dst.get_unchecked_mut(j) = Bf16::from_f32(*src.get_unchecked(j));
+    }
+}
+
 /// Quantizes a slice in place through bf16.
 pub fn quantize_slice(xs: &mut [f32]) {
     xs.iter_mut().for_each(|v| *v = round_f32(*v));
@@ -75,13 +276,13 @@ pub fn quantize_tensor(t: &Tensor) -> Tensor {
 pub const MAX_REL_ERR: f32 = 1.0 / 256.0;
 
 /// Mixed-precision GEMM: operands are rounded through bf16, products are
-/// accumulated in f32. This mirrors a TPU MXU pass and is what the
-/// precision-ablation benchmark compares against the pure-f32 kernel.
+/// accumulated in f32, mirroring a TPU MXU pass. Routes through the
+/// shape-pure dispatcher: large shapes take the packed kernels (panels
+/// stored as bf16 at 2× density), small ones quantize into arena scratch
+/// and stream — either way zero steady-state heap allocations, unlike
+/// the retired quantize-into-`Vec` implementation this replaces.
 pub fn gemm_bf16_slice(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    // Quantize once up front (cheap, linear) rather than per-product.
-    let aq: Vec<f32> = a.iter().map(|&v| round_f32(v)).collect();
-    let bq: Vec<f32> = b.iter().map(|&v| round_f32(v)).collect();
-    gemm_slice(m, k, n, &aq, &bq, c);
+    gemm_auto_p(GemmPrecision::Bf16, m, k, n, a, b, c);
 }
 
 /// Mixed-precision matmul at the tensor level.
@@ -97,7 +298,9 @@ pub fn matmul_bf16(a: &Tensor, b: &Tensor) -> Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ops::matmul::gemm_slice;
     use crate::rng::Rng;
+    use proptest::prelude::*;
 
     #[test]
     fn exact_values_round_trip() {
@@ -175,6 +378,190 @@ mod tests {
             .fold(0.0f32, f32::max);
         assert!(max_err < 0.15, "max_err {max_err}");
         assert!(max_err > 0.0, "bf16 path should differ from f32");
+    }
+
+    /// RNE at the overflow boundary: the halfway point between the
+    /// largest finite bf16 (0x7F7F) and the value that would round to
+    /// 0x7F80 (= +∞) has an ODD kept mantissa below it, so nearest-even
+    /// rounds *up* — to infinity. Anything strictly below halfway stays
+    /// at max-finite.
+    #[test]
+    fn overflow_boundary_rounds_to_even_infinity() {
+        let max_finite = f32::from_bits(0x7F7F_0000);
+        // Exactly halfway: kept LSB is 1 (0x7F7F is odd) → rounds away,
+        // crossing into the infinity bit pattern.
+        let halfway = f32::from_bits(0x7F7F_8000);
+        assert_eq!(round_f32(halfway), f32::INFINITY);
+        assert_eq!(round_f32(-halfway), f32::NEG_INFINITY);
+        // One ULP(f32) below halfway keeps max-finite.
+        assert_eq!(round_f32(f32::from_bits(0x7F7F_7FFF)), max_finite);
+        // An even-mantissa halfway case for contrast: 0x7F7E is even, so
+        // its upper halfway point rounds DOWN (to itself).
+        assert_eq!(
+            round_f32(f32::from_bits(0x7F7E_8000)).to_bits(),
+            0x7F7E_0000
+        );
+    }
+
+    #[test]
+    fn subnormals_round_through() {
+        // f32 subnormals are far below bf16's subnormal range? No —
+        // bf16 shares f32's exponent width, so bf16 subnormals are
+        // f32 subnormals with 7-bit mantissas. Smallest positive bf16
+        // subnormal = 2^-133.
+        let tiny_bf16 = f32::from_bits(0x0000_0001 << 16); // 0x0001 pattern
+        assert_eq!(round_f32(tiny_bf16), tiny_bf16);
+        // Smallest positive f32 subnormal underflows to zero under RNE
+        // (it is far below half the smallest bf16 subnormal).
+        assert_eq!(round_f32(f32::from_bits(1)).to_bits(), 0);
+        // Sign of an underflowed negative subnormal is preserved (-0.0).
+        assert_eq!(round_f32(-f32::from_bits(1)).to_bits(), (-0.0f32).to_bits());
+        // A subnormal just above half the smallest bf16 subnormal rounds
+        // up to it rather than flushing to zero (no FTZ in the software
+        // path).
+        let half_tiny = f32::from_bits(0x0000_8000);
+        assert_eq!(round_f32(half_tiny + f32::from_bits(1)), tiny_bf16);
+    }
+
+    #[test]
+    fn nan_payload_survives_narrowing() {
+        // A quiet NaN with payload bits in the kept (upper) mantissa part
+        // keeps them through the round trip.
+        let qnan = f32::from_bits(0x7FC1_2300);
+        let b = Bf16::from_f32(qnan);
+        assert!(b.is_nan());
+        assert_eq!(b.0, 0x7FC1 | 0x0040);
+        assert!(b.to_f32().is_nan());
+        // A signaling-ish NaN whose payload lives only in the DROPPED
+        // bits must still be NaN after narrowing (the forced quiet bit),
+        // never Inf.
+        let snan = f32::from_bits(0x7F80_0001);
+        let bs = Bf16::from_f32(snan);
+        assert!(
+            bs.is_nan(),
+            "payload-only-in-dropped-bits NaN became {bs:?}"
+        );
+        // Negative NaN keeps its sign bit.
+        let neg_nan = f32::from_bits(0xFFC0_0100);
+        assert!(Bf16::from_f32(neg_nan).0 & 0x8000 != 0);
+    }
+
+    /// Stub-safe mirror of the idempotence property below: one rounding
+    /// reaches a fixed point, over a deterministic sweep of magnitudes,
+    /// signs, subnormals, and specials.
+    #[test]
+    fn round_trip_idempotent_exhaustive_sweep() {
+        let mut rng = Rng::new(9);
+        let mut cases: Vec<f32> = Vec::new();
+        for _ in 0..4096 {
+            cases.push(rng.uniform_in(-1e38, 1e38));
+            cases.push(rng.uniform_in(-1.0, 1.0));
+        }
+        // Every bf16 bit pattern is its own fixed point (including NaNs
+        // with the quiet bit, infinities, and both zeros).
+        for hi in 0..=u16::MAX {
+            cases.push(f32::from_bits((hi as u32) << 16));
+        }
+        for x in cases {
+            let once = round_f32(x);
+            let twice = round_f32(once);
+            if once.is_nan() {
+                assert!(twice.is_nan());
+            } else {
+                assert_eq!(once.to_bits(), twice.to_bits(), "x={x}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_idempotent(x in -3.4e38f32..3.4e38) {
+            let once = round_f32(x);
+            prop_assert_eq!(once.to_bits(), round_f32(once).to_bits());
+        }
+    }
+
+    /// Adversarial value pool for the SIMD-vs-scalar bitwise checks:
+    /// specials, subnormals, RNE halfway points, and random normals.
+    fn simd_test_values(len: usize, seed: u64) -> Vec<f32> {
+        let specials = [
+            0.0f32,
+            -0.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            f32::from_bits(0x7F80_0001), // signaling-ish NaN, low payload
+            f32::from_bits(0xFFC0_1234), // negative NaN with payload
+            f32::from_bits(0x0000_0001), // smallest subnormal
+            f32::from_bits(0x807F_FFFF), // largest negative subnormal
+            1.0 + 1.0 / 256.0,           // RNE halfway, rounds down
+            1.0 + 3.0 / 256.0,           // RNE halfway, rounds up
+            3.3895314e38,                // max finite bf16
+            f32::from_bits(0x7F7F_FFFF), // max finite f32 (overflows to inf)
+        ];
+        let mut rng = Rng::new(seed);
+        (0..len)
+            .map(|i| {
+                if i % 3 == 0 {
+                    specials[i / 3 % specials.len()]
+                } else {
+                    rng.uniform_in(-1e6, 1e6)
+                }
+            })
+            .collect()
+    }
+
+    fn assert_bits_eq(got: Bf16, want: Bf16, ctx: &str) {
+        assert_eq!(
+            got.0, want.0,
+            "{ctx}: got {:#06x} want {:#06x}",
+            got.0, want.0
+        );
+    }
+
+    #[test]
+    fn narrow_slice_matches_scalar_bitwise() {
+        // Lengths straddle the AVX2 16-lane main loop, the SSE2 8-lane
+        // path, and the scalar tail (0..16 leftover elements).
+        for &len in &[
+            0usize, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 64, 100, 255, 256,
+        ] {
+            let src = simd_test_values(len, 41 + len as u64);
+            let mut dst = vec![Bf16::from_f32(0.0); len];
+            narrow_slice(&src, &mut dst);
+            for (i, (&d, &s)) in dst.iter().zip(src.iter()).enumerate() {
+                assert_bits_eq(d, Bf16::from_f32(s), &format!("len={len} i={i} x={s}"));
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_row_scatter_matches_per_chunk_narrow() {
+        // nr=8 exercises the fused SIMD scatter (even + odd chunk counts,
+        // including the pair-tail); nr=4 exercises the generic fallback.
+        for &(nr, chunks, stride) in &[
+            (8usize, 1usize, 8usize),
+            (8, 2, 16),
+            (8, 3, 1024),
+            (8, 32, 1024), // calibration-like: NC/NR tiles at kc*NR stride
+            (8, 5, 40),
+            (4, 3, 12),
+        ] {
+            let src = simd_test_values(nr * chunks, 71 + (nr * chunks) as u64);
+            let mut dst = vec![Bf16::from_f32(0.0); (chunks - 1) * stride + nr];
+            let mut want = dst.clone();
+            narrow_row_scatter(&src, &mut dst, nr, stride);
+            for (j, chunk) in src.chunks_exact(nr).enumerate() {
+                narrow_slice(chunk, &mut want[j * stride..j * stride + nr]);
+            }
+            for (i, (&d, &w)) in dst.iter().zip(want.iter()).enumerate() {
+                assert_bits_eq(
+                    d,
+                    w,
+                    &format!("nr={nr} chunks={chunks} stride={stride} i={i}"),
+                );
+            }
+        }
     }
 
     #[test]

@@ -27,10 +27,13 @@
 //! nondeterministic), and partials are combined by a stride-doubling
 //! pairwise tree whose shape depends only on the batch size.
 
-use crate::ops::dispatch;
-use crate::ops::gemm_blocked::{gemm_prepacked, pack_a_into, packed_a_len, PanelA, PanelB};
+use crate::bf16::{round_f32, Bf16};
+use crate::ops::dispatch::{self, GemmPrecision};
+use crate::ops::gemm_blocked::{
+    gemm_prepacked_as, pack_a_into_as, packed_a_len, PackElem, PanelA, PanelB,
+};
 use crate::ops::matmul::gemm_slice;
-use crate::scratch::{scratch_f32, scratch_f32_zeroed};
+use crate::scratch::{scratch_elems, scratch_f32, scratch_f32_zeroed};
 use crate::shape::{conv_out_dim, Shape};
 use crate::tensor::Tensor;
 use rayon::prelude::*;
@@ -173,6 +176,48 @@ pub fn col2im(g: &Conv2dGeom, patches: &[f32], dimg: &mut [f32]) {
 /// Dense conv2d forward: `y = conv(x, w)`, no bias (EfficientNet convs are
 /// bias-free; batch norm provides the shift).
 pub fn conv2d_forward(x: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Tensor {
+    conv2d_forward_p(x, w, stride, pad, GemmPrecision::F32)
+}
+
+/// Fused-path worker, generic over the pack-time element type: weights
+/// packed once (shared read-only across workers), each image's virtual
+/// patch matrix gathered straight into the kernel's B panels — no K×P
+/// materialization, one memory pass. With `E = Bf16` both operands are
+/// narrowed exactly once at pack/gather time and the MR×NR micro-kernel
+/// accumulates in f32 (§3.5's multiply-bf16 / accumulate-f32 contract).
+fn forward_fused<E: PackElem>(g: &Conv2dGeom, xs: &[f32], ws: &[f32], y: &mut [f32]) {
+    let (kk, p) = (g.k(), g.p());
+    let img_len = g.c_in * g.h * g.w;
+    let out_len = g.c_out * p;
+    let mut ap = scratch_elems::<E>(packed_a_len(g.c_out, kk));
+    pack_a_into_as::<E>(PanelA::RowMajor(ws), g.c_out, kk, &mut ap);
+    let ap = &*ap;
+    y.par_chunks_mut(out_len).enumerate().for_each(|(i, yout)| {
+        let img = &xs[i * img_len..(i + 1) * img_len];
+        gemm_prepacked_as::<E>(
+            g.c_out,
+            kk,
+            p,
+            ap,
+            PanelB::Patches { geom: g, img },
+            yout,
+            false,
+        );
+    });
+}
+
+/// Precision-aware dense conv2d forward. Kernel choice (blocked vs
+/// naive) stays a pure function of shape; `precision` independently
+/// selects the pack-time element type, so bf16 numerics are honored on
+/// both sides of the dispatch threshold (the naive side quantizes its
+/// operands into arena scratch first).
+pub fn conv2d_forward_p(
+    x: &Tensor,
+    w: &Tensor,
+    stride: usize,
+    pad: usize,
+    precision: GemmPrecision,
+) -> Tensor {
     let g = Conv2dGeom::infer(x.shape(), w.shape(), stride, pad);
     let mut y = Tensor::zeros(g.out_shape());
     let (kk, p) = (g.k(), g.p());
@@ -181,37 +226,39 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Tens
     let xs = x.data();
     let ws = w.data();
     if dispatch::blocked_profitable(g.c_out, kk, p) {
-        dispatch::record_dispatch(true);
-        // Fused path: pack W once (shared read-only across workers), then
-        // gather each image's virtual patch matrix directly into the
-        // kernel's B panels — no K×P materialization, one memory pass.
-        let mut ap = scratch_f32(packed_a_len(g.c_out, kk));
-        pack_a_into(PanelA::RowMajor(ws), g.c_out, kk, &mut ap);
-        let ap = &*ap;
-        y.data_mut()
-            .par_chunks_mut(out_len)
-            .enumerate()
-            .for_each(|(i, yout)| {
-                let img = &xs[i * img_len..(i + 1) * img_len];
-                gemm_prepacked(
-                    g.c_out,
-                    kk,
-                    p,
-                    ap,
-                    PanelB::Patches { geom: &g, img },
-                    yout,
-                    false,
-                );
-            });
+        dispatch::record_dispatch(precision, true);
+        match precision {
+            GemmPrecision::F32 => forward_fused::<f32>(&g, xs, ws, y.data_mut()),
+            GemmPrecision::Bf16 => forward_fused::<Bf16>(&g, xs, ws, y.data_mut()),
+        }
     } else {
-        dispatch::record_dispatch(false);
+        dispatch::record_dispatch(precision, false);
+        // Naive streaming path. For bf16 the weight matrix is quantized
+        // once per call and each patch matrix in place after gathering,
+        // so the result equals quantize-both-operands-then-f32 exactly.
+        let wq = match precision {
+            GemmPrecision::F32 => None,
+            GemmPrecision::Bf16 => {
+                let mut q = scratch_f32(ws.len());
+                for (d, &s) in q.iter_mut().zip(ws.iter()) {
+                    *d = round_f32(s);
+                }
+                Some(q)
+            }
+        };
+        let weights: &[f32] = wq.as_deref().unwrap_or(ws);
         y.data_mut()
             .par_chunks_mut(out_len)
             .enumerate()
             .for_each(|(i, yout)| {
                 let mut patches = scratch_f32(kk * p);
                 im2col(&g, &xs[i * img_len..(i + 1) * img_len], &mut patches);
-                gemm_slice(g.c_out, kk, p, ws, &patches, yout);
+                if precision == GemmPrecision::Bf16 {
+                    for v in patches.iter_mut() {
+                        *v = round_f32(*v);
+                    }
+                }
+                gemm_slice(g.c_out, kk, p, weights, &patches, yout);
             });
     }
     y
@@ -227,6 +274,23 @@ pub fn conv2d_backward(
     dy: &Tensor,
     stride: usize,
     pad: usize,
+) -> (Tensor, Tensor) {
+    conv2d_backward_p(x, w, dy, stride, pad, GemmPrecision::F32)
+}
+
+/// Precision-aware gradients of dense conv2d. Under bf16 both backward
+/// GEMMs (`Wᵀ·dY` and `dY·patchesᵀ`) narrow their operands at pack time
+/// — including the upstream gradient `dY`, matching the paper's setup
+/// where activations *and* their gradients travel in bf16 while every
+/// accumulation (the GEMM reductions, the pairwise partial tree, the
+/// parameter update) stays f32.
+pub fn conv2d_backward_p(
+    x: &Tensor,
+    w: &Tensor,
+    dy: &Tensor,
+    stride: usize,
+    pad: usize,
+    precision: GemmPrecision,
 ) -> (Tensor, Tensor) {
     let g = Conv2dGeom::infer(x.shape(), w.shape(), stride, pad);
     assert!(
@@ -253,7 +317,7 @@ pub fn conv2d_backward(
         .for_each(|(i, dximg)| {
             let dyi = &dys[i * out_len..(i + 1) * out_len];
             let mut dpatches = scratch_f32(kk * p);
-            dispatch::gemm_auto_at_b(kk, g.c_out, p, ws, dyi, &mut dpatches);
+            dispatch::gemm_auto_at_b_p(precision, kk, g.c_out, p, ws, dyi, &mut dpatches);
             dximg.iter_mut().for_each(|v| *v = 0.0);
             col2im(&g, &dpatches, dximg);
         });
@@ -272,7 +336,7 @@ pub fn conv2d_backward(
             let dyi = &dys[i * out_len..(i + 1) * out_len];
             let mut patches = scratch_f32(kk * p);
             im2col(&g, &xs[i * img_len..(i + 1) * img_len], &mut patches);
-            dispatch::gemm_auto_a_bt_acc(g.c_out, p, kk, dyi, &patches, slot);
+            dispatch::gemm_auto_a_bt_acc_p(precision, g.c_out, p, kk, dyi, &patches, slot);
         });
 
     // Pass 3 — stride-doubling pairwise tree over the image slots; the
@@ -732,6 +796,81 @@ mod tests {
             let ana = dw.data()[i];
             assert!(
                 (num - ana).abs() < 3e-2 * (1.0 + num.abs()),
+                "dw[{i}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    /// The bf16 forward narrows each gathered patch value and weight
+    /// exactly once, so it must be *bitwise* identical to quantizing the
+    /// whole input and weight tensors up front and running the f32 path
+    /// — on both sides of the dispatch threshold (fused patch-packing
+    /// with stride 2 + padding, and the naive streaming kernel).
+    #[test]
+    fn bf16_forward_equals_quantize_then_f32_bitwise() {
+        let mut rng = Rng::new(11);
+        for &(n, ci, h, w, co, k, s, p) in &[
+            (1, 8, 13, 13, 32, 3, 2, 1), // blocked: fused patches, stride 2
+            (1, 8, 12, 12, 32, 3, 1, 1), // blocked: fused patches, stride 1
+            (2, 3, 8, 8, 4, 3, 1, 1),    // naive: quantize-into-scratch
+        ] {
+            let x = rand_tensor(&mut rng, &[n, ci, h, w]);
+            let wt = rand_tensor(&mut rng, &[co, ci, k, k]);
+            let y16 = conv2d_forward_p(&x, &wt, s, p, GemmPrecision::Bf16);
+            let mut xq = x.clone();
+            crate::bf16::quantize_slice(xq.data_mut());
+            let mut wq = wt.clone();
+            crate::bf16::quantize_slice(wq.data_mut());
+            let yref = conv2d_forward(&xq, &wq, s, p);
+            assert_eq!(
+                y16.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                yref.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "cfg ({n},{ci},{h},{w},{co},{k},{s},{p})"
+            );
+        }
+    }
+
+    /// bf16 backward still passes the finite-difference check (looser
+    /// tolerance: operands carry 8 mantissa bits).
+    #[test]
+    fn bf16_backward_finite_difference() {
+        let mut rng = Rng::new(12);
+        let x = rand_tensor(&mut rng, &[2, 8, 10, 10]);
+        let wt = rand_tensor(&mut rng, &[16, 8, 3, 3]);
+        let (s, p) = (1, 1);
+        let y0 = conv2d_forward_p(&x, &wt, s, p, GemmPrecision::Bf16);
+        let gout = rand_tensor(&mut rng, y0.shape().dims());
+        let (dx, dw) = conv2d_backward_p(&x, &wt, &gout, s, p, GemmPrecision::Bf16);
+        let loss = |x: &Tensor, w: &Tensor| -> f64 {
+            conv2d_forward_p(x, w, s, p, GemmPrecision::Bf16)
+                .data()
+                .iter()
+                .zip(gout.data())
+                .map(|(&a, &b)| (a as f64) * (b as f64))
+                .sum()
+        };
+        let eps = 2e-2f32;
+        for &i in &[0usize, 101, x.numel() - 1] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = ((loss(&xp, &wt) - loss(&xm, &wt)) / (2.0 * eps as f64)) as f32;
+            let ana = dx.data()[i];
+            assert!(
+                (num - ana).abs() < 0.15 * (1.0 + num.abs()),
+                "dx[{i}]: numeric {num} vs analytic {ana}"
+            );
+        }
+        for &i in &[0usize, 77, wt.numel() - 1] {
+            let mut wp = wt.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = wt.clone();
+            wm.data_mut()[i] -= eps;
+            let num = ((loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps as f64)) as f32;
+            let ana = dw.data()[i];
+            assert!(
+                (num - ana).abs() < 0.15 * (1.0 + num.abs()),
                 "dw[{i}]: numeric {num} vs analytic {ana}"
             );
         }

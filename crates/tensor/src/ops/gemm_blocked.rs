@@ -23,28 +23,43 @@
 //!   from the image into the tile-major B panel, so the `K×P` patch matrix
 //!   of the im2col convolution is never materialized at all
 //!   ([`PanelB::Patches`]).
-//! - **A is packed exactly once per call** ([`pack_a_into`] into a
+//! - **Precision is a pack-time type parameter** ([`PackElem`]): the
+//!   panels store either `f32` (identity conversion) or [`Bf16`]
+//!   (round-to-nearest-even once per element, 2× panel density — §3.5's
+//!   MXU contract), and the **single** MR×NR micro-kernel widens each
+//!   packed element back to f32 and accumulates in f32. The bf16
+//!   instantiation is therefore bitwise-identical to quantizing both
+//!   operands through bf16 and running the f32 kernel — same values,
+//!   same summation order — which is exactly what the equivalence suite
+//!   pins. Source operands stay `&[f32]`; conversion happens exactly once
+//!   per element, at pack time, including the fused-conv patch gather.
+//! - **A is packed exactly once per call** ([`pack_a_into_as`] into a
 //!   [`crate::scratch`] buffer), not once per `jc` column block; callers
 //!   with a shared `A` across many GEMMs (conv weights across a batch) can
-//!   prepack once and call [`gemm_prepacked`] per image.
+//!   prepack once and call [`gemm_prepacked_as`] per image.
 //! - **Accumulating (`C += A·B`) variants** for gradient products: the
 //!   macro-kernel always merges with `+=`; the non-accumulating entry
 //!   points just zero `C` first.
 //! - **Zero steady-state allocation**: all pack buffers come from the
-//!   per-thread [`crate::scratch`] arena.
+//!   per-thread [`crate::scratch`] arena (each element type pools
+//!   separately).
 //! - **Deterministic summation order**: every `C` element accumulates its
 //!   `k` products in ascending `pc`-block order, and parallelism is over
 //!   disjoint row blocks — the result is a pure function of the inputs,
 //!   independent of worker scheduling, so SPMD replicas stay bitwise
-//!   symmetric.
+//!   symmetric. This holds per precision; the two precisions differ from
+//!   each other (bf16 rounds the operands), which is why kernel
+//!   *selection* ([`crate::ops::dispatch`]) must itself be deterministic.
 //!
 //! The unit tests pin every orientation against the naive reference;
-//! `crates/tensor/tests/kernel_equivalence.rs` fuzzes adversarial shapes;
+//! `crates/tensor/tests/kernel_equivalence.rs` fuzzes adversarial shapes
+//! and pins the bf16 family to the quantize-then-f32 oracle bitwise;
 //! `ets-bench`'s `bench_kernels` bin records the throughput trajectory in
 //! `BENCH_kernels.json`.
 
+use crate::bf16::Bf16;
 use crate::ops::conv::Conv2dGeom;
-use crate::scratch::scratch_f32;
+use crate::scratch::{scratch_elems, PoolElem};
 use rayon::prelude::*;
 
 /// Row-block size (A panel height). A multiple of [`MR`].
@@ -60,6 +75,93 @@ pub const NR: usize = 8;
 
 /// Minimum MAC count before the macro-kernel parallelizes its row blocks.
 const PAR_FLOP_THRESHOLD: usize = 64 * 1024;
+
+/// An element type the packing layer can store panels in. The conversion
+/// pair runs exactly once per packed element ([`PackElem::from_f32`] at
+/// pack time, [`PackElem::to_f32`] when the micro-kernel widens it back);
+/// accumulation is always f32.
+///
+/// Two instances exist: `f32` (identity — the classic kernel, bitwise
+/// unchanged from the pre-generic code) and [`Bf16`] (round-to-nearest-
+/// even storage at 2× density — the paper's bf16-multiply/f32-accumulate
+/// recipe).
+pub trait PackElem: PoolElem {
+    /// Human-readable precision tag ("f32" / "bf16") for benches and logs.
+    const NAME: &'static str;
+
+    /// Narrowing conversion applied once at pack time.
+    fn from_f32(x: f32) -> Self;
+
+    /// Widening conversion applied in the micro-kernel (exact for both
+    /// instances: bf16 values are a subset of f32).
+    fn to_f32(self) -> f32;
+
+    /// Bulk row conversion for the contiguous row-major B fast path.
+    /// Overridden by `f32` with a straight `copy_from_slice`.
+    #[inline]
+    fn pack_from_f32(src: &[f32], dst: &mut [Self]) {
+        debug_assert_eq!(src.len(), dst.len());
+        for (d, &s) in dst.iter_mut().zip(src.iter()) {
+            *d = Self::from_f32(s);
+        }
+    }
+
+    /// Converts one contiguous source row and scatters its `nr`-element
+    /// chunks to tile-major storage: chunk `j` lands at
+    /// `dst[j * tile_stride ..]`. The default per-chunk loop is a memcpy
+    /// scatter for f32; bf16 overrides it with a fused narrow-and-scatter
+    /// so the conversion pipelines over the whole row with no staging.
+    #[inline]
+    fn pack_row_scatter(src: &[f32], dst: &mut [Self], nr: usize, tile_stride: usize) {
+        debug_assert_eq!(src.len() % nr, 0);
+        for (j, chunk) in src.chunks_exact(nr).enumerate() {
+            Self::pack_from_f32(chunk, &mut dst[j * tile_stride..j * tile_stride + nr]);
+        }
+    }
+}
+
+impl PackElem for f32 {
+    const NAME: &'static str = "f32";
+
+    #[inline]
+    fn from_f32(x: f32) -> Self {
+        x
+    }
+
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self
+    }
+
+    #[inline]
+    fn pack_from_f32(src: &[f32], dst: &mut [f32]) {
+        dst.copy_from_slice(src);
+    }
+}
+
+impl PackElem for Bf16 {
+    const NAME: &'static str = "bf16";
+
+    #[inline]
+    fn from_f32(x: f32) -> Self {
+        Bf16::from_f32(x)
+    }
+
+    #[inline]
+    fn to_f32(self) -> f32 {
+        Bf16::to_f32(self)
+    }
+
+    #[inline]
+    fn pack_from_f32(src: &[f32], dst: &mut [Bf16]) {
+        crate::bf16::narrow_slice(src, dst);
+    }
+
+    #[inline]
+    fn pack_row_scatter(src: &[f32], dst: &mut [Bf16], nr: usize, tile_stride: usize) {
+        crate::bf16::narrow_row_scatter(src, dst, nr, tile_stride);
+    }
+}
 
 /// How the effective `A (m×k)` operand is stored.
 #[derive(Clone, Copy, Debug)]
@@ -89,19 +191,21 @@ pub enum PanelB<'a> {
 }
 
 /// Length of the packed-A buffer for an `m×k` operand: every row tile is
-/// padded to [`MR`] rows.
+/// padded to [`MR`] rows. Element-count, not bytes — a bf16 packed A
+/// holds the same count at half the bytes.
 #[inline]
 pub fn packed_a_len(m: usize, k: usize) -> usize {
     m.div_ceil(MR) * MR * k
 }
 
-/// Packs the effective `A (m×k)` into tile-major panels.
+/// Packs the effective `A (m×k)` into tile-major panels of element type
+/// `E`, narrowing each element once ([`PackElem::from_f32`]).
 ///
 /// Layout: for each depth block `pc` (step [`KC`], width `kc`), a region of
-/// `m_padded·kc` floats at offset `m_padded·pc` holding `m/MR` tiles of
+/// `m_padded·kc` elements at offset `m_padded·pc` holding `m/MR` tiles of
 /// `kc×MR` (column-of-tiles, row-within-tile fastest); rows past `m` are
 /// zero. The macro-kernel reads both packed operands at stride 1.
-pub fn pack_a_into(a: PanelA<'_>, m: usize, k: usize, ap: &mut [f32]) {
+pub fn pack_a_into_as<E: PackElem>(a: PanelA<'_>, m: usize, k: usize, ap: &mut [E]) {
     debug_assert_eq!(ap.len(), packed_a_len(m, k));
     let m_tiles = m.div_ceil(MR);
     let m_padded = m_tiles * MR;
@@ -121,11 +225,20 @@ pub fn pack_a_into(a: PanelA<'_>, m: usize, k: usize, ap: &mut [f32]) {
             for p in 0..kc {
                 let dst = &mut tile[p * MR..(p + 1) * MR];
                 for (ii, d) in dst.iter_mut().enumerate() {
-                    *d = if ii < im { at(i0 + ii, pc + p) } else { 0.0 };
+                    *d = if ii < im {
+                        E::from_f32(at(i0 + ii, pc + p))
+                    } else {
+                        E::default()
+                    };
                 }
             }
         }
     }
+}
+
+/// f32 instantiation of [`pack_a_into_as`] (the historical entry point).
+pub fn pack_a_into(a: PanelA<'_>, m: usize, k: usize, ap: &mut [f32]) {
+    pack_a_into_as::<f32>(a, m, k, ap);
 }
 
 /// One im2col patch value: row `r` of the virtual `K×P` matrix at output
@@ -150,9 +263,14 @@ fn patch_value(g: &Conv2dGeom, img: &[f32], r: usize, col: usize) -> f32 {
 
 /// Packs one `kc×nc` B panel (`pc..pc+kc` × `jc..jc+nc` of the effective
 /// B) into tile-major layout: `nc/NR` tiles of `kc×NR`, columns past `n`
-/// zero-padded.
+/// zero-padded. Narrowing to `E` happens here — for the `Patches` arm
+/// that means the patch matrix goes straight from image storage to narrow
+/// panels without an f32 staging copy.
+///
+/// Public so the bench harness can measure panel-pack throughput per
+/// precision in isolation; GEMM callers never need it directly.
 #[allow(clippy::too_many_arguments)] // panel geometry is irreducibly 2-D×2
-fn pack_b_panel(
+pub fn pack_b_panel<E: PackElem>(
     b: PanelB<'_>,
     k: usize,
     n: usize,
@@ -160,33 +278,47 @@ fn pack_b_panel(
     kc: usize,
     jc: usize,
     nc: usize,
-    bp: &mut [f32],
+    bp: &mut [E],
 ) {
     let _ = k;
     let b_tiles = nc.div_ceil(NR);
     debug_assert!(bp.len() >= b_tiles * kc * NR);
+    // Row-major B is packed row-by-row (p outer, tile inner): each source
+    // row `b[pc+p][jc..jc+nc]` is read *contiguously* — the stride-n
+    // tile-by-tile order turns every NR-chunk read into a cold cache line
+    // once n is large — and scattered into the (cache-resident) tiles.
+    // Each row's full tiles go through `pack_row_scatter` — a memcpy
+    // scatter for f32, a fused SIMD narrow-and-scatter for bf16 that
+    // pipelines the conversion over the whole row with no staging copy.
+    if let PanelB::RowMajor(s) = b {
+        let full = nc / NR;
+        for p in 0..kc {
+            let row = &s[(pc + p) * n + jc..(pc + p) * n + jc + nc];
+            E::pack_row_scatter(&row[..full * NR], &mut bp[p * NR..], NR, kc * NR);
+            if full < b_tiles {
+                let jn = nc - full * NR;
+                let dst = &mut bp[full * kc * NR + p * NR..full * kc * NR + (p + 1) * NR];
+                E::pack_from_f32(&row[full * NR..], &mut dst[..jn]);
+                dst[jn..].iter_mut().for_each(|v| *v = E::default());
+            }
+        }
+        return;
+    }
     for jt in 0..b_tiles {
         let j0 = jc + jt * NR;
         let jn = NR.min(nc - jt * NR);
         let tile = &mut bp[jt * kc * NR..(jt + 1) * kc * NR];
         match b {
-            PanelB::RowMajor(s) => {
-                for p in 0..kc {
-                    let src = &s[(pc + p) * n + j0..(pc + p) * n + j0 + jn];
-                    let dst = &mut tile[p * NR..(p + 1) * NR];
-                    dst[..jn].copy_from_slice(src);
-                    dst[jn..].iter_mut().for_each(|v| *v = 0.0);
-                }
-            }
+            PanelB::RowMajor(_) => unreachable!("handled by the row-major fast path above"),
             PanelB::Transposed(s) => {
                 let kk = s.len() / n; // stored n×k ⇒ row stride k
                 for p in 0..kc {
                     let dst = &mut tile[p * NR..(p + 1) * NR];
                     for (jj, d) in dst.iter_mut().enumerate() {
                         *d = if jj < jn {
-                            s[(j0 + jj) * kk + pc + p]
+                            E::from_f32(s[(j0 + jj) * kk + pc + p])
                         } else {
-                            0.0
+                            E::default()
                         };
                     }
                 }
@@ -196,9 +328,9 @@ fn pack_b_panel(
                     let dst = &mut tile[p * NR..(p + 1) * NR];
                     for (jj, d) in dst.iter_mut().enumerate() {
                         *d = if jj < jn {
-                            patch_value(geom, img, pc + p, j0 + jj)
+                            E::from_f32(patch_value(geom, img, pc + p, j0 + jj))
                         } else {
-                            0.0
+                            E::default()
                         };
                     }
                 }
@@ -209,18 +341,25 @@ fn pack_b_panel(
 
 /// The register-tiled inner product of one `MR×NR` micro-tile over a
 /// depth of `kc`: `acc += apanel(kc×MR)ᵀ ⊗ bpanel(kc×NR)` row by row.
-/// Branchless — non-finite operands propagate exactly as IEEE dictates.
+/// Panels hold `E`; each element widens to f32 ([`PackElem::to_f32`] —
+/// identity for f32) and the accumulators stay f32, so the bf16
+/// instantiation is bf16-multiply/f32-accumulate. Branchless —
+/// non-finite operands propagate exactly as IEEE dictates.
 #[inline]
-fn micro_kernel(kc: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+fn micro_kernel<E: PackElem>(kc: usize, apanel: &[E], bpanel: &[E], acc: &mut [[f32; NR]; MR]) {
     debug_assert_eq!(apanel.len(), kc * MR);
     debug_assert_eq!(bpanel.len(), kc * NR);
     for p in 0..kc {
         let arow = &apanel[p * MR..(p + 1) * MR];
         let brow = &bpanel[p * NR..(p + 1) * NR];
+        let mut bw = [0.0f32; NR];
+        for (w, &bv) in bw.iter_mut().zip(brow.iter()) {
+            *w = bv.to_f32();
+        }
         for (ii, accrow) in acc.iter_mut().enumerate() {
-            let av = arow[ii];
+            let av = arow[ii].to_f32();
             for (jj, slot) in accrow.iter_mut().enumerate() {
-                *slot += av * brow[jj];
+                *slot += av * bw[jj];
             }
         }
     }
@@ -228,7 +367,7 @@ fn micro_kernel(kc: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR];
 
 /// Macro-kernel over one row block of `C` for one packed B panel.
 #[allow(clippy::too_many_arguments)]
-fn macro_block(
+fn macro_block<E: PackElem>(
     m: usize,
     n: usize,
     kc: usize,
@@ -236,8 +375,8 @@ fn macro_block(
     nc: usize,
     ic: usize,
     mc: usize,
-    a_region: &[f32], // packed A for this pc block: m_tiles tiles of kc×MR
-    bp: &[f32],
+    a_region: &[E], // packed A for this pc block: m_tiles tiles of kc×MR
+    bp: &[E],
     c_block: &mut [f32], // rows ic..ic+mc of C
 ) {
     let _ = m;
@@ -264,18 +403,19 @@ fn macro_block(
     }
 }
 
-/// Blocked GEMM with a **prepacked** A (see [`pack_a_into`]): computes
+/// Blocked GEMM with a **prepacked** A (see [`pack_a_into_as`]): computes
 /// `C ⟵ C + A·B` when `accumulate`, else `C = A·B`. `B` is packed panel
 /// by panel from its [`PanelB`] source — including the fused-conv path
-/// that gathers im2col patches on the fly.
+/// that gathers im2col patches on the fly — narrowing to `E` as it goes.
+/// `C` is always f32.
 ///
 /// Callers with one `A` and many `B`s (conv weights across a batch) pack
-/// A once and amortize it; [`gemm_packed`] is the single-shot wrapper.
-pub fn gemm_prepacked(
+/// A once and amortize it; [`gemm_packed_as`] is the single-shot wrapper.
+pub fn gemm_prepacked_as<E: PackElem>(
     m: usize,
     k: usize,
     n: usize,
-    ap: &[f32],
+    ap: &[E],
     b: PanelB<'_>,
     c: &mut [f32],
     accumulate: bool,
@@ -305,7 +445,7 @@ pub fn gemm_prepacked(
     let parallel = m > MC && m * n * k >= PAR_FLOP_THRESHOLD;
     // One panel buffer reused across every (jc, pc) iteration.
     let max_nc_padded = NC.min(n.div_ceil(NR) * NR);
-    let mut bp = scratch_f32(KC.min(k) * max_nc_padded);
+    let mut bp = scratch_elems::<E>(KC.min(k) * max_nc_padded);
     for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
         for pc in (0..k).step_by(KC) {
@@ -333,9 +473,23 @@ pub fn gemm_prepacked(
     }
 }
 
-/// Blocked GEMM over arbitrary operand orientations: packs A into arena
-/// scratch, then runs [`gemm_prepacked`].
-pub fn gemm_packed(
+/// f32 instantiation of [`gemm_prepacked_as`] (the historical entry point).
+pub fn gemm_prepacked(
+    m: usize,
+    k: usize,
+    n: usize,
+    ap: &[f32],
+    b: PanelB<'_>,
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    gemm_prepacked_as::<f32>(m, k, n, ap, b, c, accumulate);
+}
+
+/// Blocked GEMM over arbitrary operand orientations at pack-time
+/// precision `E`: packs A into arena scratch, then runs
+/// [`gemm_prepacked_as`].
+pub fn gemm_packed_as<E: PackElem>(
     m: usize,
     k: usize,
     n: usize,
@@ -348,9 +502,22 @@ pub fn gemm_packed(
         PanelA::RowMajor(s) => assert_eq!(s.len(), m * k, "A dims"),
         PanelA::Transposed(s) => assert_eq!(s.len(), k * m, "A dims (stored k×m)"),
     }
-    let mut ap = scratch_f32(packed_a_len(m, k));
-    pack_a_into(a, m, k, &mut ap);
-    gemm_prepacked(m, k, n, &ap, b, c, accumulate);
+    let mut ap = scratch_elems::<E>(packed_a_len(m, k));
+    pack_a_into_as::<E>(a, m, k, &mut ap);
+    gemm_prepacked_as::<E>(m, k, n, &ap, b, c, accumulate);
+}
+
+/// f32 instantiation of [`gemm_packed_as`] (the historical entry point).
+pub fn gemm_packed(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: PanelA<'_>,
+    b: PanelB<'_>,
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    gemm_packed_as::<f32>(m, k, n, a, b, c, accumulate);
 }
 
 // ---------------------------------------------------------- entry points
@@ -401,9 +568,75 @@ pub fn gemm_blocked_a_bt_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32],
     gemm_packed(m, k, n, PanelA::RowMajor(a), PanelB::Transposed(b), c, true);
 }
 
+// ------------------------------------------------ bf16 entry points
+//
+// Same six orientations, panels packed as bf16 (operands rounded RNE at
+// pack time, f32 accumulation). C is f32.
+
+/// `c = bf16(a)(m×k) · bf16(b)(k×n)` with f32 accumulation.
+pub fn gemm_blocked_bf16(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_packed_as::<Bf16>(m, k, n, PanelA::RowMajor(a), PanelB::RowMajor(b), c, false);
+}
+
+/// `c += bf16(a)(m×k) · bf16(b)(k×n)`.
+pub fn gemm_blocked_bf16_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_packed_as::<Bf16>(m, k, n, PanelA::RowMajor(a), PanelB::RowMajor(b), c, true);
+}
+
+/// `c = bf16(a)ᵀ · bf16(b)` with `a` stored `k×m`.
+pub fn gemm_blocked_at_b_bf16(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_packed_as::<Bf16>(
+        m,
+        k,
+        n,
+        PanelA::Transposed(a),
+        PanelB::RowMajor(b),
+        c,
+        false,
+    );
+}
+
+/// `c += bf16(a)ᵀ · bf16(b)` with `a` stored `k×m`.
+pub fn gemm_blocked_at_b_bf16_acc(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    gemm_packed_as::<Bf16>(m, k, n, PanelA::Transposed(a), PanelB::RowMajor(b), c, true);
+}
+
+/// `c = bf16(a) · bf16(b)ᵀ` with `b` stored `n×k`.
+pub fn gemm_blocked_a_bt_bf16(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_packed_as::<Bf16>(
+        m,
+        k,
+        n,
+        PanelA::RowMajor(a),
+        PanelB::Transposed(b),
+        c,
+        false,
+    );
+}
+
+/// `c += bf16(a) · bf16(b)ᵀ` with `b` stored `n×k`.
+pub fn gemm_blocked_a_bt_bf16_acc(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    gemm_packed_as::<Bf16>(m, k, n, PanelA::RowMajor(a), PanelB::Transposed(b), c, true);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bf16::round_f32;
     use crate::ops::conv::im2col;
     use crate::rng::Rng;
     use crate::shape::Shape;
@@ -617,6 +850,30 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_operands_propagate_bf16() {
+        // bf16 narrowing preserves inf and NaN, so the same guarantees
+        // hold for the mixed-precision family.
+        let (m, k, n) = (MR + 1, KC + 3, NR + 2);
+        let mut a = vec![0.0f32; m * k];
+        let b = vec![1.0f32; k * n];
+        a[0] = f32::INFINITY;
+        let mut c = vec![0.0; m * n];
+        gemm_blocked_bf16(m, k, n, &a, &b, &mut c);
+        assert!(c[0].is_infinite());
+        let mut a2 = vec![1.0f32; m * k];
+        a2[k - 1] = f32::NAN;
+        gemm_blocked_bf16(m, k, n, &a2, &b, &mut c);
+        for (j, v) in c[..n].iter().enumerate() {
+            assert!(v.is_nan(), "c[0,{j}] must be NaN");
+        }
+        for i in 1..m {
+            for j in 0..n {
+                assert!(c[i * n + j].is_finite());
+            }
+        }
+    }
+
+    #[test]
     fn deterministic_bitwise_across_repeats() {
         let (m, k, n) = (130, 270, 140);
         let mut rng = Rng::new(9);
@@ -631,5 +888,56 @@ mod tests {
             c2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             "blocked GEMM must be bitwise reproducible"
         );
+        let mut c3 = vec![0.0; m * n];
+        gemm_blocked_bf16(m, k, n, &a, &b, &mut c3);
+        let mut c4 = vec![0.0; m * n];
+        gemm_blocked_bf16(m, k, n, &a, &b, &mut c4);
+        assert_eq!(
+            c3.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            c4.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "bf16 blocked GEMM must be bitwise reproducible"
+        );
+    }
+
+    #[test]
+    fn bf16_pack_equals_quantize_then_f32_pack() {
+        // Packing as Bf16 then widening must give exactly the values the
+        // f32 packer produces from pre-quantized operands — the structural
+        // half of the bitwise-oracle argument.
+        let (m, k) = (13, 150);
+        let mut rng = Rng::new(21);
+        let a = rand_vec(&mut rng, m * k);
+        let aq: Vec<f32> = a.iter().map(|&v| round_f32(v)).collect();
+
+        let mut ap16 = vec![Bf16::ZERO; packed_a_len(m, k)];
+        pack_a_into_as::<Bf16>(PanelA::RowMajor(&a), m, k, &mut ap16);
+        let mut apq = vec![0.0f32; packed_a_len(m, k)];
+        pack_a_into(PanelA::RowMajor(&aq), m, k, &mut apq);
+        for (w, &q) in ap16.iter().zip(apq.iter()) {
+            assert_eq!(w.to_f32().to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn bf16_blocked_equals_quantize_then_f32_blocked_bitwise() {
+        // The full oracle: the bf16 family must be bitwise-identical to
+        // quantizing both operands through bf16 and running the f32
+        // blocked kernel (same values, same summation order).
+        for &(m, k, n) in &[(5, 9, 3), (17, 13, 11), (MC + 1, KC + 5, NC + 1)] {
+            let mut rng = Rng::new(22);
+            let a = rand_vec(&mut rng, m * k);
+            let b = rand_vec(&mut rng, k * n);
+            let aq: Vec<f32> = a.iter().map(|&v| round_f32(v)).collect();
+            let bq: Vec<f32> = b.iter().map(|&v| round_f32(v)).collect();
+            let mut got = vec![0.0; m * n];
+            gemm_blocked_bf16(m, k, n, &a, &b, &mut got);
+            let mut want = vec![0.0; m * n];
+            gemm_blocked(m, k, n, &aq, &bq, &mut want);
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "({m},{k},{n})"
+            );
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! Per-thread scratch arena for the compute kernels.
 //!
 //! Every hot kernel in this crate (packed GEMM panels, im2col patch
-//! buffers, per-worker `dw` partials) needs short-lived `f32` buffers of
+//! buffers, per-worker `dw` partials) needs short-lived buffers of
 //! layer-dependent sizes. Allocating them per call puts the allocator in
 //! the middle of every training step; the arena instead keeps a small
 //! per-thread pool of reusable buffers, so steady-state steps touch the
@@ -10,20 +10,24 @@
 //!
 //! # Model
 //!
-//! - [`scratch_f32`] checks a buffer out of the calling thread's pool and
-//!   returns a [`ScratchVec`] guard; dropping the guard checks it back in.
-//!   Contents are **unspecified** (stale data from earlier checkouts) —
-//!   kernels that need zeros use [`scratch_f32_zeroed`] or zero the slots
-//!   they don't fully overwrite (the packing routines do exactly that for
-//!   their padded tails).
+//! - [`scratch_elems`] checks a buffer out of the calling thread's pool
+//!   for any [`PoolElem`] element type (`f32` for the classic kernels,
+//!   [`Bf16`] for the mixed-precision packed panels — stored at 2×
+//!   density) and returns a [`ScratchVec`] guard; dropping the guard
+//!   checks it back in. Contents are **unspecified** (stale data from
+//!   earlier checkouts) — kernels that need zeros use
+//!   [`scratch_f32_zeroed`] or zero the slots they don't fully overwrite
+//!   (the packing routines do exactly that for their padded tails).
 //! - Checkout picks the smallest pooled buffer whose capacity fits, so a
 //!   thread serving several layer shapes converges on one buffer per
-//!   "size class" instead of growing a single buffer forever.
+//!   "size class" instead of growing a single buffer forever. Each
+//!   element type has its own pool — an `f32` checkout can never hand
+//!   back a buffer another kernel is using as `Bf16` panels.
 //! - Any allocation or growth increments the global
 //!   [`scratch_reallocs`] self-check counter (the `scratch_reallocs`
 //!   idiom from `ets-collective`'s `CommHandle` and `ets-obs`'s event
-//!   arena). Tests snapshot the counter after a warmup step and pin the
-//!   delta to 0 over subsequent steps.
+//!   arena), regardless of element type. Tests snapshot the counter
+//!   after a warmup step and pin the delta to 0 over subsequent steps.
 //!
 //! # Why thread-local
 //!
@@ -38,10 +42,12 @@
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Pool capacity per thread: checked-in buffers beyond this are dropped.
-/// Generous — a training step needs at most a handful of concurrently
-/// live scratch buffers per thread (packed A, packed B panel, patches,
-/// `dw` partial).
+use crate::bf16::Bf16;
+
+/// Pool capacity per thread **per element type**: checked-in buffers
+/// beyond this are dropped. Generous — a training step needs at most a
+/// handful of concurrently live scratch buffers per thread (packed A,
+/// packed B panel, patches, `dw` partial).
 const POOL_MAX_BUFFERS: usize = 32;
 
 /// Total number of times any thread's pool had to allocate a new buffer
@@ -52,7 +58,8 @@ static SCRATCH_REALLOCS: AtomicU64 = AtomicU64::new(0);
 static SCRATCH_CHECKOUTS: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
-    static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+    static POOL_F32: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+    static POOL_BF16: RefCell<Vec<Vec<Bf16>>> = const { RefCell::new(Vec::new()) };
     /// Per-thread realloc tally. Tests that pin steady state to zero use
     /// this (immune to other test threads churning the global counter);
     /// the global atomics remain the process-wide number the obs registry
@@ -60,8 +67,28 @@ thread_local! {
     static THREAD_REALLOCS: Cell<u64> = const { Cell::new(0) };
 }
 
+/// An element type the scratch arena can pool. Implemented for `f32`
+/// (classic kernels) and [`Bf16`] (mixed-precision packed panels).
+pub trait PoolElem: Copy + Default + Send + Sync + 'static {
+    #[doc(hidden)]
+    fn with_pool<R>(f: impl FnOnce(&mut Vec<Vec<Self>>) -> R) -> R;
+}
+
+impl PoolElem for f32 {
+    fn with_pool<R>(f: impl FnOnce(&mut Vec<Vec<f32>>) -> R) -> R {
+        POOL_F32.with(|p| f(&mut p.borrow_mut()))
+    }
+}
+
+impl PoolElem for Bf16 {
+    fn with_pool<R>(f: impl FnOnce(&mut Vec<Vec<Bf16>>) -> R) -> R {
+        POOL_BF16.with(|p| f(&mut p.borrow_mut()))
+    }
+}
+
 /// Times the arena hit the allocator (fresh buffer or growth) since
-/// process start / the last [`reset_scratch_counters`]. Process-wide.
+/// process start / the last [`reset_scratch_counters`]. Process-wide,
+/// summed over every element type's pools.
 pub fn scratch_reallocs() -> u64 {
     SCRATCH_REALLOCS.load(Ordering::Relaxed)
 }
@@ -84,14 +111,14 @@ pub fn scratch_reallocs_local() -> u64 {
     THREAD_REALLOCS.with(|c| c.get())
 }
 
-/// A checked-out scratch buffer; `Deref`s to `[f32]` of exactly the
+/// A checked-out scratch buffer; `Deref`s to `[T]` of exactly the
 /// requested length. Returned to the dropping thread's pool on drop.
-pub struct ScratchVec {
-    buf: Vec<f32>,
+pub struct ScratchVec<T: PoolElem = f32> {
+    buf: Vec<T>,
     len: usize,
 }
 
-impl ScratchVec {
+impl<T: PoolElem> ScratchVec<T> {
     /// The requested length (the guard may own more capacity).
     #[inline]
     pub fn len(&self) -> usize {
@@ -103,35 +130,36 @@ impl ScratchVec {
         self.len == 0
     }
 
-    /// Zero the visible prefix.
+    /// Zero the visible prefix (element-type zero, `T::default()`).
     pub fn zero(&mut self) {
-        self.buf[..self.len].iter_mut().for_each(|v| *v = 0.0);
+        self.buf[..self.len]
+            .iter_mut()
+            .for_each(|v| *v = T::default());
     }
 }
 
-impl std::ops::Deref for ScratchVec {
-    type Target = [f32];
+impl<T: PoolElem> std::ops::Deref for ScratchVec<T> {
+    type Target = [T];
     #[inline]
-    fn deref(&self) -> &[f32] {
+    fn deref(&self) -> &[T] {
         &self.buf[..self.len]
     }
 }
 
-impl std::ops::DerefMut for ScratchVec {
+impl<T: PoolElem> std::ops::DerefMut for ScratchVec<T> {
     #[inline]
-    fn deref_mut(&mut self) -> &mut [f32] {
+    fn deref_mut(&mut self) -> &mut [T] {
         &mut self.buf[..self.len]
     }
 }
 
-impl Drop for ScratchVec {
+impl<T: PoolElem> Drop for ScratchVec<T> {
     fn drop(&mut self) {
         if self.buf.capacity() == 0 {
             return;
         }
         let buf = std::mem::take(&mut self.buf);
-        POOL.with(|p| {
-            let mut pool = p.borrow_mut();
+        T::with_pool(|pool| {
             if pool.len() < POOL_MAX_BUFFERS {
                 pool.push(buf);
             }
@@ -141,11 +169,11 @@ impl Drop for ScratchVec {
     }
 }
 
-/// Check a buffer of `len` floats out of the calling thread's pool.
-/// Contents are unspecified; every slot is a previously written finite or
-/// stale value (never uninitialized memory). Kernels must fully overwrite
-/// the slots they read back.
-pub fn scratch_f32(len: usize) -> ScratchVec {
+/// Check a buffer of `len` elements out of the calling thread's pool for
+/// element type `T`. Contents are unspecified; every slot is a previously
+/// written finite or stale value (never uninitialized memory). Kernels
+/// must fully overwrite the slots they read back.
+pub fn scratch_elems<T: PoolElem>(len: usize) -> ScratchVec<T> {
     SCRATCH_CHECKOUTS.fetch_add(1, Ordering::Relaxed);
     if len == 0 {
         return ScratchVec {
@@ -153,8 +181,7 @@ pub fn scratch_f32(len: usize) -> ScratchVec {
             len: 0,
         };
     }
-    let buf = POOL.with(|p| {
-        let mut pool = p.borrow_mut();
+    let buf = T::with_pool(|pool| {
         // Best fit: smallest capacity >= len.
         let mut best: Option<(usize, usize)> = None; // (idx, cap)
         for (i, b) in pool.iter().enumerate() {
@@ -185,18 +212,30 @@ pub fn scratch_f32(len: usize) -> ScratchVec {
         THREAD_REALLOCS.with(|c| c.set(c.get() + 1));
     }
     // Keep the vec's len == its initialized extent so stale contents are
-    // plain safe `f32`s; only ever grow it.
+    // plain safe values; only ever grow it.
     if buf.len() < len {
-        buf.resize(len, 0.0);
+        buf.resize(len, T::default());
     }
     ScratchVec { buf, len }
 }
 
+/// Check an `f32` buffer of `len` floats out of the calling thread's pool.
+pub fn scratch_f32(len: usize) -> ScratchVec<f32> {
+    scratch_elems::<f32>(len)
+}
+
 /// Like [`scratch_f32`] but with the visible prefix zeroed.
-pub fn scratch_f32_zeroed(len: usize) -> ScratchVec {
+pub fn scratch_f32_zeroed(len: usize) -> ScratchVec<f32> {
     let mut s = scratch_f32(len);
     s.zero();
     s
+}
+
+/// Check a [`Bf16`] buffer of `len` elements out of the calling thread's
+/// pool (half the bytes of the same-length `f32` checkout — the 2×
+/// panel-density win of the mixed-precision packed kernels).
+pub fn scratch_bf16(len: usize) -> ScratchVec<Bf16> {
+    scratch_elems::<Bf16>(len)
 }
 
 #[cfg(test)]
@@ -270,5 +309,37 @@ mod tests {
             assert_eq!(s.len(), 100);
         }
         assert_eq!(scratch_reallocs_local(), before);
+    }
+
+    #[test]
+    fn bf16_pool_is_separate_and_steady_state_flat() {
+        // Warm both pools at the same element count…
+        {
+            let _f = scratch_f32(2048);
+            let _b = scratch_bf16(2048);
+        }
+        let warm = scratch_reallocs_local();
+        // …then same-size checkouts of either type stay allocation-free:
+        // the pools are per-type, so neither checkout can steal (and
+        // shrink below fit) the other's buffer.
+        for _ in 0..50 {
+            let f = scratch_f32(2048);
+            let b = scratch_bf16(2048);
+            assert_eq!(f.len(), 2048);
+            assert_eq!(b.len(), 2048);
+        }
+        assert_eq!(
+            scratch_reallocs_local(),
+            warm,
+            "per-type pools must keep steady state allocation-free"
+        );
+    }
+
+    #[test]
+    fn bf16_zero_is_positive_zero() {
+        let mut s = scratch_bf16(8);
+        s.iter_mut().for_each(|v| *v = Bf16::ONE);
+        s.zero();
+        assert!(s.iter().all(|&v| v == Bf16::ZERO));
     }
 }

@@ -15,14 +15,19 @@
 //! fixed adversarial shape sets.
 #![allow(unused_imports, dead_code)]
 
+use ets_tensor::bf16::{quantize_slice, Bf16};
 use ets_tensor::ops::conv::{im2col, Conv2dGeom};
 use ets_tensor::ops::dispatch::{
-    blocked_profitable, gemm_auto, gemm_auto_a_bt, gemm_auto_a_bt_acc, gemm_auto_acc,
-    gemm_auto_at_b, gemm_auto_at_b_acc,
+    blocked_profitable, gemm_auto, gemm_auto_a_bt, gemm_auto_a_bt_acc, gemm_auto_a_bt_acc_p,
+    gemm_auto_a_bt_p, gemm_auto_acc, gemm_auto_acc_p, gemm_auto_at_b, gemm_auto_at_b_acc,
+    gemm_auto_at_b_acc_p, gemm_auto_at_b_p, gemm_auto_p, GemmPrecision,
 };
 use ets_tensor::ops::gemm_blocked::{
-    gemm_blocked, gemm_blocked_a_bt, gemm_blocked_a_bt_acc, gemm_blocked_acc, gemm_blocked_at_b,
-    gemm_blocked_at_b_acc, gemm_prepacked, pack_a_into, packed_a_len, PanelA, PanelB, KC, MR, NR,
+    gemm_blocked, gemm_blocked_a_bt, gemm_blocked_a_bt_acc, gemm_blocked_a_bt_bf16,
+    gemm_blocked_a_bt_bf16_acc, gemm_blocked_acc, gemm_blocked_at_b, gemm_blocked_at_b_acc,
+    gemm_blocked_at_b_bf16, gemm_blocked_at_b_bf16_acc, gemm_blocked_bf16, gemm_blocked_bf16_acc,
+    gemm_prepacked, gemm_prepacked_as, pack_a_into, pack_a_into_as, packed_a_len, PanelA, PanelB,
+    KC, MR, NR,
 };
 use ets_tensor::ops::matmul::{
     gemm_a_bt_slice, gemm_a_bt_slice_acc, gemm_at_b_slice, gemm_at_b_slice_acc, gemm_slice,
@@ -256,6 +261,268 @@ fn check_fused_conv(
     }
 }
 
+/// Round-to-nearest-even bf16 quantization of a copy of `v` — the operand
+/// preparation the bf16 oracle uses.
+fn quantized(v: &[f32]) -> Vec<f32> {
+    let mut q = v.to_vec();
+    quantize_slice(&mut q);
+    q
+}
+
+/// The bf16 contract: every bf16 entry point (packed and dispatched) must
+/// be **bitwise identical** to quantizing both operands up front and
+/// running the corresponding f32 kernel. The bf16 kernels narrow at pack
+/// time and widen inside the micro-kernel, so the arithmetic — f32
+/// multiply of bf16-rounded values, f32 accumulate in the same blocked
+/// order — is exactly the oracle's. Any divergence means the packing
+/// changed numerics beyond the one sanctioned rounding step.
+fn check_bf16_shape(seed: u64, m: usize, k: usize, n: usize) {
+    let a = rand_vec(seed, m * k);
+    let b = rand_vec(seed + 1, k * n);
+    let at = transpose(m, k, &a); // stored k×m
+    let bt = transpose(k, n, &b); // stored n×k
+    let (aq, bq) = (quantized(&a), quantized(&b));
+    let (atq, btq) = (quantized(&at), quantized(&bt));
+
+    // (name, bf16 candidate on raw operands, f32 oracle on quantized
+    // operands, accumulate?). The oracle for the dispatched entries is the
+    // f32 *dispatched* entry — both sides route by the same shape-pure
+    // predicate, so naive shapes compare naive-vs-naive and blocked
+    // shapes blocked-vs-blocked.
+    type Pair = (
+        &'static str,
+        Box<dyn Fn(&mut [f32])>,
+        Box<dyn Fn(&mut [f32])>,
+        bool,
+    );
+    let cases: Vec<Pair> = vec![
+        (
+            "blocked_bf16",
+            Box::new({
+                let (a, b) = (a.clone(), b.clone());
+                move |c: &mut [f32]| gemm_blocked_bf16(m, k, n, &a, &b, c)
+            }),
+            Box::new({
+                let (aq, bq) = (aq.clone(), bq.clone());
+                move |c: &mut [f32]| gemm_blocked(m, k, n, &aq, &bq, c)
+            }),
+            false,
+        ),
+        (
+            "blocked_bf16_acc",
+            Box::new({
+                let (a, b) = (a.clone(), b.clone());
+                move |c: &mut [f32]| gemm_blocked_bf16_acc(m, k, n, &a, &b, c)
+            }),
+            Box::new({
+                let (aq, bq) = (aq.clone(), bq.clone());
+                move |c: &mut [f32]| gemm_blocked_acc(m, k, n, &aq, &bq, c)
+            }),
+            true,
+        ),
+        (
+            "blocked_at_b_bf16",
+            Box::new({
+                let (at, b) = (at.clone(), b.clone());
+                move |c: &mut [f32]| gemm_blocked_at_b_bf16(m, k, n, &at, &b, c)
+            }),
+            Box::new({
+                let (atq, bq) = (atq.clone(), bq.clone());
+                move |c: &mut [f32]| gemm_blocked_at_b(m, k, n, &atq, &bq, c)
+            }),
+            false,
+        ),
+        (
+            "blocked_at_b_bf16_acc",
+            Box::new({
+                let (at, b) = (at.clone(), b.clone());
+                move |c: &mut [f32]| gemm_blocked_at_b_bf16_acc(m, k, n, &at, &b, c)
+            }),
+            Box::new({
+                let (atq, bq) = (atq.clone(), bq.clone());
+                move |c: &mut [f32]| gemm_blocked_at_b_acc(m, k, n, &atq, &bq, c)
+            }),
+            true,
+        ),
+        (
+            "blocked_a_bt_bf16",
+            Box::new({
+                let (a, bt) = (a.clone(), bt.clone());
+                move |c: &mut [f32]| gemm_blocked_a_bt_bf16(m, k, n, &a, &bt, c)
+            }),
+            Box::new({
+                let (aq, btq) = (aq.clone(), btq.clone());
+                move |c: &mut [f32]| gemm_blocked_a_bt(m, k, n, &aq, &btq, c)
+            }),
+            false,
+        ),
+        (
+            "blocked_a_bt_bf16_acc",
+            Box::new({
+                let (a, bt) = (a.clone(), bt.clone());
+                move |c: &mut [f32]| gemm_blocked_a_bt_bf16_acc(m, k, n, &a, &bt, c)
+            }),
+            Box::new({
+                let (aq, btq) = (aq.clone(), btq.clone());
+                move |c: &mut [f32]| gemm_blocked_a_bt_acc(m, k, n, &aq, &btq, c)
+            }),
+            true,
+        ),
+        (
+            "auto_p",
+            Box::new({
+                let (a, b) = (a.clone(), b.clone());
+                move |c: &mut [f32]| gemm_auto_p(GemmPrecision::Bf16, m, k, n, &a, &b, c)
+            }),
+            Box::new({
+                let (aq, bq) = (aq.clone(), bq.clone());
+                move |c: &mut [f32]| gemm_auto(m, k, n, &aq, &bq, c)
+            }),
+            false,
+        ),
+        (
+            "auto_acc_p",
+            Box::new({
+                let (a, b) = (a.clone(), b.clone());
+                move |c: &mut [f32]| gemm_auto_acc_p(GemmPrecision::Bf16, m, k, n, &a, &b, c)
+            }),
+            Box::new({
+                let (aq, bq) = (aq.clone(), bq.clone());
+                move |c: &mut [f32]| gemm_auto_acc(m, k, n, &aq, &bq, c)
+            }),
+            true,
+        ),
+        (
+            "auto_at_b_p",
+            Box::new({
+                let (at, b) = (at.clone(), b.clone());
+                move |c: &mut [f32]| gemm_auto_at_b_p(GemmPrecision::Bf16, m, k, n, &at, &b, c)
+            }),
+            Box::new({
+                let (atq, bq) = (atq.clone(), bq.clone());
+                move |c: &mut [f32]| gemm_auto_at_b(m, k, n, &atq, &bq, c)
+            }),
+            false,
+        ),
+        (
+            "auto_at_b_acc_p",
+            Box::new({
+                let (at, b) = (at.clone(), b.clone());
+                move |c: &mut [f32]| gemm_auto_at_b_acc_p(GemmPrecision::Bf16, m, k, n, &at, &b, c)
+            }),
+            Box::new({
+                let (atq, bq) = (atq.clone(), bq.clone());
+                move |c: &mut [f32]| gemm_auto_at_b_acc(m, k, n, &atq, &bq, c)
+            }),
+            true,
+        ),
+        (
+            "auto_a_bt_p",
+            Box::new({
+                let (a, bt) = (a.clone(), bt.clone());
+                move |c: &mut [f32]| gemm_auto_a_bt_p(GemmPrecision::Bf16, m, k, n, &a, &bt, c)
+            }),
+            Box::new({
+                let (aq, btq) = (aq.clone(), btq.clone());
+                move |c: &mut [f32]| gemm_auto_a_bt(m, k, n, &aq, &btq, c)
+            }),
+            false,
+        ),
+        (
+            "auto_a_bt_acc_p",
+            Box::new({
+                let (a, bt) = (a.clone(), bt.clone());
+                move |c: &mut [f32]| gemm_auto_a_bt_acc_p(GemmPrecision::Bf16, m, k, n, &a, &bt, c)
+            }),
+            Box::new({
+                let (aq, btq) = (aq.clone(), btq.clone());
+                move |c: &mut [f32]| gemm_auto_a_bt_acc(m, k, n, &aq, &btq, c)
+            }),
+            true,
+        ),
+    ];
+
+    for (name, bf16_run, oracle_run, acc) in &cases {
+        let init = if *acc { 0.625 } else { 7.5 }; // 0.625 is bf16-exact
+        let mut c_bf16 = vec![init; m * n];
+        bf16_run(&mut c_bf16);
+        let mut c_oracle = vec![init; m * n];
+        oracle_run(&mut c_oracle);
+        for (i, (&x, &y)) in c_bf16.iter().zip(&c_oracle).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "{name} ({m},{k},{n})[{i}]: bf16 {x} ({:#010x}) != quantize-then-f32 oracle {y} ({:#010x})",
+                x.to_bits(),
+                y.to_bits()
+            );
+        }
+    }
+}
+
+/// bf16 fused patch panel: packing bf16 patches straight out of the image
+/// must equal quantizing the image AND weights up front and running the
+/// f32 fused path — bitwise. Covers stride-2 + padded geometries where
+/// the gather hits the zero-padding fast paths (0.0 is bf16-exact, so
+/// padding cannot mask a quantization bug).
+fn check_bf16_fused_conv(
+    seed: u64,
+    c_in: usize,
+    hw: usize,
+    c_out: usize,
+    ksz: usize,
+    stride: usize,
+    pad: usize,
+) {
+    let xs = Shape::new(&[1, c_in, hw, hw]);
+    let wsh = Shape::new(&[c_out, c_in, ksz, ksz]);
+    let g = Conv2dGeom::infer(&xs, &wsh, stride, pad);
+    let (m, k, n) = (g.c_out, g.k(), g.p());
+    let img = rand_vec(seed, c_in * hw * hw);
+    let w = rand_vec(seed + 3, m * k);
+    let (img_q, w_q) = (quantized(&img), quantized(&w));
+
+    let mut ap_bf16 = vec![Bf16::from_f32(0.0); packed_a_len(m, k)];
+    pack_a_into_as::<Bf16>(PanelA::RowMajor(&w), m, k, &mut ap_bf16);
+    let mut c_bf16 = vec![0.0; m * n];
+    gemm_prepacked_as::<Bf16>(
+        m,
+        k,
+        n,
+        &ap_bf16,
+        PanelB::Patches {
+            geom: &g,
+            img: &img,
+        },
+        &mut c_bf16,
+        false,
+    );
+
+    let mut ap_f32 = vec![0.0; packed_a_len(m, k)];
+    pack_a_into(PanelA::RowMajor(&w_q), m, k, &mut ap_f32);
+    let mut c_oracle = vec![0.0; m * n];
+    gemm_prepacked(
+        m,
+        k,
+        n,
+        &ap_f32,
+        PanelB::Patches {
+            geom: &g,
+            img: &img_q,
+        },
+        &mut c_oracle,
+        false,
+    );
+
+    assert!(
+        c_bf16
+            .iter()
+            .zip(&c_oracle)
+            .all(|(x, y)| x.to_bits() == y.to_bits()),
+        "bf16 fused patch panel diverges from quantize-then-f32 oracle at \
+         c_in={c_in} hw={hw} c_out={c_out} k={ksz} s={stride} p={pad}"
+    );
+}
+
 // ------------------------------------------------- stub-safe fixed suites
 
 /// Adversarial shape set: micro-kernel boundaries (m<MR, n<NR), panel
@@ -297,6 +564,31 @@ fn fused_patch_panels_match_on_adversarial_geometries() {
     ];
     for (i, &(c_in, hw, c_out, ksz, s, p)) in geoms.iter().enumerate() {
         check_fused_conv(2000 + i as u64, c_in, hw, c_out, ksz, s, p);
+    }
+}
+
+#[test]
+fn bf16_entry_points_match_quantize_then_f32_oracle() {
+    for (i, &(m, k, n)) in ADVERSARIAL_SHAPES.iter().enumerate() {
+        check_bf16_shape(3000 + i as u64, m, k, n);
+    }
+}
+
+#[test]
+fn bf16_fused_patch_panels_match_quantized_oracle() {
+    // Same geometry set as the f32 fused suite — stride-2 + padded
+    // included, plus one past the dispatch threshold.
+    let geoms = [
+        (1, 5, 1, 3, 1, 1),
+        (2, 7, 3, 3, 2, 1),
+        (3, 9, 5, 3, 2, 0),
+        (4, 8, 6, 1, 1, 0),
+        (2, 11, 4, 5, 2, 2),
+        (8, 12, 16, 3, 1, 1),
+        (3, 13, 7, 3, 2, 1),
+    ];
+    for (i, &(c_in, hw, c_out, ksz, s, p)) in geoms.iter().enumerate() {
+        check_bf16_fused_conv(4000 + i as u64, c_in, hw, c_out, ksz, s, p);
     }
 }
 
@@ -355,5 +647,32 @@ proptest! {
     ) {
         prop_assume!(hw + 2 * pad >= ksz);
         check_fused_conv(seed, c_in, hw, c_out, ksz, stride, pad);
+    }
+
+    /// Random shapes: every bf16 entry point vs the quantize-then-f32
+    /// oracle, bitwise.
+    #[test]
+    fn bf16_family_matches_quantized_oracle(
+        seed in 0u64..10_000,
+        m in 1usize..70,
+        k in 1usize..200,
+        n in 1usize..70,
+    ) {
+        check_bf16_shape(seed, m, k, n);
+    }
+
+    /// Random conv geometries through the bf16 fused patch path.
+    #[test]
+    fn bf16_fused_patches_match_quantized_oracle(
+        seed in 0u64..10_000,
+        c_in in 1usize..5,
+        hw in 4usize..13,
+        c_out in 1usize..10,
+        ksz in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        prop_assume!(hw + 2 * pad >= ksz);
+        check_bf16_fused_conv(seed, c_in, hw, c_out, ksz, stride, pad);
     }
 }

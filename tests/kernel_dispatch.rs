@@ -11,7 +11,10 @@
 
 use efficientnet_at_scale::collective::Backend;
 use efficientnet_at_scale::efficientnet::ModelConfig;
-use efficientnet_at_scale::tensor::ops::dispatch::{dispatch_blocked_calls, dispatch_naive_calls};
+use efficientnet_at_scale::nn::Precision;
+use efficientnet_at_scale::tensor::ops::dispatch::{
+    dispatch_blocked_calls, dispatch_calls, dispatch_naive_calls, GemmPrecision,
+};
 use efficientnet_at_scale::train::{train, Experiment, TrainReport};
 
 /// A proxy experiment at resolution 32: big enough that the stem conv
@@ -78,6 +81,59 @@ fn losses_bitwise_identical_across_backends_with_blocked_kernels() {
             "world={world}: rerun not bitwise-deterministic"
         );
     }
+}
+
+/// §3.5 mixed precision rides the same shape-pure dispatch machinery,
+/// so it inherits every symmetry guarantee: bitwise-identical runs
+/// across {Tree, Ring, Auto} at each world size, and bitwise-identical
+/// reruns. The per-precision counters prove the bf16 packed kernels
+/// actually ran (a silent fallback to f32 would also pass the equality
+/// checks).
+#[test]
+fn mixed_precision_losses_bitwise_reproducible_across_backends() {
+    let mixed = |world: usize, backend: Backend| {
+        let mut e = res32(world, backend);
+        e.precision = Precision::MixedBf16;
+        e
+    };
+    let (bf16_blocked0, bf16_naive0) = dispatch_calls(GemmPrecision::Bf16);
+    for world in [2usize, 4] {
+        let base = train(&mixed(world, Backend::Tree));
+        assert!(base.final_loss().is_finite());
+        let base_fp = fingerprint(&base);
+        for backend in [Backend::Ring, Backend::Auto] {
+            let r = train(&mixed(world, backend));
+            assert_eq!(
+                fingerprint(&r),
+                base_fp,
+                "world={world}: {backend:?} diverged from Tree under mixed precision"
+            );
+        }
+        let again = train(&mixed(world, Backend::Tree));
+        assert_eq!(
+            fingerprint(&again),
+            base_fp,
+            "world={world}: mixed-precision rerun not bitwise-deterministic"
+        );
+    }
+    let (bf16_blocked, bf16_naive) = dispatch_calls(GemmPrecision::Bf16);
+    assert!(
+        bf16_blocked > bf16_blocked0,
+        "mixed-precision training must route conv GEMMs to the bf16 packed kernels"
+    );
+    assert!(
+        bf16_naive > bf16_naive0,
+        "small conv GEMMs under mixed precision must keep the (quantizing) naive path"
+    );
+    // And the policy must actually change the numerics: a mixed run's
+    // losses differ from the f32 run's (same config otherwise).
+    let f32_run = train(&res32(2, Backend::Tree));
+    let bf16_run = train(&mixed(2, Backend::Tree));
+    assert_ne!(
+        fingerprint(&f32_run),
+        fingerprint(&bf16_run),
+        "MixedBf16 produced bitwise-identical results to F32 — the knob is dead"
+    );
 }
 
 #[test]

@@ -1,0 +1,140 @@
+//! Offline stub of `criterion`: just enough surface for the workspace's
+//! benches to compile (and, under `cargo bench`, to run each measured
+//! closure once as a smoke pass — no statistics, no reports). Real
+//! measurements in the offline container come from `ets-bench`'s own
+//! bins (`bench_kernels`, `bench_smoke`), which carry their own timing.
+
+/// Opaque measurement-loop handle; `iter` runs the closure once.
+pub struct Bencher {
+    _private: (),
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let _ = routine();
+    }
+}
+
+/// Throughput annotation (recorded nowhere under the stub).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Benchmark identifier.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    pub id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: std::fmt::Display, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup {
+    _private: (),
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<I: Sized, F: FnMut(&mut Bencher)>(
+        &mut self,
+        _id: I,
+        mut f: F,
+    ) -> &mut Self {
+        f(&mut Bencher { _private: () });
+        self
+    }
+
+    pub fn bench_with_input<I: Sized, P, F: FnMut(&mut Bencher, &P)>(
+        &mut self,
+        _id: I,
+        input: &P,
+        mut f: F,
+    ) -> &mut Self {
+        f(&mut Bencher { _private: () }, input);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn measurement_time(self, _t: std::time::Duration) -> Self {
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, _name: S) -> BenchmarkGroup {
+        BenchmarkGroup { _private: () }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _name: &str, mut f: F) -> &mut Self {
+        f(&mut Bencher { _private: () });
+        self
+    }
+}
+
+/// Identity "optimizer barrier" (no-op under the stub).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Both criterion_group! forms: positional and `name/config/targets`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,3 @@
+//! Offline stub of `rand`. The workspace declares the dependency but all
+//! randomness flows through `ets-tensor::rng::Rng` (deterministic,
+//! explicitly seeded), so no API surface is required here.

@@ -1,0 +1,68 @@
+//! Offline stub of `rayon`: the parallel iterator adapters this
+//! workspace uses (`par_iter_mut`, `par_chunks_mut`), implemented as
+//! their sequential std equivalents.
+//!
+//! The workspace's kernels are written so that results are bitwise
+//! independent of scheduling (parallelism is only ever over disjoint
+//! output blocks), so the sequential fallback changes wall-clock, never
+//! numerics.
+
+pub mod prelude {
+    /// `par_iter_mut` on anything that views as a mutable slice.
+    pub trait IntoParallelRefMutIterator<'a> {
+        type Item: 'a;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Item = &'a mut T;
+        type Iter = std::slice::IterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Item = &'a mut T;
+        type Iter = std::slice::IterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    /// `into_par_iter` on owned collections and ranges.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: Iterator, T: IntoIterator<IntoIter = I, Item = I::Item>> IntoParallelIterator for T {
+        type Item = I::Item;
+        type Iter = I;
+        fn into_par_iter(self) -> I {
+            self.into_iter()
+        }
+    }
+
+    /// `par_chunks_mut` on mutable slices.
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+/// Sequential `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}

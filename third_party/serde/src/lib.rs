@@ -1,0 +1,11 @@
+//! Offline stub of `serde`: marker traits and the no-op derive macros.
+//! `#[derive(Serialize, Deserialize)]` compiles everywhere the workspace
+//! uses it; no generic code in the workspace bounds on these traits, so
+//! the derives don't need to emit impls.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait (never used as a bound in this workspace).
+pub trait SerializeTrait {}
+/// Marker trait (never used as a bound in this workspace).
+pub trait DeserializeTrait {}

@@ -1,0 +1,16 @@
+//! Offline stub of `serde_derive`: the derives parse (including
+//! `#[serde(...)]` helper attributes) and expand to nothing. The
+//! workspace never bounds a generic on `Serialize`/`Deserialize`, so no
+//! impls are required for the code to compile.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -8,16 +8,21 @@
 //! The document is schema-validated in-process before writing, and
 //! `--check-regression` turns the CI gates (blocked ≥ naive at the
 //! calibration shape; dispatched ≥ naive at every shape; bf16 pack ≥
-//! f32 pack; steady-state `scratch_reallocs_delta == 0`) into a
-//! non-zero exit.
+//! f32 pack; steady-state `scratch_reallocs_delta == 0`; parallel GEMM
+//! bitwise-equal + zero per-worker reallocs, and ≥ 1.6× sequential on
+//! multi-core hosts) into a non-zero exit.
+//!
+//! `ETS_GEMM_WORKERS=<n>` pins the worker-pool width the *row*
+//! measurements run under (CI sweeps {1, 4}); the parallel probe always
+//! compares 1 worker against its own fixed width regardless.
 //!
 //! ```sh
 //! cargo run --release -p ets-bench --bin bench_kernels [-- --out <dir>] [--smoke] [--check-regression]
 //! ```
 
 use ets_bench::kernels::{
-    check_kernel_regression, kernel_rows, kernels_json, pack_probe, steady_state_probe,
-    validate_kernels_json,
+    check_kernel_regression, kernel_rows, kernels_json, pack_probe, parallel_probe,
+    steady_state_probe, validate_kernels_json,
 };
 use std::path::PathBuf;
 
@@ -31,10 +36,17 @@ fn main() {
     let check = args.iter().any(|a| a == "--check-regression");
     std::fs::create_dir_all(&out_dir).expect("create output dir");
 
+    if let Ok(w) = std::env::var("ETS_GEMM_WORKERS") {
+        let w: usize = w.parse().expect("ETS_GEMM_WORKERS must be an integer");
+        ets_tensor::set_gemm_workers(w);
+        println!("gemm worker pool pinned to {w} (ETS_GEMM_WORKERS)");
+    }
+
     let rows = kernel_rows(smoke);
     let ss = steady_state_probe(smoke);
     let pack = pack_probe(smoke);
-    let doc = kernels_json(&rows, &ss, &pack, smoke);
+    let par = parallel_probe(smoke);
+    let doc = kernels_json(&rows, &ss, &pack, &par, smoke);
     validate_kernels_json(&doc).expect("BENCH_kernels.json failed schema validation");
 
     let path = out_dir.join("BENCH_kernels.json");
@@ -77,10 +89,25 @@ fn main() {
         ss.step_ms, ss.steps, ss.warmup_steps, ss.scratch_reallocs_delta,
         ss.dispatch_blocked, ss.dispatch_naive, ss.dispatch_blocked_bf16, ss.dispatch_naive_bf16
     );
+    println!(
+        "parallel @ calibration: seq {:.2} GFLOP/s, {} workers {:.2} GFLOP/s ({:.2}x), \
+         bitwise_equal {}, host cores {}, speedup gate {}",
+        par.seq_gflops,
+        par.workers,
+        par.par_gflops,
+        par.speedup(),
+        par.bitwise_equal,
+        par.host_cores,
+        if par.gate_enforced {
+            "enforced"
+        } else {
+            "skipped (single-core host)"
+        }
+    );
     println!("wrote {} ({} B)", path.display(), doc.len());
 
     if check {
-        if let Err(e) = check_kernel_regression(&rows, &ss, &pack) {
+        if let Err(e) = check_kernel_regression(&rows, &ss, &pack, &par) {
             eprintln!("kernel regression gate failed: {e}");
             std::process::exit(1);
         }

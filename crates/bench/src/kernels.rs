@@ -41,7 +41,10 @@ use ets_tensor::ops::gemm_blocked::{
     pack_a_into_as, pack_b_panel, packed_a_len, PanelA, PanelB, KC, NC,
 };
 use ets_tensor::ops::matmul::gemm_slice;
-use ets_tensor::{scratch_bf16, scratch_f32, scratch_reallocs, Rng, Shape, Tensor};
+use ets_tensor::{
+    gemm_workers, scratch_bf16, scratch_f32, scratch_reallocs, set_gemm_workers, worker_stats, Rng,
+    Shape, Tensor,
+};
 use std::time::Instant;
 
 /// Label of the ISSUE calibration shape (CI regression gate).
@@ -106,6 +109,105 @@ pub struct PackProbe {
     pub reps: usize,
     pub f32_melems_per_s: f64,
     pub bf16_melems_per_s: f64,
+}
+
+/// Deterministic-parallelism probe at the calibration shape: the same
+/// blocked GEMM run sequentially (1 worker) and on a multi-worker tile
+/// grid. The tile grid is a pure function of shape with single-owner
+/// tiles, so the parallel output must be **bitwise equal** to the
+/// sequential one; the probe also pins each worker's scratch arena to
+/// zero allocator hits after warmup.
+#[derive(Clone, Debug)]
+pub struct ParallelProbe {
+    /// Worker-pool width of the parallel measurement.
+    pub workers: usize,
+    /// `std::thread::available_parallelism()` of the measuring host.
+    pub host_cores: usize,
+    pub reps: usize,
+    pub seq_gflops: f64,
+    pub par_gflops: f64,
+    /// Parallel output bitwise equal to sequential (must always hold).
+    pub bitwise_equal: bool,
+    /// Per-worker allocator hits during the measured (post-warmup) reps;
+    /// the steady-state contract requires every entry to be 0.
+    pub worker_realloc_deltas: Vec<u64>,
+    /// The ≥[`PARALLEL_SPEEDUP_FLOOR`] speedup gate is only meaningful
+    /// when the host can actually run workers concurrently.
+    pub gate_enforced: bool,
+}
+
+impl ParallelProbe {
+    /// parallel / sequential throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        if self.seq_gflops > 0.0 {
+            self.par_gflops / self.seq_gflops
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Minimum parallel-over-sequential speedup at the calibration shape,
+/// enforced on hosts with ≥ 2 cores.
+pub const PARALLEL_SPEEDUP_FLOOR: f64 = 1.6;
+
+/// Worker count of the parallel half of [`parallel_probe`].
+pub const PARALLEL_PROBE_WORKERS: usize = 4;
+
+/// Runs the deterministic-parallelism probe at the calibration shape.
+/// Restores the process-wide worker-pool width it found on entry.
+pub fn parallel_probe(smoke: bool) -> ParallelProbe {
+    let (m, k, n) = CALIBRATION_MKN;
+    let flops = 2 * (m * k * n) as u64;
+    let reps = if smoke { 3 } else { 10 };
+    let mut rng = Rng::new(101);
+    let mut a = vec![0.0f32; m * k];
+    rng.fill_uniform(&mut a, -1.0, 1.0);
+    let mut b = vec![0.0f32; k * n];
+    rng.fill_uniform(&mut b, -1.0, 1.0);
+    let mut c_seq = vec![0.0f32; m * n];
+    let mut c_par = vec![0.0f32; m * n];
+
+    let prev_workers = gemm_workers();
+    set_gemm_workers(1);
+    let seq_gflops = time_gflops(flops, reps, || gemm_blocked(m, k, n, &a, &b, &mut c_seq));
+
+    set_gemm_workers(PARALLEL_PROBE_WORKERS);
+    // Warmup primes every worker's scratch arena; reallocs after this
+    // point break the steady-state contract.
+    gemm_blocked(m, k, n, &a, &b, &mut c_par);
+    let reallocs_before: Vec<u64> = worker_stats().iter().map(|s| s.scratch_reallocs).collect();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        gemm_blocked(m, k, n, &a, &b, &mut c_par);
+        best = best.min(t0.elapsed().as_secs_f64().max(1e-9));
+    }
+    let par_gflops = flops as f64 / best / 1e9;
+    let worker_realloc_deltas: Vec<u64> = worker_stats()
+        .iter()
+        .zip(&reallocs_before)
+        .map(|(s, &b0)| s.scratch_reallocs - b0)
+        .collect();
+    set_gemm_workers(prev_workers.max(1));
+
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let bitwise_equal = c_seq
+        .iter()
+        .zip(&c_par)
+        .all(|(x, y)| x.to_bits() == y.to_bits());
+    ParallelProbe {
+        workers: PARALLEL_PROBE_WORKERS,
+        host_cores,
+        reps,
+        seq_gflops,
+        par_gflops,
+        bitwise_equal,
+        worker_realloc_deltas,
+        gate_enforced: host_cores >= 2,
+    }
 }
 
 /// Steady-state training-step probe results.
@@ -468,11 +570,12 @@ pub fn kernels_json(
     rows: &[KernelBenchRow],
     ss: &SteadyState,
     pack: &PackProbe,
+    par: &ParallelProbe,
     smoke: bool,
 ) -> String {
     let mut w = JsonWriter::with_capacity(4096);
     w.begin_object()
-        .field_str("schema", "bench_kernels_v2")
+        .field_str("schema", "bench_kernels_v3")
         .field_str("mode", if smoke { "smoke" } else { "full" })
         .key("rows")
         .begin_array();
@@ -510,6 +613,22 @@ pub fn kernels_json(
         .field_f64("f32_melems_per_s", pack.f32_melems_per_s)
         .field_f64("bf16_melems_per_s", pack.bf16_melems_per_s)
         .end_object()
+        .key("parallel")
+        .begin_object()
+        .field_u64("workers", par.workers as u64)
+        .field_u64("host_cores", par.host_cores as u64)
+        .field_u64("reps", par.reps as u64)
+        .field_f64("seq_gflops", par.seq_gflops)
+        .field_f64("par_gflops", par.par_gflops)
+        .field_f64("speedup", par.speedup())
+        .field_bool("bitwise_equal", par.bitwise_equal)
+        .field_bool("gate_enforced", par.gate_enforced);
+    w.key("worker_realloc_deltas").begin_array();
+    for &d in &par.worker_realloc_deltas {
+        w.u64_value(d);
+    }
+    w.end_array()
+        .end_object()
         .key("steady_state")
         .begin_object()
         .field_u64("warmup_steps", ss.warmup_steps as u64)
@@ -530,8 +649,8 @@ pub fn kernels_json(
 /// not a silent gap in the perf trajectory.
 pub fn validate_kernels_json(doc: &str) -> Result<(), String> {
     let v = parse_json(doc)?;
-    if v.get("schema").and_then(Value::as_str) != Some("bench_kernels_v2") {
-        return Err("schema must be bench_kernels_v2".into());
+    if v.get("schema").and_then(Value::as_str) != Some("bench_kernels_v3") {
+        return Err("schema must be bench_kernels_v3".into());
     }
     match v.get("mode").and_then(Value::as_str) {
         Some("smoke") | Some("full") => {}
@@ -593,6 +712,35 @@ pub fn validate_kernels_json(doc: &str) -> Result<(), String> {
             _ => return Err(format!("pack.{key} must be a finite non-negative number")),
         }
     }
+    let par = v.get("parallel").ok_or("parallel probe missing")?;
+    for key in [
+        "workers",
+        "host_cores",
+        "seq_gflops",
+        "par_gflops",
+        "speedup",
+    ] {
+        match par.get(key).and_then(Value::as_f64) {
+            Some(x) if x.is_finite() && x >= 0.0 => {}
+            _ => {
+                return Err(format!(
+                    "parallel.{key} must be a finite non-negative number"
+                ))
+            }
+        }
+    }
+    for key in ["bitwise_equal", "gate_enforced"] {
+        if !matches!(par.get(key), Some(Value::Bool(_))) {
+            return Err(format!("parallel.{key} must be a boolean"));
+        }
+    }
+    if par
+        .get("worker_realloc_deltas")
+        .and_then(Value::as_arr)
+        .is_none()
+    {
+        return Err("parallel.worker_realloc_deltas must be an array".into());
+    }
     let ss = v.get("steady_state").ok_or("steady_state missing")?;
     for key in [
         "warmup_steps",
@@ -623,12 +771,43 @@ const AUTO_NOISE_FLOOR: f64 = 0.90;
 ///    protects: a shape the blocked kernel loses must route to naive;
 /// 3. the bf16 pack must not be slower than the f32 pack (it writes half
 ///    the bytes; losing means the narrowing went quadratic somewhere);
-/// 4. the steady state must be allocation-free — in both precisions.
+/// 4. the steady state must be allocation-free — in both precisions;
+/// 5. the parallel macro-kernel must be **bitwise equal** to sequential
+///    and keep every worker's scratch arena allocation-free — always —
+///    and reach ≥ [`PARALLEL_SPEEDUP_FLOOR`]× sequential at the
+///    calibration shape when the host has ≥ 2 cores (a 1-core container
+///    can time-slice but not speed up, so only the correctness half of
+///    the claim is checkable there).
 pub fn check_kernel_regression(
     rows: &[KernelBenchRow],
     ss: &SteadyState,
     pack: &PackProbe,
+    par: &ParallelProbe,
 ) -> Result<(), String> {
+    if !par.bitwise_equal {
+        return Err(format!(
+            "parallel GEMM ({} workers) diverged bitwise from sequential at the calibration shape",
+            par.workers
+        ));
+    }
+    if par.worker_realloc_deltas.iter().any(|&d| d != 0) {
+        return Err(format!(
+            "parallel GEMM workers hit the allocator after warmup: {:?}; the per-worker \
+             arena contract requires all zeros",
+            par.worker_realloc_deltas
+        ));
+    }
+    if par.gate_enforced && par.speedup() < PARALLEL_SPEEDUP_FLOOR {
+        return Err(format!(
+            "parallel GEMM speedup {:.2}x below the {PARALLEL_SPEEDUP_FLOOR}x floor at the \
+             calibration shape ({} workers on {} cores): {:.2} vs {:.2} GFLOP/s",
+            par.speedup(),
+            par.workers,
+            par.host_cores,
+            par.par_gflops,
+            par.seq_gflops
+        ));
+    }
     let cal = rows
         .iter()
         .find(|r| r.calibration)
@@ -700,6 +879,19 @@ mod tests {
         }
     }
 
+    fn par_probe() -> ParallelProbe {
+        ParallelProbe {
+            workers: PARALLEL_PROBE_WORKERS,
+            host_cores: 8,
+            reps: 2,
+            seq_gflops: 10.0,
+            par_gflops: 25.0,
+            bitwise_equal: true,
+            worker_realloc_deltas: vec![0; PARALLEL_PROBE_WORKERS],
+            gate_enforced: true,
+        }
+    }
+
     #[test]
     fn json_round_trips_and_validates() {
         let rows = vec![
@@ -720,9 +912,9 @@ mod tests {
             dispatch_blocked_bf16: 6,
             dispatch_naive_bf16: 2,
         };
-        let doc = kernels_json(&rows, &ss, &probe(), true);
+        let doc = kernels_json(&rows, &ss, &probe(), &par_probe(), true);
         validate_kernels_json(&doc).expect("valid document");
-        check_kernel_regression(&rows, &ss, &probe()).expect("no regression");
+        check_kernel_regression(&rows, &ss, &probe(), &par_probe()).expect("no regression");
     }
 
     #[test]
@@ -741,12 +933,12 @@ mod tests {
             dispatch_blocked_bf16: 0,
             dispatch_naive_bf16: 0,
         };
-        let doc = kernels_json(&rows, &ss, &probe(), true);
+        let doc = kernels_json(&rows, &ss, &probe(), &par_probe(), true);
         assert!(validate_kernels_json(&doc).is_err());
-        // v1 documents no longer validate.
+        // Older schema versions no longer validate.
         let rows2 = vec![row(CALIBRATION_LABEL, 1.0, 2.0, true)];
-        let doc2 = kernels_json(&rows2, &ss, &probe(), true)
-            .replace("bench_kernels_v2", "bench_kernels_v1");
+        let doc2 = kernels_json(&rows2, &ss, &probe(), &par_probe(), true)
+            .replace("bench_kernels_v3", "bench_kernels_v2");
         assert!(validate_kernels_json(&doc2).is_err());
     }
 
@@ -764,18 +956,18 @@ mod tests {
             dispatch_blocked_bf16: 0,
             dispatch_naive_bf16: 0,
         };
-        assert!(check_kernel_regression(&rows, &ss, &probe()).is_err());
+        assert!(check_kernel_regression(&rows, &ss, &probe(), &par_probe()).is_err());
         let rows_ok = vec![KernelBenchRow {
             blocked_gflops: 4.0,
             auto_gflops: 4.0,
             ..rows[0].clone()
         }];
-        assert!(check_kernel_regression(&rows_ok, &ss, &probe()).is_ok());
+        assert!(check_kernel_regression(&rows_ok, &ss, &probe(), &par_probe()).is_ok());
         let ss_bad = SteadyState {
             scratch_reallocs_delta: 3,
             ..ss.clone()
         };
-        assert!(check_kernel_regression(&rows_ok, &ss_bad, &probe()).is_err());
+        assert!(check_kernel_regression(&rows_ok, &ss_bad, &probe(), &par_probe()).is_err());
     }
 
     #[test]
@@ -798,10 +990,10 @@ mod tests {
             row("b0_mb_expand_1x1_56px", 10.0, 8.0, false),
         ];
         bad_auto[1].auto_gflops = 8.0; // routed blocked, which loses
-        let err = check_kernel_regression(&bad_auto, &ss, &probe()).unwrap_err();
+        let err = check_kernel_regression(&bad_auto, &ss, &probe(), &par_probe()).unwrap_err();
         assert!(err.contains("b0_mb_expand_1x1_56px"), "{err}");
         bad_auto[1].auto_gflops = 9.9; // routed naive: within noise floor
-        assert!(check_kernel_regression(&bad_auto, &ss, &probe()).is_ok());
+        assert!(check_kernel_regression(&bad_auto, &ss, &probe(), &par_probe()).is_ok());
 
         // bf16 pack slower than f32 pack.
         let slow_pack = PackProbe {
@@ -810,7 +1002,7 @@ mod tests {
             ..probe()
         };
         let rows = vec![row(CALIBRATION_LABEL, 1.0, 2.0, true)];
-        let err = check_kernel_regression(&rows, &ss, &slow_pack).unwrap_err();
+        let err = check_kernel_regression(&rows, &ss, &slow_pack, &par_probe()).unwrap_err();
         assert!(err.contains("bf16 panel pack"), "{err}");
     }
 }

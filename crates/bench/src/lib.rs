@@ -221,6 +221,7 @@ pub fn step_time_summaries() -> Vec<RunSummary> {
             steps: 0,
             step_ms: r.step_ms,
             all_reduce_pct: r.allreduce_pct,
+            overlap_pct: 0.0, // the analytic model prices a serialized exchange
             bn_sync_pct: 0.0,
             images_per_sec: r.throughput_img_per_ms * 1e3,
             total_virtual_s: r.step_ms * 1e-3,
@@ -244,6 +245,11 @@ pub fn smoke_experiment() -> Experiment {
     e.eval_every = 2;
     e.faults.checkpoint_every_steps = 2;
     e.faults.restart_delay_s = 3.0;
+    // Exercise the overlapped exchange under faults: small buckets give
+    // the tiny proxy model several buckets to overlap (one default-size
+    // bucket would leave nothing to hide).
+    e.overlap_all_reduce = true;
+    e.grad_bucket_elems = Some(2048);
     e.faults.events = vec![
         FaultEvent {
             at_s: 1.0,

@@ -7,8 +7,8 @@
 //! exercised them and the `BENCH_*` perf trajectory stayed empty.
 
 use ets_bench::kernels::{
-    check_kernel_regression, kernel_rows, kernels_json, pack_probe, steady_state_probe,
-    validate_kernels_json, CALIBRATION_LABEL, CALIBRATION_MKN,
+    check_kernel_regression, kernel_rows, kernels_json, pack_probe, parallel_probe,
+    steady_state_probe, validate_kernels_json, CALIBRATION_LABEL, CALIBRATION_MKN,
 };
 use ets_bench::{
     figure1_json, figure1_points, run_smoke, scaling_json, scaling_tables, step_time_summaries,
@@ -131,6 +131,21 @@ fn smoke_path_emits_valid_artifacts() {
     let measured = runs.last().unwrap();
     assert!(measured.get("step_ms").unwrap().as_f64().unwrap() > 0.0);
     assert!(measured.get("steps").unwrap().as_f64().unwrap() > 0.0);
+    // The measured run uses the overlapped exchange: some bucket time must
+    // be hidden behind backward, and the exposed share must come in
+    // strictly below the serialized baseline (which exposes everything).
+    assert!(
+        measured.get("overlap_pct").unwrap().as_f64().unwrap() > 0.0,
+        "measured run must hide some all-reduce time behind backward"
+    );
+    let buckets = &art.report.all_reduce_buckets;
+    assert!(buckets.overlapped_rounds > 0, "overlap path never taken");
+    assert!(
+        buckets.exposed_seconds < buckets.total_seconds(),
+        "exposed {} must be strictly below serialized-baseline {}",
+        buckets.exposed_seconds,
+        buckets.total_seconds()
+    );
     // The faulted run's virtual overhead shows up in the decomposition.
     let overhead = measured.get("overhead").unwrap();
     assert!(overhead.get("restart_s").unwrap().as_f64().unwrap() > 0.0);
@@ -173,13 +188,14 @@ fn kernel_bench_smoke_emits_valid_json_and_allocation_free_steady_state() {
     let rows = kernel_rows(true);
     let ss = steady_state_probe(true);
     let pack = pack_probe(true);
-    let doc = kernels_json(&rows, &ss, &pack, true);
+    let par = parallel_probe(true);
+    let doc = kernels_json(&rows, &ss, &pack, &par, true);
     validate_kernels_json(&doc).expect("BENCH_kernels.json schema");
 
     let v = parse_json(&doc).expect("kernels JSON must parse");
     assert_eq!(
         v.get("schema").unwrap().as_str().unwrap(),
-        "bench_kernels_v2"
+        "bench_kernels_v3"
     );
     assert_eq!(v.get("mode").unwrap().as_str().unwrap(), "smoke");
 
@@ -227,13 +243,37 @@ fn kernel_bench_smoke_emits_valid_json_and_allocation_free_steady_state() {
     );
     assert!(ssv.get("step_ms").unwrap().as_f64().unwrap() > 0.0);
 
+    // Parallel probe: bitwise determinism and zero per-worker reallocs
+    // hold on any host, including the single-core CI fallback where the
+    // speedup half of the gate is skipped.
+    let pp = v.get("parallel").unwrap();
+    assert_eq!(
+        pp.get("workers").unwrap().as_f64().unwrap() as usize,
+        par.workers
+    );
+    assert!(
+        pp.get("bitwise_equal").unwrap().as_bool().unwrap(),
+        "parallel GEMM must be bitwise equal to sequential"
+    );
+    let deltas = pp.get("worker_realloc_deltas").unwrap().as_arr().unwrap();
+    assert_eq!(deltas.len(), par.worker_realloc_deltas.len());
+    for d in deltas {
+        assert_eq!(
+            d.as_f64().unwrap(),
+            0.0,
+            "post-warmup parallel reps must not grow any worker's scratch arena"
+        );
+    }
+    assert!(pp.get("seq_gflops").unwrap().as_f64().unwrap() > 0.0);
+    assert!(pp.get("par_gflops").unwrap().as_f64().unwrap() > 0.0);
+
     // The CI regression gate passes on a healthy optimized build. The
     // throughput half of the gate is meaningless without optimizations
     // (unoptimized blocked kernels lose to naive on pure call overhead),
     // so only assert it when this test itself runs under `--release` —
     // CI's `bench-kernels` job runs the bin in release mode regardless.
     if !cfg!(debug_assertions) {
-        check_kernel_regression(&rows, &ss, &pack).expect("regression gate must pass");
+        check_kernel_regression(&rows, &ss, &pack, &par).expect("regression gate must pass");
     }
 }
 
@@ -246,6 +286,7 @@ fn kernel_regression_gate_rejects_bad_rows() {
     let rows = kernel_rows(true);
     let ss = steady_state_probe(true);
     let pack = pack_probe(true);
+    let par = parallel_probe(true);
 
     let mut slow = rows.clone();
     let cal = slow
@@ -254,28 +295,58 @@ fn kernel_regression_gate_rejects_bad_rows() {
         .expect("calibration row");
     cal.blocked_gflops = cal.naive_gflops * 0.5;
     assert!(
-        check_kernel_regression(&slow, &ss, &pack).is_err(),
+        check_kernel_regression(&slow, &ss, &pack, &par).is_err(),
         "gate must reject blocked < naive at the calibration shape"
     );
 
     let mut routed_wrong = rows.clone();
     routed_wrong[0].auto_gflops = routed_wrong[0].naive_gflops * 0.5;
     assert!(
-        check_kernel_regression(&routed_wrong, &ss, &pack).is_err(),
+        check_kernel_regression(&routed_wrong, &ss, &pack, &par).is_err(),
         "gate must reject a dispatched path slower than naive"
     );
 
     let mut slow_pack = pack.clone();
     slow_pack.bf16_melems_per_s = slow_pack.f32_melems_per_s * 0.5;
     assert!(
-        check_kernel_regression(&rows, &ss, &slow_pack).is_err(),
+        check_kernel_regression(&rows, &ss, &slow_pack, &par).is_err(),
         "gate must reject a bf16 pack slower than the f32 pack"
     );
 
     let mut leaky = ss.clone();
     leaky.scratch_reallocs_delta = 3;
     assert!(
-        check_kernel_regression(&rows, &leaky, &pack).is_err(),
+        check_kernel_regression(&rows, &leaky, &pack, &par).is_err(),
         "gate must reject a growing scratch arena"
+    );
+
+    // Determinism gates hold regardless of host core count: a parallel
+    // result that differs by one bit, or a worker whose scratch arena grew
+    // mid-measurement, must fail even where the speedup gate is skipped.
+    let mut divergent = par.clone();
+    divergent.bitwise_equal = false;
+    assert!(
+        check_kernel_regression(&rows, &ss, &pack, &divergent).is_err(),
+        "gate must reject a non-bitwise parallel GEMM"
+    );
+
+    let mut leaky_worker = par.clone();
+    if leaky_worker.worker_realloc_deltas.is_empty() {
+        leaky_worker.worker_realloc_deltas = vec![0; leaky_worker.workers];
+    }
+    leaky_worker.worker_realloc_deltas[0] = 2;
+    assert!(
+        check_kernel_regression(&rows, &ss, &pack, &leaky_worker).is_err(),
+        "gate must reject a worker-scratch realloc during measured reps"
+    );
+
+    // The speedup floor bites once the gate is enforced (multi-core host).
+    let mut slow_par = par.clone();
+    slow_par.gate_enforced = true;
+    slow_par.seq_gflops = 10.0;
+    slow_par.par_gflops = 11.0; // 1.1x < the 1.6x floor
+    assert!(
+        check_kernel_regression(&rows, &ss, &pack, &slow_par).is_err(),
+        "gate must reject sub-floor parallel speedup on multi-core hosts"
     );
 }

@@ -120,6 +120,29 @@ pub struct Experiment {
     /// its contents are left in place at run end.
     #[serde(default)]
     pub ckpt_dir: Option<String>,
+    /// Overlap the gradient all-reduce with the backward pass: each
+    /// bucket's collective fires (on a per-step communication thread) as
+    /// soon as its last gradient lands, hiding communication behind the
+    /// remaining backward compute. Bitwise identical to the serialized
+    /// exchange — only wall time moves. Falls back to the serialized path
+    /// when `grad_accum_steps > 1` (gradients are rescaled after the
+    /// micro-batch loop, so no bucket is final until backward ends).
+    /// Old configs default to `false` (serialized).
+    #[serde(default)]
+    pub overlap_all_reduce: bool,
+    /// Worker threads for the blocked GEMM macro-kernel inside each
+    /// replica. `0` (the default) leaves the process-wide setting alone;
+    /// any other value is applied at phase start via the dispatch policy.
+    /// Parallel GEMM is bitwise identical to sequential at any worker
+    /// count (static tile ownership), so this is a pure throughput knob.
+    #[serde(default)]
+    pub gemm_workers: usize,
+    /// Override for the gradient-bucket size in elements. `None` (the
+    /// default) keeps [`crate::grad_bucket::DEFAULT_BUCKET_ELEMS`]; small
+    /// values split proxy-scale models into several buckets so the
+    /// overlapped exchange has something to overlap.
+    #[serde(default)]
+    pub grad_bucket_elems: Option<usize>,
     // Dataset shape.
     pub train_samples: usize,
     pub eval_samples: usize,
@@ -163,6 +186,9 @@ impl Experiment {
             ema_decay: None,
             nan_guard: false,
             ckpt_dir: None,
+            overlap_all_reduce: false,
+            gemm_workers: 0,
+            grad_bucket_elems: None,
             train_samples: 512,
             eval_samples: 128,
             num_classes: 8,

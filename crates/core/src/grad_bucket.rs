@@ -24,8 +24,10 @@
 use crate::report::RecoveryCounters;
 use crate::timeline::{AllReduceProfile, Stopwatch};
 use ets_collective::{retry_collective, Collective, CollectiveError, RetryPolicy};
-use ets_nn::Layer;
+use ets_nn::{HookedBackward, Layer};
 use ets_obs::{phase as obs_phase, Lane, Recorder};
+use ets_tensor::Tensor;
+use std::sync::mpsc;
 use std::sync::Arc;
 
 /// Default bucket bound: 1 Mi elements = 4 MiB of f32 gradients. Proxy
@@ -196,6 +198,9 @@ impl GradBucket {
             counters.retry_backoff_virtual_s += outcome.backoff_s;
             let dur = sw.lap();
             self.profile.bucket_seconds[i] += dur;
+            // The serialized path blocks the replica thread for the whole
+            // exchange: every bucket second is exposed.
+            self.profile.exposed_seconds += dur;
             if let Some(rec) = &self.recorder {
                 rec.wall_span_measured(
                     Lane::WallBucket,
@@ -229,6 +234,251 @@ impl GradBucket {
         });
         Ok(self.flat[off] * inv)
     }
+
+    /// Fused backward + overlapped gradient exchange: runs `model`'s
+    /// hooked backward pass and fires each bucket's all-reduce **as soon
+    /// as its last gradient lands**, on a dedicated communication thread,
+    /// instead of serializing the whole exchange after backward.
+    ///
+    /// Mechanics: gradients finalize from the tail of the `visit_params`
+    /// order (backward runs the network in reverse), so buckets become
+    /// ready in strictly *descending* index order. Each finalized suffix
+    /// segment is packed into the persistent flat buffer; once a bucket's
+    /// full range is packed, its slice is split off (`split_at_mut` — the
+    /// regions are provably disjoint) and shipped over a channel to the
+    /// communication thread, which reduces buckets in arrival order.
+    ///
+    /// Determinism: every rank ships buckets in the same descending
+    /// order, each bucket's collective reduces the same element ranges
+    /// with the same backend as the serialized path, and averaging is
+    /// unchanged — so the reduced gradients, the mean loss, and therefore
+    /// the whole training trajectory are **bitwise identical** to
+    /// [`GradBucket::all_reduce_with_retry`] after a plain backward, at
+    /// any thread schedule. Only wall time moves.
+    ///
+    /// Timing decomposition: `backward_s` is the replica thread's wall
+    /// time in backward (including packing/shipping); `exposed_s` is the
+    /// post-backward wait for the communication thread — the *exposed*
+    /// all-reduce time. Per-bucket durations accumulate into the profile
+    /// as usual, so `bucket_seconds − exposed` is hidden communication
+    /// ([`AllReduceProfile::overlap_pct`]).
+    pub fn backward_overlapped_with_retry(
+        &mut self,
+        model: &mut dyn HookedBackward,
+        dlogits: &Tensor,
+        comm: &dyn Collective,
+        local_loss: f32,
+        policy: &RetryPolicy,
+        counters: &mut RecoveryCounters,
+    ) -> Result<OverlapOutcome, CollectiveError> {
+        let total = self.flat.len();
+        let loss_off = total - 1;
+        self.flat[loss_off] = local_loss;
+
+        let buckets = &self.buckets;
+        let n_buckets = buckets.len();
+        let param_sizes = &self.param_sizes;
+        let recorder = self.recorder.clone();
+        let step = self.step;
+
+        struct CommStats {
+            /// (bucket index, seconds) in completion order.
+            bucket_seconds: Vec<(usize, f64)>,
+            retries: u64,
+            backoff_s: f64,
+            error: Option<CollectiveError>,
+        }
+
+        let mut sw = Stopwatch::start();
+        let (input_grad, backward_s, exposed_s, stats) = std::thread::scope(|s| {
+            let (tx, rx) = mpsc::channel::<(usize, &mut [f32])>();
+            let rec_comm = recorder.clone();
+            let comm_join = s.spawn(move || {
+                let mut stats = CommStats {
+                    bucket_seconds: Vec::with_capacity(n_buckets),
+                    retries: 0,
+                    backoff_s: 0.0,
+                    error: None,
+                };
+                for (i, slice) in rx {
+                    let mut bsw = Stopwatch::start();
+                    match retry_collective(policy, || comm.try_all_reduce_sum(slice)) {
+                        Ok(outcome) => {
+                            let retries = (outcome.attempts - 1) as u64;
+                            stats.retries += retries;
+                            stats.backoff_s += outcome.backoff_s;
+                            let dur = bsw.lap();
+                            stats.bucket_seconds.push((i, dur));
+                            if let Some(rec) = &rec_comm {
+                                rec.wall_span_measured(
+                                    Lane::WallBucket,
+                                    obs_phase::BUCKET,
+                                    rec.wall_now_s() - dur,
+                                    dur,
+                                    step,
+                                    i as u64,
+                                );
+                                rec.histogram_observe("bucket_seconds", dur);
+                                if retries > 0 {
+                                    rec.counter_add("bucket_retries", retries);
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            // Dropping `rx` makes the producer's remaining
+                            // sends fail harmlessly; backward still
+                            // completes before the error surfaces.
+                            stats.error = Some(e);
+                            break;
+                        }
+                    }
+                }
+                stats
+            });
+
+            // `remaining` owns the not-yet-shipped prefix of the flat
+            // buffer; `boundary` marks the lowest packed element (the
+            // loss scalar is packed up front), `param_end` the lowest
+            // packed parameter index, `next_bucket` the lowest shipped
+            // bucket index. All three walk downward together.
+            let flat = &mut self.flat;
+            let mut remaining = Some(&mut flat[..]);
+            let mut boundary = loss_off;
+            let mut param_end = param_sizes.len();
+            let mut next_bucket = n_buckets;
+            // A bucket holding only the loss scalar (bucket size divides
+            // the gradient count exactly) is ready before backward starts.
+            while next_bucket > 0 && buckets[next_bucket - 1].0 >= boundary {
+                let a = buckets[next_bucket - 1].0;
+                let rem = remaining.take().expect("flat buffer over-shipped");
+                let (rest, tail) = rem.split_at_mut(a);
+                remaining = Some(rest);
+                let _ = tx.send((next_bucket - 1, tail));
+                next_bucket -= 1;
+            }
+            let mut seg_sizes: Vec<usize> = Vec::new();
+            let input_grad = model.backward_hooked(dlogits, &mut |seg| {
+                seg_sizes.clear();
+                seg.visit_params(&mut |p| seg_sizes.push(p.grad.numel()));
+                if seg_sizes.is_empty() {
+                    return;
+                }
+                let seg_elems: usize = seg_sizes.iter().sum();
+                assert!(
+                    param_end >= seg_sizes.len() && boundary >= seg_elems,
+                    "hooked segment overruns the registered parameter list"
+                );
+                assert_eq!(
+                    &param_sizes[param_end - seg_sizes.len()..param_end],
+                    &seg_sizes[..],
+                    "hooked segment does not match GradBucket registration"
+                );
+                let start = boundary - seg_elems;
+                let rem = remaining.as_deref_mut().expect("flat buffer over-shipped");
+                let mut off = start;
+                seg.visit_params(&mut |p| {
+                    let n = p.grad.numel();
+                    rem[off..off + n].copy_from_slice(p.grad.data());
+                    off += n;
+                });
+                boundary = start;
+                param_end -= seg_sizes.len();
+                while next_bucket > 0 && buckets[next_bucket - 1].0 >= boundary {
+                    let a = buckets[next_bucket - 1].0;
+                    let rem = remaining.take().expect("flat buffer over-shipped");
+                    let (rest, tail) = rem.split_at_mut(a);
+                    remaining = Some(rest);
+                    // `tail` spans [a, previous ship point) — exactly
+                    // this bucket, since ships walk down contiguously.
+                    let _ = tx.send((next_bucket - 1, tail));
+                    next_bucket -= 1;
+                }
+            });
+            assert_eq!(
+                param_end, 0,
+                "backward_hooked finished without announcing every parameter"
+            );
+            assert_eq!(next_bucket, 0, "backward finished with buckets unshipped");
+            drop(tx);
+            let backward_s = sw.lap();
+            let stats = comm_join
+                .join()
+                .expect("overlap communication thread panicked");
+            let exposed_s = sw.lap();
+            (input_grad, backward_s, exposed_s, stats)
+        });
+
+        counters.transient_failures += stats.retries;
+        counters.collective_retries += stats.retries;
+        counters.retry_backoff_virtual_s += stats.backoff_s;
+        if let Some(e) = stats.error {
+            return Err(e);
+        }
+        for (i, dur) in stats.bucket_seconds {
+            self.profile.bucket_seconds[i] += dur;
+        }
+        self.profile.exposed_seconds += exposed_s;
+        self.profile.rounds += 1;
+        self.profile.overlapped_rounds += 1;
+        if let Some(rec) = &self.recorder {
+            rec.counter_add("all_reduce_rounds", 1);
+            rec.counter_add("all_reduce_overlapped_rounds", 1);
+        }
+
+        // Average and scatter back — identical to the serialized path.
+        let inv = 1.0 / comm.size() as f32;
+        let mut off = 0usize;
+        let flat = &self.flat;
+        model.visit_params(&mut |p| {
+            let n = p.grad.numel();
+            for (g, &s) in p.grad.data_mut().iter_mut().zip(&flat[off..off + n]) {
+                *g = s * inv;
+            }
+            off += n;
+        });
+        Ok(OverlapOutcome {
+            mean_loss: self.flat[loss_off] * inv,
+            input_grad,
+            backward_s,
+            exposed_s,
+        })
+    }
+
+    /// Infallible wrapper over [`GradBucket::backward_overlapped_with_retry`]
+    /// with the default retry policy (for tests and fault-free callers).
+    pub fn backward_overlapped(
+        &mut self,
+        model: &mut dyn HookedBackward,
+        dlogits: &Tensor,
+        comm: &dyn Collective,
+        local_loss: f32,
+    ) -> OverlapOutcome {
+        let mut counters = RecoveryCounters::default();
+        self.backward_overlapped_with_retry(
+            model,
+            dlogits,
+            comm,
+            local_loss,
+            &RetryPolicy::default(),
+            &mut counters,
+        )
+        .expect("overlapped gradient exchange failed permanently")
+    }
+}
+
+/// Result of an overlapped backward + gradient exchange
+/// ([`GradBucket::backward_overlapped_with_retry`]).
+pub struct OverlapOutcome {
+    /// Group-mean loss (bitwise equal to the serialized exchange's).
+    pub mean_loss: f32,
+    /// d loss / d input from the backward pass.
+    pub input_grad: Tensor,
+    /// Replica-thread wall seconds in backward, including bucket
+    /// packing and shipping.
+    pub backward_s: f64,
+    /// Replica-thread wall seconds blocked on communication after
+    /// backward returned — the exposed all-reduce time.
+    pub exposed_s: f64,
 }
 
 #[cfg(test)]
@@ -260,6 +510,101 @@ mod tests {
         let mut out = Vec::new();
         model.visit_params(&mut |p| out.extend_from_slice(p.grad.data()));
         out
+    }
+
+    /// One deterministic forward + backward + gradient exchange on `c`,
+    /// returning (grad bits, loss bits, input-grad bits). `overlapped`
+    /// selects the fused backward+exchange path; `delay_ms` staggers this
+    /// rank's start; `bucket_elems == 0` means "exactly the parameter
+    /// count", which leaves a loss-only tail bucket that is ready before
+    /// backward even starts.
+    fn exchange_bits(
+        c: Box<dyn Collective>,
+        bucket_elems: usize,
+        overlapped: bool,
+        delay_ms: u64,
+    ) -> (Vec<u32>, u32, Vec<u32>) {
+        if delay_ms > 0 {
+            thread::sleep(std::time::Duration::from_millis(delay_ms));
+        }
+        let mut m = tiny_model(7);
+        let bucket_elems = if bucket_elems == 0 {
+            let mut n = 0usize;
+            m.visit_params(&mut |p| n += p.grad.numel());
+            n
+        } else {
+            bucket_elems
+        };
+        let mut rng = Rng::new(100 + c.rank() as u64);
+        let mut x = ets_tensor::Tensor::zeros([2, 3, 16, 16]);
+        rng.fill_normal(x.data_mut(), 0.0, 1.0);
+        let mut lrng = Rng::new(11);
+        ets_nn::zero_grads(&mut m);
+        let y = m.forward(&x, ets_nn::Mode::Train, &mut lrng);
+        let labels = [c.rank() % 4, (c.rank() + 1) % 4];
+        let out = ets_nn::cross_entropy(&y, &labels, 0.1);
+        let mut gb = GradBucket::with_bucket_elems(&mut m, bucket_elems);
+        let (loss, dx) = if overlapped {
+            let o = gb.backward_overlapped(&mut m, &out.dlogits, c.as_ref(), out.loss);
+            assert_eq!(gb.profile().overlapped_rounds, 1);
+            assert_eq!(gb.profile().rounds, 1);
+            (o.mean_loss, o.input_grad)
+        } else {
+            let dx = m.backward(&out.dlogits);
+            (gb.all_reduce(&mut m, c.as_ref(), out.loss), dx)
+        };
+        (
+            grads_of(&mut m).iter().map(|v| v.to_bits()).collect(),
+            loss.to_bits(),
+            dx.data().iter().map(|v| v.to_bits()).collect(),
+        )
+    }
+
+    /// Runs `exchange_bits` on a 2-rank tree world, `delays[rank]`
+    /// staggering each rank, and returns both ranks' results.
+    fn two_rank_exchange(
+        bucket_elems: usize,
+        overlapped: bool,
+        delays: [u64; 2],
+    ) -> Vec<(Vec<u32>, u32, Vec<u32>)> {
+        let world = create_collective(Backend::Tree, 2);
+        let joins: Vec<_> = world
+            .into_iter()
+            .map(|c| {
+                let delay = delays[c.rank()];
+                thread::spawn(move || exchange_bits(c, bucket_elems, overlapped, delay))
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn overlapped_exchange_is_bitwise_identical_to_serialized() {
+        // The fused backward + overlapped exchange must reproduce plain
+        // backward + serialized all-reduce bit for bit — averaged
+        // gradients, mean loss, and input gradient — at any bucket size,
+        // including a layout whose tail bucket holds only the loss scalar.
+        for bucket_elems in [64usize, 0, 1 << 20] {
+            let serial = two_rank_exchange(bucket_elems, false, [0, 0]);
+            let overlap = two_rank_exchange(bucket_elems, true, [0, 0]);
+            assert_eq!(serial, overlap, "bucket_elems={bucket_elems}");
+            // Averaged gradients and mean loss agree across ranks (the
+            // input gradient is per-rank: inputs differ).
+            assert_eq!(serial[0].0, serial[1].0, "ranks must agree bitwise");
+            assert_eq!(serial[0].1, serial[1].1, "ranks must agree on loss");
+        }
+    }
+
+    #[test]
+    fn overlap_survives_backward_finishing_before_first_reduce_returns() {
+        // Rank 1 enters the step late, so rank 0's backward — and every
+        // one of its bucket ships — completes before the first all-reduce
+        // can rendezvous. The exchange must not deadlock, lose a bucket,
+        // or double-deposit: results stay bitwise equal to the
+        // unstaggered serialized exchange.
+        let baseline = two_rank_exchange(64, false, [0, 0]);
+        let staggered = two_rank_exchange(64, true, [0, 50]);
+        assert_eq!(baseline, staggered);
     }
 
     #[test]

@@ -101,7 +101,7 @@ impl RecoveryCounters {
 
 /// One epoch's record, as seen by replica 0 (identical on all replicas for
 /// the synchronized quantities).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct EpochRecord {
     pub epoch: u64,
     /// Mean training loss over the epoch's steps.
@@ -185,6 +185,7 @@ impl TrainReport {
             steps: self.steps,
             step_ms: step_s * 1e3,
             all_reduce_pct: self.phases.all_reduce_share() * 100.0,
+            overlap_pct: self.all_reduce_buckets.overlap_pct(),
             bn_sync_pct: 0.0, // thread engine folds BN sync into forward time
             images_per_sec: if step_s > 0.0 {
                 global_batch as f64 / step_s

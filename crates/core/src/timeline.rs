@@ -73,6 +73,17 @@ pub struct AllReduceProfile {
     pub bucket_seconds: Vec<f64>,
     /// Completed all-reduce rounds (each round touches every bucket).
     pub rounds: u64,
+    /// Seconds the replica thread spent *blocked* on the exchange:
+    /// the whole bucket time for serialized rounds, only the
+    /// post-backward wait for overlapped rounds. `bucket_seconds`
+    /// minus this is communication hidden under backward. Profiles
+    /// predating overlap deserialize to 0.
+    #[serde(default)]
+    pub exposed_seconds: f64,
+    /// Rounds that ran the overlapped (fire-per-bucket-as-ready)
+    /// exchange rather than the serialized one.
+    #[serde(default)]
+    pub overlapped_rounds: u64,
 }
 
 impl AllReduceProfile {
@@ -83,6 +94,8 @@ impl AllReduceProfile {
             bucket_elems,
             bucket_seconds: vec![0.0; n],
             rounds: 0,
+            exposed_seconds: 0.0,
+            overlapped_rounds: 0,
         }
     }
 
@@ -100,6 +113,19 @@ impl AllReduceProfile {
     pub fn mean_bucket_seconds(&self, i: usize) -> f64 {
         if self.rounds > 0 {
             self.bucket_seconds[i] / self.rounds as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Percentage of total communication time hidden under backward:
+    /// `100 × (1 − exposed / total)`. 0 for fully-serialized runs (and
+    /// for empty profiles); approaches 100 when every bucket finishes
+    /// before the backward pass does.
+    pub fn overlap_pct(&self) -> f64 {
+        let total = self.total_seconds();
+        if total > 0.0 {
+            (100.0 * (1.0 - self.exposed_seconds / total)).max(0.0)
         } else {
             0.0
         }
@@ -266,6 +292,21 @@ mod tests {
         let b = PhaseBreakdown::default();
         assert_eq!(b.all_reduce_share(), 0.0);
         assert_eq!(b.step_seconds(), 0.0);
+    }
+
+    #[test]
+    fn overlap_pct_decomposes_exposed_vs_hidden() {
+        let mut p = AllReduceProfile::new(vec![10, 10]);
+        assert_eq!(p.overlap_pct(), 0.0, "empty profile");
+        p.bucket_seconds = vec![3.0, 1.0];
+        p.exposed_seconds = 4.0;
+        assert_eq!(p.overlap_pct(), 0.0, "fully serialized");
+        p.exposed_seconds = 1.0;
+        assert!((p.overlap_pct() - 75.0).abs() < 1e-12, "3 of 4 s hidden");
+        // Scheduling noise can push exposed past the summed bucket time;
+        // the percentage clamps at 0 rather than going negative.
+        p.exposed_seconds = 5.0;
+        assert_eq!(p.overlap_pct(), 0.0);
     }
 
     #[test]

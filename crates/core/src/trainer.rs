@@ -373,6 +373,8 @@ fn merge_profiles(into: &mut AllReduceProfile, from: &AllReduceProfile) {
         *a += b;
     }
     into.rounds += from.rounds;
+    into.exposed_seconds += from.exposed_seconds;
+    into.overlapped_rounds += from.overlapped_rounds;
 }
 
 /// Runs the experiment; returns replica 0's report after asserting all
@@ -418,6 +420,13 @@ fn train_recorded(exp: &Experiment, recorders: &[Arc<Recorder>]) -> TrainReport 
         "one recorder per starting replica"
     );
     let start = Instant::now();
+    // Pin the GEMM worker-pool width for the whole run (process-global;
+    // `0` defers to whatever the process already configured). Parallel
+    // GEMM is bitwise identical to sequential, so this cannot perturb
+    // the trajectory — only wall time.
+    if exp.gemm_workers > 0 {
+        ets_tensor::set_gemm_workers(exp.gemm_workers);
+    }
     let (train_set, eval_set) = SynthNet::train_eval_pair(
         exp.seed,
         exp.num_classes,
@@ -679,6 +688,53 @@ fn train_recorded(exp: &Experiment, recorders: &[Arc<Recorder>]) -> TrainReport 
         rec.gauge_set("gemm_dispatch_naive_f32", f32_naive as f64);
         rec.gauge_set("gemm_dispatch_blocked_bf16", bf16_blocked as f64);
         rec.gauge_set("gemm_dispatch_naive_bf16", bf16_naive as f64);
+        // Exposed vs hidden communication: the overlapped exchange hides
+        // part of the per-bucket all-reduce time behind backward compute;
+        // `all_reduce_overlap_pct` is the hidden share.
+        rec.gauge_set("all_reduce_exposed_s", carry_buckets.exposed_seconds);
+        rec.gauge_set("all_reduce_overlap_pct", carry_buckets.overlap_pct());
+        // Per-worker GEMM pool utilization (process-wide, static names:
+        // the registry is zero-alloc by design).
+        const BUSY: [&str; 16] = [
+            "gemm_worker_busy_s_00",
+            "gemm_worker_busy_s_01",
+            "gemm_worker_busy_s_02",
+            "gemm_worker_busy_s_03",
+            "gemm_worker_busy_s_04",
+            "gemm_worker_busy_s_05",
+            "gemm_worker_busy_s_06",
+            "gemm_worker_busy_s_07",
+            "gemm_worker_busy_s_08",
+            "gemm_worker_busy_s_09",
+            "gemm_worker_busy_s_10",
+            "gemm_worker_busy_s_11",
+            "gemm_worker_busy_s_12",
+            "gemm_worker_busy_s_13",
+            "gemm_worker_busy_s_14",
+            "gemm_worker_busy_s_15",
+        ];
+        const TILES: [&str; 16] = [
+            "gemm_worker_tiles_00",
+            "gemm_worker_tiles_01",
+            "gemm_worker_tiles_02",
+            "gemm_worker_tiles_03",
+            "gemm_worker_tiles_04",
+            "gemm_worker_tiles_05",
+            "gemm_worker_tiles_06",
+            "gemm_worker_tiles_07",
+            "gemm_worker_tiles_08",
+            "gemm_worker_tiles_09",
+            "gemm_worker_tiles_10",
+            "gemm_worker_tiles_11",
+            "gemm_worker_tiles_12",
+            "gemm_worker_tiles_13",
+            "gemm_worker_tiles_14",
+            "gemm_worker_tiles_15",
+        ];
+        for (w, stat) in ets_tensor::worker_stats().iter().enumerate() {
+            rec.gauge_set(BUSY[w], stat.busy_s);
+            rec.gauge_set(TILES[w], stat.tiles as f64);
+        }
     }
 
     let (peak_top1, peak_epoch) = history
@@ -742,7 +798,10 @@ fn run_replica_phase(
     if let Some(c) = bn_comm {
         model.set_bn_sync(Arc::new(GroupStatSync::new(c)));
     }
-    let mut grad_bucket = GradBucket::new(&mut model);
+    let mut grad_bucket = match view.grad_bucket_elems {
+        Some(n) => GradBucket::with_bucket_elems(&mut model, n),
+        None => GradBucket::new(&mut model),
+    };
     grad_bucket.attach_recorder(Arc::clone(&rec));
     let mut optimizer = build_optimizer(view.optimizer);
     // Schedule in the *current world's* step units: `view.replicas` is the
@@ -788,6 +847,11 @@ fn run_replica_phase(
     let b = view.per_replica_batch;
     let accum = view.grad_accum_steps;
     let micro_span = view.replicas * b;
+    // Overlapping the exchange with backward requires exactly one
+    // micro-batch: with accumulation, gradients are rescaled *after* the
+    // micro loop, so no bucket is final until backward ends — fall back
+    // to the serialized exchange (bitwise identical either way).
+    let overlap = view.overlap_all_reduce && accum == 1;
 
     let mut phases = PhaseBreakdown::default();
     let retry_policy = faults.retry();
@@ -923,18 +987,59 @@ fn run_replica_phase(
         zero_grads(&mut model);
         let mut micro_loss = 0.0f32;
         let (mut data_s, mut fwd_s, mut bwd_s) = (0.0f64, 0.0f64, 0.0f64);
-        for micro in 0..accum {
-            let offset = prog.sample_off as usize + micro * micro_span;
-            let indices = plan.batch_at(offset, replica, view.replicas, b);
+        // Key planned transient injections to this step *before* any
+        // collective can fire — the overlapped exchange starts reducing
+        // buckets mid-backward. (The world is untouched between here and
+        // the exchange on the serialized path, so moving the step key up
+        // is behaviorally identical for it.)
+        world.set_step(prog.step);
+        grad_bucket.set_step(prog.step);
+        let backoff_before = counters.retry_backoff_virtual_s;
+        // `Some((mean_loss, exposed_s))` once the fused path has already
+        // exchanged gradients during backward.
+        let mut overlapped_result: Option<(f32, f64)> = None;
+        if overlap {
+            let indices = plan.batch_at(prog.sample_off as usize, replica, view.replicas, b);
             let (x, labels) =
                 load_batch(train_set, &indices, AugmentConfig::train(), &mut data_rng);
             data_s += sw.lap();
             let logits = model.forward(&x, Mode::Train, &mut layer_rng);
             let out = cross_entropy(&logits, &labels, view.label_smoothing);
             fwd_s += sw.lap();
-            model.backward(&out.dlogits);
-            bwd_s += sw.lap();
-            micro_loss += out.loss;
+            let res = grad_bucket
+                .backward_overlapped_with_retry(
+                    &mut model,
+                    &out.dlogits,
+                    world.as_dyn(),
+                    out.loss,
+                    &retry_policy,
+                    &mut counters,
+                )
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "step {}: overlapped gradient exchange failed permanently: {e}",
+                        prog.step
+                    )
+                });
+            // The lap spans backward + exposed wait; the outcome already
+            // decomposes it, so just re-anchor the stopwatch.
+            let _ = sw.lap();
+            bwd_s += res.backward_s;
+            overlapped_result = Some((res.mean_loss, res.exposed_s));
+        } else {
+            for micro in 0..accum {
+                let offset = prog.sample_off as usize + micro * micro_span;
+                let indices = plan.batch_at(offset, replica, view.replicas, b);
+                let (x, labels) =
+                    load_batch(train_set, &indices, AugmentConfig::train(), &mut data_rng);
+                data_s += sw.lap();
+                let logits = model.forward(&x, Mode::Train, &mut layer_rng);
+                let out = cross_entropy(&logits, &labels, view.label_smoothing);
+                fwd_s += sw.lap();
+                model.backward(&out.dlogits);
+                bwd_s += sw.lap();
+                micro_loss += out.loss;
+            }
         }
         phases.data += data_s;
         phases.forward += fwd_s;
@@ -968,27 +1073,30 @@ fn run_replica_phase(
             model.visit_params(&mut |p| p.grad.scale(inv));
             micro_loss *= inv;
         }
-        // Key planned transient injections to this step, then exchange
-        // gradients with bounded retry (backoff is virtual: accounted,
-        // never slept).
-        world.set_step(prog.step);
-        grad_bucket.set_step(prog.step);
-        let backoff_before = counters.retry_backoff_virtual_s;
-        let mean_loss = grad_bucket
-            .all_reduce_with_retry(
-                &mut model,
-                world.as_dyn(),
-                micro_loss,
-                &retry_policy,
-                &mut counters,
-            )
-            .unwrap_or_else(|e| {
-                panic!(
-                    "step {}: gradient exchange failed permanently: {e}",
-                    prog.step
-                )
-            });
-        let ar_s = sw.lap();
+        // Exchange gradients with bounded retry (backoff is virtual:
+        // accounted, never slept) — unless the fused overlapped path
+        // already exchanged them during backward, in which case only the
+        // *exposed* wait counts against the all-reduce phase.
+        let (mean_loss, ar_s) = match overlapped_result {
+            Some((loss, exposed_s)) => (loss, exposed_s),
+            None => {
+                let loss = grad_bucket
+                    .all_reduce_with_retry(
+                        &mut model,
+                        world.as_dyn(),
+                        micro_loss,
+                        &retry_policy,
+                        &mut counters,
+                    )
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "step {}: gradient exchange failed permanently: {e}",
+                            prog.step
+                        )
+                    });
+                (loss, sw.lap())
+            }
+        };
         phases.all_reduce += ar_s;
         if rec.is_enabled() {
             rec.wall_span_measured(

@@ -3,8 +3,8 @@
 use crate::blocks::MbConvBlock;
 use crate::config::ModelConfig;
 use ets_nn::{
-    BatchNorm2d, Conv2d, Dropout, GlobalAvgPool, Layer, Linear, Mode, Param, Precision, StatSync,
-    Swish,
+    BatchNorm2d, Conv2d, Dropout, GlobalAvgPool, HookedBackward, Layer, Linear, Mode, Param,
+    Precision, StatSync, Swish,
 };
 use ets_tensor::{same_pad, Rng, Tensor};
 use std::sync::Arc;
@@ -165,6 +165,36 @@ impl Layer for EfficientNet {
     }
 }
 
+impl HookedBackward for EfficientNet {
+    /// Same chain as [`Layer::backward`] — bitwise identical — with
+    /// `ready` fired as each parameter-bearing unit finishes. Backward
+    /// runs head→stem while `visit_params` walks stem→head, so the
+    /// announcements cover the parameter list as strictly descending
+    /// suffix segments: fc, head_bn, head_conv, blocks in reverse,
+    /// stem_bn, stem_conv.
+    fn backward_hooked(&mut self, grad: &Tensor, ready: &mut dyn FnMut(&mut dyn Layer)) -> Tensor {
+        let mut g = self.fc.backward(grad);
+        ready(&mut self.fc);
+        g = self.dropout.backward(&g);
+        g = self.gap.backward(&g);
+        g = self.head_act.backward(&g);
+        g = self.head_bn.backward(&g);
+        ready(&mut self.head_bn);
+        g = self.head_conv.backward(&g);
+        ready(&mut self.head_conv);
+        for b in self.blocks.iter_mut().rev() {
+            g = b.backward(&g);
+            ready(b);
+        }
+        g = self.stem_act.backward(&g);
+        g = self.stem_bn.backward(&g);
+        ready(&mut self.stem_bn);
+        let dx = self.stem_conv.backward(&g);
+        ready(&mut self.stem_conv);
+        dx
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +268,49 @@ mod tests {
             last < first.unwrap(),
             "loss should fall: {first:?} → {last}"
         );
+    }
+
+    #[test]
+    fn hooked_backward_is_bitwise_identical_and_covers_all_params() {
+        // Two identically-seeded models, identical forward, then plain vs
+        // hooked backward: gradients and dx must match bit for bit, and
+        // the hook's suffix segments must tile visit_params exactly, in
+        // strictly descending order.
+        let run = |hooked: bool| -> (Vec<u32>, Vec<u32>, Vec<usize>) {
+            let (mut m, mut rng) = tiny();
+            let mut x = Tensor::zeros([2, 3, 32, 32]);
+            rng.fill_normal(x.data_mut(), 0.0, 1.0);
+            zero_grads(&mut m);
+            let mut lrng = Rng::new(9);
+            let y = m.forward(&x, Mode::Train, &mut lrng);
+            let out = cross_entropy(&y, &[1, 7], 0.1);
+            let mut seg_counts = Vec::new();
+            let dx = if hooked {
+                m.backward_hooked(&out.dlogits, &mut |seg| {
+                    let mut n = 0usize;
+                    seg.visit_params(&mut |_| n += 1);
+                    seg_counts.push(n);
+                })
+            } else {
+                m.backward(&out.dlogits)
+            };
+            let mut grads = Vec::new();
+            m.visit_params(&mut |p| grads.extend(p.grad.data().iter().map(|v| v.to_bits())));
+            let dxb = dx.data().iter().map(|v| v.to_bits()).collect();
+            (grads, dxb, seg_counts)
+        };
+        let (g_plain, dx_plain, _) = run(false);
+        let (g_hooked, dx_hooked, segs) = run(true);
+        assert_eq!(g_plain, g_hooked, "parameter gradients diverged");
+        assert_eq!(dx_plain, dx_hooked, "input gradient diverged");
+        // Coverage: segment param counts sum to the total param count.
+        let (mut m, _) = tiny();
+        let mut total = 0usize;
+        m.visit_params(&mut |_| total += 1);
+        assert_eq!(segs.iter().sum::<usize>(), total);
+        // fc + head_bn + head_conv + blocks + stem_bn + stem_conv.
+        assert_eq!(segs.len(), 5 + m.num_blocks());
+        assert!(segs.iter().all(|&n| n >= 1));
     }
 
     #[test]

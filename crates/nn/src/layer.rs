@@ -42,6 +42,30 @@ pub trait Layer: Send {
     }
 }
 
+/// Backward with gradient-readiness hooks, enabling communication to
+/// overlap with the rest of the backward pass.
+///
+/// Contract: `backward_hooked(grad, ready)` performs **bitwise the same
+/// computation** as [`Layer::backward`] (same gradients, same return
+/// value), additionally calling `ready` as gradients finalize. Because a
+/// model's backward pass visits layers in reverse network order while
+/// `visit_params` walks forward order, gradients finalize from the *tail*
+/// of the parameter list: each `ready(seg)` call hands a sub-layer whose
+/// parameters form the next contiguous suffix segment of the
+/// `visit_params` order (strictly descending, no gaps), with all of that
+/// segment's gradients fully accumulated — the layer must not touch them
+/// again before returning. Every parameter is covered by exactly one
+/// `ready` call by the time `backward_hooked` returns.
+///
+/// Consumers (the bucketized gradient exchange) use the hook to ship
+/// finished gradient buckets while earlier layers are still
+/// differentiating.
+pub trait HookedBackward: Layer {
+    /// Runs backward, announcing finalized trailing parameter segments
+    /// through `ready`.
+    fn backward_hooked(&mut self, grad: &Tensor, ready: &mut dyn FnMut(&mut dyn Layer)) -> Tensor;
+}
+
 /// A sequential container: layers applied in order.
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
@@ -104,6 +128,19 @@ impl Layer for Sequential {
 
     fn name(&self) -> String {
         self.label.clone()
+    }
+}
+
+impl HookedBackward for Sequential {
+    fn backward_hooked(&mut self, grad: &Tensor, ready: &mut dyn FnMut(&mut dyn Layer)) -> Tensor {
+        let mut cur = grad.clone();
+        for l in self.layers.iter_mut().rev() {
+            cur = l.backward(&cur);
+            // Reverse traversal of forward visit order: each finished
+            // layer is the next suffix segment of the parameter list.
+            ready(l.as_mut());
+        }
+        cur
     }
 }
 
@@ -184,6 +221,51 @@ mod tests {
         let mut grads = Vec::new();
         seq.visit_params(&mut |p| grads.push(p.grad.data()[0]));
         assert_eq!(grads, vec![3.0, 2.0]); // k1 sees 3·x₀·g₀, k2 sees 2·x₀·g₀
+    }
+
+    #[test]
+    fn hooked_backward_matches_backward_and_reports_suffix_segments() {
+        let mut rng = Rng::new(0);
+        let x = Tensor::from_vec([2], vec![1.5, -0.5]);
+        let g = Tensor::from_vec([2], vec![1.0, 2.0]);
+
+        let mut plain = Sequential::new("plain")
+            .push(ScaleLayer::new(2.0))
+            .push(ScaleLayer::new(3.0));
+        let _ = plain.forward(&x, Mode::Train, &mut rng);
+        let dx_plain = plain.backward(&g);
+        let mut grads_plain = Vec::new();
+        plain.visit_params(&mut |p| grads_plain.push(p.grad.data()[0].to_bits()));
+
+        let mut hooked = Sequential::new("hooked")
+            .push(ScaleLayer::new(2.0))
+            .push(ScaleLayer::new(3.0));
+        let _ = hooked.forward(&x, Mode::Train, &mut rng);
+        let mut seen = Vec::new();
+        let dx_hooked = hooked.backward_hooked(&g, &mut |seg| {
+            let mut vals = Vec::new();
+            seg.visit_params(&mut |p| vals.push(p.value.data()[0]));
+            seen.push(vals);
+        });
+        let mut grads_hooked = Vec::new();
+        hooked.visit_params(&mut |p| grads_hooked.push(p.grad.data()[0].to_bits()));
+
+        // Bitwise-identical computation...
+        assert_eq!(
+            dx_plain
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            dx_hooked
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(grads_plain, grads_hooked);
+        // ...with suffix segments announced in strictly descending order.
+        assert_eq!(seen, vec![vec![3.0], vec![2.0]]);
     }
 
     #[test]

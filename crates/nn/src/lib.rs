@@ -33,7 +33,9 @@ pub use conv::{Conv2d, DepthwiseConv2d, Precision};
 pub use dropout::{DropPath, Dropout};
 pub use ema::{Ema, EmaState};
 pub use ets_tensor::ops::dispatch::{GemmPolicy, GemmPrecision};
-pub use layer::{param_count, snapshot_params, zero_grads, Layer, Mode, Sequential};
+pub use layer::{
+    param_count, snapshot_params, zero_grads, HookedBackward, Layer, Mode, Sequential,
+};
 pub use linear::Linear;
 pub use loss::{cross_entropy, softmax, LossOutput};
 pub use metrics::{top1_accuracy, top_k_correct, EvalCounts};

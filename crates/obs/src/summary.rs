@@ -45,6 +45,10 @@ pub struct RunSummary {
     pub step_ms: f64,
     /// All-reduce share of step time, percent.
     pub all_reduce_pct: f64,
+    /// Share of total per-bucket all-reduce time hidden behind backward
+    /// compute by the overlapped exchange, percent (`0` when serialized).
+    #[serde(default)]
+    pub overlap_pct: f64,
     /// Batch-norm sync share of step time, percent.
     pub bn_sync_pct: f64,
     /// Throughput in images per second.
@@ -64,6 +68,7 @@ impl RunSummary {
             .field_u64("steps", self.steps)
             .field_f64("step_ms", self.step_ms)
             .field_f64("all_reduce_pct", self.all_reduce_pct)
+            .field_f64("overlap_pct", self.overlap_pct)
             .field_f64("bn_sync_pct", self.bn_sync_pct)
             .field_f64("images_per_sec", self.images_per_sec)
             .field_f64("total_virtual_s", self.total_virtual_s)
@@ -112,6 +117,7 @@ mod tests {
             steps: 100,
             step_ms: 123.4,
             all_reduce_pct: 7.5,
+            overlap_pct: 42.0,
             bn_sync_pct: 1.25,
             images_per_sec: 132_000.0,
             total_virtual_s: 12.34,
@@ -132,6 +138,7 @@ mod tests {
         assert_eq!(v.get("label").unwrap().as_str().unwrap(), s.label);
         assert_eq!(v.get("cores").unwrap().as_f64().unwrap() as u64, 256);
         assert_eq!(v.get("step_ms").unwrap().as_f64().unwrap(), 123.4);
+        assert_eq!(v.get("overlap_pct").unwrap().as_f64().unwrap(), 42.0);
         let ov = v.get("overhead").unwrap();
         assert_eq!(
             ov.get("total_s").unwrap().as_f64().unwrap(),

@@ -17,11 +17,16 @@
 pub mod bf16;
 pub mod init;
 pub mod ops;
+pub mod par;
 pub mod rng;
 pub mod scratch;
 pub mod shape;
 pub mod tensor;
 
+pub use par::{
+    gemm_workers, reset_worker_stats, set_gemm_workers, set_tile_delay, worker_stats, WorkerStat,
+    MAX_WORKERS,
+};
 pub use rng::Rng;
 pub use scratch::{
     reset_scratch_counters, scratch_bf16, scratch_checkouts, scratch_elems, scratch_f32,

@@ -115,13 +115,40 @@ impl GemmPrecision {
 pub struct GemmPolicy {
     /// Mixed precision enabled (the §3.5 recipe)?
     pub mixed: bool,
+    /// GEMM worker-count policy: `0` leaves the global pool as
+    /// configured (env / previous caller), `n ≥ 1` pins it to `n`
+    /// workers when [`GemmPolicy::apply_workers`] runs. Worker count
+    /// never affects numerics — the macro-kernel's tile grid is a pure
+    /// function of shape — so this knob is pure throughput policy,
+    /// safe to vary across ranks or mid-run.
+    pub workers: usize,
 }
 
 impl GemmPolicy {
     /// Everything stays f32.
-    pub const F32_ONLY: GemmPolicy = GemmPolicy { mixed: false };
+    pub const F32_ONLY: GemmPolicy = GemmPolicy {
+        mixed: false,
+        workers: 0,
+    };
     /// Large GEMMs run bf16×bf16→f32.
-    pub const MIXED_BF16: GemmPolicy = GemmPolicy { mixed: true };
+    pub const MIXED_BF16: GemmPolicy = GemmPolicy {
+        mixed: true,
+        workers: 0,
+    };
+
+    /// Same policy with the worker-count knob set.
+    pub fn with_workers(self, workers: usize) -> GemmPolicy {
+        GemmPolicy { workers, ..self }
+    }
+
+    /// Push the worker-count policy into the global pool
+    /// ([`crate::par::set_gemm_workers`]); `workers == 0` is a no-op.
+    /// The trainer calls this once at startup.
+    pub fn apply_workers(&self) {
+        if self.workers > 0 {
+            crate::par::set_gemm_workers(self.workers);
+        }
+    }
 
     /// Precision for an `m × k × n` product: bf16 iff mixed precision is
     /// on and the MAC volume clears [`MIXED_MIN_MACS`]. Pure in (self,

@@ -44,12 +44,18 @@
 //!   per-thread [`crate::scratch`] arena (each element type pools
 //!   separately).
 //! - **Deterministic summation order**: every `C` element accumulates its
-//!   `k` products in ascending `pc`-block order, and parallelism is over
-//!   disjoint row blocks — the result is a pure function of the inputs,
-//!   independent of worker scheduling, so SPMD replicas stay bitwise
-//!   symmetric. This holds per precision; the two precisions differ from
-//!   each other (bf16 rounds the operands), which is why kernel
-//!   *selection* ([`crate::ops::dispatch`]) must itself be deterministic.
+//!   `k` products in ascending `pc`-block order. Parallelism divides `C`
+//!   into a static `(MC, NC)` tile grid — a pure function of `(m, n)`,
+//!   never of worker count — and each tile is owned by exactly **one**
+//!   executor for its entire `k` reduction, iterating `pc` ascending and
+//!   packing its own B panels from per-thread scratch. No partial sums
+//!   ever cross threads (the combine tree is degenerate: one leaf per
+//!   tile), so the result is a pure function of the inputs, bitwise
+//!   identical at any worker count under any scheduling — which the
+//!   schedule-adversarial suite asserts with injected per-tile delays.
+//!   This holds per precision; the two precisions differ from each other
+//!   (bf16 rounds the operands), which is why kernel *selection*
+//!   ([`crate::ops::dispatch`]) must itself be deterministic.
 //!
 //! The unit tests pin every orientation against the naive reference;
 //! `crates/tensor/tests/kernel_equivalence.rs` fuzzes adversarial shapes
@@ -59,8 +65,8 @@
 
 use crate::bf16::Bf16;
 use crate::ops::conv::Conv2dGeom;
+use crate::par;
 use crate::scratch::{scratch_elems, PoolElem};
-use rayon::prelude::*;
 
 /// Row-block size (A panel height). A multiple of [`MR`].
 pub const MC: usize = 64;
@@ -73,7 +79,9 @@ pub const MR: usize = 4;
 /// Micro-tile columns (one 256-bit f32 vector wide).
 pub const NR: usize = 8;
 
-/// Minimum MAC count before the macro-kernel parallelizes its row blocks.
+/// Minimum MAC count before the macro-kernel fans its tile grid out to
+/// the [`crate::par`] worker pool (below this, job-dispatch latency
+/// dominates any parallel win).
 const PAR_FLOP_THRESHOLD: usize = 64 * 1024;
 
 /// An element type the packing layer can store panels in. The conversion
@@ -365,10 +373,18 @@ fn micro_kernel<E: PackElem>(kc: usize, apanel: &[E], bpanel: &[E], acc: &mut [[
     }
 }
 
-/// Macro-kernel over one row block of `C` for one packed B panel.
+/// Macro-kernel over one `(ic, jc)` tile of `C` for one packed B panel,
+/// writing through a raw base pointer so disjoint tiles can run on
+/// different workers despite `C` being one allocation (same-`ic`,
+/// different-`jc` tiles alias any `&mut` row slicing).
+///
+/// # Safety
+/// `c` must point to the full `m×n` C matrix (row stride `n`), valid for
+/// writes, and no other thread may concurrently touch rows `ic..ic+mc` ×
+/// cols `jc..jc+nc` — the tile grid guarantees exactly that (each tile
+/// has a single owner and tiles are pairwise disjoint).
 #[allow(clippy::too_many_arguments)]
-fn macro_block<E: PackElem>(
-    m: usize,
+unsafe fn macro_block<E: PackElem>(
     n: usize,
     kc: usize,
     jc: usize,
@@ -377,9 +393,8 @@ fn macro_block<E: PackElem>(
     mc: usize,
     a_region: &[E], // packed A for this pc block: m_tiles tiles of kc×MR
     bp: &[E],
-    c_block: &mut [f32], // rows ic..ic+mc of C
+    c: *mut f32, // base of the full m×n C matrix
 ) {
-    let _ = m;
     let b_tiles = nc.div_ceil(NR);
     let t0 = ic / MR; // MC % MR == 0, so blocks align to tile boundaries
     let tiles_in_block = mc.div_ceil(MR);
@@ -394,12 +409,28 @@ fn macro_block<E: PackElem>(
             let mut acc = [[0.0f32; NR]; MR];
             micro_kernel(kc, apanel, &bp[jt * kc * NR..(jt + 1) * kc * NR], &mut acc);
             for (ii, accrow) in acc.iter().enumerate().take(im) {
-                let crow = &mut c_block[(i0 + ii) * n + j0..(i0 + ii) * n + j0 + jn];
-                for (cv, &av) in crow.iter_mut().zip(accrow.iter()) {
-                    *cv += av;
+                let crow = c.add((ic + i0 + ii) * n + j0);
+                for (jj, &av) in accrow.iter().take(jn).enumerate() {
+                    *crow.add(jj) += av;
                 }
             }
         }
+    }
+}
+
+/// `*mut f32` that asserts cross-thread shareability. Sound only under
+/// the tile-disjointness argument in [`macro_block`]'s safety contract.
+#[derive(Clone, Copy)]
+struct CPtr(*mut f32);
+unsafe impl Send for CPtr {}
+unsafe impl Sync for CPtr {}
+
+impl CPtr {
+    /// Accessor (rather than field access) so closures capture the
+    /// `Sync` wrapper, not the raw `*mut f32` field.
+    #[inline]
+    fn get(self) -> *mut f32 {
+        self.0
     }
 }
 
@@ -442,31 +473,56 @@ pub fn gemm_prepacked_as<E: PackElem>(
     }
 
     let m_padded = m.div_ceil(MR) * MR;
-    let parallel = m > MC && m * n * k >= PAR_FLOP_THRESHOLD;
-    // One panel buffer reused across every (jc, pc) iteration.
-    let max_nc_padded = NC.min(n.div_ceil(NR) * NR);
-    let mut bp = scratch_elems::<E>(KC.min(k) * max_nc_padded);
-    for jc in (0..n).step_by(NC) {
-        let nc = NC.min(n - jc);
-        for pc in (0..k).step_by(KC) {
-            let kc = KC.min(k - pc);
-            pack_b_panel(b, k, n, pc, kc, jc, nc, &mut bp);
-            let a_pc = &ap[m_padded * pc..m_padded * (pc + kc)];
-            if parallel {
-                c.par_chunks_mut(MC * n).enumerate().for_each(|(blk, cb)| {
-                    let ic = blk * MC;
-                    if ic < m {
-                        let mc = MC.min(m - ic);
-                        macro_block(m, n, kc, jc, nc, ic, mc, a_pc, &bp, cb);
-                    }
-                });
-            } else {
-                for (blk, cb) in c.chunks_mut(MC * n).enumerate() {
-                    let ic = blk * MC;
-                    if ic < m {
-                        let mc = MC.min(m - ic);
-                        macro_block(m, n, kc, jc, nc, ic, mc, a_pc, &bp, cb);
-                    }
+    // The static tile grid: row blocks × column blocks, a pure function
+    // of (m, n). Each tile owns rows ic..ic+mc × cols jc..jc+nc of C for
+    // its entire k reduction (pc ascending), so per-element summation
+    // order is fixed by shape alone — the same whether the tiles run on
+    // one thread or sixteen, in any order.
+    let row_blocks = m.div_ceil(MC);
+    let col_blocks = n.div_ceil(NC);
+    let n_tiles = row_blocks * col_blocks;
+    let parallel = n_tiles > 1 && par::gemm_workers() > 1 && m * n * k >= PAR_FLOP_THRESHOLD;
+    if parallel {
+        let cp = CPtr(c.as_mut_ptr());
+        let tile_body = |tile: usize| {
+            let ic = (tile / col_blocks) * MC;
+            let jc = (tile % col_blocks) * NC;
+            let mc = MC.min(m - ic);
+            let nc = NC.min(n - jc);
+            // Per-tile B panel from this worker's own scratch pool; the
+            // packed values are identical to the sequential path's (the
+            // pack is pure data movement), only the reuse pattern differs.
+            let mut bp = scratch_elems::<E>(KC.min(k) * nc.div_ceil(NR) * NR);
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+                pack_b_panel(b, k, n, pc, kc, jc, nc, &mut bp);
+                let a_pc = &ap[m_padded * pc..m_padded * (pc + kc)];
+                // SAFETY: run_tiles executes each tile index exactly
+                // once; tiles are pairwise disjoint regions of C.
+                unsafe { macro_block(n, kc, jc, nc, ic, mc, a_pc, &bp, cp.get()) };
+            }
+        };
+        par::run_tiles(n_tiles, &tile_body);
+    } else {
+        // Sequential: one panel buffer reused across every (jc, pc)
+        // iteration, amortizing each B pack over all row blocks. Per C
+        // element this performs the identical f32 operations in the
+        // identical order as the tile grid above — the equivalence the
+        // schedule-adversarial suite pins bitwise.
+        let max_nc_padded = NC.min(n.div_ceil(NR) * NR);
+        let mut bp = scratch_elems::<E>(KC.min(k) * max_nc_padded);
+        let cp = c.as_mut_ptr();
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+                pack_b_panel(b, k, n, pc, kc, jc, nc, &mut bp);
+                let a_pc = &ap[m_padded * pc..m_padded * (pc + kc)];
+                for ic in (0..m).step_by(MC) {
+                    let mc = MC.min(m - ic);
+                    // SAFETY: single-threaded; `c` is exclusively
+                    // borrowed by this function.
+                    unsafe { macro_block(n, kc, jc, nc, ic, mc, a_pc, &bp, cp) };
                 }
             }
         }

@@ -33,7 +33,7 @@ use ets_tensor::ops::matmul::{
     gemm_a_bt_slice, gemm_a_bt_slice_acc, gemm_at_b_slice, gemm_at_b_slice_acc, gemm_slice,
     gemm_slice_acc,
 };
-use ets_tensor::{Rng, Shape};
+use ets_tensor::{set_gemm_workers, Rng, Shape};
 use proptest::prelude::*;
 
 fn rand_vec(seed: u64, n: usize) -> Vec<f32> {
@@ -523,6 +523,45 @@ fn check_bf16_fused_conv(
     );
 }
 
+/// The parallel tile grid vs the sequential loop, bitwise, both
+/// precisions. The worker pool is process-global, so rather than pin a
+/// pool size (another test could resize it mid-flight) this asserts the
+/// real invariant: results at a 4-worker setting equal results at a
+/// 1-worker setting exactly — which only holds if *every* intermediate
+/// configuration agrees.
+fn check_parallel_matches_sequential(seed: u64, m: usize, k: usize, n: usize) {
+    let a = rand_vec(seed, m * k);
+    let b = rand_vec(seed + 1, k * n);
+
+    set_gemm_workers(1);
+    let mut seq32 = vec![0.0; m * n];
+    gemm_blocked(m, k, n, &a, &b, &mut seq32);
+    let mut seq16 = vec![0.0; m * n];
+    gemm_blocked_bf16(m, k, n, &a, &b, &mut seq16);
+
+    set_gemm_workers(4);
+    let mut par32 = vec![0.0; m * n];
+    gemm_blocked(m, k, n, &a, &b, &mut par32);
+    let mut par16 = vec![0.0; m * n];
+    gemm_blocked_bf16(m, k, n, &a, &b, &mut par16);
+    set_gemm_workers(1);
+
+    assert!(
+        seq32
+            .iter()
+            .zip(&par32)
+            .all(|(x, y)| x.to_bits() == y.to_bits()),
+        "f32 parallel GEMM diverged from sequential at ({m},{k},{n})"
+    );
+    assert!(
+        seq16
+            .iter()
+            .zip(&par16)
+            .all(|(x, y)| x.to_bits() == y.to_bits()),
+        "bf16 parallel GEMM diverged from sequential at ({m},{k},{n})"
+    );
+}
+
 // ------------------------------------------------- stub-safe fixed suites
 
 /// Adversarial shape set: micro-kernel boundaries (m<MR, n<NR), panel
@@ -593,6 +632,27 @@ fn bf16_fused_patch_panels_match_quantized_oracle() {
 }
 
 #[test]
+fn parallel_matches_sequential_on_tile_boundary_shapes() {
+    // Tile-boundary edge cases: m < MR, n < NR, k < KC, exact block
+    // multiples, one past each multiple, and multi-tile grids big
+    // enough to clear the parallel threshold.
+    let shapes = [
+        (MR - 1, 40, NR - 1),     // below both micro-tile dims
+        (1, 300, 1),              // single element C, deep k
+        (MR, KC, NR),             // exact micro/panel multiples
+        (MR + 1, KC + 1, NR + 1), // one past each
+        (64, KC - 1, 256),        // exact (MC, NC) grid, k < KC
+        (65, KC, 257),            // one past MC and NC
+        (128, 2 * KC, 512),       // exact multiples, multi-tile
+        (129, 2 * KC + 1, 513),   // one past everything
+        (130, 150, 300),          // odd interior shape, 3×2 grid
+    ];
+    for (i, &(m, k, n)) in shapes.iter().enumerate() {
+        check_parallel_matches_sequential(5000 + i as u64, m, k, n);
+    }
+}
+
+#[test]
 fn dispatcher_is_a_pure_function_of_shape() {
     // Same (m,k,n) must answer the same regardless of call history or
     // data — probe interleaved with real GEMM calls of various shapes.
@@ -659,6 +719,18 @@ proptest! {
         n in 1usize..70,
     ) {
         check_bf16_shape(seed, m, k, n);
+    }
+
+    /// Random shapes: parallel tile grid vs sequential loop, bitwise,
+    /// both precisions (the schedule-adversarial tier's property form).
+    #[test]
+    fn parallel_matches_sequential_random_shapes(
+        seed in 0u64..10_000,
+        m in 1usize..140,
+        k in 1usize..300,
+        n in 1usize..300,
+    ) {
+        check_parallel_matches_sequential(seed, m, k, n);
     }
 
     /// Random conv geometries through the bf16 fused patch path.

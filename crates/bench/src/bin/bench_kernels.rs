@@ -21,7 +21,7 @@
 //! ```
 
 use ets_bench::kernels::{
-    check_kernel_regression, kernel_rows, kernels_json, pack_probe, parallel_probe,
+    abft_probe, check_kernel_regression, kernel_rows, kernels_json, pack_probe, parallel_probe,
     steady_state_probe, validate_kernels_json,
 };
 use std::path::PathBuf;
@@ -46,7 +46,8 @@ fn main() {
     let ss = steady_state_probe(smoke);
     let pack = pack_probe(smoke);
     let par = parallel_probe(smoke);
-    let doc = kernels_json(&rows, &ss, &pack, &par, smoke);
+    let abft = abft_probe(smoke);
+    let doc = kernels_json(&rows, &ss, &pack, &par, &abft, smoke);
     validate_kernels_json(&doc).expect("BENCH_kernels.json failed schema validation");
 
     let path = out_dir.join("BENCH_kernels.json");
@@ -104,10 +105,20 @@ fn main() {
             "skipped (single-core host)"
         }
     );
+    println!(
+        "abft verify @ calibration: plain {:.2} GFLOP/s, verified {:.2} GFLOP/s ({:.1}% of plain), \
+         {} tiles checked, bitwise_equal {}, false positives {}",
+        abft.plain_gflops,
+        abft.verify_gflops,
+        abft.relative_throughput() * 100.0,
+        abft.tiles_verified,
+        abft.bitwise_equal,
+        abft.false_positives
+    );
     println!("wrote {} ({} B)", path.display(), doc.len());
 
     if check {
-        if let Err(e) = check_kernel_regression(&rows, &ss, &pack, &par) {
+        if let Err(e) = check_kernel_regression(&rows, &ss, &pack, &par, &abft) {
             eprintln!("kernel regression gate failed: {e}");
             std::process::exit(1);
         }

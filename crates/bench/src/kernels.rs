@@ -210,6 +210,82 @@ pub fn parallel_probe(smoke: bool) -> ParallelProbe {
     }
 }
 
+/// ABFT verify-cost probe at the calibration shape: the same blocked
+/// GEMM with tile-checksum verification off and on. Verification is an
+/// eᵀ(AB) = (eᵀA)B identity check over each macro-tile, so on clean
+/// operands it must be **bitwise neutral** (the product path is
+/// untouched; only checksums are computed alongside) and must never
+/// report a corruption — the probe pins both, and prices the overhead
+/// as a GFLOP/s ratio CI can track release over release.
+#[derive(Clone, Debug)]
+pub struct AbftProbe {
+    pub reps: usize,
+    /// Throughput with verification off (the default production path).
+    pub plain_gflops: f64,
+    /// Throughput with per-tile checksum verification on.
+    pub verify_gflops: f64,
+    /// Verified output bitwise equal to the unverified one (must hold).
+    pub bitwise_equal: bool,
+    /// Tiles checksummed during the measured reps (> 0 or the probe
+    /// never exercised the verify path and the cost figure is vacuous).
+    pub tiles_verified: u64,
+    /// Corruptions reported on clean operands (must be 0).
+    pub false_positives: u64,
+}
+
+impl AbftProbe {
+    /// verify / plain throughput ratio (1.0 = free, lower = costlier).
+    pub fn relative_throughput(&self) -> f64 {
+        if self.plain_gflops > 0.0 {
+            self.verify_gflops / self.plain_gflops
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs the ABFT verify-cost probe at the calibration shape. Restores
+/// the process-global verify flag it found on entry.
+pub fn abft_probe(smoke: bool) -> AbftProbe {
+    use ets_tensor::ops::abft;
+
+    let (m, k, n) = CALIBRATION_MKN;
+    let flops = 2 * (m * k * n) as u64;
+    let reps = if smoke { 3 } else { 10 };
+    let mut rng = Rng::new(103);
+    let mut a = vec![0.0f32; m * k];
+    rng.fill_uniform(&mut a, -1.0, 1.0);
+    let mut b = vec![0.0f32; k * n];
+    rng.fill_uniform(&mut b, -1.0, 1.0);
+    let mut c_plain = vec![0.0f32; m * n];
+    let mut c_verify = vec![0.0f32; m * n];
+
+    let prev = abft::verify_enabled();
+    abft::set_verify(false);
+    let plain_gflops = time_gflops(flops, reps, || gemm_blocked(m, k, n, &a, &b, &mut c_plain));
+
+    abft::set_verify(true);
+    let verified0 = abft::tiles_verified();
+    let detected0 = abft::corruptions_detected();
+    let verify_gflops = time_gflops(flops, reps, || gemm_blocked(m, k, n, &a, &b, &mut c_verify));
+    let tiles_verified = abft::tiles_verified() - verified0;
+    let false_positives = abft::corruptions_detected() - detected0;
+    abft::set_verify(prev);
+
+    let bitwise_equal = c_plain
+        .iter()
+        .zip(&c_verify)
+        .all(|(x, y)| x.to_bits() == y.to_bits());
+    AbftProbe {
+        reps,
+        plain_gflops,
+        verify_gflops,
+        bitwise_equal,
+        tiles_verified,
+        false_positives,
+    }
+}
+
 /// Steady-state training-step probe results.
 #[derive(Clone, Debug)]
 pub struct SteadyState {
@@ -571,11 +647,12 @@ pub fn kernels_json(
     ss: &SteadyState,
     pack: &PackProbe,
     par: &ParallelProbe,
+    abft: &AbftProbe,
     smoke: bool,
 ) -> String {
     let mut w = JsonWriter::with_capacity(4096);
     w.begin_object()
-        .field_str("schema", "bench_kernels_v3")
+        .field_str("schema", "bench_kernels_v4")
         .field_str("mode", if smoke { "smoke" } else { "full" })
         .key("rows")
         .begin_array();
@@ -629,6 +706,16 @@ pub fn kernels_json(
     }
     w.end_array()
         .end_object()
+        .key("abft")
+        .begin_object()
+        .field_u64("reps", abft.reps as u64)
+        .field_f64("plain_gflops", abft.plain_gflops)
+        .field_f64("verify_gflops", abft.verify_gflops)
+        .field_f64("relative_throughput", abft.relative_throughput())
+        .field_bool("bitwise_equal", abft.bitwise_equal)
+        .field_u64("tiles_verified", abft.tiles_verified)
+        .field_u64("false_positives", abft.false_positives)
+        .end_object()
         .key("steady_state")
         .begin_object()
         .field_u64("warmup_steps", ss.warmup_steps as u64)
@@ -649,8 +736,8 @@ pub fn kernels_json(
 /// not a silent gap in the perf trajectory.
 pub fn validate_kernels_json(doc: &str) -> Result<(), String> {
     let v = parse_json(doc)?;
-    if v.get("schema").and_then(Value::as_str) != Some("bench_kernels_v3") {
-        return Err("schema must be bench_kernels_v3".into());
+    if v.get("schema").and_then(Value::as_str) != Some("bench_kernels_v4") {
+        return Err("schema must be bench_kernels_v4".into());
     }
     match v.get("mode").and_then(Value::as_str) {
         Some("smoke") | Some("full") => {}
@@ -741,6 +828,23 @@ pub fn validate_kernels_json(doc: &str) -> Result<(), String> {
     {
         return Err("parallel.worker_realloc_deltas must be an array".into());
     }
+    let abft = v.get("abft").ok_or("abft probe missing")?;
+    for key in [
+        "reps",
+        "plain_gflops",
+        "verify_gflops",
+        "relative_throughput",
+        "tiles_verified",
+        "false_positives",
+    ] {
+        match abft.get(key).and_then(Value::as_f64) {
+            Some(x) if x.is_finite() && x >= 0.0 => {}
+            _ => return Err(format!("abft.{key} must be a finite non-negative number")),
+        }
+    }
+    if !matches!(abft.get("bitwise_equal"), Some(Value::Bool(_))) {
+        return Err("abft.bitwise_equal must be a boolean".into());
+    }
     let ss = v.get("steady_state").ok_or("steady_state missing")?;
     for key in [
         "warmup_steps",
@@ -783,7 +887,26 @@ pub fn check_kernel_regression(
     ss: &SteadyState,
     pack: &PackProbe,
     par: &ParallelProbe,
+    abft: &AbftProbe,
 ) -> Result<(), String> {
+    if !abft.bitwise_equal {
+        return Err(
+            "ABFT verify mode perturbed the product at the calibration shape; \
+             verification must be bitwise neutral"
+                .into(),
+        );
+    }
+    if abft.false_positives != 0 {
+        return Err(format!(
+            "ABFT verify reported {} corruption(s) on clean operands",
+            abft.false_positives
+        ));
+    }
+    if abft.tiles_verified == 0 {
+        return Err(
+            "ABFT probe never reached the tile verify path — cost figure is vacuous".into(),
+        );
+    }
     if !par.bitwise_equal {
         return Err(format!(
             "parallel GEMM ({} workers) diverged bitwise from sequential at the calibration shape",
@@ -879,6 +1002,17 @@ mod tests {
         }
     }
 
+    fn abft_ok() -> AbftProbe {
+        AbftProbe {
+            reps: 2,
+            plain_gflops: 10.0,
+            verify_gflops: 9.0,
+            bitwise_equal: true,
+            tiles_verified: 64,
+            false_positives: 0,
+        }
+    }
+
     fn par_probe() -> ParallelProbe {
         ParallelProbe {
             workers: PARALLEL_PROBE_WORKERS,
@@ -912,9 +1046,10 @@ mod tests {
             dispatch_blocked_bf16: 6,
             dispatch_naive_bf16: 2,
         };
-        let doc = kernels_json(&rows, &ss, &probe(), &par_probe(), true);
+        let doc = kernels_json(&rows, &ss, &probe(), &par_probe(), &abft_ok(), true);
         validate_kernels_json(&doc).expect("valid document");
-        check_kernel_regression(&rows, &ss, &probe(), &par_probe()).expect("no regression");
+        check_kernel_regression(&rows, &ss, &probe(), &par_probe(), &abft_ok())
+            .expect("no regression");
     }
 
     #[test]
@@ -933,12 +1068,12 @@ mod tests {
             dispatch_blocked_bf16: 0,
             dispatch_naive_bf16: 0,
         };
-        let doc = kernels_json(&rows, &ss, &probe(), &par_probe(), true);
+        let doc = kernels_json(&rows, &ss, &probe(), &par_probe(), &abft_ok(), true);
         assert!(validate_kernels_json(&doc).is_err());
         // Older schema versions no longer validate.
         let rows2 = vec![row(CALIBRATION_LABEL, 1.0, 2.0, true)];
-        let doc2 = kernels_json(&rows2, &ss, &probe(), &par_probe(), true)
-            .replace("bench_kernels_v3", "bench_kernels_v2");
+        let doc2 = kernels_json(&rows2, &ss, &probe(), &par_probe(), &abft_ok(), true)
+            .replace("bench_kernels_v4", "bench_kernels_v3");
         assert!(validate_kernels_json(&doc2).is_err());
     }
 
@@ -956,18 +1091,20 @@ mod tests {
             dispatch_blocked_bf16: 0,
             dispatch_naive_bf16: 0,
         };
-        assert!(check_kernel_regression(&rows, &ss, &probe(), &par_probe()).is_err());
+        assert!(check_kernel_regression(&rows, &ss, &probe(), &par_probe(), &abft_ok()).is_err());
         let rows_ok = vec![KernelBenchRow {
             blocked_gflops: 4.0,
             auto_gflops: 4.0,
             ..rows[0].clone()
         }];
-        assert!(check_kernel_regression(&rows_ok, &ss, &probe(), &par_probe()).is_ok());
+        assert!(check_kernel_regression(&rows_ok, &ss, &probe(), &par_probe(), &abft_ok()).is_ok());
         let ss_bad = SteadyState {
             scratch_reallocs_delta: 3,
             ..ss.clone()
         };
-        assert!(check_kernel_regression(&rows_ok, &ss_bad, &probe(), &par_probe()).is_err());
+        assert!(
+            check_kernel_regression(&rows_ok, &ss_bad, &probe(), &par_probe(), &abft_ok()).is_err()
+        );
     }
 
     #[test]
@@ -990,10 +1127,13 @@ mod tests {
             row("b0_mb_expand_1x1_56px", 10.0, 8.0, false),
         ];
         bad_auto[1].auto_gflops = 8.0; // routed blocked, which loses
-        let err = check_kernel_regression(&bad_auto, &ss, &probe(), &par_probe()).unwrap_err();
+        let err = check_kernel_regression(&bad_auto, &ss, &probe(), &par_probe(), &abft_ok())
+            .unwrap_err();
         assert!(err.contains("b0_mb_expand_1x1_56px"), "{err}");
         bad_auto[1].auto_gflops = 9.9; // routed naive: within noise floor
-        assert!(check_kernel_regression(&bad_auto, &ss, &probe(), &par_probe()).is_ok());
+        assert!(
+            check_kernel_regression(&bad_auto, &ss, &probe(), &par_probe(), &abft_ok()).is_ok()
+        );
 
         // bf16 pack slower than f32 pack.
         let slow_pack = PackProbe {
@@ -1002,7 +1142,8 @@ mod tests {
             ..probe()
         };
         let rows = vec![row(CALIBRATION_LABEL, 1.0, 2.0, true)];
-        let err = check_kernel_regression(&rows, &ss, &slow_pack, &par_probe()).unwrap_err();
+        let err =
+            check_kernel_regression(&rows, &ss, &slow_pack, &par_probe(), &abft_ok()).unwrap_err();
         assert!(err.contains("bf16 panel pack"), "{err}");
     }
 }

@@ -225,6 +225,9 @@ pub fn step_time_summaries() -> Vec<RunSummary> {
             bn_sync_pct: 0.0,
             images_per_sec: r.throughput_img_per_ms * 1e3,
             total_virtual_s: r.step_ms * 1e-3,
+            corruptions_detected: 0,
+            corruptions_corrected: 0,
+            rank_quarantines: 0,
             overhead: OverheadDecomposition::default(),
         })
         .collect()

@@ -7,7 +7,7 @@
 //! exercised them and the `BENCH_*` perf trajectory stayed empty.
 
 use ets_bench::kernels::{
-    check_kernel_regression, kernel_rows, kernels_json, pack_probe, parallel_probe,
+    abft_probe, check_kernel_regression, kernel_rows, kernels_json, pack_probe, parallel_probe,
     steady_state_probe, validate_kernels_json, CALIBRATION_LABEL, CALIBRATION_MKN,
 };
 use ets_bench::{
@@ -189,13 +189,14 @@ fn kernel_bench_smoke_emits_valid_json_and_allocation_free_steady_state() {
     let ss = steady_state_probe(true);
     let pack = pack_probe(true);
     let par = parallel_probe(true);
-    let doc = kernels_json(&rows, &ss, &pack, &par, true);
+    let abft = abft_probe(true);
+    let doc = kernels_json(&rows, &ss, &pack, &par, &abft, true);
     validate_kernels_json(&doc).expect("BENCH_kernels.json schema");
 
     let v = parse_json(&doc).expect("kernels JSON must parse");
     assert_eq!(
         v.get("schema").unwrap().as_str().unwrap(),
-        "bench_kernels_v3"
+        "bench_kernels_v4"
     );
     assert_eq!(v.get("mode").unwrap().as_str().unwrap(), "smoke");
 
@@ -267,13 +268,30 @@ fn kernel_bench_smoke_emits_valid_json_and_allocation_free_steady_state() {
     assert!(pp.get("seq_gflops").unwrap().as_f64().unwrap() > 0.0);
     assert!(pp.get("par_gflops").unwrap().as_f64().unwrap() > 0.0);
 
+    // ABFT probe: verification must be bitwise neutral on clean
+    // operands, never report a corruption, and actually checksum tiles
+    // (otherwise the overhead figure prices nothing).
+    let ab = v.get("abft").unwrap();
+    assert!(
+        ab.get("bitwise_equal").unwrap().as_bool().unwrap(),
+        "ABFT verify must not perturb the product"
+    );
+    assert_eq!(
+        ab.get("false_positives").unwrap().as_f64().unwrap(),
+        0.0,
+        "ABFT verify must not fire on clean operands"
+    );
+    assert!(ab.get("tiles_verified").unwrap().as_f64().unwrap() > 0.0);
+    assert!(ab.get("plain_gflops").unwrap().as_f64().unwrap() > 0.0);
+    assert!(ab.get("verify_gflops").unwrap().as_f64().unwrap() > 0.0);
+
     // The CI regression gate passes on a healthy optimized build. The
     // throughput half of the gate is meaningless without optimizations
     // (unoptimized blocked kernels lose to naive on pure call overhead),
     // so only assert it when this test itself runs under `--release` —
     // CI's `bench-kernels` job runs the bin in release mode regardless.
     if !cfg!(debug_assertions) {
-        check_kernel_regression(&rows, &ss, &pack, &par).expect("regression gate must pass");
+        check_kernel_regression(&rows, &ss, &pack, &par, &abft).expect("regression gate must pass");
     }
 }
 
@@ -287,6 +305,7 @@ fn kernel_regression_gate_rejects_bad_rows() {
     let ss = steady_state_probe(true);
     let pack = pack_probe(true);
     let par = parallel_probe(true);
+    let abft = abft_probe(true);
 
     let mut slow = rows.clone();
     let cal = slow
@@ -295,28 +314,28 @@ fn kernel_regression_gate_rejects_bad_rows() {
         .expect("calibration row");
     cal.blocked_gflops = cal.naive_gflops * 0.5;
     assert!(
-        check_kernel_regression(&slow, &ss, &pack, &par).is_err(),
+        check_kernel_regression(&slow, &ss, &pack, &par, &abft).is_err(),
         "gate must reject blocked < naive at the calibration shape"
     );
 
     let mut routed_wrong = rows.clone();
     routed_wrong[0].auto_gflops = routed_wrong[0].naive_gflops * 0.5;
     assert!(
-        check_kernel_regression(&routed_wrong, &ss, &pack, &par).is_err(),
+        check_kernel_regression(&routed_wrong, &ss, &pack, &par, &abft).is_err(),
         "gate must reject a dispatched path slower than naive"
     );
 
     let mut slow_pack = pack.clone();
     slow_pack.bf16_melems_per_s = slow_pack.f32_melems_per_s * 0.5;
     assert!(
-        check_kernel_regression(&rows, &ss, &slow_pack, &par).is_err(),
+        check_kernel_regression(&rows, &ss, &slow_pack, &par, &abft).is_err(),
         "gate must reject a bf16 pack slower than the f32 pack"
     );
 
     let mut leaky = ss.clone();
     leaky.scratch_reallocs_delta = 3;
     assert!(
-        check_kernel_regression(&rows, &leaky, &pack, &par).is_err(),
+        check_kernel_regression(&rows, &leaky, &pack, &par, &abft).is_err(),
         "gate must reject a growing scratch arena"
     );
 
@@ -326,7 +345,7 @@ fn kernel_regression_gate_rejects_bad_rows() {
     let mut divergent = par.clone();
     divergent.bitwise_equal = false;
     assert!(
-        check_kernel_regression(&rows, &ss, &pack, &divergent).is_err(),
+        check_kernel_regression(&rows, &ss, &pack, &divergent, &abft).is_err(),
         "gate must reject a non-bitwise parallel GEMM"
     );
 
@@ -336,7 +355,7 @@ fn kernel_regression_gate_rejects_bad_rows() {
     }
     leaky_worker.worker_realloc_deltas[0] = 2;
     assert!(
-        check_kernel_regression(&rows, &ss, &pack, &leaky_worker).is_err(),
+        check_kernel_regression(&rows, &ss, &pack, &leaky_worker, &abft).is_err(),
         "gate must reject a worker-scratch realloc during measured reps"
     );
 
@@ -346,7 +365,28 @@ fn kernel_regression_gate_rejects_bad_rows() {
     slow_par.seq_gflops = 10.0;
     slow_par.par_gflops = 11.0; // 1.1x < the 1.6x floor
     assert!(
-        check_kernel_regression(&rows, &ss, &pack, &slow_par).is_err(),
+        check_kernel_regression(&rows, &ss, &pack, &slow_par, &abft).is_err(),
         "gate must reject sub-floor parallel speedup on multi-core hosts"
+    );
+
+    // ABFT gates: a perturbed product, a clean-data detection, and a
+    // probe that never reached the tile path must all fail.
+    let mut perturbed = abft.clone();
+    perturbed.bitwise_equal = false;
+    assert!(
+        check_kernel_regression(&rows, &ss, &pack, &par, &perturbed).is_err(),
+        "gate must reject a non-neutral ABFT verify pass"
+    );
+    let mut trigger_happy = abft.clone();
+    trigger_happy.false_positives = 1;
+    assert!(
+        check_kernel_regression(&rows, &ss, &pack, &par, &trigger_happy).is_err(),
+        "gate must reject ABFT false positives on clean operands"
+    );
+    let mut vacuous = abft.clone();
+    vacuous.tiles_verified = 0;
+    assert!(
+        check_kernel_regression(&rows, &ss, &pack, &par, &vacuous).is_err(),
+        "gate must reject an ABFT probe that never checksummed a tile"
     );
 }

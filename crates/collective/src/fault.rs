@@ -77,6 +77,19 @@ pub enum CollectiveError {
         /// The error from the final attempt.
         last: Box<CollectiveError>,
     },
+    /// A payload integrity check failed and the corruption was attributed
+    /// to `rank`'s copy of gradient bucket `bucket` at step `step`. Not
+    /// transient: the caller decides between a verified bucket retry and
+    /// quarantining the rank — blind re-execution via [`retry_collective`]
+    /// would hide the attribution.
+    CorruptPayload {
+        /// Rank whose payload failed the cross-rank fingerprint check.
+        rank: usize,
+        /// Gradient bucket index the corruption was detected in.
+        bucket: usize,
+        /// Training step at which the corruption was detected.
+        step: u64,
+    },
 }
 
 impl fmt::Display for CollectiveError {
@@ -96,6 +109,12 @@ impl fmt::Display for CollectiveError {
             }
             CollectiveError::RetriesExhausted { attempts, last } => {
                 write!(f, "retries exhausted after {attempts} attempts: {last}")
+            }
+            CollectiveError::CorruptPayload { rank, bucket, step } => {
+                write!(
+                    f,
+                    "corrupt payload attributed to rank {rank} (bucket {bucket}, step {step})"
+                )
             }
         }
     }
@@ -222,6 +241,31 @@ pub enum FaultKind {
     /// interpreted **modulo the surviving world** at trigger time, so a
     /// seeded plan always names a live member even after earlier losses.
     PermanentLoss { rank: usize, at_step: u64 },
+    /// **Asymmetric data fault**: rank `rank`'s copy of the reduced
+    /// gradient payload gets bit `bit` of element `element` (modulo the
+    /// payload length) flipped at step `at_step` — silent data corruption
+    /// on the receive side of an all-reduce. Unlike every timing fault
+    /// above, this touches *numerics on a single rank*, so without the
+    /// fingerprint defense the corrupted weights would silently fork the
+    /// SPMD trajectory. Step-keyed like [`FaultKind::PermanentLoss`];
+    /// `rank` is interpreted modulo the surviving world at trigger time.
+    /// One-shot: the flip fires on the first exchanged bucket of the
+    /// step and never re-fires on a verified retry of that bucket.
+    PayloadBitFlip {
+        rank: usize,
+        at_step: u64,
+        element: u32,
+        bit: u8,
+    },
+    /// **Asymmetric compute fault**: at step `at_step`, rank `rank`'s
+    /// next ABFT-verified GEMM tile gets bit `bit` of its first output
+    /// element flipped before the tile checksum check runs — a
+    /// misbehaving core producing a wrong product. Detected (and healed
+    /// by deterministic tile recompute) only when the ABFT verify mode
+    /// is enabled; with verification off this is a *silent* corruption,
+    /// which is exactly the escape the chaos tier asserts cannot happen
+    /// under the defense. One-shot per event.
+    ComputeCorruption { rank: usize, at_step: u64, bit: u8 },
 }
 
 /// A fault with an absolute sim-time trigger. `duration_s` only matters
@@ -395,6 +439,77 @@ impl FaultPlan {
         plan
     }
 
+    /// Generates a seeded *corruption cocktail*: the classic timing mix
+    /// from [`FaultPlan::generate`] plus `n_flips` single-rank payload
+    /// bit flips and `n_compute` single-rank GEMM output corruptions at
+    /// seeded steps inside the first `horizon_s` of virtual time. Like
+    /// [`FaultPlan::generate_elastic`], this is a **separate** entry
+    /// point with its own seed stream so the classic generator's pinned
+    /// event sequences never shift.
+    ///
+    /// Payload flips draw bits from the high-mantissa/exponent range
+    /// (23..=30): large enough that the corrupted rank's payload sum
+    /// deviates far beyond f32 reduction rounding, which is what the
+    /// two-rank attribution tie-break relies on. Compute flips draw from
+    /// the same exponent range (23..=30): an exponent flip changes the
+    /// element's magnitude by at least 2×, which is always above the
+    /// ABFT tile checksum's shape-derived tolerance, whereas a
+    /// low-mantissa flip can hide below the rounding noise floor of a
+    /// large tile.
+    pub fn generate_corruption(
+        seed: u64,
+        world: usize,
+        horizon_s: f64,
+        n_faults: usize,
+        n_flips: usize,
+        n_compute: usize,
+    ) -> Self {
+        let mut plan = FaultPlan::generate(seed, world, horizon_s, n_faults);
+        let mut s = seed ^ 0x00c0_44fa_u64.rotate_left(23);
+        let horizon_steps = (horizon_s / plan.virtual_step_seconds).floor().max(2.0) as u64;
+        for _ in 0..n_flips {
+            let at_step = 1 + splitmix64(&mut s) % (horizon_steps - 1);
+            let rank = (splitmix64(&mut s) % world as u64) as usize;
+            let element = splitmix64(&mut s) as u32;
+            let bit = 23 + (splitmix64(&mut s) % 8) as u8;
+            plan.events.push(FaultEvent {
+                at_s: at_step as f64 * plan.virtual_step_seconds,
+                duration_s: 0.0,
+                kind: FaultKind::PayloadBitFlip {
+                    rank,
+                    at_step,
+                    element,
+                    bit,
+                },
+            });
+        }
+        for _ in 0..n_compute {
+            let at_step = 1 + splitmix64(&mut s) % (horizon_steps - 1);
+            let rank = (splitmix64(&mut s) % world as u64) as usize;
+            let bit = 23 + (splitmix64(&mut s) % 8) as u8;
+            plan.events.push(FaultEvent {
+                at_s: at_step as f64 * plan.virtual_step_seconds,
+                duration_s: 0.0,
+                kind: FaultKind::ComputeCorruption { rank, at_step, bit },
+            });
+        }
+        plan
+    }
+
+    /// Number of corruption events ([`FaultKind::PayloadBitFlip`] +
+    /// [`FaultKind::ComputeCorruption`]) in the plan.
+    pub fn corruption_events(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    FaultKind::PayloadBitFlip { .. } | FaultKind::ComputeCorruption { .. }
+                )
+            })
+            .count()
+    }
+
     /// Validates internal consistency, panicking with a clear message —
     /// mirrors `Experiment::validate`.
     pub fn validate(&self) {
@@ -435,6 +550,12 @@ impl FaultPlan {
                     assert!(failures >= 1, "event {i}: zero transient failures");
                 }
                 FaultKind::PermanentLoss { .. } => {}
+                FaultKind::PayloadBitFlip { bit, .. } => {
+                    assert!(bit < 32, "event {i}: payload flip bit {bit} outside f32");
+                }
+                FaultKind::ComputeCorruption { bit, .. } => {
+                    assert!(bit < 32, "event {i}: compute flip bit {bit} outside f32");
+                }
             }
         }
         assert!(
@@ -477,6 +598,8 @@ impl FaultPlan {
         let mut transient: BTreeMap<u64, u32> = BTreeMap::new();
         let mut preempts: Vec<u64> = Vec::new();
         let mut losses: Vec<(u64, usize)> = Vec::new();
+        let mut payload_flips: BTreeMap<u64, (usize, u32, u8)> = BTreeMap::new();
+        let mut compute_flips: BTreeMap<u64, (usize, u8)> = BTreeMap::new();
         for ev in &self.events {
             match ev.kind {
                 FaultKind::LinkDegrade { scale, .. } => {
@@ -506,6 +629,23 @@ impl FaultPlan {
                         losses.push((at_step, rank));
                     }
                 }
+                FaultKind::PayloadBitFlip {
+                    rank,
+                    at_step,
+                    element,
+                    bit,
+                } => {
+                    // Step-keyed like PermanentLoss; at most one flip per
+                    // step (first event wins) keeps injection one-shot.
+                    if at_step < total_steps {
+                        payload_flips.entry(at_step).or_insert((rank, element, bit));
+                    }
+                }
+                FaultKind::ComputeCorruption { rank, at_step, bit } => {
+                    if at_step < total_steps {
+                        compute_flips.entry(at_step).or_insert((rank, bit));
+                    }
+                }
             }
         }
         preempts.sort_unstable();
@@ -518,6 +658,8 @@ impl FaultPlan {
             transient,
             preempts,
             losses,
+            payload_flips,
+            compute_flips,
             checkpoint_every_steps: self.checkpoint_every_steps.max(1),
             restart_delay_s: self.restart_delay_s,
             retry: self.retry,
@@ -556,6 +698,8 @@ pub struct FaultSchedule {
     transient: BTreeMap<u64, u32>,
     preempts: Vec<u64>,
     losses: Vec<(u64, usize)>,
+    payload_flips: BTreeMap<u64, (usize, u32, u8)>,
+    compute_flips: BTreeMap<u64, (usize, u8)>,
     checkpoint_every_steps: u64,
     restart_delay_s: f64,
     retry: RetryPolicy,
@@ -606,6 +750,27 @@ impl FaultSchedule {
         !self.losses.is_empty()
     }
 
+    /// The payload bit flip scheduled for step `step`, if any, as
+    /// `(rank, element, bit)`. `rank` is modulo the surviving world,
+    /// `element` modulo the payload length at injection time.
+    pub fn payload_flip_at(&self, step: u64) -> Option<(usize, u32, u8)> {
+        self.payload_flips.get(&step).copied()
+    }
+
+    /// The GEMM output corruption scheduled for step `step`, if any, as
+    /// `(rank, bit)`. `rank` is modulo the surviving world.
+    pub fn compute_corruption_at(&self, step: u64) -> Option<(usize, u8)> {
+        self.compute_flips.get(&step).copied()
+    }
+
+    /// True when any data-corruption fault (payload flip or compute
+    /// corruption) is scheduled — the trainer keys its fingerprint
+    /// verification, ABFT arming, and durable-checkpoint cadence off
+    /// this.
+    pub fn has_corruption(&self) -> bool {
+        !self.payload_flips.is_empty() || !self.compute_flips.is_empty()
+    }
+
     /// Virtual seconds charged for the durable checkpoint leg of a
     /// resize.
     pub fn resize_checkpoint_s(&self) -> f64 {
@@ -630,7 +795,11 @@ impl FaultSchedule {
 
     /// True when the schedule injects nothing at all.
     pub fn is_empty(&self) -> bool {
-        !self.has_preempts() && !self.has_transients() && !self.has_timing() && !self.has_losses()
+        !self.has_preempts()
+            && !self.has_transients()
+            && !self.has_timing()
+            && !self.has_losses()
+            && !self.has_corruption()
     }
 
     /// Checkpoint cadence in steps.
@@ -670,6 +839,12 @@ pub struct FaultyCollective {
     step: AtomicU64,
     failed_attempts_this_step: AtomicU32,
     injected_failures: AtomicU64,
+    /// Last step a payload bit flip was injected at on this rank
+    /// (`u64::MAX` = never). Flips are one-shot per scheduled step, so a
+    /// verified bucket retry re-runs the clean reduction and the
+    /// corrected trajectory is bitwise identical to the unfaulted one.
+    flip_done_step: AtomicU64,
+    injected_flips: AtomicU64,
     /// Optional flight recorder; injected failures and fallible calls are
     /// counted into its metrics registry. A disabled recorder makes every
     /// recording call a cheap early-return, so fault-free hot paths pay
@@ -686,6 +861,8 @@ impl FaultyCollective {
             step: AtomicU64::new(0),
             failed_attempts_this_step: AtomicU32::new(0),
             injected_failures: AtomicU64::new(0),
+            flip_done_step: AtomicU64::new(u64::MAX),
+            injected_flips: AtomicU64::new(0),
             recorder: None,
         }
     }
@@ -709,6 +886,11 @@ impl FaultyCollective {
     /// Total transient failures injected so far on this rank.
     pub fn injected_failures(&self) -> u64 {
         self.injected_failures.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bit flips injected so far on this rank.
+    pub fn injected_payload_flips(&self) -> u64 {
+        self.injected_flips.load(Ordering::Relaxed)
     }
 
     /// The shared schedule.
@@ -769,7 +951,7 @@ impl Collective for FaultyCollective {
                 attempt: failed + 1,
             });
         }
-        if let Some(rec) = &self.recorder {
+        let result = if let Some(rec) = &self.recorder {
             let _span = rec.wall_span(
                 ets_obs::Lane::WallCollective,
                 ets_obs::phase::RETRY_ATTEMPT,
@@ -779,6 +961,38 @@ impl Collective for FaultyCollective {
             self.inner.try_all_reduce_sum(buf)
         } else {
             self.inner.try_all_reduce_sum(buf)
+        };
+        if result.is_ok() {
+            self.maybe_flip_payload(step, buf);
+        }
+        result
+    }
+}
+
+impl FaultyCollective {
+    /// Applies the step's scheduled [`FaultKind::PayloadBitFlip`] to this
+    /// rank's copy of the *reduced* payload — receive-side silent data
+    /// corruption. Asymmetric by design: only the scheduled rank (modulo
+    /// the surviving world) mutates its buffer, so without the
+    /// fingerprint defense its weights silently fork from its peers'.
+    /// One-shot per scheduled step: a verified retry of the bucket
+    /// re-runs the clean reduction.
+    fn maybe_flip_payload(&self, step: u64, buf: &mut [f32]) {
+        let Some((rank, element, bit)) = self.schedule.payload_flip_at(step) else {
+            return;
+        };
+        if rank % self.inner.size() != self.inner.rank() || buf.is_empty() {
+            return;
+        }
+        if self.flip_done_step.load(Ordering::Relaxed) == step {
+            return;
+        }
+        self.flip_done_step.store(step, Ordering::Relaxed);
+        let idx = element as usize % buf.len();
+        buf[idx] = f32::from_bits(buf[idx].to_bits() ^ (1u32 << bit));
+        self.injected_flips.fetch_add(1, Ordering::Relaxed);
+        if let Some(rec) = &self.recorder {
+            rec.counter_add("collective_corruptions_injected", 1);
         }
     }
 }
@@ -1027,6 +1241,154 @@ mod tests {
         assert!(!sched.is_empty());
         assert!(!plan.is_timing_only());
         assert_eq!(plan.permanent_losses(), 3);
+    }
+
+    #[test]
+    fn generate_corruption_is_deterministic_and_extends_classic() {
+        for seed in [0u64, 5, 0xc0de] {
+            let a = FaultPlan::generate_corruption(seed, 4, 16.0, 3, 2, 2);
+            let b = FaultPlan::generate_corruption(seed, 4, 16.0, 3, 2, 2);
+            assert_eq!(a, b, "seed {seed}");
+            a.validate();
+            assert_eq!(a.corruption_events(), 4);
+            // The classic prefix is untouched.
+            let classic = FaultPlan::generate(seed, 4, 16.0, 3);
+            assert_eq!(&a.events[..3], &classic.events[..]);
+            for ev in &a.events[3..] {
+                match ev.kind {
+                    FaultKind::PayloadBitFlip {
+                        rank, at_step, bit, ..
+                    } => {
+                        assert!(rank < 4 && at_step >= 1);
+                        assert!((23..=30).contains(&bit), "flip bit {bit}");
+                    }
+                    FaultKind::ComputeCorruption { rank, at_step, bit } => {
+                        assert!(rank < 4 && at_step >= 1);
+                        assert!((23..=30).contains(&bit), "compute bit {bit}");
+                    }
+                    other => panic!("expected corruption event, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_events_compile_into_step_tables() {
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent {
+                    at_s: 0.0,
+                    duration_s: 0.0,
+                    kind: FaultKind::PayloadBitFlip {
+                        rank: 1,
+                        at_step: 3,
+                        element: 7,
+                        bit: 30,
+                    },
+                },
+                FaultEvent {
+                    at_s: 0.0,
+                    duration_s: 0.0,
+                    kind: FaultKind::ComputeCorruption {
+                        rank: 0,
+                        at_step: 5,
+                        bit: 24,
+                    },
+                },
+                FaultEvent {
+                    at_s: 0.0,
+                    duration_s: 0.0,
+                    kind: FaultKind::PayloadBitFlip {
+                        rank: 2,
+                        at_step: 99, // beyond horizon: dropped
+                        element: 0,
+                        bit: 23,
+                    },
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        let sched = plan.compile(10);
+        assert_eq!(sched.payload_flip_at(3), Some((1, 7, 30)));
+        assert_eq!(sched.payload_flip_at(4), None);
+        assert_eq!(sched.compute_corruption_at(5), Some((0, 24)));
+        assert!(sched.has_corruption());
+        assert!(!sched.is_empty());
+        assert!(!plan.is_timing_only());
+    }
+
+    #[test]
+    fn payload_flip_is_asymmetric_and_one_shot() {
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                at_s: 0.0,
+                duration_s: 0.0,
+                kind: FaultKind::PayloadBitFlip {
+                    rank: 1,
+                    at_step: 0,
+                    element: 0,
+                    bit: 30,
+                },
+            }],
+            ..FaultPlan::default()
+        };
+        let sched = Arc::new(plan.compile(4));
+        let world = create_collective(Backend::Tree, 3);
+        let joins: Vec<_> = world
+            .into_iter()
+            .map(|c| {
+                let sched = Arc::clone(&sched);
+                thread::spawn(move || {
+                    let fc = FaultyCollective::new(c, sched);
+                    fc.set_step(0);
+                    let mut buf = vec![1.0f32, 2.0];
+                    fc.try_all_reduce_sum(&mut buf).unwrap();
+                    let first = buf.clone();
+                    // Retry of the same bucket at the same step: flip
+                    // must NOT re-fire, so the retried reduction is clean.
+                    let mut buf2 = vec![1.0f32, 2.0];
+                    fc.try_all_reduce_sum(&mut buf2).unwrap();
+                    (fc.rank(), first, buf2, fc.injected_payload_flips())
+                })
+            })
+            .collect();
+        let mut results: Vec<_> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        results.sort_by_key(|r| r.0);
+        for (rank, first, retried, flips) in &results {
+            assert_eq!(*retried, vec![3.0, 6.0], "rank {rank} retry not clean");
+            if *rank == 1 {
+                assert_ne!(*first, vec![3.0, 6.0], "rank 1 payload must be flipped");
+                assert_eq!(*flips, 1);
+            } else {
+                assert_eq!(*first, vec![3.0, 6.0], "rank {rank} must stay clean");
+                assert_eq!(*flips, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_error_is_not_transient() {
+        let e = CollectiveError::CorruptPayload {
+            rank: 2,
+            bucket: 1,
+            step: 7,
+        };
+        assert!(!e.is_transient());
+        let msg = e.to_string();
+        assert!(msg.contains("rank 2") && msg.contains("bucket 1") && msg.contains("step 7"));
+        // retry_collective must propagate it immediately, unretried.
+        let mut calls = 0;
+        let err = retry_collective(&RetryPolicy::default(), || {
+            calls += 1;
+            Err(CollectiveError::CorruptPayload {
+                rank: 2,
+                bucket: 1,
+                step: 7,
+            })
+        })
+        .unwrap_err();
+        assert_eq!(calls, 1);
+        assert!(matches!(err, CollectiveError::CorruptPayload { .. }));
     }
 
     #[test]

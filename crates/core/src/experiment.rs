@@ -39,6 +39,32 @@ pub enum DecayChoice {
     Cosine,
 }
 
+/// What the trainer does when the cross-rank gradient fingerprint check
+/// attributes a corrupt bucket payload to a rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CorruptionPolicy {
+    /// Retry the corrupted bucket once from the saved local contribution
+    /// (a transient flip vanishes on retry — the injector is one-shot per
+    /// step, and so are real SDC bit flips); a second corrupt verdict
+    /// quarantines the attributed rank through the elastic-resize path.
+    #[default]
+    RetryThenQuarantine,
+    /// Skip the retry and quarantine the attributed rank on the first
+    /// corrupt verdict (for hardware where a flagged core is never
+    /// trusted again).
+    QuarantineImmediately,
+}
+
+impl CorruptionPolicy {
+    /// Bucket retries granted before quarantine.
+    pub fn bucket_retries(self) -> u32 {
+        match self {
+            CorruptionPolicy::RetryThenQuarantine => 1,
+            CorruptionPolicy::QuarantineImmediately => 0,
+        }
+    }
+}
+
 /// A complete training-run description.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Experiment {
@@ -137,6 +163,35 @@ pub struct Experiment {
     /// count (static tile ownership), so this is a pure throughput knob.
     #[serde(default)]
     pub gemm_workers: usize,
+    /// Cross-rank gradient fingerprint verification: after every bucket
+    /// all-reduce, ranks exchange a tiny fingerprint record (FNV-1a of
+    /// the reduced bytes + control sums) through an all-gather; a
+    /// mismatch proves some rank's copy of the reduced payload is
+    /// corrupt and *attributes* it to that rank. Detection feeds
+    /// [`CorruptionPolicy`]. Bitwise-neutral on clean runs (the check
+    /// only reads the reduced buffer); costs one small all-gather per
+    /// bucket. Old configs default to `false`.
+    #[serde(default)]
+    pub fingerprint_verify: bool,
+    /// ABFT tile-checksum verification for every blocked GEMM in the
+    /// process (`ets_tensor::ops::abft`): detects silent *compute*
+    /// corruption inside forward/backward matmuls and heals it by
+    /// deterministic tile recompute, bitwise-neutral when clean. Process
+    /// global (like the GEMM worker pool). Old configs default to
+    /// `false`.
+    #[serde(default)]
+    pub abft_verify: bool,
+    /// What to do when fingerprint verification attributes a corrupt
+    /// payload to a rank. Irrelevant unless `fingerprint_verify` is set.
+    #[serde(default)]
+    pub corruption_policy: CorruptionPolicy,
+    /// Re-verify the CRCs of every retained durable checkpoint after
+    /// each elastic resize ([`crate::ckpt_store::CkptStore::scrub`]),
+    /// deleting any that fail so a later rollback can never land on a
+    /// rotted file. Counted in `RecoveryCounters`. Old configs default
+    /// to `false`.
+    #[serde(default)]
+    pub scrub_after_resize: bool,
     /// Override for the gradient-bucket size in elements. `None` (the
     /// default) keeps [`crate::grad_bucket::DEFAULT_BUCKET_ELEMS`]; small
     /// values split proxy-scale models into several buckets so the
@@ -188,6 +243,10 @@ impl Experiment {
             ckpt_dir: None,
             overlap_all_reduce: false,
             gemm_workers: 0,
+            fingerprint_verify: false,
+            abft_verify: false,
+            corruption_policy: CorruptionPolicy::default(),
+            scrub_after_resize: false,
             grad_bucket_elems: None,
             train_samples: 512,
             eval_samples: 128,
@@ -253,6 +312,26 @@ impl Experiment {
                 ets_collective::FaultKind::PermanentLoss { rank, .. } => assert!(
                     rank < self.replicas,
                     "fault plan permanently loses rank {rank} outside world of {}",
+                    self.replicas
+                ),
+                ets_collective::FaultKind::PayloadBitFlip { rank, at_step, .. } => {
+                    assert!(
+                        rank < self.replicas,
+                        "fault plan flips payload bits on rank {rank} outside world of {}",
+                        self.replicas
+                    );
+                    // Quarantine recovery rewinds strictly past the
+                    // poisoned step, so a flip at step 0 would precede
+                    // every durable checkpoint.
+                    assert!(
+                        at_step >= 1,
+                        "payload bit flips must target step >= 1 (quarantine rolls back \
+                         strictly before the poisoned step)"
+                    );
+                }
+                ets_collective::FaultKind::ComputeCorruption { rank, .. } => assert!(
+                    rank < self.replicas,
+                    "fault plan corrupts compute on rank {rank} outside world of {}",
                     self.replicas
                 ),
             }

@@ -20,6 +20,34 @@
 //! trainer stays bitwise on the seed trajectory. The ring backend chunks
 //! by buffer length, so bucket layout is part of its (fixed, reproducible)
 //! reduction order.
+//!
+//! ## Cross-rank gradient fingerprints (opt-in)
+//!
+//! Every backend produces **bitwise-identical** reduced buffers on all
+//! ranks — that invariant is what the whole trainer's SPMD symmetry
+//! rests on, and it makes silent receive-side payload corruption (a bit
+//! flip in one rank's copy of the reduced gradients, the classic
+//! network/DMA SDC) *detectable and attributable*: after each bucket's
+//! all-reduce, each rank computes an FNV-1a fingerprint of its reduced
+//! bytes and the ranks exchange a 12-float record per rank through one
+//! tiny all-gather. All fingerprints equal ⇒ clean. A mismatch proves
+//! some rank's copy diverged; with ≥ 3 ranks the minority fingerprint
+//! *is* the corrupt rank (majority vote), and a two-rank world breaks
+//! the tie by comparing each rank's self-reported f64 sum of its reduced
+//! buffer against the index-ordered sum of the pre-reduce local
+//! contributions (the flip's magnitude dwarfs f32 reduction rounding for
+//! the exponent-range flips the fault generator injects; a NaN deviation
+//! counts as infinite). The gathered matrix is identical on every rank,
+//! so every rank reaches the same verdict without another round trip —
+//! the healing decision is SPMD-symmetric by construction.
+//!
+//! Healing: the local contribution is snapshotted before the reduce, so
+//! a corrupt verdict restores it and re-runs the bucket's collective —
+//! the injector (like a real SDC) is one-shot, so the retry reproduces
+//! the clean bytes bitwise. Retries exhausted surfaces a typed
+//! [`CollectiveError::CorruptPayload`] carrying the attributed rank, on
+//! every rank, and the trainer quarantines through the elastic-resize
+//! path.
 
 use crate::report::RecoveryCounters;
 use crate::timeline::{AllReduceProfile, Stopwatch};
@@ -33,6 +61,106 @@ use std::sync::Arc;
 /// Default bucket bound: 1 Mi elements = 4 MiB of f32 gradients. Proxy
 /// models fit in one bucket; paper-scale models split into several.
 pub const DEFAULT_BUCKET_ELEMS: usize = 1 << 20;
+
+/// Floats per rank in the fingerprint all-gather record: the FNV-1a
+/// fingerprint of the reduced bytes, the f64 sum of the pre-reduce local
+/// contribution, and the f64 sum of the reduced buffer — each as four
+/// 16-bit limbs (every limb is exact in f32, so the record survives the
+/// float-typed collective losslessly).
+const FP_RECORD_F32S: usize = 12;
+
+/// FNV-1a over the f32 bit patterns of a slice (little-endian bytes).
+fn fnv1a_bits(slice: &[f32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in slice {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn pack_u64_limbs(v: u64, out: &mut [f32]) {
+    for (i, o) in out.iter_mut().enumerate().take(4) {
+        *o = ((v >> (16 * i)) & 0xffff) as f32;
+    }
+}
+
+fn unpack_u64_limbs(r: &[f32]) -> u64 {
+    (0..4).fold(0u64, |acc, i| acc | ((r[i] as u64 & 0xffff) << (16 * i)))
+}
+
+fn f64_sum(slice: &[f32]) -> f64 {
+    slice.iter().map(|&v| v as f64).sum()
+}
+
+/// Outcome of one bucket's fingerprint exchange.
+enum FpVerdict {
+    /// All ranks hold bitwise-identical reduced bytes.
+    Clean,
+    /// `rank`'s copy of the reduced payload diverged from its peers'.
+    Corrupt { rank: usize },
+}
+
+/// Exchanges fingerprint records for one reduced bucket and returns the
+/// (rank-identical) verdict. `cs_local` is the f64 sum of this rank's
+/// pre-reduce contribution.
+fn fingerprint_verdict(comm: &dyn Collective, reduced: &[f32], cs_local: f64) -> FpVerdict {
+    let mut rec = [0.0f32; FP_RECORD_F32S];
+    pack_u64_limbs(fnv1a_bits(reduced), &mut rec[0..4]);
+    pack_u64_limbs(cs_local.to_bits(), &mut rec[4..8]);
+    pack_u64_limbs(f64_sum(reduced).to_bits(), &mut rec[8..12]);
+    let mut gathered = Vec::new();
+    comm.all_gather(&rec, &mut gathered);
+    let world = comm.size();
+    assert_eq!(
+        gathered.len(),
+        world * FP_RECORD_F32S,
+        "fingerprint all-gather returned a short matrix"
+    );
+    let at = |r: usize, f: usize| unpack_u64_limbs(&gathered[r * FP_RECORD_F32S + 4 * f..]);
+    let fps: Vec<u64> = (0..world).map(|r| at(r, 0)).collect();
+    if fps.iter().all(|&f| f == fps[0]) {
+        return FpVerdict::Clean;
+    }
+    // Majority vote: with a strict fingerprint majority, the smallest
+    // minority rank is the corrupt one (single-rank fault model).
+    let mut best_fp = fps[0];
+    let mut best_count = 0usize;
+    for &f in &fps {
+        let c = fps.iter().filter(|&&g| g == f).count();
+        if c > best_count {
+            best_count = c;
+            best_fp = f;
+        }
+    }
+    if 2 * best_count > world {
+        let rank = fps
+            .iter()
+            .position(|&f| f != best_fp)
+            .expect("fingerprints differ but no minority rank");
+        return FpVerdict::Corrupt { rank };
+    }
+    // Count tie (a two-rank world, or a pathological split): attribute
+    // by sum deviation. Every rank reported the f64 sum of its reduced
+    // copy; the truth is (up to f32 reduction rounding) the index-order
+    // sum of the self-reported local contributions. The corrupt copy's
+    // exponent-range flip deviates far beyond the rounding band; a NaN
+    // deviation is treated as infinite.
+    let expected: f64 = (0..world).map(|r| f64::from_bits(at(r, 1))).sum();
+    let mut worst = 0usize;
+    let mut worst_dev = f64::MIN;
+    for r in 0..world {
+        let dev = (f64::from_bits(at(r, 2)) - expected).abs();
+        let dev = if dev.is_nan() { f64::INFINITY } else { dev };
+        if dev > worst_dev {
+            worst_dev = dev;
+            worst = r;
+        }
+    }
+    FpVerdict::Corrupt { rank: worst }
+}
 
 /// Persistent state for the bucketized gradient exchange.
 pub struct GradBucket {
@@ -50,8 +178,15 @@ pub struct GradBucket {
     /// histogram, and retry counters. Disabled recorders cost one branch.
     recorder: Option<Arc<Recorder>>,
     /// Step used to tag recorded bucket spans (set via
-    /// [`GradBucket::set_step`]; purely observational).
+    /// [`GradBucket::set_step`]; purely observational). Also stamps
+    /// [`CollectiveError::CorruptPayload`] when fingerprinting trips.
     step: u64,
+    /// Cross-rank fingerprint verification of every reduced bucket
+    /// (module docs). Off by default: clean paths pay nothing.
+    fingerprint: bool,
+    /// Bucket retries granted on a corrupt verdict before surfacing
+    /// [`CollectiveError::CorruptPayload`].
+    corruption_retries: u32,
 }
 
 impl GradBucket {
@@ -82,7 +217,18 @@ impl GradBucket {
             profile: AllReduceProfile::new(bucket_elems),
             recorder: None,
             step: 0,
+            fingerprint: false,
+            corruption_retries: 1,
         }
+    }
+
+    /// Enables/disables cross-rank fingerprint verification of every
+    /// reduced bucket, granting `bucket_retries` verified retries per
+    /// corrupt verdict before the typed error surfaces. Bitwise-neutral
+    /// on clean runs: verification only *reads* the reduced buffer.
+    pub fn set_fingerprint_verify(&mut self, on: bool, bucket_retries: u32) {
+        self.fingerprint = on;
+        self.corruption_retries = bucket_retries;
     }
 
     /// Attaches a flight recorder; subsequent exchanges emit per-bucket
@@ -190,12 +336,57 @@ impl GradBucket {
         // (accounted into `counters`, never slept).
         for (i, &(a, b)) in self.buckets.iter().enumerate() {
             let mut sw = Stopwatch::start();
-            let flat = &mut self.flat;
-            let outcome = retry_collective(policy, || comm.try_all_reduce_sum(&mut flat[a..b]))?;
-            let retries = (outcome.attempts - 1) as u64;
-            counters.transient_failures += retries;
-            counters.collective_retries += retries;
-            counters.retry_backoff_virtual_s += outcome.backoff_s;
+            // Fingerprint mode snapshots the local contribution (the
+            // verified-retry restore point) and its control sum before
+            // the reduce overwrites it.
+            let (snapshot, cs_local) = if self.fingerprint {
+                (self.flat[a..b].to_vec(), f64_sum(&self.flat[a..b]))
+            } else {
+                (Vec::new(), 0.0)
+            };
+            let mut attempts_left = self.corruption_retries;
+            let mut detected_here = 0u64;
+            let mut bucket_retries = 0u64;
+            loop {
+                let flat = &mut self.flat;
+                let outcome =
+                    retry_collective(policy, || comm.try_all_reduce_sum(&mut flat[a..b]))?;
+                let retries = (outcome.attempts - 1) as u64;
+                counters.transient_failures += retries;
+                counters.collective_retries += retries;
+                counters.retry_backoff_virtual_s += outcome.backoff_s;
+                bucket_retries += retries;
+                if !self.fingerprint {
+                    break;
+                }
+                match fingerprint_verdict(comm, &self.flat[a..b], cs_local) {
+                    FpVerdict::Clean => {
+                        if detected_here > 0 {
+                            counters.corruptions_corrected += detected_here;
+                            if let Some(rec) = &self.recorder {
+                                rec.counter_add("bucket_corruptions_corrected", detected_here);
+                            }
+                        }
+                        break;
+                    }
+                    FpVerdict::Corrupt { rank } => {
+                        counters.corruptions_detected += 1;
+                        detected_here += 1;
+                        if let Some(rec) = &self.recorder {
+                            rec.counter_add("bucket_corruptions_detected", 1);
+                        }
+                        if attempts_left == 0 {
+                            return Err(CollectiveError::CorruptPayload {
+                                rank,
+                                bucket: i,
+                                step: self.step,
+                            });
+                        }
+                        attempts_left -= 1;
+                        self.flat[a..b].copy_from_slice(&snapshot);
+                    }
+                }
+            }
             let dur = sw.lap();
             self.profile.bucket_seconds[i] += dur;
             // The serialized path blocks the replica thread for the whole
@@ -211,8 +402,8 @@ impl GradBucket {
                     i as u64,
                 );
                 rec.histogram_observe("bucket_seconds", dur);
-                if retries > 0 {
-                    rec.counter_add("bucket_retries", retries);
+                if bucket_retries > 0 {
+                    rec.counter_add("bucket_retries", bucket_retries);
                 }
             }
         }
@@ -280,12 +471,16 @@ impl GradBucket {
         let param_sizes = &self.param_sizes;
         let recorder = self.recorder.clone();
         let step = self.step;
+        let fingerprint = self.fingerprint;
+        let corruption_retries = self.corruption_retries;
 
         struct CommStats {
             /// (bucket index, seconds) in completion order.
             bucket_seconds: Vec<(usize, f64)>,
             retries: u64,
             backoff_s: f64,
+            corruptions_detected: u64,
+            corruptions_corrected: u64,
             error: Option<CollectiveError>,
         }
 
@@ -298,15 +493,68 @@ impl GradBucket {
                     bucket_seconds: Vec::with_capacity(n_buckets),
                     retries: 0,
                     backoff_s: 0.0,
+                    corruptions_detected: 0,
+                    corruptions_corrected: 0,
                     error: None,
                 };
                 for (i, slice) in rx {
+                    let (snapshot, cs_local) = if fingerprint {
+                        (slice.to_vec(), f64_sum(slice))
+                    } else {
+                        (Vec::new(), 0.0)
+                    };
                     let mut bsw = Stopwatch::start();
-                    match retry_collective(policy, || comm.try_all_reduce_sum(slice)) {
-                        Ok(outcome) => {
-                            let retries = (outcome.attempts - 1) as u64;
-                            stats.retries += retries;
-                            stats.backoff_s += outcome.backoff_s;
+                    let mut attempts_left = corruption_retries;
+                    let mut detected_here = 0u64;
+                    let mut bucket_retries = 0u64;
+                    // Same detect → verified-retry → typed-error cycle as
+                    // the serialized path, on the communication thread.
+                    let outcome: Result<(), CollectiveError> = loop {
+                        match retry_collective(policy, || comm.try_all_reduce_sum(slice)) {
+                            Ok(o) => {
+                                let retries = (o.attempts - 1) as u64;
+                                stats.retries += retries;
+                                stats.backoff_s += o.backoff_s;
+                                bucket_retries += retries;
+                            }
+                            Err(e) => break Err(e),
+                        }
+                        if !fingerprint {
+                            break Ok(());
+                        }
+                        match fingerprint_verdict(comm, slice, cs_local) {
+                            FpVerdict::Clean => {
+                                if detected_here > 0 {
+                                    stats.corruptions_corrected += detected_here;
+                                    if let Some(rec) = &rec_comm {
+                                        rec.counter_add(
+                                            "bucket_corruptions_corrected",
+                                            detected_here,
+                                        );
+                                    }
+                                }
+                                break Ok(());
+                            }
+                            FpVerdict::Corrupt { rank } => {
+                                stats.corruptions_detected += 1;
+                                detected_here += 1;
+                                if let Some(rec) = &rec_comm {
+                                    rec.counter_add("bucket_corruptions_detected", 1);
+                                }
+                                if attempts_left == 0 {
+                                    break Err(CollectiveError::CorruptPayload {
+                                        rank,
+                                        bucket: i,
+                                        step,
+                                    });
+                                }
+                                attempts_left -= 1;
+                                slice.copy_from_slice(&snapshot);
+                            }
+                        }
+                    };
+                    match outcome {
+                        Ok(()) => {
                             let dur = bsw.lap();
                             stats.bucket_seconds.push((i, dur));
                             if let Some(rec) = &rec_comm {
@@ -319,8 +567,8 @@ impl GradBucket {
                                     i as u64,
                                 );
                                 rec.histogram_observe("bucket_seconds", dur);
-                                if retries > 0 {
-                                    rec.counter_add("bucket_retries", retries);
+                                if bucket_retries > 0 {
+                                    rec.counter_add("bucket_retries", bucket_retries);
                                 }
                             }
                         }
@@ -411,6 +659,8 @@ impl GradBucket {
         counters.transient_failures += stats.retries;
         counters.collective_retries += stats.retries;
         counters.retry_backoff_virtual_s += stats.backoff_s;
+        counters.corruptions_detected += stats.corruptions_detected;
+        counters.corruptions_corrected += stats.corruptions_corrected;
         if let Some(e) = stats.error {
             return Err(e);
         }

@@ -27,9 +27,9 @@ pub use checkpoint::{
 };
 pub use ckpt_store::{
     crc32, CkptError, CkptStore, CorruptionInjector, DurableSnapshot, LoadReport, ManifestEntry,
-    CKPT_STORE_VERSION,
+    ScrubReport, CKPT_STORE_VERSION,
 };
-pub use experiment::{DecayChoice, Experiment, OptimizerChoice};
+pub use experiment::{CorruptionPolicy, DecayChoice, Experiment, OptimizerChoice};
 pub use grad_bucket::{GradBucket, DEFAULT_BUCKET_ELEMS};
 pub use paper_recipe::{proxy_of, PROXY_LARS_LR, PROXY_LARS_TRUST, PROXY_RMSPROP_LR};
 pub use report::{

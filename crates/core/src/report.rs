@@ -59,6 +59,25 @@ pub struct RecoveryCounters {
     /// rolled back to the latest durable checkpoint with the LR halved.
     #[serde(default)]
     pub divergence_rollbacks: u64,
+    /// Silent-data-corruption detections: ABFT tile-checksum failures
+    /// plus cross-rank gradient-fingerprint mismatches.
+    #[serde(default)]
+    pub corruptions_detected: u64,
+    /// Corruptions healed in place (tile recompute or verified bucket
+    /// retry) — the run continued bitwise-identical to a clean run.
+    #[serde(default)]
+    pub corruptions_corrected: u64,
+    /// Ranks quarantined after unhealable corruption (each triggers an
+    /// elastic shrink + rollback to the last checkpoint before the
+    /// poisoned step).
+    #[serde(default)]
+    pub rank_quarantines: u64,
+    /// Retained checkpoints re-verified by a store scrub pass.
+    #[serde(default)]
+    pub checkpoints_scrubbed: u64,
+    /// Checkpoints a scrub pass found corrupt and garbage-collected.
+    #[serde(default)]
+    pub checkpoints_scrub_rejected: u64,
 }
 
 impl RecoveryCounters {
@@ -92,6 +111,14 @@ impl RecoveryCounters {
             self.corrupt_checkpoints_skipped,
         );
         rec.counter_add("divergence_rollbacks", self.divergence_rollbacks);
+        rec.counter_add("corruptions_detected", self.corruptions_detected);
+        rec.counter_add("corruptions_corrected", self.corruptions_corrected);
+        rec.counter_add("rank_quarantines", self.rank_quarantines);
+        rec.counter_add("checkpoints_scrubbed", self.checkpoints_scrubbed);
+        rec.counter_add(
+            "checkpoints_scrub_rejected",
+            self.checkpoints_scrub_rejected,
+        );
         rec.gauge_set("retry_backoff_virtual_s", self.retry_backoff_virtual_s);
         rec.gauge_set("restart_virtual_s", self.restart_virtual_s);
         rec.gauge_set("straggler_virtual_s", self.straggler_virtual_s);
@@ -195,6 +222,9 @@ impl TrainReport {
             total_virtual_s: self.step_timeline.total_virtual_s()
                 + self.step_timeline.resize_virtual_s()
                 + self.fault_recovery.restart_virtual_s,
+            corruptions_detected: self.fault_recovery.corruptions_detected,
+            corruptions_corrected: self.fault_recovery.corruptions_corrected,
+            rank_quarantines: self.fault_recovery.rank_quarantines,
             overhead: ets_obs::OverheadDecomposition {
                 retry_backoff_s: self.fault_recovery.retry_backoff_virtual_s,
                 restart_s: self.fault_recovery.restart_virtual_s,

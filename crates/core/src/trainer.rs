@@ -47,7 +47,7 @@ use crate::grad_bucket::GradBucket;
 use crate::report::{checksum_f32, EpochRecord, RecoveryCounters, TrainReport};
 use crate::timeline::{AllReduceProfile, PhaseBreakdown, ResizeRecord, StepTimeline, Stopwatch};
 use ets_collective::{
-    bn_partition, create_collective, Collective, FaultSchedule, FaultyCollective,
+    bn_partition, create_collective, Collective, CollectiveError, FaultSchedule, FaultyCollective,
 };
 use ets_data::{load_batch, AugmentConfig, Dataset, EpochPlan, SynthNet};
 use ets_efficientnet::EfficientNet;
@@ -350,6 +350,11 @@ struct PhaseOutcome {
     /// True when training completed; false when the phase drained for a
     /// world resize.
     done: bool,
+    /// Ranks this phase quarantined for unhealable payload corruption
+    /// (zero when the phase stopped at a planned resize boundary). A
+    /// nonzero value means the phase already rolled back to the last
+    /// durable checkpoint before the poisoned step.
+    quarantined: u64,
     /// Virtual-clock cursor at phase end. Unlike the timeline (which
     /// overwrites replayed steps), the cursor advances monotonically
     /// through replays, restarts, and resizes, so the next phase's trace
@@ -427,6 +432,14 @@ fn train_recorded(exp: &Experiment, recorders: &[Arc<Recorder>]) -> TrainReport 
     if exp.gemm_workers > 0 {
         ets_tensor::set_gemm_workers(exp.gemm_workers);
     }
+    // ABFT tile verification is process-global (like the worker pool).
+    // Save and restore the previous setting around the run; the run's
+    // counter deltas fold into the recovery counters after the phase
+    // loop. Tests that enable it serialize on their own mutex.
+    let abft_verify_prev = ets_tensor::ops::abft::verify_enabled();
+    ets_tensor::ops::abft::set_verify(exp.abft_verify);
+    let abft_detected0 = ets_tensor::ops::abft::corruptions_detected();
+    let abft_healed0 = ets_tensor::ops::abft::tiles_recomputed();
     let (train_set, eval_set) = SynthNet::train_eval_pair(
         exp.seed,
         exp.num_classes,
@@ -462,7 +475,8 @@ fn train_recorded(exp: &Experiment, recorders: &[Arc<Recorder>]) -> TrainReport 
     // directory: it is cleared at run start so stale files from earlier
     // runs can never shadow this run's state.
     static NEXT_STORE_ID: AtomicU64 = AtomicU64::new(0);
-    let needs_store = faults.has_losses() || exp.nan_guard;
+    let needs_store =
+        faults.has_losses() || exp.nan_guard || (exp.fingerprint_verify && faults.has_corruption());
     let mut auto_dir: Option<PathBuf> = None;
     let store: Option<Arc<CkptStore>> = if needs_store {
         let dir = match &exp.ckpt_dir {
@@ -622,9 +636,18 @@ fn train_recorded(exp: &Experiment, recorders: &[Arc<Recorder>]) -> TrainReport 
         // Resize protocol accounting: the phase drained and persisted a
         // durable checkpoint; shrink the world (keeping at least one
         // survivor) and charge the virtual cost of checkpoint + rebuild +
-        // restart before the next phase resumes.
-        let (bstep, k) = boundaries.pop_front().expect("drained without a boundary");
-        debug_assert_eq!(bstep, res0.step, "phase stopped at the wrong boundary");
+        // restart before the next phase resumes. Two ways to get here:
+        // a planned loss boundary, or a quarantine verdict — the latter
+        // synthesizes the same shrink without consuming a planned
+        // boundary (those sit at later steps and stay valid, because the
+        // quarantined phase stopped strictly before its boundary).
+        let (bstep, k) = if res0.quarantined > 0 {
+            (res0.step, res0.quarantined as usize)
+        } else {
+            let (bstep, k) = boundaries.pop_front().expect("drained without a boundary");
+            debug_assert_eq!(bstep, res0.step, "phase stopped at the wrong boundary");
+            (bstep, k)
+        };
         let lost = k.min(world - 1);
         let new_world = world - lost;
         let resize_s =
@@ -638,6 +661,16 @@ fn train_recorded(exp: &Experiment, recorders: &[Arc<Recorder>]) -> TrainReport 
             world_after: new_world,
             virtual_s: resize_s,
         });
+        // Optional hygiene pass before the shrunken world resumes: every
+        // survivor will load from this store, so re-verify the retained
+        // checkpoints now and GC any that rotted on disk.
+        if exp.scrub_after_resize {
+            if let Some(store) = &store {
+                let scrub = store.scrub().expect("checkpoint scrub failed");
+                carry_counters.checkpoints_scrubbed += scrub.scrubbed;
+                carry_counters.checkpoints_scrub_rejected += scrub.rejected;
+            }
+        }
         world = new_world;
         phase_idx += 1;
     }
@@ -645,6 +678,16 @@ fn train_recorded(exp: &Experiment, recorders: &[Arc<Recorder>]) -> TrainReport 
     if let Some(d) = auto_dir {
         let _ = std::fs::remove_dir_all(&d);
     }
+
+    ets_tensor::ops::abft::set_verify(abft_verify_prev);
+    // ABFT counters are process-global (GEMM tiles carry no rank tag, and
+    // the armed injection is consumed by whichever replica's tile runs
+    // first), so their run deltas fold in *after* the per-rank symmetry
+    // asserts rather than through `PhaseOutcome`.
+    carry_counters.corruptions_detected +=
+        ets_tensor::ops::abft::corruptions_detected().saturating_sub(abft_detected0);
+    carry_counters.corruptions_corrected +=
+        ets_tensor::ops::abft::tiles_recomputed().saturating_sub(abft_healed0);
 
     // Mirror the final recovery counters into every surviving recorder's
     // metric registry (no-op for disabled recorders).
@@ -803,6 +846,10 @@ fn run_replica_phase(
         None => GradBucket::new(&mut model),
     };
     grad_bucket.attach_recorder(Arc::clone(&rec));
+    grad_bucket.set_fingerprint_verify(
+        view.fingerprint_verify,
+        view.corruption_policy.bucket_retries(),
+    );
     let mut optimizer = build_optimizer(view.optimizer);
     // Schedule in the *current world's* step units: `view.replicas` is the
     // surviving world, so the peak LR linear-rescales with the shrunken
@@ -866,6 +913,7 @@ fn run_replica_phase(
         .collect();
     let mut snapshot: Option<ReplicaSnapshot> = None;
     let mut force_snapshot = false;
+    let mut quarantined = 0u64;
 
     let mut plan = EpochPlan::new(view.seed, prog.epoch, train_set.len());
     let mut plan_epoch = prog.epoch;
@@ -889,7 +937,7 @@ fn run_replica_phase(
         // counter increments on all ranks (it counts logical checkpoints,
         // which are symmetric).
         if let Some(store) = store.filter(|_| {
-            view.nan_guard
+            (view.nan_guard || (view.fingerprint_verify && faults.has_corruption()))
                 && (prog.step == phase_start || prog.step.is_multiple_of(faults.checkpoint_every()))
         }) {
             if replica == 0 {
@@ -994,10 +1042,26 @@ fn run_replica_phase(
         // is behaviorally identical for it.)
         world.set_step(prog.step);
         grad_bucket.set_step(prog.step);
+        // Arm the planned compute corruption for this step on the
+        // afflicted replica. The armed flip is process-global and is
+        // consumed by the first blocked-GEMM tile *any* replica computes
+        // (replicas share the process); that is fine because ABFT healing
+        // is bitwise-neutral wherever the flip lands, and with verify off
+        // the escape perturbs the summed gradient identically on every
+        // rank — rank attribution lives in the plan, not the tile.
+        if let Some((crank, bit)) = faults.compute_corruption_at(prog.step) {
+            if crank % view.replicas == replica {
+                ets_tensor::ops::abft::arm_inject(bit);
+            }
+        }
         let backoff_before = counters.retry_backoff_virtual_s;
         // `Some((mean_loss, exposed_s))` once the fused path has already
         // exchanged gradients during backward.
         let mut overlapped_result: Option<(f32, f64)> = None;
+        // A typed exchange failure (corrupt payload past its verified
+        // retries, or retry exhaustion) — handled after the timing
+        // bookkeeping so both exchange paths share one recovery site.
+        let mut exchange_err: Option<CollectiveError> = None;
         if overlap {
             let indices = plan.batch_at(prog.sample_off as usize, replica, view.replicas, b);
             let (x, labels) =
@@ -1006,26 +1070,27 @@ fn run_replica_phase(
             let logits = model.forward(&x, Mode::Train, &mut layer_rng);
             let out = cross_entropy(&logits, &labels, view.label_smoothing);
             fwd_s += sw.lap();
-            let res = grad_bucket
-                .backward_overlapped_with_retry(
-                    &mut model,
-                    &out.dlogits,
-                    world.as_dyn(),
-                    out.loss,
-                    &retry_policy,
-                    &mut counters,
-                )
-                .unwrap_or_else(|e| {
-                    panic!(
-                        "step {}: overlapped gradient exchange failed permanently: {e}",
-                        prog.step
-                    )
-                });
-            // The lap spans backward + exposed wait; the outcome already
-            // decomposes it, so just re-anchor the stopwatch.
-            let _ = sw.lap();
-            bwd_s += res.backward_s;
-            overlapped_result = Some((res.mean_loss, res.exposed_s));
+            match grad_bucket.backward_overlapped_with_retry(
+                &mut model,
+                &out.dlogits,
+                world.as_dyn(),
+                out.loss,
+                &retry_policy,
+                &mut counters,
+            ) {
+                Ok(res) => {
+                    // The lap spans backward + exposed wait; the outcome
+                    // already decomposes it, so just re-anchor the
+                    // stopwatch.
+                    let _ = sw.lap();
+                    bwd_s += res.backward_s;
+                    overlapped_result = Some((res.mean_loss, res.exposed_s));
+                }
+                Err(e) => {
+                    let _ = sw.lap();
+                    exchange_err = Some(e);
+                }
+            }
         } else {
             for micro in 0..accum {
                 let offset = prog.sample_off as usize + micro * micro_span;
@@ -1077,25 +1142,22 @@ fn run_replica_phase(
         // accounted, never slept) — unless the fused overlapped path
         // already exchanged them during backward, in which case only the
         // *exposed* wait counts against the all-reduce phase.
-        let (mean_loss, ar_s) = match overlapped_result {
-            Some((loss, exposed_s)) => (loss, exposed_s),
-            None => {
-                let loss = grad_bucket
-                    .all_reduce_with_retry(
-                        &mut model,
-                        world.as_dyn(),
-                        micro_loss,
-                        &retry_policy,
-                        &mut counters,
-                    )
-                    .unwrap_or_else(|e| {
-                        panic!(
-                            "step {}: gradient exchange failed permanently: {e}",
-                            prog.step
-                        )
-                    });
-                (loss, sw.lap())
-            }
+        let (mean_loss, ar_s) = match (&exchange_err, overlapped_result) {
+            (Some(_), _) => (f32::NAN, 0.0),
+            (None, Some((loss, exposed_s))) => (loss, exposed_s),
+            (None, None) => match grad_bucket.all_reduce_with_retry(
+                &mut model,
+                world.as_dyn(),
+                micro_loss,
+                &retry_policy,
+                &mut counters,
+            ) {
+                Ok(loss) => (loss, sw.lap()),
+                Err(e) => {
+                    exchange_err = Some(e);
+                    (f32::NAN, sw.lap())
+                }
+            },
         };
         phases.all_reduce += ar_s;
         if rec.is_enabled() {
@@ -1107,6 +1169,53 @@ fn run_replica_phase(
                 prog.step,
                 0,
             );
+        }
+
+        // Unhealable exchange failure. A corrupt-payload verdict
+        // quarantines the attributed rank: no optimizer update consumed
+        // the poisoned reduction, but local state (BN running statistics,
+        // RNG streams) already advanced through this step's forward, so
+        // every rank rolls back to the last durable checkpoint strictly
+        // before the poisoned step and the phase drains for an elastic
+        // shrink. The verdict comes from an all-gathered fingerprint
+        // matrix that is identical on every rank, so the whole world
+        // takes this branch in lockstep with identical values. Anything
+        // else (retry exhaustion on a transient schedule) stays fatal.
+        if let Some(err) = exchange_err {
+            match err {
+                CollectiveError::CorruptPayload { rank, bucket, step } => {
+                    let store = store.expect("corruption quarantine requires the durable store");
+                    counters.rank_quarantines += 1;
+                    quarantined += 1;
+                    let (snap, load_report) = store
+                        .load_latest_valid_before(prog.step)
+                        .expect("durable checkpoint store I/O failed")
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "step {step}: rank {rank} quarantined (bucket {bucket}) \
+                                 but no durable checkpoint precedes the poisoned step"
+                            )
+                        });
+                    counters.corrupt_checkpoints_skipped += load_report.corrupt_skipped;
+                    counters.replayed_steps += prog.step - snap.step;
+                    rec.virtual_instant(
+                        Lane::VirtualControl,
+                        obs_ph::REWIND,
+                        vnow,
+                        prog.step,
+                        prog.step - snap.step,
+                    );
+                    let (p, h) = apply_durable(&snap, &mut model, optimizer.as_mut(), &mut ema);
+                    prog = p;
+                    history = h;
+                    timeline.truncate(prog.step);
+                    break false;
+                }
+                other => panic!(
+                    "step {}: gradient exchange failed permanently: {other}",
+                    prog.step
+                ),
+            }
         }
 
         // Divergence guard: the reduced loss and flat gradient buffer are
@@ -1321,6 +1430,7 @@ fn run_replica_phase(
         timeline,
         step: prog.step,
         done,
+        quarantined,
         vnow_end: vnow,
     }
 }

@@ -1,0 +1,471 @@
+//! Silent-data-corruption chaos tier: inject payload bit flips and
+//! compute faults into real training runs and prove the defense stack
+//! (ABFT-checked GEMM + cross-rank gradient fingerprints + quarantine)
+//! either heals every corruption **bitwise** or attributes and evicts
+//! the corrupt rank through the elastic-resize path.
+//!
+//! The contract:
+//!
+//! 1. **False-positive freedom** — clean runs never trip a detector,
+//!    and turning the detectors on is bitwise-neutral.
+//! 2. **Payload flips heal** — under the default retry policy a
+//!    receive-side bit flip is detected, retried from the saved local
+//!    contribution, and the run finishes bit-identical to a clean one.
+//! 3. **Quarantine attributes** — with retries disabled, every corrupt
+//!    verdict evicts the attributed rank via a synthesized resize and
+//!    rolls back strictly before the poisoned step.
+//! 4. **Compute faults heal under ABFT** — and demonstrably escape
+//!    without it (the run's weights silently fork), which is exactly
+//!    the gap the verify mode closes.
+//! 5. **Retry exhaustion is typed** — a transient outage outlasting the
+//!    retry budget surfaces `RetriesExhausted` on every rank, no hang.
+//!
+//! ABFT verify/injection state is process-global (`ets_tensor::ops::
+//! abft`), so every test in this binary serializes on one mutex; cargo
+//! runs integration binaries as separate processes, so no other suite
+//! can race these statics.
+//!
+//! Model note: the corruption tests that exercise ABFT use a
+//! resolution-32 proxy. At the default resolution 16 every conv GEMM
+//! falls below `blocked_profitable`'s 32 Ki-MAC floor, the packed tile
+//! kernel never runs, and an armed compute fault would never fire; at
+//! resolution 32 the mid-network projections clear the floor.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread;
+
+use ets_collective::{
+    create_collective, Backend, CollectiveError, FaultEvent, FaultKind, FaultPlan,
+    FaultyCollective, RetryPolicy,
+};
+use ets_nn::Layer;
+use ets_tensor::ops::abft;
+use ets_train::{train, CorruptionPolicy, Experiment, GradBucket, RecoveryCounters, TrainReport};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Process-global ABFT state means one test at a time; a prior panic
+/// must not wedge the rest of the tier.
+fn serial() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Small elastic-style experiment with the corruption defense on:
+/// 4 nominal steps per epoch at any world size.
+fn chaos_exp(backend: Backend, world: usize) -> Experiment {
+    let mut e = Experiment::proxy_default();
+    e.replicas = world;
+    e.per_replica_batch = 8;
+    e.epochs = 2;
+    e.train_samples = 32 * world;
+    e.eval_samples = 32;
+    e.collective_backend = backend;
+    e.fingerprint_verify = true;
+    e.abft_verify = true;
+    e
+}
+
+/// Same experiment on the resolution-32 proxy, whose projection GEMMs
+/// take the packed tile path — required for any ABFT-facing test.
+fn abft_exp(backend: Backend, world: usize) -> Experiment {
+    let mut e = chaos_exp(backend, world);
+    e.model = ets_efficientnet::ModelConfig::tiny(32, 8);
+    e.resolution = 32;
+    e
+}
+
+fn flip(rank: usize, at_step: u64) -> FaultEvent {
+    FaultEvent {
+        at_s: at_step as f64, // advisory; the flip triggers by step
+        duration_s: 0.0,
+        kind: FaultKind::PayloadBitFlip {
+            rank,
+            at_step,
+            element: 97,
+            bit: 24,
+        },
+    }
+}
+
+fn compute_fault(rank: usize, at_step: u64) -> FaultEvent {
+    FaultEvent {
+        at_s: at_step as f64,
+        duration_s: 0.0,
+        kind: FaultKind::ComputeCorruption {
+            rank,
+            at_step,
+            bit: 24,
+        },
+    }
+}
+
+fn assert_no_detections(r: &TrainReport, tag: &str) {
+    let rec = &r.fault_recovery;
+    assert_eq!(rec.corruptions_detected, 0, "{tag}: false positive");
+    assert_eq!(rec.corruptions_corrected, 0, "{tag}");
+    assert_eq!(rec.rank_quarantines, 0, "{tag}");
+}
+
+/// Contract 1: across backends and world sizes (including the trivial
+/// world of one, where fingerprints cannot vote), a fault-free run
+/// never trips either detector, and running with the full defense on
+/// is bitwise identical to running with it off.
+#[test]
+fn clean_runs_never_trip_detectors_and_verify_is_bitwise_neutral() {
+    let _g = serial();
+    for (backend, world) in [
+        (Backend::Tree, 1),
+        (Backend::Tree, 4),
+        (Backend::Ring, 2),
+        (Backend::Auto, 4),
+    ] {
+        let mut on = chaos_exp(backend, world);
+        on.epochs = 1;
+        let mut off = on.clone();
+        off.fingerprint_verify = false;
+        off.abft_verify = false;
+        let (r_on, r_off) = (train(&on), train(&off));
+        let tag = format!("{backend:?}/w{world}");
+        assert_no_detections(&r_on, &tag);
+        assert_eq!(
+            r_on.weight_checksum, r_off.weight_checksum,
+            "{tag}: verify mode perturbed a clean trajectory"
+        );
+        assert_eq!(r_on.steps, r_off.steps, "{tag}");
+    }
+    // Once more on the resolution-32 proxy, where ABFT actually
+    // verifies tiles (at resolution 16 the neutrality claim is vacuous
+    // because no GEMM takes the tile path).
+    let verified0 = abft::tiles_verified();
+    let mut on = abft_exp(Backend::Tree, 2);
+    on.epochs = 1;
+    let mut off = on.clone();
+    off.fingerprint_verify = false;
+    off.abft_verify = false;
+    let (r_on, r_off) = (train(&on), train(&off));
+    assert_no_detections(&r_on, "abft/w2");
+    assert!(
+        abft::tiles_verified() > verified0,
+        "resolution-32 proxy never reached the tile path — neutrality test is vacuous"
+    );
+    assert_eq!(
+        r_on.weight_checksum, r_off.weight_checksum,
+        "ABFT verify perturbed a clean trajectory"
+    );
+}
+
+/// Contract 2: a receive-side payload bit flip is detected by the
+/// bucket fingerprint vote and healed by one retry of the saved local
+/// contribution — the faulted run finishes bit-identical to a clean
+/// one, with no quarantine and no resize.
+#[test]
+fn payload_flip_is_detected_and_healed_bitwise() {
+    let _g = serial();
+    for backend in [Backend::Tree, Backend::Ring] {
+        let clean = chaos_exp(backend, 4);
+        let mut bad = clean.clone();
+        bad.faults.events.push(flip(2, 3));
+        let (rc, rb) = (train(&clean), train(&bad));
+        let rec = &rb.fault_recovery;
+        assert_eq!(rec.corruptions_detected, 1, "{backend:?}");
+        assert_eq!(rec.corruptions_corrected, 1, "{backend:?}");
+        assert_eq!(rec.rank_quarantines, 0, "{backend:?}");
+        assert_eq!(rec.resizes, 0, "{backend:?}");
+        assert_eq!(rb.final_world, 4, "{backend:?}");
+        assert_eq!(
+            rb.weight_checksum, rc.weight_checksum,
+            "{backend:?}: healed run must be bitwise identical to clean"
+        );
+    }
+}
+
+/// Contract 3: with retries disabled every corrupt verdict quarantines
+/// the attributed rank. The injected flip re-arms on each replay (its
+/// rank is interpreted modulo the surviving world), so the cascade
+/// shrinks 4 → 3 → 2 → 1 — and at world 1 the fingerprint vote is
+/// trivially clean, the documented floor of the defense. Each eviction
+/// rolls back strictly before the poisoned step and replays.
+#[test]
+fn quarantine_cascade_attributes_every_verdict_and_shrinks_the_world() {
+    let _g = serial();
+    let mut e = chaos_exp(Backend::Tree, 4);
+    e.corruption_policy = CorruptionPolicy::QuarantineImmediately;
+    e.scrub_after_resize = true;
+    e.faults.events.push(flip(3, 3));
+    let r = train(&e);
+    let rec = &r.fault_recovery;
+    assert_eq!(
+        rec.corruptions_detected, 3,
+        "one verdict per surviving world >= 2"
+    );
+    assert_eq!(rec.corruptions_corrected, 0, "no retries under this policy");
+    assert_eq!(rec.rank_quarantines, 3);
+    assert_eq!(rec.resizes, 3);
+    assert_eq!(rec.lost_replicas, 3);
+    assert_eq!(r.final_world, 1);
+    assert!(rec.replayed_steps >= 3, "each eviction replays >= 1 step");
+    assert!(rec.durable_checkpoints >= 1);
+    assert!(
+        rec.checkpoints_scrubbed >= 1,
+        "scrub_after_resize must audit the store on every shrink"
+    );
+    assert_eq!(rec.checkpoints_scrub_rejected, 0, "store is clean on disk");
+    let worlds: Vec<(usize, usize)> = r
+        .step_timeline
+        .resizes
+        .iter()
+        .map(|rz| (rz.world_before, rz.world_after))
+        .collect();
+    assert_eq!(worlds, vec![(4, 3), (3, 2), (2, 1)]);
+    for rz in &r.step_timeline.resizes {
+        assert!(
+            rz.step < 3,
+            "rollback must stop strictly before the poisoned step"
+        );
+    }
+    assert!(r.final_loss().is_finite());
+    assert_eq!(r.history.len() as u64, e.epochs);
+}
+
+/// The quarantine trajectory is a pure function of (seed, plan,
+/// policy): two runs of the cascade agree bit for bit.
+#[test]
+fn quarantine_trajectory_is_bitwise_reproducible() {
+    let _g = serial();
+    let run = || {
+        let mut e = chaos_exp(Backend::Tree, 4);
+        e.corruption_policy = CorruptionPolicy::QuarantineImmediately;
+        e.faults.events.push(flip(1, 5));
+        train(&e)
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.weight_checksum, b.weight_checksum);
+    assert_eq!(a.final_world, b.final_world);
+    assert_eq!(a.fault_recovery, b.fault_recovery);
+    assert_eq!(a.step_timeline, b.step_timeline);
+}
+
+/// Contract 4: a compute fault (flipped GEMM tile) is healed bitwise by
+/// ABFT tile recompute — and with verification off the same fault
+/// silently forks the weights, while the fingerprint stays quiet
+/// because the corrupt *local* gradient enters the all-reduce and every
+/// rank receives the same corrupted sum. That silence is the gap ABFT
+/// exists to close.
+#[test]
+fn abft_heals_compute_corruption_that_escapes_fingerprints() {
+    let _g = serial();
+    let clean = abft_exp(Backend::Tree, 2);
+    let rc = train(&clean);
+
+    let mut healed = clean.clone();
+    healed.faults.events.push(compute_fault(0, 2));
+    let r = train(&healed);
+    let rec = &r.fault_recovery;
+    assert!(
+        rec.corruptions_detected >= 1,
+        "ABFT must see the flipped tile"
+    );
+    assert_eq!(rec.corruptions_corrected, rec.corruptions_detected);
+    assert_eq!(rec.rank_quarantines, 0);
+    assert_eq!(
+        r.weight_checksum, rc.weight_checksum,
+        "tile recompute must restore the exact clean trajectory"
+    );
+
+    let mut escaped = healed.clone();
+    escaped.abft_verify = false; // fingerprints stay on — and stay silent
+    let r = train(&escaped);
+    assert!(
+        !abft::injection_armed(),
+        "fault never fired — no GEMM took the tile path"
+    );
+    assert_no_detections(&r, "escape");
+    assert_ne!(
+        r.weight_checksum, rc.weight_checksum,
+        "without ABFT the corruption must visibly fork the weights"
+    );
+    assert!(r.final_loss().is_finite());
+}
+
+/// Cocktail: seeded corruption plans (classic timing faults + payload
+/// flips + a compute fault) across backends. Everything heals in place
+/// under the default policy — the run is bitwise identical to the same
+/// plan with only its classic prefix, which itself trips nothing.
+#[test]
+fn corruption_chaos_cocktail_heals_bitwise_over_classic_prefix() {
+    let _g = serial();
+    for (backend, world, seed) in [(Backend::Tree, 2, 7u64), (Backend::Ring, 4, 11u64)] {
+        let mut e = abft_exp(backend, world);
+        let nominal = e.epochs * e.steps_per_epoch() as u64;
+        let horizon_s = nominal as f64 * e.faults.virtual_step_seconds;
+        e.faults = FaultPlan::generate_corruption(seed, world, horizon_s, 2, 2, 1);
+        assert_eq!(e.faults.corruption_events(), 3);
+
+        let mut prefix = e.clone();
+        prefix.faults = FaultPlan::generate(seed, world, horizon_s, 2);
+
+        let tag = format!("{backend:?}/w{world}/s{seed}");
+        let (r, rp) = (train(&e), train(&prefix));
+        assert_no_detections(&rp, &format!("{tag} prefix"));
+        let rec = &r.fault_recovery;
+        assert!(
+            rec.corruptions_detected >= 2,
+            "{tag}: flips + compute fault must be seen (got {})",
+            rec.corruptions_detected
+        );
+        assert_eq!(
+            rec.corruptions_corrected, rec.corruptions_detected,
+            "{tag}: every detection must heal in place"
+        );
+        assert_eq!(rec.rank_quarantines, 0, "{tag}");
+        assert_eq!(
+            r.weight_checksum, rp.weight_checksum,
+            "{tag}: healed cocktail must match the classic-prefix trajectory"
+        );
+        assert!(r.final_loss().is_finite(), "{tag}");
+    }
+}
+
+/// Contract 5 (negative path): a transient collective outage that
+/// outlasts the retry budget surfaces the typed `RetriesExhausted`
+/// error from the overlapped exchange on **every** rank — symmetric,
+/// no hang, attempts pinned to the policy.
+#[test]
+fn overlapped_retry_exhaustion_is_typed_on_all_ranks() {
+    let _g = serial();
+    let plan = FaultPlan {
+        events: vec![FaultEvent {
+            at_s: 0.0,
+            duration_s: 0.0,
+            kind: FaultKind::TransientCollective { failures: 16 },
+        }],
+        ..FaultPlan::default()
+    };
+    let sched = Arc::new(plan.compile(4));
+    let world = create_collective(Backend::Tree, 3);
+    let joins: Vec<_> = world
+        .into_iter()
+        .map(|c| {
+            let sched = Arc::clone(&sched);
+            thread::spawn(move || {
+                let fc = FaultyCollective::new(c, sched);
+                fc.set_step(0);
+                let mut rng = ets_tensor::Rng::new(7);
+                let mut m = ets_efficientnet::EfficientNet::new(
+                    ets_efficientnet::ModelConfig::tiny(16, 4),
+                    ets_nn::Precision::F32,
+                    &mut rng,
+                );
+                let mut x = ets_tensor::Tensor::zeros([2, 3, 16, 16]);
+                rng.fill_normal(x.data_mut(), 0.0, 1.0);
+                ets_nn::zero_grads(&mut m);
+                let mut lrng = ets_tensor::Rng::new(11);
+                let y = m.forward(&x, ets_nn::Mode::Train, &mut lrng);
+                let out = ets_nn::cross_entropy(&y, &[0usize, 1], 0.1);
+                let mut gb = GradBucket::new(&mut m);
+                let policy = RetryPolicy::default();
+                let mut counters = RecoveryCounters::default();
+                let err = match gb.backward_overlapped_with_retry(
+                    &mut m,
+                    &out.dlogits,
+                    &fc,
+                    out.loss,
+                    &policy,
+                    &mut counters,
+                ) {
+                    Ok(_) => panic!("16 injected failures must exhaust 4 attempts"),
+                    Err(e) => e,
+                };
+                (err, counters)
+            })
+        })
+        .collect();
+    for (rank, j) in joins.into_iter().enumerate() {
+        let (err, counters) = j.join().expect("rank thread panicked");
+        match err {
+            CollectiveError::RetriesExhausted { attempts, .. } => {
+                assert_eq!(attempts, 4, "rank {rank}: policy grants exactly 4 attempts")
+            }
+            other => panic!("rank {rank}: expected RetriesExhausted, got {other}"),
+        }
+        // Retry stats fold into the counters only on a successful
+        // exchange; an exhausted one leaves them untouched so the
+        // caller's recovery path owns the accounting.
+        assert_eq!(counters, RecoveryCounters::default(), "rank {rank}");
+    }
+}
+
+/// The four defense knobs default off, survive a JSON round trip, and
+/// a legacy config without them still parses (all `serde(default)`).
+#[test]
+fn corruption_knobs_default_off_and_round_trip() {
+    let e = Experiment::proxy_default();
+    assert!(!e.fingerprint_verify && !e.abft_verify && !e.scrub_after_resize);
+    assert_eq!(e.corruption_policy, CorruptionPolicy::RetryThenQuarantine);
+    assert_eq!(CorruptionPolicy::RetryThenQuarantine.bucket_retries(), 1);
+    assert_eq!(CorruptionPolicy::QuarantineImmediately.bucket_retries(), 0);
+    if !ets_train::serde_json_is_functional() {
+        return;
+    }
+    let mut armed = e.clone();
+    armed.fingerprint_verify = true;
+    armed.abft_verify = true;
+    armed.scrub_after_resize = true;
+    armed.corruption_policy = CorruptionPolicy::QuarantineImmediately;
+    let back: Experiment = serde_json::from_str(&serde_json::to_string(&armed).unwrap()).unwrap();
+    assert!(back.fingerprint_verify && back.abft_verify && back.scrub_after_resize);
+    assert_eq!(
+        back.corruption_policy,
+        CorruptionPolicy::QuarantineImmediately
+    );
+    // A config predating the knobs deserializes to the off defaults.
+    let json = serde_json::to_string(&e).unwrap();
+    let legacy: Experiment = serde_json::from_str(&json).unwrap();
+    assert!(!legacy.fingerprint_verify && !legacy.abft_verify);
+}
+
+/// CI corruption soak: a larger seeded cocktail, parameterized by the
+/// same env matrix as the elastic soak. The damage report is written as
+/// a CI artifact when `ETS_SOAK_OUT` is set.
+#[test]
+#[ignore = "CI chaos soak: run with ETS_SOAK_BACKEND/ETS_SOAK_WORLD set"]
+fn corruption_chaos_soak() {
+    let _g = serial();
+    let backend = match std::env::var("ETS_SOAK_BACKEND").as_deref() {
+        Ok("ring") => Backend::Ring,
+        Ok("auto") => Backend::Auto,
+        _ => Backend::Tree,
+    };
+    let world: usize = std::env::var("ETS_SOAK_WORLD")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let seed: u64 = std::env::var("ETS_SOAK_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+
+    let mut e = abft_exp(backend, world);
+    e.scrub_after_resize = true;
+    let nominal = e.epochs * e.steps_per_epoch() as u64;
+    let horizon_s = nominal as f64 * e.faults.virtual_step_seconds;
+    e.faults = FaultPlan::generate_corruption(seed, world, horizon_s, 2, 2, 1);
+    let r = train(&e);
+    let rec = &r.fault_recovery;
+    assert!(r.final_loss().is_finite());
+    assert!(rec.corruptions_detected >= 2);
+    assert_eq!(rec.corruptions_corrected, rec.corruptions_detected);
+    assert_eq!(rec.rank_quarantines, 0);
+    if let Ok(out) = std::env::var("ETS_SOAK_OUT") {
+        std::fs::create_dir_all(&out).unwrap();
+        let path = std::path::Path::new(&out).join(format!(
+            "corruption-chaos-{}-w{world}-s{seed}.json",
+            match backend {
+                Backend::Tree => "tree",
+                Backend::Ring => "ring",
+                Backend::Auto => "auto",
+            }
+        ));
+        std::fs::write(&path, r.to_json()).unwrap();
+    }
+}

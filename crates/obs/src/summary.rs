@@ -55,6 +55,16 @@ pub struct RunSummary {
     pub images_per_sec: f64,
     /// Total virtual seconds of the run (fault-free + overhead).
     pub total_virtual_s: f64,
+    /// Silent-data-corruption detections (ABFT tile checksums + gradient
+    /// fingerprints). Zero in rows predating the corruption defense.
+    #[serde(default)]
+    pub corruptions_detected: u64,
+    /// Corruptions healed in place (tile recompute / verified retry).
+    #[serde(default)]
+    pub corruptions_corrected: u64,
+    /// Ranks quarantined by unhealable corruption.
+    #[serde(default)]
+    pub rank_quarantines: u64,
     pub overhead: OverheadDecomposition,
 }
 
@@ -72,6 +82,9 @@ impl RunSummary {
             .field_f64("bn_sync_pct", self.bn_sync_pct)
             .field_f64("images_per_sec", self.images_per_sec)
             .field_f64("total_virtual_s", self.total_virtual_s)
+            .field_u64("corruptions_detected", self.corruptions_detected)
+            .field_u64("corruptions_corrected", self.corruptions_corrected)
+            .field_u64("rank_quarantines", self.rank_quarantines)
             .key("overhead")
             .begin_object()
             .field_f64("retry_backoff_s", self.overhead.retry_backoff_s)
@@ -121,6 +134,9 @@ mod tests {
             bn_sync_pct: 1.25,
             images_per_sec: 132_000.0,
             total_virtual_s: 12.34,
+            corruptions_detected: 3,
+            corruptions_corrected: 2,
+            rank_quarantines: 1,
             overhead: OverheadDecomposition {
                 retry_backoff_s: 0.35,
                 restart_s: 5.0,
@@ -139,6 +155,14 @@ mod tests {
         assert_eq!(v.get("cores").unwrap().as_f64().unwrap() as u64, 256);
         assert_eq!(v.get("step_ms").unwrap().as_f64().unwrap(), 123.4);
         assert_eq!(v.get("overlap_pct").unwrap().as_f64().unwrap(), 42.0);
+        assert_eq!(
+            v.get("corruptions_detected").unwrap().as_f64().unwrap() as u64,
+            3
+        );
+        assert_eq!(
+            v.get("rank_quarantines").unwrap().as_f64().unwrap() as u64,
+            1
+        );
         let ov = v.get("overhead").unwrap();
         assert_eq!(
             ov.get("total_s").unwrap().as_f64().unwrap(),

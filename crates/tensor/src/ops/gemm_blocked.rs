@@ -481,25 +481,73 @@ pub fn gemm_prepacked_as<E: PackElem>(
     let row_blocks = m.div_ceil(MC);
     let col_blocks = n.div_ceil(NC);
     let n_tiles = row_blocks * col_blocks;
+    // ABFT verify mode (and a pending compute-corruption injection)
+    // forces the tile-grid path even on shapes the parallel predicate
+    // would leave sequential: per-tile ownership is what makes the
+    // snapshot → checksum → recompute cycle sound, and the two paths are
+    // bitwise identical anyway (pinned by the schedule-adversarial
+    // suite), so routing is numerics-neutral.
+    let verifying = super::abft::verify_enabled();
+    let tile_path = verifying || super::abft::injection_armed();
     let parallel = n_tiles > 1 && par::gemm_workers() > 1 && m * n * k >= PAR_FLOP_THRESHOLD;
-    if parallel {
+    if parallel || tile_path {
         let cp = CPtr(c.as_mut_ptr());
         let tile_body = |tile: usize| {
             let ic = (tile / col_blocks) * MC;
             let jc = (tile % col_blocks) * NC;
             let mc = MC.min(m - ic);
             let nc = NC.min(n - jc);
+            let mut ver = if verifying {
+                let mut v = super::abft::TileVerifier::new(mc, nc);
+                // SAFETY: this tile is exclusively owned by this closure
+                // invocation (run_tiles executes each index exactly once;
+                // tiles are pairwise disjoint regions of C).
+                unsafe { v.snapshot_pre(cp.get(), n, ic, jc) };
+                Some(v)
+            } else {
+                None
+            };
             // Per-tile B panel from this worker's own scratch pool; the
             // packed values are identical to the sequential path's (the
             // pack is pure data movement), only the reuse pattern differs.
             let mut bp = scratch_elems::<E>(KC.min(k) * nc.div_ceil(NR) * NR);
-            for pc in (0..k).step_by(KC) {
-                let kc = KC.min(k - pc);
-                pack_b_panel(b, k, n, pc, kc, jc, nc, &mut bp);
-                let a_pc = &ap[m_padded * pc..m_padded * (pc + kc)];
-                // SAFETY: run_tiles executes each tile index exactly
-                // once; tiles are pairwise disjoint regions of C.
-                unsafe { macro_block(n, kc, jc, nc, ic, mc, a_pc, &bp, cp.get()) };
+            let compute = |bp: &mut [E], mut ver: Option<&mut super::abft::TileVerifier>| {
+                for pc in (0..k).step_by(KC) {
+                    let kc = KC.min(k - pc);
+                    pack_b_panel(b, k, n, pc, kc, jc, nc, bp);
+                    let a_pc = &ap[m_padded * pc..m_padded * (pc + kc)];
+                    if let Some(v) = ver.as_deref_mut() {
+                        v.absorb_panels::<E>(a_pc, bp, kc, ic);
+                    }
+                    // SAFETY: run_tiles executes each tile index exactly
+                    // once; tiles are pairwise disjoint regions of C.
+                    unsafe { macro_block(n, kc, jc, nc, ic, mc, a_pc, bp, cp.get()) };
+                }
+            };
+            compute(&mut bp, ver.as_mut());
+            // The armed compute-corruption injection fires on the first
+            // tile to get here — before verification, so the checksum
+            // has to *catch* it, not be spared from it.
+            if let Some(bit) = super::abft::take_injection() {
+                // SAFETY: same exclusive-tile-ownership argument.
+                unsafe { super::abft::flip_first_element(cp.get(), n, ic, jc, bit) };
+            }
+            if let Some(v) = ver.as_mut() {
+                super::abft::note_tile_verified();
+                // SAFETY: same exclusive-tile-ownership argument.
+                if !unsafe { v.verify(cp.get(), n, ic, jc, k) } {
+                    super::abft::note_corruption_detected();
+                    // Heal by deterministic recompute: restore the
+                    // pre-GEMM tile and redo the identical reduction —
+                    // bitwise equal to an uncorrupted run.
+                    unsafe { v.restore_pre(cp.get(), n, ic, jc) };
+                    v.reset_expected();
+                    compute(&mut bp, Some(v));
+                    super::abft::note_tile_recomputed();
+                    if !unsafe { v.verify(cp.get(), n, ic, jc, k) } {
+                        super::abft::note_unrecovered();
+                    }
+                }
             }
         };
         par::run_tiles(n_tiles, &tile_body);

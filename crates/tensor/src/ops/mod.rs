@@ -1,5 +1,6 @@
 //! Compute kernels over dense tensors.
 
+pub mod abft;
 pub mod conv;
 pub mod dispatch;
 pub mod gemm_blocked;

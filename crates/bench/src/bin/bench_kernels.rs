@@ -21,8 +21,8 @@
 //! ```
 
 use ets_bench::kernels::{
-    abft_probe, check_kernel_regression, kernel_rows, kernels_json, pack_probe, parallel_probe,
-    steady_state_probe, validate_kernels_json,
+    abft_probe, check_committed_artifact, check_kernel_regression, kernel_rows, kernels_json,
+    pack_probe, parallel_probe, steady_state_probe, validate_kernels_json,
 };
 use std::path::PathBuf;
 
@@ -34,6 +34,24 @@ fn main() {
     }
     let smoke = args.iter().any(|a| a == "--smoke");
     let check = args.iter().any(|a| a == "--check-regression");
+
+    // `--check-committed <path>`: gate the *committed* artifact's recorded
+    // numbers (strict — no noise allowance) without re-measuring anything.
+    if let Some(i) = args.iter().position(|a| a == "--check-committed") {
+        let path = args.get(i + 1).expect("--check-committed requires a path");
+        let doc = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("read committed artifact {path}: {e}"));
+        match check_committed_artifact(&doc) {
+            Ok(()) => {
+                println!("committed artifact gate: ok ({path})");
+                return;
+            }
+            Err(e) => {
+                eprintln!("committed artifact gate failed ({path}): {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     std::fs::create_dir_all(&out_dir).expect("create output dir");
 
     if let Ok(w) = std::env::var("ETS_GEMM_WORKERS") {
@@ -99,11 +117,7 @@ fn main() {
         par.speedup(),
         par.bitwise_equal,
         par.host_cores,
-        if par.gate_enforced {
-            "enforced"
-        } else {
-            "skipped (single-core host)"
-        }
+        par.gate()
     );
     println!(
         "abft verify @ calibration: plain {:.2} GFLOP/s, verified {:.2} GFLOP/s ({:.1}% of plain), \
@@ -118,10 +132,22 @@ fn main() {
     println!("wrote {} ({} B)", path.display(), doc.len());
 
     if check {
-        if let Err(e) = check_kernel_regression(&rows, &ss, &pack, &par, &abft) {
+        if let Err(e) = check_kernel_regression(&rows, &ss, &pack, &par, &abft, smoke) {
             eprintln!("kernel regression gate failed: {e}");
             std::process::exit(1);
         }
         println!("regression gate: ok");
+        // The fresh-measurement gates above tolerate timing noise; the
+        // committed artifact's *recorded* numbers get no such allowance.
+        // This is the check whose absence let a bf16-pack regression ship.
+        let committed = PathBuf::from("BENCH_kernels.json");
+        if committed.exists() {
+            let doc = std::fs::read_to_string(&committed).expect("read committed artifact");
+            if let Err(e) = check_committed_artifact(&doc) {
+                eprintln!("committed artifact gate failed: {e}");
+                std::process::exit(1);
+            }
+            println!("committed artifact gate: ok");
+        }
     }
 }

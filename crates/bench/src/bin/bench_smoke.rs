@@ -3,8 +3,9 @@
 //! observability artifacts CI uploads:
 //!
 //! - `BENCH_step_time.json` — per-variant step time / all-reduce share /
-//!   throughput (`{"runs": [...]}` of Table-1-style summaries) plus the
-//!   measured proxy row,
+//!   throughput (`{"schema": "bench_step_time_v2", "runs": [...]}` of
+//!   Table-1-style summaries), the per-backend 1024/2048/4096-core
+//!   scaling rows, and the measured proxy row,
 //! - `BENCH_trace.json` — Chrome trace-event JSON of the faulted run (one
 //!   pid per rank; loads in `chrome://tracing` / Perfetto),
 //! - `BENCH_metrics.prom` — Prometheus text dump of every rank's counters,

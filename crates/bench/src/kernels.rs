@@ -42,8 +42,8 @@ use ets_tensor::ops::gemm_blocked::{
 };
 use ets_tensor::ops::matmul::gemm_slice;
 use ets_tensor::{
-    gemm_workers, scratch_bf16, scratch_f32, scratch_reallocs, set_gemm_workers, worker_stats, Rng,
-    Shape, Tensor,
+    gemm_workers, scratch_bf16, scratch_f32, scratch_reallocs, set_gemm_workers,
+    set_sequential_override, worker_stats, Rng, Shape, Tensor,
 };
 use std::time::Instant;
 
@@ -134,6 +134,20 @@ pub struct ParallelProbe {
     /// The ≥[`PARALLEL_SPEEDUP_FLOOR`] speedup gate is only meaningful
     /// when the host can actually run workers concurrently.
     pub gate_enforced: bool,
+    /// Best matched-window seq/par timing ratio: each rep times the two
+    /// paths back-to-back, and this is the max over reps of
+    /// `t_seq / t_par`. On quota-throttled 1-core containers the
+    /// *independent* best-of ratio ([`Self::speedup`]) can read 0.7–0.9×
+    /// for literally identical code; the paired ratio only asks that the
+    /// parallel path kept up with sequential in at least one shared
+    /// scheduling window, which is noise-robust.
+    pub best_paired_ratio: f64,
+    /// Tiles executed by *helper* workers (pool slots ≥ 1) during the
+    /// measured parallel-half reps. On a 1-core host the worker clamp
+    /// must route dispatch to the sequential path, so this must be 0 —
+    /// the deterministic half of the parity gate. On multi-core hosts it
+    /// must be > 0 or the speedup figure never exercised the tile grid.
+    pub par_helper_tiles: u64,
 }
 
 impl ParallelProbe {
@@ -145,11 +159,32 @@ impl ParallelProbe {
             0.0
         }
     }
+
+    /// Which gate this probe is held to: `"enforced"` (≥ 2 cores — the
+    /// [`PARALLEL_SPEEDUP_FLOOR`] applies) or `"parity-only"` (1-core
+    /// host — the dispatcher must refuse the tile grid, so the probe
+    /// must stay within noise of sequential, ≥
+    /// [`PARALLEL_PARITY_FLOOR`]). Never a silent skip.
+    pub fn gate(&self) -> &'static str {
+        if self.gate_enforced {
+            "enforced"
+        } else {
+            "parity-only"
+        }
+    }
 }
 
 /// Minimum parallel-over-sequential speedup at the calibration shape,
 /// enforced on hosts with ≥ 2 cores.
 pub const PARALLEL_SPEEDUP_FLOOR: f64 = 1.6;
+
+/// On a 1-core host a real speedup is impossible, but the dispatch layer
+/// must then keep the probe *at* sequential throughput (it routes the
+/// "parallel" call back to the sequential path). The floor applies to
+/// [`ParallelProbe::best_paired_ratio`] — the matched-window ratio —
+/// not the independent best-of ratio, which on a quota-throttled
+/// container drifts well below this for identical code.
+pub const PARALLEL_PARITY_FLOOR: f64 = 0.95;
 
 /// Worker count of the parallel half of [`parallel_probe`].
 pub const PARALLEL_PROBE_WORKERS: usize = 4;
@@ -159,7 +194,10 @@ pub const PARALLEL_PROBE_WORKERS: usize = 4;
 pub fn parallel_probe(smoke: bool) -> ParallelProbe {
     let (m, k, n) = CALIBRATION_MKN;
     let flops = 2 * (m * k * n) as u64;
-    let reps = if smoke { 3 } else { 10 };
+    // Each rep is one matched seq/par timing window; the parity gate
+    // takes the best window, so even smoke mode needs enough of them
+    // that at least one lands outside a quota-throttle burst.
+    let reps = if smoke { 6 } else { 10 };
     let mut rng = Rng::new(101);
     let mut a = vec![0.0f32; m * k];
     rng.fill_uniform(&mut a, -1.0, 1.0);
@@ -169,26 +207,57 @@ pub fn parallel_probe(smoke: bool) -> ParallelProbe {
     let mut c_par = vec![0.0f32; m * n];
 
     let prev_workers = gemm_workers();
-    set_gemm_workers(1);
-    let seq_gflops = time_gflops(flops, reps, || gemm_blocked(m, k, n, &a, &b, &mut c_seq));
-
+    // One pool size for the whole probe: the sequential half routes
+    // through `set_sequential_override` instead of a pool resize, so no
+    // helper is ever respawned mid-probe (a respawned helper's fresh
+    // thread-local arena would trip the zero-realloc gate below).
     set_gemm_workers(PARALLEL_PROBE_WORKERS);
-    // Warmup primes every worker's scratch arena; reallocs after this
-    // point break the steady-state contract.
+    // Warmup both paths (primes every worker's scratch arena; reallocs
+    // after this point break the steady-state contract) …
+    set_sequential_override(true);
+    gemm_blocked(m, k, n, &a, &b, &mut c_seq);
+    set_sequential_override(false);
     gemm_blocked(m, k, n, &a, &b, &mut c_par);
     let reallocs_before: Vec<u64> = worker_stats().iter().map(|s| s.scratch_reallocs).collect();
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
+    let helper_tiles_before: u64 = worker_stats().iter().skip(1).map(|s| s.tiles).sum();
+    // … then *interleave* the timed reps: each rep times the two paths
+    // back-to-back so they see the same background load, and the pair
+    // order flips every rep — on quota-throttled 1-core containers the
+    // second measurement of a pair systematically runs on depleted CPU
+    // budget, which reads as a reproducible "slowdown" of whichever half
+    // always goes second. The parity gate keys off the best *matched*
+    // ratio (max over reps of t_seq/t_par), not the independent best-of
+    // ratio, because the latter is a race between two noise floors.
+    let mut best_seq = f64::INFINITY;
+    let mut best_par = f64::INFINITY;
+    let mut best_paired_ratio = 0.0f64;
+    let run_half = |seq: bool, c: &mut [f32]| -> f64 {
+        set_sequential_override(seq);
         let t0 = Instant::now();
-        gemm_blocked(m, k, n, &a, &b, &mut c_par);
-        best = best.min(t0.elapsed().as_secs_f64().max(1e-9));
+        gemm_blocked(m, k, n, &a, &b, c);
+        t0.elapsed().as_secs_f64().max(1e-9)
+    };
+    for rep in 0..reps {
+        let (t_seq, t_par) = if rep % 2 == 0 {
+            let ts = run_half(true, &mut c_seq);
+            (ts, run_half(false, &mut c_par))
+        } else {
+            let tp = run_half(false, &mut c_par);
+            (run_half(true, &mut c_seq), tp)
+        };
+        best_seq = best_seq.min(t_seq);
+        best_par = best_par.min(t_par);
+        best_paired_ratio = best_paired_ratio.max(t_seq / t_par);
     }
-    let par_gflops = flops as f64 / best / 1e9;
+    let seq_gflops = flops as f64 / best_seq / 1e9;
+    let par_gflops = flops as f64 / best_par / 1e9;
     let worker_realloc_deltas: Vec<u64> = worker_stats()
         .iter()
         .zip(&reallocs_before)
         .map(|(s, &b0)| s.scratch_reallocs - b0)
         .collect();
+    let par_helper_tiles: u64 =
+        worker_stats().iter().skip(1).map(|s| s.tiles).sum::<u64>() - helper_tiles_before;
     set_gemm_workers(prev_workers.max(1));
 
     let host_cores = std::thread::available_parallelism()
@@ -207,6 +276,8 @@ pub fn parallel_probe(smoke: bool) -> ParallelProbe {
         bitwise_equal,
         worker_realloc_deltas,
         gate_enforced: host_cores >= 2,
+        best_paired_ratio,
+        par_helper_tiles,
     }
 }
 
@@ -348,28 +419,37 @@ fn conv_row(
     let mut y = vec![0.0f32; m * n];
     let mut patches = vec![0.0f32; k * n];
 
-    let naive_gflops = time_gflops(flops, reps, || {
-        im2col(&g, &img, &mut patches);
-        gemm_slice(m, k, n, &w, &patches, &mut y);
-    });
-    let blocked_gflops = time_gflops(flops, reps, || {
-        im2col(&g, &img, &mut patches);
-        gemm_blocked(m, k, n, &w, &patches, &mut y);
-    });
-    let auto_gflops = time_gflops(flops, reps, || {
-        im2col(&g, &img, &mut patches);
-        gemm_auto(m, k, n, &w, &patches, &mut y);
-    });
-    let bf16_blocked_gflops = time_gflops(flops, reps, || {
-        im2col(&g, &img, &mut patches);
-        gemm_blocked_bf16(m, k, n, &w, &patches, &mut y);
-    });
     // Fused: weight panel packed once (amortized across a batch in
     // `conv2d_forward`), patches gathered straight into B panels.
     let mut ap = scratch_f32(packed_a_len(m, k));
     pack_a_into(PanelA::RowMajor(&w), m, k, &mut ap);
-    let fused_gflops = time_gflops(flops, reps, || {
-        gemm_prepacked(
+    let mut ap16 = scratch_bf16(packed_a_len(m, k));
+    pack_a_into_as::<Bf16>(PanelA::RowMajor(&w), m, k, &mut ap16);
+
+    // All six variants are timed round-robin inside a shared rep loop
+    // (rep 0 is the untimed warmup): the gate compares variants against
+    // each other, and interleaving keeps every pair of samples in the
+    // same scheduling window — two best-of blocks taken seconds apart
+    // drift by >10% on a throttled host, which is exactly the noise the
+    // auto-vs-naive gate must not fire on.
+    let mut run = |v: usize| match v {
+        0 => {
+            im2col(&g, &img, &mut patches);
+            gemm_slice(m, k, n, &w, &patches, &mut y);
+        }
+        1 => {
+            im2col(&g, &img, &mut patches);
+            gemm_blocked(m, k, n, &w, &patches, &mut y);
+        }
+        2 => {
+            im2col(&g, &img, &mut patches);
+            gemm_auto(m, k, n, &w, &patches, &mut y);
+        }
+        3 => {
+            im2col(&g, &img, &mut patches);
+            gemm_blocked_bf16(m, k, n, &w, &patches, &mut y);
+        }
+        4 => gemm_prepacked(
             m,
             k,
             n,
@@ -380,12 +460,8 @@ fn conv_row(
             },
             &mut y,
             false,
-        );
-    });
-    let mut ap16 = scratch_bf16(packed_a_len(m, k));
-    pack_a_into_as::<Bf16>(PanelA::RowMajor(&w), m, k, &mut ap16);
-    let bf16_fused_gflops = time_gflops(flops, reps, || {
-        gemm_prepacked_as::<Bf16>(
+        ),
+        _ => gemm_prepacked_as::<Bf16>(
             m,
             k,
             n,
@@ -396,8 +472,13 @@ fn conv_row(
             },
             &mut y,
             false,
-        );
-    });
+        ),
+    };
+    let best = time_variants_interleaved(6, reps, &mut run);
+    let gf = |b: f64| flops as f64 / b / 1e9;
+    let (naive_gflops, blocked_gflops, auto_gflops, bf16_blocked_gflops) =
+        (gf(best[0]), gf(best[1]), gf(best[2]), gf(best[3]));
+    let (fused_gflops, bf16_fused_gflops) = (gf(best[4]), gf(best[5]));
 
     KernelBenchRow {
         label: label.to_string(),
@@ -415,6 +496,31 @@ fn conv_row(
     }
 }
 
+/// Times `n_variants` alternatives round-robin inside one rep loop and
+/// returns the best (minimum) wall time per variant. Rep 0 is the
+/// untimed warmup round. Interleaving — rather than timing each variant
+/// in its own best-of block — keeps inter-variant comparisons inside a
+/// shared scheduling window, which is what makes ratio gates between
+/// them noise-robust on loaded hosts.
+fn time_variants_interleaved(
+    n_variants: usize,
+    reps: usize,
+    run: &mut dyn FnMut(usize),
+) -> Vec<f64> {
+    let mut best = vec![f64::INFINITY; n_variants];
+    for rep in 0..reps + 1 {
+        for (v, b) in best.iter_mut().enumerate() {
+            let t0 = Instant::now();
+            run(v);
+            let dt = t0.elapsed().as_secs_f64().max(1e-9);
+            if rep > 0 {
+                *b = b.min(dt);
+            }
+        }
+    }
+    best
+}
+
 /// A pure-GEMM row (e.g. the classifier): naive vs blocked only.
 fn gemm_row(
     label: &str,
@@ -430,11 +536,16 @@ fn gemm_row(
     let mut b = vec![0.0f32; k * n];
     rng.fill_uniform(&mut b, -1.0, 1.0);
     let mut c = vec![0.0f32; m * n];
-    let naive_gflops = time_gflops(flops, reps, || gemm_slice(m, k, n, &a, &b, &mut c));
-    let blocked_gflops = time_gflops(flops, reps, || gemm_blocked(m, k, n, &a, &b, &mut c));
-    let auto_gflops = time_gflops(flops, reps, || gemm_auto(m, k, n, &a, &b, &mut c));
-    let bf16_blocked_gflops =
-        time_gflops(flops, reps, || gemm_blocked_bf16(m, k, n, &a, &b, &mut c));
+    let mut run = |v: usize| match v {
+        0 => gemm_slice(m, k, n, &a, &b, &mut c),
+        1 => gemm_blocked(m, k, n, &a, &b, &mut c),
+        2 => gemm_auto(m, k, n, &a, &b, &mut c),
+        _ => gemm_blocked_bf16(m, k, n, &a, &b, &mut c),
+    };
+    let best = time_variants_interleaved(4, reps, &mut run);
+    let gf = |b: f64| flops as f64 / b / 1e9;
+    let (naive_gflops, blocked_gflops, auto_gflops, bf16_blocked_gflops) =
+        (gf(best[0]), gf(best[1]), gf(best[2]), gf(best[3]));
     KernelBenchRow {
         label: label.to_string(),
         m,
@@ -494,22 +605,13 @@ pub fn pack_probe(smoke: bool) -> PackProbe {
     let mut ap16 = vec![Bf16::from_f32(0.0); packed_a_len(m, k)];
     let mut bp16 = vec![Bf16::from_f32(0.0); panel];
 
-    let best_of = |mut f: Box<dyn FnMut()>| -> f64 {
-        f(); // warmup
-        let mut best = f64::INFINITY;
-        for _ in 0..reps {
-            let t0 = Instant::now();
-            f();
-            best = best.min(t0.elapsed().as_secs_f64().max(1e-9));
-        }
-        elems as f64 / best / 1e6
+    let mut run = |v: usize| match v {
+        0 => pack_pass::<f32>(m, k, n, &w, &b, &mut ap32, &mut bp32),
+        _ => pack_pass::<Bf16>(m, k, n, &w, &b, &mut ap16, &mut bp16),
     };
-    let f32_melems_per_s = best_of(Box::new(|| {
-        pack_pass::<f32>(m, k, n, &w, &b, &mut ap32, &mut bp32)
-    }));
-    let bf16_melems_per_s = best_of(Box::new(|| {
-        pack_pass::<Bf16>(m, k, n, &w, &b, &mut ap16, &mut bp16)
-    }));
+    let best = time_variants_interleaved(2, reps, &mut run);
+    let f32_melems_per_s = elems as f64 / best[0] / 1e6;
+    let bf16_melems_per_s = elems as f64 / best[1] / 1e6;
     PackProbe {
         m,
         k,
@@ -652,7 +754,7 @@ pub fn kernels_json(
 ) -> String {
     let mut w = JsonWriter::with_capacity(4096);
     w.begin_object()
-        .field_str("schema", "bench_kernels_v4")
+        .field_str("schema", "bench_kernels_v5")
         .field_str("mode", if smoke { "smoke" } else { "full" })
         .key("rows")
         .begin_array();
@@ -698,8 +800,11 @@ pub fn kernels_json(
         .field_f64("seq_gflops", par.seq_gflops)
         .field_f64("par_gflops", par.par_gflops)
         .field_f64("speedup", par.speedup())
+        .field_f64("best_paired_ratio", par.best_paired_ratio)
+        .field_u64("helper_tiles", par.par_helper_tiles)
         .field_bool("bitwise_equal", par.bitwise_equal)
-        .field_bool("gate_enforced", par.gate_enforced);
+        .field_bool("gate_enforced", par.gate_enforced)
+        .field_str("gate", par.gate());
     w.key("worker_realloc_deltas").begin_array();
     for &d in &par.worker_realloc_deltas {
         w.u64_value(d);
@@ -736,8 +841,8 @@ pub fn kernels_json(
 /// not a silent gap in the perf trajectory.
 pub fn validate_kernels_json(doc: &str) -> Result<(), String> {
     let v = parse_json(doc)?;
-    if v.get("schema").and_then(Value::as_str) != Some("bench_kernels_v4") {
-        return Err("schema must be bench_kernels_v4".into());
+    if v.get("schema").and_then(Value::as_str) != Some("bench_kernels_v5") {
+        return Err("schema must be bench_kernels_v5".into());
     }
     match v.get("mode").and_then(Value::as_str) {
         Some("smoke") | Some("full") => {}
@@ -806,6 +911,8 @@ pub fn validate_kernels_json(doc: &str) -> Result<(), String> {
         "seq_gflops",
         "par_gflops",
         "speedup",
+        "best_paired_ratio",
+        "helper_tiles",
     ] {
         match par.get(key).and_then(Value::as_f64) {
             Some(x) if x.is_finite() && x >= 0.0 => {}
@@ -819,6 +926,14 @@ pub fn validate_kernels_json(doc: &str) -> Result<(), String> {
     for key in ["bitwise_equal", "gate_enforced"] {
         if !matches!(par.get(key), Some(Value::Bool(_))) {
             return Err(format!("parallel.{key} must be a boolean"));
+        }
+    }
+    match par.get("gate").and_then(Value::as_str) {
+        Some("enforced") | Some("parity-only") => {}
+        other => {
+            return Err(format!(
+                "parallel.gate must be \"enforced\" or \"parity-only\", got {other:?}"
+            ))
         }
     }
     if par
@@ -872,7 +987,9 @@ const AUTO_NOISE_FLOOR: f64 = 0.90;
 ///    shape;
 /// 2. the *dispatched* path must not fall below naive at any committed
 ///    shape (modulo timing noise) — this is what the small-k guard
-///    protects: a shape the blocked kernel loses must route to naive;
+///    protects: a shape the blocked kernel loses must route to naive.
+///    In `smoke` mode this applies to the calibration row only: the
+///    other rows run at shrunken, sub-tuning-target shapes there;
 /// 3. the bf16 pack must not be slower than the f32 pack (it writes half
 ///    the bytes; losing means the narrowing went quadratic somewhere);
 /// 4. the steady state must be allocation-free — in both precisions;
@@ -888,6 +1005,7 @@ pub fn check_kernel_regression(
     pack: &PackProbe,
     par: &ParallelProbe,
     abft: &AbftProbe,
+    smoke: bool,
 ) -> Result<(), String> {
     if !abft.bitwise_equal {
         return Err(
@@ -920,16 +1038,46 @@ pub fn check_kernel_regression(
             par.worker_realloc_deltas
         ));
     }
-    if par.gate_enforced && par.speedup() < PARALLEL_SPEEDUP_FLOOR {
-        return Err(format!(
-            "parallel GEMM speedup {:.2}x below the {PARALLEL_SPEEDUP_FLOOR}x floor at the \
-             calibration shape ({} workers on {} cores): {:.2} vs {:.2} GFLOP/s",
-            par.speedup(),
-            par.workers,
-            par.host_cores,
-            par.par_gflops,
-            par.seq_gflops
-        ));
+    if par.gate_enforced {
+        if par.speedup() < PARALLEL_SPEEDUP_FLOOR {
+            return Err(format!(
+                "parallel GEMM speedup {:.2}x below the {PARALLEL_SPEEDUP_FLOOR}x floor at the \
+                 calibration shape ({} workers on {} cores): {:.2} vs {:.2} GFLOP/s",
+                par.speedup(),
+                par.workers,
+                par.host_cores,
+                par.par_gflops,
+                par.seq_gflops
+            ));
+        }
+        if par.par_helper_tiles == 0 {
+            return Err(format!(
+                "parallel probe on a {}-core host never dispatched a tile to a helper \
+                 worker — the speedup figure is vacuous",
+                par.host_cores
+            ));
+        }
+    } else {
+        // 1-core host: a real speedup is impossible, so the gate checks
+        // that the worker clamp *refused* the tile grid. The helper-tile
+        // count is the deterministic half (any fan-out is a clamp bug);
+        // the paired timing ratio corroborates that the refused path
+        // actually runs at sequential speed.
+        if par.par_helper_tiles != 0 {
+            return Err(format!(
+                "parity-only gate: on a {}-core host the worker clamp must route dispatch \
+                 to the sequential path, but helper workers executed {} tile(s)",
+                par.host_cores, par.par_helper_tiles
+            ));
+        }
+        if par.best_paired_ratio < PARALLEL_PARITY_FLOOR {
+            return Err(format!(
+                "parity-only gate: on a {}-core host the parallel dispatch must stay at \
+                 sequential throughput, but the best matched-window ratio was {:.2}x \
+                 (< {PARALLEL_PARITY_FLOOR})",
+                par.host_cores, par.best_paired_ratio
+            ));
+        }
     }
     let cal = rows
         .iter()
@@ -942,6 +1090,14 @@ pub fn check_kernel_regression(
         ));
     }
     for r in rows {
+        // The dispatch predicate's thresholds are tuned against the
+        // full-mode shapes; smoke mode shrinks the non-calibration rows
+        // to a few MFLOP, where (a) the predicate makes no claim and
+        // (b) a single sample flaps by more than the noise floor. The
+        // calibration row is identical in both modes and stays gated.
+        if smoke && !r.calibration {
+            continue;
+        }
         if r.auto_gflops < r.naive_gflops * AUTO_NOISE_FLOOR {
             return Err(format!(
                 "dispatched GEMM slower than naive at {} ({}x{}x{}): {:.2} < {:.2} GFLOP/s — \
@@ -961,6 +1117,114 @@ pub fn check_kernel_regression(
             "steady-state step hit the allocator {} time(s); the arena contract requires 0",
             ss.scratch_reallocs_delta
         ));
+    }
+    Ok(())
+}
+
+/// Strict gate over a **committed** `BENCH_kernels.json` document — the
+/// numbers the repository claims, not a fresh (noisy) measurement.
+/// Because these values were the best-of measurements someone chose to
+/// commit, no noise allowance applies: bf16 pack must be ≥ f32 pack
+/// outright, and the parallel probe must pass whichever gate
+/// (`"enforced"` / `"parity-only"`) it recorded. PR 6..8 shipped an
+/// artifact with `pack.bf16 < pack.f32` and a 0.93× parallel "speedup"
+/// precisely because nothing re-read the committed file; this is that
+/// missing check.
+pub fn check_committed_artifact(doc: &str) -> Result<(), String> {
+    validate_kernels_json(doc)?;
+    let v = parse_json(doc)?;
+    let pack = v.get("pack").ok_or("pack probe missing")?;
+    let pack_f32 = pack
+        .get("f32_melems_per_s")
+        .and_then(Value::as_f64)
+        .ok_or("pack.f32_melems_per_s missing")?;
+    let pack_bf16 = pack
+        .get("bf16_melems_per_s")
+        .and_then(Value::as_f64)
+        .ok_or("pack.bf16_melems_per_s missing")?;
+    if pack_bf16 < pack_f32 {
+        return Err(format!(
+            "committed artifact records bf16 pack {pack_bf16:.1} < f32 pack {pack_f32:.1} \
+             Melem/s — the bf16 pack writes half the bytes and must not lose; \
+             regenerate the artifact from a fixed kernel"
+        ));
+    }
+    let par = v.get("parallel").ok_or("parallel probe missing")?;
+    let speedup = par
+        .get("speedup")
+        .and_then(Value::as_f64)
+        .ok_or("parallel.speedup missing")?;
+    let paired = par
+        .get("best_paired_ratio")
+        .and_then(Value::as_f64)
+        .ok_or("parallel.best_paired_ratio missing")?;
+    let helper_tiles = par
+        .get("helper_tiles")
+        .and_then(Value::as_f64)
+        .ok_or("parallel.helper_tiles missing")?;
+    let gate = par.get("gate").and_then(Value::as_str).unwrap_or("");
+    match gate {
+        "enforced" => {
+            if speedup < PARALLEL_SPEEDUP_FLOOR {
+                return Err(format!(
+                    "committed artifact records parallel speedup {speedup:.2}x under the \
+                     \"enforced\" gate (floor {PARALLEL_SPEEDUP_FLOOR}x)"
+                ));
+            }
+            if helper_tiles == 0.0 {
+                return Err(
+                    "committed artifact records an enforced parallel gate with zero helper \
+                     tiles — the speedup never exercised the tile grid"
+                        .into(),
+                );
+            }
+        }
+        "parity-only" => {
+            if helper_tiles != 0.0 {
+                return Err(format!(
+                    "committed artifact records {helper_tiles} helper tile(s) under the \
+                     \"parity-only\" gate — the 1-core clamp did not route sequentially"
+                ));
+            }
+            if paired < PARALLEL_PARITY_FLOOR {
+                return Err(format!(
+                    "committed artifact records best matched-window ratio {paired:.2}x under \
+                     the \"parity-only\" gate (floor {PARALLEL_PARITY_FLOOR}x)"
+                ));
+            }
+        }
+        other => return Err(format!("parallel.gate unrecognized: {other:?}")),
+    }
+    if par.get("bitwise_equal") != Some(&Value::Bool(true)) {
+        return Err("committed artifact records parallel bitwise_equal != true".into());
+    }
+    if let Some(deltas) = par.get("worker_realloc_deltas").and_then(Value::as_arr) {
+        if deltas.iter().any(|d| d.as_f64() != Some(0.0)) {
+            return Err("committed artifact records nonzero worker realloc deltas".into());
+        }
+    }
+    let ss = v.get("steady_state").ok_or("steady_state missing")?;
+    if ss.get("scratch_reallocs_delta").and_then(Value::as_f64) != Some(0.0) {
+        return Err("committed artifact records steady-state allocator hits".into());
+    }
+    let rows = v
+        .get("rows")
+        .and_then(Value::as_arr)
+        .ok_or("rows must be an array")?;
+    for r in rows {
+        if matches!(r.get("calibration"), Some(Value::Bool(true))) {
+            let naive = r.get("naive_gflops").and_then(Value::as_f64).unwrap_or(0.0);
+            let blocked = r
+                .get("blocked_gflops")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0);
+            if blocked < naive {
+                return Err(format!(
+                    "committed artifact records blocked {blocked:.2} < naive {naive:.2} \
+                     GFLOP/s at the calibration shape"
+                ));
+            }
+        }
     }
     Ok(())
 }
@@ -1023,6 +1287,8 @@ mod tests {
             bitwise_equal: true,
             worker_realloc_deltas: vec![0; PARALLEL_PROBE_WORKERS],
             gate_enforced: true,
+            best_paired_ratio: 2.5,
+            par_helper_tiles: 96,
         }
     }
 
@@ -1048,7 +1314,7 @@ mod tests {
         };
         let doc = kernels_json(&rows, &ss, &probe(), &par_probe(), &abft_ok(), true);
         validate_kernels_json(&doc).expect("valid document");
-        check_kernel_regression(&rows, &ss, &probe(), &par_probe(), &abft_ok())
+        check_kernel_regression(&rows, &ss, &probe(), &par_probe(), &abft_ok(), false)
             .expect("no regression");
     }
 
@@ -1073,7 +1339,7 @@ mod tests {
         // Older schema versions no longer validate.
         let rows2 = vec![row(CALIBRATION_LABEL, 1.0, 2.0, true)];
         let doc2 = kernels_json(&rows2, &ss, &probe(), &par_probe(), &abft_ok(), true)
-            .replace("bench_kernels_v4", "bench_kernels_v3");
+            .replace("bench_kernels_v5", "bench_kernels_v4");
         assert!(validate_kernels_json(&doc2).is_err());
     }
 
@@ -1091,20 +1357,31 @@ mod tests {
             dispatch_blocked_bf16: 0,
             dispatch_naive_bf16: 0,
         };
-        assert!(check_kernel_regression(&rows, &ss, &probe(), &par_probe(), &abft_ok()).is_err());
+        assert!(
+            check_kernel_regression(&rows, &ss, &probe(), &par_probe(), &abft_ok(), false).is_err()
+        );
         let rows_ok = vec![KernelBenchRow {
             blocked_gflops: 4.0,
             auto_gflops: 4.0,
             ..rows[0].clone()
         }];
-        assert!(check_kernel_regression(&rows_ok, &ss, &probe(), &par_probe(), &abft_ok()).is_ok());
+        assert!(
+            check_kernel_regression(&rows_ok, &ss, &probe(), &par_probe(), &abft_ok(), false)
+                .is_ok()
+        );
         let ss_bad = SteadyState {
             scratch_reallocs_delta: 3,
             ..ss.clone()
         };
-        assert!(
-            check_kernel_regression(&rows_ok, &ss_bad, &probe(), &par_probe(), &abft_ok()).is_err()
-        );
+        assert!(check_kernel_regression(
+            &rows_ok,
+            &ss_bad,
+            &probe(),
+            &par_probe(),
+            &abft_ok(),
+            false
+        )
+        .is_err());
     }
 
     #[test]
@@ -1127,12 +1404,14 @@ mod tests {
             row("b0_mb_expand_1x1_56px", 10.0, 8.0, false),
         ];
         bad_auto[1].auto_gflops = 8.0; // routed blocked, which loses
-        let err = check_kernel_regression(&bad_auto, &ss, &probe(), &par_probe(), &abft_ok())
-            .unwrap_err();
+        let err =
+            check_kernel_regression(&bad_auto, &ss, &probe(), &par_probe(), &abft_ok(), false)
+                .unwrap_err();
         assert!(err.contains("b0_mb_expand_1x1_56px"), "{err}");
         bad_auto[1].auto_gflops = 9.9; // routed naive: within noise floor
         assert!(
-            check_kernel_regression(&bad_auto, &ss, &probe(), &par_probe(), &abft_ok()).is_ok()
+            check_kernel_regression(&bad_auto, &ss, &probe(), &par_probe(), &abft_ok(), false)
+                .is_ok()
         );
 
         // bf16 pack slower than f32 pack.
@@ -1142,8 +1421,8 @@ mod tests {
             ..probe()
         };
         let rows = vec![row(CALIBRATION_LABEL, 1.0, 2.0, true)];
-        let err =
-            check_kernel_regression(&rows, &ss, &slow_pack, &par_probe(), &abft_ok()).unwrap_err();
+        let err = check_kernel_regression(&rows, &ss, &slow_pack, &par_probe(), &abft_ok(), false)
+            .unwrap_err();
         assert!(err.contains("bf16 panel pack"), "{err}");
     }
 }

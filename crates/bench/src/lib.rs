@@ -12,14 +12,15 @@
 
 pub mod kernels;
 
+use ets_collective::Backend;
 use ets_efficientnet::Variant;
 use ets_obs::{
     summaries_to_json, validate_chrome_trace, JsonWriter, OverheadDecomposition, Recorder,
     RunSummary,
 };
 use ets_tpu_sim::{
-    amdahl_serial_fraction, scaling_sweep, step_time, time_to_accuracy, OptimizerKind, RunConfig,
-    ScalingPoint, StepConfig,
+    amdahl_serial_fraction, scaling_sweep, step_time, step_time_for_backend, time_to_accuracy,
+    OptimizerKind, RunConfig, ScalingPoint, StepConfig,
 };
 use ets_train::{train_traced, Experiment, TrainReport};
 use std::sync::Arc;
@@ -208,29 +209,113 @@ pub fn scaling_json(tables: &[(Variant, Vec<ScalingPoint>, f64)]) -> String {
 
 // ------------------------------------------------- BENCH_step_time smoke
 
+/// ImageNet training-set size — fixes the step count of a paper run.
+pub const IMAGENET_TRAIN_IMAGES: u64 = 1_281_167;
+/// Epoch budget of the paper's recipe (350 epochs to peak).
+pub const PAPER_EPOCHS: u64 = 350;
+
+/// Steps in a full 350-epoch ImageNet run at a given global batch.
+pub fn paper_run_steps(global_batch: u64) -> u64 {
+    PAPER_EPOCHS * IMAGENET_TRAIN_IMAGES.div_ceil(global_batch)
+}
+
+fn analytic_summary(
+    label: String,
+    backend: &str,
+    st: &ets_tpu_sim::StepTime,
+    cores: usize,
+    gbs: usize,
+) -> RunSummary {
+    RunSummary {
+        label,
+        backend: backend.to_string(),
+        cores: cores as u64,
+        global_batch: gbs as u64,
+        steps: paper_run_steps(gbs as u64),
+        step_ms: 1e3 * st.total(),
+        all_reduce_pct: 100.0 * st.all_reduce_share(),
+        overlap_pct: st.overlap_pct(),
+        bn_sync_pct: 100.0 * st.bn_sync / st.total(),
+        images_per_sec: st.throughput_img_per_ms(gbs) * 1e3,
+        total_virtual_s: st.total(),
+        corruptions_detected: 0,
+        corruptions_corrected: 0,
+        rank_quarantines: 0,
+        overhead: OverheadDecomposition::default(),
+    }
+}
+
 /// One [`RunSummary`] per Table 1 operating point, from the calibrated
-/// step-time model. `steps` is 0 (the model prices one steady-state step,
-/// not a run); `total_virtual_s` is one step.
+/// step-time model. `steps` is the full 350-epoch run's step count;
+/// `total_virtual_s` is one steady-state step. The analytic rows carry the
+/// backend the model prices (the 2-D torus exchange) and its overlapped
+/// share of all-reduce time.
 pub fn step_time_summaries() -> Vec<RunSummary> {
-    table1_rows()
+    TABLE1_PAPER
         .iter()
-        .map(|r| RunSummary {
-            label: format!("{} @ {} cores", r.model, r.cores),
-            cores: r.cores as u64,
-            global_batch: r.global_batch as u64,
-            steps: 0,
-            step_ms: r.step_ms,
-            all_reduce_pct: r.allreduce_pct,
-            overlap_pct: 0.0, // the analytic model prices a serialized exchange
-            bn_sync_pct: 0.0,
-            images_per_sec: r.throughput_img_per_ms * 1e3,
-            total_virtual_s: r.step_ms * 1e-3,
-            corruptions_detected: 0,
-            corruptions_corrected: 0,
-            rank_quarantines: 0,
-            overhead: OverheadDecomposition::default(),
+        .map(|&(v, cores, gbs, _, _)| {
+            let st = step_time(&StepConfig::new(v, cores, gbs));
+            analytic_summary(
+                format!("{} @ {} cores", v.name(), cores),
+                "torus2d",
+                &st,
+                cores,
+                gbs,
+            )
         })
         .collect()
+}
+
+// --------------------------------------------- per-backend scaling rows
+
+/// Core counts of the per-backend scaling study (ISSUE 9): the paper's
+/// 1024-core pod plus the 2048- and 4096-core extrapolations.
+pub const SCALING_BACKEND_CORES: [usize; 3] = [1024, 2048, 4096];
+
+/// Per-backend B2 scaling rows: flat ring vs 2-D torus at each core count
+/// in [`SCALING_BACKEND_CORES`], per-core batch 32. Six rows, labelled
+/// `"EfficientNet-B2 @ <cores> cores (<backend>)"`.
+pub fn scaling_backend_rows() -> Vec<RunSummary> {
+    let mut rows = Vec::new();
+    for &cores in &SCALING_BACKEND_CORES {
+        for backend in [Backend::Ring, Backend::Torus2d] {
+            let gbs = cores * 32;
+            let st = step_time_for_backend(&StepConfig::new(Variant::B2, cores, gbs), backend);
+            rows.push(analytic_summary(
+                format!("EfficientNet-B2 @ {cores} cores ({})", backend.name()),
+                backend.name(),
+                &st,
+                cores,
+                gbs,
+            ));
+        }
+    }
+    rows
+}
+
+/// CI gate over [`scaling_backend_rows`]: the hierarchical (torus) backend's
+/// all-reduce share must grow strictly slower than the flat ring's from the
+/// smallest to the largest core count. Returns the two growth ratios
+/// `(torus, ring)` on success.
+pub fn check_scaling_regression(rows: &[RunSummary]) -> Result<(f64, f64), String> {
+    let lo = *SCALING_BACKEND_CORES.first().unwrap() as u64;
+    let hi = *SCALING_BACKEND_CORES.last().unwrap() as u64;
+    let pct = |backend: &str, cores: u64| -> Result<f64, String> {
+        rows.iter()
+            .find(|r| r.backend == backend && r.cores == cores)
+            .map(|r| r.all_reduce_pct)
+            .ok_or_else(|| format!("missing scaling row: backend={backend} cores={cores}"))
+    };
+    let torus = pct("torus2d", hi)? / pct("torus2d", lo)?;
+    let ring = pct("ring", hi)? / pct("ring", lo)?;
+    if torus < ring {
+        Ok((torus, ring))
+    } else {
+        Err(format!(
+            "hierarchical all-reduce share must scale sublinearly vs flat ring: \
+             torus2d {lo}->{hi} cores grew x{torus:.3}, ring x{ring:.3}"
+        ))
+    }
 }
 
 /// The smoke experiment behind `BENCH_step_time.json`'s measured row and
@@ -279,7 +364,10 @@ pub fn smoke_experiment() -> Experiment {
 /// Output of [`run_smoke`]: everything CI uploads as artifacts.
 pub struct SmokeArtifacts {
     /// `BENCH_step_time.json` contents: per-variant simulated operating
-    /// points plus the measured proxy run, `{"runs": [...]}`.
+    /// points, the per-backend scaling rows (flat ring vs 2-D torus at
+    /// 1024/2048/4096 cores), and the measured proxy run —
+    /// `{"schema": "bench_step_time_v2", "runs": [...]}`, already schema-
+    /// validated and growth-gated.
     pub step_time_json: String,
     /// Chrome trace-event JSON of the faulted 2×2-world run (one pid per
     /// rank), already validated against the trace-event schema.
@@ -301,12 +389,19 @@ pub fn run_smoke() -> SmokeArtifacts {
     let (report, recorders) = train_traced(&exp);
 
     let mut runs = step_time_summaries();
-    runs.push(report.run_summary(
+    runs.extend(scaling_backend_rows());
+    check_scaling_regression(&runs)
+        .unwrap_or_else(|e| panic!("smoke scaling rows failed the growth gate: {e}"));
+    let mut measured = report.run_summary(
         "proxy (measured) @ 2x2 world",
         exp.replicas as u64,
         exp.global_batch() as u64,
-    ));
+    );
+    measured.backend = exp.collective_backend.name().to_string();
+    runs.push(measured);
     let step_time_json = summaries_to_json(&runs);
+    ets_obs::validate_step_time_json(&step_time_json)
+        .unwrap_or_else(|e| panic!("smoke step-time doc failed schema validation: {e}"));
 
     let recs: Vec<&Recorder> = recorders.iter().map(Arc::as_ref).collect();
     let trace_json = ets_obs::chrome_trace_multi(&recs);

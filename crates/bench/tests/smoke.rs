@@ -11,10 +11,11 @@ use ets_bench::kernels::{
     steady_state_probe, validate_kernels_json, CALIBRATION_LABEL, CALIBRATION_MKN,
 };
 use ets_bench::{
-    figure1_json, figure1_points, run_smoke, scaling_json, scaling_tables, step_time_summaries,
-    table1_json, table1_rows, TABLE1_PAPER,
+    check_scaling_regression, figure1_json, figure1_points, paper_run_steps, run_smoke,
+    scaling_backend_rows, scaling_json, scaling_tables, step_time_summaries, table1_json,
+    table1_rows, SCALING_BACKEND_CORES, TABLE1_PAPER,
 };
-use ets_obs::{parse_json, validate_chrome_trace};
+use ets_obs::{parse_json, validate_chrome_trace, validate_step_time_json, STEP_TIME_SCHEMA};
 
 #[test]
 fn table1_rows_emit_parseable_json_with_all_operating_points() {
@@ -86,6 +87,13 @@ fn step_time_summaries_match_table1_within_tolerance() {
     for (s, r) in runs.iter().zip(&rows) {
         assert_eq!(s.cores as usize, r.cores);
         assert_eq!(s.global_batch as usize, r.global_batch);
+        assert_eq!(s.backend, "torus2d", "analytic rows price the 2-D torus");
+        assert_eq!(s.steps, paper_run_steps(s.global_batch), "{}", s.label);
+        assert!(
+            s.overlap_pct > 0.0 && s.overlap_pct <= 100.0,
+            "{}: the analytic overlap decomposition must be populated",
+            s.label
+        );
         assert!(
             (s.step_ms - r.step_ms).abs() < 1e-9,
             "{}: step_ms {} vs {}",
@@ -109,14 +117,93 @@ fn step_time_summaries_match_table1_within_tolerance() {
     }
 }
 
+/// The ISSUE-9 scaling study: per-backend rows at 1024/2048/4096 cores,
+/// with the CI gate asserting the hierarchical backend's all-reduce share
+/// grows strictly slower than the flat ring's — and that the gate actually
+/// rejects the inverted ordering.
+#[test]
+fn scaling_backend_rows_pass_the_growth_gate_and_it_rejects_inversions() {
+    let rows = scaling_backend_rows();
+    assert_eq!(rows.len(), 2 * SCALING_BACKEND_CORES.len());
+    for &cores in &SCALING_BACKEND_CORES {
+        for backend in ["ring", "torus2d"] {
+            let row = rows
+                .iter()
+                .find(|r| r.backend == backend && r.cores == cores as u64)
+                .unwrap_or_else(|| panic!("missing row: {backend} @ {cores}"));
+            assert_eq!(row.global_batch, cores as u64 * 32);
+            assert_eq!(row.steps, paper_run_steps(row.global_batch));
+            assert!(row.step_ms > 0.0);
+            assert!(row.all_reduce_pct > 0.0 && row.all_reduce_pct < 100.0);
+            assert!(
+                row.label.contains(&format!("({backend})")),
+                "label {:?} must name its backend",
+                row.label
+            );
+        }
+        // At equal scale the torus never exposes more all-reduce than the
+        // flat ring (same bandwidth term, strictly fewer latency hops).
+        let ring = rows
+            .iter()
+            .find(|r| r.backend == "ring" && r.cores == cores as u64)
+            .unwrap();
+        let torus = rows
+            .iter()
+            .find(|r| r.backend == "torus2d" && r.cores == cores as u64)
+            .unwrap();
+        assert!(
+            torus.all_reduce_pct < ring.all_reduce_pct,
+            "@{cores}: torus {}% !< ring {}%",
+            torus.all_reduce_pct,
+            ring.all_reduce_pct
+        );
+    }
+
+    let (torus_growth, ring_growth) =
+        check_scaling_regression(&rows).expect("healthy rows must pass the growth gate");
+    assert!(torus_growth < ring_growth);
+
+    // Swap the backend labels and the same numbers must now fail: the gate
+    // compares growth ratios, not absolute shares.
+    let mut inverted = rows.clone();
+    for r in &mut inverted {
+        r.backend = match r.backend.as_str() {
+            "ring" => "torus2d".to_string(),
+            _ => "ring".to_string(),
+        };
+    }
+    assert!(
+        check_scaling_regression(&inverted).is_err(),
+        "gate must reject ring growing slower than torus"
+    );
+
+    // A missing row is a hard error, not a silent pass.
+    let truncated: Vec<_> = rows
+        .iter()
+        .filter(|r| !(r.backend == "torus2d" && r.cores == 4096))
+        .cloned()
+        .collect();
+    assert!(check_scaling_regression(&truncated)
+        .unwrap_err()
+        .contains("missing scaling row"));
+}
+
 #[test]
 fn smoke_path_emits_valid_artifacts() {
     let art = run_smoke();
 
-    // BENCH_step_time.json: the 8 operating points + the measured row.
+    // BENCH_step_time.json: the 8 operating points, the 6 per-backend
+    // scaling rows (ring + torus2d at 1024/2048/4096 cores), and the
+    // measured row, under the v2 schema tag.
+    let n_runs = validate_step_time_json(&art.step_time_json).expect("BENCH_step_time.json schema");
     let v = parse_json(&art.step_time_json).expect("BENCH_step_time.json must parse");
+    assert_eq!(v.get("schema").unwrap().as_str().unwrap(), STEP_TIME_SCHEMA);
     let runs = v.get("runs").unwrap().as_arr().unwrap();
-    assert_eq!(runs.len(), TABLE1_PAPER.len() + 1);
+    assert_eq!(runs.len(), n_runs);
+    assert_eq!(
+        runs.len(),
+        TABLE1_PAPER.len() + 2 * SCALING_BACKEND_CORES.len() + 1
+    );
     let rows = table1_rows();
     for (run, row) in runs.iter().zip(&rows) {
         let step_ms = run.get("step_ms").unwrap().as_f64().unwrap();
@@ -131,6 +218,11 @@ fn smoke_path_emits_valid_artifacts() {
     let measured = runs.last().unwrap();
     assert!(measured.get("step_ms").unwrap().as_f64().unwrap() > 0.0);
     assert!(measured.get("steps").unwrap().as_f64().unwrap() > 0.0);
+    assert_eq!(
+        measured.get("backend").unwrap().as_str().unwrap(),
+        "tree",
+        "measured row carries the experiment's backend"
+    );
     // The measured run uses the overlapped exchange: some bucket time must
     // be hidden behind backward, and the exposed share must come in
     // strictly below the serialized baseline (which exposes everything).
@@ -196,7 +288,7 @@ fn kernel_bench_smoke_emits_valid_json_and_allocation_free_steady_state() {
     let v = parse_json(&doc).expect("kernels JSON must parse");
     assert_eq!(
         v.get("schema").unwrap().as_str().unwrap(),
-        "bench_kernels_v4"
+        "bench_kernels_v5"
     );
     assert_eq!(v.get("mode").unwrap().as_str().unwrap(), "smoke");
 
@@ -291,7 +383,8 @@ fn kernel_bench_smoke_emits_valid_json_and_allocation_free_steady_state() {
     // so only assert it when this test itself runs under `--release` —
     // CI's `bench-kernels` job runs the bin in release mode regardless.
     if !cfg!(debug_assertions) {
-        check_kernel_regression(&rows, &ss, &pack, &par, &abft).expect("regression gate must pass");
+        check_kernel_regression(&rows, &ss, &pack, &par, &abft, true)
+            .expect("regression gate must pass");
     }
 }
 
@@ -314,28 +407,28 @@ fn kernel_regression_gate_rejects_bad_rows() {
         .expect("calibration row");
     cal.blocked_gflops = cal.naive_gflops * 0.5;
     assert!(
-        check_kernel_regression(&slow, &ss, &pack, &par, &abft).is_err(),
+        check_kernel_regression(&slow, &ss, &pack, &par, &abft, false).is_err(),
         "gate must reject blocked < naive at the calibration shape"
     );
 
     let mut routed_wrong = rows.clone();
     routed_wrong[0].auto_gflops = routed_wrong[0].naive_gflops * 0.5;
     assert!(
-        check_kernel_regression(&routed_wrong, &ss, &pack, &par, &abft).is_err(),
+        check_kernel_regression(&routed_wrong, &ss, &pack, &par, &abft, false).is_err(),
         "gate must reject a dispatched path slower than naive"
     );
 
     let mut slow_pack = pack.clone();
     slow_pack.bf16_melems_per_s = slow_pack.f32_melems_per_s * 0.5;
     assert!(
-        check_kernel_regression(&rows, &ss, &slow_pack, &par, &abft).is_err(),
+        check_kernel_regression(&rows, &ss, &slow_pack, &par, &abft, false).is_err(),
         "gate must reject a bf16 pack slower than the f32 pack"
     );
 
     let mut leaky = ss.clone();
     leaky.scratch_reallocs_delta = 3;
     assert!(
-        check_kernel_regression(&rows, &leaky, &pack, &par, &abft).is_err(),
+        check_kernel_regression(&rows, &leaky, &pack, &par, &abft, false).is_err(),
         "gate must reject a growing scratch arena"
     );
 
@@ -345,7 +438,7 @@ fn kernel_regression_gate_rejects_bad_rows() {
     let mut divergent = par.clone();
     divergent.bitwise_equal = false;
     assert!(
-        check_kernel_regression(&rows, &ss, &pack, &divergent, &abft).is_err(),
+        check_kernel_regression(&rows, &ss, &pack, &divergent, &abft, false).is_err(),
         "gate must reject a non-bitwise parallel GEMM"
     );
 
@@ -355,7 +448,7 @@ fn kernel_regression_gate_rejects_bad_rows() {
     }
     leaky_worker.worker_realloc_deltas[0] = 2;
     assert!(
-        check_kernel_regression(&rows, &ss, &pack, &leaky_worker, &abft).is_err(),
+        check_kernel_regression(&rows, &ss, &pack, &leaky_worker, &abft, false).is_err(),
         "gate must reject a worker-scratch realloc during measured reps"
     );
 
@@ -365,7 +458,7 @@ fn kernel_regression_gate_rejects_bad_rows() {
     slow_par.seq_gflops = 10.0;
     slow_par.par_gflops = 11.0; // 1.1x < the 1.6x floor
     assert!(
-        check_kernel_regression(&rows, &ss, &pack, &slow_par, &abft).is_err(),
+        check_kernel_regression(&rows, &ss, &pack, &slow_par, &abft, false).is_err(),
         "gate must reject sub-floor parallel speedup on multi-core hosts"
     );
 
@@ -374,19 +467,19 @@ fn kernel_regression_gate_rejects_bad_rows() {
     let mut perturbed = abft.clone();
     perturbed.bitwise_equal = false;
     assert!(
-        check_kernel_regression(&rows, &ss, &pack, &par, &perturbed).is_err(),
+        check_kernel_regression(&rows, &ss, &pack, &par, &perturbed, false).is_err(),
         "gate must reject a non-neutral ABFT verify pass"
     );
     let mut trigger_happy = abft.clone();
     trigger_happy.false_positives = 1;
     assert!(
-        check_kernel_regression(&rows, &ss, &pack, &par, &trigger_happy).is_err(),
+        check_kernel_regression(&rows, &ss, &pack, &par, &trigger_happy, false).is_err(),
         "gate must reject ABFT false positives on clean operands"
     );
     let mut vacuous = abft.clone();
     vacuous.tiles_verified = 0;
     assert!(
-        check_kernel_regression(&rows, &ss, &pack, &par, &vacuous).is_err(),
+        check_kernel_regression(&rows, &ss, &pack, &par, &vacuous, false).is_err(),
         "gate must reject an ABFT probe that never checksummed a tile"
     );
 }

@@ -1,39 +1,54 @@
-//! The [`Collective`] trait and its three backends.
+//! The [`Collective`] trait and its four backends.
 //!
 //! Consumers (the trainer, BN sync, distributed eval, checkpoint
 //! broadcast) talk to a `dyn Collective` and never to a concrete
 //! communicator, so the transport can be swapped per experiment:
 //!
 //! - [`Backend::Tree`] — the deterministic publish-all communicator from
-//!   [`crate::comm`]: every member deposits, the last arrival reduces in
-//!   **ascending rank order**, everyone reads. Latency scales with a
-//!   logarithmic tree in the analytic model; bytes moved per member scale
-//!   with the full payload. Bitwise identical to the seed trainer.
+//!   [`crate::comm`]: every member deposits, the last arrival reduces,
+//!   everyone reads. Latency scales with a logarithmic tree in the
+//!   analytic model; bytes moved per member scale with the full payload.
 //! - [`Backend::Ring`] — a pipelined ring over point-to-point channels:
-//!   chunks flow down the chain 0 → 1 → … → p−1 accumulating in
-//!   **ascending rank order** (the same canonical fold the tree uses),
+//!   chunks flow down the chain 0 → 1 → … → p−1 accumulating as they go,
 //!   then lap the ring back so every member reads the identical bytes.
-//!   The canonical order makes the ring **bitwise identical to the
-//!   tree** — swapping backends cannot perturb a training trajectory —
-//!   while each member still only touches its own contribution (O(n)
-//!   adds per member instead of the tree's O(p·n)).
-//! - [`Backend::Auto`] — holds both and picks per call: payloads below
-//!   the α–β crossover from [`crate::cost::tree_ring_crossover_bytes`]
-//!   take the latency-friendly tree, larger ones take the
-//!   bandwidth-friendly ring. The switch point depends only on payload
-//!   size and world size, so every rank picks the same transport.
+//!   Each member only touches its own contribution (O(n) adds per member
+//!   instead of the tree's O(p·n)).
+//! - [`Backend::Torus2d`] — the hierarchical 2-D exchange from
+//!   [`crate::hierarchical`]: reduce-scatter along torus rows, all-reduce
+//!   down columns on `1/cols` of the payload, all-gather along rows. The
+//!   grid is [`crate::topology::canonical_grid`] of the world size — a
+//!   pure function of `p`, so after an elastic shrink every survivor
+//!   re-selects the same sub-torus. Latency grows with `rows + cols`
+//!   instead of the flat ring's `p` — the reason pods don't run one
+//!   global ring.
+//! - [`Backend::Auto`] — holds all three and picks per call via the α–β
+//!   models in [`crate::cost`]: latency-bound payloads take the tree,
+//!   bandwidth-bound ones the torus (or the flat ring when the world is
+//!   prime). The choice depends only on payload size and world size, so
+//!   every rank picks the same transport.
 //!
-//! All backends keep the steady state **allocation-free**: the tree uses
-//! the communicator's persistent round scratch, the ring recycles message
-//! buffers through a per-member pool (each step sends one pooled buffer
-//! and receives one from the left neighbor — the pool stays balanced).
-//! Capacity-growth events are counted and exposed via
+//! **Every backend folds in the same canonical order** — the grid-blocked
+//! ascending fold of [`CommHandle::all_reduce_sum_grid`] over the
+//! canonical grid of the world (flat ascending fold when the grid has one
+//! row). The tree reduces in that order directly, the ring's chain
+//! carries a two-segment accumulator that reassociates block sums the
+//! same way, and the torus's row/column phases compose to it. All four
+//! backends are therefore **bitwise identical**: swapping backends cannot
+//! perturb a training trajectory.
+//!
+//! All backends keep the steady state **allocation-free**: the tree and
+//! torus use communicator-persistent round scratch, the ring recycles
+//! message buffers through a per-member pool (each step sends one pooled
+//! buffer and receives one from the left neighbor — the pool stays
+//! balanced). Capacity-growth events are counted and exposed via
 //! [`Collective::scratch_reallocs`]; tests pin the counter flat after
 //! warmup.
 
 use crate::comm::CommHandle;
-use crate::cost::{tree_ring_crossover_bytes, TPU_V3_LINK};
+use crate::cost::{auto_backend_choice, TPU_V3_LINK};
 use crate::fault::CollectiveError;
+use crate::hierarchical::{create_grid, GridMember};
+use crate::topology::canonical_grid;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -47,7 +62,10 @@ pub enum Backend {
     Tree,
     /// Bandwidth-optimal ring reduce-scatter + all-gather.
     Ring,
-    /// Per-call tree/ring choice at the α–β crossover.
+    /// Hierarchical 2-D torus: row reduce-scatter, column all-reduce,
+    /// row all-gather over the canonical grid of the world size.
+    Torus2d,
+    /// Per-call tree/ring/torus choice via the α–β cost models.
     Auto,
 }
 
@@ -57,12 +75,18 @@ impl Backend {
         match self {
             Backend::Tree => "tree",
             Backend::Ring => "ring",
+            Backend::Torus2d => "torus2d",
             Backend::Auto => "auto",
         }
     }
 
     /// All selectable backends, for sweeps and benches.
-    pub const ALL: [Backend; 3] = [Backend::Tree, Backend::Ring, Backend::Auto];
+    pub const ALL: [Backend; 4] = [
+        Backend::Tree,
+        Backend::Ring,
+        Backend::Torus2d,
+        Backend::Auto,
+    ];
 }
 
 impl std::str::FromStr for Backend {
@@ -71,9 +95,10 @@ impl std::str::FromStr for Backend {
         match s.trim().to_ascii_lowercase().as_str() {
             "tree" => Ok(Backend::Tree),
             "ring" => Ok(Backend::Ring),
+            "torus2d" => Ok(Backend::Torus2d),
             "auto" => Ok(Backend::Auto),
             other => Err(format!(
-                "unknown collective backend {other:?} (tree|ring|auto)"
+                "unknown collective backend {other:?} (tree|ring|torus2d|auto)"
             )),
         }
     }
@@ -253,16 +278,31 @@ pub fn create_collective(backend: Backend, size: usize) -> Vec<Box<dyn Collectiv
             .into_iter()
             .map(|r| Box::new(r) as Box<dyn Collective>)
             .collect(),
+        Backend::Torus2d => create_torus_collectives(size)
+            .into_iter()
+            .map(|t| Box::new(t) as Box<dyn Collective>)
+            .collect(),
         Backend::Auto => {
-            let crossover = tree_ring_crossover_bytes(size, TPU_V3_LINK);
+            // The torus member is only built when the canonical grid is
+            // genuinely 2-D; on prime worlds the cost model never picks it.
+            let (rows, _) = canonical_grid(size);
+            let torus: Vec<Option<Torus2dCollective>> = if rows > 1 {
+                create_torus_collectives(size)
+                    .into_iter()
+                    .map(Some)
+                    .collect()
+            } else {
+                (0..size).map(|_| None).collect()
+            };
             CommHandle::create(size)
                 .into_iter()
                 .zip(create_ring_collectives(size))
-                .map(|(h, r)| {
+                .zip(torus)
+                .map(|((h, r), t)| {
                     Box::new(AutoCollective {
                         tree: TreeCollective::new(h),
                         ring: r,
-                        crossover_bytes: crossover,
+                        torus: t,
                     }) as Box<dyn Collective>
                 })
                 .collect()
@@ -274,17 +314,23 @@ pub fn create_collective(backend: Backend, size: usize) -> Vec<Box<dyn Collectiv
 // Tree backend: thin stats-counting wrapper over the zero-alloc CommHandle.
 // ---------------------------------------------------------------------------
 
-/// Deterministic publish-all tree backend (ascending-rank reduction).
+/// Deterministic publish-all tree backend. Reduces in the canonical
+/// grid-blocked ascending order for its world size, so it stays bitwise
+/// identical to the ring and torus backends.
 pub struct TreeCollective {
     handle: CommHandle,
+    /// Canonical fold shape for this world (flat fold when rows == 1).
+    fold: (usize, usize),
     stats: StatsCell,
 }
 
 impl TreeCollective {
     /// Wraps one member's communicator handle.
     pub fn new(handle: CommHandle) -> Self {
+        let fold = canonical_grid(handle.size());
         TreeCollective {
             handle,
+            fold,
             stats: StatsCell::default(),
         }
     }
@@ -302,7 +348,8 @@ impl Collective for TreeCollective {
     }
     fn all_reduce_sum(&self, buf: &mut [f32]) {
         self.stats.record(&self.stats.all_reduce_calls, buf.len());
-        self.handle.all_reduce_sum(buf);
+        let (rows, cols) = self.fold;
+        self.handle.all_reduce_sum_grid(buf, rows, cols);
     }
     fn all_gather(&self, local: &[f32], out: &mut Vec<f32>) {
         self.stats.record(&self.stats.all_gather_calls, local.len());
@@ -361,6 +408,9 @@ fn pooled(pool: &mut Vec<Vec<f32>>, reallocs: &mut u64, cap: usize) -> Vec<f32> 
 pub struct RingCollective {
     rank: usize,
     size: usize,
+    /// Block width of the canonical grid fold (== `size` when the
+    /// canonical grid has one row, making the fold flat).
+    fold_cols: usize,
     to_right: Sender<Vec<f32>>,
     from_left: Receiver<Vec<f32>>,
     scratch: Mutex<RingScratch>,
@@ -381,10 +431,12 @@ pub fn create_ring_collectives(size: usize) -> Vec<RingCollective> {
         receivers.push(rx);
     }
     let mut receivers: Vec<Option<Receiver<Vec<f32>>>> = receivers.into_iter().map(Some).collect();
+    let fold_cols = canonical_grid(size).1;
     (0..size)
         .map(|rank| RingCollective {
             rank,
             size,
+            fold_cols,
             to_right: senders[(rank + 1) % size].clone(),
             from_left: receivers[rank].take().unwrap(),
             scratch: Mutex::new(RingScratch {
@@ -429,12 +481,17 @@ impl Collective for RingCollective {
         Backend::Ring
     }
 
-    /// Pipelined ring all-reduce with the **canonical ascending-rank
+    /// Pipelined ring all-reduce with the **canonical grid-blocked
     /// fold**: chunk `c` (remainder-first bounds) enters the chain at
-    /// rank 0 and accumulates `((x₀ + x₁) + x₂) + … + x_{p−1}` as it
-    /// flows 0 → 1 → … → p−1 — the exact association the tree backend
-    /// uses, so the two backends agree **bitwise** and swapping them
-    /// cannot perturb a training trajectory. The finalized chunk then
+    /// rank 0 and flows 0 → 1 → … → p−1. The message carries a running
+    /// block-sum accumulator plus, inside each block of `fold_cols`
+    /// consecutive ranks, an in-progress block partial: block heads open
+    /// a fresh partial segment, interiors fold their term into it in
+    /// ascending rank order, and block tails fold the finished partial
+    /// into the accumulator. The result reassociates exactly like
+    /// [`CommHandle::all_reduce_sum_grid`], so the ring stays **bitwise
+    /// identical** to the tree and torus backends (a flat ascending fold
+    /// when the canonical grid has one row). The finalized chunk then
     /// laps the ring (p−1 → 0 → … → p−1 → 0) so every member copies the
     /// identical bytes and the message buffer lands back in rank 0's
     /// pool (every member's pool stays balanced; after warmup no round
@@ -447,6 +504,7 @@ impl Collective for RingCollective {
         }
         let n = buf.len();
         let chunks = p; // pipeline granularity: one chunk per member
+        let cols = self.fold_cols;
         let mut sc = self.scratch.lock();
         let RingScratch { pool, reallocs, .. } = &mut *sc;
         if self.rank == 0 {
@@ -470,41 +528,68 @@ impl Collective for RingCollective {
                 let m = self.recv();
                 pool.push(m);
             }
-        } else if self.rank < p - 1 {
-            // Interior link: add own term to the running ascending fold.
-            for c in 0..chunks {
-                let mut m = self.recv();
-                let (a, b) = self.bounds(c, n);
-                assert_eq!(m.len(), b - a, "mismatched all-reduce lengths");
-                for (acc, &x) in m.iter_mut().zip(&buf[a..b]) {
-                    *acc += x;
-                }
-                self.send(m);
-            }
-            // Broadcast lap: copy the finalized chunk, pass it on.
-            for c in 0..chunks {
-                let m = self.recv();
-                let (a, b) = self.bounds(c, n);
-                buf[a..b].copy_from_slice(&m);
-                self.send(m);
-            }
         } else {
-            // Tail of the chain: add the fold's last term, keep the
-            // result, and start the broadcast lap.
+            let block = self.rank / cols;
+            let pos = self.rank % cols;
             for c in 0..chunks {
                 let mut m = self.recv();
                 let (a, b) = self.bounds(c, n);
-                assert_eq!(m.len(), b - a, "mismatched all-reduce lengths");
-                for (acc, &x) in m.iter_mut().zip(&buf[a..b]) {
-                    *acc += x;
+                let l = b - a;
+                if block == 0 {
+                    // Inside the first block the message is the bare
+                    // running partial — fold own term in.
+                    assert_eq!(m.len(), l, "mismatched all-reduce lengths");
+                    for (acc, &x) in m.iter_mut().zip(&buf[a..b]) {
+                        *acc += x;
+                    }
+                } else if pos == 0 {
+                    // Block head: the finalized accumulator over blocks
+                    // 0..block arrives; open this block's partial segment
+                    // behind it. The buffer grows to 2·l once during
+                    // warmup and keeps that capacity as it circulates.
+                    assert_eq!(m.len(), l, "mismatched all-reduce lengths");
+                    if m.capacity() < 2 * l {
+                        *reallocs += 1;
+                    }
+                    m.extend_from_slice(&buf[a..b]);
+                } else {
+                    // Interior or tail of a later block: fold own term
+                    // into the partial segment…
+                    assert_eq!(m.len(), 2 * l, "mismatched all-reduce lengths");
+                    let (acc, part) = m.split_at_mut(l);
+                    for (pp, &x) in part.iter_mut().zip(&buf[a..b]) {
+                        *pp += x;
+                    }
+                    // …and at the tail fold the finished block sum into
+                    // the accumulator (ascending block order).
+                    if pos == cols - 1 {
+                        for (aa, &pp) in acc.iter_mut().zip(part.iter()) {
+                            *aa += pp;
+                        }
+                        m.truncate(l);
+                    }
                 }
-                buf[a..b].copy_from_slice(&m);
+                if self.rank == p - 1 {
+                    // Final tail: the fold is complete; keep the result
+                    // and start the broadcast lap.
+                    buf[a..b].copy_from_slice(&m[..l]);
+                }
                 self.send(m);
             }
-            // Forward the returning buffers to rank 0's pool.
-            for _ in 0..chunks {
-                let m = self.recv();
-                self.send(m);
+            if self.rank < p - 1 {
+                // Broadcast lap: copy the finalized chunk, pass it on.
+                for c in 0..chunks {
+                    let m = self.recv();
+                    let (a, b) = self.bounds(c, n);
+                    buf[a..b].copy_from_slice(&m);
+                    self.send(m);
+                }
+            } else {
+                // Forward the returning buffers to rank 0's pool.
+                for _ in 0..chunks {
+                    let m = self.recv();
+                    self.send(m);
+                }
             }
         }
     }
@@ -606,31 +691,135 @@ impl Collective for RingCollective {
 }
 
 // ---------------------------------------------------------------------------
-// Auto backend: per-call tree/ring choice at the α–β crossover.
+// Torus-2d backend: hierarchical row/column exchange over the canonical grid.
 // ---------------------------------------------------------------------------
 
-/// Routes each call to tree or ring by payload size. The decision is a
-/// pure function of `(payload bytes, world size)`, so every rank makes
-/// the same choice and the group never splits across transports.
+/// Hierarchical 2-D torus backend: all operations compose per-row and
+/// per-column exchanges over the [`canonical_grid`] of the world size.
+/// The all-reduce is [`GridMember::all_reduce_sum`] — a true row
+/// reduce-scatter, column all-reduce, row all-gather — whose two
+/// ascending folds compose to the canonical grid-blocked fold, keeping
+/// it bitwise identical to the tree and ring backends.
+pub struct Torus2dCollective {
+    grid: GridMember,
+    /// Persistent row-gather staging buffer for `all_gather`.
+    gather: Mutex<Vec<f32>>,
+    stats: StatsCell,
+}
+
+/// Creates the torus world for `size` ranks over its canonical grid
+/// (row-major: rank = row_index · cols + col_index).
+pub fn create_torus_collectives(size: usize) -> Vec<Torus2dCollective> {
+    assert!(size >= 1);
+    let (rows, cols) = canonical_grid(size);
+    create_grid(rows, cols)
+        .into_iter()
+        .map(|grid| Torus2dCollective {
+            grid,
+            gather: Mutex::new(Vec::new()),
+            stats: StatsCell::default(),
+        })
+        .collect()
+}
+
+impl Torus2dCollective {
+    /// The grid this world routes over.
+    pub fn shape(&self) -> (usize, usize) {
+        self.grid.shape()
+    }
+}
+
+impl Collective for Torus2dCollective {
+    fn rank(&self) -> usize {
+        self.grid.global_rank()
+    }
+    fn size(&self) -> usize {
+        let (rows, cols) = self.grid.shape();
+        rows * cols
+    }
+    fn backend(&self) -> Backend {
+        Backend::Torus2d
+    }
+
+    fn all_reduce_sum(&self, buf: &mut [f32]) {
+        self.stats.record(&self.stats.all_reduce_calls, buf.len());
+        self.grid.all_reduce_sum(buf);
+    }
+
+    /// Two-level gather: the row concatenates its members' blocks (rank
+    /// order within the row), then the column concatenates the row
+    /// blocks (ascending row order) — row-major, i.e. global rank order.
+    fn all_gather(&self, local: &[f32], out: &mut Vec<f32>) {
+        self.stats.record(&self.stats.all_gather_calls, local.len());
+        let mut row_block = self.gather.lock();
+        self.grid.row.all_gather_into(local, &mut row_block);
+        self.grid.col.all_gather_into(&row_block, out);
+    }
+
+    /// Root's column fans the payload out vertically (only that column
+    /// participates — per-communicator SPMD holds because each column is
+    /// its own communicator), then every row fans it out horizontally.
+    fn broadcast(&self, buf: &mut [f32], root: usize) {
+        assert!(root < self.size(), "broadcast root out of range");
+        self.stats.record(&self.stats.broadcast_calls, buf.len());
+        let (_, cols) = self.grid.shape();
+        let (root_row, root_col) = (root / cols, root % cols);
+        if self.grid.row.rank() == root_col {
+            self.grid.col.broadcast(buf, root_row);
+        }
+        self.grid.row.broadcast(buf, root_col);
+    }
+
+    /// Row barrier then column barrier: after the row phase every member
+    /// of each row has arrived; the column phase transitively covers all
+    /// rows, so no member returns before the whole grid has arrived.
+    fn barrier(&self) {
+        self.stats.record(&self.stats.barrier_calls, 0);
+        self.grid.row.barrier();
+        self.grid.col.barrier();
+    }
+
+    fn stats(&self) -> CollectiveStats {
+        self.stats.snapshot()
+    }
+
+    fn scratch_reallocs(&self) -> u64 {
+        self.grid.shard_reallocs()
+            + self.grid.row.scratch_reallocs()
+            + self.grid.col.scratch_reallocs()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Auto backend: per-call tree/ring/torus choice via the α–β cost models.
+// ---------------------------------------------------------------------------
+
+/// Routes each call to tree, ring, or torus by payload size via
+/// [`auto_backend_choice`]. The decision is a pure function of
+/// `(payload bytes, world size)`, so every rank makes the same choice
+/// and the group never splits across transports.
 pub struct AutoCollective {
     tree: TreeCollective,
     ring: RingCollective,
-    crossover_bytes: f64,
+    /// Only built when the canonical grid is 2-D (`None` on prime and
+    /// tiny worlds, where the cost model never picks the torus).
+    torus: Option<Torus2dCollective>,
 }
 
 impl AutoCollective {
     /// Which backend a payload of `elems` f32s takes.
     pub fn chosen(&self, elems: usize) -> Backend {
-        if (elems * 4) as f64 >= self.crossover_bytes {
-            Backend::Ring
-        } else {
-            Backend::Tree
+        let choice = auto_backend_choice((elems * 4) as f64, self.tree.size(), TPU_V3_LINK);
+        match choice {
+            Backend::Torus2d if self.torus.is_none() => Backend::Ring,
+            other => other,
         }
     }
 
     fn route(&self, elems: usize) -> &dyn Collective {
         match self.chosen(elems) {
             Backend::Ring => &self.ring,
+            Backend::Torus2d => self.torus.as_ref().expect("torus chosen only when built"),
             _ => &self.tree,
         }
     }
@@ -660,10 +849,16 @@ impl Collective for AutoCollective {
         self.tree.barrier();
     }
     fn stats(&self) -> CollectiveStats {
-        self.tree.stats().merged(self.ring.stats())
+        let base = self.tree.stats().merged(self.ring.stats());
+        match &self.torus {
+            Some(t) => base.merged(t.stats()),
+            None => base,
+        }
     }
     fn scratch_reallocs(&self) -> u64 {
-        self.tree.scratch_reallocs() + self.ring.scratch_reallocs()
+        self.tree.scratch_reallocs()
+            + self.ring.scratch_reallocs()
+            + self.torus.as_ref().map_or(0, |t| t.scratch_reallocs())
     }
 }
 
@@ -707,6 +902,7 @@ mod tests {
             for &n in &[1usize, 7, 64, 1000] {
                 let tree = all_reduce_results(Backend::Tree, p, n);
                 let ring = all_reduce_results(Backend::Ring, p, n);
+                let torus = all_reduce_results(Backend::Torus2d, p, n);
                 let auto = all_reduce_results(Backend::Auto, p, n);
                 for r in 0..p {
                     for i in 0..n {
@@ -716,6 +912,7 @@ mod tests {
                             tree[r][i],
                             ring[r][i]
                         );
+                        assert!((tree[r][i] - torus[r][i]).abs() < 1e-5);
                         assert!((tree[r][i] - auto[r][i]).abs() < 1e-5);
                     }
                 }
@@ -724,16 +921,20 @@ mod tests {
     }
 
     #[test]
-    fn ring_is_bitwise_identical_to_tree() {
-        // The canonical ascending-rank fold: tree and ring associate
-        // sums identically, so swapping backends cannot perturb a
-        // training trajectory — the trainer's backend-equivalence
-        // acceptance rests on this.
-        for &p in &[1usize, 2, 3, 4, 8] {
+    fn ring_and_torus_are_bitwise_identical_to_tree() {
+        // The canonical grid-blocked fold: all backends associate sums
+        // identically, so swapping backends cannot perturb a training
+        // trajectory — the trainer's backend-equivalence acceptance
+        // rests on this. Worlds cover flat folds (1–3), square and
+        // rectangular grids (4, 8, 16), and n values that leave uneven
+        // ring chunks and empty torus shards.
+        for &p in &[1usize, 2, 3, 4, 8, 16] {
             for &n in &[1usize, 7, 64, 1000] {
                 let tree = all_reduce_results(Backend::Tree, p, n);
                 let ring = all_reduce_results(Backend::Ring, p, n);
+                let torus = all_reduce_results(Backend::Torus2d, p, n);
                 assert_eq!(tree, ring, "p={p} n={n}: ring broke the canonical fold");
+                assert_eq!(tree, torus, "p={p} n={n}: torus broke the canonical fold");
             }
         }
     }
@@ -869,23 +1070,69 @@ mod tests {
     }
 
     #[test]
-    fn auto_routes_small_to_tree_and_large_to_ring() {
-        let crossover = tree_ring_crossover_bytes(8, TPU_V3_LINK);
-        assert!(crossover > 0.0, "p=8 must have a positive crossover");
-        let worlds = create_collective(Backend::Auto, 8);
-        // Downcast is unavailable through the trait; rebuild one directly.
-        drop(worlds);
+    fn auto_routes_by_payload_and_world_shape() {
+        // Composite world: small payloads are latency-bound (tree);
+        // large ones are bandwidth-bound, and the canonical grid's
+        // 2(rows+cols−2) hops beat the flat ring's 2(p−1) — torus.
         let tree = CommHandle::create(8).remove(0);
         let ring = create_ring_collectives(8).remove(0);
+        let torus = create_torus_collectives(8).remove(0);
         let auto = AutoCollective {
             tree: TreeCollective::new(tree),
             ring,
-            crossover_bytes: crossover,
+            torus: Some(torus),
         };
-        let small_elems = 1;
-        let large_elems = (crossover / 4.0) as usize + 1;
-        assert_eq!(auto.chosen(small_elems), Backend::Tree);
-        assert_eq!(auto.chosen(large_elems), Backend::Ring);
+        assert_eq!(auto.chosen(1), Backend::Tree);
+        assert_eq!(auto.chosen(25_000_000), Backend::Torus2d);
+        // Prime world: no 2-D grid exists, so large payloads fall back
+        // to the flat ring (and the factory builds no torus member).
+        let tree = CommHandle::create(7).remove(0);
+        let ring = create_ring_collectives(7).remove(0);
+        let auto = AutoCollective {
+            tree: TreeCollective::new(tree),
+            ring,
+            torus: None,
+        };
+        assert_eq!(auto.chosen(1), Backend::Tree);
+        assert_eq!(auto.chosen(25_000_000), Backend::Ring);
+    }
+
+    #[test]
+    fn torus_shape_is_the_canonical_grid() {
+        for p in [1usize, 2, 4, 6, 8, 12, 16] {
+            let world = create_torus_collectives(p);
+            assert_eq!(world.len(), p);
+            for (rank, t) in world.iter().enumerate() {
+                assert_eq!(t.shape(), canonical_grid(p), "p={p}");
+                assert_eq!(t.rank(), rank, "row-major rank order");
+                assert_eq!(t.size(), p);
+            }
+        }
+    }
+
+    #[test]
+    fn torus_steady_state_does_not_reallocate() {
+        let results = run_world(create_collective(Backend::Torus2d, 4), move |c| {
+            let mut buf = seed_buf(c.rank(), 257);
+            let mut out = Vec::new();
+            let round = |buf: &mut Vec<f32>, out: &mut Vec<f32>| {
+                c.all_reduce_sum(buf);
+                c.all_gather(&buf[..64], out);
+                c.broadcast(buf, 1);
+                c.barrier();
+            };
+            for _ in 0..5 {
+                round(&mut buf, &mut out);
+            }
+            let warm = c.scratch_reallocs();
+            for _ in 0..100 {
+                round(&mut buf, &mut out);
+            }
+            (warm, c.scratch_reallocs())
+        });
+        for (warm, steady) in results {
+            assert_eq!(warm, steady, "torus backend allocated after warmup");
+        }
     }
 
     #[test]

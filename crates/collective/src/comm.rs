@@ -35,6 +35,8 @@ struct RoundScratch {
     deposited: Vec<bool>,
     /// Reduced / gathered / broadcast payload of the completed round.
     result: Vec<f32>,
+    /// Per-block partial sums for the grid-blocked fold, reused every round.
+    partial: Vec<f32>,
     arrived: usize,
     readers_left: usize,
     generation: u64,
@@ -49,12 +51,25 @@ impl RoundScratch {
             slots: (0..size).map(|_| Vec::new()).collect(),
             deposited: vec![false; size],
             result: Vec::new(),
+            partial: Vec::new(),
             arrived: 0,
             readers_left: 0,
             generation: 0,
             reallocs: 0,
         }
     }
+}
+
+/// Byte range `[start, end)` of part `i` when `n` elements are split into
+/// `parts` near-equal shards, remainder spread over the leading parts —
+/// the shard layout [`CommHandle::reduce_scatter_sum`] commits to.
+pub fn shard_bounds(n: usize, parts: usize, i: usize) -> (usize, usize) {
+    assert!(i < parts, "shard index out of range");
+    let base = n / parts;
+    let rem = n % parts;
+    let start = i * base + i.min(rem);
+    let len = base + usize::from(i < rem);
+    (start, start + len)
 }
 
 /// Copies `src` into the persistent buffer `dst`, reporting whether the
@@ -279,6 +294,126 @@ impl CommHandle {
         buf.iter_mut().for_each(|v| *v *= inv);
     }
 
+    /// In-place sum all-reduce with the **canonical grid-blocked fold**:
+    /// ranks are viewed as a row-major `rows × cols` grid, each row-block's
+    /// `cols` consecutive contributions are folded in ascending rank order,
+    /// and the block sums are then folded in ascending block order.
+    ///
+    /// This is the reduction order every [`crate::Collective`] backend
+    /// commits to for its world — it is exactly what a two-phase torus
+    /// exchange produces (per-row ascending fold, then per-column ascending
+    /// fold of the row sums), so tree, ring, and torus-2d backends are
+    /// bitwise identical. `rows == 1` degenerates to the flat ascending
+    /// fold of [`Self::all_reduce_sum`] (which stays flat on purpose: the
+    /// torus backend's internal row/column sub-communicators must fold
+    /// flat for the composition to equal this one-level blocked fold).
+    pub fn all_reduce_sum_grid(&self, buf: &mut [f32], rows: usize, cols: usize) {
+        assert_eq!(
+            rows * cols,
+            self.inner.size,
+            "grid shape must cover the communicator"
+        );
+        if rows <= 1 {
+            return self.all_reduce_sum(buf);
+        }
+        if self.inner.size == 1 {
+            return;
+        }
+        let n = buf.len();
+        self.round(
+            buf,
+            |buf, round, rank| {
+                if fill_scratch(&mut round.slots[rank], buf) {
+                    round.reallocs += 1;
+                }
+            },
+            |round, _size| {
+                let RoundScratch {
+                    slots,
+                    result,
+                    partial,
+                    reallocs,
+                    ..
+                } = round;
+                if result.capacity() < n {
+                    *reallocs += 1;
+                }
+                if partial.capacity() < n {
+                    *reallocs += 1;
+                }
+                for block in 0..rows {
+                    let base = block * cols;
+                    let acc = if block == 0 {
+                        &mut *result
+                    } else {
+                        &mut *partial
+                    };
+                    acc.clear();
+                    acc.extend_from_slice(&slots[base]);
+                    for slot in &slots[base + 1..base + cols] {
+                        assert_eq!(slot.len(), n, "mismatched all-reduce lengths");
+                        for (a, &x) in acc.iter_mut().zip(slot.iter()) {
+                            *a += x;
+                        }
+                    }
+                    if block > 0 {
+                        for (a, &x) in result.iter_mut().zip(partial.iter()) {
+                            *a += x;
+                        }
+                    }
+                }
+            },
+            |buf, round, _| buf.copy_from_slice(&round.result),
+        );
+    }
+
+    /// Reduce-scatter with the flat ascending-rank fold: every member
+    /// contributes `contrib`, and `shard` is refilled with this rank's
+    /// remainder-first shard (see [`shard_bounds`]) of the full sum.
+    ///
+    /// With a reused `shard` the steady state allocates nothing. All
+    /// members must pass equal-length contributions.
+    pub fn reduce_scatter_sum(&self, contrib: &[f32], shard: &mut Vec<f32>) {
+        let n = contrib.len();
+        if self.inner.size == 1 {
+            shard.clear();
+            shard.extend_from_slice(contrib);
+            return;
+        }
+        self.round(
+            shard,
+            |_shard, round, rank| {
+                if fill_scratch(&mut round.slots[rank], contrib) {
+                    round.reallocs += 1;
+                }
+            },
+            |round, size| {
+                let RoundScratch {
+                    slots,
+                    result,
+                    reallocs,
+                    ..
+                } = round;
+                if result.capacity() < n {
+                    *reallocs += 1;
+                }
+                result.clear();
+                result.extend_from_slice(&slots[0]);
+                for slot in slots.iter().take(size).skip(1) {
+                    assert_eq!(slot.len(), n, "mismatched reduce-scatter lengths");
+                    for (acc, &x) in result.iter_mut().zip(slot.iter()) {
+                        *acc += x;
+                    }
+                }
+            },
+            |shard, round, rank| {
+                let (a, b) = shard_bounds(n, self.inner.size, rank);
+                shard.clear();
+                shard.extend_from_slice(&round.result[a..b]);
+            },
+        );
+    }
+
     /// Gathers every member's `local` slice into `out`, concatenated in
     /// rank order. `out` is cleared and refilled; with a reused `out` the
     /// steady state allocates nothing.
@@ -324,6 +459,43 @@ impl CommHandle {
         let mut out = Vec::with_capacity(local.len() * self.inner.size);
         self.all_gather_into(local, &mut out);
         out
+    }
+
+    /// Gathers every member's `local` slice into the fixed-size slice
+    /// `out` (rank order); `out.len()` must equal the sum of contribution
+    /// lengths. The allocation-free companion of [`Self::all_gather_into`]
+    /// for callers that own the destination, e.g. the torus backend's
+    /// all-gather phase writing straight back into the gradient buffer.
+    pub fn all_gather_into_slice(&self, local: &[f32], out: &mut [f32]) {
+        if self.inner.size == 1 {
+            out.copy_from_slice(local);
+            return;
+        }
+        self.round(
+            out,
+            |_out, round, rank| {
+                if fill_scratch(&mut round.slots[rank], local) {
+                    round.reallocs += 1;
+                }
+            },
+            |round, size| {
+                let RoundScratch {
+                    slots,
+                    result,
+                    reallocs,
+                    ..
+                } = round;
+                let total: usize = slots.iter().take(size).map(|s| s.len()).sum();
+                if result.capacity() < total {
+                    *reallocs += 1;
+                }
+                result.clear();
+                for slot in slots.iter().take(size) {
+                    result.extend_from_slice(slot);
+                }
+            },
+            |out, round, _| out.copy_from_slice(&round.result),
+        );
     }
 
     /// Broadcast from `root`: on return every member's `buf` holds root's.
@@ -484,6 +656,134 @@ mod tests {
             });
             for v in r {
                 assert_eq!(v.to_bits(), golden.to_bits(), "bitwise reproducible");
+            }
+        }
+    }
+
+    fn adversarial_payload(rank: usize, n: usize) -> Vec<f32> {
+        // Mixed magnitudes so reassociation changes the rounded sum.
+        (0..n)
+            .map(|i| {
+                let m = [1e8f32, 1.0, -1e8, 0.37, 1e-3][(rank + i) % 5];
+                m * (1.0 + (rank * 31 + i * 7) as f32 * 1e-3)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grid_fold_with_one_row_matches_flat_fold() {
+        for n in [1usize, 5, 33] {
+            let flat = run_replicas(4, move |h| {
+                let mut buf = adversarial_payload(h.rank(), n);
+                h.all_reduce_sum(&mut buf);
+                buf
+            });
+            let grid = run_replicas(4, move |h| {
+                let mut buf = adversarial_payload(h.rank(), n);
+                h.all_reduce_sum_grid(&mut buf, 1, 4);
+                buf
+            });
+            for (a, b) in flat.iter().zip(grid.iter()) {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_fold_matches_two_phase_torus_composition_bitwise() {
+        // The one-level blocked fold must equal what the torus backend
+        // physically does: per-row reduce-scatter (flat ascending fold),
+        // per-column all-reduce of the shards (flat ascending fold over
+        // block sums), then row all-gather.
+        for (rows, cols) in [(2usize, 2usize), (2, 3), (3, 4), (4, 4)] {
+            let p = rows * cols;
+            for n in [1usize, 7, 64, 97] {
+                let grid = run_replicas(p, move |h| {
+                    let mut buf = adversarial_payload(h.rank(), n);
+                    h.all_reduce_sum_grid(&mut buf, rows, cols);
+                    buf
+                });
+                // Reference composition computed serially in f32.
+                let contribs: Vec<Vec<f32>> = (0..p).map(|r| adversarial_payload(r, n)).collect();
+                let mut row_sums = Vec::new();
+                for b in 0..rows {
+                    let mut acc = contribs[b * cols].clone();
+                    for c in &contribs[b * cols + 1..(b + 1) * cols] {
+                        for (a, &x) in acc.iter_mut().zip(c.iter()) {
+                            *a += x;
+                        }
+                    }
+                    row_sums.push(acc);
+                }
+                let mut expect = row_sums[0].clone();
+                for rs in &row_sums[1..] {
+                    for (a, &x) in expect.iter_mut().zip(rs.iter()) {
+                        *a += x;
+                    }
+                }
+                for g in &grid {
+                    for (x, y) in g.iter().zip(expect.iter()) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "grid {rows}x{cols} n={n}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_shards_cover_the_flat_sum() {
+        for n in [1usize, 3, 10, 97] {
+            let flat = run_replicas(4, move |h| {
+                let mut buf = adversarial_payload(h.rank(), n);
+                h.all_reduce_sum(&mut buf);
+                buf
+            })[0]
+                .clone();
+            let shards = run_replicas(4, move |h| {
+                let contrib = adversarial_payload(h.rank(), n);
+                let mut shard = Vec::new();
+                h.reduce_scatter_sum(&contrib, &mut shard);
+                (h.rank(), shard)
+            });
+            let mut rebuilt = vec![0.0f32; n];
+            for (rank, shard) in shards {
+                let (a, b) = shard_bounds(n, 4, rank);
+                assert_eq!(shard.len(), b - a);
+                rebuilt[a..b].copy_from_slice(&shard);
+            }
+            for (x, y) in rebuilt.iter().zip(flat.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_into_slice_concatenates_in_rank_order() {
+        let results = run_replicas(3, |h| {
+            let local = [h.rank() as f32 * 10.0, h.rank() as f32 * 10.0 + 1.0];
+            let mut out = [0.0f32; 6];
+            h.all_gather_into_slice(&local, &mut out);
+            out.to_vec()
+        });
+        for r in results {
+            assert_eq!(r, vec![0.0, 1.0, 10.0, 11.0, 20.0, 21.0]);
+        }
+    }
+
+    #[test]
+    fn shard_bounds_partition_exactly() {
+        for n in [0usize, 1, 5, 16, 97] {
+            for parts in 1..=8usize {
+                let mut covered = 0;
+                for i in 0..parts {
+                    let (a, b) = shard_bounds(n, parts, i);
+                    assert_eq!(a, covered, "shards must be contiguous");
+                    assert!(b >= a);
+                    covered = b;
+                }
+                assert_eq!(covered, n, "shards must cover [0, n)");
             }
         }
     }

@@ -100,6 +100,43 @@ pub fn torus_all_reduce_time(bytes: f64, slice: SliceShape, link: LinkSpec) -> f
     row_phases + col_phase
 }
 
+/// Time for the 2-D grid all-reduce of `bytes` over a `rows × cols`
+/// **member** grid — the model for the `Torus2d` backend, which routes
+/// over [`crate::topology::canonical_grid`] of the world size rather
+/// than the chip slice. Same three phases as
+/// [`torus_all_reduce_time`]; both paths price one formula, so the
+/// analytic tables and the executed backend agree.
+pub fn grid_all_reduce_time(bytes: f64, rows: usize, cols: usize, link: LinkSpec) -> f64 {
+    torus_all_reduce_time(bytes, SliceShape { rows, cols }, link)
+}
+
+/// The backend `Auto` settles on for a payload of `bytes` over `p`
+/// members: the cheapest of tree, flat ring, and (when the canonical
+/// grid has more than one row) the 2-D torus. Pure in `(bytes, p,
+/// link)`, so every rank picks the same transport. Ties resolve
+/// tree → torus2d → ring (prefer fewer latency hops).
+pub fn auto_backend_choice(bytes: f64, p: usize, link: LinkSpec) -> crate::backend::Backend {
+    use crate::backend::Backend;
+    if p <= 1 {
+        return Backend::Tree;
+    }
+    let (rows, cols) = crate::topology::canonical_grid(p);
+    let t_tree = tree_all_reduce_time(bytes, p, link);
+    let t_ring = ring_all_reduce_time(bytes, p, link);
+    let t_grid = if rows > 1 {
+        grid_all_reduce_time(bytes, rows, cols, link)
+    } else {
+        f64::INFINITY
+    };
+    if t_tree <= t_ring && t_tree <= t_grid {
+        Backend::Tree
+    } else if t_grid <= t_ring {
+        Backend::Torus2d
+    } else {
+        Backend::Ring
+    }
+}
+
 /// Bytes in an f32 gradient all-reduce for a model with `params` scalars.
 pub fn gradient_bytes(params: u64) -> f64 {
     params as f64 * 4.0
@@ -197,6 +234,43 @@ mod tests {
         let t128 = torus_all_reduce_time(b2_bytes, SliceShape::for_cores(128), TPU_V3_LINK);
         let t1024 = torus_all_reduce_time(b2_bytes, SliceShape::for_cores(1024), TPU_V3_LINK);
         assert!(t1024 / t128 < 1.6, "ratio {}", t1024 / t128);
+    }
+
+    #[test]
+    fn grid_time_never_exceeds_flat_ring_on_composite_worlds() {
+        // The 2-D grid moves the same 2(p−1)/p bytes but takes
+        // 2(cols−1)+2(rows−1) latency hops instead of 2(p−1): whenever
+        // the canonical grid has more than one row the torus wins or
+        // ties, which is why `auto_backend_choice` prefers it at scale.
+        use crate::topology::canonical_grid;
+        for p in [4usize, 8, 16, 64, 1024, 2048, 4096] {
+            let (rows, cols) = canonical_grid(p);
+            assert!(rows > 1, "p={p} should be composite here");
+            for bytes in [1e3, 1e6, 1e8] {
+                let grid = grid_all_reduce_time(bytes, rows, cols, TPU_V3_LINK);
+                let ring = ring_all_reduce_time(bytes, p, TPU_V3_LINK);
+                assert!(
+                    grid <= ring,
+                    "p={p} bytes={bytes}: grid {grid} vs ring {ring}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_choice_is_tree_small_torus_large_ring_prime() {
+        use crate::backend::Backend;
+        // Tiny payload: latency-bound, the tree's 2·log₂p hops win.
+        assert_eq!(auto_backend_choice(4.0, 1024, TPU_V3_LINK), Backend::Tree);
+        // Large payload on a composite world: the grid's bandwidth factor
+        // with few hops wins.
+        assert_eq!(
+            auto_backend_choice(1e8, 1024, TPU_V3_LINK),
+            Backend::Torus2d
+        );
+        // Large payload on a prime world: no grid, the flat ring wins.
+        assert_eq!(auto_backend_choice(1e8, 7, TPU_V3_LINK), Backend::Ring);
+        assert_eq!(auto_backend_choice(1e9, 1, TPU_V3_LINK), Backend::Tree);
     }
 
     #[test]

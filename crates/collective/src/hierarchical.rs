@@ -3,10 +3,16 @@
 //! The pod's gradient all-reduce is not one flat ring: it reduce-scatters
 //! along torus rows, all-reduces along columns, then all-gathers along
 //! rows (the structure `cost::torus_all_reduce_time` prices). This module
-//! composes the same three phases from row/column ring communicators over
-//! threads, validating the algorithm end-to-end against the flat tree.
+//! composes those three phases from row/column communicators over
+//! threads. Each phase folds in ascending rank order, so the composition
+//! is the canonical grid-blocked fold of
+//! [`CommHandle::all_reduce_sum_grid`] — **bitwise identical** to the
+//! tree and ring backends over the same world. It is the engine of the
+//! `Backend::Torus2d` collective.
 
-use crate::comm::CommHandle;
+use crate::comm::{shard_bounds, CommHandle};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One member's handles for a 2-D grid all-reduce: its row communicator
 /// and its column communicator.
@@ -15,6 +21,11 @@ pub struct GridMember {
     pub col: CommHandle,
     rows: usize,
     cols: usize,
+    /// Persistent shard buffer for the column phase; grows during warmup,
+    /// then every all-reduce is allocation-free.
+    shard: Mutex<Vec<f32>>,
+    /// Shard-buffer capacity growths (this member only).
+    shard_reallocs: AtomicU64,
 }
 
 /// Creates an `rows×cols` grid of members (row-major order).
@@ -34,6 +45,8 @@ pub fn create_grid(rows: usize, cols: usize) -> Vec<GridMember> {
                 col: std::mem::replace(&mut col_handles[c][r], dummy_handle()),
                 rows,
                 cols,
+                shard: Mutex::new(Vec::new()),
+                shard_reallocs: AtomicU64::new(0),
             });
         }
     }
@@ -51,50 +64,61 @@ impl GridMember {
         (self.rows, self.cols)
     }
 
-    /// Hierarchical sum all-reduce:
-    /// 1. reduce-scatter along the row → each column owner holds its
-    ///    shard of the row sum (realized here as a row all-reduce +
-    ///    shard view, which is semantically identical),
-    /// 2. all-reduce the owned shard down the column,
-    /// 3. all-gather shards along the row.
-    pub fn all_reduce_sum(&self, buf: &mut [f32]) {
-        let cols = self.cols;
-        let n = buf.len();
-        // Phase 1: row-wise reduction. Every row member now holds the row
-        // sum; member `c` of the row is the owner of shard `c`.
-        self.row.all_reduce_sum(buf);
-        // Phase 2: column all-reduce of this member's shard only (1/cols
-        // of the payload — the bandwidth saving the 2-D scheme exists for).
-        let me = self.row.rank();
-        let (a, b) = shard_bounds(n, cols, me);
-        let mut shard = buf[a..b].to_vec();
-        self.col.all_reduce_sum(&mut shard);
-        buf[a..b].copy_from_slice(&shard);
-        // Phase 3: row all-gather of finished shards.
-        let gathered = self.row.all_gather(&buf[a..b]);
-        // `gathered` concatenates shards in rank order == shard order.
-        let mut off = 0;
-        for c in 0..cols {
-            let (sa, sb) = shard_bounds(n, cols, c);
-            buf[sa..sb].copy_from_slice(&gathered[off..off + (sb - sa)]);
-            off += sb - sa;
-        }
+    /// This member's global rank in row-major grid order.
+    pub fn global_rank(&self) -> usize {
+        self.col.rank() * self.cols + self.row.rank()
     }
-}
 
-/// Shard `i` of `n` elements split into `parts` near-equal ranges.
-fn shard_bounds(n: usize, parts: usize, i: usize) -> (usize, usize) {
-    let base = n / parts;
-    let rem = n % parts;
-    let start = i * base + i.min(rem);
-    let len = base + usize::from(i < rem);
-    (start, start + len)
+    /// Shard-buffer growth events on this member. Flat after warmup ⇒ the
+    /// 2-D reduce path is allocation-free (the row/col communicators'
+    /// scratch is tracked by [`CommHandle::scratch_reallocs`]).
+    pub fn shard_reallocs(&self) -> u64 {
+        self.shard_reallocs.load(Ordering::Relaxed)
+    }
+
+    /// Hierarchical sum all-reduce:
+    /// 1. **reduce-scatter** along the row — member `c` of the row
+    ///    receives shard `c` of the row sum (ascending-rank fold),
+    /// 2. **all-reduce** the owned shard down the column (1/cols of the
+    ///    payload — the bandwidth saving the 2-D scheme exists for),
+    /// 3. **all-gather** finished shards along the row, straight back
+    ///    into `buf`.
+    ///
+    /// Per-element this computes `Σ_blocks (Σ_cols x)` with both folds
+    /// ascending — exactly [`CommHandle::all_reduce_sum_grid`] over the
+    /// canonical grid, so results are bitwise identical to tree/ring.
+    pub fn all_reduce_sum(&self, buf: &mut [f32]) {
+        let n = buf.len();
+        let (a, b) = shard_bounds(n, self.cols, self.row.rank());
+        let mut shard = self.shard.lock();
+        if shard.capacity() < b - a {
+            self.shard_reallocs.fetch_add(1, Ordering::Relaxed);
+        }
+        // Phase 1: row reduce-scatter — `shard` now holds this member's
+        // slice of the row sum.
+        self.row.reduce_scatter_sum(buf, &mut shard);
+        // Phase 2: column all-reduce of the shard only.
+        self.col.all_reduce_sum(&mut shard);
+        // Phase 3: row all-gather of finished shards (rank order == shard
+        // order, so the concatenation is the final payload).
+        self.row.all_gather_into_slice(&shard, buf);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::thread;
+
+    fn payload(id: usize, n: usize) -> Vec<f32> {
+        // Mixed magnitudes so reassociation changes the rounded sum.
+        (0..n)
+            .map(|i| {
+                let m = [1e8f32, 1.0, -1e8, 0.37, 1e-3][(id + i) % 5];
+                m * (1.0 + (id * 31 + i * 7) as f32 * 1e-3)
+            })
+            .collect()
+    }
 
     fn run_grid(rows: usize, cols: usize, n: usize) -> Vec<Vec<f32>> {
         let members = create_grid(rows, cols);
@@ -145,44 +169,93 @@ mod tests {
     }
 
     #[test]
-    fn shard_bounds_cover_exactly() {
-        for n in [0usize, 1, 7, 16, 33] {
-            for parts in [1usize, 2, 5, 8] {
-                let mut covered = 0;
-                for i in 0..parts {
-                    let (a, b) = shard_bounds(n, parts, i);
-                    assert_eq!(a, covered, "shards must be contiguous");
-                    covered = b;
+    fn global_rank_is_row_major() {
+        let members = create_grid(3, 4);
+        for (id, m) in members.iter().enumerate() {
+            assert_eq!(m.global_rank(), id);
+        }
+    }
+
+    #[test]
+    fn matches_canonical_grid_fold_bitwise() {
+        // The executed three-phase exchange must be *bitwise* the
+        // canonical grid-blocked fold — the property that makes the
+        // torus-2d backend interchangeable with tree and ring.
+        for &(rows, cols) in &[(2usize, 2usize), (2, 3), (4, 2), (4, 4)] {
+            let p = rows * cols;
+            for n in [1usize, 3, 29, 64] {
+                let members = create_grid(rows, cols);
+                let grid_results: Vec<Vec<f32>> = members
+                    .into_iter()
+                    .enumerate()
+                    .map(|(id, m)| {
+                        thread::spawn(move || {
+                            let mut buf = payload(id, n);
+                            m.all_reduce_sum(&mut buf);
+                            buf
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|j| j.join().unwrap())
+                    .collect();
+                let handles = CommHandle::create(p);
+                let flat: Vec<Vec<f32>> = handles
+                    .into_iter()
+                    .enumerate()
+                    .map(|(id, h)| {
+                        thread::spawn(move || {
+                            let mut buf = payload(id, n);
+                            h.all_reduce_sum_grid(&mut buf, rows, cols);
+                            buf
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|j| j.join().unwrap())
+                    .collect();
+                for (g, f) in grid_results.iter().zip(&flat) {
+                    for (x, y) in g.iter().zip(f) {
+                        assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "grid {rows}x{cols} n={n} must match the canonical fold"
+                        );
+                    }
                 }
-                assert_eq!(covered, n);
             }
         }
     }
 
     #[test]
-    fn agrees_with_flat_tree() {
-        use crate::comm::CommHandle;
-        let (rows, cols, n) = (2usize, 3usize, 29usize);
-        let grid_results = run_grid(rows, cols, n);
-        let handles = CommHandle::create(rows * cols);
-        let flat: Vec<Vec<f32>> = handles
+    fn steady_state_is_allocation_free() {
+        let members = create_grid(2, 3);
+        let joins: Vec<_> = members
             .into_iter()
             .enumerate()
-            .map(|(id, h)| {
+            .map(|(id, m)| {
                 thread::spawn(move || {
-                    let mut buf: Vec<f32> = (0..n).map(|i| ((id + 1) * (i + 1)) as f32).collect();
-                    h.all_reduce_sum(&mut buf);
-                    buf
+                    // Warmup grows the shard and communicator scratch.
+                    let mut buf = payload(id, 257);
+                    m.all_reduce_sum(&mut buf);
+                    let after_warmup =
+                        m.shard_reallocs() + m.row.scratch_reallocs() + m.col.scratch_reallocs();
+                    for _ in 0..50 {
+                        let mut buf = payload(id, 257);
+                        m.all_reduce_sum(&mut buf);
+                    }
+                    let after_steady =
+                        m.shard_reallocs() + m.row.scratch_reallocs() + m.col.scratch_reallocs();
+                    (after_warmup, after_steady)
                 })
             })
-            .collect::<Vec<_>>()
-            .into_iter()
-            .map(|j| j.join().unwrap())
             .collect();
-        for (g, f) in grid_results.iter().zip(&flat) {
-            for (a, b) in g.iter().zip(f) {
-                assert!((a - b).abs() < 1e-3);
-            }
+        for j in joins {
+            let (warm, steady) = j.join().unwrap();
+            assert_eq!(
+                warm, steady,
+                "steady-state 2-D all-reduce must not allocate"
+            );
         }
     }
 }

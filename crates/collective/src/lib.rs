@@ -5,14 +5,18 @@
 //! - [`topology`] — TPU-v3 pod slices as 2-D chip tori (§2).
 //! - [`group`] — BN replica grouping: contiguous and 2-D tiled (§3.4).
 //! - [`backend`] — the [`Collective`] trait every consumer programs
-//!   against, with tree / ring / auto backends selected per experiment.
+//!   against, with tree / ring / torus2d / auto backends selected per
+//!   experiment, all bitwise-identical via the canonical grid-blocked
+//!   fold.
 //! - [`comm`] — real shared-memory collectives for in-process replica
-//!   threads, with deterministic ascending-rank reduction order (the
-//!   tree backend's engine).
+//!   threads, with deterministic reduction order (the tree and torus
+//!   backends' engine).
+//! - [`hierarchical`] — the 2-D row/column exchange the torus2d backend
+//!   runs: row reduce-scatter, column all-reduce, row all-gather.
 //! - [`ring`] — a real ring all-reduce over point-to-point channels,
 //!   validating the algorithm the cost model prices.
-//! - [`cost`] — α–β cost models for tree, ring, and 2-D torus
-//!   all-reduce; the tree/ring crossover drives the auto backend.
+//! - [`cost`] — α–β cost models for tree, ring, and 2-D torus/grid
+//!   all-reduce; their comparison drives the auto backend.
 
 pub mod backend;
 pub mod comm;
@@ -24,13 +28,13 @@ pub mod ring;
 pub mod topology;
 
 pub use backend::{
-    create_collective, create_ring_collectives, AutoCollective, Backend, Collective,
-    CollectiveStats, RingCollective, TreeCollective,
+    create_collective, create_ring_collectives, create_torus_collectives, AutoCollective, Backend,
+    Collective, CollectiveStats, RingCollective, Torus2dCollective, TreeCollective,
 };
-pub use comm::CommHandle;
+pub use comm::{shard_bounds, CommHandle};
 pub use cost::{
-    bn_sync_time, gradient_bytes, ring_all_reduce_time, torus_all_reduce_time,
-    tree_all_reduce_time, tree_ring_crossover_bytes, LinkSpec, TPU_V3_LINK,
+    auto_backend_choice, bn_sync_time, gradient_bytes, grid_all_reduce_time, ring_all_reduce_time,
+    torus_all_reduce_time, tree_all_reduce_time, tree_ring_crossover_bytes, LinkSpec, TPU_V3_LINK,
 };
 pub use fault::{
     retry_collective, CollectiveError, FaultEvent, FaultKind, FaultPlan, FaultSchedule,
@@ -39,4 +43,4 @@ pub use fault::{
 pub use group::{bn_batch_size, bn_partition, GroupSpec};
 pub use hierarchical::{create_grid, GridMember};
 pub use ring::{create_ring, RingMember};
-pub use topology::{SliceShape, CORES_PER_CHIP};
+pub use topology::{canonical_grid, SliceShape, CORES_PER_CHIP};

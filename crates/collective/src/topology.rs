@@ -10,6 +10,30 @@ use serde::{Deserialize, Serialize};
 /// Cores per TPU-v3 chip.
 pub const CORES_PER_CHIP: usize = 2;
 
+/// The canonical 2-D factorization of a world of `p` members:
+/// `rows` is the largest divisor of `p` not exceeding `√p` (so
+/// `rows ≤ cols` and `rows · cols == p`).
+///
+/// This grid is what the torus-2d backend routes over *and* what defines
+/// the canonical reduction order every backend folds in (block partials
+/// over `cols` consecutive ranks, then block sums across `rows` — see
+/// `crate::comm::CommHandle::all_reduce_sum_grid`). It is a pure function
+/// of `p`, so after an elastic shrink every survivor re-selects the same
+/// sub-torus from the surviving world size alone. Primes (and `p < 4`)
+/// degenerate to `(1, p)`, where the grid fold is the flat ascending fold.
+pub fn canonical_grid(p: usize) -> (usize, usize) {
+    assert!(p >= 1, "a grid needs at least one member");
+    let mut rows = (p as f64).sqrt().floor() as usize;
+    while rows > 1 && rows * rows > p {
+        rows -= 1;
+    }
+    while rows > 1 && !p.is_multiple_of(rows) {
+        rows -= 1;
+    }
+    let rows = rows.max(1);
+    (rows, p / rows)
+}
+
 /// A rectangular slice of the pod's chip torus.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SliceShape {
@@ -107,6 +131,39 @@ impl SliceShape {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn canonical_grids_are_near_square_divisor_pairs() {
+        assert_eq!(canonical_grid(1), (1, 1));
+        assert_eq!(canonical_grid(2), (1, 2));
+        assert_eq!(canonical_grid(3), (1, 3));
+        assert_eq!(canonical_grid(4), (2, 2));
+        assert_eq!(canonical_grid(6), (2, 3));
+        assert_eq!(canonical_grid(8), (2, 4));
+        assert_eq!(canonical_grid(12), (3, 4));
+        assert_eq!(canonical_grid(16), (4, 4));
+        assert_eq!(canonical_grid(1024), (32, 32));
+        assert_eq!(canonical_grid(2048), (32, 64));
+        assert_eq!(canonical_grid(4096), (64, 64));
+        // Primes have no non-trivial divisor ≤ √p: flat row.
+        for p in [2usize, 3, 5, 7, 11, 13, 4099] {
+            assert_eq!(canonical_grid(p), (1, p));
+        }
+    }
+
+    #[test]
+    fn canonical_grid_invariants_hold_for_all_small_worlds() {
+        for p in 1..=512usize {
+            let (r, c) = canonical_grid(p);
+            assert_eq!(r * c, p, "p={p}");
+            assert!(r <= c, "p={p}: rows must not exceed cols");
+            assert!(r * r <= p, "p={p}: rows must not exceed sqrt(p)");
+            // Largest such divisor: nothing between r and sqrt(p) divides p.
+            for d in (r + 1)..=((p as f64).sqrt() as usize) {
+                assert!(!p.is_multiple_of(d), "p={p}: {d} is a larger divisor");
+            }
+        }
+    }
 
     #[test]
     fn standard_slices() {

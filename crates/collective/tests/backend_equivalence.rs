@@ -1,17 +1,18 @@
 //! Property tests for the backend-equivalence contract of the
 //! [`Collective`] trait:
 //!
-//! 1. Tree, ring, and auto all-reduce agree element-wise within 1e-5
+//! 1. Tree, ring, torus2d, and auto all-reduce agree element-wise within
+//!    1e-5
 //!    (the ISSUE's cross-backend band — in fact they agree bitwise,
-//!    since every backend reduces with the canonical ascending-rank
-//!    fold; the unit tests pin the stronger property);
+//!    since every backend reduces with the canonical grid-blocked fold;
+//!    the unit tests pin the stronger property);
 //! 2. every backend is run-to-run **bitwise** reproducible;
 //! 3. every backend leaves all ranks with **bitwise identical** results
 //!    (the invariant the trainer's cross-replica checksum relies on);
 //!
-//! over world sizes {1, 2, 3, 4, 8} and payload lengths chosen to be
+//! over world sizes {1, 2, 3, 4, 8, 16} and payload lengths chosen to be
 //! frequently non-divisible by the world size (exercising the ring's
-//! remainder-first chunking).
+//! remainder-first chunking and the torus's uneven/empty row shards).
 //!
 //! The offline proptest stub swallows `proptest!` bodies, so imports and
 //! helpers used only inside them look unused to clippy under the stub;
@@ -22,7 +23,7 @@ use ets_collective::{create_collective, Backend, Collective};
 use proptest::prelude::*;
 use std::thread;
 
-const WORLD_SIZES: [usize; 5] = [1, 2, 3, 4, 8];
+const WORLD_SIZES: [usize; 6] = [1, 2, 3, 4, 8, 16];
 
 /// Deterministic per-(seed, rank) payload with magnitude variation —
 /// large and small terms mixed so association-order error is visible.
@@ -81,6 +82,7 @@ proptest! {
         let p = WORLD_SIZES[world_idx];
         let tree = reduce_world(Backend::Tree, p, n, seed);
         let ring = reduce_world(Backend::Ring, p, n, seed);
+        let torus = reduce_world(Backend::Torus2d, p, n, seed);
         let auto = reduce_world(Backend::Auto, p, n, seed);
         // Tolerance is relative to the payload magnitude (1e-5 of the
         // reduction scale — the ISSUE's cross-backend band).
@@ -91,6 +93,11 @@ proptest! {
                     (tree[r][i] - ring[r][i]).abs() <= tol,
                     "p={p} n={n} rank={r} i={i}: tree {} vs ring {}",
                     tree[r][i], ring[r][i]
+                );
+                prop_assert!(
+                    (tree[r][i] - torus[r][i]).abs() <= tol,
+                    "p={p} n={n} rank={r} i={i}: tree {} vs torus {}",
+                    tree[r][i], torus[r][i]
                 );
                 prop_assert!(
                     (tree[r][i] - auto[r][i]).abs() <= tol,
@@ -144,11 +151,13 @@ fn non_divisible_lengths_agree_across_backends() {
         for n in [1usize, 3, 17, 97] {
             let tree = reduce_world(Backend::Tree, p, n, 7);
             let ring = reduce_world(Backend::Ring, p, n, 7);
+            let torus = reduce_world(Backend::Torus2d, p, n, 7);
             let auto = reduce_world(Backend::Auto, p, n, 7);
             let tol = 1e-5 * magnitude(p, n, 7);
             for r in 0..p {
                 for i in 0..n {
                     assert!((tree[r][i] - ring[r][i]).abs() <= tol, "p={p} n={n}");
+                    assert!((tree[r][i] - torus[r][i]).abs() <= tol, "p={p} n={n}");
                     assert!((tree[r][i] - auto[r][i]).abs() <= tol, "p={p} n={n}");
                 }
             }

@@ -207,6 +207,9 @@ impl TrainReport {
         let step_s = self.phases.step_seconds();
         ets_obs::RunSummary {
             label: label.to_string(),
+            // The report does not know which backend ran; callers that do
+            // (the bench harness reads it off the experiment) fill it in.
+            backend: String::new(),
             cores,
             global_batch,
             steps: self.steps,

@@ -51,6 +51,30 @@ fn tree_and_ring_train_to_the_same_losses() {
 }
 
 #[test]
+fn all_four_backends_train_to_bitwise_identical_trajectories() {
+    // Tree, ring, torus2d, and auto all commit to the canonical
+    // grid-blocked fold, so the trainer-level trajectories are bitwise
+    // identical — not merely close.
+    let tree = run(Backend::Tree);
+    for backend in [Backend::Ring, Backend::Torus2d, Backend::Auto] {
+        let other = run(backend);
+        assert_eq!(
+            tree.weight_checksum, other.weight_checksum,
+            "{backend}: final weights diverged from tree"
+        );
+        assert_eq!(tree.history.len(), other.history.len());
+        for (t, o) in tree.history.iter().zip(&other.history) {
+            assert_eq!(
+                t.train_loss, o.train_loss,
+                "epoch {}: {backend} loss diverged from tree",
+                t.epoch
+            );
+            assert_eq!(t.lr, o.lr, "schedules must not depend on the backend");
+        }
+    }
+}
+
+#[test]
 fn each_backend_is_run_to_run_bitwise_reproducible() {
     for backend in Backend::ALL {
         let a = run(backend);

@@ -433,6 +433,7 @@ fn corruption_chaos_soak() {
     let _g = serial();
     let backend = match std::env::var("ETS_SOAK_BACKEND").as_deref() {
         Ok("ring") => Backend::Ring,
+        Ok("torus2d") => Backend::Torus2d,
         Ok("auto") => Backend::Auto,
         _ => Backend::Tree,
     };
@@ -460,11 +461,7 @@ fn corruption_chaos_soak() {
         std::fs::create_dir_all(&out).unwrap();
         let path = std::path::Path::new(&out).join(format!(
             "corruption-chaos-{}-w{world}-s{seed}.json",
-            match backend {
-                Backend::Tree => "tree",
-                Backend::Ring => "ring",
-                Backend::Auto => "auto",
-            }
+            backend.name()
         ));
         std::fs::write(&path, r.to_json()).unwrap();
     }

@@ -40,7 +40,7 @@ fn lose_rank(rank: usize, at_step: u64) -> FaultEvent {
 
 #[test]
 fn permanent_loss_resumes_on_smaller_world_for_each_backend() {
-    for backend in [Backend::Tree, Backend::Ring, Backend::Auto] {
+    for backend in Backend::ALL {
         let mut e = elastic_exp(backend);
         e.faults.events.push(lose_rank(2, 3));
         let r = train(&e);
@@ -72,6 +72,43 @@ fn permanent_loss_resumes_on_smaller_world_for_each_backend() {
             r.final_loss()
         );
     }
+}
+
+#[test]
+fn torus_survivors_regrid_deterministically_after_killing_ranks() {
+    // ISSUE 9's elastic-torus contract on a 4×4 grid: kill 4 of 16 ranks
+    // mid-run and the surviving sub-torus must re-select its (rows, cols)
+    // deterministically from the new world size — canonical_grid(12) =
+    // (3, 4) — regroup BN partitions, and finish with a finite loss,
+    // bitwise reproducibly.
+    use ets_collective::canonical_grid;
+    let run = || {
+        let mut e = elastic_exp(Backend::Torus2d);
+        e.replicas = 16;
+        e.train_samples = 256;
+        for rank in [2, 7, 9, 14] {
+            e.faults.events.push(lose_rank(rank, 2));
+        }
+        train(&e)
+    };
+    assert_eq!(canonical_grid(16), (4, 4), "starting grid is the 4×4 torus");
+    assert_eq!(canonical_grid(12), (3, 4), "survivor grid re-selects 3×4");
+    let r = run();
+    assert_eq!(r.final_world, 12, "world must shrink 16 → 12");
+    assert_eq!(r.fault_recovery.resizes, 1, "coalesced losses, one resize");
+    assert_eq!(r.fault_recovery.lost_replicas, 4);
+    assert_eq!(r.step_timeline.resizes.len(), 1);
+    let rz = r.step_timeline.resizes[0];
+    assert_eq!((rz.world_before, rz.world_after), (16, 12));
+    assert_eq!(r.history.len() as u64, 2, "both epochs complete");
+    assert!(r.final_loss().is_finite(), "loss {}", r.final_loss());
+
+    let again = run();
+    assert_eq!(
+        r.weight_checksum, again.weight_checksum,
+        "regridded trajectory must be bitwise reproducible"
+    );
+    assert_eq!(r.steps, again.steps);
 }
 
 #[test]
@@ -226,6 +263,7 @@ fn elastic_chaos_soak() {
 
     let backend = match std::env::var("ETS_SOAK_BACKEND").as_deref() {
         Ok("ring") => Backend::Ring,
+        Ok("torus2d") => Backend::Torus2d,
         Ok("auto") => Backend::Auto,
         _ => Backend::Tree,
     };
@@ -265,11 +303,7 @@ fn elastic_chaos_soak() {
         std::fs::create_dir_all(&out).unwrap();
         let path = std::path::Path::new(&out).join(format!(
             "pod-chaos-{}-w{world}-s{seed}.json",
-            match backend {
-                Backend::Tree => "tree",
-                Backend::Ring => "ring",
-                Backend::Auto => "auto",
-            }
+            backend.name()
         ));
         std::fs::write(&path, json).unwrap();
     }

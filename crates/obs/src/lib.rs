@@ -29,5 +29,5 @@ pub use chrome::{chrome_trace, chrome_trace_multi};
 pub use json::JsonWriter;
 pub use prom::{prometheus_text, prometheus_text_multi};
 pub use recorder::{phase, Clock, Event, EventKind, Lane, Recorder, WallSpan};
-pub use summary::{summaries_to_json, OverheadDecomposition, RunSummary};
-pub use validate::{parse_json, validate_chrome_trace, TraceStats, Value};
+pub use summary::{summaries_to_json, OverheadDecomposition, RunSummary, STEP_TIME_SCHEMA};
+pub use validate::{parse_json, validate_chrome_trace, validate_step_time_json, TraceStats, Value};

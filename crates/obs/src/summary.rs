@@ -38,6 +38,11 @@ impl OverheadDecomposition {
 pub struct RunSummary {
     /// Operating point label, e.g. `"EfficientNet-B2 @ 256 cores"`.
     pub label: String,
+    /// Collective backend the row is priced for or was trained with
+    /// (`"tree" | "ring" | "torus2d" | "auto"`; empty in rows predating
+    /// the per-backend schema).
+    #[serde(default)]
+    pub backend: String,
     pub cores: u64,
     pub global_batch: u64,
     pub steps: u64,
@@ -73,6 +78,7 @@ impl RunSummary {
     pub fn write_json(&self, w: &mut JsonWriter) {
         w.begin_object()
             .field_str("label", &self.label)
+            .field_str("backend", &self.backend)
             .field_u64("cores", self.cores)
             .field_u64("global_batch", self.global_batch)
             .field_u64("steps", self.steps)
@@ -105,11 +111,18 @@ impl RunSummary {
     }
 }
 
-/// Render a set of summaries as `{"runs": [...]}` — the shape of
-/// `BENCH_step_time.json` and the bench bins' `--json` output.
+/// Schema tag of the step-time benchmark document: v2 adds per-row
+/// `backend` names and the per-backend scaling rows.
+pub const STEP_TIME_SCHEMA: &str = "bench_step_time_v2";
+
+/// Render a set of summaries as `{"schema": ..., "runs": [...]}` — the
+/// shape of `BENCH_step_time.json` and the bench bins' `--json` output.
 pub fn summaries_to_json(runs: &[RunSummary]) -> String {
     let mut w = JsonWriter::with_capacity(8192);
-    w.begin_object().key("runs").begin_array();
+    w.begin_object()
+        .field_str("schema", STEP_TIME_SCHEMA)
+        .key("runs")
+        .begin_array();
     for r in runs {
         r.write_json(&mut w);
     }
@@ -125,6 +138,7 @@ mod tests {
     fn sample() -> RunSummary {
         RunSummary {
             label: "EfficientNet-B2 @ 256 cores".into(),
+            backend: "torus2d".into(),
             cores: 256,
             global_batch: 16384,
             steps: 100,
@@ -174,7 +188,16 @@ mod tests {
     fn summaries_document_shape() {
         let doc = summaries_to_json(&[sample(), sample()]);
         let v = parse_json(&doc).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_str().unwrap(), STEP_TIME_SCHEMA);
         assert_eq!(v.get("runs").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(
+            v.get("runs").unwrap().as_arr().unwrap()[0]
+                .get("backend")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "torus2d"
+        );
     }
 
     #[test]

@@ -384,6 +384,76 @@ pub fn validate_chrome_trace(json: &str) -> Result<TraceStats, String> {
     Ok(stats)
 }
 
+/// Validate a `BENCH_step_time.json` document against the v2 schema
+/// (see [`crate::summary::STEP_TIME_SCHEMA`]), returning the run count:
+///
+/// 1. the document parses as JSON with a matching top-level `schema` tag,
+/// 2. `runs` is a non-empty array of objects,
+/// 3. every run carries a non-empty `label`, a `backend` string, finite
+///    non-negative `step_ms` / `all_reduce_pct` / `overlap_pct` /
+///    `bn_sync_pct` / `images_per_sec`, percentages within [0, 100], and
+///    numeric `cores` / `global_batch` / `steps`.
+pub fn validate_step_time_json(json: &str) -> Result<usize, String> {
+    let doc = parse_json(json)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing top-level 'schema'")?;
+    if schema != crate::summary::STEP_TIME_SCHEMA {
+        return Err(format!(
+            "schema '{schema}' != expected '{}'",
+            crate::summary::STEP_TIME_SCHEMA
+        ));
+    }
+    let runs = doc
+        .get("runs")
+        .ok_or("missing top-level 'runs'")?
+        .as_arr()
+        .ok_or("'runs' is not an array")?;
+    if runs.is_empty() {
+        return Err("'runs' is empty".into());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        let obj = run.as_obj().ok_or(format!("run {i} is not an object"))?;
+        let label = obj
+            .get("label")
+            .and_then(Value::as_str)
+            .ok_or(format!("run {i}: missing string 'label'"))?;
+        if label.is_empty() {
+            return Err(format!("run {i}: empty label"));
+        }
+        obj.get("backend")
+            .and_then(Value::as_str)
+            .ok_or(format!("run {i} ({label}): missing string 'backend'"))?;
+        let num = |k: &str| -> Result<f64, String> {
+            let v = obj
+                .get(k)
+                .and_then(Value::as_f64)
+                .ok_or(format!("run {i} ({label}): missing number '{k}'"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("run {i} ({label}): bad '{k}' = {v}"));
+            }
+            Ok(v)
+        };
+        for k in [
+            "cores",
+            "global_batch",
+            "steps",
+            "step_ms",
+            "images_per_sec",
+        ] {
+            num(k)?;
+        }
+        for k in ["all_reduce_pct", "overlap_pct", "bn_sync_pct"] {
+            let v = num(k)?;
+            if v > 100.0 {
+                return Err(format!("run {i} ({label}): '{k}' = {v} > 100"));
+            }
+        }
+    }
+    Ok(runs.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -474,5 +544,54 @@ mod tests {
         assert!(validate_chrome_trace(json).unwrap_err().contains("dur"));
         let json = r#"{"traceEvents":[{"ph":"X","pid":0,"tid":1,"ts":10,"dur":1}]}"#;
         assert!(validate_chrome_trace(json).unwrap_err().contains("name"));
+    }
+
+    #[test]
+    fn step_time_validator_accepts_own_writer_output() {
+        use crate::summary::{summaries_to_json, RunSummary};
+        let mut run = RunSummary {
+            label: "EfficientNet-B2 @ 1024 cores".into(),
+            backend: "torus2d".into(),
+            cores: 1024,
+            global_batch: 32768,
+            steps: 13_685,
+            step_ms: 71.0,
+            all_reduce_pct: 1.0,
+            overlap_pct: 88.9,
+            bn_sync_pct: 0.2,
+            images_per_sec: 450_000.0,
+            total_virtual_s: 71.0e-3,
+            ..Default::default()
+        };
+        let doc = summaries_to_json(std::slice::from_ref(&run));
+        assert_eq!(validate_step_time_json(&doc).unwrap(), 1);
+        run.overlap_pct = 120.0;
+        let doc = summaries_to_json(std::slice::from_ref(&run));
+        assert!(validate_step_time_json(&doc)
+            .unwrap_err()
+            .contains("overlap_pct"));
+    }
+
+    #[test]
+    fn step_time_validator_rejects_old_schema_and_missing_fields() {
+        assert!(validate_step_time_json(r#"{"runs":[]}"#)
+            .unwrap_err()
+            .contains("schema"));
+        let v1 = r#"{"schema":"bench_step_time_v1","runs":[{"label":"x"}]}"#;
+        assert!(validate_step_time_json(v1).unwrap_err().contains("schema"));
+        let empty = format!(
+            r#"{{"schema":"{}","runs":[]}}"#,
+            crate::summary::STEP_TIME_SCHEMA
+        );
+        assert!(validate_step_time_json(&empty)
+            .unwrap_err()
+            .contains("empty"));
+        let no_backend = format!(
+            r#"{{"schema":"{}","runs":[{{"label":"x","cores":1,"global_batch":1,"steps":0,"step_ms":1,"images_per_sec":1,"all_reduce_pct":1,"overlap_pct":0,"bn_sync_pct":0}}]}}"#,
+            crate::summary::STEP_TIME_SCHEMA
+        );
+        assert!(validate_step_time_json(&no_backend)
+            .unwrap_err()
+            .contains("backend"));
     }
 }

@@ -80,7 +80,10 @@ pub fn narrow_slice(src: &[f32], dst: &mut [Bf16]) {
     debug_assert_eq!(src.len(), dst.len());
     #[cfg(target_arch = "x86_64")]
     {
-        if src.len() >= 16 && std::arch::is_x86_feature_detected!("avx2") {
+        if src.len() >= 32 && has_avx512() {
+            // SAFETY: AVX-512F/BW presence just verified.
+            unsafe { narrow_slice_avx512(src, dst) }
+        } else if src.len() >= 16 && std::arch::is_x86_feature_detected!("avx2") {
             // SAFETY: AVX2 presence just verified.
             unsafe { narrow_slice_avx2(src, dst) }
         } else {
@@ -105,7 +108,10 @@ pub fn narrow_row_scatter(src: &[f32], dst: &mut [Bf16], nr: usize, tile_stride:
     debug_assert_eq!(src.len() % nr, 0);
     #[cfg(target_arch = "x86_64")]
     if nr == 8 {
-        if std::arch::is_x86_feature_detected!("avx2") {
+        if src.len() >= 32 && has_avx512() {
+            // SAFETY: AVX-512F/BW presence just verified; bounds asserted inside.
+            unsafe { narrow_scatter8_avx512(src, dst, tile_stride) }
+        } else if std::arch::is_x86_feature_detected!("avx2") {
             // SAFETY: AVX2 presence just verified; bounds asserted inside.
             unsafe { narrow_scatter8_avx2(src, dst, tile_stride) }
         } else {
@@ -117,6 +123,62 @@ pub fn narrow_row_scatter(src: &[f32], dst: &mut [Bf16], nr: usize, tile_stride:
     for (j, chunk) in src.chunks_exact(nr).enumerate() {
         narrow_slice(chunk, &mut dst[j * tile_stride..j * tile_stride + nr]);
     }
+}
+
+/// Packs one 4-lane A row-tile: lane `ii` reads the contiguous slice
+/// `src[ii * row_stride ..][..kc]`, element `p` lands at `dst[p * 4 + ii]`,
+/// lanes past `im` are zero. Bitwise identical to the scalar
+/// `dst[p * 4 + ii] = Bf16::from_f32(row[p])` loop: each lane is narrowed
+/// with [`narrow_slice`] into a stack staging buffer, then the four lanes
+/// interleave via one contiguous 64-bit store per depth index.
+pub fn narrow_tile4(src: &[f32], row_stride: usize, kc: usize, im: usize, dst: &mut [Bf16]) {
+    assert!(im <= 4 && dst.len() >= kc * 4);
+    if im < 4 {
+        dst.iter_mut().for_each(|v| *v = Bf16::ZERO);
+    }
+    const CHUNK: usize = 128;
+    let mut rows = [[Bf16::ZERO; CHUNK]; 4];
+    let mut base = 0;
+    while base < kc {
+        let len = CHUNK.min(kc - base);
+        for (ii, row) in rows.iter_mut().enumerate().take(im) {
+            let s = &src[ii * row_stride + base..ii * row_stride + base + len];
+            narrow_slice(s, &mut row[..len]);
+        }
+        if im == 4 && cfg!(target_endian = "little") {
+            // Four parallel lanes share the depth index; enumerate would
+            // only cover one of them.
+            #[allow(clippy::needless_range_loop)]
+            for p in 0..len {
+                let w = rows[0][p].0 as u64
+                    | (rows[1][p].0 as u64) << 16
+                    | (rows[2][p].0 as u64) << 32
+                    | (rows[3][p].0 as u64) << 48;
+                // SAFETY: (base + p) * 4 + 3 < kc * 4 <= dst.len(), and
+                // Bf16 is a transparent u16 so the unaligned 4-element
+                // store stays in bounds; lane order matches the shifts on
+                // little-endian (the cfg! above).
+                unsafe {
+                    (dst.as_mut_ptr().add((base + p) * 4) as *mut u64).write_unaligned(w);
+                }
+            }
+        } else {
+            for (ii, row) in rows.iter().enumerate().take(im) {
+                for (p, &v) in row[..len].iter().enumerate() {
+                    dst[(base + p) * 4 + ii] = v;
+                }
+            }
+        }
+        base += len;
+    }
+}
+
+/// True when the 512-bit narrow kernels are safe to call.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn has_avx512() -> bool {
+    std::arch::is_x86_feature_detected!("avx512f")
+        && std::arch::is_x86_feature_detected!("avx512bw")
 }
 
 /// Lane-parallel mirror of the scalar `Bf16::from_f32` (4 lanes).
@@ -211,6 +273,103 @@ unsafe fn narrow_scatter8_avx2(src: &[f32], dst: &mut [Bf16], stride: usize) {
     if chunks % 2 == 1 {
         let j = chunks - 1;
         narrow_slice_sse2(&src[j * 8..], &mut dst[j * stride..j * stride + 8]);
+    }
+}
+
+/// Lane-parallel mirror of the scalar `Bf16::from_f32` (16 lanes).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[inline]
+unsafe fn narrow16_avx512(bits: std::arch::x86_64::__m512i) -> std::arch::x86_64::__m512i {
+    use std::arch::x86_64::*;
+    let kept = _mm512_srli_epi32::<16>(bits);
+    let lsb = _mm512_and_si512(kept, _mm512_set1_epi32(1));
+    let rounded = _mm512_srli_epi32::<16>(_mm512_add_epi32(
+        bits,
+        _mm512_add_epi32(_mm512_set1_epi32(0x7FFF), lsb),
+    ));
+    let quieted = _mm512_or_si512(kept, _mm512_set1_epi32(0x0040));
+    // Both magnitudes sit in [0, 0x7FFFFFFF], so the signed compare is
+    // exact for the NaN test.
+    let is_nan = _mm512_cmpgt_epi32_mask(
+        _mm512_and_si512(bits, _mm512_set1_epi32(0x7FFF_FFFF)),
+        _mm512_set1_epi32(0x7F80_0000),
+    );
+    _mm512_mask_blend_epi32(is_nan, rounded, quieted)
+}
+
+/// Two 16-lane RNE conversions packed into one u16×32 store. `packus` on
+/// 512-bit regs interleaves per 128-bit lane; the quadword permute with
+/// index [0,2,4,6,1,3,5,7] restores source order.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw")]
+#[inline]
+unsafe fn narrow32_avx512(
+    lo: std::arch::x86_64::__m512i,
+    hi: std::arch::x86_64::__m512i,
+) -> std::arch::x86_64::__m512i {
+    use std::arch::x86_64::*;
+    let idx = _mm512_setr_epi64(0, 2, 4, 6, 1, 3, 5, 7);
+    _mm512_permutexvar_epi64(
+        idx,
+        _mm512_packus_epi32(narrow16_avx512(lo), narrow16_avx512(hi)),
+    )
+}
+
+/// Thirty-two lanes per iteration; tail handled by the narrower kernels.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw")]
+unsafe fn narrow_slice_avx512(src: &[f32], dst: &mut [Bf16]) {
+    use std::arch::x86_64::*;
+
+    let n = src.len();
+    let chunks = n / 32;
+    for i in 0..chunks {
+        let p = src.as_ptr().add(i * 32) as *const __m512i;
+        let packed = narrow32_avx512(_mm512_loadu_si512(p as *const _), {
+            _mm512_loadu_si512(p.add(1) as *const _)
+        });
+        _mm512_storeu_si512(dst.as_mut_ptr().add(i * 32) as *mut _, packed);
+    }
+    if chunks * 32 < n {
+        narrow_slice_avx2(&src[chunks * 32..], &mut dst[chunks * 32..]);
+    }
+}
+
+/// Four 8-element tiles per iteration: one 32-lane conversion whose u16×32
+/// result is split-stored to four consecutive tiles.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw")]
+unsafe fn narrow_scatter8_avx512(src: &[f32], dst: &mut [Bf16], stride: usize) {
+    use std::arch::x86_64::*;
+
+    let chunks = src.len() / 8;
+    assert!(chunks == 0 || (chunks - 1) * stride + 8 <= dst.len());
+    for i in 0..chunks / 4 {
+        let p = src.as_ptr().add(i * 32) as *const __m512i;
+        let packed = narrow32_avx512(_mm512_loadu_si512(p as *const _), {
+            _mm512_loadu_si512(p.add(1) as *const _)
+        });
+        let base = dst.as_mut_ptr();
+        _mm_storeu_si128(
+            base.add((4 * i) * stride) as *mut __m128i,
+            _mm512_extracti32x4_epi32::<0>(packed),
+        );
+        _mm_storeu_si128(
+            base.add((4 * i + 1) * stride) as *mut __m128i,
+            _mm512_extracti32x4_epi32::<1>(packed),
+        );
+        _mm_storeu_si128(
+            base.add((4 * i + 2) * stride) as *mut __m128i,
+            _mm512_extracti32x4_epi32::<2>(packed),
+        );
+        _mm_storeu_si128(
+            base.add((4 * i + 3) * stride) as *mut __m128i,
+            _mm512_extracti32x4_epi32::<3>(packed),
+        );
+    }
+    for j in (chunks / 4) * 4..chunks {
+        narrow_slice_sse2(&src[j * 8..j * 8 + 8], &mut dst[j * stride..j * stride + 8]);
     }
 }
 

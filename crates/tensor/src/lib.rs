@@ -24,8 +24,8 @@ pub mod shape;
 pub mod tensor;
 
 pub use par::{
-    gemm_workers, reset_worker_stats, set_gemm_workers, set_tile_delay, worker_stats, WorkerStat,
-    MAX_WORKERS,
+    effective_workers, gemm_workers, host_parallelism, reset_worker_stats, set_gemm_workers,
+    set_sequential_override, set_tile_delay, worker_stats, WorkerStat, MAX_WORKERS,
 };
 pub use rng::Rng;
 pub use scratch::{

@@ -126,6 +126,25 @@ pub trait PackElem: PoolElem {
             Self::pack_from_f32(chunk, &mut dst[j * tile_stride..j * tile_stride + nr]);
         }
     }
+
+    /// Packs one row-tile of row-major A: lane `ii` reads the contiguous
+    /// slice `src[ii * row_stride ..][..kc]`, element `p` lands at
+    /// `dst[p * MR + ii]`, lanes past `im` are zero. The default
+    /// lane-by-lane loop is what f32 always did; bf16 overrides it with a
+    /// SIMD narrow through stack staging buffers plus a fused four-lane
+    /// interleave, so the rounding pipelines across whole rows.
+    #[inline]
+    fn pack_a_tile(src: &[f32], row_stride: usize, kc: usize, im: usize, dst: &mut [Self]) {
+        if im < MR {
+            dst.iter_mut().for_each(|v| *v = Self::default());
+        }
+        for ii in 0..im {
+            let row = &src[ii * row_stride..ii * row_stride + kc];
+            for (p, &s) in row.iter().enumerate() {
+                dst[p * MR + ii] = Self::from_f32(s);
+            }
+        }
+    }
 }
 
 impl PackElem for f32 {
@@ -168,6 +187,11 @@ impl PackElem for Bf16 {
     #[inline]
     fn pack_row_scatter(src: &[f32], dst: &mut [Bf16], nr: usize, tile_stride: usize) {
         crate::bf16::narrow_row_scatter(src, dst, nr, tile_stride);
+    }
+
+    #[inline]
+    fn pack_a_tile(src: &[f32], row_stride: usize, kc: usize, im: usize, dst: &mut [Bf16]) {
+        crate::bf16::narrow_tile4(src, row_stride, kc, im, dst);
     }
 }
 
@@ -217,9 +241,27 @@ pub fn pack_a_into_as<E: PackElem>(a: PanelA<'_>, m: usize, k: usize, ap: &mut [
     debug_assert_eq!(ap.len(), packed_a_len(m, k));
     let m_tiles = m.div_ceil(MR);
     let m_padded = m_tiles * MR;
+    // Row-major A: each tile lane reads a *contiguous* `kc`-slice of one
+    // source row, so the conversion runs row-at-a-time ([`PackElem::
+    // pack_a_tile`] — SIMD for bf16) and only the lane interleave is
+    // strided. Bitwise identical to the historical per-element order:
+    // every element is a single independent conversion.
+    if let PanelA::RowMajor(s) = a {
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let region = &mut ap[m_padded * pc..m_padded * (pc + kc)];
+            for it in 0..m_tiles {
+                let i0 = it * MR;
+                let im = MR.min(m - i0);
+                let tile = &mut region[it * kc * MR..(it + 1) * kc * MR];
+                E::pack_a_tile(&s[i0 * k + pc..], k, kc, im, tile);
+            }
+        }
+        return;
+    }
     let at = |i: usize, p: usize| -> f32 {
         match a {
-            PanelA::RowMajor(s) => s[i * k + p],
+            PanelA::RowMajor(_) => unreachable!("handled by the row-major fast path above"),
             PanelA::Transposed(s) => s[p * m + i],
         }
     };
@@ -489,7 +531,10 @@ pub fn gemm_prepacked_as<E: PackElem>(
     // suite), so routing is numerics-neutral.
     let verifying = super::abft::verify_enabled();
     let tile_path = verifying || super::abft::injection_armed();
-    let parallel = n_tiles > 1 && par::gemm_workers() > 1 && m * n * k >= PAR_FLOP_THRESHOLD;
+    // `effective_workers` (pool size clamped to host cores), not the raw
+    // pool size: an oversubscribed pool on a small host pays per-tile
+    // B-panel repacking and scheduling for zero concurrency.
+    let parallel = n_tiles > 1 && par::effective_workers() > 1 && m * n * k >= PAR_FLOP_THRESHOLD;
     if parallel || tile_path {
         let cp = CPtr(c.as_mut_ptr());
         let tile_body = |tile: usize| {

@@ -149,6 +149,39 @@ pub fn gemm_workers() -> usize {
     CURRENT_WORKERS.load(Ordering::Relaxed)
 }
 
+/// The host's hardware parallelism (1 if unknown).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Bench/test hook: while set, [`effective_workers`] reports 1, so the
+/// GEMM dispatch predicate routes to the sequential path without
+/// resizing the pool (resizing respawns helpers, whose fresh
+/// thread-local arenas would then trip the zero-realloc steady-state
+/// gate). The parallel bench probe uses this to interleave sequential
+/// and parallel samples under identical background load.
+static SEQ_OVERRIDE: AtomicBool = AtomicBool::new(false);
+
+/// See [`SEQ_OVERRIDE`]. Takes effect immediately on all threads.
+pub fn set_sequential_override(on: bool) {
+    SEQ_OVERRIDE.store(on, Ordering::Relaxed);
+}
+
+/// Workers that can actually run concurrently: the configured pool size
+/// clamped to the host's available cores. The pool itself keeps its
+/// configured size (tests pin `worker_stats().len()` to it), but the GEMM
+/// dispatch predicate uses this — on a 1-core host an oversubscribed pool
+/// only adds per-tile repacking and scheduling overhead (the kernel bench
+/// measured 0.93× "speedup"), so the tile grid must not engage there.
+pub fn effective_workers() -> usize {
+    if SEQ_OVERRIDE.load(Ordering::Relaxed) {
+        return 1;
+    }
+    gemm_workers().min(host_parallelism())
+}
+
 /// Reconfigure the pool to `n` workers (`0` = one per available core,
 /// capped at [`MAX_WORKERS`]). Joins retired helpers before spawning
 /// replacements, so no stale thread ever holds a claim cursor. Safe to

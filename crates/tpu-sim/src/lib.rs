@@ -46,7 +46,8 @@ pub use netsim::{
 };
 pub use scaling::{amdahl_serial_fraction, scaling_sweep, ScalingPoint};
 pub use step::{
-    batch_eff_factor, step_time, step_time_elastic, total_bn_channels, StepConfig, StepTime,
+    backend_all_reduce_time, batch_eff_factor, hidden_all_reduce, step_time, step_time_elastic,
+    step_time_for_backend, total_bn_channels, StepConfig, StepTime, OVERLAP_BUCKET_ELEMS,
 };
 pub use whatif::{
     degraded_link_impact, infeed_analysis, DegradedLinkReport, InfeedReport, CORES_PER_HOST,

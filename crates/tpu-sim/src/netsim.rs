@@ -315,6 +315,29 @@ mod tests {
     }
 
     #[test]
+    fn executed_grid_exchange_matches_backend_pricing() {
+        // The Torus2d backend routes over canonical_grid(world), not the
+        // chip slice. The event-driven simulator run on that member grid
+        // must agree with `grid_all_reduce_time` — the formula the
+        // scaling bench's analytic per-backend rows use — so the
+        // executed path and the analytic path price the same exchange.
+        use ets_collective::{canonical_grid, grid_all_reduce_time};
+        for &world in &[64usize, 1024, 2048, 4096] {
+            let (rows, cols) = canonical_grid(world);
+            let grid = SliceShape { rows, cols };
+            for &bytes in &[36.4e6f64, 122e6] {
+                let sim = simulate_torus_all_reduce(bytes, grid, TPU_V3_LINK);
+                let analytic = grid_all_reduce_time(bytes, rows, cols, TPU_V3_LINK);
+                let rel = (sim - analytic).abs() / analytic;
+                assert!(
+                    rel < 0.02,
+                    "world {world} ({rows}x{cols}), {bytes:.1e} B: sim {sim:.6} vs analytic {analytic:.6} ({rel:.3})"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn one_slow_link_gates_the_whole_ring() {
         let p = 8;
         let bytes = 1e8;

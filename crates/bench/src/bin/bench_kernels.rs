@@ -15,6 +15,11 @@
 //! `ETS_GEMM_WORKERS=<n>` pins the worker-pool width the *row*
 //! measurements run under (CI sweeps {1, 4}); the parallel probe always
 //! compares 1 worker against its own fixed width regardless.
+//! `ETS_SIMD={auto,avx2,sse2,scalar}` pins the micro-kernel lane path
+//! the rows dispatch through (CI sweeps {scalar, auto}); the SIMD probe
+//! always measures every lane the host supports, forced in turn, and
+//! the gate fails if any lane breaks bitwise parity with scalar or the
+//! active lane falls below scalar throughput.
 //!
 //! ```sh
 //! cargo run --release -p ets-bench --bin bench_kernels [-- --out <dir>] [--smoke] [--check-regression]
@@ -22,7 +27,7 @@
 
 use ets_bench::kernels::{
     abft_probe, check_committed_artifact, check_kernel_regression, kernel_rows, kernels_json,
-    pack_probe, parallel_probe, steady_state_probe, validate_kernels_json,
+    pack_probe, parallel_probe, simd_probe, steady_state_probe, validate_kernels_json,
 };
 use std::path::PathBuf;
 
@@ -65,7 +70,8 @@ fn main() {
     let pack = pack_probe(smoke);
     let par = parallel_probe(smoke);
     let abft = abft_probe(smoke);
-    let doc = kernels_json(&rows, &ss, &pack, &par, &abft, smoke);
+    let sp = simd_probe(smoke);
+    let doc = kernels_json(&rows, &ss, &pack, &par, &abft, &sp, smoke);
     validate_kernels_json(&doc).expect("BENCH_kernels.json failed schema validation");
 
     let path = out_dir.join("BENCH_kernels.json");
@@ -129,10 +135,25 @@ fn main() {
         abft.bitwise_equal,
         abft.false_positives
     );
+    for lane in &sp.lanes {
+        println!(
+            "simd lane {:<6} @ calibration: f32 {:.2} GFLOP/s, bf16 {:.2} GFLOP/s, \
+             bitwise_equal_scalar {}{}",
+            lane.path,
+            lane.f32_gflops,
+            lane.bf16_gflops,
+            lane.bitwise_equal_scalar,
+            if lane.path == sp.active {
+                "  (active)"
+            } else {
+                ""
+            }
+        );
+    }
     println!("wrote {} ({} B)", path.display(), doc.len());
 
     if check {
-        if let Err(e) = check_kernel_regression(&rows, &ss, &pack, &par, &abft, smoke) {
+        if let Err(e) = check_kernel_regression(&rows, &ss, &pack, &par, &abft, &sp, smoke) {
             eprintln!("kernel regression gate failed: {e}");
             std::process::exit(1);
         }

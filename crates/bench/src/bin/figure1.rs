@@ -27,11 +27,12 @@ fn main() {
     println!("Figure 1: training time to peak accuracy vs TPU slice size\n");
     for p in &all {
         println!(
-            "{:<16} {:>5} cores, batch {:>6} [{:<7}]  {:>7.1} min  {:.1}%  {}",
+            "{:<16} {:>5} cores, batch {:>6} [{:<7}/{:<7}]  {:>7.1} min  {:.1}%  {}",
             p.model,
             p.cores,
             p.global_batch,
             p.optimizer,
+            p.backend,
             p.minutes_to_peak,
             100.0 * p.peak_top1,
             bar(p.minutes_to_peak, 4.0),

@@ -17,7 +17,10 @@
 //! (`gemm_auto`) and through the bf16 packed kernels (§3.5: operands
 //! narrowed once at pack time, f32 accumulate), plus a panel-packing
 //! throughput probe (f32 copy vs bf16 narrowing pack) at the calibration
-//! shape, and a steady-state training-step probe that pins the scratch
+//! shape, a per-lane-path SIMD probe (the blocked kernel forced down
+//! every micro-kernel lane the host supports — scalar/SSE2/AVX2 — in
+//! both precisions, bitwise-checked against the scalar lane), and a
+//! steady-state training-step probe that pins the scratch
 //! arena's allocator traffic to **zero** after warmup — in both
 //! precisions — and reports wall time per step and the per-precision
 //! gemm_auto dispatch split.
@@ -41,6 +44,7 @@ use ets_tensor::ops::gemm_blocked::{
     pack_a_into_as, pack_b_panel, packed_a_len, PanelA, PanelB, KC, NC,
 };
 use ets_tensor::ops::matmul::gemm_slice;
+use ets_tensor::ops::simd::{self, LanePath};
 use ets_tensor::{
     gemm_workers, scratch_bf16, scratch_f32, scratch_reallocs, set_gemm_workers,
     set_sequential_override, worker_stats, Rng, Shape, Tensor,
@@ -278,6 +282,103 @@ pub fn parallel_probe(smoke: bool) -> ParallelProbe {
         gate_enforced: host_cores >= 2,
         best_paired_ratio,
         par_helper_tiles,
+    }
+}
+
+/// One lane path's blocked-kernel throughput at the calibration shape,
+/// in both pack-time precisions, plus bitwise parity against the scalar
+/// lane (the SIMD layer's core contract — see `ets_tensor::ops::simd`).
+#[derive(Clone, Debug)]
+pub struct SimdLaneRow {
+    pub path: String,
+    pub f32_gflops: f64,
+    pub bf16_gflops: f64,
+    /// Outputs bitwise equal to the scalar lane's (must always hold).
+    pub bitwise_equal_scalar: bool,
+}
+
+/// Per-lane-path micro-kernel probe: the same blocked GEMM forced down
+/// every lane path the host supports, timed round-robin so inter-lane
+/// ratios share a scheduling window. `active` is the path the process
+/// dispatches by default (honors `ETS_SIMD`); `detected` is the best
+/// path runtime feature detection found.
+#[derive(Clone, Debug)]
+pub struct SimdProbe {
+    pub active: String,
+    pub detected: String,
+    pub reps: usize,
+    pub lanes: Vec<SimdLaneRow>,
+}
+
+impl SimdProbe {
+    /// The row for one lane path, if the host supports it.
+    pub fn lane(&self, path: &str) -> Option<&SimdLaneRow> {
+        self.lanes.iter().find(|l| l.path == path)
+    }
+}
+
+/// Floor on the **committed** artifact's vectorization win: when the
+/// recorded active lane is AVX2, the calibration row's blocked GFLOP/s
+/// must be at least this multiple of the scalar lane's f32 row from the
+/// same document. (Fresh measurements get the usual noise allowance;
+/// the committed numbers were best-of runs someone chose to ship.)
+pub const SIMD_SPEEDUP_FLOOR: f64 = 1.5;
+
+/// Runs the per-lane-path probe at the calibration shape. Forces each
+/// lane via the process-global override (safe — all lanes are bitwise
+/// identical by construction) and restores the default on exit.
+pub fn simd_probe(smoke: bool) -> SimdProbe {
+    let (m, k, n) = CALIBRATION_MKN;
+    let flops = 2 * (m * k * n) as u64;
+    let reps = if smoke { 4 } else { 10 };
+    let mut rng = Rng::new(109);
+    let mut a = vec![0.0f32; m * k];
+    rng.fill_uniform(&mut a, -1.0, 1.0);
+    let mut b = vec![0.0f32; k * n];
+    rng.fill_uniform(&mut b, -1.0, 1.0);
+
+    let active = simd::lane_path().name().to_string();
+    let detected = simd::detected_lane_path().name().to_string();
+    let paths: Vec<LanePath> = LanePath::ALL
+        .iter()
+        .copied()
+        .filter(|p| p.available())
+        .collect();
+    let mut c32: Vec<Vec<f32>> = vec![vec![0.0f32; m * n]; paths.len()];
+    let mut c16: Vec<Vec<f32>> = vec![vec![0.0f32; m * n]; paths.len()];
+    // Variant 2i   = lane i, f32 blocked kernel;
+    // variant 2i+1 = lane i, bf16 packed blocked kernel.
+    let mut run = |v: usize| {
+        let _lane = simd::ForcedLaneGuard::new(paths[v / 2]);
+        if v.is_multiple_of(2) {
+            gemm_blocked(m, k, n, &a, &b, &mut c32[v / 2]);
+        } else {
+            gemm_blocked_bf16(m, k, n, &a, &b, &mut c16[v / 2]);
+        }
+    };
+    let best = time_variants_interleaved(2 * paths.len(), reps, &mut run);
+
+    let scalar_idx = paths
+        .iter()
+        .position(|p| *p == LanePath::Scalar)
+        .expect("scalar lane is always available");
+    let bits_eq = |x: &[f32], y: &[f32]| x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits());
+    let lanes = paths
+        .iter()
+        .enumerate()
+        .map(|(i, p)| SimdLaneRow {
+            path: p.name().to_string(),
+            f32_gflops: flops as f64 / best[2 * i] / 1e9,
+            bf16_gflops: flops as f64 / best[2 * i + 1] / 1e9,
+            bitwise_equal_scalar: bits_eq(&c32[i], &c32[scalar_idx])
+                && bits_eq(&c16[i], &c16[scalar_idx]),
+        })
+        .collect();
+    SimdProbe {
+        active,
+        detected,
+        reps,
+        lanes,
     }
 }
 
@@ -750,6 +851,7 @@ pub fn kernels_json(
     pack: &PackProbe,
     par: &ParallelProbe,
     abft: &AbftProbe,
+    sp: &SimdProbe,
     smoke: bool,
 ) -> String {
     let mut w = JsonWriter::with_capacity(4096);
@@ -820,6 +922,23 @@ pub fn kernels_json(
         .field_bool("bitwise_equal", abft.bitwise_equal)
         .field_u64("tiles_verified", abft.tiles_verified)
         .field_u64("false_positives", abft.false_positives)
+        .end_object()
+        .key("simd")
+        .begin_object()
+        .field_str("active", &sp.active)
+        .field_str("detected", &sp.detected)
+        .field_u64("reps", sp.reps as u64)
+        .key("lanes")
+        .begin_array();
+    for lane in &sp.lanes {
+        w.begin_object()
+            .field_str("path", &lane.path)
+            .field_f64("f32_gflops", lane.f32_gflops)
+            .field_f64("bf16_gflops", lane.bf16_gflops)
+            .field_bool("bitwise_equal_scalar", lane.bitwise_equal_scalar)
+            .end_object();
+    }
+    w.end_array()
         .end_object()
         .key("steady_state")
         .begin_object()
@@ -960,6 +1079,51 @@ pub fn validate_kernels_json(doc: &str) -> Result<(), String> {
     if !matches!(abft.get("bitwise_equal"), Some(Value::Bool(_))) {
         return Err("abft.bitwise_equal must be a boolean".into());
     }
+    let sp = v.get("simd").ok_or("simd probe missing")?;
+    let active = sp
+        .get("active")
+        .and_then(Value::as_str)
+        .ok_or("simd.active must be a string")?;
+    if sp.get("detected").and_then(Value::as_str).is_none() {
+        return Err("simd.detected must be a string".into());
+    }
+    let lanes = sp
+        .get("lanes")
+        .and_then(Value::as_arr)
+        .ok_or("simd.lanes must be an array")?;
+    if lanes.is_empty() {
+        return Err("simd.lanes must be non-empty".into());
+    }
+    let mut lane_names = Vec::new();
+    for (i, lane) in lanes.iter().enumerate() {
+        match lane.get("path").and_then(Value::as_str) {
+            Some(p @ ("scalar" | "sse2" | "avx2")) => lane_names.push(p.to_string()),
+            other => return Err(format!("simd.lanes[{i}].path unrecognized: {other:?}")),
+        }
+        for key in ["f32_gflops", "bf16_gflops"] {
+            match lane.get(key).and_then(Value::as_f64) {
+                Some(x) if x.is_finite() && x >= 0.0 => {}
+                _ => {
+                    return Err(format!(
+                        "simd.lanes[{i}].{key} must be a finite non-negative number"
+                    ))
+                }
+            }
+        }
+        if !matches!(lane.get("bitwise_equal_scalar"), Some(Value::Bool(_))) {
+            return Err(format!(
+                "simd.lanes[{i}].bitwise_equal_scalar must be a boolean"
+            ));
+        }
+    }
+    if !lane_names.iter().any(|p| p == "scalar") {
+        return Err("simd.lanes must include the scalar lane".into());
+    }
+    if !lane_names.iter().any(|p| p == active) {
+        return Err(format!(
+            "simd.active {active:?} has no matching row in simd.lanes"
+        ));
+    }
     let ss = v.get("steady_state").ok_or("steady_state missing")?;
     for key in [
         "warmup_steps",
@@ -1005,8 +1169,37 @@ pub fn check_kernel_regression(
     pack: &PackProbe,
     par: &ParallelProbe,
     abft: &AbftProbe,
+    sp: &SimdProbe,
     smoke: bool,
 ) -> Result<(), String> {
+    for lane in &sp.lanes {
+        if !lane.bitwise_equal_scalar {
+            return Err(format!(
+                "SIMD lane path {:?} diverged bitwise from the scalar micro-kernel at the \
+                 calibration shape — lane width must be a pure throughput knob",
+                lane.path
+            ));
+        }
+    }
+    let scalar_lane = sp.lane("scalar").ok_or("simd probe missing scalar lane")?;
+    let active_lane = sp
+        .lane(&sp.active)
+        .ok_or_else(|| format!("simd probe missing active lane {:?}", sp.active))?;
+    if active_lane.f32_gflops < scalar_lane.f32_gflops * AUTO_NOISE_FLOOR {
+        return Err(format!(
+            "active SIMD lane {:?} slower than scalar at the calibration shape (f32): \
+             {:.2} < {:.2} GFLOP/s — the vectorized kernel must never lose to the \
+             kernel it replaced",
+            sp.active, active_lane.f32_gflops, scalar_lane.f32_gflops
+        ));
+    }
+    if active_lane.bf16_gflops < scalar_lane.bf16_gflops * AUTO_NOISE_FLOOR {
+        return Err(format!(
+            "active SIMD lane {:?} slower than scalar at the calibration shape (bf16): \
+             {:.2} < {:.2} GFLOP/s",
+            sp.active, active_lane.bf16_gflops, scalar_lane.bf16_gflops
+        ));
+    }
     if !abft.bitwise_equal {
         return Err(
             "ABFT verify mode perturbed the product at the calibration shape; \
@@ -1207,6 +1400,25 @@ pub fn check_committed_artifact(doc: &str) -> Result<(), String> {
     if ss.get("scratch_reallocs_delta").and_then(Value::as_f64) != Some(0.0) {
         return Err("committed artifact records steady-state allocator hits".into());
     }
+    let sp = v.get("simd").ok_or("simd probe missing")?;
+    let active = sp.get("active").and_then(Value::as_str).unwrap_or("");
+    let lanes = sp
+        .get("lanes")
+        .and_then(Value::as_arr)
+        .ok_or("simd.lanes must be an array")?;
+    let mut scalar_f32 = None;
+    for lane in lanes {
+        if lane.get("bitwise_equal_scalar") != Some(&Value::Bool(true)) {
+            return Err(format!(
+                "committed artifact records SIMD lane {:?} with bitwise_equal_scalar != true",
+                lane.get("path").and_then(Value::as_str).unwrap_or("?")
+            ));
+        }
+        if lane.get("path").and_then(Value::as_str) == Some("scalar") {
+            scalar_f32 = lane.get("f32_gflops").and_then(Value::as_f64);
+        }
+    }
+    let scalar_f32 = scalar_f32.ok_or("committed artifact has no scalar SIMD lane row")?;
     let rows = v
         .get("rows")
         .and_then(Value::as_arr)
@@ -1222,6 +1434,17 @@ pub fn check_committed_artifact(doc: &str) -> Result<(), String> {
                 return Err(format!(
                     "committed artifact records blocked {blocked:.2} < naive {naive:.2} \
                      GFLOP/s at the calibration shape"
+                ));
+            }
+            // The raised calibration floor of the SIMD layer: an AVX2
+            // host's committed blocked figure must beat the scalar lane
+            // it replaced by ≥ SIMD_SPEEDUP_FLOOR — otherwise the
+            // vectorized micro-kernel shipped without its win.
+            if active == "avx2" && blocked < SIMD_SPEEDUP_FLOOR * scalar_f32 {
+                return Err(format!(
+                    "committed artifact records calibration blocked {blocked:.2} GFLOP/s \
+                     under an active avx2 lane, below {SIMD_SPEEDUP_FLOOR}x the scalar \
+                     lane's {scalar_f32:.2} GFLOP/s"
                 ));
             }
         }
@@ -1277,6 +1500,34 @@ mod tests {
         }
     }
 
+    fn simd_ok() -> SimdProbe {
+        SimdProbe {
+            active: "avx2".into(),
+            detected: "avx2".into(),
+            reps: 2,
+            lanes: vec![
+                SimdLaneRow {
+                    path: "scalar".into(),
+                    f32_gflops: 10.0,
+                    bf16_gflops: 9.0,
+                    bitwise_equal_scalar: true,
+                },
+                SimdLaneRow {
+                    path: "sse2".into(),
+                    f32_gflops: 15.0,
+                    bf16_gflops: 13.0,
+                    bitwise_equal_scalar: true,
+                },
+                SimdLaneRow {
+                    path: "avx2".into(),
+                    f32_gflops: 20.0,
+                    bf16_gflops: 17.0,
+                    bitwise_equal_scalar: true,
+                },
+            ],
+        }
+    }
+
     fn par_probe() -> ParallelProbe {
         ParallelProbe {
             workers: PARALLEL_PROBE_WORKERS,
@@ -1312,10 +1563,26 @@ mod tests {
             dispatch_blocked_bf16: 6,
             dispatch_naive_bf16: 2,
         };
-        let doc = kernels_json(&rows, &ss, &probe(), &par_probe(), &abft_ok(), true);
+        let doc = kernels_json(
+            &rows,
+            &ss,
+            &probe(),
+            &par_probe(),
+            &abft_ok(),
+            &simd_ok(),
+            true,
+        );
         validate_kernels_json(&doc).expect("valid document");
-        check_kernel_regression(&rows, &ss, &probe(), &par_probe(), &abft_ok(), false)
-            .expect("no regression");
+        check_kernel_regression(
+            &rows,
+            &ss,
+            &probe(),
+            &par_probe(),
+            &abft_ok(),
+            &simd_ok(),
+            false,
+        )
+        .expect("no regression");
     }
 
     #[test]
@@ -1334,12 +1601,28 @@ mod tests {
             dispatch_blocked_bf16: 0,
             dispatch_naive_bf16: 0,
         };
-        let doc = kernels_json(&rows, &ss, &probe(), &par_probe(), &abft_ok(), true);
+        let doc = kernels_json(
+            &rows,
+            &ss,
+            &probe(),
+            &par_probe(),
+            &abft_ok(),
+            &simd_ok(),
+            true,
+        );
         assert!(validate_kernels_json(&doc).is_err());
         // Older schema versions no longer validate.
         let rows2 = vec![row(CALIBRATION_LABEL, 1.0, 2.0, true)];
-        let doc2 = kernels_json(&rows2, &ss, &probe(), &par_probe(), &abft_ok(), true)
-            .replace("bench_kernels_v5", "bench_kernels_v4");
+        let doc2 = kernels_json(
+            &rows2,
+            &ss,
+            &probe(),
+            &par_probe(),
+            &abft_ok(),
+            &simd_ok(),
+            true,
+        )
+        .replace("bench_kernels_v5", "bench_kernels_v4");
         assert!(validate_kernels_json(&doc2).is_err());
     }
 
@@ -1357,18 +1640,31 @@ mod tests {
             dispatch_blocked_bf16: 0,
             dispatch_naive_bf16: 0,
         };
-        assert!(
-            check_kernel_regression(&rows, &ss, &probe(), &par_probe(), &abft_ok(), false).is_err()
-        );
+        assert!(check_kernel_regression(
+            &rows,
+            &ss,
+            &probe(),
+            &par_probe(),
+            &abft_ok(),
+            &simd_ok(),
+            false
+        )
+        .is_err());
         let rows_ok = vec![KernelBenchRow {
             blocked_gflops: 4.0,
             auto_gflops: 4.0,
             ..rows[0].clone()
         }];
-        assert!(
-            check_kernel_regression(&rows_ok, &ss, &probe(), &par_probe(), &abft_ok(), false)
-                .is_ok()
-        );
+        assert!(check_kernel_regression(
+            &rows_ok,
+            &ss,
+            &probe(),
+            &par_probe(),
+            &abft_ok(),
+            &simd_ok(),
+            false
+        )
+        .is_ok());
         let ss_bad = SteadyState {
             scratch_reallocs_delta: 3,
             ..ss.clone()
@@ -1379,9 +1675,88 @@ mod tests {
             &probe(),
             &par_probe(),
             &abft_ok(),
+            &simd_ok(),
             false
         )
         .is_err());
+    }
+
+    #[test]
+    fn simd_gates_fire() {
+        let rows = vec![row(CALIBRATION_LABEL, 1.0, 2.0, true)];
+        let ss = SteadyState {
+            warmup_steps: 1,
+            steps: 1,
+            step_ms: 1.0,
+            scratch_reallocs_delta: 0,
+            dispatch_blocked: 1,
+            dispatch_naive: 0,
+            dispatch_blocked_bf16: 1,
+            dispatch_naive_bf16: 0,
+        };
+        // Any lane diverging bitwise from scalar is a hard failure.
+        let mut broken = simd_ok();
+        broken.lanes[2].bitwise_equal_scalar = false;
+        let err = check_kernel_regression(
+            &rows,
+            &ss,
+            &probe(),
+            &par_probe(),
+            &abft_ok(),
+            &broken,
+            false,
+        )
+        .unwrap_err();
+        assert!(err.contains("diverged bitwise"), "{err}");
+        // The active lane losing to scalar means dispatch picked a
+        // regressing kernel.
+        let mut slow = simd_ok();
+        slow.lanes[2].f32_gflops = 5.0;
+        let err =
+            check_kernel_regression(&rows, &ss, &probe(), &par_probe(), &abft_ok(), &slow, false)
+                .unwrap_err();
+        assert!(err.contains("slower than scalar"), "{err}");
+        // The validator rejects unknown lane names outright.
+        let doc = kernels_json(
+            &rows,
+            &ss,
+            &probe(),
+            &par_probe(),
+            &abft_ok(),
+            &simd_ok(),
+            true,
+        )
+        .replace("avx2", "neon");
+        assert!(validate_kernels_json(&doc).is_err());
+        // Committed-artifact floor: an active avx2 lane must record a
+        // calibration blocked figure ≥ SIMD_SPEEDUP_FLOOR × the scalar
+        // lane's f32 row (here 2.0 < 1.5 × 10.0).
+        let weak = kernels_json(
+            &rows,
+            &ss,
+            &probe(),
+            &par_probe(),
+            &abft_ok(),
+            &simd_ok(),
+            false,
+        );
+        let err = check_committed_artifact(&weak).unwrap_err();
+        assert!(err.contains("below 1.5x the scalar lane"), "{err}");
+        let strong_rows = vec![KernelBenchRow {
+            blocked_gflops: 20.0,
+            auto_gflops: 20.0,
+            ..rows[0].clone()
+        }];
+        let strong = kernels_json(
+            &strong_rows,
+            &ss,
+            &probe(),
+            &par_probe(),
+            &abft_ok(),
+            &simd_ok(),
+            false,
+        );
+        check_committed_artifact(&strong).expect("avx2 floor satisfied");
     }
 
     #[test]
@@ -1404,15 +1779,28 @@ mod tests {
             row("b0_mb_expand_1x1_56px", 10.0, 8.0, false),
         ];
         bad_auto[1].auto_gflops = 8.0; // routed blocked, which loses
-        let err =
-            check_kernel_regression(&bad_auto, &ss, &probe(), &par_probe(), &abft_ok(), false)
-                .unwrap_err();
+        let err = check_kernel_regression(
+            &bad_auto,
+            &ss,
+            &probe(),
+            &par_probe(),
+            &abft_ok(),
+            &simd_ok(),
+            false,
+        )
+        .unwrap_err();
         assert!(err.contains("b0_mb_expand_1x1_56px"), "{err}");
         bad_auto[1].auto_gflops = 9.9; // routed naive: within noise floor
-        assert!(
-            check_kernel_regression(&bad_auto, &ss, &probe(), &par_probe(), &abft_ok(), false)
-                .is_ok()
-        );
+        assert!(check_kernel_regression(
+            &bad_auto,
+            &ss,
+            &probe(),
+            &par_probe(),
+            &abft_ok(),
+            &simd_ok(),
+            false
+        )
+        .is_ok());
 
         // bf16 pack slower than f32 pack.
         let slow_pack = PackProbe {
@@ -1421,8 +1809,16 @@ mod tests {
             ..probe()
         };
         let rows = vec![row(CALIBRATION_LABEL, 1.0, 2.0, true)];
-        let err = check_kernel_regression(&rows, &ss, &slow_pack, &par_probe(), &abft_ok(), false)
-            .unwrap_err();
+        let err = check_kernel_regression(
+            &rows,
+            &ss,
+            &slow_pack,
+            &par_probe(),
+            &abft_ok(),
+            &simd_ok(),
+            false,
+        )
+        .unwrap_err();
         assert!(err.contains("bf16 panel pack"), "{err}");
     }
 }

@@ -8,7 +8,7 @@
 
 use ets_bench::kernels::{
     abft_probe, check_kernel_regression, kernel_rows, kernels_json, pack_probe, parallel_probe,
-    steady_state_probe, validate_kernels_json, CALIBRATION_LABEL, CALIBRATION_MKN,
+    simd_probe, steady_state_probe, validate_kernels_json, CALIBRATION_LABEL, CALIBRATION_MKN,
 };
 use ets_bench::{
     check_scaling_regression, figure1_json, figure1_points, paper_run_steps, run_smoke,
@@ -54,6 +54,15 @@ fn figure1_points_emit_parseable_json_including_headline_run() {
         .expect("batch-65536 headline run present");
     assert!(headline.get("minutes_to_peak").unwrap().as_f64().unwrap() > 0.0);
     assert!(headline.get("peak_top1").unwrap().as_f64().unwrap() > 0.8);
+    // Every point records the concrete transport Auto resolved to — the
+    // committed figure must name an executable backend, never "auto".
+    for p in arr {
+        let backend = p.get("backend").unwrap().as_str().unwrap();
+        assert!(
+            ["tree", "ring", "torus2d"].contains(&backend),
+            "figure1 backend {backend:?} is not a concrete transport"
+        );
+    }
 }
 
 #[test]
@@ -282,7 +291,8 @@ fn kernel_bench_smoke_emits_valid_json_and_allocation_free_steady_state() {
     let pack = pack_probe(true);
     let par = parallel_probe(true);
     let abft = abft_probe(true);
-    let doc = kernels_json(&rows, &ss, &pack, &par, &abft, true);
+    let sp = simd_probe(true);
+    let doc = kernels_json(&rows, &ss, &pack, &par, &abft, &sp, true);
     validate_kernels_json(&doc).expect("BENCH_kernels.json schema");
 
     let v = parse_json(&doc).expect("kernels JSON must parse");
@@ -377,13 +387,37 @@ fn kernel_bench_smoke_emits_valid_json_and_allocation_free_steady_state() {
     assert!(ab.get("plain_gflops").unwrap().as_f64().unwrap() > 0.0);
     assert!(ab.get("verify_gflops").unwrap().as_f64().unwrap() > 0.0);
 
+    // SIMD probe: every lane the host supports is measured in both
+    // precisions and is bitwise-identical to the scalar lane — the lane
+    // layer's core contract, checked on every artifact.
+    let sv = v.get("simd").unwrap();
+    let active = sv.get("active").unwrap().as_str().unwrap();
+    let lanes = sv.get("lanes").unwrap().as_arr().unwrap();
+    assert!(!lanes.is_empty());
+    let mut lane_names = Vec::new();
+    for lane in lanes {
+        let path = lane.get("path").unwrap().as_str().unwrap();
+        lane_names.push(path.to_string());
+        assert!(lane.get("f32_gflops").unwrap().as_f64().unwrap() > 0.0);
+        assert!(lane.get("bf16_gflops").unwrap().as_f64().unwrap() > 0.0);
+        assert!(
+            lane.get("bitwise_equal_scalar").unwrap().as_bool().unwrap(),
+            "lane {path} must be bitwise-identical to scalar"
+        );
+    }
+    assert!(lane_names.iter().any(|p| p == "scalar"));
+    assert!(
+        lane_names.iter().any(|p| p == active),
+        "active lane {active} must have a measured row"
+    );
+
     // The CI regression gate passes on a healthy optimized build. The
     // throughput half of the gate is meaningless without optimizations
     // (unoptimized blocked kernels lose to naive on pure call overhead),
     // so only assert it when this test itself runs under `--release` —
     // CI's `bench-kernels` job runs the bin in release mode regardless.
     if !cfg!(debug_assertions) {
-        check_kernel_regression(&rows, &ss, &pack, &par, &abft, true)
+        check_kernel_regression(&rows, &ss, &pack, &par, &abft, &sp, true)
             .expect("regression gate must pass");
     }
 }
@@ -399,6 +433,7 @@ fn kernel_regression_gate_rejects_bad_rows() {
     let pack = pack_probe(true);
     let par = parallel_probe(true);
     let abft = abft_probe(true);
+    let sp = simd_probe(true);
 
     let mut slow = rows.clone();
     let cal = slow
@@ -407,28 +442,28 @@ fn kernel_regression_gate_rejects_bad_rows() {
         .expect("calibration row");
     cal.blocked_gflops = cal.naive_gflops * 0.5;
     assert!(
-        check_kernel_regression(&slow, &ss, &pack, &par, &abft, false).is_err(),
+        check_kernel_regression(&slow, &ss, &pack, &par, &abft, &sp, false).is_err(),
         "gate must reject blocked < naive at the calibration shape"
     );
 
     let mut routed_wrong = rows.clone();
     routed_wrong[0].auto_gflops = routed_wrong[0].naive_gflops * 0.5;
     assert!(
-        check_kernel_regression(&routed_wrong, &ss, &pack, &par, &abft, false).is_err(),
+        check_kernel_regression(&routed_wrong, &ss, &pack, &par, &abft, &sp, false).is_err(),
         "gate must reject a dispatched path slower than naive"
     );
 
     let mut slow_pack = pack.clone();
     slow_pack.bf16_melems_per_s = slow_pack.f32_melems_per_s * 0.5;
     assert!(
-        check_kernel_regression(&rows, &ss, &slow_pack, &par, &abft, false).is_err(),
+        check_kernel_regression(&rows, &ss, &slow_pack, &par, &abft, &sp, false).is_err(),
         "gate must reject a bf16 pack slower than the f32 pack"
     );
 
     let mut leaky = ss.clone();
     leaky.scratch_reallocs_delta = 3;
     assert!(
-        check_kernel_regression(&rows, &leaky, &pack, &par, &abft, false).is_err(),
+        check_kernel_regression(&rows, &leaky, &pack, &par, &abft, &sp, false).is_err(),
         "gate must reject a growing scratch arena"
     );
 
@@ -438,7 +473,7 @@ fn kernel_regression_gate_rejects_bad_rows() {
     let mut divergent = par.clone();
     divergent.bitwise_equal = false;
     assert!(
-        check_kernel_regression(&rows, &ss, &pack, &divergent, &abft, false).is_err(),
+        check_kernel_regression(&rows, &ss, &pack, &divergent, &abft, &sp, false).is_err(),
         "gate must reject a non-bitwise parallel GEMM"
     );
 
@@ -448,7 +483,7 @@ fn kernel_regression_gate_rejects_bad_rows() {
     }
     leaky_worker.worker_realloc_deltas[0] = 2;
     assert!(
-        check_kernel_regression(&rows, &ss, &pack, &leaky_worker, &abft, false).is_err(),
+        check_kernel_regression(&rows, &ss, &pack, &leaky_worker, &abft, &sp, false).is_err(),
         "gate must reject a worker-scratch realloc during measured reps"
     );
 
@@ -458,7 +493,7 @@ fn kernel_regression_gate_rejects_bad_rows() {
     slow_par.seq_gflops = 10.0;
     slow_par.par_gflops = 11.0; // 1.1x < the 1.6x floor
     assert!(
-        check_kernel_regression(&rows, &ss, &pack, &slow_par, &abft, false).is_err(),
+        check_kernel_regression(&rows, &ss, &pack, &slow_par, &abft, &sp, false).is_err(),
         "gate must reject sub-floor parallel speedup on multi-core hosts"
     );
 
@@ -467,19 +502,19 @@ fn kernel_regression_gate_rejects_bad_rows() {
     let mut perturbed = abft.clone();
     perturbed.bitwise_equal = false;
     assert!(
-        check_kernel_regression(&rows, &ss, &pack, &par, &perturbed, false).is_err(),
+        check_kernel_regression(&rows, &ss, &pack, &par, &perturbed, &sp, false).is_err(),
         "gate must reject a non-neutral ABFT verify pass"
     );
     let mut trigger_happy = abft.clone();
     trigger_happy.false_positives = 1;
     assert!(
-        check_kernel_regression(&rows, &ss, &pack, &par, &trigger_happy, false).is_err(),
+        check_kernel_regression(&rows, &ss, &pack, &par, &trigger_happy, &sp, false).is_err(),
         "gate must reject ABFT false positives on clean operands"
     );
     let mut vacuous = abft.clone();
     vacuous.tiles_verified = 0;
     assert!(
-        check_kernel_regression(&rows, &ss, &pack, &par, &vacuous, false).is_err(),
+        check_kernel_regression(&rows, &ss, &pack, &par, &vacuous, &sp, false).is_err(),
         "gate must reject an ABFT probe that never checksummed a tile"
     );
 }

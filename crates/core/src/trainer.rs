@@ -432,6 +432,12 @@ fn train_recorded(exp: &Experiment, recorders: &[Arc<Recorder>]) -> TrainReport 
     if exp.gemm_workers > 0 {
         ets_tensor::set_gemm_workers(exp.gemm_workers);
     }
+    // SIMD lane-path override (process-global, same contract): every
+    // lane path is bitwise-identical, so like the worker pool this can
+    // only move wall time, never the trajectory.
+    if !exp.simd_path.is_empty() {
+        ets_tensor::ops::simd::apply_choice(&exp.simd_path);
+    }
     // ABFT tile verification is process-global (like the worker pool).
     // Save and restore the previous setting around the run; the run's
     // counter deltas fold into the recovery counters after the phase
@@ -731,6 +737,37 @@ fn train_recorded(exp: &Experiment, recorders: &[Arc<Recorder>]) -> TrainReport 
         rec.gauge_set("gemm_dispatch_naive_f32", f32_naive as f64);
         rec.gauge_set("gemm_dispatch_blocked_bf16", bf16_blocked as f64);
         rec.gauge_set("gemm_dispatch_naive_bf16", bf16_naive as f64);
+        // SIMD lane-path split of the micro-kernel macro blocks: proves
+        // which vector body actually ran (all paths are bitwise-equal,
+        // so this is observability, not a correctness surface). Static
+        // names, one per path × precision.
+        {
+            use ets_tensor::ops::simd::{micro_block_calls, LanePath};
+            rec.gauge_set(
+                "gemm_micro_scalar_f32",
+                micro_block_calls(LanePath::Scalar, false) as f64,
+            );
+            rec.gauge_set(
+                "gemm_micro_sse2_f32",
+                micro_block_calls(LanePath::Sse2, false) as f64,
+            );
+            rec.gauge_set(
+                "gemm_micro_avx2_f32",
+                micro_block_calls(LanePath::Avx2, false) as f64,
+            );
+            rec.gauge_set(
+                "gemm_micro_scalar_bf16",
+                micro_block_calls(LanePath::Scalar, true) as f64,
+            );
+            rec.gauge_set(
+                "gemm_micro_sse2_bf16",
+                micro_block_calls(LanePath::Sse2, true) as f64,
+            );
+            rec.gauge_set(
+                "gemm_micro_avx2_bf16",
+                micro_block_calls(LanePath::Avx2, true) as f64,
+            );
+        }
         // Exposed vs hidden communication: the overlapped exchange hides
         // part of the per-bucket all-reduce time behind backward compute;
         // `all_reduce_overlap_pct` is the hidden share.

@@ -97,6 +97,76 @@ pub fn narrow_slice(src: &[f32], dst: &mut [Bf16]) {
     }
 }
 
+/// Bulk widening `bf16 → f32` — the mirror image of [`narrow_slice`].
+/// Bitwise identical to mapping [`Bf16::to_f32`] over the slice, and
+/// *exact*: the widen is the pure bit move `(u16 as u32) << 16`, so no
+/// rounding happens on any path.
+///
+/// On x86_64 the body is hand-vectorized: AVX2 (16 lanes/iter via the
+/// `cvtepu16` + `slli 16` pair) when the CPU has it, falling back to
+/// SSE2 (8 lanes/iter via zero-interleave, part of the x86_64 baseline)
+/// with a scalar tail. Consumers that widen whole panel rows (ABFT
+/// checksum absorption, eval-time unpacking) route through here instead
+/// of per-element [`Bf16::to_f32`] calls.
+#[inline]
+pub fn widen_slice(src: &[Bf16], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), dst.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if src.len() >= 16 && std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 presence just verified.
+            unsafe { widen_slice_avx2(src, dst) }
+        } else {
+            // SAFETY: SSE2 is unconditionally available on x86_64.
+            unsafe { widen_slice_sse2(src, dst) }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        *d = s.to_f32();
+    }
+}
+
+/// 16 lanes per iteration: each 8×u16 half widens with one
+/// `cvtepu16_epi32` and one 16-bit left shift — the exact
+/// [`Bf16::to_f32`] bit move, vectorized.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn widen_slice_avx2(src: &[Bf16], dst: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let chunks = src.len() / 16;
+    for j in 0..chunks {
+        let p = src.as_ptr().add(j * 16) as *const __m128i;
+        let lo = _mm256_slli_epi32::<16>(_mm256_cvtepu16_epi32(_mm_loadu_si128(p)));
+        let hi = _mm256_slli_epi32::<16>(_mm256_cvtepu16_epi32(_mm_loadu_si128(p.add(1))));
+        let d = dst.as_mut_ptr().add(j * 16);
+        _mm256_storeu_ps(d, _mm256_castsi256_ps(lo));
+        _mm256_storeu_ps(d.add(8), _mm256_castsi256_ps(hi));
+    }
+    if chunks * 16 < src.len() {
+        widen_slice_sse2(&src[chunks * 16..], &mut dst[chunks * 16..]);
+    }
+}
+
+/// 8 lanes per iteration: interleaving 16 zero bits *below* each u16
+/// (`unpacklo/hi(0, v)`) yields u32 lanes equal to `u16 << 16` with no
+/// shift needed. Scalar tail for the last <8 elements.
+#[cfg(target_arch = "x86_64")]
+unsafe fn widen_slice_sse2(src: &[Bf16], dst: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let chunks = src.len() / 8;
+    let zero = _mm_setzero_si128();
+    for j in 0..chunks {
+        let v = _mm_loadu_si128(src.as_ptr().add(j * 8) as *const __m128i);
+        let d = dst.as_mut_ptr().add(j * 8);
+        _mm_storeu_ps(d, _mm_castsi128_ps(_mm_unpacklo_epi16(zero, v)));
+        _mm_storeu_ps(d.add(4), _mm_castsi128_ps(_mm_unpackhi_epi16(zero, v)));
+    }
+    for (d, &s) in dst[chunks * 8..].iter_mut().zip(src[chunks * 8..].iter()) {
+        *d = s.to_f32();
+    }
+}
+
 /// Narrows a contiguous row and scatters it into tile-major panel
 /// storage: the `j`-th `nr`-element chunk of `src` lands at
 /// `dst[j * tile_stride ..]`. `src.len()` must be a multiple of `nr`.
@@ -691,6 +761,50 @@ mod tests {
             for (i, (&d, &s)) in dst.iter().zip(src.iter()).enumerate() {
                 assert_bits_eq(d, Bf16::from_f32(s), &format!("len={len} i={i} x={s}"));
             }
+        }
+    }
+
+    #[test]
+    fn widen_slice_matches_scalar_bitwise() {
+        // Same length sweep as the narrow test: straddles the AVX2
+        // 16-lane loop, the SSE2 8-lane loop, and the scalar tail. The
+        // widen must reproduce `to_f32` bit-for-bit — including NaN
+        // payloads, which round-trip untouched through the bit move.
+        for &len in &[
+            0usize, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 64, 100, 255, 256,
+        ] {
+            let src: Vec<Bf16> = simd_test_values(len, 53 + len as u64)
+                .iter()
+                .map(|&v| Bf16::from_f32(v))
+                .collect();
+            let mut dst = vec![0.0f32; len];
+            widen_slice(&src, &mut dst);
+            for (i, (&d, &s)) in dst.iter().zip(src.iter()).enumerate() {
+                assert_eq!(
+                    d.to_bits(),
+                    s.to_f32().to_bits(),
+                    "len={len} i={i} bf16={:#06x}",
+                    s.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn widen_then_narrow_round_trips_bitwise() {
+        // bf16 → f32 → bf16 must be the identity on the u16 payload for
+        // every non-NaN value (NaNs stay NaN but may quiet); check exact
+        // round-trip on the quiet pool the packers actually produce.
+        let src: Vec<Bf16> = simd_test_values(128, 97)
+            .iter()
+            .map(|&v| Bf16::from_f32(v))
+            .collect();
+        let mut wide = vec![0.0f32; src.len()];
+        widen_slice(&src, &mut wide);
+        let mut back = vec![Bf16::ZERO; src.len()];
+        narrow_slice(&wide, &mut back);
+        for (i, (&b, &s)) in back.iter().zip(src.iter()).enumerate() {
+            assert_bits_eq(b, s, &format!("round-trip i={i}"));
         }
     }
 

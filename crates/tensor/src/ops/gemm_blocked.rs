@@ -65,6 +65,7 @@
 
 use crate::bf16::Bf16;
 use crate::ops::conv::Conv2dGeom;
+use crate::ops::simd::{self, LanePath};
 use crate::par;
 use crate::scratch::{scratch_elems, PoolElem};
 
@@ -103,6 +104,20 @@ pub trait PackElem: PoolElem {
     /// Widening conversion applied in the micro-kernel (exact for both
     /// instances: bf16 values are a subset of f32).
     fn to_f32(self) -> f32;
+
+    /// Bulk widening — the inverse of [`PackElem::pack_from_f32`], exact
+    /// for both instances and bitwise identical to mapping
+    /// [`PackElem::to_f32`]. f32 overrides with a memcpy; bf16 with the
+    /// vectorized [`crate::bf16::widen_slice`]. Consumers that read whole
+    /// packed panel rows back as f32 (ABFT checksum absorption) route
+    /// through here.
+    #[inline]
+    fn widen_to_f32(src: &[Self], dst: &mut [f32]) {
+        debug_assert_eq!(src.len(), dst.len());
+        for (d, &s) in dst.iter_mut().zip(src.iter()) {
+            *d = s.to_f32();
+        }
+    }
 
     /// Bulk row conversion for the contiguous row-major B fast path.
     /// Overridden by `f32` with a straight `copy_from_slice`.
@@ -145,6 +160,18 @@ pub trait PackElem: PoolElem {
             }
         }
     }
+
+    /// The register-tiled MR×NR inner product over a depth of `kc` on the
+    /// given lane path: `acc += apanel(kc×MR)ᵀ ⊗ bpanel(kc×NR)`. Every
+    /// lane path is bitwise-identical (see [`crate::ops::simd`]); each
+    /// packed element widens to f32 exactly once and accumulation is f32.
+    fn micro_kernel(
+        path: LanePath,
+        kc: usize,
+        apanel: &[Self],
+        bpanel: &[Self],
+        acc: &mut [[f32; NR]; MR],
+    );
 }
 
 impl PackElem for f32 {
@@ -163,6 +190,27 @@ impl PackElem for f32 {
     #[inline]
     fn pack_from_f32(src: &[f32], dst: &mut [f32]) {
         dst.copy_from_slice(src);
+    }
+
+    #[inline]
+    fn widen_to_f32(src: &[f32], dst: &mut [f32]) {
+        dst.copy_from_slice(src);
+    }
+
+    #[inline]
+    fn pack_row_scatter(src: &[f32], dst: &mut [f32], nr: usize, tile_stride: usize) {
+        simd::pack_row_scatter_f32(src, dst, nr, tile_stride);
+    }
+
+    #[inline]
+    fn micro_kernel(
+        path: LanePath,
+        kc: usize,
+        apanel: &[f32],
+        bpanel: &[f32],
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        simd::micro_f32(path, kc, apanel, bpanel, acc);
     }
 }
 
@@ -185,6 +233,11 @@ impl PackElem for Bf16 {
     }
 
     #[inline]
+    fn widen_to_f32(src: &[Bf16], dst: &mut [f32]) {
+        crate::bf16::widen_slice(src, dst);
+    }
+
+    #[inline]
     fn pack_row_scatter(src: &[f32], dst: &mut [Bf16], nr: usize, tile_stride: usize) {
         crate::bf16::narrow_row_scatter(src, dst, nr, tile_stride);
     }
@@ -192,6 +245,17 @@ impl PackElem for Bf16 {
     #[inline]
     fn pack_a_tile(src: &[f32], row_stride: usize, kc: usize, im: usize, dst: &mut [Bf16]) {
         crate::bf16::narrow_tile4(src, row_stride, kc, im, dst);
+    }
+
+    #[inline]
+    fn micro_kernel(
+        path: LanePath,
+        kc: usize,
+        apanel: &[Bf16],
+        bpanel: &[Bf16],
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        simd::micro_bf16(path, kc, apanel, bpanel, acc);
     }
 }
 
@@ -389,31 +453,11 @@ pub fn pack_b_panel<E: PackElem>(
     }
 }
 
-/// The register-tiled inner product of one `MR×NR` micro-tile over a
-/// depth of `kc`: `acc += apanel(kc×MR)ᵀ ⊗ bpanel(kc×NR)` row by row.
-/// Panels hold `E`; each element widens to f32 ([`PackElem::to_f32`] —
-/// identity for f32) and the accumulators stay f32, so the bf16
-/// instantiation is bf16-multiply/f32-accumulate. Branchless —
-/// non-finite operands propagate exactly as IEEE dictates.
-#[inline]
-fn micro_kernel<E: PackElem>(kc: usize, apanel: &[E], bpanel: &[E], acc: &mut [[f32; NR]; MR]) {
-    debug_assert_eq!(apanel.len(), kc * MR);
-    debug_assert_eq!(bpanel.len(), kc * NR);
-    for p in 0..kc {
-        let arow = &apanel[p * MR..(p + 1) * MR];
-        let brow = &bpanel[p * NR..(p + 1) * NR];
-        let mut bw = [0.0f32; NR];
-        for (w, &bv) in bw.iter_mut().zip(brow.iter()) {
-            *w = bv.to_f32();
-        }
-        for (ii, accrow) in acc.iter_mut().enumerate() {
-            let av = arow[ii].to_f32();
-            for (jj, slot) in accrow.iter_mut().enumerate() {
-                *slot += av * bw[jj];
-            }
-        }
-    }
-}
+// The MR×NR micro-kernel itself lives in [`crate::ops::simd`]: a scalar
+// reference body plus AVX2/SSE2 lane paths that are bitwise-identical to
+// it (independent per-slot chains, separate mul+add, exact bf16 widen).
+// [`PackElem::micro_kernel`] routes each precision to its concrete
+// implementation; the lane path is resolved once per macro-block call.
 
 /// Macro-kernel over one `(ic, jc)` tile of `C` for one packed B panel,
 /// writing through a raw base pointer so disjoint tiles can run on
@@ -440,6 +484,8 @@ unsafe fn macro_block<E: PackElem>(
     let b_tiles = nc.div_ceil(NR);
     let t0 = ic / MR; // MC % MR == 0, so blocks align to tile boundaries
     let tiles_in_block = mc.div_ceil(MR);
+    let path = simd::lane_path();
+    simd::tally_micro(path, E::NAME == Bf16::NAME);
     for dt in 0..tiles_in_block {
         let it = t0 + dt;
         let i0 = dt * MR; // row offset within the block
@@ -449,13 +495,17 @@ unsafe fn macro_block<E: PackElem>(
             let j0 = jc + jt * NR;
             let jn = NR.min(nc - jt * NR);
             let mut acc = [[0.0f32; NR]; MR];
-            micro_kernel(kc, apanel, &bp[jt * kc * NR..(jt + 1) * kc * NR], &mut acc);
-            for (ii, accrow) in acc.iter().enumerate().take(im) {
-                let crow = c.add((ic + i0 + ii) * n + j0);
-                for (jj, &av) in accrow.iter().take(jn).enumerate() {
-                    *crow.add(jj) += av;
-                }
-            }
+            E::micro_kernel(
+                path,
+                kc,
+                apanel,
+                &bp[jt * kc * NR..(jt + 1) * kc * NR],
+                &mut acc,
+            );
+            // SAFETY: this function's contract gives us exclusive
+            // ownership of rows ic..ic+mc × cols jc..jc+nc; the tile at
+            // (ic+i0, j0) of extent im×jn lies inside it.
+            simd::tile_writeback(path, c, n, ic + i0, j0, im, jn, &acc);
         }
     }
 }

@@ -7,3 +7,4 @@ pub mod gemm_blocked;
 pub mod matmul;
 pub mod pool;
 pub mod reduce;
+pub mod simd;

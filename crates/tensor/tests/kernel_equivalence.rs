@@ -33,6 +33,7 @@ use ets_tensor::ops::matmul::{
     gemm_a_bt_slice, gemm_a_bt_slice_acc, gemm_at_b_slice, gemm_at_b_slice_acc, gemm_slice,
     gemm_slice_acc,
 };
+use ets_tensor::ops::simd;
 use ets_tensor::{set_gemm_workers, Rng, Shape};
 use proptest::prelude::*;
 
@@ -675,6 +676,241 @@ fn dispatcher_is_a_pure_function_of_shape() {
         first, second,
         "dispatch decisions drifted with call history"
     );
+}
+
+// ------------------------------------------- forced-lane-path matrix
+//
+// The SIMD micro-kernel layer (`ops::simd`) claims every lane path —
+// scalar, SSE2, AVX2 — produces bitwise-identical results. These tests
+// force each available path in turn and pin every entry point's output
+// bits against the scalar path's, on the same adversarial shapes the
+// numeric suite uses (k < KC, m < MR, n < NR, stride-2 padded conv),
+// plus the fused `Patches` panel and the ABFT verify path.
+
+/// Lane paths available on this host, scalar first (the oracle).
+fn lane_paths() -> Vec<simd::LanePath> {
+    simd::LanePath::ALL
+        .iter()
+        .copied()
+        .filter(|p| p.available())
+        .collect()
+}
+
+/// Runs all 24 entry points (12 f32: 6 blocked + 6 auto; 12 bf16:
+/// 6 blocked + 6 dispatched-with-precision) at one shape and returns
+/// each result's bits.
+fn all_entry_bits(seed: u64, m: usize, k: usize, n: usize) -> Vec<Vec<u32>> {
+    let a = rand_vec(seed, m * k);
+    let b = rand_vec(seed + 1, k * n);
+    let at = transpose(m, k, &a); // stored k×m
+    let bt = transpose(k, n, &b); // stored n×k
+
+    // (name, entry, operand orientation: 0 = (a,b), 1 = (aᵀ,b), 2 = (a,bᵀ), accumulate)
+    type GemmEntry = (
+        &'static str,
+        fn(usize, usize, usize, &[f32], &[f32], &mut [f32]),
+        u8,
+        bool,
+    );
+    let f32_entries: &[GemmEntry] = &[
+        ("blocked", gemm_blocked, 0, false),
+        ("blocked_acc", gemm_blocked_acc, 0, true),
+        ("blocked_at_b", gemm_blocked_at_b, 1, false),
+        ("blocked_at_b_acc", gemm_blocked_at_b_acc, 1, true),
+        ("blocked_a_bt", gemm_blocked_a_bt, 2, false),
+        ("blocked_a_bt_acc", gemm_blocked_a_bt_acc, 2, true),
+        ("auto", gemm_auto, 0, false),
+        ("auto_acc", gemm_auto_acc, 0, true),
+        ("auto_at_b", gemm_auto_at_b, 1, false),
+        ("auto_at_b_acc", gemm_auto_at_b_acc, 1, true),
+        ("auto_a_bt", gemm_auto_a_bt, 2, false),
+        ("auto_a_bt_acc", gemm_auto_a_bt_acc, 2, true),
+        ("blocked_bf16", gemm_blocked_bf16, 0, false),
+        ("blocked_bf16_acc", gemm_blocked_bf16_acc, 0, true),
+        ("blocked_at_b_bf16", gemm_blocked_at_b_bf16, 1, false),
+        ("blocked_at_b_bf16_acc", gemm_blocked_at_b_bf16_acc, 1, true),
+        ("blocked_a_bt_bf16", gemm_blocked_a_bt_bf16, 2, false),
+        ("blocked_a_bt_bf16_acc", gemm_blocked_a_bt_bf16_acc, 2, true),
+    ];
+
+    let mut out = Vec::new();
+    for &(_name, f, orient, acc) in f32_entries {
+        let (lhs, rhs): (&[f32], &[f32]) = match orient {
+            0 => (&a, &b),
+            1 => (&at, &b),
+            _ => (&a, &bt),
+        };
+        let mut c = vec![if acc { 0.5 } else { 7.5 }; m * n];
+        f(m, k, n, lhs, rhs, &mut c);
+        out.push(c.iter().map(|v| v.to_bits()).collect());
+    }
+    // Dispatched bf16 family (precision-aware wrappers).
+    let mut c = vec![7.5; m * n];
+    gemm_auto_p(GemmPrecision::Bf16, m, k, n, &a, &b, &mut c);
+    out.push(c.iter().map(|v| v.to_bits()).collect());
+    let mut c = vec![0.5; m * n];
+    gemm_auto_acc_p(GemmPrecision::Bf16, m, k, n, &a, &b, &mut c);
+    out.push(c.iter().map(|v| v.to_bits()).collect());
+    let mut c = vec![7.5; m * n];
+    gemm_auto_at_b_p(GemmPrecision::Bf16, m, k, n, &at, &b, &mut c);
+    out.push(c.iter().map(|v| v.to_bits()).collect());
+    let mut c = vec![0.5; m * n];
+    gemm_auto_at_b_acc_p(GemmPrecision::Bf16, m, k, n, &at, &b, &mut c);
+    out.push(c.iter().map(|v| v.to_bits()).collect());
+    let mut c = vec![7.5; m * n];
+    gemm_auto_a_bt_p(GemmPrecision::Bf16, m, k, n, &a, &bt, &mut c);
+    out.push(c.iter().map(|v| v.to_bits()).collect());
+    let mut c = vec![0.5; m * n];
+    gemm_auto_a_bt_acc_p(GemmPrecision::Bf16, m, k, n, &a, &bt, &mut c);
+    out.push(c.iter().map(|v| v.to_bits()).collect());
+    out
+}
+
+#[test]
+fn every_entry_point_bitwise_identical_across_lane_paths() {
+    // m < MR, n < NR, k < KC, micro/panel boundaries, and a shape past
+    // the dispatch threshold (so `auto` routes blocked on some shapes
+    // and naive on others — both must be lane-invariant).
+    let shapes = [
+        (1usize, 1usize, 1usize),
+        (MR - 1, 5, NR - 1),
+        (MR, KC, NR),
+        (MR + 1, KC + 1, NR + 1),
+        (7, 129, 17),
+        (67, 70, 65),
+        (128, 64, 96),
+    ];
+    let paths = lane_paths();
+    assert_eq!(paths[0], simd::LanePath::Scalar);
+    for (i, &(m, k, n)) in shapes.iter().enumerate() {
+        let seed = 6000 + i as u64;
+        let _guard = simd::ForcedLaneGuard::new(simd::LanePath::Scalar);
+        let want = all_entry_bits(seed, m, k, n);
+        for &path in &paths[1..] {
+            simd::force_lane_path(path);
+            let got = all_entry_bits(seed, m, k, n);
+            assert_eq!(
+                got,
+                want,
+                "lane path {:?} diverged from scalar at ({m},{k},{n})",
+                path.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_patches_bitwise_identical_across_lane_paths() {
+    // Stride-2 + padded geometries — the fused gather's halo handling
+    // must not fork across lane paths either (the pack is lane-invariant
+    // data movement; the micro-kernel is the parity-proven core).
+    let geoms = [
+        (2usize, 7usize, 3usize, 3usize, 2usize, 1usize),
+        (3, 9, 5, 3, 2, 0),
+        (2, 11, 4, 5, 2, 2),
+        (8, 12, 16, 3, 1, 1),
+    ];
+    let run =
+        |geom_seed: u64, c_in: usize, hw: usize, c_out: usize, ksz: usize, s: usize, p: usize| {
+            let xs = Shape::new(&[1, c_in, hw, hw]);
+            let wsh = Shape::new(&[c_out, c_in, ksz, ksz]);
+            let g = Conv2dGeom::infer(&xs, &wsh, s, p);
+            let (m, k, n) = (g.c_out, g.k(), g.p());
+            let img = rand_vec(geom_seed, c_in * hw * hw);
+            let w = rand_vec(geom_seed + 3, m * k);
+            let mut ap32 = vec![0.0; packed_a_len(m, k)];
+            pack_a_into(PanelA::RowMajor(&w), m, k, &mut ap32);
+            let mut c32 = vec![0.0; m * n];
+            gemm_prepacked(
+                m,
+                k,
+                n,
+                &ap32,
+                PanelB::Patches {
+                    geom: &g,
+                    img: &img,
+                },
+                &mut c32,
+                false,
+            );
+            let mut ap16 = vec![Bf16::from_f32(0.0); packed_a_len(m, k)];
+            pack_a_into_as::<Bf16>(PanelA::RowMajor(&w), m, k, &mut ap16);
+            let mut c16 = vec![0.0; m * n];
+            gemm_prepacked_as::<Bf16>(
+                m,
+                k,
+                n,
+                &ap16,
+                PanelB::Patches {
+                    geom: &g,
+                    img: &img,
+                },
+                &mut c16,
+                false,
+            );
+            (
+                c32.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                c16.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            )
+        };
+    for (i, &(c_in, hw, c_out, ksz, s, p)) in geoms.iter().enumerate() {
+        let seed = 7000 + i as u64;
+        let _guard = simd::ForcedLaneGuard::new(simd::LanePath::Scalar);
+        let want = run(seed, c_in, hw, c_out, ksz, s, p);
+        for &path in &lane_paths()[1..] {
+            simd::force_lane_path(path);
+            let got = run(seed, c_in, hw, c_out, ksz, s, p);
+            assert_eq!(
+                got,
+                want,
+                "fused patches diverged on lane path {:?} (c_in={c_in} hw={hw} s={s} p={p})",
+                path.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn abft_verify_path_bitwise_identical_across_lane_paths() {
+    // ABFT verify snapshots C, absorbs the *packed* panels into a
+    // checksum, and compares post-GEMM column sums. The SIMD kernel must
+    // (a) produce identical C bits under verification and (b) never trip
+    // the checksum (zero false positives) on any lane path.
+    use ets_tensor::ops::abft;
+    let (m, k, n) = (67, 140, 96);
+    let a = rand_vec(8000, m * k);
+    let b = rand_vec(8001, k * n);
+    let run = |precision_bf16: bool| {
+        abft::set_verify(true);
+        let detected_before = abft::corruptions_detected();
+        let mut c = vec![0.0; m * n];
+        if precision_bf16 {
+            gemm_blocked_bf16(m, k, n, &a, &b, &mut c);
+        } else {
+            gemm_blocked(m, k, n, &a, &b, &mut c);
+        }
+        abft::set_verify(false);
+        assert_eq!(
+            abft::corruptions_detected(),
+            detected_before,
+            "ABFT false positive under verification"
+        );
+        c.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    };
+    for precision_bf16 in [false, true] {
+        let _guard = simd::ForcedLaneGuard::new(simd::LanePath::Scalar);
+        let want = run(precision_bf16);
+        for &path in &lane_paths()[1..] {
+            simd::force_lane_path(path);
+            let got = run(precision_bf16);
+            assert_eq!(
+                got,
+                want,
+                "ABFT-verified GEMM diverged on lane path {:?} (bf16={precision_bf16})",
+                path.name()
+            );
+        }
+    }
 }
 
 // ------------------------------------------------------ proptest variants

@@ -213,6 +213,46 @@ fn fused_patches_bitwise_stable_across_workers_and_delays() {
     }
 }
 
+/// Lane paths × worker counts: the SIMD micro-kernel layer must stay
+/// bitwise-identical to the 1-worker scalar oracle under every
+/// combination — lane width and scheduling are both pure throughput
+/// knobs. (A lane path being forced here is process-global, like the
+/// pool size; since all paths agree bitwise, concurrent tests cannot
+/// turn this into a flake.)
+#[test]
+fn all_entry_points_bitwise_stable_across_lane_paths_and_workers() {
+    use ets_tensor::ops::simd::{self, LanePath};
+    let _quiet = Quiet;
+    let (m, k, n) = (130, 150, 300); // 3×2 tile grid, clears parallel gate
+    let seed = 9900;
+    let oracle = {
+        let _lane = simd::ForcedLaneGuard::new(LanePath::Scalar);
+        set_tile_delay(0, 0);
+        set_gemm_workers(1);
+        run_all_entries(m, k, n, seed)
+    };
+    for path in LanePath::ALL {
+        if !path.available() {
+            continue;
+        }
+        let _lane = simd::ForcedLaneGuard::new(path);
+        for &workers in WORKER_SWEEP {
+            set_gemm_workers(workers);
+            let got = run_all_entries(m, k, n, seed);
+            for (e, (g, o)) in got.iter().zip(oracle.iter()).enumerate() {
+                assert_eq!(
+                    g,
+                    o,
+                    "entry #{e} diverged from the scalar 1-worker oracle on \
+                     lane path {} with {workers} workers",
+                    path.name()
+                );
+            }
+        }
+        set_gemm_workers(1);
+    }
+}
+
 /// Concurrent submitters (the trainer's replica threads) racing one
 /// pool: every thread must still get bitwise-oracle results even while
 /// losing the pool lock to its peers (inline-fallback path).

@@ -36,7 +36,7 @@ pub use chip::{CoreSpec, TPU_V3_CORE};
 pub use convergence::{
     accuracy_at_epoch, peak_epoch_fraction, predict_peak_accuracy, OptimizerKind, Table2Row, TABLE2,
 };
-pub use e2e::{time_to_accuracy, RunConfig, RunOutcome};
+pub use e2e::{time_to_accuracy, time_to_accuracy_for_backend, RunConfig, RunOutcome};
 pub use eval_loop::{eval_pass_seconds, simulate as simulate_eval_loop, EvalLoopOutcome, EvalMode};
 pub use event::EventSim;
 pub use fault::{simulate_chaos, simulate_chaos_recorded, PodChaosReport};
@@ -46,8 +46,9 @@ pub use netsim::{
 };
 pub use scaling::{amdahl_serial_fraction, scaling_sweep, ScalingPoint};
 pub use step::{
-    backend_all_reduce_time, batch_eff_factor, hidden_all_reduce, step_time, step_time_elastic,
-    step_time_for_backend, total_bn_channels, StepConfig, StepTime, OVERLAP_BUCKET_ELEMS,
+    auto_backend_for, backend_all_reduce_time, batch_eff_factor, hidden_all_reduce, step_time,
+    step_time_elastic, step_time_for_backend, total_bn_channels, StepConfig, StepTime,
+    OVERLAP_BUCKET_ELEMS,
 };
 pub use whatif::{
     degraded_link_impact, infeed_analysis, DegradedLinkReport, InfeedReport, CORES_PER_HOST,

@@ -180,6 +180,16 @@ pub fn backend_all_reduce_time(backend: Backend, bytes: f64, cores: usize, link:
     }
 }
 
+/// The concrete backend [`Backend::Auto`] resolves to for `cfg`'s
+/// gradient exchange: the α–β cost models priced at the run's gradient
+/// volume and world size over the calibrated link. Figure 1's e2e rows
+/// record this so the committed figure names the transport the executed
+/// `Auto` path would actually route over.
+pub fn auto_backend_for(cfg: &StepConfig) -> Backend {
+    let stats = model_stats(&ModelConfig::variant(cfg.variant));
+    ets_collective::auto_backend_choice(stats.gradient_bytes(), cfg.cores, calibrated_link())
+}
+
 /// Prices one training step with the gradient all-reduce charged to an
 /// explicit collective backend instead of the chip-slice torus model.
 /// Everything else (compute roofline, BN sync) matches [`step_time`].
